@@ -1,0 +1,52 @@
+//! Criterion micro-benchmark corresponding to Fig. 4: the running time of
+//! every algorithm variant of Table III under the default parameters, on a
+//! down-scaled synthetic venue so `cargo bench` finishes quickly. The full
+//! paper-scale reproduction is `cargo run --release -p ikrq-bench --bin
+//! figures -- --fig fig04 --full`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ikrq_bench::workload::{to_query, ExperimentContext, VenueKind};
+use ikrq_core::VariantConfig;
+use indoor_data::WorkloadConfig;
+use std::hint::black_box;
+
+fn bench_default_setting(c: &mut Criterion) {
+    let ctx = ExperimentContext::new(7, 0.2);
+    let venue = ctx.venue(VenueKind::Synthetic { floors: 2 });
+    let workload = WorkloadConfig {
+        s2t: 800.0,
+        ..WorkloadConfig::default()
+    };
+    let instances = venue.instances(&workload, 3, 99);
+    assert!(!instances.is_empty(), "workload generation must succeed");
+    let queries: Vec<_> = instances.iter().map(to_query).collect();
+
+    let mut group = c.benchmark_group("fig04_default_parameters");
+    group.sample_size(10);
+    for variant in [
+        VariantConfig::toe(),
+        VariantConfig::toe_no_distance(),
+        VariantConfig::toe_no_kbound(),
+        VariantConfig::koe(),
+        VariantConfig::koe_no_distance(),
+        VariantConfig::koe_no_kbound(),
+        VariantConfig::koe_star(),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variant.label()),
+            &variant,
+            |b, &variant| {
+                b.iter(|| {
+                    for query in &queries {
+                        let outcome = venue.engine.search(query, variant).expect("valid query");
+                        black_box(outcome.results.len());
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_default_setting);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks corresponding to the parameter sweeps of
+//! Figs. 5–12 (k, |QW|, η, β, δs2t), on a down-scaled venue. The paper-scale
+//! sweeps are produced by the `figures` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ikrq_bench::workload::{to_query, ExperimentContext, VenueKind};
+use ikrq_core::VariantConfig;
+use indoor_data::WorkloadConfig;
+use std::hint::black_box;
+
+fn small_workload() -> WorkloadConfig {
+    WorkloadConfig {
+        s2t: 800.0,
+        ..WorkloadConfig::default()
+    }
+}
+
+fn bench_sweep<T: std::fmt::Display + Copy>(
+    c: &mut Criterion,
+    group_name: &str,
+    values: &[T],
+    make: impl Fn(T) -> WorkloadConfig,
+) {
+    let ctx = ExperimentContext::new(11, 0.2);
+    let venue = ctx.venue(VenueKind::Synthetic { floors: 2 });
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    for &value in values {
+        let workload = make(value);
+        let instances = venue.instances(&workload, 2, 5);
+        if instances.is_empty() {
+            continue;
+        }
+        let queries: Vec<_> = instances.iter().map(to_query).collect();
+        for variant in [VariantConfig::toe(), VariantConfig::koe()] {
+            group.bench_with_input(
+                BenchmarkId::new(variant.label(), value),
+                &variant,
+                |b, &variant| {
+                    b.iter(|| {
+                        for query in &queries {
+                            let outcome =
+                                venue.engine.search(query, variant).expect("valid query");
+                            black_box(outcome.results.len());
+                        }
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_vary_k(c: &mut Criterion) {
+    bench_sweep(c, "fig05_vary_k", &[1usize, 7, 11], |k| WorkloadConfig {
+        k,
+        ..small_workload()
+    });
+}
+
+fn bench_vary_qw(c: &mut Criterion) {
+    bench_sweep(c, "fig06_vary_qw", &[1usize, 3, 5], |qw_len| WorkloadConfig {
+        qw_len,
+        ..small_workload()
+    });
+}
+
+fn bench_vary_eta(c: &mut Criterion) {
+    bench_sweep(c, "fig08_vary_eta", &[1.4f64, 1.6, 2.0], |eta| WorkloadConfig {
+        eta,
+        ..small_workload()
+    });
+}
+
+fn bench_vary_beta(c: &mut Criterion) {
+    bench_sweep(c, "fig10_vary_beta", &[0.2f64, 0.6, 1.0], |beta| WorkloadConfig {
+        beta,
+        ..small_workload()
+    });
+}
+
+fn bench_vary_s2t(c: &mut Criterion) {
+    bench_sweep(c, "fig12_vary_s2t", &[600.0f64, 900.0, 1200.0], |s2t| WorkloadConfig {
+        s2t,
+        eta: 1.6,
+        ..small_workload()
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_vary_k,
+    bench_vary_qw,
+    bench_vary_eta,
+    bench_vary_beta,
+    bench_vary_s2t
+);
+criterion_main!(benches);

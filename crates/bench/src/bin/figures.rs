@@ -1,0 +1,105 @@
+//! Regenerates the paper's figures.
+//!
+//! ```text
+//! cargo run --release -p ikrq-bench --bin figures -- [--fig figNN | --fig all]
+//!     [--quick | --scale <0..1>] [--seed N] [--out results/]
+//! ```
+//!
+//! Every figure is written to the output directory as CSV, Markdown and JSON;
+//! a Markdown summary of all requested figures is printed to stdout.
+
+use ikrq_bench::figures::registry;
+use ikrq_bench::workload::ExperimentContext;
+use std::path::PathBuf;
+
+struct Args {
+    figures: Vec<String>,
+    scale: f64,
+    seed: u64,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut figures = Vec::new();
+    let mut scale = 0.3;
+    let mut seed = 2020;
+    let mut out = PathBuf::from("results");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fig" => {
+                let value = args.next().ok_or("--fig needs a value")?;
+                figures.push(value);
+            }
+            "--quick" => scale = 0.1,
+            "--full" => scale = 1.0,
+            "--scale" => {
+                scale = args
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid scale: {e}"))?;
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid seed: {e}"))?;
+            }
+            "--out" => {
+                out = PathBuf::from(args.next().ok_or("--out needs a value")?);
+            }
+            "--help" | "-h" => {
+                return Err("usage: figures [--fig figNN|all]... [--quick|--full|--scale S] [--seed N] [--out DIR]".into());
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if figures.is_empty() || figures.iter().any(|f| f == "all") {
+        figures = registry().iter().map(|(id, _, _)| id.to_string()).collect();
+    }
+    Ok(Args {
+        figures,
+        scale,
+        seed,
+        out,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    let ctx = ExperimentContext::new(args.seed, args.scale);
+    let registry = registry();
+    let mut failures = 0usize;
+    for requested in &args.figures {
+        let Some((id, description, run)) = registry
+            .iter()
+            .find(|(id, _, _)| id == requested)
+            .copied()
+        else {
+            eprintln!("unknown figure id: {requested}");
+            failures += 1;
+            continue;
+        };
+        eprintln!("running {id} ({description}) ...");
+        let started = std::time::Instant::now();
+        let report = run(&ctx);
+        let elapsed = started.elapsed().as_secs_f64();
+        eprintln!("  done in {elapsed:.1} s");
+        if let Err(error) = report.write_to(&args.out) {
+            eprintln!("  failed to write report: {error}");
+            failures += 1;
+        }
+        println!("{}", report.to_markdown());
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,30 @@
+//! # ikrq-bench
+//!
+//! The experiment harness reproducing every table and figure of the IKRQ
+//! paper's evaluation (§V). The library part provides:
+//!
+//! * [`workload`] — cached venue construction (synthetic malls with 3–9
+//!   floors and the simulated real venue) and query-instance preparation,
+//! * [`runner`] — running a set of query instances against a set of
+//!   algorithm variants, aggregating time/memory over instances and repeats
+//!   exactly as §V-A1 prescribes (10 instances × 5 runs by default,
+//!   configurable),
+//! * [`report`] — figure/series data structures with CSV and Markdown
+//!   emitters,
+//! * [`figures`] — one reproduction module per paper figure (Figs. 4–20)
+//!   plus the §V-A5 result-quality study,
+//!
+//! and the two binaries `figures` (regenerates any or all figures) and
+//! `quality` (the result-quality case study).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod report;
+pub mod runner;
+pub mod workload;
+
+pub use report::{FigureReport, Series};
+pub use runner::{AggregateResult, RunSettings, Runner};
+pub use workload::{ExperimentContext, VenueKind};

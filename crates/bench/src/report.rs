@@ -1,0 +1,186 @@
+//! Figure/series reporting: the data structures the figure modules fill in,
+//! plus CSV and Markdown emitters used by the `figures` binary and by
+//! `EXPERIMENTS.md`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// One data series of a figure: a named curve over the x-axis values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Name of the series (usually a variant label such as `ToE\D`).
+    pub name: String,
+    /// One y-value per x-axis tick (`None` when the point was not measured,
+    /// e.g. a budget-exhausted ToE\P setting).
+    pub values: Vec<Option<f64>>,
+}
+
+impl Series {
+    /// Creates a series from measured values.
+    pub fn new(name: impl Into<String>, values: Vec<Option<f64>>) -> Self {
+        Series {
+            name: name.into(),
+            values,
+        }
+    }
+}
+
+/// The reproduction of one paper figure (or table).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureReport {
+    /// Identifier, e.g. `fig05`.
+    pub id: String,
+    /// Paper caption, e.g. "Running time vs. k".
+    pub title: String,
+    /// Name of the x-axis parameter.
+    pub x_label: String,
+    /// Unit of the y-axis (e.g. "ms" or "MB").
+    pub y_label: String,
+    /// The x-axis tick labels.
+    pub x_values: Vec<String>,
+    /// The measured series.
+    pub series: Vec<Series>,
+    /// Free-form notes (scaled instance counts, budget exhaustion, ...).
+    pub notes: Vec<String>,
+}
+
+impl FigureReport {
+    /// Creates an empty report.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        FigureReport {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            x_values: Vec::new(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a note.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Renders the report as CSV (one row per x value, one column per series).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let header: Vec<String> = std::iter::once(self.x_label.clone())
+            .chain(self.series.iter().map(|s| s.name.clone()))
+            .collect();
+        let _ = writeln!(out, "{}", header.join(","));
+        for (i, x) in self.x_values.iter().enumerate() {
+            let mut row = vec![x.clone()];
+            for series in &self.series {
+                row.push(
+                    series
+                        .values
+                        .get(i)
+                        .copied()
+                        .flatten()
+                        .map(|v| format!("{v:.4}"))
+                        .unwrap_or_default(),
+                );
+            }
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// Renders the report as a Markdown table with its title and notes.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {} ({})\n", self.id, self.title, self.y_label);
+        let header: Vec<String> = std::iter::once(self.x_label.clone())
+            .chain(self.series.iter().map(|s| s.name.clone()))
+            .collect();
+        let _ = writeln!(out, "| {} |", header.join(" | "));
+        let _ = writeln!(out, "|{}|", vec!["---"; header.len()].join("|"));
+        for (i, x) in self.x_values.iter().enumerate() {
+            let mut row = vec![x.clone()];
+            for series in &self.series {
+                row.push(
+                    series
+                        .values
+                        .get(i)
+                        .copied()
+                        .flatten()
+                        .map(|v| format!("{v:.2}"))
+                        .unwrap_or_else(|| "—".to_string()),
+                );
+            }
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        if !self.notes.is_empty() {
+            let _ = writeln!(out);
+            for note in &self.notes {
+                let _ = writeln!(out, "* {note}");
+            }
+        }
+        out
+    }
+
+    /// Writes the CSV and Markdown renderings into `dir` as
+    /// `<id>.csv` / `<id>.md`, plus the raw JSON as `<id>.json`.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        fs::write(dir.join(format!("{}.csv", self.id)), self.to_csv())?;
+        fs::write(dir.join(format!("{}.md", self.id)), self.to_markdown())?;
+        let json = serde_json::to_string_pretty(self).expect("report serialises");
+        fs::write(dir.join(format!("{}.json", self.id)), json)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureReport {
+        let mut report = FigureReport::new("fig05", "Running time vs. k", "k", "ms");
+        report.x_values = vec!["1".into(), "3".into(), "5".into()];
+        report.series.push(Series::new("ToE", vec![Some(10.0), Some(12.0), Some(13.5)]));
+        report.series.push(Series::new("KoE", vec![Some(9.0), None, Some(14.0)]));
+        report.note("quick mode");
+        report
+    }
+
+    #[test]
+    fn csv_rendering_contains_all_cells() {
+        let csv = sample().to_csv();
+        assert!(csv.starts_with("k,ToE,KoE"));
+        assert!(csv.contains("1,10.0000,9.0000"));
+        assert!(csv.contains("3,12.0000,"));
+        assert_eq!(csv.lines().count(), 4);
+    }
+
+    #[test]
+    fn markdown_rendering_has_header_and_notes() {
+        let md = sample().to_markdown();
+        assert!(md.contains("### fig05"));
+        assert!(md.contains("| k | ToE | KoE |"));
+        assert!(md.contains("| 3 | 12.00 | — |"));
+        assert!(md.contains("* quick mode"));
+    }
+
+    #[test]
+    fn write_to_creates_three_files() {
+        let dir = std::env::temp_dir().join(format!("ikrq-report-test-{}", std::process::id()));
+        sample().write_to(&dir).unwrap();
+        for ext in ["csv", "md", "json"] {
+            assert!(dir.join(format!("fig05.{ext}")).exists());
+        }
+        let json = std::fs::read_to_string(dir.join("fig05.json")).unwrap();
+        let parsed: FigureReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, sample());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,175 @@
+//! Running query instances against algorithm variants and aggregating the
+//! measurements the way §V-A1 does: each instance is run several times and
+//! the average per-instance cost is reported.
+
+use crate::workload::{to_query, PreparedVenue};
+use ikrq_core::{SearchOutcome, VariantConfig};
+use indoor_data::QueryInstance;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated measurements of one algorithm variant over a set of query
+/// instances.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregateResult {
+    /// Variant label (Table III notation).
+    pub label: String,
+    /// Average running time per query instance, in milliseconds.
+    pub avg_time_ms: f64,
+    /// Average peak memory per query instance, in mebibytes.
+    pub avg_memory_mb: f64,
+    /// Average number of expanded stamps.
+    pub avg_stamps_expanded: f64,
+    /// Average number of complete routes found.
+    pub avg_complete_routes: f64,
+    /// Average homogeneous rate of the returned top-k routes.
+    pub avg_homogeneous_rate: f64,
+    /// Average best ranking score.
+    pub avg_best_score: f64,
+    /// Number of instances that ran successfully.
+    pub instances: usize,
+    /// Whether any run exhausted its expansion budget.
+    pub budget_exhausted: bool,
+}
+
+/// Per-run settings.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunSettings {
+    /// Runs per instance (the paper uses 5).
+    pub runs_per_instance: usize,
+}
+
+impl Default for RunSettings {
+    fn default() -> Self {
+        RunSettings {
+            runs_per_instance: 5,
+        }
+    }
+}
+
+/// The experiment runner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Runner {
+    /// Run settings.
+    pub settings: RunSettings,
+}
+
+impl Runner {
+    /// Creates a runner with the given number of runs per instance.
+    pub fn new(runs_per_instance: usize) -> Self {
+        Runner {
+            settings: RunSettings { runs_per_instance },
+        }
+    }
+
+    /// Runs one variant over all instances and aggregates the measurements.
+    pub fn run_variant(
+        &self,
+        venue: &PreparedVenue,
+        instances: &[QueryInstance],
+        variant: VariantConfig,
+    ) -> AggregateResult {
+        let mut time_ms = 0.0;
+        let mut memory_mb = 0.0;
+        let mut stamps = 0.0;
+        let mut complete = 0.0;
+        let mut homogeneous = 0.0;
+        let mut best_score = 0.0;
+        let mut ok = 0usize;
+        let mut budget_exhausted = false;
+        let runs = self.settings.runs_per_instance.max(1);
+
+        for instance in instances {
+            let query = to_query(instance);
+            let mut instance_time = 0.0;
+            let mut instance_memory = 0.0;
+            let mut last: Option<SearchOutcome> = None;
+            let mut failed = false;
+            for _ in 0..runs {
+                match venue.engine.search(&query, variant) {
+                    Ok(outcome) => {
+                        instance_time += outcome.metrics.elapsed_millis();
+                        instance_memory += outcome.metrics.peak_memory_mb();
+                        budget_exhausted |= outcome.metrics.budget_exhausted;
+                        last = Some(outcome);
+                    }
+                    Err(_) => {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            let Some(outcome) = last else { continue };
+            if failed {
+                continue;
+            }
+            ok += 1;
+            time_ms += instance_time / runs as f64;
+            memory_mb += instance_memory / runs as f64;
+            stamps += outcome.metrics.stamps_expanded as f64;
+            complete += outcome.metrics.complete_routes as f64;
+            homogeneous += outcome.results.homogeneous_rate();
+            best_score += outcome.results.best().map(|r| r.score).unwrap_or(0.0);
+        }
+
+        let denom = ok.max(1) as f64;
+        AggregateResult {
+            label: variant.label(),
+            avg_time_ms: time_ms / denom,
+            avg_memory_mb: memory_mb / denom,
+            avg_stamps_expanded: stamps / denom,
+            avg_complete_routes: complete / denom,
+            avg_homogeneous_rate: homogeneous / denom,
+            avg_best_score: best_score / denom,
+            instances: ok,
+            budget_exhausted,
+        }
+    }
+
+    /// Runs several variants over the same instances.
+    pub fn run_variants(
+        &self,
+        venue: &PreparedVenue,
+        instances: &[QueryInstance],
+        variants: &[VariantConfig],
+    ) -> Vec<AggregateResult> {
+        variants
+            .iter()
+            .map(|&variant| self.run_variant(venue, instances, variant))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{ExperimentContext, VenueKind};
+    use indoor_data::WorkloadConfig;
+
+    #[test]
+    fn runner_aggregates_over_instances_and_variants() {
+        let ctx = ExperimentContext::new(5, 0.2);
+        let venue = ctx.venue(VenueKind::Synthetic { floors: 1 });
+        let workload = WorkloadConfig {
+            s2t: 600.0,
+            qw_len: 2,
+            ..WorkloadConfig::default()
+        };
+        let instances = venue.instances(&workload, 2, 11);
+        assert!(!instances.is_empty());
+        let runner = Runner::new(1);
+        let results = runner.run_variants(
+            &venue,
+            &instances,
+            &[VariantConfig::toe(), VariantConfig::koe()],
+        );
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert!(r.instances > 0, "{}", r.label);
+            assert!(r.avg_time_ms >= 0.0);
+            assert!(r.avg_memory_mb > 0.0);
+            assert!(r.avg_best_score > 0.0);
+        }
+        assert_eq!(results[0].label, "ToE");
+        assert_eq!(results[1].label, "KoE");
+    }
+}

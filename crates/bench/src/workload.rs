@@ -1,0 +1,163 @@
+//! Venue caching and workload preparation for the experiments.
+
+use ikrq_core::IkrqQuery;
+use indoor_data::{
+    QueryGenerator, QueryInstance, RealMallSimulator, SyntheticVenueConfig, Venue, WorkloadConfig,
+};
+use indoor_data::real_mall::RealMallConfig;
+use indoor_keywords::QueryKeywords;
+use ikrq_core::IkrqEngine;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which venue an experiment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VenueKind {
+    /// The synthetic mall of §V-A1 with the given floor count.
+    Synthetic {
+        /// Number of floors (3, 5, 7 or 9 in the paper).
+        floors: usize,
+    },
+    /// The simulated Hangzhou mall of §V-B.
+    Real,
+}
+
+/// A prepared venue: the engine (owning space + keywords) plus a query
+/// generator bound to an owned copy of the venue.
+pub struct PreparedVenue {
+    /// The query engine.
+    pub engine: Arc<IkrqEngine>,
+    venue: Arc<Venue>,
+}
+
+impl PreparedVenue {
+    /// Generates `count` query instances for a workload setting.
+    pub fn instances(
+        &self,
+        workload: &WorkloadConfig,
+        count: usize,
+        seed: u64,
+    ) -> Vec<QueryInstance> {
+        let generator = QueryGenerator::new(&self.venue);
+        let mut rng = StdRng::seed_from_u64(seed);
+        generator.generate_batch(workload, count, &mut rng)
+    }
+}
+
+/// Converts an engine-agnostic query instance into an engine query.
+pub fn to_query(instance: &QueryInstance) -> IkrqQuery {
+    IkrqQuery::new(
+        instance.start,
+        instance.terminal,
+        instance.delta,
+        QueryKeywords::new(instance.keywords.iter().cloned())
+            .expect("generated instances always carry keywords"),
+        instance.k,
+    )
+    .with_alpha(instance.alpha)
+    .with_tau(instance.tau)
+}
+
+/// Shared context of an experiment run: caches venues (building the 5-floor
+/// synthetic mall or the real-venue simulation takes seconds, and many
+/// figures reuse the same venue) and records global scaling options.
+pub struct ExperimentContext {
+    /// Scale factor applied to instance/run counts: 1.0 reproduces the
+    /// paper's 10 instances × 5 runs, smaller values run faster.
+    pub instance_scale: f64,
+    /// Base random seed.
+    pub seed: u64,
+    cache: Mutex<HashMap<VenueKind, Arc<PreparedVenue>>>,
+}
+
+impl ExperimentContext {
+    /// Creates a context. `quick` reduces the instance counts for smoke runs.
+    pub fn new(seed: u64, instance_scale: f64) -> Self {
+        ExperimentContext {
+            instance_scale,
+            seed,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of query instances per setting after scaling (paper default:
+    /// 10).
+    pub fn instances_per_setting(&self) -> usize {
+        ((10.0 * self.instance_scale).round() as usize).max(1)
+    }
+
+    /// Number of runs per instance after scaling (paper default: 5).
+    pub fn runs_per_instance(&self) -> usize {
+        ((5.0 * self.instance_scale).round() as usize).clamp(1, 5)
+    }
+
+    /// Returns (building and caching on first use) the requested venue.
+    pub fn venue(&self, kind: VenueKind) -> Arc<PreparedVenue> {
+        if let Some(existing) = self.cache.lock().get(&kind) {
+            return Arc::clone(existing);
+        }
+        let venue = match kind {
+            VenueKind::Synthetic { floors } => {
+                let config = SyntheticVenueConfig {
+                    seed: self.seed,
+                    ..SyntheticVenueConfig::default()
+                }
+                .with_floors(floors);
+                Venue::synthetic(&config).expect("synthetic venue generation succeeds")
+            }
+            VenueKind::Real => RealMallSimulator::generate(&RealMallConfig {
+                seed: self.seed,
+                ..RealMallConfig::default()
+            })
+            .expect("real venue simulation succeeds"),
+        };
+        let prepared = Arc::new(PreparedVenue {
+            engine: Arc::new(IkrqEngine::new(venue.space.clone(), venue.directory.clone())),
+            venue: Arc::new(venue),
+        });
+        self.cache.lock().insert(kind, Arc::clone(&prepared));
+        prepared
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indoor_data::ExperimentDefaults;
+
+    #[test]
+    fn context_caches_venues_and_scales_counts() {
+        let ctx = ExperimentContext::new(1, 0.2);
+        assert_eq!(ctx.instances_per_setting(), 2);
+        assert_eq!(ctx.runs_per_instance(), 1);
+        let full = ExperimentContext::new(1, 1.0);
+        assert_eq!(full.instances_per_setting(), 10);
+        assert_eq!(full.runs_per_instance(), 5);
+
+        let kind = VenueKind::Synthetic { floors: 1 };
+        let a = ctx.venue(kind);
+        let b = ctx.venue(kind);
+        assert!(Arc::ptr_eq(&a, &b), "venues are cached");
+    }
+
+    #[test]
+    fn instances_convert_to_engine_queries() {
+        let ctx = ExperimentContext::new(3, 0.2);
+        let prepared = ctx.venue(VenueKind::Synthetic { floors: 1 });
+        let workload = WorkloadConfig {
+            s2t: 600.0,
+            ..ExperimentDefaults::default().into()
+        };
+        let instances = prepared.instances(&workload, 2, 9);
+        assert!(!instances.is_empty());
+        for instance in &instances {
+            let query = to_query(instance);
+            assert!(query.validate().is_ok());
+            let outcome = prepared.engine.search_toe(&query).unwrap();
+            assert!(outcome.metrics.stamps_expanded > 0);
+        }
+    }
+}

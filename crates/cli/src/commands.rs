@@ -1,0 +1,484 @@
+//! The `ikrq` subcommands.
+//!
+//! Every command is a pure function from parsed arguments to a textual
+//! report (what the binary prints to stdout), so the integration tests can
+//! drive the tool without spawning processes.
+
+use crate::args::ParsedArgs;
+use crate::error::CliError;
+use crate::Result;
+use ikrq_core::extensions::SoftDeltaConfig;
+use ikrq_core::{IkrqEngine, IkrqQuery, VariantConfig};
+use indoor_data::real_mall::RealMallConfig;
+use indoor_data::{paper_example_venue, RealMallSimulator, SyntheticVenueConfig, Venue};
+use indoor_keywords::{KeywordDirectory, QueryKeywords};
+use indoor_persist::{binary, json, ResultDocument, VenueDocument};
+use indoor_space::{FloorId, IndoorPoint, IndoorSpace};
+use indoor_viz::{render_floor, render_routes_on_floor, RenderStyle};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// The usage text printed by `ikrq help`.
+pub const USAGE: &str = "\
+ikrq — indoor top-k keyword-aware routing (IKRQ, ICDE 2020 reproduction)
+
+USAGE:
+    ikrq <command> [--flag value ...]
+
+COMMANDS:
+    generate   Generate a venue document
+               --kind example|synthetic|real   (default: synthetic)
+               --floors N   --seed S           (synthetic/real only)
+               --out PATH                      output file (required)
+               --binary                        write the compact binary format
+    stats      Print venue statistics
+               --venue PATH                    venue document (json or binary)
+    query      Run an IKRQ against a venue
+               --venue PATH                    venue document
+               --from x,y[,floor]  --to x,y[,floor]
+               --delta METERS      --keywords \"w1,w2,...\"
+               --k N (default 3)   --alpha A (0.5)   --tau T (0.1)
+               --algorithm toe|koe|toe-d|toe-b|toe-p|koe-d|koe-b|koe-star
+               --slack FRACTION                soft distance constraint
+               --out PATH                      also save results as JSON
+    render     Render a floorplan (optionally with the routes of a query)
+               --venue PATH   --floor N (default 0)   --out PATH.svg
+               --no-labels    --door-ids
+               [query flags as above to overlay its routes]
+    help       Show this message
+";
+
+/// Runs a parsed command line and returns the report to print.
+pub fn run(args: &ParsedArgs) -> Result<String> {
+    match args.command.as_str() {
+        "help" => Ok(USAGE.to_string()),
+        "generate" => generate(args),
+        "stats" => stats(args),
+        "query" => query(args),
+        "render" => render(args),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+// ---------------------------------------------------------------------
+// generate
+// ---------------------------------------------------------------------
+
+fn build_venue(args: &ParsedArgs) -> Result<(Venue, String, f64)> {
+    let kind = args.get("kind").unwrap_or("synthetic");
+    let seed = args.get_u64("seed")?.unwrap_or(42);
+    match kind {
+        "example" => {
+            let example = paper_example_venue();
+            Ok((example.venue, "fig1-example".to_string(), 10.0))
+        }
+        "synthetic" => {
+            let floors = args.get_usize("floors")?.unwrap_or(5);
+            let config = SyntheticVenueConfig {
+                seed,
+                ..SyntheticVenueConfig::default()
+            }
+            .with_floors(floors);
+            let venue = Venue::synthetic(&config)?;
+            Ok((venue, format!("synthetic-{floors}f-seed{seed}"), 25.0))
+        }
+        "real" => {
+            let mut config = RealMallConfig {
+                seed,
+                ..RealMallConfig::default()
+            };
+            if let Some(floors) = args.get_usize("floors")? {
+                config.floors = floors;
+            }
+            let venue = RealMallSimulator::generate(&config)?;
+            Ok((venue, format!("real-mall-seed{seed}"), 25.0))
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown venue kind `{other}` (expected example, synthetic or real)"
+        ))),
+    }
+}
+
+fn generate(args: &ParsedArgs) -> Result<String> {
+    let out = args.require("out")?.to_string();
+    let (venue, name, grid_cell) = build_venue(args)?;
+    let doc = VenueDocument::from_venue(&venue.space, &venue.directory, grid_cell, Some(name));
+    if args.switch("binary") {
+        binary::save_venue_binary(&doc, &out)?;
+    } else {
+        json::save_venue_json(&doc, &out)?;
+    }
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "wrote {} ({} partitions, {} doors, {} i-words, {} t-words)",
+        out,
+        doc.num_partitions(),
+        doc.num_doors(),
+        doc.num_iwords(),
+        doc.num_twords(),
+    );
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------
+// stats
+// ---------------------------------------------------------------------
+
+/// Loads a venue document from JSON or the binary format, deciding by
+/// extension first and falling back to the other decoder.
+pub fn load_venue_document(path: &str) -> Result<VenueDocument> {
+    let looks_binary = Path::new(path)
+        .extension()
+        .map(|e| e == "bin" || e == "ikrq")
+        .unwrap_or(false);
+    let first = if looks_binary {
+        binary::load_venue_binary(path)
+    } else {
+        json::load_venue_json(path)
+    };
+    match first {
+        Ok(doc) => Ok(doc),
+        Err(first_err) => {
+            let second = if looks_binary {
+                json::load_venue_json(path)
+            } else {
+                binary::load_venue_binary(path)
+            };
+            second.map_err(|_| CliError::Persist(first_err))
+        }
+    }
+}
+
+fn load_engine(path: &str) -> Result<(IndoorSpace, KeywordDirectory, Option<String>)> {
+    let doc = load_venue_document(path)?;
+    let name = doc.name.clone();
+    let (space, directory) = doc.build()?;
+    Ok((space, directory, name))
+}
+
+fn stats(args: &ParsedArgs) -> Result<String> {
+    let path = args.require("venue")?;
+    let (space, directory, name) = load_engine(path)?;
+    let stats = space.stats();
+    let mut report = String::new();
+    let _ = writeln!(report, "venue: {}", name.as_deref().unwrap_or(path));
+    let _ = writeln!(report, "floors: {}", stats.floors);
+    let _ = writeln!(report, "partitions: {}", stats.partitions);
+    for (kind, count) in &stats.partitions_by_kind {
+        let _ = writeln!(report, "  {kind}: {count}");
+    }
+    let _ = writeln!(report, "doors: {}", stats.doors);
+    let _ = writeln!(report, "  vertical: {}", stats.vertical_doors);
+    let _ = writeln!(report, "door-graph edges: {}", stats.door_graph_edges);
+    let _ = writeln!(
+        report,
+        "avg doors per partition: {:.2}",
+        stats.avg_doors_per_partition
+    );
+    let _ = writeln!(report, "i-words: {}", directory.vocab().num_iwords());
+    let _ = writeln!(report, "t-words: {}", directory.vocab().num_twords());
+    let _ = writeln!(
+        report,
+        "named partitions: {}",
+        directory.mappings().named_partitions().count()
+    );
+    let _ = writeln!(
+        report,
+        "avg t-words per i-word: {:.2}",
+        directory.mappings().avg_twords_per_iword()
+    );
+    let _ = writeln!(
+        report,
+        "keyword mappings: {:.2} MB",
+        directory.estimated_bytes() as f64 / (1024.0 * 1024.0)
+    );
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------
+// query
+// ---------------------------------------------------------------------
+
+/// Resolves the `--algorithm` flag to a variant configuration.
+pub fn parse_variant(label: Option<&str>) -> Result<VariantConfig> {
+    Ok(match label.unwrap_or("toe") {
+        "toe" => VariantConfig::toe(),
+        "koe" => VariantConfig::koe(),
+        "toe-d" => VariantConfig::toe_no_distance(),
+        "toe-b" => VariantConfig::toe_no_kbound(),
+        "toe-p" => VariantConfig::toe_no_prime(),
+        "koe-d" => VariantConfig::koe_no_distance(),
+        "koe-b" => VariantConfig::koe_no_kbound(),
+        "koe-star" | "koe*" => VariantConfig::koe_star(),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown algorithm `{other}` (see `ikrq help`)"
+            )))
+        }
+    })
+}
+
+fn build_query(args: &ParsedArgs) -> Result<IkrqQuery> {
+    let (fx, fy, ff) = args
+        .get_point("from")?
+        .ok_or_else(|| CliError::Usage("missing required flag `--from`".into()))?;
+    let (tx, ty, tf) = args
+        .get_point("to")?
+        .ok_or_else(|| CliError::Usage("missing required flag `--to`".into()))?;
+    let delta = args
+        .get_f64("delta")?
+        .ok_or_else(|| CliError::Usage("missing required flag `--delta`".into()))?;
+    let keywords = args.get_list("keywords");
+    if keywords.is_empty() {
+        return Err(CliError::Usage(
+            "missing required flag `--keywords` (comma-separated list)".into(),
+        ));
+    }
+    let keywords = QueryKeywords::new(keywords.iter().map(String::as_str))?;
+    let k = args.get_usize("k")?.unwrap_or(3);
+    let mut query = IkrqQuery::new(
+        IndoorPoint::from_xy(fx, fy, FloorId(ff)),
+        IndoorPoint::from_xy(tx, ty, FloorId(tf)),
+        delta,
+        keywords,
+        k,
+    );
+    if let Some(alpha) = args.get_f64("alpha")? {
+        query = query.with_alpha(alpha);
+    }
+    if let Some(tau) = args.get_f64("tau")? {
+        query = query.with_tau(tau);
+    }
+    Ok(query)
+}
+
+fn describe_route(
+    space: &IndoorSpace,
+    directory: &KeywordDirectory,
+    route: &ikrq_core::ResultRoute,
+) -> String {
+    let mut shops: Vec<String> = Vec::new();
+    for &v in route.route.legs() {
+        if let Some(name) = directory
+            .partition_iword(v)
+            .and_then(|w| directory.resolve(w))
+        {
+            let name = name.to_string();
+            if !shops.contains(&name) {
+                shops.push(name);
+            }
+        }
+    }
+    let _ = space;
+    format!(
+        "score {:.4}  relevance {:.3}  distance {:.1} m  doors {}  via [{}]",
+        route.score,
+        route.relevance,
+        route.distance,
+        route.route.doors().len(),
+        shops.join(", "),
+    )
+}
+
+fn query(args: &ParsedArgs) -> Result<String> {
+    let path = args.require("venue")?;
+    let (space, directory, _) = load_engine(path)?;
+    let engine = IkrqEngine::new(space, directory);
+    let query = build_query(args)?;
+    let variant = parse_variant(args.get("algorithm"))?;
+
+    let mut report = String::new();
+    let outcome = if let Some(slack) = args.get_f64("slack")? {
+        let soft = engine.search_soft(&query, variant, SoftDeltaConfig::with_slack(slack))?;
+        let _ = writeln!(
+            report,
+            "{}: {} routes (soft ∆ = {:.1} m), {:.2} ms",
+            soft.label,
+            soft.routes.len(),
+            soft.relaxed_delta,
+            soft.metrics.elapsed_millis(),
+        );
+        for (i, r) in soft.routes.iter().enumerate() {
+            let over = if r.exceeds_hard_delta { "  (over ∆)" } else { "" };
+            let _ = writeln!(
+                report,
+                "  #{:<2} soft score {:.4}  {}{}",
+                i + 1,
+                r.soft_score,
+                describe_route(engine.space(), engine.directory(), &r.result),
+                over,
+            );
+        }
+        None
+    } else {
+        let outcome = engine.search(&query, variant)?;
+        let _ = writeln!(
+            report,
+            "{}: {} routes, {:.2} ms, peak {:.2} MB, {} stamps expanded",
+            outcome.label,
+            outcome.results.len(),
+            outcome.metrics.elapsed_millis(),
+            outcome.metrics.peak_memory_mb(),
+            outcome.metrics.stamps_expanded,
+        );
+        for (i, r) in outcome.results.routes().iter().enumerate() {
+            let _ = writeln!(
+                report,
+                "  #{:<2} {}",
+                i + 1,
+                describe_route(engine.space(), engine.directory(), r)
+            );
+        }
+        Some(outcome)
+    };
+
+    if let Some(out) = args.get("out") {
+        let mut results = ResultDocument::new(format!("ikrq query against {path}"));
+        if let Some(outcome) = outcome {
+            results.push(&query, outcome);
+        } else {
+            // Soft-constraint runs save the underlying relaxed outcome.
+            let hard = engine.search(&query, variant)?;
+            results.push(&query, hard);
+        }
+        json::save_json(&results, out)?;
+        let _ = writeln!(report, "results written to {out}");
+    }
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------
+// render
+// ---------------------------------------------------------------------
+
+fn render(args: &ParsedArgs) -> Result<String> {
+    let path = args.require("venue")?;
+    let out = args.require("out")?.to_string();
+    let floor = FloorId(args.get_i32("floor")?.unwrap_or(0));
+    let (space, directory, _) = load_engine(path)?;
+
+    let mut style = RenderStyle::default();
+    if args.switch("no-labels") {
+        style.show_labels = false;
+    }
+    if args.switch("door-ids") {
+        style.show_door_ids = true;
+    }
+    // Large venues render better compact.
+    if space.num_partitions() > 200 {
+        style.scale = 0.5;
+        style.show_labels = false;
+    }
+
+    let mut report = String::new();
+    let svg = if args.get("from").is_some() {
+        // Overlay the routes of a query.
+        let engine = IkrqEngine::new(space.clone(), directory.clone());
+        let query = build_query(args)?;
+        let variant = parse_variant(args.get("algorithm"))?;
+        let outcome = engine.search(&query, variant)?;
+        let routes: Vec<&indoor_space::Route> = outcome
+            .results
+            .routes()
+            .iter()
+            .map(|r| &r.route)
+            .collect();
+        let _ = writeln!(
+            report,
+            "overlaying {} route(s) from {}",
+            routes.len(),
+            outcome.label
+        );
+        render_routes_on_floor(&space, &routes, floor, &style)?
+    } else {
+        render_floor(&space, Some(&directory), floor, &style)?
+    };
+
+    if let Some(parent) = Path::new(&out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(&out, &svg)?;
+    let _ = writeln!(report, "wrote {out} ({} bytes)", svg.len());
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_mentions_every_command() {
+        for cmd in ["generate", "stats", "query", "render", "help"] {
+            assert!(USAGE.contains(cmd), "usage should mention {cmd}");
+        }
+    }
+
+    #[test]
+    fn unknown_commands_are_rejected() {
+        let args = ParsedArgs::parse(["frobnicate"]).unwrap();
+        assert!(matches!(run(&args), Err(CliError::UnknownCommand(_))));
+    }
+
+    #[test]
+    fn help_returns_the_usage_text() {
+        let args = ParsedArgs::parse::<[&str; 0], &str>([]).unwrap();
+        assert_eq!(run(&args).unwrap(), USAGE);
+    }
+
+    #[test]
+    fn variant_parsing_covers_the_table_iii_notation() {
+        assert_eq!(parse_variant(None).unwrap(), VariantConfig::toe());
+        assert_eq!(parse_variant(Some("koe")).unwrap(), VariantConfig::koe());
+        assert_eq!(
+            parse_variant(Some("toe-d")).unwrap(),
+            VariantConfig::toe_no_distance()
+        );
+        assert_eq!(
+            parse_variant(Some("toe-b")).unwrap(),
+            VariantConfig::toe_no_kbound()
+        );
+        assert_eq!(
+            parse_variant(Some("toe-p")).unwrap(),
+            VariantConfig::toe_no_prime()
+        );
+        assert_eq!(
+            parse_variant(Some("koe-d")).unwrap(),
+            VariantConfig::koe_no_distance()
+        );
+        assert_eq!(
+            parse_variant(Some("koe-b")).unwrap(),
+            VariantConfig::koe_no_kbound()
+        );
+        assert_eq!(
+            parse_variant(Some("koe-star")).unwrap(),
+            VariantConfig::koe_star()
+        );
+        assert!(parse_variant(Some("dijkstra")).is_err());
+    }
+
+    #[test]
+    fn generate_requires_an_output_path_and_known_kind() {
+        let args = ParsedArgs::parse(["generate", "--kind", "example"]).unwrap();
+        assert!(matches!(run(&args), Err(CliError::Usage(_))));
+        let args =
+            ParsedArgs::parse(["generate", "--kind", "moonbase", "--out", "/tmp/x.json"]).unwrap();
+        assert!(matches!(run(&args), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn query_flag_validation() {
+        let args = ParsedArgs::parse([
+            "query", "--venue", "v.json", "--to", "1,1", "--delta", "10", "--keywords", "a",
+        ])
+        .unwrap();
+        // Missing --from is a usage error (before the venue is even loaded,
+        // the venue load fails first — accept either error kind but not Ok).
+        assert!(run(&args).is_err());
+
+        let args = ParsedArgs::parse(["query", "--venue", "/nonexistent.json"]).unwrap();
+        assert!(run(&args).is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! # ikrq-cli
+//!
+//! The `ikrq` command-line tool: generate venue documents (the paper's
+//! Fig. 1 example, the synthetic mall of §V-A1 or the simulated "real"
+//! Hangzhou mall of §V-B), inspect them, run IKRQ queries against them and
+//! render floorplans / result routes as SVG.
+//!
+//! The library half exposes the argument parser and the command
+//! implementations so integration tests can drive the tool without spawning
+//! processes; `src/main.rs` is a thin wrapper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod error;
+
+pub use args::ParsedArgs;
+pub use commands::{run, USAGE};
+pub use error::CliError;
+
+/// Result alias for fallible CLI operations.
+pub type Result<T> = std::result::Result<T, CliError>;
+
+/// Parses raw arguments (without the program name) and runs the command,
+/// returning the report to print on success.
+pub fn run_args<I, S>(raw: I) -> Result<String>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let parsed = ParsedArgs::parse(raw)?;
+    run(&parsed)
+}

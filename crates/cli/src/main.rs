@@ -1,0 +1,23 @@
+//! The `ikrq` binary: a thin wrapper around [`ikrq_cli::run_args`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match ikrq_cli::run_args(args.iter().map(String::as_str)) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("ikrq: {err}");
+            if matches!(
+                err,
+                ikrq_cli::CliError::Usage(_) | ikrq_cli::CliError::UnknownCommand(_)
+            ) {
+                eprintln!("\n{}", ikrq_cli::USAGE);
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

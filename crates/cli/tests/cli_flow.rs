@@ -1,0 +1,203 @@
+//! End-to-end tests of the `ikrq` command-line tool: generate a venue
+//! document, inspect it, query it, and render it — all through the public
+//! `run_args` entry point, against a per-test temporary directory.
+
+use ikrq_cli::{run_args, CliError};
+use std::path::PathBuf;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "ikrq-cli-{}-{}-{}",
+            tag,
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&path).unwrap();
+        TempDir(path)
+    }
+
+    fn file(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+#[test]
+fn generate_stats_query_render_flow_on_the_example_venue() {
+    let dir = TempDir::new("flow");
+    let venue_path = dir.file("example.json");
+
+    // generate
+    let report = run_args([
+        "generate",
+        "--kind",
+        "example",
+        "--out",
+        venue_path.as_str(),
+    ])
+    .unwrap();
+    assert!(report.contains("partitions"));
+    assert!(std::path::Path::new(&venue_path).exists());
+
+    // stats
+    let report = run_args(["stats", "--venue", venue_path.as_str()]).unwrap();
+    assert!(report.contains("partitions: 12"));
+    assert!(report.contains("i-words: 9"));
+    assert!(report.contains("floors: 1"));
+
+    // query: from inside zara (10, 45) to the east hallway (90, 30), the
+    // running-example keywords.
+    let results_path = dir.file("results.json");
+    let report = run_args([
+        "query",
+        "--venue",
+        venue_path.as_str(),
+        "--from",
+        "10,45",
+        "--to",
+        "90,30",
+        "--delta",
+        "300",
+        "--keywords",
+        "coffee,laptop",
+        "--k",
+        "3",
+        "--out",
+        results_path.as_str(),
+    ])
+    .unwrap();
+    assert!(report.contains("ToE:"));
+    assert!(report.contains("score"));
+    assert!(report.contains("results written"));
+    assert!(std::path::Path::new(&results_path).exists());
+    let saved: indoor_persist::ResultDocument =
+        indoor_persist::json::load_json(&results_path).unwrap();
+    assert_eq!(saved.len(), 1);
+    assert!(!saved.results[0].outcome.results.is_empty());
+
+    // query with KoE and a soft constraint.
+    let report = run_args([
+        "query",
+        "--venue",
+        venue_path.as_str(),
+        "--from",
+        "10,45",
+        "--to",
+        "90,30",
+        "--delta",
+        "140",
+        "--keywords",
+        "coffee,laptop",
+        "--algorithm",
+        "koe",
+        "--slack",
+        "0.5",
+    ])
+    .unwrap();
+    assert!(report.contains("KoE"));
+    assert!(report.contains("soft"));
+
+    // render the floorplan, then render with a route overlay.
+    let plain_svg = dir.file("floor0.svg");
+    let report = run_args([
+        "render",
+        "--venue",
+        venue_path.as_str(),
+        "--out",
+        plain_svg.as_str(),
+        "--door-ids",
+    ])
+    .unwrap();
+    assert!(report.contains("wrote"));
+    let svg = std::fs::read_to_string(&plain_svg).unwrap();
+    assert!(svg.contains("<svg"));
+    assert!(svg.contains("starbucks"));
+
+    let route_svg = dir.file("route.svg");
+    let report = run_args([
+        "render",
+        "--venue",
+        venue_path.as_str(),
+        "--out",
+        route_svg.as_str(),
+        "--from",
+        "10,45",
+        "--to",
+        "90,30",
+        "--delta",
+        "300",
+        "--keywords",
+        "coffee,laptop",
+    ])
+    .unwrap();
+    assert!(report.contains("overlaying"));
+    let svg = std::fs::read_to_string(&route_svg).unwrap();
+    assert!(svg.contains("<polyline"));
+}
+
+#[test]
+fn binary_venue_documents_work_end_to_end() {
+    let dir = TempDir::new("binary");
+    let venue_path = dir.file("example.ikrq");
+    run_args([
+        "generate",
+        "--kind",
+        "example",
+        "--binary",
+        "--out",
+        venue_path.as_str(),
+    ])
+    .unwrap();
+    // The stats command auto-detects the binary format.
+    let report = run_args(["stats", "--venue", venue_path.as_str()]).unwrap();
+    assert!(report.contains("partitions: 12"));
+}
+
+#[test]
+fn synthetic_generation_scales_with_the_floor_flag() {
+    let dir = TempDir::new("synthetic");
+    let venue_path = dir.file("mall.json");
+    let report = run_args([
+        "generate",
+        "--kind",
+        "synthetic",
+        "--floors",
+        "1",
+        "--seed",
+        "9",
+        "--out",
+        venue_path.as_str(),
+    ])
+    .unwrap();
+    assert!(report.contains("141 partitions"), "report: {report}");
+    let stats = run_args(["stats", "--venue", venue_path.as_str()]).unwrap();
+    assert!(stats.contains("partitions: 141"));
+    assert!(stats.contains("doors: 220"));
+}
+
+#[test]
+fn usage_errors_and_unknown_commands_are_reported() {
+    assert!(matches!(
+        run_args(["query", "--venue"]),
+        Err(CliError::Usage(_))
+    ));
+    assert!(matches!(
+        run_args(["teleport"]),
+        Err(CliError::UnknownCommand(_))
+    ));
+    let help = run_args(["help"]).unwrap();
+    assert!(help.contains("USAGE"));
+    // Missing venue file is an I/O or persistence error, not a panic.
+    assert!(run_args(["stats", "--venue", "/does/not/exist.json"]).is_err());
+}

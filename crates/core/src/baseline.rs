@@ -1,0 +1,172 @@
+//! A naive exhaustive baseline (the "naive idea" sketched at the start of
+//! §IV): enumerate every regular complete route within the distance
+//! constraint, rank all of them, and keep the best `k` prime routes.
+//!
+//! The baseline is exponential and only usable on small venues; it serves as
+//! ground truth for correctness tests of ToE and KoE and as a sanity check of
+//! the prime/diversity semantics.
+
+use crate::context::SearchContext;
+use crate::error::EngineError;
+use crate::metrics::SearchMetrics;
+use crate::query::IkrqQuery;
+use crate::results::{ResultRoute, SearchOutcome, TopKResults};
+use crate::Result;
+use indoor_keywords::{KeywordDirectory, RelevanceModel};
+use indoor_space::{IndoorSpace, Route};
+use std::time::Instant;
+
+/// The exhaustive baseline searcher.
+#[derive(Debug, Clone, Copy)]
+pub struct ExhaustiveBaseline {
+    /// Upper bound on the number of partial routes explored, to keep the
+    /// exponential enumeration in check.
+    pub expansion_budget: u64,
+}
+
+impl Default for ExhaustiveBaseline {
+    fn default() -> Self {
+        ExhaustiveBaseline {
+            expansion_budget: 5_000_000,
+        }
+    }
+}
+
+impl ExhaustiveBaseline {
+    /// Creates a baseline with a custom expansion budget.
+    pub fn with_budget(expansion_budget: u64) -> Self {
+        ExhaustiveBaseline { expansion_budget }
+    }
+
+    /// Runs the exhaustive search.
+    pub fn search(
+        &self,
+        space: &IndoorSpace,
+        directory: &KeywordDirectory,
+        query: &IkrqQuery,
+    ) -> Result<SearchOutcome> {
+        let ctx = SearchContext::prepare(space, directory, query)?;
+        let start = Instant::now();
+        let mut metrics = SearchMetrics::new();
+        let mut results = TopKResults::new(query.k, true);
+        let mut stack: Vec<(Route, f64)> = vec![(Route::from_point(query.start), 0.0)];
+
+        while let Some((route, distance)) = stack.pop() {
+            metrics.stamps_expanded += 1;
+            if metrics.stamps_expanded > self.expansion_budget {
+                metrics.budget_exhausted = true;
+                break;
+            }
+            // Try to complete the route at pt whenever the last leg can enter
+            // the terminal partition.
+            self.try_complete(&ctx, &route, distance, &mut results, &mut metrics);
+
+            // Expand to every leavable door of every partition reachable from
+            // the route's last item.
+            let current_partitions: Vec<_> = match route.tail_door() {
+                None => vec![ctx.start_partition],
+                Some(d) => ctx.space.d2p_enter(d).to_vec(),
+            };
+            for vi in current_partitions {
+                for &dl in ctx.space.p2d_leave(vi) {
+                    if !route.can_append_door(dl) {
+                        continue;
+                    }
+                    let increment = match route.tail_door() {
+                        None => ctx.space.pt2d_distance(&query.start, dl),
+                        Some(dk) => ctx.space.intra_door_distance(vi, dk, dl),
+                    };
+                    if !increment.is_finite() {
+                        continue;
+                    }
+                    let new_distance = distance + increment;
+                    if new_distance > query.delta {
+                        continue;
+                    }
+                    let mut extended = route.clone();
+                    if extended.append_door(dl, vi).is_err() {
+                        continue;
+                    }
+                    metrics.stamps_generated += 1;
+                    stack.push((extended, new_distance));
+                }
+            }
+        }
+
+        metrics.elapsed = start.elapsed();
+        Ok(SearchOutcome {
+            label: "Exhaustive".to_string(),
+            results,
+            metrics,
+        })
+    }
+
+    fn try_complete(
+        &self,
+        ctx: &SearchContext<'_>,
+        route: &Route,
+        distance: f64,
+        results: &mut TopKResults,
+        metrics: &mut SearchMetrics,
+    ) {
+        let terminal = ctx.query.terminal;
+        let increment = match route.tail_door() {
+            Some(tail) => ctx.space.d2pt_distance(tail, &terminal),
+            None => {
+                if ctx.start_partition == ctx.terminal_partition {
+                    ctx.query.start.position.distance(&terminal.position)
+                } else {
+                    f64::INFINITY
+                }
+            }
+        };
+        if !increment.is_finite() {
+            return;
+        }
+        let total = distance + increment;
+        if total > ctx.query.delta {
+            return;
+        }
+        let mut complete = route.clone();
+        if complete
+            .complete_with_point(terminal, ctx.terminal_partition)
+            .is_err()
+        {
+            return;
+        }
+        let relevance =
+            RelevanceModel::relevance_of_route(&complete, ctx.space, ctx.directory, &ctx.prepared);
+        let score = ctx.ranking.score(relevance, total);
+        metrics.complete_routes += 1;
+        let key = (None, ctx.key_partition_sequence(&complete));
+        results.offer(ResultRoute {
+            distance: total,
+            relevance,
+            score,
+            homogeneity_key: key,
+            route: complete,
+        });
+    }
+
+    /// Convenience wrapper returning an error when the query is invalid for
+    /// the venue (mirrors [`crate::IkrqEngine::search`]).
+    pub fn validate(
+        space: &IndoorSpace,
+        directory: &KeywordDirectory,
+        query: &IkrqQuery,
+    ) -> Result<()> {
+        SearchContext::prepare(space, directory, query).map(|_| ())?;
+        Ok(())
+    }
+}
+
+impl ExhaustiveBaseline {
+    /// Helper asserting the baseline can run at all for a query (used by
+    /// tests to produce clearer failures).
+    pub fn check_query(query: &IkrqQuery) -> Result<()> {
+        query.validate().map_err(|e| match e {
+            EngineError::InvalidK(k) => EngineError::InvalidK(k),
+            other => other,
+        })
+    }
+}

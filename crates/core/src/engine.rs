@@ -1,0 +1,92 @@
+//! The [`IkrqEngine`] facade: owns a venue (space + keyword directory) and
+//! answers IKRQ queries with any algorithm variant.
+
+use crate::context::SearchContext;
+use crate::framework::Search;
+use crate::precompute::PrecomputedPaths;
+use crate::query::IkrqQuery;
+use crate::results::SearchOutcome;
+use crate::variants::VariantConfig;
+use crate::Result;
+use indoor_keywords::KeywordDirectory;
+use indoor_space::IndoorSpace;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// The query engine for one venue.
+///
+/// The engine owns the immutable space model and keyword directory and caches
+/// the all-pairs precomputation needed by the KoE* variant (built lazily on
+/// first use, shared across queries).
+#[derive(Debug)]
+pub struct IkrqEngine {
+    space: IndoorSpace,
+    directory: KeywordDirectory,
+    precomputed: Mutex<Option<Arc<PrecomputedPaths>>>,
+}
+
+impl IkrqEngine {
+    /// Creates an engine for a venue.
+    pub fn new(space: IndoorSpace, directory: KeywordDirectory) -> Self {
+        IkrqEngine {
+            space,
+            directory,
+            precomputed: Mutex::new(None),
+        }
+    }
+
+    /// The venue's space model.
+    pub fn space(&self) -> &IndoorSpace {
+        &self.space
+    }
+
+    /// The venue's keyword directory.
+    pub fn directory(&self) -> &KeywordDirectory {
+        &self.directory
+    }
+
+    /// Forces the KoE* all-pairs precomputation now (otherwise it happens on
+    /// the first KoE* query) and returns its memory footprint in bytes.
+    pub fn prepare_precomputed_paths(&self) -> usize {
+        self.precomputed_paths().estimated_bytes()
+    }
+
+    fn precomputed_paths(&self) -> Arc<PrecomputedPaths> {
+        let mut guard = self.precomputed.lock();
+        if let Some(existing) = guard.as_ref() {
+            return Arc::clone(existing);
+        }
+        let built = Arc::new(PrecomputedPaths::build(&self.space));
+        *guard = Some(Arc::clone(&built));
+        built
+    }
+
+    /// Answers a query with the given algorithm variant.
+    pub fn search(&self, query: &IkrqQuery, config: VariantConfig) -> Result<SearchOutcome> {
+        let ctx = SearchContext::prepare(&self.space, &self.directory, query)?;
+        let precomputed = config
+            .use_precomputed_paths
+            .then(|| self.precomputed_paths());
+        let search = Search::new(&ctx, config, precomputed.as_deref());
+        Ok(search.run())
+    }
+
+    /// Convenience: ToE with all pruning rules.
+    pub fn search_toe(&self, query: &IkrqQuery) -> Result<SearchOutcome> {
+        self.search(query, VariantConfig::toe())
+    }
+
+    /// Convenience: KoE with all pruning rules.
+    pub fn search_koe(&self, query: &IkrqQuery) -> Result<SearchOutcome> {
+        self.search(query, VariantConfig::koe())
+    }
+
+    /// Runs every variant of Table III on the same query, in the paper's
+    /// order, returning one outcome per variant.
+    pub fn search_all_variants(&self, query: &IkrqQuery) -> Result<Vec<SearchOutcome>> {
+        VariantConfig::all_variants()
+            .into_iter()
+            .map(|config| self.search(query, config))
+            .collect()
+    }
+}

@@ -1,0 +1,111 @@
+//! Error type of the IKRQ engine.
+
+use std::fmt;
+
+/// Errors produced while validating or executing an IKRQ.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Space-model error bubbled up from `indoor-space`.
+    Space(indoor_space::SpaceError),
+    /// Keyword error bubbled up from `indoor-keywords`.
+    Keyword(indoor_keywords::KeywordError),
+    /// `k` must be at least 1.
+    InvalidK(usize),
+    /// The distance constraint must be positive and finite.
+    InvalidDelta(f64),
+    /// The trade-off parameter `α` must lie in `[0, 1]`.
+    InvalidAlpha(f64),
+    /// The similarity threshold `τ` must lie in `[0, 1]`.
+    InvalidTau(f64),
+    /// The start or terminal point lies outside the venue.
+    PointOutsideVenue(&'static str),
+    /// The distance constraint is smaller than the lower-bound distance from
+    /// the start to the terminal point, so no route can qualify.
+    UnsatisfiableConstraint {
+        /// The constraint `∆`.
+        delta: f64,
+        /// The lower-bound s-to-t distance.
+        lower_bound: f64,
+    },
+    /// A parameter of one of the optional extensions (soft distance
+    /// constraint, popularity re-ranking) is out of range.
+    InvalidExtensionParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Space(e) => write!(f, "space error: {e}"),
+            EngineError::Keyword(e) => write!(f, "keyword error: {e}"),
+            EngineError::InvalidK(k) => write!(f, "k must be >= 1, got {k}"),
+            EngineError::InvalidDelta(d) => write!(f, "distance constraint must be positive, got {d}"),
+            EngineError::InvalidAlpha(a) => write!(f, "alpha must be in [0,1], got {a}"),
+            EngineError::InvalidTau(t) => write!(f, "tau must be in [0,1], got {t}"),
+            EngineError::PointOutsideVenue(which) => {
+                write!(f, "{which} point lies outside every partition")
+            }
+            EngineError::UnsatisfiableConstraint { delta, lower_bound } => write!(
+                f,
+                "distance constraint {delta} is below the s-to-t lower bound {lower_bound}"
+            ),
+            EngineError::InvalidExtensionParameter { name, value } => {
+                write!(f, "extension parameter {name} is out of range: {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Space(e) => Some(e),
+            EngineError::Keyword(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<indoor_space::SpaceError> for EngineError {
+    fn from(e: indoor_space::SpaceError) -> Self {
+        EngineError::Space(e)
+    }
+}
+
+impl From<indoor_keywords::KeywordError> for EngineError {
+    fn from(e: indoor_keywords::KeywordError) -> Self {
+        EngineError::Keyword(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let cases = vec![
+            EngineError::InvalidK(0),
+            EngineError::InvalidDelta(-1.0),
+            EngineError::InvalidAlpha(2.0),
+            EngineError::InvalidTau(-0.5),
+            EngineError::PointOutsideVenue("start"),
+            EngineError::UnsatisfiableConstraint {
+                delta: 10.0,
+                lower_bound: 20.0,
+            },
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+            assert!(std::error::Error::source(&c).is_none());
+        }
+        let e: EngineError = indoor_space::SpaceError::Unreachable.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: EngineError = indoor_keywords::KeywordError::EmptyQuery.into();
+        assert!(e.to_string().contains("keyword"));
+    }
+}

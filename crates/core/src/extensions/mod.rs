@@ -1,0 +1,35 @@
+//! Optional extensions beyond the paper's core proposal.
+//!
+//! §VII of the paper sketches three directions for future work; this module
+//! implements the two that are pure query-processing concerns so they can be
+//! exercised by the ablation benches and the examples:
+//!
+//! * [`soft`] — a **soft distance constraint**: instead of rejecting every
+//!   route longer than `∆`, routes up to `∆ · (1 + slack)` are admitted and
+//!   penalised in the spatial term of the ranking score. This implements the
+//!   "soft distance constraint to support approximate routing" idea.
+//! * [`popularity`] — a **route popularity** signal: a pluggable
+//!   [`popularity::RoutePopularity`] provider maps partitions to popularity
+//!   values (e.g. derived from indoor mobility data) which are folded into
+//!   the ranking as a weighted post-search re-ranking. This implements the
+//!   "incorporate route popularity into routing" idea.
+//!
+//! The third direction — special vertical entities such as lifts — lives in
+//! the space model ([`indoor_space::PartitionKind::Elevator`] and
+//! [`indoor_space::DoorKind::Elevator`]) and is exercised by the
+//! `airport_transfer` example.
+//!
+//! Both extensions are deliberately layered *on top of* the published search
+//! algorithms rather than woven into them: the search itself stays exactly as
+//! Algorithms 1–6 describe (so every reproduction experiment is unaffected),
+//! and the extensions relax or re-rank its inputs and outputs. The ablation
+//! benches in `ikrq-bench` measure their overhead.
+
+pub mod popularity;
+pub mod soft;
+
+pub use popularity::{
+    route_popularity, PopularityModel, PopularityRanked, RoutePopularity, UniformPopularity,
+    VisitCountPopularity,
+};
+pub use soft::{SoftDeltaConfig, SoftOutcome, SoftRankingModel, SoftRoute};

@@ -1,0 +1,338 @@
+//! Route popularity (future work, §VII of the paper).
+//!
+//! "With indoor mobility data, it is possible to incorporate route popularity
+//! into routing." This module provides that hook: a [`RoutePopularity`]
+//! provider maps partitions to popularity values in `[0, 1]` (for instance
+//! normalised visit counts derived from indoor positioning traces), a route's
+//! popularity is the mean popularity of the distinct partitions it traverses,
+//! and a [`PopularityModel`] folds that popularity into the ranking as a
+//! convex combination with the paper's ranking score `ψ`.
+//!
+//! The popularity signal is applied as a *re-ranking* step after the search:
+//! the search itself — and therefore every pruning rule, whose correctness
+//! depends on the exact shape of `ψ` — stays as published. To leave the
+//! re-ranker enough candidates, [`IkrqEngine::search_with_popularity`] runs
+//! the underlying query with an oversampled `k`.
+
+use crate::engine::IkrqEngine;
+use crate::error::EngineError;
+use crate::query::IkrqQuery;
+use crate::results::ResultRoute;
+use crate::variants::VariantConfig;
+use crate::Result;
+use indoor_space::{PartitionId, Route};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+
+/// A provider of per-partition popularity values in `[0, 1]`.
+pub trait RoutePopularity {
+    /// Popularity of a partition. Implementations should return values in
+    /// `[0, 1]`; callers clamp defensively.
+    fn partition_popularity(&self, v: PartitionId) -> f64;
+}
+
+/// A provider that assigns the same popularity to every partition. Useful as
+/// a neutral baseline: with uniform popularity the re-ranking preserves the
+/// original `ψ` order.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UniformPopularity(pub f64);
+
+impl RoutePopularity for UniformPopularity {
+    fn partition_popularity(&self, _v: PartitionId) -> f64 {
+        self.0.clamp(0.0, 1.0)
+    }
+}
+
+/// Popularity derived from partition visit counts (e.g. counted from indoor
+/// mobility traces or from previously returned routes). Values are normalised
+/// by the maximum observed count, so the most-visited partition has
+/// popularity 1.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct VisitCountPopularity {
+    counts: HashMap<PartitionId, u64>,
+    max: u64,
+}
+
+impl VisitCountPopularity {
+    /// Creates an empty popularity table (every partition has popularity 0).
+    pub fn new() -> Self {
+        VisitCountPopularity::default()
+    }
+
+    /// Builds the table from explicit `(partition, count)` pairs. Repeated
+    /// partitions accumulate.
+    pub fn from_counts(counts: impl IntoIterator<Item = (PartitionId, u64)>) -> Self {
+        let mut table = VisitCountPopularity::new();
+        for (v, n) in counts {
+            table.record(v, n);
+        }
+        table
+    }
+
+    /// Builds the table by counting the partitions traversed by a set of
+    /// routes (each leg partition counts once per route).
+    pub fn from_routes<'a>(routes: impl IntoIterator<Item = &'a Route>) -> Self {
+        let mut table = VisitCountPopularity::new();
+        for route in routes {
+            for &v in route.legs() {
+                table.record(v, 1);
+            }
+        }
+        table
+    }
+
+    /// Records `n` additional visits to a partition.
+    pub fn record(&mut self, v: PartitionId, n: u64) {
+        let entry = self.counts.entry(v).or_insert(0);
+        *entry = entry.saturating_add(n);
+        self.max = self.max.max(*entry);
+    }
+
+    /// The raw visit count of a partition.
+    pub fn count(&self, v: PartitionId) -> u64 {
+        self.counts.get(&v).copied().unwrap_or(0)
+    }
+
+    /// Number of partitions with at least one recorded visit.
+    pub fn num_partitions(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+impl RoutePopularity for VisitCountPopularity {
+    fn partition_popularity(&self, v: PartitionId) -> f64 {
+        if self.max == 0 {
+            return 0.0;
+        }
+        self.count(v) as f64 / self.max as f64
+    }
+}
+
+/// The popularity of a route: the mean popularity of the *distinct*
+/// partitions its legs traverse (0 for a route that traverses no partition,
+/// i.e. the degenerate single-point route).
+pub fn route_popularity(route: &Route, provider: &dyn RoutePopularity) -> f64 {
+    let distinct: BTreeSet<PartitionId> = route.legs().iter().copied().collect();
+    if distinct.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = distinct
+        .iter()
+        .map(|&v| provider.partition_popularity(v).clamp(0.0, 1.0))
+        .sum();
+    sum / distinct.len() as f64
+}
+
+/// One route after popularity re-ranking.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PopularityRanked {
+    /// The underlying route and its paper-model quantities.
+    pub result: ResultRoute,
+    /// The route popularity in `[0, 1]`.
+    pub popularity: f64,
+    /// The combined score `(1 − γ) · ψ(R) + γ · popularity(R)`.
+    pub combined_score: f64,
+}
+
+/// The popularity-aware ranking model: a convex combination of the paper's
+/// ranking score `ψ` and the route popularity, weighted by `γ`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PopularityModel {
+    /// Popularity weight `γ ∈ [0, 1]`; `0` preserves the paper's ranking.
+    pub weight: f64,
+}
+
+impl PopularityModel {
+    /// Creates a model with weight `γ`.
+    pub fn new(weight: f64) -> Self {
+        PopularityModel { weight }
+    }
+
+    /// Validates the weight.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.weight.is_finite() && (0.0..=1.0).contains(&self.weight)) {
+            return Err(EngineError::InvalidExtensionParameter {
+                name: "popularity_weight",
+                value: self.weight,
+            });
+        }
+        Ok(())
+    }
+
+    /// The combined score of a route with ranking score `psi` and popularity
+    /// `popularity`.
+    pub fn combined(&self, psi: f64, popularity: f64) -> f64 {
+        (1.0 - self.weight) * psi + self.weight * popularity
+    }
+
+    /// Re-ranks a slice of result routes by the combined score (best first).
+    pub fn rerank(
+        &self,
+        routes: &[ResultRoute],
+        provider: &dyn RoutePopularity,
+    ) -> Vec<PopularityRanked> {
+        let mut ranked: Vec<PopularityRanked> = routes
+            .iter()
+            .cloned()
+            .map(|result| {
+                let popularity = route_popularity(&result.route, provider);
+                let combined_score = self.combined(result.score, popularity);
+                PopularityRanked {
+                    result,
+                    popularity,
+                    combined_score,
+                }
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.combined_score
+                .partial_cmp(&a.combined_score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| {
+                    a.result
+                        .distance
+                        .partial_cmp(&b.result.distance)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+        });
+        ranked
+    }
+}
+
+impl IkrqEngine {
+    /// Answers a query and re-ranks the results by the popularity-aware
+    /// combined score. The underlying search runs with
+    /// `k · oversample` (at least `k`) so the re-ranker has candidates whose
+    /// `ψ` is slightly lower but whose popularity is higher; the returned
+    /// vector is truncated back to the query's `k`.
+    pub fn search_with_popularity(
+        &self,
+        query: &IkrqQuery,
+        config: VariantConfig,
+        provider: &dyn RoutePopularity,
+        model: PopularityModel,
+        oversample: usize,
+    ) -> Result<Vec<PopularityRanked>> {
+        model.validate()?;
+        query.validate()?;
+        let mut oversampled = query.clone();
+        oversampled.k = query.k.saturating_mul(oversample.max(1)).max(query.k);
+        let outcome = self.search(&oversampled, config)?;
+        let mut ranked = model.rerank(outcome.results.routes(), provider);
+        ranked.truncate(query.k);
+        Ok(ranked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indoor_space::{DoorId, FloorId, IndoorPoint};
+
+    fn route_through(partitions: &[u32]) -> Route {
+        let mut r = Route::from_point(IndoorPoint::from_xy(0.0, 0.0, FloorId(0)));
+        for (i, &v) in partitions.iter().enumerate() {
+            r.append_door(DoorId(i as u32), PartitionId(v)).unwrap();
+        }
+        r
+    }
+
+    fn result(route: Route, score: f64, distance: f64) -> ResultRoute {
+        ResultRoute {
+            route,
+            distance,
+            relevance: 1.0,
+            score,
+            homogeneity_key: (None, Vec::new()),
+        }
+    }
+
+    #[test]
+    fn uniform_popularity_is_clamped_and_constant() {
+        let p = UniformPopularity(0.4);
+        assert_eq!(p.partition_popularity(PartitionId(1)), 0.4);
+        assert_eq!(UniformPopularity(7.0).partition_popularity(PartitionId(0)), 1.0);
+        assert_eq!(UniformPopularity(-1.0).partition_popularity(PartitionId(0)), 0.0);
+    }
+
+    #[test]
+    fn visit_counts_normalise_by_the_maximum() {
+        let table = VisitCountPopularity::from_counts([
+            (PartitionId(0), 10),
+            (PartitionId(1), 5),
+            (PartitionId(0), 10),
+        ]);
+        assert_eq!(table.count(PartitionId(0)), 20);
+        assert_eq!(table.num_partitions(), 2);
+        assert!((table.partition_popularity(PartitionId(0)) - 1.0).abs() < 1e-12);
+        assert!((table.partition_popularity(PartitionId(1)) - 0.25).abs() < 1e-12);
+        assert_eq!(table.partition_popularity(PartitionId(9)), 0.0);
+    }
+
+    #[test]
+    fn empty_table_has_zero_popularity_everywhere() {
+        let table = VisitCountPopularity::new();
+        assert_eq!(table.partition_popularity(PartitionId(0)), 0.0);
+        assert_eq!(table.num_partitions(), 0);
+    }
+
+    #[test]
+    fn visit_counts_from_routes_count_leg_partitions() {
+        let r1 = route_through(&[1, 2]);
+        let r2 = route_through(&[2, 3]);
+        let table = VisitCountPopularity::from_routes([&r1, &r2]);
+        assert_eq!(table.count(PartitionId(2)), 2);
+        assert_eq!(table.count(PartitionId(1)), 1);
+        assert!((table.partition_popularity(PartitionId(3)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn route_popularity_is_the_mean_over_distinct_partitions() {
+        let table =
+            VisitCountPopularity::from_counts([(PartitionId(1), 4), (PartitionId(2), 2)]);
+        // Route passes partition 1 twice and partition 2 once: distinct
+        // partitions {1, 2} with popularities 1.0 and 0.5.
+        let route = route_through(&[1, 1, 2]);
+        assert!((route_popularity(&route, &table) - 0.75).abs() < 1e-12);
+        // A bare-point route has popularity 0.
+        let empty = Route::from_point(IndoorPoint::from_xy(0.0, 0.0, FloorId(0)));
+        assert_eq!(route_popularity(&empty, &table), 0.0);
+    }
+
+    #[test]
+    fn model_validation_rejects_out_of_range_weights() {
+        assert!(PopularityModel::new(0.0).validate().is_ok());
+        assert!(PopularityModel::new(1.0).validate().is_ok());
+        assert!(matches!(
+            PopularityModel::new(1.5).validate(),
+            Err(EngineError::InvalidExtensionParameter {
+                name: "popularity_weight",
+                ..
+            })
+        ));
+        assert!(PopularityModel::new(f64::NAN).validate().is_err());
+    }
+
+    #[test]
+    fn zero_weight_preserves_psi_order_and_full_weight_uses_popularity() {
+        let table =
+            VisitCountPopularity::from_counts([(PartitionId(1), 1), (PartitionId(2), 10)]);
+        let low_psi_popular = result(route_through(&[2]), 0.4, 30.0);
+        let high_psi_unpopular = result(route_through(&[1]), 0.6, 20.0);
+        let routes = vec![high_psi_unpopular.clone(), low_psi_popular.clone()];
+
+        let keep = PopularityModel::new(0.0).rerank(&routes, &table);
+        assert!((keep[0].result.score - 0.6).abs() < 1e-12);
+        assert!((keep[0].combined_score - 0.6).abs() < 1e-12);
+
+        let flip = PopularityModel::new(1.0).rerank(&routes, &table);
+        assert!((flip[0].popularity - 1.0).abs() < 1e-12);
+        assert!((flip[0].result.score - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combined_score_is_a_convex_combination() {
+        let m = PopularityModel::new(0.3);
+        assert!((m.combined(0.8, 0.2) - (0.7 * 0.8 + 0.3 * 0.2)).abs() < 1e-12);
+    }
+}

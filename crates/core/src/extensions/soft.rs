@@ -1,0 +1,284 @@
+//! Soft distance constraint (future work, §VII of the paper).
+//!
+//! The published IKRQ treats `∆` as a hard constraint: a route longer than
+//! `∆` can never be returned (Problem 1). The paper's future-work section
+//! suggests a *soft* constraint "to support approximate routing". This module
+//! implements that relaxation without touching the search algorithms:
+//!
+//! 1. the search runs unchanged against a relaxed constraint
+//!    `∆' = ∆ · (1 + slack)`, and
+//! 2. the returned routes are re-scored with a [`SoftRankingModel`] whose
+//!    spatial term turns negative for routes longer than the *original* `∆`,
+//!    so overruns are penalised rather than rejected.
+//!
+//! Because the relaxed search admits a superset of the hard-constraint
+//! routes, every route of the hard query remains eligible; a route above `∆`
+//! can only enter the top-k when its keyword relevance outweighs the
+//! distance penalty.
+
+use crate::engine::IkrqEngine;
+use crate::error::EngineError;
+use crate::metrics::SearchMetrics;
+use crate::query::IkrqQuery;
+use crate::results::ResultRoute;
+use crate::score::RankingModel;
+use crate::variants::VariantConfig;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the soft distance constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SoftDeltaConfig {
+    /// Fraction above `∆` that is still admitted: routes up to
+    /// `∆ · (1 + slack)` participate in the ranking. `0.0` degenerates to the
+    /// hard constraint.
+    pub slack: f64,
+    /// Weight of the penalty applied to the overrun fraction
+    /// `(δ(R) − ∆) / ∆` in the spatial term. `1.0` makes a metre of overrun
+    /// cost as much as a metre under the constraint gains.
+    pub penalty_weight: f64,
+}
+
+impl Default for SoftDeltaConfig {
+    fn default() -> Self {
+        SoftDeltaConfig {
+            slack: 0.25,
+            penalty_weight: 1.0,
+        }
+    }
+}
+
+impl SoftDeltaConfig {
+    /// Creates a configuration with the given slack and the default penalty.
+    pub fn with_slack(slack: f64) -> Self {
+        SoftDeltaConfig {
+            slack,
+            ..Default::default()
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.slack.is_finite() && self.slack >= 0.0) {
+            return Err(EngineError::InvalidExtensionParameter {
+                name: "slack",
+                value: self.slack,
+            });
+        }
+        if !(self.penalty_weight.is_finite() && self.penalty_weight >= 0.0) {
+            return Err(EngineError::InvalidExtensionParameter {
+                name: "penalty_weight",
+                value: self.penalty_weight,
+            });
+        }
+        Ok(())
+    }
+
+    /// The relaxed constraint `∆' = ∆ · (1 + slack)`.
+    pub fn relaxed_delta(&self, delta: f64) -> f64 {
+        delta * (1.0 + self.slack)
+    }
+}
+
+/// The soft-constraint ranking score: identical to [`RankingModel`] for
+/// routes within `∆`, with a linear penalty for the overrun beyond `∆`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SoftRankingModel {
+    hard: RankingModel,
+    config: SoftDeltaConfig,
+}
+
+impl SoftRankingModel {
+    /// Creates a soft ranking model around the hard model of a query.
+    pub fn new(hard: RankingModel, config: SoftDeltaConfig) -> Self {
+        SoftRankingModel { hard, config }
+    }
+
+    /// The hard model this soft model relaxes.
+    pub fn hard(&self) -> &RankingModel {
+        &self.hard
+    }
+
+    /// The spatial term of the soft score: `(∆ − δ)/∆` within the constraint,
+    /// `−penalty_weight · (δ − ∆)/∆` beyond it.
+    pub fn spatial_term(&self, distance: f64) -> f64 {
+        let delta = self.hard.delta;
+        if distance <= delta {
+            (delta - distance) / delta
+        } else {
+            -self.config.penalty_weight * (distance - delta) / delta
+        }
+    }
+
+    /// The soft ranking score
+    /// `ψ_soft(R) = α · ρ(R)/(|QW|+1) + (1−α) · spatial_term(δ(R))`.
+    pub fn score(&self, relevance: f64, distance: f64) -> f64 {
+        self.hard.alpha * relevance / self.hard.max_relevance()
+            + (1.0 - self.hard.alpha) * self.spatial_term(distance)
+    }
+}
+
+/// One route of a soft-constraint query result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SoftRoute {
+    /// The underlying route with its hard-constraint quantities (its `score`
+    /// field is the score under the *relaxed* `∆'` the search ran with).
+    pub result: ResultRoute,
+    /// The soft ranking score under the original `∆`.
+    pub soft_score: f64,
+    /// Whether the route is longer than the original `∆` (it could never be
+    /// returned by the hard-constraint query).
+    pub exceeds_hard_delta: bool,
+}
+
+/// The outcome of a soft-constraint search.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SoftOutcome {
+    /// Label of the underlying algorithm variant.
+    pub label: String,
+    /// The top-k routes under the soft score, best first.
+    pub routes: Vec<SoftRoute>,
+    /// Metrics of the underlying (relaxed) search run.
+    pub metrics: SearchMetrics,
+    /// The relaxed constraint `∆'` the search actually ran with.
+    pub relaxed_delta: f64,
+}
+
+impl SoftOutcome {
+    /// Number of returned routes that exceed the original hard `∆`.
+    pub fn num_over_delta(&self) -> usize {
+        self.routes.iter().filter(|r| r.exceeds_hard_delta).count()
+    }
+}
+
+impl IkrqEngine {
+    /// Answers a query under the soft distance constraint: the search runs
+    /// with the relaxed `∆' = ∆ · (1 + slack)` and the results are re-ranked
+    /// by the soft score of [`SoftRankingModel`] under the original `∆`.
+    pub fn search_soft(
+        &self,
+        query: &IkrqQuery,
+        config: VariantConfig,
+        soft: SoftDeltaConfig,
+    ) -> Result<SoftOutcome> {
+        soft.validate()?;
+        query.validate()?;
+        let relaxed_delta = soft.relaxed_delta(query.delta);
+        let mut relaxed = query.clone();
+        relaxed.delta = relaxed_delta;
+        let outcome = self.search(&relaxed, config)?;
+
+        let hard_model = RankingModel::new(query.alpha, query.delta, query.num_keywords());
+        let soft_model = SoftRankingModel::new(hard_model, soft);
+        let mut routes: Vec<SoftRoute> = outcome
+            .results
+            .routes()
+            .iter()
+            .cloned()
+            .map(|result| {
+                let soft_score = soft_model.score(result.relevance, result.distance);
+                let exceeds_hard_delta = result.distance > query.delta;
+                SoftRoute {
+                    result,
+                    soft_score,
+                    exceeds_hard_delta,
+                }
+            })
+            .collect();
+        routes.sort_by(|a, b| {
+            b.soft_score
+                .partial_cmp(&a.soft_score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| {
+                    a.result
+                        .distance
+                        .partial_cmp(&b.result.distance)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+        });
+        routes.truncate(query.k);
+
+        Ok(SoftOutcome {
+            label: outcome.label,
+            routes,
+            metrics: outcome.metrics,
+            relaxed_delta,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(alpha: f64, delta: f64, qw: usize, slack: f64, penalty: f64) -> SoftRankingModel {
+        SoftRankingModel::new(
+            RankingModel::new(alpha, delta, qw),
+            SoftDeltaConfig {
+                slack,
+                penalty_weight: penalty,
+            },
+        )
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(SoftDeltaConfig::default().validate().is_ok());
+        assert!(SoftDeltaConfig::with_slack(0.0).validate().is_ok());
+        assert!(matches!(
+            SoftDeltaConfig::with_slack(-0.1).validate(),
+            Err(EngineError::InvalidExtensionParameter { name: "slack", .. })
+        ));
+        assert!(matches!(
+            SoftDeltaConfig {
+                slack: 0.2,
+                penalty_weight: f64::NAN
+            }
+            .validate(),
+            Err(EngineError::InvalidExtensionParameter {
+                name: "penalty_weight",
+                ..
+            })
+        ));
+        assert!((SoftDeltaConfig::with_slack(0.5).relaxed_delta(100.0) - 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn soft_score_matches_hard_score_within_delta() {
+        let soft = model(0.5, 100.0, 2, 0.25, 1.0);
+        for distance in [0.0, 25.0, 99.9, 100.0] {
+            for relevance in [0.0, 1.5, 3.0] {
+                let hard = soft.hard().score(relevance, distance);
+                assert!((soft.score(relevance, distance) - hard).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn overruns_are_penalised_monotonically() {
+        let soft = model(0.5, 100.0, 1, 0.5, 1.0);
+        let at_delta = soft.score(1.0, 100.0);
+        let slightly_over = soft.score(1.0, 110.0);
+        let far_over = soft.score(1.0, 140.0);
+        assert!(at_delta > slightly_over);
+        assert!(slightly_over > far_over);
+        // The spatial term is exactly the negated overrun fraction.
+        assert!((soft.spatial_term(110.0) + 0.1).abs() < 1e-12);
+        assert!((soft.spatial_term(150.0) + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn penalty_weight_scales_the_overrun() {
+        let light = model(0.0, 100.0, 1, 0.5, 0.5);
+        let heavy = model(0.0, 100.0, 1, 0.5, 2.0);
+        assert!(light.score(0.0, 120.0) > heavy.score(0.0, 120.0));
+        assert!((light.spatial_term(120.0) + 0.1).abs() < 1e-12);
+        assert!((heavy.spatial_term(120.0) + 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_slack_degenerates_to_hard_constraint_delta() {
+        let cfg = SoftDeltaConfig::with_slack(0.0);
+        assert!((cfg.relaxed_delta(321.0) - 321.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,80 @@
+//! # ikrq-core
+//!
+//! The Indoor Top-k Keyword-aware Routing Query engine — the primary
+//! contribution of the reproduced paper (Feng et al., ICDE 2020).
+//!
+//! Given a start point `ps`, a terminal point `pt`, a distance constraint
+//! `∆`, a query keyword list `QW` and `k`, an [`IkrqQuery`] asks for the `k`
+//! *regular* and *prime* routes from `ps` to `pt` whose distance is at most
+//! `∆` and whose ranking score
+//!
+//! ```text
+//! ψ(R) = α · ρ(R) / (|QW| + 1) + (1 − α) · (∆ − δ(R)) / ∆
+//! ```
+//!
+//! is maximal (Problem 1, Definition 7). The engine implements the paper's
+//! unified search framework (Algorithm 1) with both expansion strategies:
+//!
+//! * **ToE** — topology-oriented expansion (Algorithm 2): expand door by door
+//!   over the indoor topology;
+//! * **KoE** — keyword-oriented expansion (Algorithm 6): jump directly to key
+//!   partitions that cover still-uncovered query keywords;
+//!
+//! together with the five pruning rules of §IV-A, the prime-route machinery
+//! of §II-B (Algorithms 3/4), the connect step (Algorithm 5), the ablation
+//! variants of Table III (ToE\D, ToE\B, ToE\P, KoE\D, KoE\B, KoE*), and a
+//! naive exhaustive baseline for correctness checking.
+//!
+//! The entry point is [`IkrqEngine`]; see `examples/quickstart.rs` in the
+//! workspace root for a complete walk-through.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod connect;
+pub mod context;
+pub mod engine;
+pub mod error;
+pub mod extensions;
+pub mod framework;
+pub mod koe;
+pub mod metrics;
+pub mod precompute;
+pub mod prime;
+pub mod pruning;
+pub mod query;
+pub mod results;
+pub mod score;
+pub mod stamp;
+pub mod toe;
+pub mod variants;
+
+pub use baseline::ExhaustiveBaseline;
+pub use context::SearchContext;
+pub use engine::IkrqEngine;
+pub use error::EngineError;
+pub use extensions::{
+    PopularityModel, PopularityRanked, RoutePopularity, SoftDeltaConfig, SoftOutcome, SoftRoute,
+    UniformPopularity, VisitCountPopularity,
+};
+pub use metrics::SearchMetrics;
+pub use precompute::PrecomputedPaths;
+pub use prime::PrimeTable;
+pub use pruning::{PruneRule, PruneStats};
+pub use query::IkrqQuery;
+pub use results::{ResultRoute, SearchOutcome, TopKResults};
+pub use score::RankingModel;
+pub use stamp::Stamp;
+pub use variants::{AlgorithmKind, VariantConfig};
+
+/// Result alias for fallible engine operations.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+/// Commonly used types, re-exported for glob import.
+pub mod prelude {
+    pub use crate::{
+        AlgorithmKind, ExhaustiveBaseline, IkrqEngine, IkrqQuery, PruneRule, RankingModel,
+        ResultRoute, SearchMetrics, SearchOutcome, TopKResults, VariantConfig,
+    };
+}

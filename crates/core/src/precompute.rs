@@ -1,0 +1,84 @@
+//! Precomputed all-pairs shortest door routes for the KoE* variant (§V-A3).
+
+use indoor_space::{DoorId, DoorMatrix, IndoorSpace, PartitionId};
+
+/// Precomputed shortest routes between every pair of doors, including the
+/// predecessor information needed to reconstruct the actual paths.
+///
+/// The paper's KoE* uses this to avoid on-the-fly shortest-path computation
+/// when jumping to the next key partition, at the cost of a memory footprint
+/// roughly an order of magnitude above KoE's and of recomputations whenever a
+/// precomputed path fails the regularity check against the current route.
+#[derive(Debug, Clone)]
+pub struct PrecomputedPaths {
+    matrix: DoorMatrix,
+}
+
+impl PrecomputedPaths {
+    /// Precomputes all-pairs shortest paths over the venue's door graph.
+    pub fn build(space: &IndoorSpace) -> Self {
+        PrecomputedPaths {
+            matrix: DoorMatrix::build_with_paths(space),
+        }
+    }
+
+    /// Shortest distance between two doors (ignoring regularity).
+    pub fn distance(&self, from: DoorId, to: DoorId) -> f64 {
+        self.matrix.distance(from, to)
+    }
+
+    /// The precomputed shortest path, as `(doors, connecting partitions)`.
+    pub fn path(&self, from: DoorId, to: DoorId) -> Option<(Vec<DoorId>, Vec<PartitionId>)> {
+        self.matrix.path(from, to)
+    }
+
+    /// Number of doors covered.
+    pub fn num_doors(&self) -> usize {
+        self.matrix.num_doors()
+    }
+
+    /// Estimated heap size in bytes; charged to the KoE* memory metric.
+    pub fn estimated_bytes(&self) -> usize {
+        self.matrix.estimated_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indoor_geom::{approx_eq, Point, Rect};
+    use indoor_space::{DoorKind, FloorId, IndoorSpaceBuilder, PartitionKind};
+
+    fn corridor(n: usize) -> IndoorSpace {
+        let mut b = IndoorSpaceBuilder::new();
+        let f = FloorId(0);
+        let rooms: Vec<_> = (0..n)
+            .map(|i| {
+                b.add_partition(
+                    f,
+                    PartitionKind::Room,
+                    Rect::from_origin_size(Point::new(i as f64 * 10.0, 0.0), 10.0, 10.0).unwrap(),
+                    None,
+                )
+            })
+            .collect();
+        for i in 0..n - 1 {
+            let d = b.add_door(Point::new((i + 1) as f64 * 10.0, 5.0), f, DoorKind::Normal);
+            b.connect_bidirectional(d, rooms[i], rooms[i + 1]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn precomputed_paths_match_graph_distances() {
+        let space = corridor(5);
+        let pre = PrecomputedPaths::build(&space);
+        assert_eq!(pre.num_doors(), 4);
+        assert!(approx_eq(pre.distance(DoorId(0), DoorId(3)), 30.0));
+        let (doors, parts) = pre.path(DoorId(0), DoorId(3)).unwrap();
+        assert_eq!(doors.len(), 4);
+        assert_eq!(parts.len(), 3);
+        assert!(pre.estimated_bytes() > 0);
+        assert!(pre.path(DoorId(0), DoorId(99)).is_none());
+    }
+}

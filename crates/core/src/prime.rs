@@ -1,0 +1,178 @@
+//! The prime-route hash table `Hprime` and the `prime_check` /
+//! `prime_update` functions (Algorithms 3 and 4).
+//!
+//! Two routes are *homogeneous* when they share head, tail and key-partition
+//! sequence (Definition 2); among homogeneous routes only the shortest — the
+//! *prime* route (Definition 3) — may survive. During the search all expanded
+//! routes share the head `ps`, so the homogeneity key is the pair
+//! `(R.tail, KP(R))`, which this module encodes into a compact byte string.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use indoor_space::{DoorId, PartitionId};
+use std::collections::HashMap;
+
+/// Tolerance when comparing route distances: a route is only considered
+/// *prime against* another when it is strictly shorter by more than this
+/// epsilon. In particular a route never prunes itself when its own distance
+/// was already recorded by `prime_update` (the paper's pseudocode uses a
+/// strict `>` comparison in both Algorithm 3 and 4, which taken literally
+/// would prune the very route that created the entry; see DESIGN.md).
+const DISTANCE_EPSILON: f64 = 1e-9;
+
+/// Compact homogeneity key: tail item plus key-partition sequence.
+///
+/// Definition 2 compares routes by head, tail and key-partition sequence.
+/// During the search every route shares the head `ps`, so the key reduces to
+/// the tail and `KP(R)`. The tail of a *partial* route is its last door
+/// (`Some(door)`); every *complete* route ends at the terminal point `pt`, so
+/// complete routes pass `None` and are compared against each other purely by
+/// their key-partition sequences — a partial route never shadows its own
+/// completion.
+fn encode_key(tail: Option<DoorId>, key_partitions: &[PartitionId]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + 4 * key_partitions.len());
+    buf.put_u32_le(tail.map(|d| d.0 + 1).unwrap_or(0));
+    for v in key_partitions {
+        buf.put_u32_le(v.0);
+    }
+    buf.freeze()
+}
+
+/// The prime-route table `Hprime`: for every homogeneity class seen so far,
+/// the distance of the shortest (prime) representative.
+#[derive(Debug, Clone, Default)]
+pub struct PrimeTable {
+    entries: HashMap<Bytes, f64>,
+    approx_bytes: usize,
+}
+
+impl PrimeTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        PrimeTable::default()
+    }
+
+    /// `prime_check` (Algorithm 3): returns `true` when a route with tail
+    /// `tail`, key partitions `key_partitions` and distance `distance` is (so
+    /// far) prime — i.e. no strictly shorter homogeneous route has been
+    /// recorded — and `false` when it should be pruned by Pruning Rule 5.
+    pub fn check(
+        &self,
+        tail: Option<DoorId>,
+        key_partitions: &[PartitionId],
+        distance: f64,
+    ) -> bool {
+        match self.entries.get(&encode_key(tail, key_partitions)) {
+            None => true,
+            Some(&best) => best + DISTANCE_EPSILON >= distance,
+        }
+    }
+
+    /// `prime_update` (Algorithm 4): records `distance` as the new prime
+    /// distance of the homogeneity class when it improves on the stored one.
+    /// Returns `true` when the entry was created or improved.
+    pub fn update(
+        &mut self,
+        tail: Option<DoorId>,
+        key_partitions: &[PartitionId],
+        distance: f64,
+    ) -> bool {
+        let key = encode_key(tail, key_partitions);
+        match self.entries.get_mut(&key) {
+            None => {
+                // Per-entry overhead: key bytes + value + hash-map slot.
+                self.approx_bytes += key.len() + std::mem::size_of::<(Bytes, f64)>() + 16;
+                self.entries.insert(key, distance);
+                true
+            }
+            Some(best) => {
+                if distance < *best {
+                    *best = distance;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Number of homogeneity classes recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Estimated heap size in bytes (used for the memory metric); maintained
+    /// incrementally so sampling it every iteration is O(1).
+    pub fn estimated_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.approx_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kp(ids: &[u32]) -> Vec<PartitionId> {
+        ids.iter().map(|&i| PartitionId(i)).collect()
+    }
+
+    #[test]
+    fn fresh_class_is_prime() {
+        let t = PrimeTable::new();
+        assert!(t.check(Some(DoorId(5)), &kp(&[1, 2, 3]), 12.5));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn shorter_homogeneous_route_prunes_longer_one() {
+        let mut t = PrimeTable::new();
+        assert!(t.update(Some(DoorId(5)), &kp(&[1, 2]), 12.5));
+        // Example 8: R3* = (ps,d2,d5) with 12.5 m is prime against
+        // R4* = (ps,d3,d5,d5) with 23.2 m, so the latter fails the check.
+        assert!(!t.check(Some(DoorId(5)), &kp(&[1, 2]), 23.2));
+        // The shorter route itself still passes (it is the recorded one).
+        assert!(t.check(Some(DoorId(5)), &kp(&[1, 2]), 12.5));
+        // An even shorter homogeneous route passes and improves the entry.
+        assert!(t.check(Some(DoorId(5)), &kp(&[1, 2]), 10.0));
+        assert!(t.update(Some(DoorId(5)), &kp(&[1, 2]), 10.0));
+        assert!(!t.update(Some(DoorId(5)), &kp(&[1, 2]), 11.0));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn different_tails_or_key_sequences_are_independent() {
+        let mut t = PrimeTable::new();
+        t.update(Some(DoorId(5)), &kp(&[1, 2]), 5.0);
+        assert!(t.check(Some(DoorId(6)), &kp(&[1, 2]), 50.0));
+        assert!(t.check(Some(DoorId(5)), &kp(&[2, 1]), 50.0));
+        assert!(t.check(Some(DoorId(5)), &kp(&[1, 2, 3]), 50.0));
+        assert!(t.check(None, &kp(&[1, 2]), 50.0));
+        t.update(Some(DoorId(6)), &kp(&[1, 2]), 5.0);
+        t.update(None, &kp(&[]), 0.0);
+        assert_eq!(t.len(), 3);
+        assert!(t.estimated_bytes() > 0);
+    }
+
+    #[test]
+    fn key_encoding_distinguishes_no_tail_from_door_zero() {
+        let mut t = PrimeTable::new();
+        t.update(None, &kp(&[1]), 1.0);
+        assert!(t.check(Some(DoorId(0)), &kp(&[1]), 100.0));
+        t.update(Some(DoorId(0)), &kp(&[1]), 2.0);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn equal_distance_does_not_prune() {
+        // Two homogeneous routes of exactly equal length: neither is prime
+        // against the other (Definition 3 requires strictly smaller), so the
+        // check accepts the second one.
+        let mut t = PrimeTable::new();
+        t.update(Some(DoorId(3)), &kp(&[4]), 7.0);
+        assert!(t.check(Some(DoorId(3)), &kp(&[4]), 7.0));
+    }
+}

@@ -1,0 +1,157 @@
+//! The IKRQ query type (Problem 1).
+
+use crate::error::EngineError;
+use crate::Result;
+use indoor_keywords::QueryKeywords;
+use indoor_space::IndoorPoint;
+use serde::{Deserialize, Serialize};
+
+/// Default trade-off parameter between keyword relevance and spatial
+/// proximity (Definition 7). The synthetic experiments of the paper default
+/// to a balanced 0.5; the real-data experiments use 0.7.
+pub const DEFAULT_ALPHA: f64 = 0.5;
+
+/// Default similarity threshold `τ` for candidate i-word sets (Definition 4).
+pub const DEFAULT_TAU: f64 = 0.1;
+
+/// An indoor top-k keyword-aware routing query
+/// `IKRQ(ps, pt, ∆, QW, k)` (Problem 1), plus the two model parameters `α`
+/// (ranking trade-off, Definition 7) and `τ` (candidate similarity threshold,
+/// Definition 4) that the paper treats as system-wide settings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IkrqQuery {
+    /// Start point `ps`.
+    pub start: IndoorPoint,
+    /// Terminal point `pt`.
+    pub terminal: IndoorPoint,
+    /// Distance constraint `∆` in metres.
+    pub delta: f64,
+    /// Query keyword list `QW`.
+    pub keywords: QueryKeywords,
+    /// Number of routes to return.
+    pub k: usize,
+    /// Ranking trade-off parameter `α ∈ [0, 1]`.
+    pub alpha: f64,
+    /// Candidate similarity threshold `τ ∈ [0, 1]`.
+    pub tau: f64,
+}
+
+impl IkrqQuery {
+    /// Creates a query with default `α` and `τ`.
+    pub fn new(
+        start: IndoorPoint,
+        terminal: IndoorPoint,
+        delta: f64,
+        keywords: QueryKeywords,
+        k: usize,
+    ) -> Self {
+        IkrqQuery {
+            start,
+            terminal,
+            delta,
+            keywords,
+            k,
+            alpha: DEFAULT_ALPHA,
+            tau: DEFAULT_TAU,
+        }
+    }
+
+    /// Sets `α`.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets `τ`.
+    pub fn with_tau(mut self, tau: f64) -> Self {
+        self.tau = tau;
+        self
+    }
+
+    /// `|QW|`.
+    pub fn num_keywords(&self) -> usize {
+        self.keywords.len()
+    }
+
+    /// Validates the query parameters (not the venue-dependent parts, which
+    /// [`crate::SearchContext::prepare`] checks).
+    pub fn validate(&self) -> Result<()> {
+        if self.k == 0 {
+            return Err(EngineError::InvalidK(self.k));
+        }
+        if !(self.delta.is_finite() && self.delta > 0.0) {
+            return Err(EngineError::InvalidDelta(self.delta));
+        }
+        if !(0.0..=1.0).contains(&self.alpha) {
+            return Err(EngineError::InvalidAlpha(self.alpha));
+        }
+        if !(0.0..=1.0).contains(&self.tau) {
+            return Err(EngineError::InvalidTau(self.tau));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indoor_space::FloorId;
+
+    fn sample(delta: f64, k: usize, alpha: f64, tau: f64) -> IkrqQuery {
+        IkrqQuery {
+            start: IndoorPoint::from_xy(0.0, 0.0, FloorId(0)),
+            terminal: IndoorPoint::from_xy(10.0, 10.0, FloorId(0)),
+            delta,
+            keywords: QueryKeywords::new(["coffee"]).unwrap(),
+            k,
+            alpha,
+            tau,
+        }
+    }
+
+    #[test]
+    fn valid_query_passes() {
+        let q = sample(100.0, 3, 0.5, 0.1);
+        assert!(q.validate().is_ok());
+        assert_eq!(q.num_keywords(), 1);
+    }
+
+    #[test]
+    fn builder_style_setters() {
+        let q = IkrqQuery::new(
+            IndoorPoint::from_xy(0.0, 0.0, FloorId(0)),
+            IndoorPoint::from_xy(1.0, 1.0, FloorId(0)),
+            50.0,
+            QueryKeywords::new(["latte", "apple"]).unwrap(),
+            7,
+        )
+        .with_alpha(0.7)
+        .with_tau(0.2);
+        assert_eq!(q.alpha, 0.7);
+        assert_eq!(q.tau, 0.2);
+        assert_eq!(q.k, 7);
+        assert_eq!(q.num_keywords(), 2);
+        assert!(q.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(matches!(sample(100.0, 0, 0.5, 0.1).validate(), Err(EngineError::InvalidK(0))));
+        assert!(matches!(
+            sample(-5.0, 1, 0.5, 0.1).validate(),
+            Err(EngineError::InvalidDelta(_))
+        ));
+        assert!(matches!(
+            sample(f64::INFINITY, 1, 0.5, 0.1).validate(),
+            Err(EngineError::InvalidDelta(_))
+        ));
+        assert!(matches!(
+            sample(100.0, 1, 1.5, 0.1).validate(),
+            Err(EngineError::InvalidAlpha(_))
+        ));
+        assert!(matches!(
+            sample(100.0, 1, 0.5, 7.0).validate(),
+            Err(EngineError::InvalidTau(_))
+        ));
+    }
+}

@@ -1,0 +1,122 @@
+//! The ranking score `ψ` of Definition 7 and the upper bound used by
+//! Pruning Rule 4.
+
+use serde::{Deserialize, Serialize};
+
+/// The linear ranking model
+/// `ψ(R) = α · ρ(R)/(|QW|+1) + (1−α) · (∆ − δ(R))/∆` (Definition 7).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RankingModel {
+    /// Trade-off parameter `α ∈ [0, 1]`.
+    pub alpha: f64,
+    /// Distance constraint `∆`.
+    pub delta: f64,
+    /// Number of query keywords `|QW|`.
+    pub num_keywords: usize,
+}
+
+impl RankingModel {
+    /// Creates a ranking model.
+    pub fn new(alpha: f64, delta: f64, num_keywords: usize) -> Self {
+        RankingModel {
+            alpha,
+            delta,
+            num_keywords,
+        }
+    }
+
+    /// The normalisation constant for the keyword term, `|QW| + 1`.
+    #[inline]
+    pub fn max_relevance(&self) -> f64 {
+        self.num_keywords as f64 + 1.0
+    }
+
+    /// The ranking score of a route with keyword relevance `relevance` and
+    /// route distance `distance`.
+    #[inline]
+    pub fn score(&self, relevance: f64, distance: f64) -> f64 {
+        self.alpha * relevance / self.max_relevance()
+            + (1.0 - self.alpha) * ((self.delta - distance) / self.delta)
+    }
+
+    /// The upper bound of the final ranking score of any completion of a
+    /// partial route whose total distance is at least `distance_lower_bound`
+    /// (Pruning Rule 4): the keyword term is overestimated to full coverage
+    /// (`α · 1`) and the spatial term uses the distance lower bound.
+    #[inline]
+    pub fn upper_bound(&self, distance_lower_bound: f64) -> f64 {
+        self.alpha + (1.0 - self.alpha) * (1.0 - distance_lower_bound / self.delta)
+    }
+
+    /// The best possible score of any route: full keyword coverage at zero
+    /// distance.
+    #[inline]
+    pub fn best_possible(&self) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_8_scores() {
+        // Example 8: α = 0.2, ∆ = 25, |QW| = 2; route R1 has ρ = 1.75 and
+        // δ = 20 → ψ = 0.2·1.75/3 + 0.8·5/25 = 0.2766...
+        let m = RankingModel::new(0.2, 25.0, 2);
+        let psi = m.score(1.75, 20.0);
+        assert!((psi - (0.2 * 1.75 / 3.0 + 0.8 * 0.2)).abs() < 1e-12);
+        assert!((psi - 0.2766).abs() < 1e-3);
+        // Upper bound of R2* with distance lower bound 23.5:
+        // 0.2 + 0.8 · (25 − 23.5)/25 = 0.248.
+        let ub = m.upper_bound(23.5);
+        assert!((ub - 0.248).abs() < 1e-9);
+        // And indeed 0.248 < 0.277, so R2* would be pruned by Rule 4.
+        assert!(ub < psi);
+    }
+
+    #[test]
+    fn example_result_quality_scores() {
+        // §V-A5: α = 0.5, ∆ = 100. R1: δ = 10, ρ = 1.667 → ψ = 0.867.
+        let m = RankingModel::new(0.5, 100.0, 1);
+        assert!((m.score(5.0 / 3.0, 10.0) - 0.8666).abs() < 1e-3);
+        // R2: δ = 20, ρ = 2 → ψ = 0.9.
+        assert!((m.score(2.0, 20.0) - 0.9).abs() < 1e-9);
+        // R3: δ = 9.5, ρ = 0 → ψ = 0.4525.
+        assert!((m.score(0.0, 9.5) - 0.4525).abs() < 1e-9);
+    }
+
+    #[test]
+    fn score_is_monotone_in_relevance_and_antitone_in_distance() {
+        let m = RankingModel::new(0.5, 100.0, 3);
+        assert!(m.score(2.0, 50.0) > m.score(1.5, 50.0));
+        assert!(m.score(2.0, 40.0) > m.score(2.0, 60.0));
+        assert_eq!(m.max_relevance(), 4.0);
+    }
+
+    #[test]
+    fn upper_bound_dominates_any_actual_score() {
+        let m = RankingModel::new(0.3, 200.0, 4);
+        // Any completion has distance >= the lower bound and relevance <= max,
+        // so its score cannot exceed the upper bound.
+        let lb = 120.0;
+        let ub = m.upper_bound(lb);
+        for relevance in [0.0, 1.5, 3.0, 5.0] {
+            for distance in [120.0, 150.0, 199.0] {
+                assert!(m.score(relevance, distance) <= ub + 1e-12);
+            }
+        }
+        assert_eq!(m.best_possible(), 1.0);
+    }
+
+    #[test]
+    fn alpha_extremes() {
+        // α = 1: only keywords matter.
+        let m = RankingModel::new(1.0, 100.0, 1);
+        assert!((m.score(2.0, 99.0) - 1.0).abs() < 1e-12);
+        // α = 0: only distance matters.
+        let m = RankingModel::new(0.0, 100.0, 1);
+        assert!((m.score(2.0, 25.0) - 0.75).abs() < 1e-12);
+    }
+}

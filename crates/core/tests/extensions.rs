@@ -1,0 +1,184 @@
+//! Integration tests for the optional extensions (soft distance constraint
+//! and popularity re-ranking) on the paper's Fig. 1 example venue.
+
+use ikrq_core::extensions::{PopularityModel, UniformPopularity, VisitCountPopularity};
+use ikrq_core::{IkrqEngine, IkrqQuery, SoftDeltaConfig, VariantConfig};
+use indoor_data::paper_example_venue;
+use indoor_keywords::QueryKeywords;
+
+fn engine_and_query(delta: f64, words: &[&str], k: usize) -> (IkrqEngine, IkrqQuery) {
+    let example = paper_example_venue();
+    let engine = IkrqEngine::new(
+        example.venue.space.clone(),
+        example.venue.directory.clone(),
+    );
+    let query = IkrqQuery::new(
+        example.ps,
+        example.pt,
+        delta,
+        QueryKeywords::new(words.iter().copied()).unwrap(),
+        k,
+    )
+    .with_alpha(0.5)
+    .with_tau(0.1);
+    (engine, query)
+}
+
+#[test]
+fn soft_search_with_zero_slack_matches_the_hard_search() {
+    let (engine, query) = engine_and_query(300.0, &["coffee", "laptop"], 3);
+    let hard = engine.search_toe(&query).unwrap();
+    let soft = engine
+        .search_soft(&query, VariantConfig::toe(), SoftDeltaConfig::with_slack(0.0))
+        .unwrap();
+    assert_eq!(hard.results.len(), soft.routes.len());
+    assert_eq!(soft.num_over_delta(), 0);
+    for (h, s) in hard.results.routes().iter().zip(&soft.routes) {
+        assert!((h.distance - s.result.distance).abs() < 1e-9);
+        assert!((h.score - s.soft_score).abs() < 1e-9);
+        assert!(!s.exceeds_hard_delta);
+    }
+}
+
+#[test]
+fn soft_search_admits_routes_beyond_the_hard_constraint() {
+    // A constraint just above the s-to-t distance: the hard query can barely
+    // detour, while a 60% slack admits keyword-covering routes longer than ∆.
+    let (engine, query) = engine_and_query(140.0, &["coffee", "laptop"], 4);
+    let hard = engine.search_toe(&query).unwrap();
+    let soft = engine
+        .search_soft(
+            &query,
+            VariantConfig::toe(),
+            SoftDeltaConfig {
+                slack: 0.6,
+                penalty_weight: 0.5,
+            },
+        )
+        .unwrap();
+    assert!((soft.relaxed_delta - 140.0 * 1.6).abs() < 1e-9);
+    // Every hard route is within ∆; the soft result may add over-∆ routes but
+    // never drops below the hard result count unless k is already saturated.
+    assert!(soft.routes.len() >= hard.results.len().min(query.k));
+    for route in &soft.routes {
+        assert_eq!(route.exceeds_hard_delta, route.result.distance > query.delta);
+        if route.result.distance <= query.delta {
+            // Within ∆ the soft score equals the paper's score under ∆.
+            let hard_model = ikrq_core::RankingModel::new(query.alpha, query.delta, 2);
+            let expected = hard_model.score(route.result.relevance, route.result.distance);
+            assert!((route.soft_score - expected).abs() < 1e-9);
+        } else {
+            // Beyond ∆ the spatial term is negative, so the soft score is
+            // strictly below the pure keyword term.
+            let keyword_term = 0.5 * route.result.relevance / 3.0;
+            assert!(route.soft_score < keyword_term);
+        }
+    }
+    // Soft scores are sorted descending.
+    for pair in soft.routes.windows(2) {
+        assert!(pair[0].soft_score >= pair[1].soft_score - 1e-12);
+    }
+}
+
+#[test]
+fn uniform_popularity_preserves_the_paper_ranking() {
+    let (engine, query) = engine_and_query(300.0, &["coffee", "laptop"], 3);
+    let baseline = engine.search_toe(&query).unwrap();
+    let ranked = engine
+        .search_with_popularity(
+            &query,
+            VariantConfig::toe(),
+            &UniformPopularity(0.5),
+            PopularityModel::new(0.4),
+            1,
+        )
+        .unwrap();
+    assert_eq!(ranked.len(), baseline.results.len().min(query.k));
+    for (orig, re) in baseline.results.routes().iter().zip(&ranked) {
+        assert!((orig.score - re.result.score).abs() < 1e-9);
+        assert!((re.popularity - 0.5).abs() < 1e-9);
+    }
+    // With uniform popularity the combined order equals the ψ order.
+    for pair in ranked.windows(2) {
+        assert!(pair[0].result.score >= pair[1].result.score - 1e-12);
+    }
+}
+
+#[test]
+fn popularity_reranking_can_promote_a_popular_route() {
+    let (engine, query) = engine_and_query(400.0, &["coffee"], 5);
+    let plain = engine.search_toe(&query).unwrap();
+    assert!(plain.results.len() >= 2, "need at least two routes to rerank");
+
+    // Declare every partition of the *last*-ranked route maximally popular.
+    let last = plain.results.routes().last().unwrap();
+    let popularity = VisitCountPopularity::from_routes([&last.route]);
+
+    let ranked = engine
+        .search_with_popularity(
+            &query,
+            VariantConfig::toe(),
+            &popularity,
+            PopularityModel::new(1.0),
+            2,
+        )
+        .unwrap();
+    assert!(!ranked.is_empty());
+    // With γ = 1 the top route must have popularity at least as high as any
+    // other returned route.
+    let top = &ranked[0];
+    for other in &ranked[1..] {
+        assert!(top.popularity >= other.popularity - 1e-12);
+    }
+    // Combined scores are sorted descending and within [0, 1].
+    for pair in ranked.windows(2) {
+        assert!(pair[0].combined_score >= pair[1].combined_score - 1e-12);
+    }
+    for r in &ranked {
+        assert!((0.0..=1.0 + 1e-9).contains(&r.popularity));
+    }
+}
+
+#[test]
+fn extension_parameter_validation_is_enforced() {
+    let (engine, query) = engine_and_query(300.0, &["coffee"], 2);
+    assert!(engine
+        .search_soft(
+            &query,
+            VariantConfig::toe(),
+            SoftDeltaConfig {
+                slack: -1.0,
+                penalty_weight: 1.0
+            }
+        )
+        .is_err());
+    assert!(engine
+        .search_with_popularity(
+            &query,
+            VariantConfig::toe(),
+            &UniformPopularity(0.5),
+            PopularityModel::new(2.0),
+            1,
+        )
+        .is_err());
+}
+
+#[test]
+fn extensions_work_with_koe_as_well() {
+    let (engine, query) = engine_and_query(320.0, &["coffee", "laptop"], 3);
+    let soft = engine
+        .search_soft(&query, VariantConfig::koe(), SoftDeltaConfig::default())
+        .unwrap();
+    assert!(!soft.routes.is_empty());
+    assert!(soft.label.starts_with("KoE"));
+    let ranked = engine
+        .search_with_popularity(
+            &query,
+            VariantConfig::koe(),
+            &UniformPopularity(1.0),
+            PopularityModel::new(0.2),
+            2,
+        )
+        .unwrap();
+    assert!(!ranked.is_empty());
+}

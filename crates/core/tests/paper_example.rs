@@ -1,0 +1,258 @@
+//! Integration tests of the IKRQ engine on the hand-crafted venue mirroring
+//! the paper's Fig. 1 running example (shops along a corridor, Example 3–8
+//! keyword mappings, §V-A5 result-quality study).
+
+use ikrq_core::prelude::*;
+use indoor_data::paper_example_venue;
+use indoor_keywords::{QueryKeywords, RelevanceModel};
+use indoor_space::Route;
+
+fn engine() -> (IkrqEngine, indoor_data::PaperExampleVenue) {
+    let example = paper_example_venue();
+    let engine = IkrqEngine::new(example.venue.space.clone(), example.venue.directory.clone());
+    (engine, example)
+}
+
+fn running_query(example: &indoor_data::PaperExampleVenue, delta: f64, k: usize) -> IkrqQuery {
+    IkrqQuery::new(
+        example.ps,
+        example.pt,
+        delta,
+        QueryKeywords::new(["latte", "apple"]).unwrap(),
+        k,
+    )
+    .with_alpha(0.5)
+    .with_tau(0.1)
+}
+
+/// Checks internal consistency of an outcome against the venue: routes are
+/// regular and complete, distances and relevances match a from-scratch
+/// recomputation, scores are sorted and within the constraint.
+fn assert_outcome_consistent(
+    outcome: &SearchOutcome,
+    engine: &IkrqEngine,
+    query: &IkrqQuery,
+) {
+    let ranking = RankingModel::new(query.alpha, query.delta, query.num_keywords());
+    let prepared = indoor_keywords::PreparedQuery::prepare(
+        &query.keywords,
+        engine.directory(),
+        query.tau,
+    )
+    .unwrap();
+    let mut previous_score = f64::INFINITY;
+    for result in outcome.results.routes() {
+        let route: &Route = &result.route;
+        assert!(route.is_complete(), "{}: route must be complete", outcome.label);
+        assert!(route.is_regular(), "{}: route must be regular", outcome.label);
+        let recomputed_distance = route.distance(engine.space());
+        assert!(
+            (recomputed_distance - result.distance).abs() < 1e-6,
+            "{}: distance mismatch {} vs {}",
+            outcome.label,
+            recomputed_distance,
+            result.distance
+        );
+        assert!(result.distance <= query.delta + 1e-6, "{}: route violates ∆", outcome.label);
+        let recomputed_relevance = RelevanceModel::relevance_of_route(
+            route,
+            engine.space(),
+            engine.directory(),
+            &prepared,
+        );
+        assert!(
+            (recomputed_relevance - result.relevance).abs() < 1e-6,
+            "{}: relevance mismatch {} vs {}",
+            outcome.label,
+            recomputed_relevance,
+            result.relevance
+        );
+        let recomputed_score = ranking.score(result.relevance, result.distance);
+        assert!(
+            (recomputed_score - result.score).abs() < 1e-6,
+            "{}: score mismatch",
+            outcome.label
+        );
+        assert!(
+            result.score <= previous_score + 1e-9,
+            "{}: results must be sorted by score",
+            outcome.label
+        );
+        previous_score = result.score;
+    }
+}
+
+#[test]
+fn toe_finds_keyword_aware_routes_on_the_running_example() {
+    let (engine, example) = engine();
+    let query = running_query(&example, 400.0, 3);
+    let outcome = engine.search_toe(&query).unwrap();
+    assert!(!outcome.results.is_empty(), "ToE must find routes");
+    assert_outcome_consistent(&outcome, &engine, &query);
+    // With a generous ∆ the best route covers both query keywords: latte via
+    // starbucks (or costa) and apple itself, giving relevance close to 3.
+    let best = outcome.results.best().unwrap();
+    assert!(
+        best.relevance > 2.0,
+        "best route should cover both keywords, got relevance {}",
+        best.relevance
+    );
+    assert_eq!(outcome.results.homogeneous_rate(), 0.0);
+}
+
+#[test]
+fn koe_agrees_with_toe_on_the_best_route_score() {
+    let (engine, example) = engine();
+    let query = running_query(&example, 400.0, 3);
+    let toe = engine.search_toe(&query).unwrap();
+    let koe = engine.search_koe(&query).unwrap();
+    assert!(!koe.results.is_empty());
+    assert_outcome_consistent(&koe, &engine, &query);
+    let toe_best = toe.results.best().unwrap().score;
+    let koe_best = koe.results.best().unwrap().score;
+    assert!(
+        (toe_best - koe_best).abs() < 1e-6,
+        "ToE best {toe_best} vs KoE best {koe_best}"
+    );
+}
+
+#[test]
+fn all_variants_return_the_same_best_score() {
+    let (engine, example) = engine();
+    let query = running_query(&example, 400.0, 3);
+    let outcomes = engine.search_all_variants(&query).unwrap();
+    assert_eq!(outcomes.len(), 7);
+    let reference = outcomes[0].results.best().unwrap().score;
+    for outcome in &outcomes {
+        assert!(!outcome.results.is_empty(), "{} found no route", outcome.label);
+        assert_outcome_consistent(outcome, &engine, &query);
+        let best = outcome.results.best().unwrap().score;
+        assert!(
+            (best - reference).abs() < 1e-6,
+            "{} best score {best} differs from ToE reference {reference}",
+            outcome.label
+        );
+    }
+}
+
+#[test]
+fn exhaustive_baseline_confirms_toe_top1_is_optimal() {
+    let (engine, example) = engine();
+    // Keep ∆ moderate so the exhaustive enumeration stays small.
+    let query = running_query(&example, 250.0, 2);
+    let toe = engine.search_toe(&query).unwrap();
+    let baseline = ExhaustiveBaseline::default()
+        .search(engine.space(), engine.directory(), &query)
+        .unwrap();
+    assert!(!baseline.metrics.budget_exhausted, "baseline must finish");
+    assert!(!toe.results.is_empty());
+    assert!(!baseline.results.is_empty());
+    let toe_best = toe.results.best().unwrap().score;
+    let exhaustive_best = baseline.results.best().unwrap().score;
+    assert!(
+        toe_best <= exhaustive_best + 1e-6,
+        "ToE cannot beat the exhaustive optimum"
+    );
+    assert!(
+        (toe_best - exhaustive_best).abs() < 1e-6,
+        "ToE best {toe_best} should match the exhaustive optimum {exhaustive_best}"
+    );
+}
+
+#[test]
+fn result_quality_example_returns_indirectly_matching_shops() {
+    // §V-A5: query (p1, p2, 100 m, {earphone}, 2) with α = 0.5, τ = 0.1.
+    // Exact keyword matching would only consider shops whose t-words contain
+    // "earphone" (samsung, oppo); the candidate expansion also admits apple
+    // (Jaccard-similar), and the returned routes prefer keyword coverage over
+    // the plain shortest path.
+    let (engine, example) = engine();
+    let query = IkrqQuery::new(
+        example.p1,
+        example.p2,
+        100.0,
+        QueryKeywords::new(["earphone"]).unwrap(),
+        2,
+    )
+    .with_alpha(0.5)
+    .with_tau(0.1);
+    let outcome = engine.search_toe(&query).unwrap();
+    assert_outcome_consistent(&outcome, &engine, &query);
+    assert_eq!(outcome.results.len(), 2, "two routes requested and available");
+    for result in outcome.results.routes() {
+        assert!(
+            result.relevance > 0.0,
+            "returned routes should cover the query keyword (directly or indirectly)"
+        );
+    }
+    // The plain shortest route (no keyword coverage) scores strictly worse
+    // than both returned routes.
+    let shortest = engine
+        .space()
+        .point_to_point_distance(&example.p1, &example.p2);
+    let ranking = RankingModel::new(0.5, 100.0, 1);
+    let shortest_score = ranking.score(0.0, shortest);
+    for result in outcome.results.routes() {
+        assert!(result.score > shortest_score);
+    }
+}
+
+#[test]
+fn toe_without_prime_pruning_may_return_homogeneous_routes() {
+    let (engine, example) = engine();
+    let query = running_query(&example, 300.0, 8);
+    let with_prime = engine.search(&query, VariantConfig::toe()).unwrap();
+    let without_prime = engine.search(&query, VariantConfig::toe_no_prime()).unwrap();
+    assert!(!without_prime.results.is_empty());
+    // Prime enforcement guarantees a diverse result set.
+    assert_eq!(with_prime.results.homogeneous_rate(), 0.0);
+    // Without it the homogeneous rate can only be larger or equal, and the
+    // search does strictly more work.
+    assert!(without_prime.results.homogeneous_rate() >= with_prime.results.homogeneous_rate());
+    assert!(
+        without_prime.metrics.stamps_expanded >= with_prime.metrics.stamps_expanded,
+        "prime pruning must not increase the search effort"
+    );
+}
+
+#[test]
+fn tighter_distance_constraints_reduce_scores_and_prune_more() {
+    let (engine, example) = engine();
+    let tight = running_query(&example, 150.0, 3);
+    let loose = running_query(&example, 400.0, 3);
+    let tight_outcome = engine.search_toe(&tight).unwrap();
+    let loose_outcome = engine.search_toe(&loose).unwrap();
+    // A looser constraint can only improve keyword coverage of the best route.
+    if let (Some(t), Some(l)) = (tight_outcome.results.best(), loose_outcome.results.best()) {
+        assert!(l.relevance >= t.relevance - 1e-9);
+    }
+    for r in tight_outcome.results.routes() {
+        assert!(r.distance <= 150.0 + 1e-6);
+    }
+}
+
+#[test]
+fn unsatisfiable_and_invalid_queries_error_out() {
+    let (engine, example) = engine();
+    let query = running_query(&example, 5.0, 3);
+    assert!(matches!(
+        engine.search_toe(&query),
+        Err(ikrq_core::EngineError::UnsatisfiableConstraint { .. })
+    ));
+    let mut query = running_query(&example, 300.0, 3);
+    query.k = 0;
+    assert!(engine.search_toe(&query).is_err());
+}
+
+#[test]
+fn metrics_report_search_effort() {
+    let (engine, example) = engine();
+    let query = running_query(&example, 400.0, 3);
+    let outcome = engine.search_toe(&query).unwrap();
+    assert!(outcome.metrics.stamps_expanded > 0);
+    assert!(outcome.metrics.stamps_generated > 0);
+    assert!(outcome.metrics.complete_routes > 0);
+    assert!(outcome.metrics.peak_memory_bytes > 0);
+    assert!(outcome.metrics.queue_peak_len > 0);
+    assert_eq!(outcome.label, "ToE");
+}

@@ -1,0 +1,306 @@
+//! Property-based tests of the IKRQ engine invariants on the paper-example
+//! venue: for arbitrary query parameters the search must respect the distance
+//! constraint, the regularity principle, the ranking-score definition and the
+//! prime/diversity guarantees.
+
+use ikrq_core::prelude::*;
+use indoor_data::paper_example_venue;
+use indoor_keywords::{QueryKeywords, RelevanceModel};
+use proptest::prelude::*;
+
+/// The keyword universe of the example venue (i-words and t-words mixed).
+const WORDS: &[&str] = &[
+    "zara", "apple", "samsung", "oppo", "costa", "starbucks", "ecco", "bank", "watsons",
+    "coffee", "latte", "phone", "laptop", "earphone", "pants", "shoes", "euro", "shampoo",
+    "unknownword",
+];
+
+fn keyword_strategy() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(proptest::sample::select(WORDS).prop_map(str::to_string), 1..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn search_invariants_hold_for_arbitrary_queries(
+        keywords in keyword_strategy(),
+        alpha in 0.0f64..=1.0,
+        tau in 0.05f64..=0.4,
+        delta in 120.0f64..400.0,
+        k in 1usize..6,
+        use_koe in proptest::bool::ANY,
+    ) {
+        let example = paper_example_venue();
+        let engine = IkrqEngine::new(
+            example.venue.space.clone(),
+            example.venue.directory.clone(),
+        );
+        let query = IkrqQuery::new(
+            example.ps,
+            example.pt,
+            delta,
+            QueryKeywords::new(keywords.clone()).unwrap(),
+            k,
+        )
+        .with_alpha(alpha)
+        .with_tau(tau);
+        let config = if use_koe { VariantConfig::koe() } else { VariantConfig::toe() };
+        let outcome = engine.search(&query, config).unwrap();
+        let prepared = indoor_keywords::PreparedQuery::prepare(
+            &query.keywords,
+            engine.directory(),
+            tau,
+        ).unwrap();
+        let ranking = RankingModel::new(alpha, delta, keywords.len());
+
+        // At most k results, sorted by score.
+        prop_assert!(outcome.results.len() <= k);
+        let mut previous = f64::INFINITY;
+        for result in outcome.results.routes() {
+            prop_assert!(result.score <= previous + 1e-9);
+            previous = result.score;
+
+            // Hard constraints of Problem 1.
+            prop_assert!(result.distance <= delta + 1e-6);
+            prop_assert!(result.route.is_complete());
+            prop_assert!(result.route.is_regular());
+
+            // Reported quantities are consistent with the definitions.
+            let distance = result.route.distance(engine.space());
+            prop_assert!((distance - result.distance).abs() < 1e-6);
+            let relevance = RelevanceModel::relevance_of_route(
+                &result.route,
+                engine.space(),
+                engine.directory(),
+                &prepared,
+            );
+            prop_assert!((relevance - result.relevance).abs() < 1e-6);
+            let score = ranking.score(result.relevance, result.distance);
+            prop_assert!((score - result.score).abs() < 1e-6);
+            // Relevance range of Definition 6.
+            prop_assert!(result.relevance >= 0.0);
+            prop_assert!(result.relevance <= keywords.len() as f64 + 1.0 + 1e-9);
+        }
+
+        // The result set is diverse (no homogeneous pair) for prime-enforcing
+        // variants.
+        prop_assert_eq!(outcome.results.homogeneous_rate(), 0.0);
+
+        // With a satisfiable constraint there is always at least the direct
+        // route.
+        prop_assert!(!outcome.results.is_empty());
+    }
+
+    #[test]
+    fn toe_and_exhaustive_never_beat_each_other_on_small_budgets(
+        alpha in 0.1f64..=0.9,
+        delta in 130.0f64..220.0,
+    ) {
+        let example = paper_example_venue();
+        let engine = IkrqEngine::new(
+            example.venue.space.clone(),
+            example.venue.directory.clone(),
+        );
+        let query = IkrqQuery::new(
+            example.ps,
+            example.pt,
+            delta,
+            QueryKeywords::new(["coffee", "apple"]).unwrap(),
+            2,
+        )
+        .with_alpha(alpha)
+        .with_tau(0.1);
+        let toe = engine.search_toe(&query).unwrap();
+        let exhaustive = ExhaustiveBaseline::default()
+            .search(engine.space(), engine.directory(), &query)
+            .unwrap();
+        prop_assert!(!exhaustive.metrics.budget_exhausted);
+        let toe_best = toe.results.best().map(|r| r.score).unwrap_or(0.0);
+        let exhaustive_best = exhaustive.results.best().map(|r| r.score).unwrap_or(0.0);
+        prop_assert!((toe_best - exhaustive_best).abs() < 1e-6,
+            "ToE best {} vs exhaustive best {}", toe_best, exhaustive_best);
+    }
+
+    /// Pruning safety: the `\D` and `\B` ablations (and the KoE*
+    /// precomputation) only change how much work the search does, never the
+    /// best route it returns. The comparison is made *within* each expansion
+    /// family because the paper's connect heuristic (Algorithm 5) finishes
+    /// every stamp that reaches the terminal partition, so plain ToE can miss
+    /// a keyword shop that is only reachable through the terminal partition —
+    /// a case KoE's keyword-directed jumps do cover (see DESIGN.md). The
+    /// `strict_terminal_expansion` ablation removes that blind spot, so
+    /// strict ToE must always be at least as good as paper-faithful ToE.
+    #[test]
+    fn pruning_ablations_are_safe_within_each_expansion_family(
+        keywords in keyword_strategy(),
+        alpha in 0.1f64..=0.9,
+        delta in 150.0f64..350.0,
+        k in 1usize..4,
+    ) {
+        let example = paper_example_venue();
+        let engine = IkrqEngine::new(
+            example.venue.space.clone(),
+            example.venue.directory.clone(),
+        );
+        let query = IkrqQuery::new(
+            example.ps,
+            example.pt,
+            delta,
+            QueryKeywords::new(keywords).unwrap(),
+            k,
+        )
+        .with_alpha(alpha)
+        .with_tau(0.1);
+
+        let families: [&[VariantConfig]; 2] = [
+            &[
+                VariantConfig::toe(),
+                VariantConfig::toe_no_distance(),
+                VariantConfig::toe_no_kbound(),
+            ],
+            &[
+                VariantConfig::koe(),
+                VariantConfig::koe_no_distance(),
+                VariantConfig::koe_no_kbound(),
+                VariantConfig::koe_star(),
+            ],
+        ];
+        for family in families {
+            let mut best_scores = Vec::new();
+            for &variant in family {
+                let outcome = engine.search(&query, variant).unwrap();
+                prop_assert!(!outcome.results.is_empty(), "{} found nothing", outcome.label);
+                for r in outcome.results.routes() {
+                    prop_assert!(r.distance <= delta + 1e-6, "{} exceeded ∆", outcome.label);
+                    prop_assert!(r.route.is_regular());
+                }
+                best_scores.push((outcome.label.clone(), outcome.results.best().unwrap().score));
+            }
+            let reference = best_scores[0].1;
+            for (label, score) in &best_scores {
+                prop_assert!(
+                    (score - reference).abs() < 1e-6,
+                    "{label} best score {score} differs from the family reference {reference}"
+                );
+            }
+        }
+
+        // Expanding stamps beyond the terminal partition can only help.
+        let plain = engine.search_toe(&query).unwrap();
+        let strict = engine
+            .search(&query, VariantConfig::toe().with_strict_terminal_expansion())
+            .unwrap();
+        let plain_best = plain.results.best().map(|r| r.score).unwrap_or(0.0);
+        let strict_best = strict.results.best().map(|r| r.score).unwrap_or(0.0);
+        prop_assert!(
+            strict_best + 1e-6 >= plain_best,
+            "strict ToE best {strict_best} fell below paper ToE best {plain_best}"
+        );
+    }
+
+    /// The soft distance constraint is a relaxation: zero slack reproduces
+    /// the hard result exactly, and any slack never lowers the best soft
+    /// score below the hard best (every hard route is still admissible).
+    #[test]
+    fn soft_constraint_is_a_relaxation(
+        slack in 0.0f64..0.8,
+        alpha in 0.1f64..=0.9,
+        delta in 150.0f64..300.0,
+    ) {
+        use ikrq_core::SoftDeltaConfig;
+        let example = paper_example_venue();
+        let engine = IkrqEngine::new(
+            example.venue.space.clone(),
+            example.venue.directory.clone(),
+        );
+        let query = IkrqQuery::new(
+            example.ps,
+            example.pt,
+            delta,
+            QueryKeywords::new(["coffee", "laptop"]).unwrap(),
+            3,
+        )
+        .with_alpha(alpha)
+        .with_tau(0.1);
+
+        let hard = engine.search_toe(&query).unwrap();
+        let hard_best = hard.results.best().map(|r| r.score).unwrap_or(0.0);
+
+        let soft = engine
+            .search_soft(&query, VariantConfig::toe(), SoftDeltaConfig::with_slack(slack))
+            .unwrap();
+        prop_assert!(!soft.routes.is_empty());
+        let soft_best = soft.routes[0].soft_score;
+        prop_assert!(
+            soft_best + 1e-6 >= hard_best,
+            "soft best {soft_best} fell below hard best {hard_best}"
+        );
+        // Routes within ∆ keep their hard score; routes beyond it are only
+        // admitted when slack > 0.
+        for r in &soft.routes {
+            if r.exceeds_hard_delta {
+                prop_assert!(slack > 0.0);
+                prop_assert!(r.result.distance <= delta * (1.0 + slack) + 1e-6);
+            }
+        }
+        if slack == 0.0 {
+            prop_assert_eq!(soft.routes.len(), hard.results.len());
+        }
+    }
+
+    /// Popularity re-ranking with weight 0 is the identity on the returned
+    /// order, and with any weight it returns a permutation of the
+    /// oversampled result prefix whose combined scores are sorted.
+    #[test]
+    fn popularity_reranking_is_an_order_preserving_relaxation(
+        weight in 0.0f64..=1.0,
+        delta in 180.0f64..350.0,
+    ) {
+        use ikrq_core::{PopularityModel, VisitCountPopularity};
+        let example = paper_example_venue();
+        let engine = IkrqEngine::new(
+            example.venue.space.clone(),
+            example.venue.directory.clone(),
+        );
+        let query = IkrqQuery::new(
+            example.ps,
+            example.pt,
+            delta,
+            QueryKeywords::new(["coffee"]).unwrap(),
+            3,
+        )
+        .with_tau(0.1);
+
+        let plain = engine.search_toe(&query).unwrap();
+        let popularity = VisitCountPopularity::from_routes(
+            plain.results.routes().iter().map(|r| &r.route),
+        );
+        let ranked = engine
+            .search_with_popularity(
+                &query,
+                VariantConfig::toe(),
+                &popularity,
+                PopularityModel::new(weight),
+                2,
+            )
+            .unwrap();
+        prop_assert!(ranked.len() <= query.k);
+        for pair in ranked.windows(2) {
+            prop_assert!(pair[0].combined_score + 1e-9 >= pair[1].combined_score);
+        }
+        for r in &ranked {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&r.popularity));
+            let expected = (1.0 - weight) * r.result.score + weight * r.popularity;
+            prop_assert!((r.combined_score - expected).abs() < 1e-9);
+        }
+        if weight == 0.0 {
+            for (a, b) in plain.results.routes().iter().zip(&ranked) {
+                prop_assert!((a.score - b.result.score).abs() < 1e-9);
+            }
+        }
+    }
+}

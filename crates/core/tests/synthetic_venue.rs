@@ -1,0 +1,167 @@
+//! Integration tests of the IKRQ engine on a generated synthetic venue
+//! (single floor of the §V-A1 mall), exercising the full pipeline:
+//! floorplan generation → keyword extraction/assignment → workload
+//! generation → ToE/KoE search with all variants.
+
+use ikrq_core::prelude::*;
+use indoor_data::{QueryGenerator, SyntheticVenueConfig, Venue, WorkloadConfig};
+use indoor_keywords::QueryKeywords;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build_engine(seed: u64) -> (Venue, IkrqEngine) {
+    let venue = Venue::synthetic(&SyntheticVenueConfig::small(seed)).unwrap();
+    let engine = IkrqEngine::new(venue.space.clone(), venue.directory.clone());
+    (venue, engine)
+}
+
+fn to_query(instance: &indoor_data::QueryInstance) -> IkrqQuery {
+    IkrqQuery::new(
+        instance.start,
+        instance.terminal,
+        instance.delta,
+        QueryKeywords::new(instance.keywords.iter().cloned()).unwrap(),
+        instance.k,
+    )
+    .with_alpha(instance.alpha)
+    .with_tau(instance.tau)
+}
+
+fn workload() -> WorkloadConfig {
+    WorkloadConfig {
+        s2t: 600.0,
+        qw_len: 3,
+        k: 5,
+        ..WorkloadConfig::default()
+    }
+}
+
+#[test]
+fn generated_workload_queries_run_on_all_variants() {
+    let (venue, engine) = build_engine(21);
+    let generator = QueryGenerator::new(&venue);
+    let mut rng = StdRng::seed_from_u64(7);
+    let instances = generator.generate_batch(&workload(), 3, &mut rng);
+    assert!(!instances.is_empty(), "workload generation must succeed");
+
+    for instance in &instances {
+        let query = to_query(instance);
+        let outcomes = engine.search_all_variants(&query).unwrap();
+        assert_eq!(outcomes.len(), 7);
+        let reference = outcomes[0].results.best().map(|r| r.score);
+        for outcome in &outcomes {
+            // Every returned route satisfies the hard constraints.
+            for route in outcome.results.routes() {
+                assert!(route.distance <= query.delta + 1e-6, "{}", outcome.label);
+                assert!(route.route.is_regular(), "{}", outcome.label);
+                assert!(route.route.is_complete(), "{}", outcome.label);
+                let recomputed = route.route.distance(engine.space());
+                assert!(
+                    (recomputed - route.distance).abs() < 1e-6,
+                    "{}: stored distance must match the route",
+                    outcome.label
+                );
+            }
+            // Pruning rules must not change the best achievable score.
+            if let (Some(reference), Some(best)) =
+                (reference, outcome.results.best().map(|r| r.score))
+            {
+                assert!(
+                    (best - reference).abs() < 1e-6,
+                    "{}: best score {best} differs from ToE reference {reference} \
+                     (instance keywords {:?})",
+                    outcome.label,
+                    instance.keywords
+                );
+            }
+            // Prime enforcement keeps the result set diverse.
+            assert_eq!(outcome.results.homogeneous_rate(), 0.0, "{}", outcome.label);
+        }
+    }
+}
+
+#[test]
+fn pruning_reduces_search_effort_without_losing_quality() {
+    let (venue, engine) = build_engine(33);
+    let generator = QueryGenerator::new(&venue);
+    let mut rng = StdRng::seed_from_u64(11);
+    let instance = generator
+        .generate(&workload(), &mut rng)
+        .expect("workload instance");
+    let query = to_query(&instance);
+
+    let toe = engine.search(&query, VariantConfig::toe()).unwrap();
+    let toe_no_distance = engine
+        .search(&query, VariantConfig::toe_no_distance())
+        .unwrap();
+    // Distance pruning can only reduce the number of expanded stamps.
+    assert!(toe.metrics.stamps_expanded <= toe_no_distance.metrics.stamps_expanded);
+    // And both find the same best score.
+    let a = toe.results.best().map(|r| r.score).unwrap_or(0.0);
+    let b = toe_no_distance.results.best().map(|r| r.score).unwrap_or(0.0);
+    assert!((a - b).abs() < 1e-6);
+    // Pruning statistics are populated when rules are active.
+    assert!(toe.metrics.prunes.total() > 0);
+}
+
+#[test]
+fn koe_star_reuses_precomputed_paths() {
+    let (venue, engine) = build_engine(55);
+    let bytes = engine.prepare_precomputed_paths();
+    assert!(bytes > 0, "precomputation has a measurable footprint");
+    let generator = QueryGenerator::new(&venue);
+    let mut rng = StdRng::seed_from_u64(3);
+    let instance = generator
+        .generate(&workload(), &mut rng)
+        .expect("workload instance");
+    let query = to_query(&instance);
+    let koe = engine.search(&query, VariantConfig::koe()).unwrap();
+    let koe_star = engine.search(&query, VariantConfig::koe_star()).unwrap();
+    let a = koe.results.best().map(|r| r.score).unwrap_or(0.0);
+    let b = koe_star.results.best().map(|r| r.score).unwrap_or(0.0);
+    assert!((a - b).abs() < 1e-6, "KoE* must not change the results");
+    // KoE* charges the precomputed matrix to its memory footprint, so it is
+    // never cheaper in memory than KoE (Fig. 14 of the paper).
+    assert!(koe_star.metrics.peak_memory_bytes >= koe.metrics.peak_memory_bytes);
+}
+
+#[test]
+fn larger_k_never_decreases_result_count() {
+    let (venue, engine) = build_engine(77);
+    let generator = QueryGenerator::new(&venue);
+    let mut rng = StdRng::seed_from_u64(13);
+    let instance = generator
+        .generate(&workload(), &mut rng)
+        .expect("workload instance");
+    let mut previous = 0usize;
+    for k in [1usize, 3, 7] {
+        let mut query = to_query(&instance);
+        query.k = k;
+        let outcome = engine.search_toe(&query).unwrap();
+        assert!(outcome.results.len() >= previous.min(k));
+        assert!(outcome.results.len() <= k);
+        previous = outcome.results.len();
+    }
+}
+
+#[test]
+fn alpha_extremes_change_the_ranking_focus() {
+    let (venue, engine) = build_engine(88);
+    let generator = QueryGenerator::new(&venue);
+    let mut rng = StdRng::seed_from_u64(17);
+    let instance = generator
+        .generate(&workload(), &mut rng)
+        .expect("workload instance");
+
+    // α = 0: pure distance — the best route is (one of) the shortest.
+    let mut spatial = to_query(&instance);
+    spatial.alpha = 0.0;
+    let spatial_outcome = engine.search_toe(&spatial).unwrap();
+    // α = 1: pure keywords — the best route has maximal relevance among found.
+    let mut keyword = to_query(&instance);
+    keyword.alpha = 1.0;
+    let keyword_outcome = engine.search_toe(&keyword).unwrap();
+    if let (Some(s), Some(k)) = (spatial_outcome.results.best(), keyword_outcome.results.best()) {
+        assert!(s.distance <= k.distance + 1e-6 || k.relevance >= s.relevance - 1e-9);
+    }
+}

@@ -1,0 +1,538 @@
+//! Parametric multi-floor shopping-mall floorplan generator.
+//!
+//! The synthetic indoor space of §V-A1 is "based on a real-world floorplan":
+//! each floor is 1368 m × 1368 m with 96 rooms, 4 hallways and 4 staircases;
+//! the irregular hallways are decomposed into smaller regular partitions,
+//! giving 141 partitions and 220 doors per floor; floors are duplicated 3–9
+//! times and connected by 20 m stairways at the four staircases.
+//!
+//! The generator reproduces those statistics with a cross-shaped layout:
+//! a central junction, four corridor arms decomposed into regular segments,
+//! rooms lining both sides of every arm, and a staircase at the end of each
+//! arm. The same generator, differently parametrised (larger floor, extra
+//! staircases, more rooms), produces the floorplan of the simulated "real"
+//! venue of §V-B.
+
+use indoor_geom::{Point, Rect};
+use indoor_space::{
+    DoorId, DoorKind, FloorId, IndoorSpace, IndoorSpaceBuilder, PartitionId, PartitionKind,
+    Result as SpaceResult,
+};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the mall generator. The default reproduces the paper's
+/// synthetic floorplan statistics exactly (141 partitions / 220 doors per
+/// floor).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MallConfig {
+    /// Number of floors (the paper uses 3, 5, 7 or 9; default 5).
+    pub floors: usize,
+    /// Floor width in metres.
+    pub floor_width: f64,
+    /// Floor height in metres.
+    pub floor_height: f64,
+    /// Corridor width in metres.
+    pub corridor_width: f64,
+    /// Number of regular hallway segments each corridor arm is decomposed
+    /// into (4 arms × segments + 1 junction = hallway partitions per floor).
+    pub segments_per_arm: usize,
+    /// Number of rooms on each side of each arm (4 arms × 2 sides × rooms).
+    pub rooms_per_arm_side: usize,
+    /// Depth of the rooms, perpendicular to the corridor.
+    pub room_depth: f64,
+    /// Length of the staircase partitions at the arm ends.
+    pub staircase_length: f64,
+    /// Walking length of one stairway between adjacent floors (the paper
+    /// uses 20 m).
+    pub stairway_length: f64,
+    /// How many rooms per arm side receive a second corridor door (tunes the
+    /// per-floor door count; 10 of 12 gives the paper's 220 doors).
+    pub two_door_rooms_per_arm_side: usize,
+    /// Number of additional staircases per floor beyond the four arm-end
+    /// ones; each replaces the outermost room of an (arm, side) pair. Used by
+    /// the simulated real venue (10 staircases).
+    pub extra_staircases: usize,
+}
+
+impl Default for MallConfig {
+    fn default() -> Self {
+        MallConfig {
+            floors: 5,
+            floor_width: 1368.0,
+            floor_height: 1368.0,
+            corridor_width: 40.0,
+            segments_per_arm: 10,
+            rooms_per_arm_side: 12,
+            room_depth: 80.0,
+            staircase_length: 20.0,
+            stairway_length: 20.0,
+            two_door_rooms_per_arm_side: 10,
+            extra_staircases: 0,
+        }
+    }
+}
+
+impl MallConfig {
+    /// Configuration with a different number of floors.
+    pub fn with_floors(mut self, floors: usize) -> Self {
+        self.floors = floors;
+        self
+    }
+
+    /// Expected number of partitions per floor.
+    pub fn partitions_per_floor(&self) -> usize {
+        let rooms = self.rooms_per_arm_side * 8;
+        let hallways = self.segments_per_arm * 4 + 1;
+        // Extra staircases replace rooms one for one.
+        rooms + hallways + 4
+    }
+
+    /// Expected number of doors per floor (excluding the inter-floor stair
+    /// doors, which the paper's per-floor counts do not include).
+    pub fn doors_per_floor(&self) -> usize {
+        let room_slots = self.rooms_per_arm_side * 8;
+        let extra_room_doors =
+            (self.two_door_rooms_per_arm_side.min(self.rooms_per_arm_side)) * 8;
+        // Rooms replaced by extra staircases lose their potential second door.
+        let lost_second_doors = self
+            .extra_staircases
+            .min(8)
+            .min(if self.two_door_rooms_per_arm_side >= self.rooms_per_arm_side {
+                self.extra_staircases.min(8)
+            } else {
+                0
+            });
+        let hallway_doors = self.segments_per_arm * 4;
+        let stair_hall_doors = 4 + self.extra_staircases.min(8);
+        room_slots + extra_room_doors - lost_second_doors + hallway_doors + stair_hall_doors
+            - self.extra_staircases.min(8)
+    }
+}
+
+/// The four corridor arms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Arm {
+    East,
+    West,
+    North,
+    South,
+}
+
+const ARMS: [Arm; 4] = [Arm::East, Arm::West, Arm::North, Arm::South];
+
+/// Local frame of one arm: maps (t, lateral) coordinates — `t` metres outward
+/// from the junction edge along the arm, `lateral` metres sideways from the
+/// arm centreline — to floor coordinates.
+#[derive(Debug, Clone, Copy)]
+struct ArmFrame {
+    horizontal: bool,
+    dir: f64,
+    origin: Point,
+    length: f64,
+}
+
+impl ArmFrame {
+    fn new(arm: Arm, config: &MallConfig) -> ArmFrame {
+        let cx = config.floor_width / 2.0;
+        let cy = config.floor_height / 2.0;
+        let half = config.corridor_width / 2.0;
+        match arm {
+            Arm::East => ArmFrame {
+                horizontal: true,
+                dir: 1.0,
+                origin: Point::new(cx + half, cy),
+                length: config.floor_width - (cx + half) - config.staircase_length,
+            },
+            Arm::West => ArmFrame {
+                horizontal: true,
+                dir: -1.0,
+                origin: Point::new(cx - half, cy),
+                length: (cx - half) - config.staircase_length,
+            },
+            Arm::North => ArmFrame {
+                horizontal: false,
+                dir: 1.0,
+                origin: Point::new(cx, cy + half),
+                length: config.floor_height - (cy + half) - config.staircase_length,
+            },
+            Arm::South => ArmFrame {
+                horizontal: false,
+                dir: -1.0,
+                origin: Point::new(cx, cy - half),
+                length: (cy - half) - config.staircase_length,
+            },
+        }
+    }
+
+    fn point(&self, t: f64, lateral: f64) -> Point {
+        if self.horizontal {
+            Point::new(self.origin.x + self.dir * t, self.origin.y + lateral)
+        } else {
+            Point::new(self.origin.x + lateral, self.origin.y + self.dir * t)
+        }
+    }
+
+    fn rect(&self, t0: f64, t1: f64, l0: f64, l1: f64) -> Rect {
+        Rect::new(self.point(t0, l0), self.point(t1, l1)).expect("non-degenerate arm rect")
+    }
+}
+
+/// Output of the generator: the space plus per-kind partition listings.
+#[derive(Debug, Clone)]
+pub struct MallLayout {
+    /// The built indoor space.
+    pub space: IndoorSpace,
+    /// Room partitions in deterministic generation order (floor, arm, side,
+    /// position). These are the partitions that receive store keywords.
+    pub rooms: Vec<PartitionId>,
+    /// Hallway partitions.
+    pub hallways: Vec<PartitionId>,
+    /// Staircase partitions.
+    pub staircases: Vec<PartitionId>,
+}
+
+/// The mall floorplan generator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MallGenerator;
+
+impl MallGenerator {
+    /// Generates a mall from the configuration.
+    pub fn generate(config: &MallConfig) -> SpaceResult<MallLayout> {
+        let mut builder = IndoorSpaceBuilder::new().with_grid_cell(60.0);
+        let mut rooms = Vec::new();
+        let mut hallways = Vec::new();
+        let mut staircases = Vec::new();
+        // Per floor, per staircase column: (staircase partition, hallway-side door).
+        let mut stair_columns: Vec<Vec<(PartitionId, DoorId)>> = Vec::new();
+
+        for floor_idx in 0..config.floors {
+            let floor = FloorId(floor_idx as i32);
+            builder.add_floor(
+                floor,
+                Rect::from_origin_size(
+                    Point::ORIGIN,
+                    config.floor_width,
+                    config.floor_height,
+                )?,
+            );
+            let columns = Self::build_floor(
+                &mut builder,
+                floor,
+                config,
+                &mut rooms,
+                &mut hallways,
+                &mut staircases,
+            )?;
+            stair_columns.push(columns);
+        }
+
+        // Inter-floor stair doors: one per staircase column per adjacent floor
+        // pair, with intra-partition distances configured so that one floor
+        // change costs exactly `stairway_length`.
+        let half_stair = config.stairway_length / 2.0;
+        let num_columns = stair_columns.first().map(Vec::len).unwrap_or(0);
+        for column in 0..num_columns {
+            let mut previous_stair_door: Option<DoorId> = None;
+            for floor_idx in 0..config.floors.saturating_sub(1) {
+                let (lower_part, lower_hall_door) = stair_columns[floor_idx][column];
+                let (upper_part, upper_hall_door) = stair_columns[floor_idx + 1][column];
+                let lower_rect = {
+                    // Door positioned at the centre of the lower staircase.
+                    let space_point = stair_door_position(&builder, lower_part);
+                    space_point
+                };
+                let stair_door = builder.add_door(
+                    lower_rect,
+                    FloorId(floor_idx as i32),
+                    DoorKind::Stair,
+                );
+                builder.connect_bidirectional(stair_door, lower_part, upper_part);
+                builder.set_intra_distance(lower_part, lower_hall_door, stair_door, half_stair);
+                builder.set_intra_distance(upper_part, upper_hall_door, stair_door, half_stair);
+                if let Some(prev) = previous_stair_door {
+                    builder.set_intra_distance(
+                        lower_part,
+                        prev,
+                        stair_door,
+                        config.stairway_length,
+                    );
+                }
+                previous_stair_door = Some(stair_door);
+            }
+        }
+
+        let space = builder.build()?;
+        Ok(MallLayout {
+            space,
+            rooms,
+            hallways,
+            staircases,
+        })
+    }
+
+    /// Builds one floor; returns the staircase columns (partition, hallway
+    /// door) in a deterministic order shared by all floors.
+    fn build_floor(
+        builder: &mut IndoorSpaceBuilder,
+        floor: FloorId,
+        config: &MallConfig,
+        rooms: &mut Vec<PartitionId>,
+        hallways: &mut Vec<PartitionId>,
+        staircases: &mut Vec<PartitionId>,
+    ) -> SpaceResult<Vec<(PartitionId, DoorId)>> {
+        let half = config.corridor_width / 2.0;
+        let cx = config.floor_width / 2.0;
+        let cy = config.floor_height / 2.0;
+
+        // Central junction.
+        let junction = builder.add_partition(
+            floor,
+            PartitionKind::Hallway,
+            Rect::new(Point::new(cx - half, cy - half), Point::new(cx + half, cy + half))?,
+            Some("junction".to_string()),
+        );
+        hallways.push(junction);
+
+        let mut stair_columns: Vec<(PartitionId, DoorId)> = Vec::new();
+        // (arm index, side) pairs whose outermost room becomes an extra
+        // staircase, in a fixed order.
+        let extra_slots: Vec<(usize, f64)> = [
+            (0usize, 1.0),
+            (1, 1.0),
+            (2, 1.0),
+            (3, 1.0),
+            (0, -1.0),
+            (1, -1.0),
+            (2, -1.0),
+            (3, -1.0),
+        ]
+        .into_iter()
+        .take(config.extra_staircases.min(8))
+        .collect();
+
+        for (arm_idx, arm) in ARMS.into_iter().enumerate() {
+            let frame = ArmFrame::new(arm, config);
+            let segment_len = frame.length / config.segments_per_arm as f64;
+            let room_len = frame.length / config.rooms_per_arm_side as f64;
+
+            // Hallway segments.
+            let mut segments = Vec::with_capacity(config.segments_per_arm);
+            for s in 0..config.segments_per_arm {
+                let rect = frame.rect(
+                    s as f64 * segment_len,
+                    (s + 1) as f64 * segment_len,
+                    -half,
+                    half,
+                );
+                let seg = builder.add_partition(
+                    floor,
+                    PartitionKind::Hallway,
+                    rect,
+                    Some(format!("hall-{arm:?}-{s}")),
+                );
+                hallways.push(seg);
+                segments.push(seg);
+            }
+            // Junction ↔ first segment door.
+            let d = builder.add_door(frame.point(0.0, 0.0), floor, DoorKind::Normal);
+            builder.connect_bidirectional(d, junction, segments[0]);
+            // Segment ↔ segment doors.
+            for s in 0..config.segments_per_arm - 1 {
+                let d = builder.add_door(
+                    frame.point((s + 1) as f64 * segment_len, 0.0),
+                    floor,
+                    DoorKind::Normal,
+                );
+                builder.connect_bidirectional(d, segments[s], segments[s + 1]);
+            }
+            // Arm-end staircase.
+            let stair_rect = frame.rect(
+                frame.length,
+                frame.length + config.staircase_length,
+                -half,
+                half,
+            );
+            let staircase = builder.add_partition(
+                floor,
+                PartitionKind::Staircase,
+                stair_rect,
+                Some(format!("staircase-{arm:?}")),
+            );
+            staircases.push(staircase);
+            let stair_hall_door =
+                builder.add_door(frame.point(frame.length, 0.0), floor, DoorKind::Normal);
+            builder.connect_bidirectional(
+                stair_hall_door,
+                segments[config.segments_per_arm - 1],
+                staircase,
+            );
+            stair_columns.push((staircase, stair_hall_door));
+
+            // Rooms on both sides of the arm.
+            for side in [1.0f64, -1.0f64] {
+                for j in 0..config.rooms_per_arm_side {
+                    let t0 = j as f64 * room_len;
+                    let t1 = (j + 1) as f64 * room_len;
+                    let rect = frame.rect(t0, t1, side * half, side * (half + config.room_depth));
+                    let is_extra_staircase = j == config.rooms_per_arm_side - 1
+                        && extra_slots.contains(&(arm_idx, side));
+                    let kind = if is_extra_staircase {
+                        PartitionKind::Staircase
+                    } else {
+                        PartitionKind::Room
+                    };
+                    let part = builder.add_partition(
+                        floor,
+                        kind,
+                        rect,
+                        Some(format!("{:?}-{arm:?}-{side}-{j}", kind)),
+                    );
+                    // Door(s) on the corridor-facing wall; the hallway segment
+                    // is determined by the door's position along the arm.
+                    let door_positions: Vec<f64> = if is_extra_staircase {
+                        vec![(t0 + t1) / 2.0]
+                    } else if j < config.two_door_rooms_per_arm_side {
+                        vec![t0 + 0.3 * room_len, t0 + 0.7 * room_len]
+                    } else {
+                        vec![(t0 + t1) / 2.0]
+                    };
+                    let mut first_door = None;
+                    for (di, t) in door_positions.iter().enumerate() {
+                        let seg_index = ((t / segment_len) as usize)
+                            .min(config.segments_per_arm - 1);
+                        let door = builder.add_door(
+                            frame.point(*t, side * half),
+                            floor,
+                            DoorKind::Normal,
+                        );
+                        builder.connect_bidirectional(door, part, segments[seg_index]);
+                        if di == 0 {
+                            first_door = Some(door);
+                        }
+                    }
+                    if is_extra_staircase {
+                        staircases.push(part);
+                        stair_columns.push((part, first_door.expect("staircase has a door")));
+                    } else {
+                        rooms.push(part);
+                    }
+                }
+            }
+        }
+        Ok(stair_columns)
+    }
+}
+
+/// Centre position of a staircase partition recorded in the builder; used to
+/// place the inter-floor stair door. The builder does not expose lookups, so
+/// the generator recomputes the position from the deterministic layout by
+/// reading it back from the partitions it just created.
+fn stair_door_position(builder: &IndoorSpaceBuilder, partition: PartitionId) -> Point {
+    builder
+        .partition_footprint(partition)
+        .map(|r| r.center())
+        .unwrap_or(Point::ORIGIN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indoor_space::IndoorPoint;
+
+    #[test]
+    fn single_floor_matches_published_statistics() {
+        let config = MallConfig::default().with_floors(1);
+        let layout = MallGenerator::generate(&config).unwrap();
+        let stats = layout.space.stats();
+        assert_eq!(stats.partitions, 141, "141 partitions per floor (§V-A1)");
+        assert_eq!(stats.doors, 220, "220 doors per floor (§V-A1)");
+        assert_eq!(layout.rooms.len(), 96, "96 rooms per floor (§V-A1)");
+        assert_eq!(layout.hallways.len(), 41, "4 hallways decomposed into 41 partitions");
+        assert_eq!(layout.staircases.len(), 4, "4 staircases per floor");
+        assert_eq!(config.partitions_per_floor(), 141);
+        assert_eq!(config.doors_per_floor(), 220);
+    }
+
+    #[test]
+    fn five_floor_default_matches_paper_counts() {
+        let layout = MallGenerator::generate(&MallConfig::default()).unwrap();
+        let stats = layout.space.stats();
+        assert_eq!(stats.partitions, 705, "705 partitions in the default 5-floor space");
+        // 1100 per-floor doors plus 4 stair columns × 4 inter-floor doors.
+        assert_eq!(stats.doors, 1100 + 16);
+        assert_eq!(stats.vertical_doors, 16);
+        assert_eq!(stats.floors, 5);
+        assert_eq!(layout.rooms.len(), 96 * 5);
+    }
+
+    #[test]
+    fn rooms_are_reachable_from_each_other() {
+        let config = MallConfig::default().with_floors(2);
+        let layout = MallGenerator::generate(&config).unwrap();
+        let space = &layout.space;
+        // A room on floor 0 and a room on floor 1 are connected, and the
+        // distance is at least the stairway length.
+        let a = space.partition(layout.rooms[0]).unwrap();
+        let b = space
+            .partition(layout.rooms[layout.rooms.len() - 1])
+            .unwrap();
+        assert_ne!(a.floor, b.floor);
+        let pa = IndoorPoint::new(a.center(), a.floor);
+        let pb = IndoorPoint::new(b.center(), b.floor);
+        let d = space.point_to_point_distance(&pa, &pb);
+        assert!(d.is_finite(), "cross-floor route must exist");
+        assert!(d >= config.stairway_length);
+        // Skeleton lower bound never exceeds the true distance.
+        assert!(space.skeleton_distance(&pa, &pb) <= d + 1e-6);
+    }
+
+    #[test]
+    fn extra_staircases_replace_rooms() {
+        let config = MallConfig {
+            floors: 1,
+            extra_staircases: 6,
+            ..Default::default()
+        };
+        let layout = MallGenerator::generate(&config).unwrap();
+        assert_eq!(layout.staircases.len(), 10, "4 corner + 6 extra staircases");
+        assert_eq!(layout.rooms.len(), 96 - 6);
+    }
+
+    #[test]
+    fn floors_scale_partition_and_door_counts_linearly() {
+        for floors in [3usize, 7] {
+            let layout =
+                MallGenerator::generate(&MallConfig::default().with_floors(floors)).unwrap();
+            let stats = layout.space.stats();
+            assert_eq!(stats.partitions, 141 * floors);
+            assert_eq!(stats.doors, 220 * floors + 4 * (floors - 1));
+        }
+    }
+
+    #[test]
+    fn stairway_costs_twenty_metres_per_floor() {
+        let layout = MallGenerator::generate(&MallConfig::default().with_floors(3)).unwrap();
+        let space = &layout.space;
+        // Pick the hallway doors of the same staircase column on floors 0
+        // and 1: the shortest path between them is the 20 m stairway.
+        let stair0 = layout.staircases[0];
+        let stair1 = layout
+            .staircases
+            .iter()
+            .copied()
+            .find(|&s| {
+                let p = space.partition(s).unwrap();
+                p.floor == FloorId(1)
+                    && p.footprint.center().approx_eq(
+                        &space.partition(stair0).unwrap().footprint.center(),
+                    )
+            })
+            .expect("same column staircase on floor 1");
+        let d0 = space.p2d_enter(stair0)[0];
+        let d1 = space.p2d_enter(stair1)[0];
+        let dist = space
+            .shortest_paths()
+            .door_to_door(d0, d1, &Default::default());
+        assert!((dist - 20.0).abs() < 1e-6, "one floor change costs 20 m, got {dist}");
+    }
+}

@@ -1,0 +1,150 @@
+//! The experiment parameter space of Table IV, with the paper's default
+//! values (shown bold there) and the sweep ranges of §V.
+
+use serde::{Deserialize, Serialize};
+
+/// Default parameter values used by the synthetic experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentDefaults {
+    /// Number of routes to return, `k`.
+    pub k: usize,
+    /// Number of query keywords, `|QW|`.
+    pub qw_len: usize,
+    /// Fraction of i-words in `QW` (`β`).
+    pub beta: f64,
+    /// Start-to-terminal indoor distance `δs2t` in metres.
+    pub s2t: f64,
+    /// Distance constraint coefficient `η` (`∆ = η · δs2t`).
+    pub eta: f64,
+    /// Ranking trade-off `α`.
+    pub alpha: f64,
+    /// Candidate similarity threshold `τ`.
+    pub tau: f64,
+    /// Number of floors of the synthetic venue.
+    pub floors: usize,
+    /// Number of query instances generated per parameter setting.
+    pub instances_per_setting: usize,
+    /// Number of runs per query instance.
+    pub runs_per_instance: usize,
+}
+
+impl Default for ExperimentDefaults {
+    fn default() -> Self {
+        ExperimentDefaults {
+            k: 7,
+            qw_len: 4,
+            beta: 0.6,
+            s2t: 1500.0,
+            eta: 1.6,
+            alpha: 0.5,
+            tau: 0.1,
+            floors: 5,
+            instances_per_setting: 10,
+            runs_per_instance: 5,
+        }
+    }
+}
+
+impl ExperimentDefaults {
+    /// The defaults used for the real-data experiments of §V-B: identical to
+    /// the synthetic ones except `α` is raised to 0.7 "to suit the needs of
+    /// keyword-awareness in shopping".
+    pub fn real_data() -> Self {
+        ExperimentDefaults {
+            alpha: 0.7,
+            floors: 7,
+            ..Default::default()
+        }
+    }
+
+    /// The distance constraint `∆ = η · δs2t`.
+    pub fn delta(&self) -> f64 {
+        self.eta * self.s2t
+    }
+}
+
+/// The sweep ranges of Table IV.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParameterSpace {
+    /// `k` values (default 7).
+    pub k: Vec<usize>,
+    /// `|QW|` values (default 4).
+    pub qw_len: Vec<usize>,
+    /// `β` values as fractions (default 60 %).
+    pub beta: Vec<f64>,
+    /// `δs2t` values in metres (default 1500).
+    pub s2t: Vec<f64>,
+    /// `η` values (default 1.6).
+    pub eta: Vec<f64>,
+    /// `α` values (default 0.5).
+    pub alpha: Vec<f64>,
+    /// `τ` values (default 0.1).
+    pub tau: Vec<f64>,
+    /// Floor counts (default 5).
+    pub floors: Vec<usize>,
+}
+
+impl Default for ParameterSpace {
+    fn default() -> Self {
+        ParameterSpace {
+            k: vec![1, 3, 5, 7, 9, 11],
+            qw_len: vec![1, 2, 3, 4, 5],
+            beta: vec![0.2, 0.4, 0.6, 0.8, 1.0],
+            s2t: vec![1100.0, 1300.0, 1500.0, 1700.0, 1900.0, 2100.0],
+            eta: vec![1.4, 1.6, 1.8, 2.0],
+            alpha: vec![0.1, 0.3, 0.5, 0.7, 0.9],
+            tau: vec![0.05, 0.1, 0.2, 0.4],
+            floors: vec![3, 5, 7, 9],
+        }
+    }
+}
+
+impl ParameterSpace {
+    /// The defaults corresponding to the bold entries of Table IV.
+    pub fn defaults(&self) -> ExperimentDefaults {
+        ExperimentDefaults::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_iv_bold_entries() {
+        let d = ExperimentDefaults::default();
+        assert_eq!(d.k, 7);
+        assert_eq!(d.qw_len, 4);
+        assert!((d.beta - 0.6).abs() < 1e-12);
+        assert!((d.s2t - 1500.0).abs() < 1e-12);
+        assert!((d.eta - 1.6).abs() < 1e-12);
+        assert!((d.alpha - 0.5).abs() < 1e-12);
+        assert!((d.tau - 0.1).abs() < 1e-12);
+        assert_eq!(d.floors, 5);
+        assert_eq!(d.instances_per_setting, 10);
+        assert_eq!(d.runs_per_instance, 5);
+        assert!((d.delta() - 2400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn real_data_defaults_adjust_alpha_and_floors() {
+        let d = ExperimentDefaults::real_data();
+        assert!((d.alpha - 0.7).abs() < 1e-12);
+        assert_eq!(d.floors, 7);
+        assert_eq!(d.k, 7);
+    }
+
+    #[test]
+    fn sweep_ranges_match_table_iv() {
+        let p = ParameterSpace::default();
+        assert_eq!(p.k, vec![1, 3, 5, 7, 9, 11]);
+        assert_eq!(p.qw_len, vec![1, 2, 3, 4, 5]);
+        assert_eq!(p.beta.len(), 5);
+        assert_eq!(p.s2t.len(), 6);
+        assert_eq!(p.eta, vec![1.4, 1.6, 1.8, 2.0]);
+        assert_eq!(p.alpha.len(), 5);
+        assert_eq!(p.tau, vec![0.05, 0.1, 0.2, 0.4]);
+        assert_eq!(p.floors, vec![3, 5, 7, 9]);
+        assert_eq!(p.defaults(), ExperimentDefaults::default());
+    }
+}

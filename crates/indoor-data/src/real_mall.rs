@@ -1,0 +1,268 @@
+//! The simulated "real" venue of §V-B.
+//!
+//! The paper evaluates on a proprietary dataset collected from a seven-floor,
+//! 2700 m × 2000 m shopping mall in Hangzhou: 639 stores, ten staircases with
+//! ≈20 m stairways, 533 i-words, 5036 t-words extracted from the mall's
+//! website (103 stores carry only an i-word; an i-word has at most 31 and on
+//! average 9.4 t-words), and — crucially for the reported behaviour of KoE —
+//! stores of the same category are clustered on the same floor(s).
+//!
+//! This module synthesises a venue with those published characteristics.
+
+use crate::mall::{MallConfig, MallGenerator};
+use crate::names::{generate_brand_names, CATEGORIES};
+use crate::venue::Venue;
+use indoor_keywords::KeywordDirectory;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the simulated real venue.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RealMallConfig {
+    /// Number of floors.
+    pub floors: usize,
+    /// Floor width in metres.
+    pub floor_width: f64,
+    /// Floor height in metres.
+    pub floor_height: f64,
+    /// Number of stores (rooms that receive a brand).
+    pub stores: usize,
+    /// Number of distinct brands (i-words).
+    pub brands: usize,
+    /// Number of staircases per floor.
+    pub staircases: usize,
+    /// Fraction of brands that carry no t-word at all.
+    pub bare_brand_fraction: f64,
+    /// Maximum t-words per brand.
+    pub max_twords: usize,
+    /// Mean t-words per brand that has any.
+    pub mean_twords: f64,
+    /// Seed of all random choices.
+    pub seed: u64,
+}
+
+impl Default for RealMallConfig {
+    fn default() -> Self {
+        RealMallConfig {
+            floors: 7,
+            floor_width: 2700.0,
+            floor_height: 2000.0,
+            stores: 639,
+            brands: 533,
+            staircases: 10,
+            bare_brand_fraction: 103.0 / 639.0,
+            max_twords: 31,
+            mean_twords: 9.4,
+            seed: 2020,
+        }
+    }
+}
+
+/// The simulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealMallSimulator;
+
+impl RealMallSimulator {
+    /// Builds the simulated real venue.
+    pub fn generate(config: &RealMallConfig) -> indoor_space::Result<Venue> {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mall_config = MallConfig {
+            floors: config.floors,
+            floor_width: config.floor_width,
+            floor_height: config.floor_height,
+            rooms_per_arm_side: 13,
+            extra_staircases: config.staircases.saturating_sub(4).min(8),
+            ..MallConfig::default()
+        };
+        let layout = MallGenerator::generate(&mall_config)?;
+
+        // Brands, grouped by category; categories are assigned to floors so
+        // that same-category stores land on the same floor.
+        let brand_names = generate_brand_names(config.brands, &mut rng);
+        let mut directory = KeywordDirectory::new();
+        let mut brand_iwords = Vec::with_capacity(config.brands);
+        for name in &brand_names {
+            brand_iwords.push(directory.add_iword(name).expect("distinct brand names"));
+        }
+        // T-word generation: category words shared within the category plus
+        // brand-specific long-tail tokens; a fraction of brands stays bare.
+        for (i, name) in brand_names.iter().enumerate() {
+            if rng.gen_bool(config.bare_brand_fraction) {
+                continue;
+            }
+            let category = &CATEGORIES[i % CATEGORIES.len()];
+            let target = sample_tword_count(config, &mut rng);
+            let shared = (target / 2).min(category.words.len());
+            let mut added = 0usize;
+            for w in category.words.choose_multiple(&mut rng, shared) {
+                if directory
+                    .add_tword_for(brand_iwords[i], w)
+                    .is_some()
+                {
+                    added += 1;
+                }
+            }
+            let mut j = 0usize;
+            while added < target && j < config.max_twords * 2 {
+                if directory
+                    .add_tword_for(brand_iwords[i], &format!("{name}item{j}"))
+                    .is_some()
+                {
+                    added += 1;
+                }
+                j += 1;
+            }
+        }
+
+        // Category → floor clustering: category c goes to floor c mod floors.
+        // Stores on a floor draw brands only from that floor's categories.
+        let mut brands_by_floor: Vec<Vec<usize>> = vec![Vec::new(); config.floors];
+        for i in 0..config.brands {
+            let floor = (i % CATEGORIES.len()) % config.floors;
+            brands_by_floor[floor].push(i);
+        }
+
+        // Distribute the stores over the floors (remainder goes to the first
+        // floors) and name the corresponding rooms.
+        let per_floor = config.stores / config.floors;
+        let remainder = config.stores % config.floors;
+        let mut rooms_by_floor: Vec<Vec<indoor_space::PartitionId>> =
+            vec![Vec::new(); config.floors];
+        for &room in &layout.rooms {
+            let floor = layout.space.partition(room).expect("room exists").floor;
+            rooms_by_floor[floor.level() as usize].push(room);
+        }
+        for floor in 0..config.floors {
+            let quota = per_floor + usize::from(floor < remainder);
+            let pool = &brands_by_floor[floor];
+            for (slot, &room) in rooms_by_floor[floor].iter().enumerate() {
+                if slot >= quota || pool.is_empty() {
+                    break;
+                }
+                let brand = pool[rng.gen_range(0..pool.len())];
+                directory
+                    .name_partition(room, brand_iwords[brand])
+                    .expect("rooms are named once");
+            }
+        }
+
+        // Only rooms that actually received a brand count as stores.
+        let stores: Vec<_> = layout
+            .rooms
+            .iter()
+            .copied()
+            .filter(|&r| directory.partition_iword(r).is_some())
+            .collect();
+        Ok(Venue {
+            space: layout.space,
+            directory,
+            rooms: stores,
+        })
+    }
+}
+
+/// Samples a per-brand t-word count with the configured mean and maximum
+/// (a clamped geometric-like distribution, giving the long tail the paper's
+/// statistics suggest).
+fn sample_tword_count<R: Rng>(config: &RealMallConfig, rng: &mut R) -> usize {
+    let mean = config.mean_twords.max(1.0);
+    let mut count = 1usize;
+    // Geometric with success probability 1/mean, clamped to [1, max].
+    while count < config.max_twords && rng.gen::<f64>() > 1.0 / mean {
+        count += 1;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    fn venue() -> Venue {
+        RealMallSimulator::generate(&RealMallConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn store_and_floor_counts_match_the_paper() {
+        let v = venue();
+        assert_eq!(v.rooms.len(), 639, "639 stores");
+        assert_eq!(v.space.floors().len(), 7, "seven floors");
+        // Ten staircases per floor.
+        let stats = v.space.stats();
+        assert_eq!(
+            stats.count_of(indoor_space::PartitionKind::Staircase),
+            10 * 7
+        );
+    }
+
+    #[test]
+    fn keyword_statistics_are_in_the_published_ballpark() {
+        let v = venue();
+        let vocab = v.directory.vocab();
+        assert_eq!(vocab.num_iwords(), 533, "533 i-words");
+        // ≈5036 t-words in the paper; the simulator lands in the same order
+        // of magnitude (thousands, not hundreds).
+        assert!(vocab.num_twords() > 1500, "got {}", vocab.num_twords());
+        // Average t-words per i-word (over i-words that have any) near 9.4.
+        let avg = v.directory.mappings().avg_twords_per_iword();
+        assert!((5.0..=15.0).contains(&avg), "avg {avg}");
+        // Some brands carry no t-word at all (the paper reports 103 such
+        // stores).
+        let bare = vocab
+            .iwords()
+            .filter(|&iw| v.directory.twords_of(iw).is_empty())
+            .count();
+        assert!(bare > 30, "bare brands: {bare}");
+        // Maximum is capped at 31.
+        let max = vocab
+            .iwords()
+            .map(|iw| v.directory.twords_of(iw).len())
+            .max()
+            .unwrap();
+        assert!(max <= 31);
+    }
+
+    #[test]
+    fn same_category_stores_cluster_on_the_same_floor() {
+        let v = venue();
+        // Every i-word's stores all lie on one floor (brands are drawn from a
+        // per-floor pool).
+        let mut floors_per_brand: BTreeMap<_, BTreeSet<_>> = BTreeMap::new();
+        for &room in &v.rooms {
+            let iw = v.directory.partition_iword(room).unwrap();
+            let floor = v.space.partition(room).unwrap().floor;
+            floors_per_brand.entry(iw).or_default().insert(floor);
+        }
+        assert!(floors_per_brand.values().all(|floors| floors.len() == 1));
+        // And several brands serve more than one store (639 stores for 533
+        // brands).
+        let multi = v
+            .rooms
+            .iter()
+            .map(|&r| v.directory.partition_iword(r).unwrap())
+            .fold(BTreeMap::<_, usize>::new(), |mut acc, iw| {
+                *acc.entry(iw).or_default() += 1;
+                acc
+            })
+            .values()
+            .filter(|&&c| c > 1)
+            .count();
+        assert!(multi > 10);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = venue();
+        let b = venue();
+        assert_eq!(a.rooms, b.rooms);
+        for &room in &a.rooms {
+            assert_eq!(
+                a.directory.partition_iword(room),
+                b.directory.partition_iword(room)
+            );
+        }
+    }
+}

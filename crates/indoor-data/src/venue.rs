@@ -1,0 +1,299 @@
+//! The [`Venue`] bundle (space + keywords) and the venue constructors: the
+//! synthetic mall of §V-A and a small hand-crafted venue mirroring the
+//! paper's Fig. 1 running example.
+
+use crate::corpus_gen::{generate_corpus, CorpusConfig};
+use crate::keywords_gen::{assign_rooms, build_directory, KeywordAssignmentConfig};
+use crate::mall::{MallConfig, MallGenerator};
+use indoor_geom::{Point, Rect};
+use indoor_keywords::KeywordDirectory;
+use indoor_space::{
+    DoorKind, FloorId, IndoorPoint, IndoorSpace, IndoorSpaceBuilder, PartitionId, PartitionKind,
+    Result as SpaceResult,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A complete venue: space model plus keyword directory plus the room
+/// partitions that carry keywords.
+#[derive(Debug, Clone)]
+pub struct Venue {
+    /// The indoor space model.
+    pub space: IndoorSpace,
+    /// The keyword directory.
+    pub directory: KeywordDirectory,
+    /// The room partitions, in deterministic generation order.
+    pub rooms: Vec<PartitionId>,
+}
+
+/// Configuration of the synthetic venue of §V-A1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticVenueConfig {
+    /// Floorplan configuration.
+    pub mall: MallConfig,
+    /// Keyword corpus configuration.
+    pub corpus: CorpusConfig,
+    /// Keyword assignment configuration.
+    pub keywords: KeywordAssignmentConfig,
+    /// Seed for all random choices (corpus generation and room assignment).
+    pub seed: u64,
+}
+
+impl Default for SyntheticVenueConfig {
+    fn default() -> Self {
+        SyntheticVenueConfig {
+            mall: MallConfig::default(),
+            corpus: CorpusConfig::default(),
+            keywords: KeywordAssignmentConfig::default(),
+            seed: 42,
+        }
+    }
+}
+
+impl SyntheticVenueConfig {
+    /// Convenience: a configuration with a different floor count.
+    pub fn with_floors(mut self, floors: usize) -> Self {
+        self.mall.floors = floors;
+        self
+    }
+
+    /// A down-scaled configuration for unit tests and examples that need a
+    /// realistic but quick-to-build venue (single floor, small corpus).
+    pub fn small(seed: u64) -> Self {
+        SyntheticVenueConfig {
+            mall: MallConfig {
+                floors: 1,
+                ..Default::default()
+            },
+            corpus: CorpusConfig {
+                num_brands: 120,
+                ..Default::default()
+            },
+            keywords: KeywordAssignmentConfig::default(),
+            seed,
+        }
+    }
+}
+
+impl Venue {
+    /// Builds the synthetic venue of §V-A1: the multi-floor mall floorplan,
+    /// the synthetic brand corpus run through the RAKE/TF-IDF extraction
+    /// pipeline, and the random assignment of i-words to rooms.
+    pub fn synthetic(config: &SyntheticVenueConfig) -> SpaceResult<Venue> {
+        let layout = MallGenerator::generate(&config.mall)?;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let corpus = generate_corpus(&config.corpus, &mut rng);
+        let mut built = build_directory(&corpus, &config.keywords);
+        assign_rooms(&mut built, &layout.rooms, &mut rng);
+        Ok(Venue {
+            space: layout.space,
+            directory: built.directory,
+            rooms: layout.rooms,
+        })
+    }
+
+    /// A random point strictly inside a partition (at a fixed inset from its
+    /// boundary), useful for generating query endpoints.
+    pub fn point_in_partition(&self, partition: PartitionId, fraction: (f64, f64)) -> IndoorPoint {
+        let p = self
+            .space
+            .partition(partition)
+            .expect("partition belongs to venue");
+        let rect = p.footprint;
+        let x = rect.min.x + rect.width() * fraction.0.clamp(0.05, 0.95);
+        let y = rect.min.y + rect.height() * fraction.1.clamp(0.05, 0.95);
+        IndoorPoint::new(Point::new(x, y), p.floor)
+    }
+}
+
+/// The hand-crafted venue mirroring the paper's Fig. 1 example: a single
+/// corridor with shops on both sides, carrying the keyword mappings used in
+/// Examples 3–8 and in the result-quality study of §V-A5.
+#[derive(Debug, Clone)]
+pub struct PaperExampleVenue {
+    /// The venue (space + keywords).
+    pub venue: Venue,
+    /// Partition of each named shop / hallway cell.
+    pub partitions: BTreeMap<String, PartitionId>,
+    /// The start point `ps` of the running example (inside zara).
+    pub ps: IndoorPoint,
+    /// The terminal point `pt` of the running example (in the east hallway).
+    pub pt: IndoorPoint,
+    /// The point `p1` of the result-quality example (§V-A5).
+    pub p1: IndoorPoint,
+    /// The point `p2` of the result-quality example (§V-A5).
+    pub p2: IndoorPoint,
+}
+
+/// Builds the Fig. 1 example venue.
+///
+/// Layout (one floor, 100 m × 60 m): a west-to-east corridor decomposed into
+/// three hallway cells, five shops on the north side (zara, watsons, apple,
+/// samsung, ecco) and four on the south side (oppo, costa, starbucks, bank).
+/// Every shop has a single corridor door, so visiting a shop requires the
+/// one-hop door loop that the regularity principle permits.
+pub fn paper_example_venue() -> PaperExampleVenue {
+    build_paper_example().expect("the hand-crafted example venue is valid")
+}
+
+fn build_paper_example() -> SpaceResult<PaperExampleVenue> {
+    let floor = FloorId(0);
+    let mut b = IndoorSpaceBuilder::new().with_grid_cell(10.0);
+    b.add_floor(floor, Rect::from_origin_size(Point::ORIGIN, 100.0, 60.0)?);
+
+    let mut partitions = BTreeMap::new();
+
+    // Corridor cells: y ∈ [25, 35].
+    let hall_bounds = [(0.0, 33.0), (33.0, 80.0), (80.0, 100.0)];
+    let mut halls = Vec::new();
+    for (i, (x0, x1)) in hall_bounds.iter().enumerate() {
+        let id = b.add_partition(
+            floor,
+            PartitionKind::Hallway,
+            Rect::new(Point::new(*x0, 25.0), Point::new(*x1, 35.0))?,
+            Some(format!("hall{}", i + 1)),
+        );
+        partitions.insert(format!("hall{}", i + 1), id);
+        halls.push(id);
+    }
+    // Corridor doors between adjacent cells.
+    for i in 0..2 {
+        let d = b.add_door(Point::new(hall_bounds[i].1, 30.0), floor, DoorKind::Normal);
+        b.connect_bidirectional(d, halls[i], halls[i + 1]);
+    }
+
+    // Shops: (name, x0, x1, north?).
+    let shops = [
+        ("zara", 0.0, 20.0, true),
+        ("watsons", 20.0, 40.0, true),
+        ("apple", 40.0, 60.0, true),
+        ("samsung", 60.0, 80.0, true),
+        ("ecco", 80.0, 100.0, true),
+        ("oppo", 0.0, 25.0, false),
+        ("costa", 25.0, 50.0, false),
+        ("starbucks", 50.0, 75.0, false),
+        ("bank", 75.0, 100.0, false),
+    ];
+    for (name, x0, x1, north) in shops {
+        let (y0, y1) = if north { (35.0, 55.0) } else { (5.0, 25.0) };
+        let id = b.add_partition(
+            floor,
+            PartitionKind::Room,
+            Rect::new(Point::new(x0, y0), Point::new(x1, y1))?,
+            Some(name.to_string()),
+        );
+        partitions.insert(name.to_string(), id);
+        let door_x = (x0 + x1) / 2.0;
+        let door_y = if north { 35.0 } else { 25.0 };
+        let hall = halls[hall_bounds
+            .iter()
+            .position(|(hx0, hx1)| door_x >= *hx0 && door_x <= *hx1)
+            .expect("door lies on some hallway cell")];
+        let d = b.add_door(Point::new(door_x, door_y), floor, DoorKind::Normal);
+        b.connect_bidirectional(d, id, hall);
+    }
+
+    let space = b.build()?;
+
+    // Keyword mappings mirroring Example 4 and §V-A5.
+    let mut directory = KeywordDirectory::new();
+    let twords: &[(&str, &[&str])] = &[
+        ("zara", &["pants", "sweater", "coat"]),
+        ("watsons", &["shampoo", "cosmetics", "lotion"]),
+        ("apple", &["phone", "mac", "laptop", "watch"]),
+        ("samsung", &["phone", "laptop", "earphone"]),
+        ("ecco", &["shoes", "leather", "boots"]),
+        ("oppo", &["phone", "earphone", "charger"]),
+        ("costa", &["coffee", "drinks", "macha"]),
+        ("starbucks", &["coffee", "macha", "latte", "drinks"]),
+        ("bank", &["cash", "euro", "currency", "exchange"]),
+    ];
+    let mut rooms = Vec::new();
+    for (name, words) in twords {
+        let iword = directory.add_iword(name).expect("shop names are distinct");
+        for w in *words {
+            directory.add_tword_for(iword, w);
+        }
+        let partition = partitions[*name];
+        directory
+            .name_partition(partition, iword)
+            .expect("each shop is named once");
+        rooms.push(partition);
+    }
+
+    let ps = IndoorPoint::from_xy(10.0, 45.0, floor); // inside zara
+    let pt = IndoorPoint::from_xy(90.0, 30.0, floor); // east hallway cell
+    let p1 = IndoorPoint::from_xy(45.0, 30.0, floor); // hallway cell near apple
+    let p2 = IndoorPoint::from_xy(75.0, 30.0, floor); // same hallway cell, near samsung
+
+    Ok(PaperExampleVenue {
+        venue: Venue {
+            space,
+            directory,
+            rooms,
+        },
+        partitions,
+        ps,
+        pt,
+        p1,
+        p2,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_small_venue_builds_and_names_rooms() {
+        let venue = Venue::synthetic(&SyntheticVenueConfig::small(7)).unwrap();
+        assert_eq!(venue.rooms.len(), 96);
+        assert_eq!(venue.space.stats().partitions, 141);
+        for &room in &venue.rooms {
+            assert!(venue.directory.partition_iword(room).is_some());
+        }
+        let p = venue.point_in_partition(venue.rooms[0], (0.5, 0.5));
+        assert_eq!(venue.space.host_partition(&p).unwrap(), venue.rooms[0]);
+    }
+
+    #[test]
+    fn synthetic_venue_is_deterministic_per_seed() {
+        let a = Venue::synthetic(&SyntheticVenueConfig::small(3)).unwrap();
+        let b = Venue::synthetic(&SyntheticVenueConfig::small(3)).unwrap();
+        for &room in &a.rooms {
+            let wa = a.directory.partition_iword(room).map(|w| a.directory.resolve(w).unwrap().to_string());
+            let wb = b.directory.partition_iword(room).map(|w| b.directory.resolve(w).unwrap().to_string());
+            assert_eq!(wa, wb);
+        }
+    }
+
+    #[test]
+    fn paper_example_venue_matches_running_example() {
+        let example = paper_example_venue();
+        let venue = &example.venue;
+        assert_eq!(venue.space.stats().partitions, 12, "3 hallway cells + 9 shops");
+        // ps is hosted by zara, pt by the east hallway cell.
+        assert_eq!(
+            venue.space.host_partition(&example.ps).unwrap(),
+            example.partitions["zara"]
+        );
+        assert_eq!(
+            venue.space.host_partition(&example.pt).unwrap(),
+            example.partitions["hall3"]
+        );
+        // Keyword mappings of Example 4.
+        let latte = venue.directory.lookup("latte").unwrap();
+        let starbucks = venue.directory.lookup("starbucks").unwrap();
+        assert!(venue.directory.twords_of(starbucks).contains(&latte));
+        assert!(venue.directory.partition_iword(example.partitions["costa"]).is_some());
+        // Every shop requires a door loop: exactly one door per shop.
+        for name in ["zara", "apple", "samsung", "oppo", "costa"] {
+            assert_eq!(venue.space.p2d_enter(example.partitions[name]).len(), 1);
+        }
+        // The corridor connects end to end.
+        let d = venue.space.point_to_point_distance(&example.ps, &example.pt);
+        assert!(d.is_finite() && d > 80.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Floating point helpers: approximate comparisons and a totally ordered
+//! `f64` wrapper usable as a key in heaps, maps and sets.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Epsilon used for approximate floating point comparisons throughout the
+/// workspace. Venue coordinates are metres in the range `[0, ~3000]`, and all
+/// distances are sums of a few thousand Euclidean segments at most, so a
+/// micro-metre tolerance is far below any meaningful geometric feature and far
+/// above accumulated rounding error.
+pub const EPSILON: f64 = 1e-6;
+
+/// Returns `true` when `a` and `b` differ by at most [`EPSILON`].
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= EPSILON
+}
+
+/// Returns `true` when `a` is smaller than or approximately equal to `b`.
+#[inline]
+pub fn approx_le(a: f64, b: f64) -> bool {
+    a <= b + EPSILON
+}
+
+/// A totally ordered, hashable wrapper around a finite `f64`.
+///
+/// Distances and ranking scores are used as priority keys in the IKRQ search
+/// framework (Algorithm 1 keeps a priority queue ordered by ranking score) and
+/// as keys of the prime-route hash table. `OrderedF64` provides the `Ord` and
+/// `Hash` implementations `f64` lacks. Construction from a non-finite value is
+/// normalised to `f64::MAX` with the sign preserved, which is the safe
+/// behaviour for a distance bound ("unreachable").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct OrderedF64(f64);
+
+impl OrderedF64 {
+    /// Wraps a value, normalising NaN/infinities to signed `f64::MAX`.
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        if v.is_finite() {
+            OrderedF64(v)
+        } else if v.is_nan() || v > 0.0 {
+            OrderedF64(f64::MAX)
+        } else {
+            OrderedF64(-f64::MAX)
+        }
+    }
+
+    /// Returns the wrapped value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl From<f64> for OrderedF64 {
+    fn from(v: f64) -> Self {
+        OrderedF64::new(v)
+    }
+}
+
+impl From<OrderedF64> for f64 {
+    fn from(v: OrderedF64) -> Self {
+        v.0
+    }
+}
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Values are always finite by construction, so partial_cmp never fails.
+        self.0.partial_cmp(&other.0).unwrap_or(Ordering::Equal)
+    }
+}
+
+impl Hash for OrderedF64 {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl fmt::Display for OrderedF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{BinaryHeap, HashSet};
+
+    #[test]
+    fn approx_eq_within_epsilon() {
+        assert!(approx_eq(1.0, 1.0 + 1e-9));
+        assert!(!approx_eq(1.0, 1.0 + 1e-3));
+    }
+
+    #[test]
+    fn approx_le_allows_slack() {
+        assert!(approx_le(1.0, 1.0));
+        assert!(approx_le(1.0 + 1e-9, 1.0));
+        assert!(!approx_le(1.1, 1.0));
+    }
+
+    #[test]
+    fn ordered_f64_total_order() {
+        let mut v = vec![
+            OrderedF64::new(3.0),
+            OrderedF64::new(-1.0),
+            OrderedF64::new(2.5),
+        ];
+        v.sort();
+        assert_eq!(v[0].get(), -1.0);
+        assert_eq!(v[2].get(), 3.0);
+    }
+
+    #[test]
+    fn ordered_f64_normalises_non_finite() {
+        assert_eq!(OrderedF64::new(f64::INFINITY).get(), f64::MAX);
+        assert_eq!(OrderedF64::new(f64::NEG_INFINITY).get(), -f64::MAX);
+        assert_eq!(OrderedF64::new(f64::NAN).get(), f64::MAX);
+    }
+
+    #[test]
+    fn ordered_f64_works_in_heap_and_set() {
+        let mut heap = BinaryHeap::new();
+        heap.push(OrderedF64::new(1.0));
+        heap.push(OrderedF64::new(5.0));
+        heap.push(OrderedF64::new(3.0));
+        assert_eq!(heap.pop().unwrap().get(), 5.0);
+
+        let mut set = HashSet::new();
+        set.insert(OrderedF64::new(2.0));
+        assert!(set.contains(&OrderedF64::new(2.0)));
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let x: OrderedF64 = 4.25.into();
+        let y: f64 = x.into();
+        assert_eq!(y, 4.25);
+    }
+}

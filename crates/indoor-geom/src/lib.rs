@@ -1,0 +1,48 @@
+//! # indoor-geom
+//!
+//! A small, dependency-free planar geometry kernel used by the Indoor Top-k
+//! Keyword-aware Routing Query (IKRQ, ICDE 2020) reproduction.
+//!
+//! The indoor space model of the paper works with two-dimensional floorplans
+//! stacked into a multi-floor venue. All geometric primitives the rest of the
+//! workspace needs live here:
+//!
+//! * [`Point`] — a planar point with Euclidean distance (`|x, y|_E` in the
+//!   paper's notation),
+//! * [`Rect`] — axis-aligned rectangles used for rooms, hallway segments and
+//!   staircases,
+//! * [`Polygon`] — simple polygons used for irregular hallways before they
+//!   are decomposed into regular partitions (§V-A1),
+//! * [`Segment`] — line segments with intersection tests used when validating
+//!   generated floorplans,
+//! * [`UniformGrid`] — a uniform spatial hash used for point-location queries
+//!   (finding the host partition `v(p)` of a point),
+//! * [`OrderedF64`] — a totally ordered `f64` wrapper so distances can be used
+//!   as keys in heaps and maps.
+//!
+//! The kernel deliberately avoids floating point exotica: all venues generated
+//! by `indoor-data` are axis-aligned with coordinates far away from the limits
+//! of `f64`, so plain comparisons with an explicit epsilon are sufficient and
+//! keep the code easy to audit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod float;
+pub mod grid;
+pub mod point;
+pub mod polygon;
+pub mod rect;
+pub mod segment;
+
+pub use error::GeomError;
+pub use float::{approx_eq, approx_le, OrderedF64, EPSILON};
+pub use grid::UniformGrid;
+pub use point::Point;
+pub use polygon::Polygon;
+pub use rect::Rect;
+pub use segment::Segment;
+
+/// Result alias for fallible geometry operations.
+pub type Result<T> = std::result::Result<T, GeomError>;

@@ -1,0 +1,199 @@
+//! Planar points and Euclidean distance (the paper's `|·,·|_E`).
+
+use crate::error::GeomError;
+use crate::float::approx_eq;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A point in a two-dimensional floorplan, in metres.
+///
+/// Floors are modelled outside the geometry kernel (see `indoor-space`); every
+/// point here lives on a single floorplan plane.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate in metres.
+    pub x: f64,
+    /// Vertical coordinate in metres.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a new point.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Validates that both coordinates are finite.
+    pub fn validate(&self) -> Result<(), GeomError> {
+        for v in [self.x, self.y] {
+            if !v.is_finite() {
+                return Err(GeomError::NonFiniteCoordinate { value: v });
+            }
+        }
+        Ok(())
+    }
+
+    /// Euclidean distance to another point; `|p, q|_E` in the paper.
+    #[inline]
+    pub fn distance(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Squared Euclidean distance (avoids the square root when only
+    /// comparisons are needed).
+    #[inline]
+    pub fn distance_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Manhattan (L1) distance, used by the floorplan generator to bound
+    /// corridor walks.
+    #[inline]
+    pub fn manhattan(&self, other: &Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Midpoint between `self` and `other`.
+    #[inline]
+    pub fn midpoint(&self, other: &Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Linear interpolation between `self` (t = 0) and `other` (t = 1).
+    #[inline]
+    pub fn lerp(&self, other: &Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Dot product, treating both points as vectors from the origin.
+    #[inline]
+    pub fn dot(&self, other: &Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Z-component of the cross product, treating both points as vectors.
+    #[inline]
+    pub fn cross(&self, other: &Point) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Euclidean norm of the point interpreted as a vector.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Approximate equality under the kernel epsilon.
+    #[inline]
+    pub fn approx_eq(&self, other: &Point) -> bool {
+        approx_eq(self.x, other.x) && approx_eq(self.y, other.y)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_matches_pythagoras() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!(approx_eq(a.distance(&b), 5.0));
+        assert!(approx_eq(a.distance_sq(&b), 25.0));
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Point::new(1.5, -2.0);
+        let b = Point::new(-4.0, 7.25);
+        assert!(approx_eq(a.distance(&b), b.distance(&a)));
+        assert!(approx_eq(a.distance(&a), 0.0));
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let a = Point::new(1.0, 1.0);
+        let b = Point::new(4.0, 5.0);
+        assert!(approx_eq(a.manhattan(&b), 7.0));
+    }
+
+    #[test]
+    fn midpoint_and_lerp() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 20.0);
+        assert!(a.midpoint(&b).approx_eq(&Point::new(5.0, 10.0)));
+        assert!(a.lerp(&b, 0.25).approx_eq(&Point::new(2.5, 5.0)));
+        assert!(a.lerp(&b, 1.0).approx_eq(&b));
+    }
+
+    #[test]
+    fn vector_operations() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, 4.0);
+        assert!(approx_eq(a.dot(&b), 11.0));
+        assert!(approx_eq(a.cross(&b), -2.0));
+        assert!(approx_eq((a + b).x, 4.0));
+        assert!(approx_eq((b - a).y, 2.0));
+        assert!(approx_eq((a * 2.0).y, 4.0));
+        assert!(approx_eq(Point::new(3.0, 4.0).norm(), 5.0));
+    }
+
+    #[test]
+    fn validate_rejects_nan() {
+        assert!(Point::new(f64::NAN, 0.0).validate().is_err());
+        assert!(Point::new(0.0, f64::INFINITY).validate().is_err());
+        assert!(Point::new(1.0, 2.0).validate().is_ok());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Point::new(1.0, 2.5).to_string(), "(1.00, 2.50)");
+    }
+
+    #[test]
+    fn triangle_inequality_examples() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(5.0, 1.0);
+        let c = Point::new(2.0, 8.0);
+        assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c) + 1e-9);
+    }
+}

@@ -1,0 +1,349 @@
+//! Simple polygons. The paper's synthetic space decomposes "irregular
+//! hallways" into smaller regular partitions (§V-A1); the generator models an
+//! irregular hallway as a rectilinear polygon and this module provides the
+//! decomposition into axis-aligned rectangles.
+
+use crate::error::GeomError;
+use crate::float::{approx_eq, EPSILON};
+use crate::point::Point;
+use crate::rect::Rect;
+use crate::segment::Segment;
+use serde::{Deserialize, Serialize};
+
+/// A simple polygon given by its vertices in order (either orientation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polygon {
+    vertices: Vec<Point>,
+}
+
+impl Polygon {
+    /// Builds a polygon, validating that it has at least three vertices, all
+    /// coordinates are finite, and no two non-adjacent edges intersect.
+    pub fn new(vertices: Vec<Point>) -> Result<Self, GeomError> {
+        if vertices.len() < 3 {
+            return Err(GeomError::TooFewVertices {
+                got: vertices.len(),
+            });
+        }
+        for v in &vertices {
+            v.validate()?;
+        }
+        let poly = Polygon { vertices };
+        if let Some((i, j)) = poly.find_self_intersection() {
+            return Err(GeomError::SelfIntersecting {
+                first_edge: i,
+                second_edge: j,
+            });
+        }
+        Ok(poly)
+    }
+
+    /// Builds a rectangle-shaped polygon.
+    pub fn from_rect(rect: &Rect) -> Polygon {
+        Polygon {
+            vertices: rect.corners().to_vec(),
+        }
+    }
+
+    /// The vertices of the polygon.
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Whether the polygon has no vertices (never true for a constructed one).
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Edges of the polygon as segments.
+    pub fn edges(&self) -> Vec<Segment> {
+        let n = self.vertices.len();
+        (0..n)
+            .map(|i| Segment::new(self.vertices[i], self.vertices[(i + 1) % n]))
+            .collect()
+    }
+
+    fn find_self_intersection(&self) -> Option<(usize, usize)> {
+        let edges = self.edges();
+        let n = edges.len();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                // Adjacent edges always share an endpoint; skip them plus the
+                // wrap-around pair.
+                if j == i + 1 || (i == 0 && j == n - 1) {
+                    continue;
+                }
+                if edges[i].intersects_excluding_endpoints(&edges[j]) {
+                    return Some((i, j));
+                }
+            }
+        }
+        None
+    }
+
+    /// Signed area (positive for counter-clockwise vertex order).
+    pub fn signed_area(&self) -> f64 {
+        let n = self.vertices.len();
+        let mut acc = 0.0;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            acc += a.x * b.y - b.x * a.y;
+        }
+        acc / 2.0
+    }
+
+    /// Absolute area.
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Perimeter length.
+    pub fn perimeter(&self) -> f64 {
+        self.edges().iter().map(Segment::length).sum()
+    }
+
+    /// Centroid of the polygon.
+    pub fn centroid(&self) -> Point {
+        let a = self.signed_area();
+        if a.abs() <= EPSILON {
+            // Degenerate: fall back to the vertex average.
+            let n = self.vertices.len() as f64;
+            let sum = self
+                .vertices
+                .iter()
+                .fold(Point::ORIGIN, |acc, p| acc + *p);
+            return Point::new(sum.x / n, sum.y / n);
+        }
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        let n = self.vertices.len();
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            let cross = p.x * q.y - q.x * p.y;
+            cx += (p.x + q.x) * cross;
+            cy += (p.y + q.y) * cross;
+        }
+        Point::new(cx / (6.0 * a), cy / (6.0 * a))
+    }
+
+    /// Axis-aligned bounding box.
+    pub fn bounding_box(&self) -> Rect {
+        let mut min = self.vertices[0];
+        let mut max = self.vertices[0];
+        for v in &self.vertices {
+            min = Point::new(min.x.min(v.x), min.y.min(v.y));
+            max = Point::new(max.x.max(v.x), max.y.max(v.y));
+        }
+        // A polygon always has positive extent in at least one axis; guard the
+        // degenerate case by padding with epsilon.
+        Rect::new(min, max).unwrap_or(Rect {
+            min,
+            max: Point::new(max.x + EPSILON * 2.0, max.y + EPSILON * 2.0),
+        })
+    }
+
+    /// Point-in-polygon via ray casting (boundary counts as inside).
+    pub fn contains(&self, p: &Point) -> bool {
+        for e in self.edges() {
+            if e.contains_point(p) {
+                return true;
+            }
+        }
+        let mut inside = false;
+        let n = self.vertices.len();
+        let mut j = n - 1;
+        for i in 0..n {
+            let vi = self.vertices[i];
+            let vj = self.vertices[j];
+            if ((vi.y > p.y) != (vj.y > p.y))
+                && (p.x < (vj.x - vi.x) * (p.y - vi.y) / (vj.y - vi.y) + vi.x)
+            {
+                inside = !inside;
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// Whether every edge is axis-aligned.
+    pub fn is_rectilinear(&self) -> bool {
+        self.edges()
+            .iter()
+            .all(|e| approx_eq(e.a.x, e.b.x) || approx_eq(e.a.y, e.b.y))
+    }
+
+    /// Decomposes a rectilinear polygon into disjoint axis-aligned rectangles
+    /// by slicing at every distinct vertex coordinate ("grid slicing"). The
+    /// result covers exactly the polygon interior. This mirrors how the paper
+    /// decomposes irregular hallways into smaller regular partitions.
+    pub fn decompose_into_rects(&self) -> Result<Vec<Rect>, GeomError> {
+        if !self.is_rectilinear() {
+            return Err(GeomError::NotRectilinear);
+        }
+        let mut xs: Vec<f64> = self.vertices.iter().map(|v| v.x).collect();
+        let mut ys: Vec<f64> = self.vertices.iter().map(|v| v.y).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.dedup_by(|a, b| approx_eq(*a, *b));
+        ys.dedup_by(|a, b| approx_eq(*a, *b));
+
+        let mut cells = Vec::new();
+        for wx in xs.windows(2) {
+            for wy in ys.windows(2) {
+                let cell = Rect::new(Point::new(wx[0], wy[0]), Point::new(wx[1], wy[1]))?;
+                if self.contains(&cell.center()) {
+                    cells.push(cell);
+                }
+            }
+        }
+        Ok(Self::merge_adjacent_cells(cells))
+    }
+
+    /// Greedily merges horizontally then vertically adjacent cells of equal
+    /// extent to keep the decomposition small.
+    fn merge_adjacent_cells(mut cells: Vec<Rect>) -> Vec<Rect> {
+        // Horizontal merge pass: merge cells with identical y-extent whose x
+        // ranges touch.
+        cells.sort_by(|a, b| {
+            (a.min.y, a.min.x)
+                .partial_cmp(&(b.min.y, b.min.x))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut merged: Vec<Rect> = Vec::new();
+        for cell in cells {
+            if let Some(last) = merged.last_mut() {
+                if approx_eq(last.min.y, cell.min.y)
+                    && approx_eq(last.max.y, cell.max.y)
+                    && approx_eq(last.max.x, cell.min.x)
+                {
+                    *last = Rect {
+                        min: last.min,
+                        max: Point::new(cell.max.x, last.max.y),
+                    };
+                    continue;
+                }
+            }
+            merged.push(cell);
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l_shape() -> Polygon {
+        // An L-shaped rectilinear hallway.
+        Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 4.0),
+            Point::new(4.0, 4.0),
+            Point::new(4.0, 10.0),
+            Point::new(0.0, 10.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_too_few_vertices() {
+        assert!(matches!(
+            Polygon::new(vec![Point::ORIGIN, Point::new(1.0, 1.0)]),
+            Err(GeomError::TooFewVertices { got: 2 })
+        ));
+    }
+
+    #[test]
+    fn rejects_self_intersection() {
+        // A bow-tie.
+        let r = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(4.0, 0.0),
+            Point::new(0.0, 4.0),
+        ]);
+        assert!(matches!(r, Err(GeomError::SelfIntersecting { .. })));
+    }
+
+    #[test]
+    fn area_of_l_shape() {
+        let p = l_shape();
+        // 10x4 + 4x6 = 64
+        assert!(approx_eq(p.area(), 64.0));
+        assert!(p.is_rectilinear());
+    }
+
+    #[test]
+    fn area_of_triangle() {
+        let p = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(0.0, 3.0),
+        ])
+        .unwrap();
+        assert!(approx_eq(p.area(), 6.0));
+        assert!(!p.is_rectilinear());
+        assert!(p.decompose_into_rects().is_err());
+    }
+
+    #[test]
+    fn containment() {
+        let p = l_shape();
+        assert!(p.contains(&Point::new(1.0, 1.0)));
+        assert!(p.contains(&Point::new(9.0, 3.0)));
+        assert!(!p.contains(&Point::new(9.0, 9.0)));
+        // Boundary point.
+        assert!(p.contains(&Point::new(0.0, 5.0)));
+    }
+
+    #[test]
+    fn centroid_of_square_is_center() {
+        let p = Polygon::from_rect(&Rect::from_origin_size(Point::ORIGIN, 4.0, 4.0).unwrap());
+        assert!(p.centroid().approx_eq(&Point::new(2.0, 2.0)));
+        assert!(approx_eq(p.perimeter(), 16.0));
+    }
+
+    #[test]
+    fn bounding_box_covers_polygon() {
+        let p = l_shape();
+        let bb = p.bounding_box();
+        assert!(approx_eq(bb.area(), 100.0));
+        for v in p.vertices() {
+            assert!(bb.contains(v));
+        }
+    }
+
+    #[test]
+    fn decomposition_covers_l_shape_area() {
+        let p = l_shape();
+        let rects = p.decompose_into_rects().unwrap();
+        let total: f64 = rects.iter().map(Rect::area).sum();
+        assert!(approx_eq(total, p.area()));
+        // Every rect centre is inside the polygon.
+        for r in &rects {
+            assert!(p.contains(&r.center()));
+        }
+        // Rects are pairwise disjoint in area.
+        for i in 0..rects.len() {
+            for j in (i + 1)..rects.len() {
+                assert!(!rects[i].overlaps_area(&rects[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn decomposition_of_plain_rect_is_single_cell() {
+        let p = Polygon::from_rect(&Rect::from_origin_size(Point::ORIGIN, 8.0, 2.0).unwrap());
+        let rects = p.decompose_into_rects().unwrap();
+        assert_eq!(rects.len(), 1);
+        assert!(approx_eq(rects[0].area(), 16.0));
+    }
+}

@@ -1,0 +1,351 @@
+//! Axis-aligned rectangles. Rooms, hallway segments and staircases in the
+//! generated venues are all axis-aligned, so `Rect` is the workhorse shape.
+
+use crate::error::GeomError;
+use crate::float::{approx_eq, EPSILON};
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An axis-aligned rectangle described by its lower-left corner (`min`) and
+/// upper-right corner (`max`). Both corners are inclusive for containment
+/// queries, so two partitions that share a wall both "contain" the shared
+/// boundary; the indoor-space layer disambiguates host partitions explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two opposite corners, normalising their order.
+    /// Fails when the resulting rectangle has non-positive area.
+    pub fn new(a: Point, b: Point) -> Result<Self, GeomError> {
+        a.validate()?;
+        b.validate()?;
+        let min = Point::new(a.x.min(b.x), a.y.min(b.y));
+        let max = Point::new(a.x.max(b.x), a.y.max(b.y));
+        let r = Rect { min, max };
+        if r.width() <= EPSILON || r.height() <= EPSILON {
+            return Err(GeomError::DegenerateRect {
+                width: r.width(),
+                height: r.height(),
+            });
+        }
+        Ok(r)
+    }
+
+    /// Creates a rectangle from its lower-left corner, width and height.
+    pub fn from_origin_size(origin: Point, width: f64, height: f64) -> Result<Self, GeomError> {
+        Rect::new(origin, Point::new(origin.x + width, origin.y + height))
+    }
+
+    /// Width of the rectangle (along x).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height of the rectangle (along y).
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area in square metres.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Perimeter in metres.
+    #[inline]
+    pub fn perimeter(&self) -> f64 {
+        2.0 * (self.width() + self.height())
+    }
+
+    /// Geometric centre.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.min.midpoint(&self.max)
+    }
+
+    /// The four corners in counter-clockwise order starting at `min`.
+    pub fn corners(&self) -> [Point; 4] {
+        [
+            self.min,
+            Point::new(self.max.x, self.min.y),
+            self.max,
+            Point::new(self.min.x, self.max.y),
+        ]
+    }
+
+    /// Whether the rectangle contains a point (boundary inclusive, with the
+    /// kernel epsilon).
+    #[inline]
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.min.x - EPSILON
+            && p.x <= self.max.x + EPSILON
+            && p.y >= self.min.y - EPSILON
+            && p.y <= self.max.y + EPSILON
+    }
+
+    /// Whether the rectangle strictly contains a point (boundary exclusive).
+    #[inline]
+    pub fn contains_strict(&self, p: &Point) -> bool {
+        p.x > self.min.x + EPSILON
+            && p.x < self.max.x - EPSILON
+            && p.y > self.min.y + EPSILON
+            && p.y < self.max.y - EPSILON
+    }
+
+    /// Whether two rectangles overlap (boundary touching counts as overlap).
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min.x <= other.max.x + EPSILON
+            && self.max.x >= other.min.x - EPSILON
+            && self.min.y <= other.max.y + EPSILON
+            && self.max.y >= other.min.y - EPSILON
+    }
+
+    /// Whether two rectangles overlap with positive area (boundary touching
+    /// does not count). Used by the floorplan generator to assert partitions
+    /// are disjoint.
+    #[inline]
+    pub fn overlaps_area(&self, other: &Rect) -> bool {
+        self.min.x < other.max.x - EPSILON
+            && self.max.x > other.min.x + EPSILON
+            && self.min.y < other.max.y - EPSILON
+            && self.max.y > other.min.y + EPSILON
+    }
+
+    /// Intersection rectangle, if it has positive area.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.overlaps_area(other) {
+            return None;
+        }
+        Rect::new(
+            Point::new(self.min.x.max(other.min.x), self.min.y.max(other.min.y)),
+            Point::new(self.max.x.min(other.max.x), self.max.y.min(other.max.y)),
+        )
+        .ok()
+    }
+
+    /// Smallest rectangle containing both.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min: Point::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Point::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+
+    /// Closest point inside the rectangle to `p` (clamping).
+    pub fn clamp_point(&self, p: &Point) -> Point {
+        Point::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
+    }
+
+    /// Euclidean distance from `p` to the rectangle (0 when inside).
+    pub fn distance_to_point(&self, p: &Point) -> f64 {
+        self.clamp_point(p).distance(p)
+    }
+
+    /// Maximum Euclidean distance from `p` to any point of the rectangle,
+    /// i.e. the distance to the farthest corner. Used for the paper's
+    /// same-door loop cost `δd2d(d, d)` (twice the longest non-loop distance
+    /// reachable inside a partition from a door).
+    pub fn max_distance_to_point(&self, p: &Point) -> f64 {
+        self.corners()
+            .iter()
+            .map(|c| c.distance(p))
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether a point lies on the rectangle boundary.
+    pub fn on_boundary(&self, p: &Point) -> bool {
+        if !self.contains(p) {
+            return false;
+        }
+        approx_eq(p.x, self.min.x)
+            || approx_eq(p.x, self.max.x)
+            || approx_eq(p.y, self.min.y)
+            || approx_eq(p.y, self.max.y)
+    }
+
+    /// Whether `other` shares a (non-degenerate) boundary segment with `self`;
+    /// used by the generator to decide where doors may be placed.
+    pub fn shares_wall(&self, other: &Rect) -> bool {
+        let vertical_touch = approx_eq(self.max.x, other.min.x) || approx_eq(self.min.x, other.max.x);
+        let horizontal_touch =
+            approx_eq(self.max.y, other.min.y) || approx_eq(self.min.y, other.max.y);
+        if vertical_touch {
+            let lo = self.min.y.max(other.min.y);
+            let hi = self.max.y.min(other.max.y);
+            if hi - lo > EPSILON {
+                return true;
+            }
+        }
+        if horizontal_touch {
+            let lo = self.min.x.max(other.min.x);
+            let hi = self.max.x.min(other.max.x);
+            if hi - lo > EPSILON {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Midpoint of the shared wall with `other`, if any. This is where the
+    /// floorplan generator places a door connecting the two partitions.
+    pub fn shared_wall_midpoint(&self, other: &Rect) -> Option<Point> {
+        if !self.shares_wall(other) {
+            return None;
+        }
+        // Vertical shared wall.
+        for (x_a, x_b) in [(self.max.x, other.min.x), (self.min.x, other.max.x)] {
+            if approx_eq(x_a, x_b) {
+                let lo = self.min.y.max(other.min.y);
+                let hi = self.max.y.min(other.max.y);
+                if hi - lo > EPSILON {
+                    return Some(Point::new(x_a, (lo + hi) / 2.0));
+                }
+            }
+        }
+        // Horizontal shared wall.
+        for (y_a, y_b) in [(self.max.y, other.min.y), (self.min.y, other.max.y)] {
+            if approx_eq(y_a, y_b) {
+                let lo = self.min.x.max(other.min.x);
+                let hi = self.max.x.min(other.max.x);
+                if hi - lo > EPSILON {
+                    return Some(Point::new((lo + hi) / 2.0, y_a));
+                }
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} - {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::new(Point::new(x0, y0), Point::new(x1, y1)).unwrap()
+    }
+
+    #[test]
+    fn construction_normalises_corners() {
+        let r = Rect::new(Point::new(5.0, 5.0), Point::new(1.0, 2.0)).unwrap();
+        assert!(approx_eq(r.min.x, 1.0));
+        assert!(approx_eq(r.max.y, 5.0));
+        assert!(approx_eq(r.width(), 4.0));
+        assert!(approx_eq(r.height(), 3.0));
+    }
+
+    #[test]
+    fn degenerate_rect_is_rejected() {
+        assert!(Rect::new(Point::new(0.0, 0.0), Point::new(0.0, 5.0)).is_err());
+        assert!(Rect::from_origin_size(Point::ORIGIN, 5.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn area_perimeter_center() {
+        let r = rect(0.0, 0.0, 4.0, 3.0);
+        assert!(approx_eq(r.area(), 12.0));
+        assert!(approx_eq(r.perimeter(), 14.0));
+        assert!(r.center().approx_eq(&Point::new(2.0, 1.5)));
+    }
+
+    #[test]
+    fn containment_inclusive_and_strict() {
+        let r = rect(0.0, 0.0, 4.0, 4.0);
+        assert!(r.contains(&Point::new(0.0, 2.0)));
+        assert!(!r.contains_strict(&Point::new(0.0, 2.0)));
+        assert!(r.contains_strict(&Point::new(2.0, 2.0)));
+        assert!(!r.contains(&Point::new(5.0, 2.0)));
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let a = rect(0.0, 0.0, 4.0, 4.0);
+        let b = rect(2.0, 2.0, 6.0, 6.0);
+        let i = a.intersection(&b).unwrap();
+        assert!(approx_eq(i.area(), 4.0));
+        let u = a.union(&b);
+        assert!(approx_eq(u.area(), 36.0));
+        let c = rect(10.0, 10.0, 11.0, 11.0);
+        assert!(a.intersection(&c).is_none());
+        assert!(!a.overlaps_area(&c));
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn touching_rects_do_not_overlap_area() {
+        let a = rect(0.0, 0.0, 4.0, 4.0);
+        let b = rect(4.0, 0.0, 8.0, 4.0);
+        assert!(!a.overlaps_area(&b));
+        assert!(a.intersects(&b));
+        assert!(a.shares_wall(&b));
+    }
+
+    #[test]
+    fn distance_to_point() {
+        let r = rect(0.0, 0.0, 4.0, 4.0);
+        assert!(approx_eq(r.distance_to_point(&Point::new(2.0, 2.0)), 0.0));
+        assert!(approx_eq(r.distance_to_point(&Point::new(7.0, 8.0)), 5.0));
+        assert!(approx_eq(
+            r.max_distance_to_point(&Point::new(0.0, 0.0)),
+            32.0_f64.sqrt()
+        ));
+    }
+
+    #[test]
+    fn boundary_detection() {
+        let r = rect(0.0, 0.0, 4.0, 4.0);
+        assert!(r.on_boundary(&Point::new(0.0, 1.0)));
+        assert!(r.on_boundary(&Point::new(2.0, 4.0)));
+        assert!(!r.on_boundary(&Point::new(2.0, 2.0)));
+        assert!(!r.on_boundary(&Point::new(9.0, 9.0)));
+    }
+
+    #[test]
+    fn shared_wall_midpoint_vertical_and_horizontal() {
+        let a = rect(0.0, 0.0, 4.0, 4.0);
+        let b = rect(4.0, 1.0, 8.0, 3.0);
+        let m = a.shared_wall_midpoint(&b).unwrap();
+        assert!(m.approx_eq(&Point::new(4.0, 2.0)));
+
+        let c = rect(1.0, 4.0, 3.0, 8.0);
+        let m = a.shared_wall_midpoint(&c).unwrap();
+        assert!(m.approx_eq(&Point::new(2.0, 4.0)));
+
+        let d = rect(10.0, 10.0, 12.0, 12.0);
+        assert!(a.shared_wall_midpoint(&d).is_none());
+    }
+
+    #[test]
+    fn corner_touch_is_not_a_wall() {
+        let a = rect(0.0, 0.0, 4.0, 4.0);
+        let b = rect(4.0, 4.0, 8.0, 8.0);
+        assert!(!a.shares_wall(&b));
+        assert!(a.shared_wall_midpoint(&b).is_none());
+    }
+
+    #[test]
+    fn clamp_point_inside_stays() {
+        let r = rect(0.0, 0.0, 4.0, 4.0);
+        let p = Point::new(1.0, 3.0);
+        assert!(r.clamp_point(&p).approx_eq(&p));
+        assert!(r.clamp_point(&Point::new(-3.0, 9.0)).approx_eq(&Point::new(0.0, 4.0)));
+    }
+}

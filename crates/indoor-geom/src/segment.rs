@@ -1,0 +1,205 @@
+//! Line segments with intersection and distance predicates. The floorplan
+//! validator uses segments to check that generated walls and door placements
+//! are geometrically consistent.
+
+use crate::float::EPSILON;
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// A line segment between two points.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// First endpoint.
+    pub a: Point,
+    /// Second endpoint.
+    pub b: Point,
+}
+
+/// Orientation of an ordered point triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orientation {
+    /// Collinear points.
+    Collinear,
+    /// Counter-clockwise turn.
+    CounterClockwise,
+    /// Clockwise turn.
+    Clockwise,
+}
+
+impl Segment {
+    /// Creates a segment.
+    pub const fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Length of the segment.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.a.distance(&self.b)
+    }
+
+    /// Midpoint of the segment.
+    #[inline]
+    pub fn midpoint(&self) -> Point {
+        self.a.midpoint(&self.b)
+    }
+
+    /// Orientation of the triple `(p, q, r)`.
+    pub fn orientation(p: &Point, q: &Point, r: &Point) -> Orientation {
+        let val = (q.y - p.y) * (r.x - q.x) - (q.x - p.x) * (r.y - q.y);
+        if val.abs() <= EPSILON {
+            Orientation::Collinear
+        } else if val > 0.0 {
+            Orientation::Clockwise
+        } else {
+            Orientation::CounterClockwise
+        }
+    }
+
+    /// Whether point `q` lies on the segment, assuming `p`, `q`, `r` are
+    /// collinear.
+    fn on_collinear_segment(p: &Point, q: &Point, r: &Point) -> bool {
+        q.x <= p.x.max(r.x) + EPSILON
+            && q.x >= p.x.min(r.x) - EPSILON
+            && q.y <= p.y.max(r.y) + EPSILON
+            && q.y >= p.y.min(r.y) - EPSILON
+    }
+
+    /// Whether the point lies on the segment.
+    pub fn contains_point(&self, p: &Point) -> bool {
+        Segment::orientation(&self.a, p, &self.b) == Orientation::Collinear
+            && Segment::on_collinear_segment(&self.a, p, &self.b)
+    }
+
+    /// Standard segment intersection test (shared endpoints count as
+    /// intersections).
+    pub fn intersects(&self, other: &Segment) -> bool {
+        let o1 = Segment::orientation(&self.a, &self.b, &other.a);
+        let o2 = Segment::orientation(&self.a, &self.b, &other.b);
+        let o3 = Segment::orientation(&other.a, &other.b, &self.a);
+        let o4 = Segment::orientation(&other.a, &other.b, &self.b);
+
+        if o1 != o2 && o3 != o4 {
+            return true;
+        }
+        if o1 == Orientation::Collinear && Segment::on_collinear_segment(&self.a, &other.a, &self.b)
+        {
+            return true;
+        }
+        if o2 == Orientation::Collinear && Segment::on_collinear_segment(&self.a, &other.b, &self.b)
+        {
+            return true;
+        }
+        if o3 == Orientation::Collinear
+            && Segment::on_collinear_segment(&other.a, &self.a, &other.b)
+        {
+            return true;
+        }
+        if o4 == Orientation::Collinear
+            && Segment::on_collinear_segment(&other.a, &self.b, &other.b)
+        {
+            return true;
+        }
+        false
+    }
+
+    /// Intersection test that ignores intersections at shared endpoints; used
+    /// to detect genuinely crossing polygon edges.
+    pub fn intersects_excluding_endpoints(&self, other: &Segment) -> bool {
+        if !self.intersects(other) {
+            return false;
+        }
+        let shared = [&self.a, &self.b]
+            .iter()
+            .any(|p| p.approx_eq(&other.a) || p.approx_eq(&other.b));
+        if !shared {
+            return true;
+        }
+        // When the segments share an endpoint, they "cross" only if a
+        // non-shared endpoint of one lies strictly inside the other.
+        let strictly_inside = |seg: &Segment, p: &Point| {
+            seg.contains_point(p) && !p.approx_eq(&seg.a) && !p.approx_eq(&seg.b)
+        };
+        strictly_inside(self, &other.a)
+            || strictly_inside(self, &other.b)
+            || strictly_inside(other, &self.a)
+            || strictly_inside(other, &self.b)
+    }
+
+    /// Distance from a point to the segment.
+    pub fn distance_to_point(&self, p: &Point) -> f64 {
+        let d = self.b - self.a;
+        let len_sq = d.dot(&d);
+        if len_sq <= EPSILON {
+            return self.a.distance(p);
+        }
+        let t = ((*p - self.a).dot(&d) / len_sq).clamp(0.0, 1.0);
+        self.a.lerp(&self.b, t).distance(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::float::approx_eq;
+
+    #[test]
+    fn length_and_midpoint() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(6.0, 8.0));
+        assert!(approx_eq(s.length(), 10.0));
+        assert!(s.midpoint().approx_eq(&Point::new(3.0, 4.0)));
+    }
+
+    #[test]
+    fn crossing_segments_intersect() {
+        let s1 = Segment::new(Point::new(0.0, 0.0), Point::new(4.0, 4.0));
+        let s2 = Segment::new(Point::new(0.0, 4.0), Point::new(4.0, 0.0));
+        assert!(s1.intersects(&s2));
+        assert!(s1.intersects_excluding_endpoints(&s2));
+    }
+
+    #[test]
+    fn parallel_disjoint_segments_do_not_intersect() {
+        let s1 = Segment::new(Point::new(0.0, 0.0), Point::new(4.0, 0.0));
+        let s2 = Segment::new(Point::new(0.0, 1.0), Point::new(4.0, 1.0));
+        assert!(!s1.intersects(&s2));
+    }
+
+    #[test]
+    fn shared_endpoint_counts_only_for_inclusive_test() {
+        let s1 = Segment::new(Point::new(0.0, 0.0), Point::new(4.0, 0.0));
+        let s2 = Segment::new(Point::new(4.0, 0.0), Point::new(8.0, 3.0));
+        assert!(s1.intersects(&s2));
+        assert!(!s1.intersects_excluding_endpoints(&s2));
+    }
+
+    #[test]
+    fn collinear_overlap_detected() {
+        let s1 = Segment::new(Point::new(0.0, 0.0), Point::new(4.0, 0.0));
+        let s2 = Segment::new(Point::new(2.0, 0.0), Point::new(6.0, 0.0));
+        assert!(s1.intersects(&s2));
+        assert!(s1.intersects_excluding_endpoints(&s2));
+    }
+
+    #[test]
+    fn contains_point_on_and_off() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(4.0, 4.0));
+        assert!(s.contains_point(&Point::new(2.0, 2.0)));
+        assert!(!s.contains_point(&Point::new(2.0, 3.0)));
+        assert!(!s.contains_point(&Point::new(5.0, 5.0)));
+    }
+
+    #[test]
+    fn distance_to_point_projections() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(4.0, 0.0));
+        assert!(approx_eq(s.distance_to_point(&Point::new(2.0, 3.0)), 3.0));
+        assert!(approx_eq(s.distance_to_point(&Point::new(-3.0, 4.0)), 5.0));
+        assert!(approx_eq(s.distance_to_point(&Point::new(1.0, 0.0)), 0.0));
+    }
+
+    #[test]
+    fn degenerate_segment_distance() {
+        let s = Segment::new(Point::new(1.0, 1.0), Point::new(1.0, 1.0));
+        assert!(approx_eq(s.distance_to_point(&Point::new(4.0, 5.0)), 5.0));
+    }
+}

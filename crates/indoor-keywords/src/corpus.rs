@@ -1,0 +1,120 @@
+//! Document corpus types feeding the keyword extraction pipeline.
+//!
+//! The paper crawls ≈2074 shop-description documents for 1225 brands and
+//! extracts t-words from them (§V-A1). The corpus here is the in-memory
+//! equivalent: one or more free-text documents per brand (i-word).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A free-text document describing a brand / store.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Document {
+    /// The brand (i-word) the document describes.
+    pub brand: String,
+    /// Raw description text.
+    pub text: String,
+}
+
+impl Document {
+    /// Creates a document.
+    pub fn new(brand: impl Into<String>, text: impl Into<String>) -> Self {
+        Document {
+            brand: brand.into(),
+            text: text.into(),
+        }
+    }
+}
+
+/// A corpus of brand documents.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Corpus {
+    documents: Vec<Document>,
+}
+
+impl Corpus {
+    /// Creates an empty corpus.
+    pub fn new() -> Self {
+        Corpus::default()
+    }
+
+    /// Adds a document.
+    pub fn push(&mut self, doc: Document) {
+        self.documents.push(doc);
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.documents.is_empty()
+    }
+
+    /// Iterates over the documents.
+    pub fn iter(&self) -> impl Iterator<Item = &Document> {
+        self.documents.iter()
+    }
+
+    /// Number of distinct brands covered by the corpus.
+    pub fn num_brands(&self) -> usize {
+        self.by_brand().len()
+    }
+
+    /// Groups the document texts by brand, concatenating multiple documents
+    /// of the same brand.
+    pub fn by_brand(&self) -> BTreeMap<String, String> {
+        let mut out: BTreeMap<String, String> = BTreeMap::new();
+        for doc in &self.documents {
+            let slot = out.entry(doc.brand.to_lowercase()).or_default();
+            if !slot.is_empty() {
+                slot.push(' ');
+            }
+            slot.push_str(&doc.text);
+        }
+        out
+    }
+}
+
+impl FromIterator<Document> for Corpus {
+    fn from_iter<T: IntoIterator<Item = Document>>(iter: T) -> Self {
+        Corpus {
+            documents: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_groups_documents_by_brand() {
+        let mut c = Corpus::new();
+        assert!(c.is_empty());
+        c.push(Document::new("Apple", "laptops and phones"));
+        c.push(Document::new("apple", "watches and tablets"));
+        c.push(Document::new("Costa", "coffee and pastries"));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.num_brands(), 2);
+        let grouped = c.by_brand();
+        assert!(grouped["apple"].contains("laptops"));
+        assert!(grouped["apple"].contains("watches"));
+        assert!(grouped["costa"].contains("coffee"));
+        assert_eq!(c.iter().count(), 3);
+    }
+
+    #[test]
+    fn corpus_from_iterator() {
+        let c: Corpus = vec![
+            Document::new("a", "x"),
+            Document::new("b", "y"),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+    }
+}

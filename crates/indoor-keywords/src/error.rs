@@ -1,0 +1,69 @@
+//! Error type for the keyword substrate.
+
+use crate::intern::WordId;
+use indoor_space::PartitionId;
+use std::fmt;
+
+/// Errors produced while building or querying keyword structures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KeywordError {
+    /// A word id was used that is not known to the interner.
+    UnknownWord(WordId),
+    /// A word string was looked up that is not in any vocabulary.
+    UnknownWordString(String),
+    /// A word was registered both as an i-word and a t-word; the paper keeps
+    /// the two sets disjoint (§III-A).
+    VocabularyOverlap(String),
+    /// A partition already has an i-word; `P2I` is many-to-one so a second
+    /// assignment is a modelling error.
+    PartitionAlreadyNamed(PartitionId),
+    /// A partition has no i-word assigned.
+    PartitionUnnamed(PartitionId),
+    /// The similarity threshold must lie in `[0, 1]`.
+    InvalidThreshold(f64),
+    /// The query keyword list is empty.
+    EmptyQuery,
+}
+
+impl fmt::Display for KeywordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeywordError::UnknownWord(w) => write!(f, "unknown word id {w:?}"),
+            KeywordError::UnknownWordString(s) => write!(f, "unknown word '{s}'"),
+            KeywordError::VocabularyOverlap(s) =>
+
+                write!(f, "word '{s}' cannot be both an i-word and a t-word"),
+            KeywordError::PartitionAlreadyNamed(v) => {
+                write!(f, "partition {v} already has an i-word")
+            }
+            KeywordError::PartitionUnnamed(v) => write!(f, "partition {v} has no i-word"),
+            KeywordError::InvalidThreshold(t) => {
+                write!(f, "similarity threshold must be in [0,1], got {t}")
+            }
+            KeywordError::EmptyQuery => write!(f, "query keyword list is empty"),
+        }
+    }
+}
+
+impl std::error::Error for KeywordError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_display() {
+        let cases = vec![
+            KeywordError::UnknownWord(WordId(1)),
+            KeywordError::UnknownWordString("x".into()),
+            KeywordError::VocabularyOverlap("apple".into()),
+            KeywordError::PartitionAlreadyNamed(PartitionId(2)),
+            KeywordError::PartitionUnnamed(PartitionId(3)),
+            KeywordError::InvalidThreshold(1.5),
+            KeywordError::EmptyQuery,
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+}

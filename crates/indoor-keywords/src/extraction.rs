@@ -1,0 +1,280 @@
+//! Keyword extraction: a RAKE-style scorer combined with TF-IDF ranking.
+//!
+//! The paper feeds crawled shop documents into RAKE (Rose et al., 2010) and
+//! keeps, per brand, up to 60 extracted keywords with the highest TF-IDF
+//! values as t-words (§V-A1). This module reproduces that pipeline on any
+//! in-memory [`Corpus`]:
+//!
+//! 1. tokenize and drop stop words,
+//! 2. build RAKE candidate phrases (maximal stop-word-free token runs) and
+//!    score each content word by `degree / frequency`,
+//! 3. compute TF-IDF of every content word per brand document,
+//! 4. rank words by the product of RAKE score and TF-IDF and keep the top
+//!    `max_keywords_per_brand`.
+
+use crate::corpus::Corpus;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// A small English stop-word list; enough for the synthetic corpora used in
+/// the reproduction.
+const STOP_WORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "has", "have", "in",
+    "is", "it", "its", "of", "on", "or", "our", "that", "the", "their", "this", "to", "we",
+    "with", "you", "your", "all", "also", "more", "most", "other", "over", "under", "they",
+    "them", "than", "then", "there", "here", "was", "were", "will", "can", "may", "offer",
+    "offers", "best", "new", "every", "each", "into", "out", "up", "down", "about", "after",
+    "before", "between", "both", "during", "only", "own", "same", "so", "some", "such", "too",
+    "very", "just", "now", "while", "where", "which", "who", "whom", "why", "how", "not", "no",
+];
+
+/// Configuration for the extraction pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExtractionConfig {
+    /// Maximum number of keywords kept per brand (the paper keeps 60).
+    pub max_keywords_per_brand: usize,
+    /// Minimum token length to be considered a keyword.
+    pub min_word_len: usize,
+    /// Minimum number of occurrences across the brand's documents.
+    pub min_frequency: usize,
+}
+
+impl Default for ExtractionConfig {
+    fn default() -> Self {
+        ExtractionConfig {
+            max_keywords_per_brand: 60,
+            min_word_len: 3,
+            min_frequency: 1,
+        }
+    }
+}
+
+/// The extraction pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct ExtractionPipeline {
+    config: ExtractionConfig,
+}
+
+impl ExtractionPipeline {
+    /// Creates a pipeline with the given configuration.
+    pub fn new(config: ExtractionConfig) -> Self {
+        ExtractionPipeline { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ExtractionConfig {
+        &self.config
+    }
+
+    /// Tokenizes text into lowercase alphanumeric tokens.
+    pub fn tokenize(text: &str) -> Vec<String> {
+        text.to_lowercase()
+            .split(|c: char| !c.is_alphanumeric())
+            .filter(|t| !t.is_empty())
+            .map(str::to_string)
+            .collect()
+    }
+
+    /// Whether a token is a stop word.
+    pub fn is_stop_word(token: &str) -> bool {
+        STOP_WORDS.contains(&token)
+    }
+
+    /// RAKE content-word scores (`degree / frequency`) for one document's
+    /// token stream.
+    fn rake_scores(tokens: &[String]) -> HashMap<String, f64> {
+        // Split into candidate phrases at stop words.
+        let mut phrases: Vec<Vec<&str>> = Vec::new();
+        let mut current: Vec<&str> = Vec::new();
+        for t in tokens {
+            if Self::is_stop_word(t) {
+                if !current.is_empty() {
+                    phrases.push(std::mem::take(&mut current));
+                }
+            } else {
+                current.push(t.as_str());
+            }
+        }
+        if !current.is_empty() {
+            phrases.push(current);
+        }
+        let mut freq: HashMap<&str, f64> = HashMap::new();
+        let mut degree: HashMap<&str, f64> = HashMap::new();
+        for phrase in &phrases {
+            let deg = (phrase.len().saturating_sub(1)) as f64;
+            for &w in phrase {
+                *freq.entry(w).or_insert(0.0) += 1.0;
+                *degree.entry(w).or_insert(0.0) += deg;
+            }
+        }
+        freq.into_iter()
+            .map(|(w, f)| {
+                let d = degree.get(w).copied().unwrap_or(0.0);
+                (w.to_string(), (d + f) / f)
+            })
+            .collect()
+    }
+
+    /// Runs the full pipeline: per brand, the ranked keyword list (highest
+    /// combined RAKE × TF-IDF score first), truncated to the configured
+    /// maximum. The brand name's own tokens are removed from its keywords so
+    /// i-words and t-words stay disjoint.
+    pub fn extract(&self, corpus: &Corpus) -> BTreeMap<String, Vec<String>> {
+        let grouped = corpus.by_brand();
+        let num_docs = grouped.len().max(1) as f64;
+
+        // Document frequency of every content token.
+        let mut doc_freq: HashMap<String, usize> = HashMap::new();
+        let mut tokenized: BTreeMap<&String, Vec<String>> = BTreeMap::new();
+        for (brand, text) in &grouped {
+            let tokens = Self::tokenize(text);
+            let distinct: HashSet<&String> = tokens
+                .iter()
+                .filter(|t| !Self::is_stop_word(t) && t.len() >= self.config.min_word_len)
+                .collect();
+            for t in distinct {
+                *doc_freq.entry(t.clone()).or_insert(0) += 1;
+            }
+            tokenized.insert(brand, tokens);
+        }
+
+        let mut out = BTreeMap::new();
+        for (brand, text) in &grouped {
+            let tokens = &tokenized[brand];
+            let brand_tokens: HashSet<String> = Self::tokenize(brand).into_iter().collect();
+            let rake = Self::rake_scores(tokens);
+            // Term frequency within the brand document.
+            let mut tf: HashMap<&str, usize> = HashMap::new();
+            for t in tokens {
+                if !Self::is_stop_word(t) {
+                    *tf.entry(t.as_str()).or_insert(0) += 1;
+                }
+            }
+            let mut scored: Vec<(f64, String)> = tf
+                .iter()
+                .filter(|(w, &count)| {
+                    w.len() >= self.config.min_word_len
+                        && count >= self.config.min_frequency
+                        && !brand_tokens.contains(**w)
+                })
+                .map(|(w, &count)| {
+                    let df = doc_freq.get(*w).copied().unwrap_or(1) as f64;
+                    let idf = (num_docs / df).ln() + 1.0;
+                    let tfidf = count as f64 * idf;
+                    let rake_score = rake.get(*w).copied().unwrap_or(1.0);
+                    (tfidf * rake_score, w.to_string())
+                })
+                .collect();
+            scored.sort_by(|a, b| {
+                b.0.partial_cmp(&a.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.1.cmp(&b.1))
+            });
+            let keywords: Vec<String> = scored
+                .into_iter()
+                .take(self.config.max_keywords_per_brand)
+                .map(|(_, w)| w)
+                .collect();
+            let _ = text;
+            out.insert(brand.clone(), keywords);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Document;
+
+    fn coffee_corpus() -> Corpus {
+        vec![
+            Document::new(
+                "costa",
+                "Costa serves rich espresso coffee, creamy mocha and flat white. \
+                 Fresh pastries and sandwiches are available with your coffee.",
+            ),
+            Document::new(
+                "starbucks",
+                "Starbucks offers coffee, latte, mocha and cold brew. Seasonal \
+                 drinks and pastries complete the coffee experience.",
+            ),
+            Document::new(
+                "apple",
+                "Apple sells the latest laptop, smartphone, tablet and watch. \
+                 Accessories such as earphone and charger are in stock.",
+            ),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn tokenize_and_stop_words() {
+        let tokens = ExtractionPipeline::tokenize("The BEST Coffee, in-town!");
+        assert_eq!(tokens, vec!["the", "best", "coffee", "in", "town"]);
+        assert!(ExtractionPipeline::is_stop_word("the"));
+        assert!(!ExtractionPipeline::is_stop_word("coffee"));
+    }
+
+    #[test]
+    fn extraction_produces_relevant_keywords_per_brand() {
+        let pipeline = ExtractionPipeline::new(ExtractionConfig::default());
+        let keywords = pipeline.extract(&coffee_corpus());
+        assert_eq!(keywords.len(), 3);
+        assert!(keywords["costa"].iter().any(|k| k == "coffee"));
+        assert!(keywords["costa"].iter().any(|k| k == "mocha"));
+        assert!(keywords["apple"].iter().any(|k| k == "laptop"));
+        assert!(keywords["apple"].iter().any(|k| k == "smartphone"));
+        // Brand names never appear among their own keywords.
+        assert!(!keywords["costa"].iter().any(|k| k == "costa"));
+        assert!(!keywords["apple"].iter().any(|k| k == "apple"));
+        // Stop words never appear.
+        assert!(!keywords["starbucks"].iter().any(|k| k == "and"));
+    }
+
+    #[test]
+    fn max_keywords_is_respected() {
+        let pipeline = ExtractionPipeline::new(ExtractionConfig {
+            max_keywords_per_brand: 3,
+            ..Default::default()
+        });
+        let keywords = pipeline.extract(&coffee_corpus());
+        for (_, kws) in keywords {
+            assert!(kws.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn min_word_len_filters_short_tokens() {
+        let pipeline = ExtractionPipeline::new(ExtractionConfig {
+            min_word_len: 6,
+            ..Default::default()
+        });
+        let keywords = pipeline.extract(&coffee_corpus());
+        for (_, kws) in keywords {
+            assert!(kws.iter().all(|k| k.len() >= 6));
+        }
+    }
+
+    #[test]
+    fn discriminative_words_rank_above_common_ones() {
+        // "coffee" appears in both coffee brands, "espresso" only in costa;
+        // espresso should rank above coffee for costa thanks to IDF.
+        let pipeline = ExtractionPipeline::new(ExtractionConfig::default());
+        let keywords = pipeline.extract(&coffee_corpus());
+        let costa = &keywords["costa"];
+        let pos_espresso = costa.iter().position(|k| k == "espresso");
+        let pos_coffee = costa.iter().position(|k| k == "coffee");
+        assert!(pos_espresso.is_some());
+        assert!(pos_coffee.is_some());
+        assert!(pos_espresso.unwrap() < pos_coffee.unwrap());
+    }
+
+    #[test]
+    fn empty_corpus_yields_empty_output() {
+        let pipeline = ExtractionPipeline::default();
+        assert!(pipeline.extract(&Corpus::new()).is_empty());
+        assert_eq!(pipeline.config().max_keywords_per_brand, 60);
+    }
+}

@@ -1,0 +1,142 @@
+//! String interning for keywords.
+//!
+//! Keyword relevance computation compares and unions word sets heavily; the
+//! interner maps every distinct keyword string to a dense [`WordId`] so that
+//! all downstream set operations work on `u32`s.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of an interned word.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct WordId(pub u32);
+
+impl WordId {
+    /// Index usable for dense `Vec` storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for WordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// A simple string interner. Words are normalised to lowercase with trimmed
+/// whitespace so that `"Latte "` and `"latte"` are the same keyword.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Interner {
+    by_name: HashMap<String, WordId>,
+    names: Vec<String>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Normalises a raw keyword string.
+    pub fn normalise(raw: &str) -> String {
+        raw.trim().to_lowercase()
+    }
+
+    /// Interns a word, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, raw: &str) -> WordId {
+        let key = Self::normalise(raw);
+        if let Some(&id) = self.by_name.get(&key) {
+            return id;
+        }
+        let id = WordId(self.names.len() as u32);
+        self.by_name.insert(key.clone(), id);
+        self.names.push(key);
+        id
+    }
+
+    /// Looks up a word without interning it.
+    pub fn get(&self, raw: &str) -> Option<WordId> {
+        self.by_name.get(&Self::normalise(raw)).copied()
+    }
+
+    /// Resolves an id back to its string.
+    pub fn resolve(&self, id: WordId) -> Option<&str> {
+        self.names.get(id.index()).map(String::as_str)
+    }
+
+    /// Number of distinct interned words.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, word)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (WordId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (WordId(i as u32), s.as_str()))
+    }
+
+    /// Estimated heap size in bytes.
+    pub fn estimated_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .names
+                .iter()
+                .map(|s| s.capacity() + std::mem::size_of::<String>())
+                .sum::<usize>()
+            + self
+                .by_name
+                .keys()
+                .map(|s| s.capacity() + std::mem::size_of::<(String, WordId)>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_normalising() {
+        let mut i = Interner::new();
+        let a = i.intern("Latte");
+        let b = i.intern("  latte ");
+        let c = i.intern("mocha");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(i.len(), 2);
+        assert!(!i.is_empty());
+        assert_eq!(i.resolve(a), Some("latte"));
+        assert_eq!(i.get("LATTE"), Some(a));
+        assert_eq!(i.get("espresso"), None);
+        assert_eq!(i.resolve(WordId(99)), None);
+    }
+
+    #[test]
+    fn iteration_in_id_order() {
+        let mut i = Interner::new();
+        i.intern("a");
+        i.intern("b");
+        i.intern("c");
+        let words: Vec<_> = i.iter().map(|(_, w)| w.to_string()).collect();
+        assert_eq!(words, vec!["a", "b", "c"]);
+        assert!(i.estimated_bytes() > 0);
+    }
+
+    #[test]
+    fn word_id_display_and_index() {
+        assert_eq!(WordId(4).to_string(), "w4");
+        assert_eq!(WordId(4).index(), 4);
+    }
+}

@@ -1,0 +1,193 @@
+//! The four keyword mappings of §III-A: `P2I`, `I2P`, `I2T`, `T2I`, plus the
+//! partition-words accessor `PW(v)`.
+
+use crate::error::KeywordError;
+use crate::intern::WordId;
+use crate::Result;
+use indoor_space::PartitionId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The keyword mappings of a venue.
+///
+/// * `P2I` is many-to-one: every partition has exactly one i-word, several
+///   partitions may share one (five `cashier` booths).
+/// * `I2P` is the inverse, one-to-many.
+/// * `I2T` / `T2I` are many-to-many.
+///
+/// For simplicity of presentation — and matching the paper's assumption —
+/// "two partitions with the same i-word have the same set of t-words", because
+/// t-words attach to the i-word, not the partition.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct KeywordMappings {
+    p2i: BTreeMap<PartitionId, WordId>,
+    i2p: BTreeMap<WordId, Vec<PartitionId>>,
+    i2t: BTreeMap<WordId, BTreeSet<WordId>>,
+    t2i: BTreeMap<WordId, BTreeSet<WordId>>,
+}
+
+impl KeywordMappings {
+    /// Creates empty mappings.
+    pub fn new() -> Self {
+        KeywordMappings::default()
+    }
+
+    /// Assigns i-word `w` to partition `v` (`P2I(v) = w`). Fails when the
+    /// partition already has an i-word.
+    pub fn assign_partition(&mut self, v: PartitionId, w: WordId) -> Result<()> {
+        if self.p2i.contains_key(&v) {
+            return Err(KeywordError::PartitionAlreadyNamed(v));
+        }
+        self.p2i.insert(v, w);
+        self.i2p.entry(w).or_default().push(v);
+        Ok(())
+    }
+
+    /// Associates t-word `t` with i-word `w` (updates both `I2T` and `T2I`).
+    pub fn associate(&mut self, iword: WordId, tword: WordId) {
+        self.i2t.entry(iword).or_default().insert(tword);
+        self.t2i.entry(tword).or_default().insert(iword);
+    }
+
+    /// `P2I(v)`: the i-word of a partition, if assigned.
+    pub fn p2i(&self, v: PartitionId) -> Option<WordId> {
+        self.p2i.get(&v).copied()
+    }
+
+    /// `I2P(w)`: the partitions identified by an i-word.
+    pub fn i2p(&self, w: WordId) -> &[PartitionId] {
+        self.i2p.get(&w).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// `I2T(w)`: the t-words of an i-word.
+    pub fn i2t(&self, w: WordId) -> Option<&BTreeSet<WordId>> {
+        self.i2t.get(&w)
+    }
+
+    /// `T2I(t)`: the i-words described by a t-word.
+    pub fn t2i(&self, t: WordId) -> Option<&BTreeSet<WordId>> {
+        self.t2i.get(&t)
+    }
+
+    /// `PW(v)`: the partition words of `v` — its i-word plus the i-word's
+    /// t-words. Returns an error when the partition has no i-word.
+    pub fn partition_words(&self, v: PartitionId) -> Result<(WordId, BTreeSet<WordId>)> {
+        let iword = self
+            .p2i(v)
+            .ok_or(KeywordError::PartitionUnnamed(v))?;
+        let twords = self.i2t(iword).cloned().unwrap_or_default();
+        Ok((iword, twords))
+    }
+
+    /// Partitions assigned to any i-word (i.e. partitions carrying keywords).
+    pub fn named_partitions(&self) -> impl Iterator<Item = PartitionId> + '_ {
+        self.p2i.keys().copied()
+    }
+
+    /// All i-words that identify at least one partition.
+    pub fn used_iwords(&self) -> impl Iterator<Item = WordId> + '_ {
+        self.i2p.keys().copied()
+    }
+
+    /// Number of (i-word, t-word) association pairs.
+    pub fn num_associations(&self) -> usize {
+        self.i2t.values().map(BTreeSet::len).sum()
+    }
+
+    /// Average number of t-words per i-word that has at least one t-word.
+    pub fn avg_twords_per_iword(&self) -> f64 {
+        if self.i2t.is_empty() {
+            return 0.0;
+        }
+        self.num_associations() as f64 / self.i2t.len() as f64
+    }
+
+    /// Estimated heap size in bytes.
+    pub fn estimated_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.p2i.len() * (std::mem::size_of::<PartitionId>() + std::mem::size_of::<WordId>())
+            + self
+                .i2p
+                .values()
+                .map(|v| v.capacity() * std::mem::size_of::<PartitionId>() + 16)
+                .sum::<usize>()
+            + (self.num_associations() * 2) * std::mem::size_of::<WordId>() * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::Vocabulary;
+
+    fn sample() -> (Vocabulary, KeywordMappings) {
+        let mut v = Vocabulary::new();
+        let mut m = KeywordMappings::new();
+        let apple = v.add_iword("apple").unwrap();
+        let costa = v.add_iword("costa").unwrap();
+        let cashier = v.add_iword("cashier").unwrap();
+        let (coffee, _) = v.add_tword("coffee");
+        let (laptop, _) = v.add_tword("laptop");
+        let (phone, _) = v.add_tword("phone");
+        m.assign_partition(PartitionId(3), costa).unwrap();
+        m.assign_partition(PartitionId(10), apple).unwrap();
+        m.assign_partition(PartitionId(20), cashier).unwrap();
+        m.assign_partition(PartitionId(21), cashier).unwrap();
+        m.associate(apple, laptop);
+        m.associate(apple, phone);
+        m.associate(costa, coffee);
+        (v, m)
+    }
+
+    #[test]
+    fn p2i_is_many_to_one() {
+        let (v, m) = sample();
+        let cashier = v.lookup("cashier").unwrap();
+        assert_eq!(m.p2i(PartitionId(20)), Some(cashier));
+        assert_eq!(m.p2i(PartitionId(21)), Some(cashier));
+        assert_eq!(m.i2p(cashier), &[PartitionId(20), PartitionId(21)]);
+        // A partition can only be named once.
+        let mut m2 = m.clone();
+        assert!(m2
+            .assign_partition(PartitionId(20), v.lookup("apple").unwrap())
+            .is_err());
+    }
+
+    #[test]
+    fn i2t_and_t2i_are_inverse_views() {
+        let (v, m) = sample();
+        let apple = v.lookup("apple").unwrap();
+        let laptop = v.lookup("laptop").unwrap();
+        assert!(m.i2t(apple).unwrap().contains(&laptop));
+        assert!(m.t2i(laptop).unwrap().contains(&apple));
+        assert!(m.t2i(v.lookup("coffee").unwrap()).unwrap().contains(&v.lookup("costa").unwrap()));
+        assert!(m.i2t(v.lookup("cashier").unwrap()).is_none());
+    }
+
+    #[test]
+    fn partition_words_bundle_iword_and_twords() {
+        let (v, m) = sample();
+        let (iw, tw) = m.partition_words(PartitionId(10)).unwrap();
+        assert_eq!(iw, v.lookup("apple").unwrap());
+        assert_eq!(tw.len(), 2);
+        // Unnamed partition errors.
+        assert!(matches!(
+            m.partition_words(PartitionId(99)),
+            Err(KeywordError::PartitionUnnamed(_))
+        ));
+        // Named partition whose i-word has no t-words yields an empty set.
+        let (_, tw) = m.partition_words(PartitionId(20)).unwrap();
+        assert!(tw.is_empty());
+    }
+
+    #[test]
+    fn statistics() {
+        let (_, m) = sample();
+        assert_eq!(m.num_associations(), 3);
+        assert_eq!(m.named_partitions().count(), 4);
+        assert_eq!(m.used_iwords().count(), 3);
+        assert!((m.avg_twords_per_iword() - 1.5).abs() < 1e-9);
+        assert!(m.estimated_bytes() > 0);
+        assert!(KeywordMappings::new().avg_twords_per_iword() == 0.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Disjoint i-word / t-word vocabularies (§III-A).
+
+use crate::error::KeywordError;
+use crate::intern::{Interner, WordId};
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Classification of a word with respect to the venue's vocabularies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WordKind {
+    /// An identity word: the semantic name of a partition.
+    IWord,
+    /// A thematic word: a tag describing an i-word.
+    TWord,
+    /// Not part of either vocabulary.
+    Unknown,
+}
+
+/// The two disjoint keyword vocabularies of a venue, plus the interner that
+/// owns the strings.
+///
+/// "If a word is in the i-word set `Wi`, it is excluded from the t-word set
+/// `Wt` to keep the two keyword sets distinct." (§III-A)
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Vocabulary {
+    interner: Interner,
+    iwords: BTreeSet<WordId>,
+    twords: BTreeSet<WordId>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Vocabulary::default()
+    }
+
+    /// Access to the interner (read-only).
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Registers an i-word. Fails when the word is already a t-word.
+    pub fn add_iword(&mut self, raw: &str) -> Result<WordId> {
+        let id = self.interner.intern(raw);
+        if self.twords.contains(&id) {
+            return Err(KeywordError::VocabularyOverlap(
+                Interner::normalise(raw),
+            ));
+        }
+        self.iwords.insert(id);
+        Ok(id)
+    }
+
+    /// Registers a t-word. When the word is already an i-word it is *not*
+    /// added (the i-word set takes precedence, as in the paper's construction
+    /// where brand names are removed from extracted keywords); the existing
+    /// i-word id is returned together with `false`.
+    pub fn add_tword(&mut self, raw: &str) -> (WordId, bool) {
+        let id = self.interner.intern(raw);
+        if self.iwords.contains(&id) {
+            return (id, false);
+        }
+        self.twords.insert(id);
+        (id, true)
+    }
+
+    /// Looks a word up and classifies it. Unknown words intern to `Unknown`
+    /// only if absent; this method never mutates.
+    pub fn classify_str(&self, raw: &str) -> (Option<WordId>, WordKind) {
+        match self.interner.get(raw) {
+            Some(id) => (Some(id), self.classify(id)),
+            None => (None, WordKind::Unknown),
+        }
+    }
+
+    /// Classifies an interned word.
+    pub fn classify(&self, id: WordId) -> WordKind {
+        if self.iwords.contains(&id) {
+            WordKind::IWord
+        } else if self.twords.contains(&id) {
+            WordKind::TWord
+        } else {
+            WordKind::Unknown
+        }
+    }
+
+    /// Whether the word is an i-word.
+    pub fn is_iword(&self, id: WordId) -> bool {
+        self.iwords.contains(&id)
+    }
+
+    /// Whether the word is a t-word.
+    pub fn is_tword(&self, id: WordId) -> bool {
+        self.twords.contains(&id)
+    }
+
+    /// All i-words in id order.
+    pub fn iwords(&self) -> impl Iterator<Item = WordId> + '_ {
+        self.iwords.iter().copied()
+    }
+
+    /// All t-words in id order.
+    pub fn twords(&self) -> impl Iterator<Item = WordId> + '_ {
+        self.twords.iter().copied()
+    }
+
+    /// Number of i-words.
+    pub fn num_iwords(&self) -> usize {
+        self.iwords.len()
+    }
+
+    /// Number of t-words.
+    pub fn num_twords(&self) -> usize {
+        self.twords.len()
+    }
+
+    /// Resolves a word id back to its string.
+    pub fn resolve(&self, id: WordId) -> Option<&str> {
+        self.interner.resolve(id)
+    }
+
+    /// Looks up a word id by string without interning.
+    pub fn lookup(&self, raw: &str) -> Option<WordId> {
+        self.interner.get(raw)
+    }
+
+    /// Estimated heap size in bytes.
+    pub fn estimated_bytes(&self) -> usize {
+        self.interner.estimated_bytes()
+            + (self.iwords.len() + self.twords.len()) * std::mem::size_of::<WordId>() * 3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocabularies_stay_disjoint() {
+        let mut v = Vocabulary::new();
+        let apple = v.add_iword("Apple").unwrap();
+        let (coffee, added) = v.add_tword("coffee");
+        assert!(added);
+        assert_eq!(v.classify(apple), WordKind::IWord);
+        assert_eq!(v.classify(coffee), WordKind::TWord);
+        // Adding apple as a t-word is ignored: i-words take precedence.
+        let (same, added) = v.add_tword("apple");
+        assert_eq!(same, apple);
+        assert!(!added);
+        assert!(v.is_iword(apple));
+        assert!(!v.is_tword(apple));
+        // Adding coffee as an i-word is an error.
+        assert!(matches!(
+            v.add_iword("coffee"),
+            Err(KeywordError::VocabularyOverlap(_))
+        ));
+    }
+
+    #[test]
+    fn classification_of_unknown_words() {
+        let v = Vocabulary::new();
+        let (id, kind) = v.classify_str("nonexistent");
+        assert!(id.is_none());
+        assert_eq!(kind, WordKind::Unknown);
+    }
+
+    #[test]
+    fn counts_and_lookup() {
+        let mut v = Vocabulary::new();
+        v.add_iword("zara").unwrap();
+        v.add_iword("apple").unwrap();
+        v.add_tword("laptop");
+        v.add_tword("phone");
+        v.add_tword("pants");
+        assert_eq!(v.num_iwords(), 2);
+        assert_eq!(v.num_twords(), 3);
+        assert_eq!(v.iwords().count(), 2);
+        assert_eq!(v.twords().count(), 3);
+        let id = v.lookup("ZARA").unwrap();
+        assert_eq!(v.resolve(id), Some("zara"));
+        assert_eq!(v.classify_str("Laptop").1, WordKind::TWord);
+        assert!(v.estimated_bytes() > 0);
+    }
+
+    #[test]
+    fn re_adding_an_iword_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.add_iword("zara").unwrap();
+        let b = v.add_iword("zara").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(v.num_iwords(), 1);
+    }
+}

@@ -1,0 +1,618 @@
+//! Compact binary codec for [`VenueDocument`]s.
+//!
+//! The JSON representation of a full synthetic venue (≈700 partitions,
+//! ≈1100 doors, ≈1200 i-words with ≈9000 t-word strings) runs to several
+//! megabytes; this codec stores the same document in a flat little-endian
+//! layout at a fraction of the size and parses without an intermediate DOM.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic            8 bytes  b"IKRQVEN\0"
+//! format version   u16
+//! name             optional string (u8 tag + string)
+//! grid cell        f64
+//! floors           u32 count, then per floor: i32 floor, 4×f64 bounds
+//! partitions       u32 count, then per partition:
+//!                    u32 id, i32 floor, u8 kind, 4×f64 footprint,
+//!                    optional string name
+//! doors            u32 count, then per door: u32 id, 2×f64, i32 floor, u8 kind
+//! connections      u32 count, then per connection: u32 door, u32 partition, u8 flags
+//! intra overrides  u32 count, then u32 partition, u32 from, u32 to, f64
+//! loop overrides   u32 count, then u32 partition, u32 door, f64
+//! keywords         u32 count, then per i-word:
+//!                    string iword, u32 partition count + u32s,
+//!                    u32 t-word count + strings
+//! ```
+//!
+//! Strings are a `u32` byte length followed by UTF-8 bytes.
+
+use crate::document::{
+    ConnectionRecord, DoorRecord, FloorRecord, IntraOverrideRecord, KeywordRecord,
+    LoopOverrideRecord, PartitionRecord, VenueDocument, FORMAT_VERSION,
+};
+use crate::error::PersistError;
+use crate::Result;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fs;
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"IKRQVEN\0";
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_optional_string(buf: &mut BytesMut, s: &Option<String>) {
+    match s {
+        Some(s) => {
+            buf.put_u8(1);
+            put_string(buf, s);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+fn partition_kind_code(label: &str) -> Result<u8> {
+    Ok(match label {
+        "room" => 0,
+        "hallway" => 1,
+        "staircase" => 2,
+        "elevator" => 3,
+        other => {
+            return Err(PersistError::InvalidDocument(format!(
+                "unknown partition kind `{other}`"
+            )))
+        }
+    })
+}
+
+fn partition_kind_label(code: u8) -> Result<&'static str> {
+    Ok(match code {
+        0 => "room",
+        1 => "hallway",
+        2 => "staircase",
+        3 => "elevator",
+        other => {
+            return Err(PersistError::Binary(format!(
+                "unknown partition kind code {other}"
+            )))
+        }
+    })
+}
+
+fn door_kind_code(label: &str) -> Result<u8> {
+    Ok(match label {
+        "normal" => 0,
+        "stair" => 1,
+        "elevator" => 2,
+        other => {
+            return Err(PersistError::InvalidDocument(format!(
+                "unknown door kind `{other}`"
+            )))
+        }
+    })
+}
+
+fn door_kind_label(code: u8) -> Result<&'static str> {
+    Ok(match code {
+        0 => "normal",
+        1 => "stair",
+        2 => "elevator",
+        other => {
+            return Err(PersistError::Binary(format!(
+                "unknown door kind code {other}"
+            )))
+        }
+    })
+}
+
+/// Encodes a venue document into the compact binary format.
+pub fn encode_venue(doc: &VenueDocument) -> Result<Bytes> {
+    doc.validate()?;
+    let mut buf = BytesMut::with_capacity(1 << 16);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(doc.format_version);
+    put_optional_string(&mut buf, &doc.name);
+    buf.put_f64_le(doc.grid_cell);
+
+    buf.put_u32_le(doc.floors.len() as u32);
+    for f in &doc.floors {
+        buf.put_i32_le(f.floor);
+        for v in f.bounds {
+            buf.put_f64_le(v);
+        }
+    }
+
+    buf.put_u32_le(doc.partitions.len() as u32);
+    for p in &doc.partitions {
+        buf.put_u32_le(p.id);
+        buf.put_i32_le(p.floor);
+        buf.put_u8(partition_kind_code(&p.kind)?);
+        for v in p.footprint {
+            buf.put_f64_le(v);
+        }
+        put_optional_string(&mut buf, &p.name);
+    }
+
+    buf.put_u32_le(doc.doors.len() as u32);
+    for d in &doc.doors {
+        buf.put_u32_le(d.id);
+        buf.put_f64_le(d.position[0]);
+        buf.put_f64_le(d.position[1]);
+        buf.put_i32_le(d.floor);
+        buf.put_u8(door_kind_code(&d.kind)?);
+    }
+
+    buf.put_u32_le(doc.connections.len() as u32);
+    for c in &doc.connections {
+        buf.put_u32_le(c.door);
+        buf.put_u32_le(c.partition);
+        buf.put_u8(u8::from(c.enterable) | (u8::from(c.leavable) << 1));
+    }
+
+    buf.put_u32_le(doc.intra_overrides.len() as u32);
+    for o in &doc.intra_overrides {
+        buf.put_u32_le(o.partition);
+        buf.put_u32_le(o.from_door);
+        buf.put_u32_le(o.to_door);
+        buf.put_f64_le(o.distance);
+    }
+
+    buf.put_u32_le(doc.loop_overrides.len() as u32);
+    for o in &doc.loop_overrides {
+        buf.put_u32_le(o.partition);
+        buf.put_u32_le(o.door);
+        buf.put_f64_le(o.distance);
+    }
+
+    buf.put_u32_le(doc.keywords.len() as u32);
+    for k in &doc.keywords {
+        put_string(&mut buf, &k.iword);
+        buf.put_u32_le(k.partitions.len() as u32);
+        for &v in &k.partitions {
+            buf.put_u32_le(v);
+        }
+        buf.put_u32_le(k.twords.len() as u32);
+        for t in &k.twords {
+            put_string(&mut buf, t);
+        }
+    }
+
+    Ok(buf.freeze())
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+/// A small checked reader over the binary payload.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    fn need(&self, n: usize, what: &str) -> Result<()> {
+        if self.buf.remaining() < n {
+            return Err(PersistError::Binary(format!(
+                "truncated payload while reading {what}"
+            )));
+        }
+        Ok(())
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8> {
+        self.need(1, what)?;
+        Ok(self.buf.get_u8())
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16> {
+        self.need(2, what)?;
+        Ok(self.buf.get_u16_le())
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32> {
+        self.need(4, what)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    fn i32(&mut self, what: &str) -> Result<i32> {
+        self.need(4, what)?;
+        Ok(self.buf.get_i32_le())
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64> {
+        self.need(8, what)?;
+        Ok(self.buf.get_f64_le())
+    }
+
+    fn string(&mut self, what: &str) -> Result<String> {
+        let len = self.u32(what)? as usize;
+        self.need(len, what)?;
+        let bytes = self.buf.copy_to_bytes(len);
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| PersistError::Binary(format!("invalid UTF-8 in {what}")))
+    }
+
+    fn optional_string(&mut self, what: &str) -> Result<Option<String>> {
+        match self.u8(what)? {
+            0 => Ok(None),
+            1 => Ok(Some(self.string(what)?)),
+            other => Err(PersistError::Binary(format!(
+                "invalid optional-string tag {other} in {what}"
+            ))),
+        }
+    }
+
+    fn count(&mut self, what: &str) -> Result<usize> {
+        let n = self.u32(what)? as usize;
+        // A record is at least one byte; anything larger than the remaining
+        // payload is a corruption, not a huge venue.
+        if n > self.buf.remaining() {
+            return Err(PersistError::Binary(format!(
+                "implausible count {n} for {what}"
+            )));
+        }
+        Ok(n)
+    }
+}
+
+/// Decodes a venue document from the compact binary format.
+pub fn decode_venue(payload: &[u8]) -> Result<VenueDocument> {
+    let mut r = Reader::new(payload);
+    r.need(MAGIC.len(), "magic")?;
+    let mut magic = [0u8; 8];
+    r.buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(PersistError::Binary("wrong magic bytes".into()));
+    }
+    let format_version = r.u16("format version")?;
+    if format_version > FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion {
+            found: format_version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let name = r.optional_string("venue name")?;
+    let grid_cell = r.f64("grid cell")?;
+
+    let mut floors = Vec::new();
+    for _ in 0..r.count("floor count")? {
+        let floor = r.i32("floor id")?;
+        let mut bounds = [0.0; 4];
+        for b in &mut bounds {
+            *b = r.f64("floor bounds")?;
+        }
+        floors.push(FloorRecord { floor, bounds });
+    }
+
+    let mut partitions = Vec::new();
+    for _ in 0..r.count("partition count")? {
+        let id = r.u32("partition id")?;
+        let floor = r.i32("partition floor")?;
+        let kind = partition_kind_label(r.u8("partition kind")?)?.to_string();
+        let mut footprint = [0.0; 4];
+        for b in &mut footprint {
+            *b = r.f64("partition footprint")?;
+        }
+        let name = r.optional_string("partition name")?;
+        partitions.push(PartitionRecord {
+            id,
+            floor,
+            kind,
+            footprint,
+            name,
+        });
+    }
+
+    let mut doors = Vec::new();
+    for _ in 0..r.count("door count")? {
+        let id = r.u32("door id")?;
+        let x = r.f64("door x")?;
+        let y = r.f64("door y")?;
+        let floor = r.i32("door floor")?;
+        let kind = door_kind_label(r.u8("door kind")?)?.to_string();
+        doors.push(DoorRecord {
+            id,
+            position: [x, y],
+            floor,
+            kind,
+        });
+    }
+
+    let mut connections = Vec::new();
+    for _ in 0..r.count("connection count")? {
+        let door = r.u32("connection door")?;
+        let partition = r.u32("connection partition")?;
+        let flags = r.u8("connection flags")?;
+        if flags & !0b11 != 0 {
+            return Err(PersistError::Binary(format!(
+                "invalid connection flags {flags:#x}"
+            )));
+        }
+        connections.push(ConnectionRecord {
+            door,
+            partition,
+            enterable: flags & 0b01 != 0,
+            leavable: flags & 0b10 != 0,
+        });
+    }
+
+    let mut intra_overrides = Vec::new();
+    for _ in 0..r.count("intra override count")? {
+        intra_overrides.push(IntraOverrideRecord {
+            partition: r.u32("override partition")?,
+            from_door: r.u32("override from door")?,
+            to_door: r.u32("override to door")?,
+            distance: r.f64("override distance")?,
+        });
+    }
+
+    let mut loop_overrides = Vec::new();
+    for _ in 0..r.count("loop override count")? {
+        loop_overrides.push(LoopOverrideRecord {
+            partition: r.u32("loop partition")?,
+            door: r.u32("loop door")?,
+            distance: r.f64("loop distance")?,
+        });
+    }
+
+    let mut keywords = Vec::new();
+    for _ in 0..r.count("keyword count")? {
+        let iword = r.string("i-word")?;
+        let mut partitions_of = Vec::new();
+        for _ in 0..r.count("i-word partition count")? {
+            partitions_of.push(r.u32("i-word partition")?);
+        }
+        let mut twords = Vec::new();
+        for _ in 0..r.count("t-word count")? {
+            twords.push(r.string("t-word")?);
+        }
+        keywords.push(KeywordRecord {
+            iword,
+            partitions: partitions_of,
+            twords,
+        });
+    }
+
+    if r.buf.has_remaining() {
+        return Err(PersistError::Binary(format!(
+            "{} trailing bytes after the document",
+            r.buf.remaining()
+        )));
+    }
+
+    let doc = VenueDocument {
+        format_version,
+        name,
+        grid_cell,
+        floors,
+        partitions,
+        doors,
+        connections,
+        intra_overrides,
+        loop_overrides,
+        keywords,
+    };
+    doc.validate()?;
+    Ok(doc)
+}
+
+/// Writes a venue document in binary form to a file.
+pub fn save_venue_binary(doc: &VenueDocument, path: impl AsRef<Path>) -> Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    fs::write(path, encode_venue(doc)?)?;
+    Ok(())
+}
+
+/// Reads a venue document from a binary file.
+pub fn load_venue_binary(path: impl AsRef<Path>) -> Result<VenueDocument> {
+    let payload = fs::read(path)?;
+    decode_venue(&payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_document() -> VenueDocument {
+        VenueDocument {
+            format_version: FORMAT_VERSION,
+            name: Some("binary test".into()),
+            grid_cell: 12.5,
+            floors: vec![FloorRecord {
+                floor: 0,
+                bounds: [0.0, 0.0, 30.0, 10.0],
+            }],
+            partitions: vec![
+                PartitionRecord {
+                    id: 0,
+                    floor: 0,
+                    kind: "room".into(),
+                    footprint: [0.0, 0.0, 10.0, 10.0],
+                    name: Some("zara".into()),
+                },
+                PartitionRecord {
+                    id: 1,
+                    floor: 0,
+                    kind: "hallway".into(),
+                    footprint: [10.0, 0.0, 20.0, 10.0],
+                    name: None,
+                },
+                PartitionRecord {
+                    id: 2,
+                    floor: 0,
+                    kind: "staircase".into(),
+                    footprint: [20.0, 0.0, 30.0, 10.0],
+                    name: Some("stairs".into()),
+                },
+            ],
+            doors: vec![
+                DoorRecord {
+                    id: 0,
+                    position: [10.0, 5.0],
+                    floor: 0,
+                    kind: "normal".into(),
+                },
+                DoorRecord {
+                    id: 1,
+                    position: [20.0, 5.0],
+                    floor: 0,
+                    kind: "stair".into(),
+                },
+            ],
+            connections: vec![
+                ConnectionRecord {
+                    door: 0,
+                    partition: 0,
+                    enterable: true,
+                    leavable: true,
+                },
+                ConnectionRecord {
+                    door: 0,
+                    partition: 1,
+                    enterable: true,
+                    leavable: true,
+                },
+                ConnectionRecord {
+                    door: 1,
+                    partition: 1,
+                    enterable: false,
+                    leavable: true,
+                },
+                ConnectionRecord {
+                    door: 1,
+                    partition: 2,
+                    enterable: true,
+                    leavable: false,
+                },
+            ],
+            intra_overrides: vec![IntraOverrideRecord {
+                partition: 2,
+                from_door: 1,
+                to_door: 1,
+                distance: 20.0,
+            }],
+            loop_overrides: vec![LoopOverrideRecord {
+                partition: 0,
+                door: 0,
+                distance: 18.0,
+            }],
+            keywords: vec![
+                KeywordRecord {
+                    iword: "zara".into(),
+                    partitions: vec![0],
+                    twords: vec!["coat".into(), "pants".into()],
+                },
+                KeywordRecord {
+                    iword: "unassigned-brand".into(),
+                    partitions: vec![],
+                    twords: vec!["widget".into()],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_the_document() {
+        let doc = tiny_document();
+        let payload = encode_venue(&doc).unwrap();
+        assert_eq!(&payload[..8], MAGIC);
+        let back = decode_venue(&payload).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn binary_is_smaller_than_json_for_the_same_document() {
+        let doc = tiny_document();
+        let payload = encode_venue(&doc).unwrap();
+        let json = crate::json::to_json_string(&doc).unwrap();
+        assert!(payload.len() < json.len());
+    }
+
+    #[test]
+    fn wrong_magic_and_truncation_are_detected() {
+        let doc = tiny_document();
+        let payload = encode_venue(&doc).unwrap();
+
+        let mut corrupt = payload.to_vec();
+        corrupt[0] = b'X';
+        assert!(matches!(
+            decode_venue(&corrupt),
+            Err(PersistError::Binary(_))
+        ));
+
+        for cut in [4, payload.len() / 2, payload.len() - 1] {
+            assert!(decode_venue(&payload[..cut]).is_err(), "cut at {cut}");
+        }
+
+        let mut trailing = payload.to_vec();
+        trailing.push(0);
+        assert!(matches!(
+            decode_venue(&trailing),
+            Err(PersistError::Binary(_))
+        ));
+    }
+
+    #[test]
+    fn future_versions_are_rejected() {
+        let mut doc = tiny_document();
+        doc.format_version = FORMAT_VERSION + 1;
+        assert!(encode_venue(&doc).is_err());
+        // Patch a valid payload's version field directly (offset 8..10).
+        let payload = encode_venue(&tiny_document()).unwrap();
+        let mut patched = payload.to_vec();
+        patched[8] = (FORMAT_VERSION + 1) as u8;
+        assert!(matches!(
+            decode_venue(&patched),
+            Err(PersistError::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_kind_codes_and_flags_are_rejected() {
+        let mut doc = tiny_document();
+        doc.partitions[0].kind = "castle".into();
+        assert!(encode_venue(&doc).is_err());
+        let mut doc = tiny_document();
+        doc.doors[0].kind = "hatch".into();
+        assert!(encode_venue(&doc).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join(format!("ikrq-binary-test-{}", std::process::id()));
+        let path = dir.join("venue.ikrq");
+        let doc = tiny_document();
+        save_venue_binary(&doc, &path).unwrap();
+        let back = load_venue_binary(&path).unwrap();
+        assert_eq!(back, doc);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn decoded_document_still_builds_a_venue() {
+        let doc = tiny_document();
+        let payload = encode_venue(&doc).unwrap();
+        let back = decode_venue(&payload).unwrap();
+        let (space, directory) = back.build().unwrap();
+        assert_eq!(space.num_partitions(), 3);
+        assert_eq!(space.num_doors(), 2);
+        assert!(directory.lookup("zara").is_some());
+        assert!(directory.lookup("unassigned-brand").is_some());
+    }
+}

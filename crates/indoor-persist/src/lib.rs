@@ -1,0 +1,63 @@
+//! # indoor-persist
+//!
+//! Persistence layer for the IKRQ reproduction: portable documents for
+//! venues (indoor space + keyword directory), query workloads and search
+//! results, with two encodings:
+//!
+//! * **JSON** ([`json`]) — human-readable interchange format used by the
+//!   `ikrq` command-line tool and the benchmark harness;
+//! * **binary** ([`binary`]) — a compact little-endian layout for large
+//!   venues, hand-rolled on top of the `bytes` crate.
+//!
+//! The central type is [`VenueDocument`]: a flat, string-based description of
+//! a venue that can be captured from an in-memory model with
+//! [`VenueDocument::from_venue`] and rebuilt with [`VenueDocument::build`].
+//! Keywords are stored as strings (not interned ids) and topology as explicit
+//! directional connection records, so documents are portable across processes
+//! and may be edited by hand.
+//!
+//! ```
+//! use indoor_persist::{VenueDocument, json};
+//! use indoor_data::paper_example_venue;
+//!
+//! let example = paper_example_venue();
+//! let doc = VenueDocument::from_venue(
+//!     &example.venue.space,
+//!     &example.venue.directory,
+//!     10.0,
+//!     Some("fig1".into()),
+//! );
+//! let text = json::to_json_string(&doc).unwrap();
+//! let back: VenueDocument = json::from_json_str(&text).unwrap();
+//! let (space, directory) = back.build().unwrap();
+//! assert_eq!(space.num_partitions(), example.venue.space.num_partitions());
+//! assert!(directory.lookup("starbucks").is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binary;
+pub mod document;
+pub mod error;
+pub mod json;
+pub mod workload;
+
+pub use binary::{decode_venue, encode_venue, load_venue_binary, save_venue_binary};
+pub use document::{
+    ConnectionRecord, DoorRecord, FloorRecord, IntraOverrideRecord, KeywordRecord,
+    LoopOverrideRecord, PartitionRecord, VenueDocument, FORMAT_VERSION,
+};
+pub use error::PersistError;
+pub use json::{load_venue_json, save_venue_json};
+pub use workload::{QueryRecord, ResultDocument, ResultRecord, WorkloadDocument};
+
+/// Result alias for fallible persistence operations.
+pub type Result<T> = std::result::Result<T, PersistError>;
+
+/// Commonly used types, re-exported for glob import.
+pub mod prelude {
+    pub use crate::{
+        PersistError, QueryRecord, ResultDocument, VenueDocument, WorkloadDocument,
+    };
+}

@@ -1,0 +1,239 @@
+//! Workload and result documents: saved query instances and saved search
+//! outcomes, so that an experiment (or a user session) can be replayed
+//! exactly.
+
+use ikrq_core::{IkrqQuery, SearchOutcome};
+use indoor_keywords::QueryKeywords;
+use indoor_space::{FloorId, IndoorPoint};
+use serde::{Deserialize, Serialize};
+
+use crate::error::PersistError;
+use crate::Result;
+
+/// One saved IKRQ instance, in plain-value form (points as coordinates,
+/// keywords as strings) so the document does not depend on in-memory ids.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryRecord {
+    /// Start point `[x, y, floor]`.
+    pub start: (f64, f64, i32),
+    /// Terminal point `[x, y, floor]`.
+    pub terminal: (f64, f64, i32),
+    /// Distance constraint `∆` in metres.
+    pub delta: f64,
+    /// Query keywords `QW`.
+    pub keywords: Vec<String>,
+    /// Number of routes to return.
+    pub k: usize,
+    /// Ranking trade-off `α`.
+    pub alpha: f64,
+    /// Candidate similarity threshold `τ`.
+    pub tau: f64,
+}
+
+impl QueryRecord {
+    /// Captures an [`IkrqQuery`] into a record.
+    pub fn from_query(query: &IkrqQuery) -> Self {
+        QueryRecord {
+            start: (
+                query.start.position.x,
+                query.start.position.y,
+                query.start.floor.0,
+            ),
+            terminal: (
+                query.terminal.position.x,
+                query.terminal.position.y,
+                query.terminal.floor.0,
+            ),
+            delta: query.delta,
+            keywords: query.keywords.words().to_vec(),
+            k: query.k,
+            alpha: query.alpha,
+            tau: query.tau,
+        }
+    }
+
+    /// Rebuilds the [`IkrqQuery`].
+    pub fn to_query(&self) -> Result<IkrqQuery> {
+        let keywords = QueryKeywords::new(self.keywords.iter().map(String::as_str))
+            .map_err(PersistError::Keyword)?;
+        Ok(IkrqQuery::new(
+            IndoorPoint::from_xy(self.start.0, self.start.1, FloorId(self.start.2)),
+            IndoorPoint::from_xy(self.terminal.0, self.terminal.1, FloorId(self.terminal.2)),
+            self.delta,
+            keywords,
+            self.k,
+        )
+        .with_alpha(self.alpha)
+        .with_tau(self.tau))
+    }
+}
+
+/// A saved query workload: a list of query records plus free-form metadata
+/// about how it was generated (seed, venue name, parameter setting).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadDocument {
+    /// Human-readable description of the workload.
+    pub description: String,
+    /// Name of the venue document the workload was generated against.
+    pub venue: Option<String>,
+    /// Seed used by the generator, when applicable.
+    pub seed: Option<u64>,
+    /// The query instances.
+    pub queries: Vec<QueryRecord>,
+}
+
+impl WorkloadDocument {
+    /// Creates an empty workload with a description.
+    pub fn new(description: impl Into<String>) -> Self {
+        WorkloadDocument {
+            description: description.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Appends a query.
+    pub fn push_query(&mut self, query: &IkrqQuery) {
+        self.queries.push(QueryRecord::from_query(query));
+    }
+
+    /// Rebuilds every query of the workload.
+    pub fn to_queries(&self) -> Result<Vec<IkrqQuery>> {
+        self.queries.iter().map(QueryRecord::to_query).collect()
+    }
+
+    /// Number of saved queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the workload holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+/// One saved search outcome, labelled with the query it answered.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResultRecord {
+    /// The query.
+    pub query: QueryRecord,
+    /// The outcome (routes, metrics, variant label). [`SearchOutcome`]
+    /// serialises completely, including the route door sequences.
+    pub outcome: SearchOutcome,
+}
+
+/// A saved batch of search results, e.g. one experiment run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ResultDocument {
+    /// Human-readable description of the run.
+    pub description: String,
+    /// The individual results.
+    pub results: Vec<ResultRecord>,
+}
+
+impl ResultDocument {
+    /// Creates an empty result document.
+    pub fn new(description: impl Into<String>) -> Self {
+        ResultDocument {
+            description: description.into(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Appends a result.
+    pub fn push(&mut self, query: &IkrqQuery, outcome: SearchOutcome) {
+        self.results.push(ResultRecord {
+            query: QueryRecord::from_query(query),
+            outcome,
+        });
+    }
+
+    /// Number of saved results.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Whether the document holds no results.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// Mean running time in milliseconds over all saved results.
+    pub fn mean_time_millis(&self) -> f64 {
+        if self.results.is_empty() {
+            return 0.0;
+        }
+        self.results
+            .iter()
+            .map(|r| r.outcome.metrics.elapsed_millis())
+            .sum::<f64>()
+            / self.results.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_query() -> IkrqQuery {
+        IkrqQuery::new(
+            IndoorPoint::from_xy(1.0, 2.0, FloorId(0)),
+            IndoorPoint::from_xy(30.0, 40.0, FloorId(2)),
+            250.0,
+            QueryKeywords::new(["coffee", "laptop"]).unwrap(),
+            5,
+        )
+        .with_alpha(0.7)
+        .with_tau(0.2)
+    }
+
+    #[test]
+    fn query_record_round_trip() {
+        let q = sample_query();
+        let record = QueryRecord::from_query(&q);
+        let back = record.to_query().unwrap();
+        assert_eq!(back.start, q.start);
+        assert_eq!(back.terminal, q.terminal);
+        assert_eq!(back.delta, q.delta);
+        assert_eq!(back.k, q.k);
+        assert_eq!(back.alpha, q.alpha);
+        assert_eq!(back.tau, q.tau);
+        assert_eq!(back.keywords.words(), q.keywords.words());
+    }
+
+    #[test]
+    fn empty_keyword_records_fail_to_rebuild() {
+        let mut record = QueryRecord::from_query(&sample_query());
+        record.keywords.clear();
+        assert!(matches!(
+            record.to_query(),
+            Err(PersistError::Keyword(_))
+        ));
+    }
+
+    #[test]
+    fn workload_document_accumulates_and_replays_queries() {
+        let mut doc = WorkloadDocument::new("unit test workload");
+        assert!(doc.is_empty());
+        doc.push_query(&sample_query());
+        doc.push_query(&sample_query());
+        doc.seed = Some(7);
+        doc.venue = Some("tiny".into());
+        assert_eq!(doc.len(), 2);
+        let queries = doc.to_queries().unwrap();
+        assert_eq!(queries.len(), 2);
+        assert_eq!(queries[0].k, 5);
+        // JSON round trip.
+        let text = serde_json::to_string(&doc).unwrap();
+        let back: WorkloadDocument = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn result_document_statistics() {
+        let doc = ResultDocument::new("empty run");
+        assert!(doc.is_empty());
+        assert_eq!(doc.len(), 0);
+        assert_eq!(doc.mean_time_millis(), 0.0);
+    }
+}

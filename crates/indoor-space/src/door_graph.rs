@@ -1,0 +1,177 @@
+//! The directed door connectivity graph derived from an [`IndoorSpace`].
+//!
+//! Nodes are doors. A directed edge `di → dj` labelled with partition `v`
+//! exists when one can enter `v` through `di` and leave it through `dj`
+//! (`v ∈ D2PA(di) ∩ D2P@(dj)` and `di ≠ dj`), weighted with the
+//! intra-partition walking distance. Same-door loops are *not* edges of the
+//! graph — they never shorten a path — and are handled at the route level by
+//! the search algorithms (Lemma 2 of the paper).
+
+use crate::ids::{DoorId, PartitionId};
+use crate::space::IndoorSpace;
+use serde::{Deserialize, Serialize};
+
+/// One outgoing edge of the door graph.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DoorGraphEdge {
+    /// Destination door.
+    pub to: DoorId,
+    /// The partition traversed between the two doors.
+    pub via: PartitionId,
+    /// Intra-partition walking distance in metres.
+    pub weight: f64,
+}
+
+/// Directed weighted graph over doors.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DoorGraph {
+    adjacency: Vec<Vec<DoorGraphEdge>>,
+    edge_count: usize,
+}
+
+impl DoorGraph {
+    /// An empty graph (used as a placeholder while the space is being built).
+    pub fn empty() -> Self {
+        DoorGraph::default()
+    }
+
+    /// Builds the graph from the topology and distances of `space`.
+    pub fn build(space: &IndoorSpace) -> Self {
+        let n = space.num_doors();
+        let mut adjacency: Vec<Vec<DoorGraphEdge>> = vec![Vec::new(); n];
+        let mut edge_count = 0;
+        for partition in space.partitions() {
+            let v = partition.id;
+            for &di in space.p2d_enter(v) {
+                for &dj in space.p2d_leave(v) {
+                    if di == dj {
+                        continue;
+                    }
+                    let weight = space.intra_door_distance(v, di, dj);
+                    if !weight.is_finite() {
+                        continue;
+                    }
+                    adjacency[di.index()].push(DoorGraphEdge { to: dj, via: v, weight });
+                    edge_count += 1;
+                }
+            }
+        }
+        // Deterministic neighbour order: by destination door then partition.
+        for edges in &mut adjacency {
+            edges.sort_by_key(|e| (e.to, e.via));
+        }
+        DoorGraph {
+            adjacency,
+            edge_count,
+        }
+    }
+
+    /// Number of door nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Outgoing edges of a door.
+    pub fn edges_from(&self, d: DoorId) -> &[DoorGraphEdge] {
+        self.adjacency
+            .get(d.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The cheapest edge from `from` to `to`, if any.
+    pub fn edge_between(&self, from: DoorId, to: DoorId) -> Option<&DoorGraphEdge> {
+        self.edges_from(from)
+            .iter()
+            .filter(|e| e.to == to)
+            .min_by(|a, b| a.weight.partial_cmp(&b.weight).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// Estimated heap size in bytes, used by the engine's memory accounting.
+    pub fn estimated_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .adjacency
+                .iter()
+                .map(|v| v.capacity() * std::mem::size_of::<DoorGraphEdge>() + std::mem::size_of::<Vec<DoorGraphEdge>>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::door::DoorKind;
+    use crate::ids::FloorId;
+    use crate::partition::PartitionKind;
+    use crate::space::IndoorSpaceBuilder;
+    use indoor_geom::{approx_eq, Point, Rect};
+
+    /// Three rooms in a row: v0 -d0- v1 -d1- v2, plus a one-way exit d2 from v2 to v0.
+    fn corridor() -> IndoorSpace {
+        let mut b = IndoorSpaceBuilder::new();
+        let f = FloorId(0);
+        let mut rooms = Vec::new();
+        for i in 0..3 {
+            rooms.push(b.add_partition(
+                f,
+                PartitionKind::Room,
+                Rect::from_origin_size(Point::new(i as f64 * 10.0, 0.0), 10.0, 10.0).unwrap(),
+                None,
+            ));
+        }
+        let d0 = b.add_door(Point::new(10.0, 5.0), f, DoorKind::Normal);
+        b.connect_bidirectional(d0, rooms[0], rooms[1]);
+        let d1 = b.add_door(Point::new(20.0, 5.0), f, DoorKind::Normal);
+        b.connect_bidirectional(d1, rooms[1], rooms[2]);
+        // A one-way door from v2 into v0 (can enter v0, can leave v2).
+        let d2 = b.add_door(Point::new(0.0, 0.0), f, DoorKind::Normal);
+        b.connect(d2, rooms[2], false, true);
+        b.connect(d2, rooms[0], true, false);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn graph_edges_follow_topology() {
+        let s = corridor();
+        let g = s.door_graph();
+        assert_eq!(g.num_nodes(), 3);
+        // d0 enters v0 or v1; from v1 it can leave via d1: edge d0->d1.
+        let e = g.edge_between(DoorId(0), DoorId(1)).unwrap();
+        assert_eq!(e.via, PartitionId(1));
+        assert!(approx_eq(e.weight, 10.0));
+        // d1 enters v2, leaves via d2 (the one-way exit): edge d1->d2.
+        assert!(g.edge_between(DoorId(1), DoorId(2)).is_some());
+        // d2 only *enters* v0, and v0's only leavable door is d0: edge d2->d0.
+        let e = g.edge_between(DoorId(2), DoorId(0)).unwrap();
+        assert_eq!(e.via, PartitionId(0));
+        // No edge d0 -> d2 in the reverse direction through v0 (d2 is not leavable from v0).
+        assert!(g.edge_between(DoorId(0), DoorId(2)).map(|e| e.via) != Some(PartitionId(0)));
+        assert!(g.num_edges() >= 4);
+        assert!(g.estimated_bytes() > 0);
+    }
+
+    #[test]
+    fn edges_are_sorted_and_bounds_safe() {
+        let s = corridor();
+        let g = s.door_graph();
+        let edges = g.edges_from(DoorId(0));
+        let mut sorted = edges.to_vec();
+        sorted.sort_by_key(|e| (e.to, e.via));
+        assert_eq!(edges, sorted.as_slice());
+        assert!(g.edges_from(DoorId(99)).is_empty());
+        assert!(g.edge_between(DoorId(0), DoorId(99)).is_none());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DoorGraph::empty();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

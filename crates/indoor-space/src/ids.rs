@@ -1,0 +1,113 @@
+//! Strongly typed identifiers for partitions, doors and floors.
+//!
+//! All identifiers are small dense integers assigned by the
+//! [`crate::IndoorSpaceBuilder`]; using newtypes prevents mixing them up in
+//! the search algorithms where partition ids and door ids flow side by side.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an indoor partition (`v` in the paper's notation).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct PartitionId(pub u32);
+
+/// Identifier of a door (`d` in the paper's notation).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct DoorId(pub u32);
+
+/// Identifier of a floor. Floors are numbered from 0 upward; the generator
+/// uses consecutive integers.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct FloorId(pub i32);
+
+impl PartitionId {
+    /// Index usable for dense `Vec` storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl DoorId {
+    /// Index usable for dense `Vec` storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl FloorId {
+    /// Raw floor number.
+    #[inline]
+    pub fn level(self) -> i32 {
+        self.0
+    }
+
+    /// Absolute number of floors between two floor ids.
+    #[inline]
+    pub fn floors_between(self, other: FloorId) -> u32 {
+        (self.0 - other.0).unsigned_abs()
+    }
+}
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for DoorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+impl fmt::Display for FloorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_display_like_the_paper() {
+        assert_eq!(PartitionId(3).to_string(), "v3");
+        assert_eq!(DoorId(15).to_string(), "d15");
+        assert_eq!(FloorId(2).to_string(), "F2");
+    }
+
+    #[test]
+    fn ids_are_usable_in_sets_and_vec_indexing() {
+        let mut s = HashSet::new();
+        s.insert(DoorId(1));
+        s.insert(DoorId(1));
+        s.insert(DoorId(2));
+        assert_eq!(s.len(), 2);
+        assert_eq!(PartitionId(7).index(), 7);
+        assert_eq!(DoorId(9).index(), 9);
+    }
+
+    #[test]
+    fn floor_arithmetic() {
+        assert_eq!(FloorId(4).floors_between(FloorId(1)), 3);
+        assert_eq!(FloorId(1).floors_between(FloorId(4)), 3);
+        assert_eq!(FloorId(2).level(), 2);
+    }
+
+    #[test]
+    fn ordering_is_by_raw_value() {
+        let mut v = vec![DoorId(5), DoorId(1), DoorId(3)];
+        v.sort();
+        assert_eq!(v, vec![DoorId(1), DoorId(3), DoorId(5)]);
+    }
+}

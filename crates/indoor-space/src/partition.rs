@@ -1,0 +1,146 @@
+//! Indoor partitions: the basic indoor regions of the model.
+//!
+//! "A partition is a basic indoor region with clear boundaries. Examples are
+//! rooms, staircases, and booths." (paper, footnote 2)
+
+use crate::ids::{FloorId, PartitionId};
+use indoor_geom::{Point, Rect};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The functional kind of a partition. The kind does not change routing
+/// semantics except for staircases/elevators, whose intra-partition distances
+/// are configured explicitly by the venue builder (walking costs on stairs are
+/// not planar Euclidean distances).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PartitionKind {
+    /// A room: shop, office, gate area, booth, ...
+    Room,
+    /// A regular hallway cell obtained from decomposing an irregular hallway.
+    Hallway,
+    /// A staircase partition on a specific floor.
+    Staircase,
+    /// An elevator cabin/shaft access on a specific floor (future-work entity
+    /// from §VII, exercised by the examples).
+    Elevator,
+}
+
+impl PartitionKind {
+    /// Whether the partition moves people between floors.
+    pub fn is_vertical_connector(self) -> bool {
+        matches!(self, PartitionKind::Staircase | PartitionKind::Elevator)
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PartitionKind::Room => "room",
+            PartitionKind::Hallway => "hallway",
+            PartitionKind::Staircase => "staircase",
+            PartitionKind::Elevator => "elevator",
+        }
+    }
+}
+
+impl fmt::Display for PartitionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// An indoor partition: identifier, floor, functional kind and footprint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Partition {
+    /// Identifier assigned by the builder.
+    pub id: PartitionId,
+    /// Floor the partition belongs to.
+    pub floor: FloorId,
+    /// Functional kind.
+    pub kind: PartitionKind,
+    /// Axis-aligned footprint on the floorplan.
+    pub footprint: Rect,
+    /// Optional display name (e.g. the room label on the floorplan). The
+    /// semantic identity word of a partition lives in `indoor-keywords`, not
+    /// here; this is purely for debugging and rendering.
+    pub name: Option<String>,
+}
+
+impl Partition {
+    /// Geometric centre of the partition.
+    pub fn center(&self) -> Point {
+        self.footprint.center()
+    }
+
+    /// Area of the partition in square metres.
+    pub fn area(&self) -> f64 {
+        self.footprint.area()
+    }
+
+    /// Whether the planar point lies inside the partition footprint
+    /// (boundary inclusive).
+    pub fn contains_point(&self, p: &Point) -> bool {
+        self.footprint.contains(p)
+    }
+
+    /// The farthest distance from `from` to any point of the partition; the
+    /// paper's same-door loop cost `δd2d(d, d)` is twice this value for the
+    /// pertinent door and partition.
+    pub fn farthest_distance_from(&self, from: &Point) -> f64 {
+        self.footprint.max_distance_to_point(from)
+    }
+}
+
+impl fmt::Display for Partition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} on {})", self.id, self.kind, self.floor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indoor_geom::approx_eq;
+
+    fn sample() -> Partition {
+        Partition {
+            id: PartitionId(1),
+            floor: FloorId(0),
+            kind: PartitionKind::Room,
+            footprint: Rect::from_origin_size(Point::new(10.0, 10.0), 6.0, 8.0).unwrap(),
+            name: Some("zara".into()),
+        }
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert!(PartitionKind::Staircase.is_vertical_connector());
+        assert!(PartitionKind::Elevator.is_vertical_connector());
+        assert!(!PartitionKind::Room.is_vertical_connector());
+        assert_eq!(PartitionKind::Hallway.to_string(), "hallway");
+    }
+
+    #[test]
+    fn geometry_helpers() {
+        let p = sample();
+        assert!(p.center().approx_eq(&Point::new(13.0, 14.0)));
+        assert!(approx_eq(p.area(), 48.0));
+        assert!(p.contains_point(&Point::new(12.0, 12.0)));
+        assert!(!p.contains_point(&Point::new(0.0, 0.0)));
+    }
+
+    #[test]
+    fn farthest_distance_is_to_opposite_corner() {
+        let p = sample();
+        // From the lower-left corner to the upper-right corner.
+        let d = p.farthest_distance_from(&Point::new(10.0, 10.0));
+        assert!(approx_eq(d, (36.0_f64 + 64.0).sqrt()));
+    }
+
+    #[test]
+    fn display_contains_id_kind_floor() {
+        let s = sample().to_string();
+        assert!(s.contains("v1"));
+        assert!(s.contains("room"));
+        assert!(s.contains("F0"));
+    }
+}

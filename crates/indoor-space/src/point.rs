@@ -1,0 +1,80 @@
+//! Indoor points: a planar position plus the floor it lies on.
+
+use crate::ids::FloorId;
+use indoor_geom::Point;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point inside the venue (`p` in the paper): planar coordinates plus floor.
+///
+/// Start and terminal points of an IKRQ are `IndoorPoint`s; doors also carry
+/// an `IndoorPoint` position for distance computations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IndoorPoint {
+    /// Planar position on the floorplan, in metres.
+    pub position: Point,
+    /// Floor the point lies on.
+    pub floor: FloorId,
+}
+
+impl IndoorPoint {
+    /// Creates an indoor point.
+    pub const fn new(position: Point, floor: FloorId) -> Self {
+        IndoorPoint { position, floor }
+    }
+
+    /// Convenience constructor from raw coordinates.
+    pub const fn from_xy(x: f64, y: f64, floor: FloorId) -> Self {
+        IndoorPoint {
+            position: Point::new(x, y),
+            floor,
+        }
+    }
+
+    /// Planar Euclidean distance to another indoor point **on the same
+    /// floor**; `None` when the floors differ (planar distance is then
+    /// meaningless and callers must go through the skeleton/graph distances).
+    pub fn planar_distance(&self, other: &IndoorPoint) -> Option<f64> {
+        (self.floor == other.floor).then(|| self.position.distance(&other.position))
+    }
+
+    /// Whether two indoor points share a floor.
+    #[inline]
+    pub fn same_floor(&self, other: &IndoorPoint) -> bool {
+        self.floor == other.floor
+    }
+}
+
+impl fmt::Display for IndoorPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.position, self.floor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indoor_geom::approx_eq;
+
+    #[test]
+    fn planar_distance_same_floor() {
+        let a = IndoorPoint::from_xy(0.0, 0.0, FloorId(0));
+        let b = IndoorPoint::from_xy(3.0, 4.0, FloorId(0));
+        assert!(approx_eq(a.planar_distance(&b).unwrap(), 5.0));
+        assert!(a.same_floor(&b));
+    }
+
+    #[test]
+    fn planar_distance_cross_floor_is_none() {
+        let a = IndoorPoint::from_xy(0.0, 0.0, FloorId(0));
+        let b = IndoorPoint::from_xy(3.0, 4.0, FloorId(1));
+        assert!(a.planar_distance(&b).is_none());
+        assert!(!a.same_floor(&b));
+    }
+
+    #[test]
+    fn display_mentions_floor() {
+        let a = IndoorPoint::from_xy(1.0, 2.0, FloorId(3));
+        assert!(a.to_string().contains("F3"));
+    }
+}

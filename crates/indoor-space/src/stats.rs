@@ -1,0 +1,133 @@
+//! Summary statistics of an indoor space, used to validate generated venues
+//! against the counts published in §V-A1 and §V-B of the paper.
+
+use crate::partition::PartitionKind;
+use crate::space::IndoorSpace;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Venue statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpaceStats {
+    /// Total number of partitions.
+    pub partitions: usize,
+    /// Total number of doors.
+    pub doors: usize,
+    /// Number of floors.
+    pub floors: usize,
+    /// Number of partitions per kind.
+    pub partitions_by_kind: BTreeMap<String, usize>,
+    /// Number of doors that connect floors (stair/elevator doors).
+    pub vertical_doors: usize,
+    /// Number of directed edges in the door graph.
+    pub door_graph_edges: usize,
+    /// Average number of doors per partition.
+    pub avg_doors_per_partition: f64,
+}
+
+impl SpaceStats {
+    /// Computes statistics from a space.
+    pub fn from_space(space: &IndoorSpace) -> Self {
+        let mut partitions_by_kind: BTreeMap<String, usize> = BTreeMap::new();
+        for p in space.partitions() {
+            *partitions_by_kind.entry(p.kind.label().to_string()).or_insert(0) += 1;
+        }
+        let vertical_doors = space
+            .doors()
+            .iter()
+            .filter(|d| d.kind.is_vertical())
+            .count();
+        let total_door_slots: usize = space
+            .partitions()
+            .iter()
+            .map(|p| {
+                let mut doors: Vec<_> = space.p2d_enter(p.id).to_vec();
+                doors.extend_from_slice(space.p2d_leave(p.id));
+                doors.sort();
+                doors.dedup();
+                doors.len()
+            })
+            .sum();
+        SpaceStats {
+            partitions: space.num_partitions(),
+            doors: space.num_doors(),
+            floors: space.floors().len(),
+            partitions_by_kind,
+            vertical_doors,
+            door_graph_edges: space.door_graph().num_edges(),
+            avg_doors_per_partition: if space.num_partitions() == 0 {
+                0.0
+            } else {
+                total_door_slots as f64 / space.num_partitions() as f64
+            },
+        }
+    }
+
+    /// Count of partitions of a given kind.
+    pub fn count_of(&self, kind: PartitionKind) -> usize {
+        self.partitions_by_kind
+            .get(kind.label())
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for SpaceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} partitions / {} doors / {} floors ({} vertical doors, {} door-graph edges)",
+            self.partitions, self.doors, self.floors, self.vertical_doors, self.door_graph_edges
+        )?;
+        for (kind, count) in &self.partitions_by_kind {
+            writeln!(f, "  {kind}: {count}")?;
+        }
+        write!(
+            f,
+            "  avg doors per partition: {:.2}",
+            self.avg_doors_per_partition
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::door::DoorKind;
+    use crate::ids::FloorId;
+    use crate::space::IndoorSpaceBuilder;
+    use indoor_geom::{Point, Rect};
+
+    #[test]
+    fn stats_count_kinds_and_doors() {
+        let mut b = IndoorSpaceBuilder::new();
+        let f = FloorId(0);
+        let room = b.add_partition(
+            f,
+            PartitionKind::Room,
+            Rect::from_origin_size(Point::ORIGIN, 10.0, 10.0).unwrap(),
+            None,
+        );
+        let hall = b.add_partition(
+            f,
+            PartitionKind::Hallway,
+            Rect::from_origin_size(Point::new(10.0, 0.0), 10.0, 10.0).unwrap(),
+            None,
+        );
+        let d = b.add_door(Point::new(10.0, 5.0), f, DoorKind::Normal);
+        b.connect_bidirectional(d, room, hall);
+        let s = b.build().unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.partitions, 2);
+        assert_eq!(stats.doors, 1);
+        assert_eq!(stats.floors, 1);
+        assert_eq!(stats.count_of(PartitionKind::Room), 1);
+        assert_eq!(stats.count_of(PartitionKind::Hallway), 1);
+        assert_eq!(stats.count_of(PartitionKind::Staircase), 0);
+        assert_eq!(stats.vertical_doors, 0);
+        assert_eq!(stats.door_graph_edges, 0);
+        assert!((stats.avg_doors_per_partition - 1.0).abs() < 1e-9);
+        assert!(stats.to_string().contains("2 partitions"));
+    }
+}

@@ -1,0 +1,300 @@
+//! Simple SVG line charts for the experiment figures.
+//!
+//! The benchmark harness emits per-figure CSV/Markdown tables; this module
+//! turns the same series into a small self-contained SVG line chart (linear
+//! or logarithmic y-axis) so the reproduced figures can be looked at next to
+//! the paper's plots without external tooling.
+
+use crate::error::VizError;
+use crate::svg::{fmt_coord, SvgDocument};
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// One data series of a chart.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChartSeries {
+    /// Legend label (e.g. the algorithm variant).
+    pub label: String,
+    /// `(x, y)` points, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl ChartSeries {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        ChartSeries {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// A line chart with labelled axes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LineChart {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Whether the y axis is logarithmic (base 10). Non-positive values are
+    /// clamped to the smallest positive value of the chart.
+    pub log_y: bool,
+    /// The data series.
+    pub series: Vec<ChartSeries>,
+    /// Canvas width in pixels.
+    pub width: f64,
+    /// Canvas height in pixels.
+    pub height: f64,
+}
+
+/// Colour palette for chart series.
+const PALETTE: [&str; 8] = [
+    "#c0392b", "#2471a3", "#1e8449", "#9a7d0a", "#6c3483", "#148f77", "#a04000", "#2c3e50",
+];
+
+impl LineChart {
+    /// Creates an empty chart with default canvas size.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        LineChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            log_y: false,
+            series: Vec::new(),
+            width: 560.0,
+            height: 360.0,
+        }
+    }
+
+    /// Switches the y axis to a base-10 logarithmic scale.
+    pub fn with_log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Adds a series.
+    pub fn push_series(&mut self, series: ChartSeries) -> &mut Self {
+        self.series.push(series);
+        self
+    }
+
+    fn data_bounds(&self) -> Result<(f64, f64, f64, f64)> {
+        let mut min_x = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                if !(x.is_finite() && y.is_finite()) {
+                    continue;
+                }
+                min_x = min_x.min(x);
+                max_x = max_x.max(x);
+                min_y = min_y.min(y);
+                max_y = max_y.max(y);
+            }
+        }
+        if !(min_x.is_finite() && max_x.is_finite() && min_y.is_finite() && max_y.is_finite()) {
+            return Err(VizError::EmptyChart);
+        }
+        if (max_x - min_x).abs() < f64::EPSILON {
+            max_x = min_x + 1.0;
+        }
+        if (max_y - min_y).abs() < f64::EPSILON {
+            max_y = min_y + 1.0;
+        }
+        Ok((min_x, max_x, min_y, max_y))
+    }
+
+    fn y_transform(&self, y: f64, min_y: f64) -> f64 {
+        if self.log_y {
+            let floor = if min_y > 0.0 { min_y } else { 1e-3 };
+            y.max(floor).log10()
+        } else {
+            y
+        }
+    }
+
+    /// Renders the chart to SVG markup. Fails when no finite data point
+    /// exists.
+    pub fn to_svg(&self) -> Result<String> {
+        let (min_x, max_x, min_y, max_y) = self.data_bounds()?;
+        let (ty_min, ty_max) = (
+            self.y_transform(min_y, min_y),
+            self.y_transform(max_y, min_y),
+        );
+        let ty_span = if (ty_max - ty_min).abs() < f64::EPSILON {
+            1.0
+        } else {
+            ty_max - ty_min
+        };
+
+        let margin_left = 64.0;
+        let margin_right = 140.0;
+        let margin_top = 36.0;
+        let margin_bottom = 48.0;
+        let plot_w = self.width - margin_left - margin_right;
+        let plot_h = self.height - margin_top - margin_bottom;
+
+        let px = |x: f64| margin_left + (x - min_x) / (max_x - min_x) * plot_w;
+        let py = |y: f64| {
+            margin_top + plot_h
+                - (self.y_transform(y, min_y) - ty_min) / ty_span * plot_h
+        };
+
+        let mut doc = SvgDocument::new(self.width, self.height);
+        // Frame and axes.
+        doc.open_group(Some("axes"));
+        doc.rect(
+            margin_left,
+            margin_top,
+            plot_w,
+            plot_h,
+            "#ffffff",
+            "#333333",
+            1.0,
+        );
+        doc.text_centered(
+            self.width / 2.0,
+            margin_top / 2.0 + 4.0,
+            13.0,
+            "#111111",
+            &self.title,
+        );
+        doc.text_centered(
+            margin_left + plot_w / 2.0,
+            self.height - 12.0,
+            11.0,
+            "#111111",
+            &self.x_label,
+        );
+        doc.text(
+            8.0,
+            margin_top - 8.0,
+            11.0,
+            "#111111",
+            &if self.log_y {
+                format!("{} (log)", self.y_label)
+            } else {
+                self.y_label.clone()
+            },
+        );
+        // Axis tick labels: min/max on both axes.
+        doc.text(margin_left - 4.0, self.height - margin_bottom + 14.0, 9.0, "#444444", &fmt_coord(min_x));
+        doc.text(
+            margin_left + plot_w - 16.0,
+            self.height - margin_bottom + 14.0,
+            9.0,
+            "#444444",
+            &fmt_coord(max_x),
+        );
+        doc.text(6.0, py(min_y) + 3.0, 9.0, "#444444", &fmt_coord(min_y));
+        doc.text(6.0, py(max_y) + 3.0, 9.0, "#444444", &fmt_coord(max_y));
+        doc.close_group();
+
+        // Series.
+        for (i, s) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            doc.open_group(Some(&format!("series-{i}")));
+            let pts: Vec<(f64, f64)> = s
+                .points
+                .iter()
+                .filter(|(x, y)| x.is_finite() && y.is_finite())
+                .map(|&(x, y)| (px(x), py(y)))
+                .collect();
+            doc.polyline(&pts, color, 2.0);
+            for &(x, y) in &pts {
+                doc.circle(x, y, 2.5, color);
+            }
+            // Legend entry.
+            let ly = margin_top + 14.0 * (i as f64 + 1.0);
+            doc.line(
+                self.width - margin_right + 10.0,
+                ly,
+                self.width - margin_right + 30.0,
+                ly,
+                color,
+                2.0,
+                false,
+            );
+            doc.text(
+                self.width - margin_right + 36.0,
+                ly + 3.0,
+                10.0,
+                "#111111",
+                &s.label,
+            );
+            doc.close_group();
+        }
+        Ok(doc.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_chart() -> LineChart {
+        let mut chart = LineChart::new("Fig. 5 — time vs k", "k", "time (ms)");
+        chart.push_series(ChartSeries::new(
+            "ToE",
+            vec![(1.0, 10.0), (3.0, 12.0), (5.0, 13.0)],
+        ));
+        chart.push_series(ChartSeries::new(
+            "KoE",
+            vec![(1.0, 11.0), (3.0, 14.0), (5.0, 18.0)],
+        ));
+        chart
+    }
+
+    #[test]
+    fn chart_renders_every_series_with_a_legend() {
+        let svg = sample_chart().to_svg().unwrap();
+        assert!(svg.contains("series-0"));
+        assert!(svg.contains("series-1"));
+        assert!(svg.contains("ToE"));
+        assert!(svg.contains("KoE"));
+        assert!(svg.contains("Fig. 5"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.matches("<circle").count() >= 6);
+    }
+
+    #[test]
+    fn log_scale_is_applied_and_labelled() {
+        let mut chart = sample_chart().with_log_y();
+        chart.push_series(ChartSeries::new("ToE\\P", vec![(1.0, 1e4), (5.0, 1e6)]));
+        let svg = chart.to_svg().unwrap();
+        assert!(svg.contains("(log)"));
+    }
+
+    #[test]
+    fn empty_charts_are_rejected() {
+        let chart = LineChart::new("empty", "x", "y");
+        assert!(matches!(chart.to_svg(), Err(VizError::EmptyChart)));
+        let mut nan_only = LineChart::new("nan", "x", "y");
+        nan_only.push_series(ChartSeries::new("bad", vec![(f64::NAN, 1.0)]));
+        assert!(nan_only.to_svg().is_err());
+    }
+
+    #[test]
+    fn single_point_series_do_not_divide_by_zero() {
+        let mut chart = LineChart::new("one", "x", "y");
+        chart.push_series(ChartSeries::new("single", vec![(2.0, 5.0)]));
+        let svg = chart.to_svg().unwrap();
+        assert!(svg.contains("<circle"));
+    }
+
+    #[test]
+    fn charts_serialise_for_the_harness() {
+        let chart = sample_chart();
+        let text = serde_json::to_string(&chart).unwrap();
+        let back: LineChart = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, chart);
+    }
+}

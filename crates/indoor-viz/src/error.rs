@@ -1,0 +1,61 @@
+//! Error type of the visualisation crate.
+
+use indoor_space::FloorId;
+use std::fmt;
+
+/// Errors produced while rendering venues, routes or charts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VizError {
+    /// The requested floor does not exist in the venue.
+    UnknownFloor(FloorId),
+    /// Space-model error bubbled up from `indoor-space`.
+    Space(indoor_space::SpaceError),
+    /// The chart has no data to draw.
+    EmptyChart,
+}
+
+impl fmt::Display for VizError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VizError::UnknownFloor(floor) => write!(f, "floor {floor} does not exist"),
+            VizError::Space(e) => write!(f, "space error: {e}"),
+            VizError::EmptyChart => write!(f, "chart has no series or no points"),
+        }
+    }
+}
+
+impl std::error::Error for VizError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VizError::Space(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<indoor_space::SpaceError> for VizError {
+    fn from(e: indoor_space::SpaceError) -> Self {
+        VizError::Space(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let cases = [
+            VizError::UnknownFloor(FloorId(3)),
+            VizError::EmptyChart,
+            VizError::Space(indoor_space::SpaceError::Unreachable),
+        ];
+        for c in &cases {
+            assert!(!c.to_string().is_empty());
+        }
+        assert!(std::error::Error::source(&cases[0]).is_none());
+        assert!(std::error::Error::source(&cases[2]).is_some());
+        let e: VizError = indoor_space::SpaceError::Unreachable.into();
+        assert!(matches!(e, VizError::Space(_)));
+    }
+}

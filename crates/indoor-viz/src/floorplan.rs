@@ -1,0 +1,215 @@
+//! Floorplan rendering: one SVG per floor, with partitions coloured by kind,
+//! doors as markers, and optional labels (display names or i-words).
+
+use crate::error::VizError;
+use crate::style::RenderStyle;
+use crate::svg::SvgDocument;
+use crate::Result;
+use indoor_keywords::KeywordDirectory;
+use indoor_space::{FloorId, IndoorSpace};
+
+/// Maps venue coordinates (metres, y up) to SVG coordinates (pixels, y down).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FloorProjection {
+    min_x: f64,
+    max_y: f64,
+    scale: f64,
+    margin: f64,
+}
+
+impl FloorProjection {
+    pub(crate) fn new(space: &IndoorSpace, floor: FloorId, style: &RenderStyle) -> Result<Self> {
+        let bounds = space
+            .floor_bounds(floor)
+            .map_err(|_| VizError::UnknownFloor(floor))?;
+        Ok(FloorProjection {
+            min_x: bounds.min.x,
+            max_y: bounds.max.y,
+            scale: style.scale,
+            margin: style.margin,
+        })
+    }
+
+    pub(crate) fn project(&self, x: f64, y: f64) -> (f64, f64) {
+        (
+            self.margin + (x - self.min_x) * self.scale,
+            self.margin + (self.max_y - y) * self.scale,
+        )
+    }
+
+    pub(crate) fn canvas_size(
+        &self,
+        space: &IndoorSpace,
+        floor: FloorId,
+    ) -> Result<(f64, f64)> {
+        let bounds = space
+            .floor_bounds(floor)
+            .map_err(|_| VizError::UnknownFloor(floor))?;
+        Ok((
+            (bounds.max.x - bounds.min.x) * self.scale + 2.0 * self.margin,
+            (bounds.max.y - bounds.min.y) * self.scale + 2.0 * self.margin,
+        ))
+    }
+}
+
+/// Renders one floor of a venue to SVG markup. When a keyword directory is
+/// supplied, partitions with an i-word are labelled with it (falling back to
+/// the partition's display name).
+pub fn render_floor(
+    space: &IndoorSpace,
+    directory: Option<&KeywordDirectory>,
+    floor: FloorId,
+    style: &RenderStyle,
+) -> Result<String> {
+    let projection = FloorProjection::new(space, floor, style)?;
+    let (width, height) = projection.canvas_size(space, floor)?;
+    let mut doc = SvgDocument::new(width, height);
+
+    doc.open_group(Some("partitions"));
+    for &pid in &space.partitions_on_floor(floor) {
+        let partition = space.partition(pid)?;
+        let fp = partition.footprint;
+        let (x0, y0) = projection.project(fp.min.x, fp.max.y);
+        doc.rect(
+            x0,
+            y0,
+            (fp.max.x - fp.min.x) * style.scale,
+            (fp.max.y - fp.min.y) * style.scale,
+            style.fill_for(partition.kind),
+            &style.outline,
+            1.0,
+        );
+        if style.show_labels {
+            let label = directory
+                .and_then(|d| d.partition_iword(pid).and_then(|w| d.resolve(w)))
+                .map(str::to_string)
+                .or_else(|| partition.name.clone())
+                .unwrap_or_else(|| pid.to_string());
+            let center = partition.center();
+            let (cx, cy) = projection.project(center.x, center.y);
+            doc.text_centered(cx, cy, style.label_size, "#333333", &label);
+        }
+    }
+    doc.close_group();
+
+    doc.open_group(Some("doors"));
+    for &did in &space.doors_on_floor(floor) {
+        let door = space.door(did)?;
+        let (cx, cy) = projection.project(door.position.x, door.position.y);
+        doc.circle(cx, cy, (style.scale * 0.6).max(1.5), &style.door_fill);
+        if style.show_door_ids {
+            doc.text(
+                cx + 2.0,
+                cy - 2.0,
+                style.label_size * 0.8,
+                "#555555",
+                &did.to_string(),
+            );
+        }
+    }
+    doc.close_group();
+
+    Ok(doc.finish())
+}
+
+/// Renders every floor of a venue, returning `(floor, svg)` pairs in floor
+/// order.
+pub fn render_all_floors(
+    space: &IndoorSpace,
+    directory: Option<&KeywordDirectory>,
+    style: &RenderStyle,
+) -> Result<Vec<(FloorId, String)>> {
+    space
+        .floors()
+        .into_iter()
+        .map(|f| render_floor(space, directory, f, style).map(|svg| (f, svg)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indoor_data::paper_example_venue;
+
+    #[test]
+    fn paper_example_floor_renders_every_partition_and_door() {
+        let example = paper_example_venue();
+        let space = &example.venue.space;
+        let svg = render_floor(
+            space,
+            Some(&example.venue.directory),
+            FloorId(0),
+            &RenderStyle::default(),
+        )
+        .unwrap();
+        // One <rect> per partition on the floor, one <circle> per door.
+        assert_eq!(
+            svg.matches("<rect").count(),
+            space.partitions_on_floor(FloorId(0)).len()
+        );
+        assert_eq!(
+            svg.matches("<circle").count(),
+            space.doors_on_floor(FloorId(0)).len()
+        );
+        // Shop i-words appear as labels.
+        assert!(svg.contains("starbucks"));
+        assert!(svg.contains("zara"));
+        assert!(svg.starts_with("<?xml"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn labels_can_be_disabled() {
+        let example = paper_example_venue();
+        let style = RenderStyle {
+            show_labels: false,
+            ..Default::default()
+        };
+        let svg = render_floor(
+            &example.venue.space,
+            Some(&example.venue.directory),
+            FloorId(0),
+            &style,
+        )
+        .unwrap();
+        assert!(!svg.contains("starbucks"));
+        assert_eq!(svg.matches("<text").count(), 0);
+    }
+
+    #[test]
+    fn door_ids_can_be_enabled() {
+        let example = paper_example_venue();
+        let style = RenderStyle {
+            show_labels: false,
+            show_door_ids: true,
+            ..Default::default()
+        };
+        let svg = render_floor(&example.venue.space, None, FloorId(0), &style).unwrap();
+        assert!(svg.contains(">d0<"));
+    }
+
+    #[test]
+    fn unknown_floor_is_an_error() {
+        let example = paper_example_venue();
+        assert!(matches!(
+            render_floor(
+                &example.venue.space,
+                None,
+                FloorId(7),
+                &RenderStyle::default()
+            ),
+            Err(VizError::UnknownFloor(_))
+        ));
+    }
+
+    #[test]
+    fn render_all_floors_returns_one_svg_per_floor() {
+        let example = paper_example_venue();
+        let all =
+            render_all_floors(&example.venue.space, None, &RenderStyle::compact()).unwrap();
+        assert_eq!(all.len(), example.venue.space.floors().len());
+        for (_, svg) in &all {
+            assert!(svg.contains("<svg"));
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # indoor-viz
+//!
+//! SVG rendering for the IKRQ reproduction:
+//!
+//! * [`floorplan`] — render a floor of an [`indoor_space::IndoorSpace`] with
+//!   partitions coloured by kind, doors marked, and labels taken from the
+//!   keyword directory (the shop i-words) or the partition display names;
+//! * [`route_overlay`] — overlay IKRQ result routes on a floorplan, split
+//!   per floor for multi-floor routes;
+//! * [`chart`] — small self-contained SVG line charts used to plot the
+//!   reproduced experiment figures next to the paper's plots;
+//! * [`svg`] / [`style`] — the underlying SVG builder and style knobs.
+//!
+//! Everything renders to plain strings; there is no drawing dependency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod error;
+pub mod floorplan;
+pub mod route_overlay;
+pub mod style;
+pub mod svg;
+
+pub use chart::{ChartSeries, LineChart};
+pub use error::VizError;
+pub use floorplan::{render_all_floors, render_floor};
+pub use route_overlay::{render_route, render_routes_on_floor};
+pub use style::RenderStyle;
+
+/// Result alias for fallible rendering operations.
+pub type Result<T> = std::result::Result<T, VizError>;
+
+/// Commonly used types, re-exported for glob import.
+pub mod prelude {
+    pub use crate::{
+        render_all_floors, render_floor, render_route, render_routes_on_floor, ChartSeries,
+        LineChart, RenderStyle, VizError,
+    };
+}

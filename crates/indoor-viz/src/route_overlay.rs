@@ -1,0 +1,221 @@
+//! Route overlays: render IKRQ result routes on top of a floorplan.
+//!
+//! A route is drawn as a polyline through its start point, the positions of
+//! its doors, and its terminal point. Multi-floor routes are split per floor:
+//! each floor rendering contains the polyline segments whose endpoints lie on
+//! that floor, with stair/elevator doors marked as transfer points.
+
+use crate::error::VizError;
+use crate::floorplan::FloorProjection;
+use crate::style::RenderStyle;
+use crate::svg::SvgDocument;
+use crate::Result;
+use indoor_space::{FloorId, IndoorSpace, Route, RouteItem};
+
+/// One waypoint of a rendered route.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Waypoint {
+    x: f64,
+    y: f64,
+    floor: FloorId,
+    is_transfer: bool,
+}
+
+fn waypoints(space: &IndoorSpace, route: &Route) -> Result<Vec<Waypoint>> {
+    let mut points = Vec::with_capacity(route.num_items());
+    let push_item = |item: &RouteItem, points: &mut Vec<Waypoint>| -> Result<()> {
+        match item {
+            RouteItem::Point(p) => points.push(Waypoint {
+                x: p.position.x,
+                y: p.position.y,
+                floor: p.floor,
+                is_transfer: false,
+            }),
+            RouteItem::Door(d) => {
+                let door = space.door(*d)?;
+                points.push(Waypoint {
+                    x: door.position.x,
+                    y: door.position.y,
+                    floor: door.floor,
+                    is_transfer: door.kind.is_vertical(),
+                });
+            }
+        }
+        Ok(())
+    };
+    push_item(route.start(), &mut points)?;
+    for &d in route.doors() {
+        push_item(&RouteItem::Door(d), &mut points)?;
+    }
+    if let Some(t) = route.terminal() {
+        push_item(t, &mut points)?;
+    }
+    Ok(points)
+}
+
+/// Renders one floor of the venue with one or more routes overlaid. Routes
+/// are coloured by index using the style's palette.
+pub fn render_routes_on_floor(
+    space: &IndoorSpace,
+    routes: &[&Route],
+    floor: FloorId,
+    style: &RenderStyle,
+) -> Result<String> {
+    // Base floorplan without labels competing with the routes.
+    let base_style = RenderStyle {
+        show_labels: style.show_labels,
+        ..style.clone()
+    };
+    let base = crate::floorplan::render_floor(space, None, floor, &base_style)?;
+
+    // Re-open the document: strip the closing tag and append route groups.
+    let closing = "</svg>\n";
+    let mut svg = base
+        .strip_suffix(closing)
+        .map(str::to_string)
+        .unwrap_or(base);
+
+    let projection = FloorProjection::new(space, floor, style)?;
+    for (i, route) in routes.iter().enumerate() {
+        let pts = waypoints(space, route)?;
+        let mut doc = SvgDocument::new(0.0, 0.0);
+        doc.open_group(Some(&format!("route-{i}")));
+        // Draw polyline segments between consecutive waypoints on this floor.
+        let mut segment: Vec<(f64, f64)> = Vec::new();
+        for pair in pts.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if a.floor == floor && b.floor == floor {
+                if segment.is_empty() {
+                    segment.push(projection.project(a.x, a.y));
+                }
+                segment.push(projection.project(b.x, b.y));
+            } else {
+                if segment.len() >= 2 {
+                    doc.polyline(&segment, style.route_color(i), 2.5);
+                }
+                segment.clear();
+            }
+        }
+        if segment.len() >= 2 {
+            doc.polyline(&segment, style.route_color(i), 2.5);
+        }
+        // Mark endpoints and transfer doors on this floor.
+        if let Some(first) = pts.first() {
+            if first.floor == floor {
+                let (x, y) = projection.project(first.x, first.y);
+                doc.circle(x, y, 4.0, style.route_color(i));
+            }
+        }
+        if let Some(last) = pts.last() {
+            if last.floor == floor {
+                let (x, y) = projection.project(last.x, last.y);
+                doc.circle(x, y, 4.0, style.route_color(i));
+            }
+        }
+        for p in pts.iter().filter(|p| p.is_transfer && p.floor == floor) {
+            let (x, y) = projection.project(p.x, p.y);
+            doc.circle(x, y, 3.0, "#111111");
+        }
+        doc.close_group();
+        // Append only the body of the helper document.
+        let body = doc
+            .finish()
+            .lines()
+            .filter(|l| !l.starts_with("<?xml") && !l.starts_with("<svg") && *l != "</svg>")
+            .collect::<Vec<_>>()
+            .join("\n");
+        svg.push_str(&body);
+        svg.push('\n');
+    }
+    svg.push_str(closing);
+    Ok(svg)
+}
+
+/// Renders the floors a route touches, each with the route overlaid, in floor
+/// order. Returns `(floor, svg)` pairs.
+pub fn render_route(
+    space: &IndoorSpace,
+    route: &Route,
+    style: &RenderStyle,
+) -> Result<Vec<(FloorId, String)>> {
+    let pts = waypoints(space, route)?;
+    if pts.is_empty() {
+        return Err(VizError::EmptyChart);
+    }
+    let mut floors: Vec<FloorId> = pts.iter().map(|p| p.floor).collect();
+    floors.sort();
+    floors.dedup();
+    floors
+        .into_iter()
+        .map(|f| render_routes_on_floor(space, &[route], f, style).map(|svg| (f, svg)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ikrq_core::{IkrqEngine, IkrqQuery};
+    use indoor_data::paper_example_venue;
+    use indoor_keywords::QueryKeywords;
+
+    fn example_route() -> (indoor_space::IndoorSpace, Route) {
+        let example = paper_example_venue();
+        let engine = IkrqEngine::new(
+            example.venue.space.clone(),
+            example.venue.directory.clone(),
+        );
+        let query = IkrqQuery::new(
+            example.ps,
+            example.pt,
+            300.0,
+            QueryKeywords::new(["coffee", "laptop"]).unwrap(),
+            2,
+        );
+        let outcome = engine.search_toe(&query).unwrap();
+        let route = outcome.results.best().unwrap().route.clone();
+        (example.venue.space, route)
+    }
+
+    #[test]
+    fn a_result_route_renders_as_a_polyline_with_endpoint_markers() {
+        let (space, route) = example_route();
+        let svg =
+            render_routes_on_floor(&space, &[&route], FloorId(0), &RenderStyle::default())
+                .unwrap();
+        assert!(svg.contains("route-0"));
+        assert!(svg.contains("<polyline"));
+        // Two endpoint markers plus the door markers of the floorplan.
+        assert!(svg.matches("<circle").count() >= space.doors_on_floor(FloorId(0)).len() + 2);
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // Well-formed nesting of groups.
+        assert_eq!(svg.matches("<g").count(), svg.matches("</g>").count());
+    }
+
+    #[test]
+    fn multiple_routes_use_distinct_colors() {
+        let (space, route) = example_route();
+        let style = RenderStyle::default();
+        let svg =
+            render_routes_on_floor(&space, &[&route, &route], FloorId(0), &style).unwrap();
+        assert!(svg.contains("route-0"));
+        assert!(svg.contains("route-1"));
+        assert!(svg.contains(style.route_color(0)));
+        assert!(svg.contains(style.route_color(1)));
+    }
+
+    #[test]
+    fn render_route_emits_one_svg_per_touched_floor() {
+        let (space, route) = example_route();
+        let rendered = render_route(&space, &route, &RenderStyle::default()).unwrap();
+        assert_eq!(rendered.len(), 1);
+        assert_eq!(rendered[0].0, FloorId(0));
+        assert!(rendered[0].1.contains("<polyline"));
+    }
+
+    #[test]
+    fn unknown_floor_is_rejected() {
+        let (space, route) = example_route();
+        assert!(render_routes_on_floor(&space, &[&route], FloorId(9), &RenderStyle::default())
+            .is_err());
+    }
+}

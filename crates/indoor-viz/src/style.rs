@@ -1,0 +1,133 @@
+//! Rendering style: colours, stroke widths, label switches and the
+//! metre-to-pixel scale used by the floorplan renderer.
+
+use indoor_space::PartitionKind;
+use serde::{Deserialize, Serialize};
+
+/// Style configuration for floorplan and route rendering.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RenderStyle {
+    /// Pixels per metre.
+    pub scale: f64,
+    /// Margin around the floor, in pixels.
+    pub margin: f64,
+    /// Whether to draw partition labels (display name or i-word).
+    pub show_labels: bool,
+    /// Whether to draw door identifiers next to doors.
+    pub show_door_ids: bool,
+    /// Fill colour of rooms.
+    pub room_fill: String,
+    /// Fill colour of hallway cells.
+    pub hallway_fill: String,
+    /// Fill colour of staircases.
+    pub staircase_fill: String,
+    /// Fill colour of elevators.
+    pub elevator_fill: String,
+    /// Partition outline colour.
+    pub outline: String,
+    /// Door marker colour.
+    pub door_fill: String,
+    /// Route stroke colour (first route; further routes cycle).
+    pub route_colors: Vec<String>,
+    /// Label font size in pixels.
+    pub label_size: f64,
+}
+
+impl Default for RenderStyle {
+    fn default() -> Self {
+        RenderStyle {
+            scale: 4.0,
+            margin: 20.0,
+            show_labels: true,
+            show_door_ids: false,
+            room_fill: "#f2ebe3".into(),
+            hallway_fill: "#ffffff".into(),
+            staircase_fill: "#d7e3f4".into(),
+            elevator_fill: "#e4d7f4".into(),
+            outline: "#5b5b5b".into(),
+            door_fill: "#b5521b".into(),
+            route_colors: vec![
+                "#c0392b".into(),
+                "#2471a3".into(),
+                "#1e8449".into(),
+                "#9a7d0a".into(),
+                "#6c3483".into(),
+            ],
+            label_size: 9.0,
+        }
+    }
+}
+
+impl RenderStyle {
+    /// A compact style for large venues: smaller scale, no labels.
+    pub fn compact() -> Self {
+        RenderStyle {
+            scale: 0.5,
+            show_labels: false,
+            show_door_ids: false,
+            label_size: 6.0,
+            ..Default::default()
+        }
+    }
+
+    /// The fill colour for a partition kind.
+    pub fn fill_for(&self, kind: PartitionKind) -> &str {
+        match kind {
+            PartitionKind::Room => &self.room_fill,
+            PartitionKind::Hallway => &self.hallway_fill,
+            PartitionKind::Staircase => &self.staircase_fill,
+            PartitionKind::Elevator => &self.elevator_fill,
+        }
+    }
+
+    /// The colour of the `i`-th rendered route (cycling through the palette).
+    pub fn route_color(&self, i: usize) -> &str {
+        if self.route_colors.is_empty() {
+            return "#c0392b";
+        }
+        &self.route_colors[i % self.route_colors.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_style_distinguishes_partition_kinds() {
+        let s = RenderStyle::default();
+        let fills = [
+            s.fill_for(PartitionKind::Room),
+            s.fill_for(PartitionKind::Hallway),
+            s.fill_for(PartitionKind::Staircase),
+            s.fill_for(PartitionKind::Elevator),
+        ];
+        for i in 0..fills.len() {
+            for j in (i + 1)..fills.len() {
+                assert_ne!(fills[i], fills[j]);
+            }
+        }
+        assert!(s.scale > 0.0);
+        assert!(s.show_labels);
+    }
+
+    #[test]
+    fn route_colors_cycle() {
+        let s = RenderStyle::default();
+        let n = s.route_colors.len();
+        assert_eq!(s.route_color(0), s.route_color(n));
+        assert_ne!(s.route_color(0), s.route_color(1));
+        let empty = RenderStyle {
+            route_colors: vec![],
+            ..Default::default()
+        };
+        assert_eq!(empty.route_color(3), "#c0392b");
+    }
+
+    #[test]
+    fn compact_style_disables_labels() {
+        let s = RenderStyle::compact();
+        assert!(!s.show_labels);
+        assert!(s.scale < RenderStyle::default().scale);
+    }
+}

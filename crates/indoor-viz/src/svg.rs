@@ -1,0 +1,256 @@
+//! A minimal SVG document builder.
+//!
+//! The renderer emits plain SVG 1.1 markup; this module keeps the string
+//! assembly (escaping, attribute formatting, nesting) in one place so the
+//! floorplan, route and chart renderers stay readable.
+
+use std::fmt::Write as _;
+
+/// Escapes a string for use as SVG/XML text content or attribute value.
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a coordinate with enough precision for floorplans (centimetres)
+/// without dumping full float noise into the markup.
+pub fn fmt_coord(value: f64) -> String {
+    let rounded = (value * 100.0).round() / 100.0;
+    if (rounded.fract()).abs() < 1e-9 {
+        format!("{}", rounded as i64)
+    } else {
+        format!("{rounded}")
+    }
+}
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub struct SvgDocument {
+    width: f64,
+    height: f64,
+    body: String,
+    indent: usize,
+}
+
+impl SvgDocument {
+    /// Creates a document with the given pixel dimensions.
+    pub fn new(width: f64, height: f64) -> Self {
+        SvgDocument {
+            width,
+            height,
+            body: String::new(),
+            indent: 1,
+        }
+    }
+
+    /// Document width in pixels.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Document height in pixels.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    fn push_line(&mut self, line: &str) {
+        for _ in 0..self.indent {
+            self.body.push_str("  ");
+        }
+        self.body.push_str(line);
+        self.body.push('\n');
+    }
+
+    /// Opens a `<g>` group with an optional class.
+    pub fn open_group(&mut self, class: Option<&str>) {
+        match class {
+            Some(c) => self.push_line(&format!("<g class=\"{}\">", escape(c))),
+            None => self.push_line("<g>"),
+        }
+        self.indent += 1;
+    }
+
+    /// Closes the innermost `<g>` group.
+    pub fn close_group(&mut self) {
+        self.indent = self.indent.saturating_sub(1).max(1);
+        self.push_line("</g>");
+    }
+
+    /// Adds a rectangle.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rect(
+        &mut self,
+        x: f64,
+        y: f64,
+        width: f64,
+        height: f64,
+        fill: &str,
+        stroke: &str,
+        stroke_width: f64,
+    ) {
+        self.push_line(&format!(
+            "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"{}\" stroke=\"{}\" stroke-width=\"{}\"/>",
+            fmt_coord(x),
+            fmt_coord(y),
+            fmt_coord(width),
+            fmt_coord(height),
+            escape(fill),
+            escape(stroke),
+            fmt_coord(stroke_width),
+        ));
+    }
+
+    /// Adds a circle.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str) {
+        self.push_line(&format!(
+            "<circle cx=\"{}\" cy=\"{}\" r=\"{}\" fill=\"{}\"/>",
+            fmt_coord(cx),
+            fmt_coord(cy),
+            fmt_coord(r),
+            escape(fill),
+        ));
+    }
+
+    /// Adds a straight line.
+    #[allow(clippy::too_many_arguments)]
+    pub fn line(
+        &mut self,
+        x1: f64,
+        y1: f64,
+        x2: f64,
+        y2: f64,
+        stroke: &str,
+        stroke_width: f64,
+        dashed: bool,
+    ) {
+        let dash = if dashed {
+            " stroke-dasharray=\"4 3\""
+        } else {
+            ""
+        };
+        self.push_line(&format!(
+            "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"{}\" stroke-width=\"{}\"{}/>",
+            fmt_coord(x1),
+            fmt_coord(y1),
+            fmt_coord(x2),
+            fmt_coord(y2),
+            escape(stroke),
+            fmt_coord(stroke_width),
+            dash,
+        ));
+    }
+
+    /// Adds an open polyline through the given points.
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, stroke_width: f64) {
+        if points.len() < 2 {
+            return;
+        }
+        let mut attr = String::new();
+        for (i, (x, y)) in points.iter().enumerate() {
+            if i > 0 {
+                attr.push(' ');
+            }
+            let _ = write!(attr, "{},{}", fmt_coord(*x), fmt_coord(*y));
+        }
+        self.push_line(&format!(
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{}\" stroke-width=\"{}\" stroke-linejoin=\"round\" stroke-linecap=\"round\"/>",
+            attr,
+            escape(stroke),
+            fmt_coord(stroke_width),
+        ));
+    }
+
+    /// Adds a text label anchored at its start.
+    pub fn text(&mut self, x: f64, y: f64, size: f64, fill: &str, content: &str) {
+        self.push_line(&format!(
+            "<text x=\"{}\" y=\"{}\" font-size=\"{}\" font-family=\"sans-serif\" fill=\"{}\">{}</text>",
+            fmt_coord(x),
+            fmt_coord(y),
+            fmt_coord(size),
+            escape(fill),
+            escape(content),
+        ));
+    }
+
+    /// Adds a text label centred on `x`.
+    pub fn text_centered(&mut self, x: f64, y: f64, size: f64, fill: &str, content: &str) {
+        self.push_line(&format!(
+            "<text x=\"{}\" y=\"{}\" font-size=\"{}\" font-family=\"sans-serif\" fill=\"{}\" text-anchor=\"middle\">{}</text>",
+            fmt_coord(x),
+            fmt_coord(y),
+            fmt_coord(size),
+            escape(fill),
+            escape(content),
+        ));
+    }
+
+    /// Finalises the document into SVG markup.
+    pub fn finish(self) -> String {
+        format!(
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" viewBox=\"0 0 {w} {h}\">\n{body}</svg>\n",
+            w = fmt_coord(self.width),
+            h = fmt_coord(self.height),
+            body = self.body,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_the_xml_special_characters() {
+        assert_eq!(escape("a<b>&\"c'"), "a&lt;b&gt;&amp;&quot;c&apos;");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn coordinates_are_rounded_to_centimetres() {
+        assert_eq!(fmt_coord(10.0), "10");
+        assert_eq!(fmt_coord(10.123456), "10.12");
+        assert_eq!(fmt_coord(-3.005), "-3.01");
+    }
+
+    #[test]
+    fn document_structure_is_well_formed() {
+        let mut doc = SvgDocument::new(200.0, 100.0);
+        assert_eq!(doc.width(), 200.0);
+        assert_eq!(doc.height(), 100.0);
+        doc.open_group(Some("rooms"));
+        doc.rect(0.0, 0.0, 50.0, 40.0, "#eeeeee", "#333333", 1.0);
+        doc.circle(25.0, 20.0, 2.0, "red");
+        doc.close_group();
+        doc.line(0.0, 0.0, 10.0, 10.0, "black", 0.5, true);
+        doc.polyline(&[(0.0, 0.0), (5.0, 5.0), (10.0, 0.0)], "blue", 2.0);
+        doc.text(5.0, 5.0, 4.0, "#000", "zara & co");
+        doc.text_centered(10.0, 10.0, 4.0, "#000", "label");
+        let svg = doc.finish();
+        assert!(svg.starts_with("<?xml"));
+        assert!(svg.contains("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<g").count(), svg.matches("</g>").count());
+        assert!(svg.contains("zara &amp; co"));
+        assert!(svg.contains("stroke-dasharray"));
+        assert!(svg.contains("<polyline"));
+        assert!(svg.contains("text-anchor=\"middle\""));
+    }
+
+    #[test]
+    fn degenerate_polylines_are_skipped() {
+        let mut doc = SvgDocument::new(10.0, 10.0);
+        doc.polyline(&[(1.0, 1.0)], "red", 1.0);
+        let svg = doc.finish();
+        assert!(!svg.contains("polyline"));
+    }
+}

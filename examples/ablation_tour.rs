@@ -1,0 +1,86 @@
+//! Ablation tour: run every algorithm variant of Table III (plus the
+//! extensions of this reproduction) on one query and compare search effort,
+//! memory and result quality side by side.
+//!
+//! ```text
+//! cargo run --release --example ablation_tour
+//! ```
+
+use ikrq::prelude::*;
+use indoor_keywords::QueryKeywords;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // A single-floor synthetic mall keeps this example quick while still
+    // exercising all pruning rules.
+    let venue = Venue::synthetic(&SyntheticVenueConfig::small(99)).expect("venue generation");
+    let engine = IkrqEngine::new(venue.space.clone(), venue.directory.clone());
+
+    // Generate one workload instance with the experiment generator.
+    let generator = QueryGenerator::new(&venue);
+    let mut rng = StdRng::seed_from_u64(5);
+    let instance = generator
+        .generate(
+            &WorkloadConfig {
+                s2t: 700.0,
+                qw_len: 3,
+                k: 5,
+                ..WorkloadConfig::default()
+            },
+            &mut rng,
+        )
+        .expect("workload instance");
+    let query = IkrqQuery::new(
+        instance.start,
+        instance.terminal,
+        instance.delta,
+        QueryKeywords::new(instance.keywords.iter().cloned()).expect("keywords"),
+        instance.k,
+    )
+    .with_alpha(instance.alpha)
+    .with_tau(instance.tau);
+    println!(
+        "query: s2t = {:.0} m, delta = {:.0} m, keywords = {:?}, k = {}\n",
+        instance.actual_s2t, instance.delta, instance.keywords, instance.k
+    );
+
+    let variants = vec![
+        VariantConfig::toe(),
+        VariantConfig::toe_no_distance(),
+        VariantConfig::toe_no_kbound(),
+        VariantConfig::toe_no_prime().with_expansion_budget(200_000),
+        VariantConfig::toe().with_strict_terminal_expansion(),
+        VariantConfig::koe(),
+        VariantConfig::koe_no_distance(),
+        VariantConfig::koe_no_kbound(),
+        VariantConfig::koe_star(),
+    ];
+
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>10} {:>8} {:>12}",
+        "variant", "time(ms)", "mem(MB)", "expanded", "routes", "best", "homog.rate"
+    );
+    for variant in variants {
+        let label = if variant.strict_terminal_expansion {
+            format!("{}+strict", variant.label())
+        } else {
+            variant.label()
+        };
+        match engine.search(&query, variant) {
+            Ok(outcome) => {
+                println!(
+                    "{:<22} {:>10.2} {:>10.3} {:>10} {:>10} {:>8.4} {:>12.2}",
+                    label,
+                    outcome.metrics.elapsed_millis(),
+                    outcome.metrics.peak_memory_mb(),
+                    outcome.metrics.stamps_expanded,
+                    outcome.results.len(),
+                    outcome.results.best().map(|r| r.score).unwrap_or(0.0),
+                    outcome.results.homogeneous_rate(),
+                );
+            }
+            Err(error) => println!("{label:<22} failed: {error}"),
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Mall shopping scenario: the paper's motivating use case on the synthetic
+//! multi-floor mall of §V-A1.
+//!
+//! ```text
+//! cargo run --release --example mall_shopping
+//! ```
+//!
+//! A shopper enters the mall, wants to pass by shops related to `coffee` and
+//! `sneakers` plus one specific brand, and must reach the exit within a
+//! distance budget. Because shoppers care more about keyword coverage than
+//! about walking distance, the ranking trade-off `alpha` is raised to 0.7
+//! (as the paper does for its real-data experiments).
+
+use ikrq::prelude::*;
+use indoor_keywords::QueryKeywords;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // A single-floor instance of the synthetic mall keeps the example fast;
+    // pass `.with_floors(5)` for the paper-scale venue.
+    let venue = Venue::synthetic(&SyntheticVenueConfig::small(2024)).expect("venue generation");
+    println!("generated venue: {}", venue.space.stats());
+    println!(
+        "keyword directory: {} i-words, {} t-words",
+        venue.directory.vocab().num_iwords(),
+        venue.directory.vocab().num_twords()
+    );
+
+    let engine = IkrqEngine::new(venue.space.clone(), venue.directory.clone());
+
+    // Entrance and exit: two far-apart rooms of the mall.
+    let entrance = venue.point_in_partition(venue.rooms[0], (0.5, 0.5));
+    let exit = venue.point_in_partition(venue.rooms[venue.rooms.len() - 1], (0.5, 0.5));
+    let direct = venue.space.point_to_point_distance(&entrance, &exit);
+    println!("\nentrance {entrance}, exit {exit}, direct distance {direct:.0} m");
+
+    // Keywords: two thematic needs plus one concrete brand present in the
+    // venue (picked from the directory so the example is self-contained).
+    let some_brand = venue
+        .directory
+        .partition_iword(venue.rooms[venue.rooms.len() / 2])
+        .and_then(|w| venue.directory.resolve(w))
+        .unwrap_or("coffee")
+        .to_string();
+    let keywords = vec!["coffee".to_string(), "sneakers".to_string(), some_brand.clone()];
+    println!("shopping list: {keywords:?}");
+
+    let query = IkrqQuery::new(
+        entrance,
+        exit,
+        1.8 * direct,
+        QueryKeywords::new(keywords).expect("keywords"),
+        5,
+    )
+    .with_alpha(0.7)
+    .with_tau(0.1);
+
+    let outcome = engine.search_toe(&query).expect("valid query");
+    println!("\ntop-{} keyword-aware routes (ToE):", outcome.results.k());
+    for (rank, route) in outcome.results.routes().iter().enumerate() {
+        println!(
+            "#{rank}: score {:.4} | relevance {:.3} | {:.0} m (budget {:.0} m)",
+            route.score, route.relevance, route.distance, query.delta
+        );
+    }
+    println!("\nsearch effort: {}", outcome.metrics);
+
+    // Show how the workload generator of the experiments builds queries.
+    let generator = QueryGenerator::new(&venue);
+    let mut rng = StdRng::seed_from_u64(7);
+    if let Some(instance) = generator.generate(
+        &WorkloadConfig {
+            s2t: 600.0,
+            qw_len: 3,
+            ..WorkloadConfig::default()
+        },
+        &mut rng,
+    ) {
+        println!(
+            "\nworkload generator example: s2t = {:.0} m, delta = {:.0} m, QW = {:?}",
+            instance.actual_s2t, instance.delta, instance.keywords
+        );
+    }
+}

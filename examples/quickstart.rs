@@ -1,0 +1,53 @@
+//! Quickstart: build a small venue, pose an IKRQ, and inspect the results.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! The example uses the hand-crafted venue mirroring the paper's Fig. 1
+//! (shops along a corridor with two-level keywords) and runs the running
+//! example of the paper: from a start point inside `zara` to a terminal point
+//! at the east end of the corridor, find the top-3 routes that cover the
+//! keywords `latte` and `apple` within a 400 m budget.
+
+use ikrq::prelude::*;
+use indoor_keywords::QueryKeywords;
+
+fn main() {
+    // 1. A venue = indoor space (partitions, doors, topology) + keyword
+    //    directory (i-words, t-words, mappings). `indoor-data` ships both a
+    //    parametric mall generator and this small example venue.
+    let example = indoor_data::paper_example_venue();
+    let venue = &example.venue;
+    println!("venue: {}", venue.space.stats());
+
+    // 2. The engine owns the venue and answers queries.
+    let engine = IkrqEngine::new(venue.space.clone(), venue.directory.clone());
+
+    // 3. An IKRQ: start point, terminal point, distance constraint, keyword
+    //    list, k — plus the ranking trade-off alpha and the similarity
+    //    threshold tau.
+    let query = IkrqQuery::new(
+        example.ps,
+        example.pt,
+        400.0,
+        QueryKeywords::new(["latte", "apple"]).expect("keywords"),
+        3,
+    )
+    .with_alpha(0.5)
+    .with_tau(0.1);
+
+    // 4. Run both search algorithms of the paper.
+    for config in [VariantConfig::toe(), VariantConfig::koe()] {
+        let outcome = engine.search(&query, config).expect("valid query");
+        println!("\n=== {} ===", outcome.label);
+        println!("search effort: {}", outcome.metrics);
+        for (rank, route) in outcome.results.routes().iter().enumerate() {
+            println!(
+                "#{rank}: score {:.4} | keyword relevance {:.3} | distance {:.1} m",
+                route.score, route.relevance, route.distance
+            );
+            println!("    {}", route.route);
+        }
+    }
+}

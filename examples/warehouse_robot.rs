@@ -1,0 +1,111 @@
+//! Warehouse robot scenario: the introduction's automated-warehouse example.
+//!
+//! ```text
+//! cargo run --example warehouse_robot
+//! ```
+//!
+//! A picking robot starts at its charging dock, must fetch items matching the
+//! product keywords of an order, and deliver them to a packing station within
+//! a travel budget. Aisles are modelled as hallway partitions, storage bays as
+//! rooms whose i-word is the bay label and whose t-words are the stocked
+//! product tags.
+
+use ikrq::prelude::*;
+use indoor_geom::{Point, Rect};
+use indoor_keywords::{KeywordDirectory, QueryKeywords};
+use indoor_space::DoorKind;
+
+/// Builds a single-floor warehouse: three aisles, bays on both sides.
+fn build_warehouse() -> (IndoorSpace, KeywordDirectory, IndoorPoint, IndoorPoint) {
+    let floor = FloorId(0);
+    let mut b = IndoorSpaceBuilder::new().with_grid_cell(20.0);
+    b.add_floor(floor, Rect::from_origin_size(Point::ORIGIN, 200.0, 140.0).unwrap());
+
+    // A cross aisle along the south edge connects the three aisles.
+    let cross = b.add_partition(
+        floor,
+        PartitionKind::Hallway,
+        Rect::from_origin_size(Point::new(0.0, 0.0), 200.0, 20.0).unwrap(),
+        Some("cross-aisle".into()),
+    );
+    let mut directory = KeywordDirectory::new();
+    let product_groups: [&[&str]; 6] = [
+        &["batteries", "chargers", "cables"],
+        &["detergent", "soap", "sponges"],
+        &["cereal", "oats", "granola"],
+        &["screws", "bolts", "drill"],
+        &["notebooks", "pens", "markers"],
+        &["bottles", "cups", "plates"],
+    ];
+    let mut bay_index = 0usize;
+    for aisle_idx in 0..3usize {
+        let x0 = 20.0 + aisle_idx as f64 * 60.0;
+        let aisle = b.add_partition(
+            floor,
+            PartitionKind::Hallway,
+            Rect::from_origin_size(Point::new(x0, 20.0), 20.0, 120.0).unwrap(),
+            Some(format!("aisle-{aisle_idx}")),
+        );
+        let junction = b.add_door(Point::new(x0 + 10.0, 20.0), floor, DoorKind::Normal);
+        b.connect_bidirectional(junction, cross, aisle);
+        // Two bays per aisle side.
+        for (side, dx) in [(-20.0f64, -20.0f64), (20.0, 20.0)] {
+            for level in 0..2 {
+                let y0 = 30.0 + level as f64 * 55.0;
+                let bay = b.add_partition(
+                    floor,
+                    PartitionKind::Room,
+                    Rect::from_origin_size(Point::new(x0 + dx.min(0.0) + side.max(0.0), y0), 20.0, 45.0)
+                        .unwrap(),
+                    Some(format!("bay-{bay_index}")),
+                );
+                let door_x = if side < 0.0 { x0 } else { x0 + 20.0 };
+                let door = b.add_door(Point::new(door_x, y0 + 22.5), floor, DoorKind::Normal);
+                b.connect_bidirectional(door, bay, aisle);
+                let iword = directory.add_iword(&format!("bay{bay_index}")).unwrap();
+                directory.name_partition(bay, iword).unwrap();
+                for product in product_groups[bay_index % product_groups.len()] {
+                    directory.add_tword_for(iword, product);
+                }
+                bay_index += 1;
+            }
+        }
+    }
+
+    let space = b.build().expect("warehouse model is valid");
+    let dock = IndoorPoint::from_xy(5.0, 10.0, floor);
+    let packing = IndoorPoint::from_xy(195.0, 10.0, floor);
+    (space, directory, dock, packing)
+}
+
+fn main() {
+    let (space, directory, dock, packing) = build_warehouse();
+    println!("warehouse model: {}", space.stats());
+
+    let engine = IkrqEngine::new(space, directory);
+
+    // Order: one electric item, one cleaning item, one stationery item.
+    let query = IkrqQuery::new(
+        dock,
+        packing,
+        600.0,
+        QueryKeywords::new(["batteries", "soap", "pens"]).expect("keywords"),
+        4,
+    )
+    // The robot's battery is the scarce resource: weight distance highly.
+    .with_alpha(0.35)
+    .with_tau(0.1);
+
+    println!("\npick order: batteries / soap / pens, travel budget 600 m\n");
+    for config in [VariantConfig::toe(), VariantConfig::koe()] {
+        let outcome = engine.search(&query, config).expect("valid query");
+        println!("=== {} ===", outcome.label);
+        for (rank, route) in outcome.results.routes().iter().enumerate() {
+            println!(
+                "#{rank}: score {:.4} | coverage {:.3} | {:.0} m",
+                route.score, route.relevance, route.distance
+            );
+        }
+        println!("effort: {}\n", outcome.metrics);
+    }
+}

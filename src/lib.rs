@@ -1,0 +1,37 @@
+//! # ikrq — facade crate
+//!
+//! Re-exports the whole Indoor Top-k Keyword-aware Routing Query (IKRQ,
+//! ICDE 2020) reproduction workspace under one roof so examples and
+//! downstream users can depend on a single crate.
+//!
+//! See the individual crates for details:
+//!
+//! * [`geom`] — planar geometry kernel,
+//! * [`space`] — partitions, doors, topology, indoor distances,
+//! * [`keywords`] — i-word/t-word organisation and keyword relevance,
+//! * [`data`] — synthetic and simulated-real venues plus workloads,
+//! * [`core`] — the IKRQ engine (ToE/KoE search, pruning, prime routes,
+//!   optional soft-constraint and popularity extensions),
+//! * [`persist`] — venue / workload / result documents (JSON + binary),
+//! * [`viz`] — SVG floorplan, route-overlay and figure-chart rendering.
+
+#![forbid(unsafe_code)]
+
+pub use ikrq_core as core;
+pub use indoor_data as data;
+pub use indoor_geom as geom;
+pub use indoor_keywords as keywords;
+pub use indoor_persist as persist;
+pub use indoor_space as space;
+pub use indoor_viz as viz;
+
+/// Convenience prelude pulling in the types most programs need.
+pub mod prelude {
+    pub use ikrq_core::prelude::*;
+    pub use indoor_data::prelude::*;
+    pub use indoor_geom::Point;
+    pub use indoor_keywords::prelude::*;
+    pub use indoor_persist::prelude::*;
+    pub use indoor_space::prelude::*;
+    pub use indoor_viz::prelude::*;
+}

@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ikrq_bench::workload::{to_query, ExperimentContext, VenueKind};
 use ikrq_core::extensions::{PopularityModel, SoftDeltaConfig, VisitCountPopularity};
-use ikrq_core::VariantConfig;
+use ikrq_core::{ExecOptions, VariantConfig};
 use indoor_data::WorkloadConfig;
 use std::hint::black_box;
 
@@ -41,14 +41,21 @@ fn bench_ablations(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations");
     group.sample_size(10);
     for (name, variant) in cases {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &variant, |b, &variant| {
-            b.iter(|| {
-                for query in &queries {
-                    let outcome = venue.engine.search(query, variant).expect("valid query");
-                    black_box(outcome.metrics.stamps_expanded);
-                }
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &variant,
+            |b, &variant| {
+                b.iter(|| {
+                    for query in &queries {
+                        let outcome = venue
+                            .engine
+                            .execute(query, &ExecOptions::with_variant(variant))
+                            .expect("valid query");
+                        black_box(outcome.metrics.stamps_expanded);
+                    }
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -112,7 +119,7 @@ fn bench_popularity(c: &mut Criterion) {
     // closest stand-in for historical mobility data.
     let mut popularity = VisitCountPopularity::new();
     for query in &queries {
-        if let Ok(outcome) = venue.engine.search_toe(query) {
+        if let Ok(outcome) = venue.engine.execute(query, &ExecOptions::default()) {
             for route in outcome.results.routes() {
                 for &v in route.route.legs() {
                     popularity.record(v, 1);
@@ -126,7 +133,10 @@ fn bench_popularity(c: &mut Criterion) {
     group.bench_function("plain_toe", |b| {
         b.iter(|| {
             for query in &queries {
-                let outcome = venue.engine.search_toe(query).expect("valid query");
+                let outcome = venue
+                    .engine
+                    .execute(query, &ExecOptions::default())
+                    .expect("valid query");
                 black_box(outcome.results.len());
             }
         });

@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ikrq_bench::workload::{to_query, ExperimentContext, VenueKind};
-use ikrq_core::VariantConfig;
+use ikrq_core::{ExecOptions, VariantConfig};
 use indoor_data::WorkloadConfig;
 use std::hint::black_box;
 
@@ -38,7 +38,10 @@ fn bench_default_setting(c: &mut Criterion) {
             |b, &variant| {
                 b.iter(|| {
                     for query in &queries {
-                        let outcome = venue.engine.search(query, variant).expect("valid query");
+                        let outcome = venue
+                            .engine
+                            .execute(query, &ExecOptions::with_variant(variant))
+                            .expect("valid query");
                         black_box(outcome.results.len());
                     }
                 });
@@ -48,5 +51,35 @@ fn bench_default_setting(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_default_setting);
+/// Throughput of the service layer's batch primitive versus a sequential
+/// request loop over the same workload.
+fn bench_batch_throughput(c: &mut Criterion) {
+    let ctx = ExperimentContext::new(7, 0.2);
+    let venue = ctx.venue(VenueKind::Synthetic { floors: 2 });
+    let workload = WorkloadConfig {
+        s2t: 800.0,
+        ..WorkloadConfig::default()
+    };
+    let instances = venue.instances(&workload, 16, 41);
+    let requests: Vec<_> = instances
+        .iter()
+        .map(|instance| venue.request(instance, VariantConfig::toe()))
+        .collect();
+
+    let mut group = c.benchmark_group("service_batch_throughput");
+    group.sample_size(10);
+    group.bench_function("sequential_search", |b| {
+        b.iter(|| {
+            for request in &requests {
+                black_box(venue.service.search(request).expect("valid request"));
+            }
+        });
+    });
+    group.bench_function("search_batch", |b| {
+        b.iter(|| black_box(venue.service.search_batch(&requests)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_default_setting, bench_batch_throughput);
 criterion_main!(benches);

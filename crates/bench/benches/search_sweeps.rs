@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ikrq_bench::workload::{to_query, ExperimentContext, VenueKind};
-use ikrq_core::VariantConfig;
+use ikrq_core::{ExecOptions, VariantConfig};
 use indoor_data::WorkloadConfig;
 use std::hint::black_box;
 
@@ -39,8 +39,10 @@ fn bench_sweep<T: std::fmt::Display + Copy>(
                 |b, &variant| {
                     b.iter(|| {
                         for query in &queries {
-                            let outcome =
-                                venue.engine.search(query, variant).expect("valid query");
+                            let outcome = venue
+                                .engine
+                                .execute(query, &ExecOptions::with_variant(variant))
+                                .expect("valid query");
                             black_box(outcome.results.len());
                         }
                     });
@@ -59,31 +61,39 @@ fn bench_vary_k(c: &mut Criterion) {
 }
 
 fn bench_vary_qw(c: &mut Criterion) {
-    bench_sweep(c, "fig06_vary_qw", &[1usize, 3, 5], |qw_len| WorkloadConfig {
-        qw_len,
-        ..small_workload()
+    bench_sweep(c, "fig06_vary_qw", &[1usize, 3, 5], |qw_len| {
+        WorkloadConfig {
+            qw_len,
+            ..small_workload()
+        }
     });
 }
 
 fn bench_vary_eta(c: &mut Criterion) {
-    bench_sweep(c, "fig08_vary_eta", &[1.4f64, 1.6, 2.0], |eta| WorkloadConfig {
-        eta,
-        ..small_workload()
+    bench_sweep(c, "fig08_vary_eta", &[1.4f64, 1.6, 2.0], |eta| {
+        WorkloadConfig {
+            eta,
+            ..small_workload()
+        }
     });
 }
 
 fn bench_vary_beta(c: &mut Criterion) {
-    bench_sweep(c, "fig10_vary_beta", &[0.2f64, 0.6, 1.0], |beta| WorkloadConfig {
-        beta,
-        ..small_workload()
+    bench_sweep(c, "fig10_vary_beta", &[0.2f64, 0.6, 1.0], |beta| {
+        WorkloadConfig {
+            beta,
+            ..small_workload()
+        }
     });
 }
 
 fn bench_vary_s2t(c: &mut Criterion) {
-    bench_sweep(c, "fig12_vary_s2t", &[600.0f64, 900.0, 1200.0], |s2t| WorkloadConfig {
-        s2t,
-        eta: 1.6,
-        ..small_workload()
+    bench_sweep(c, "fig12_vary_s2t", &[600.0f64, 900.0, 1200.0], |s2t| {
+        WorkloadConfig {
+            s2t,
+            eta: 1.6,
+            ..small_workload()
+        }
     });
 }
 

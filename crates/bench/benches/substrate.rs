@@ -66,7 +66,8 @@ fn bench_keyword_relevance(c: &mut Criterion) {
         });
     });
     let prepared = PreparedQuery::prepare(&query, &venue.directory, 0.1).unwrap();
-    let mut route = indoor_space::Route::from_point(venue.point_in_partition(venue.rooms[0], (0.5, 0.5)));
+    let mut route =
+        indoor_space::Route::from_point(venue.point_in_partition(venue.rooms[0], (0.5, 0.5)));
     let start = venue.rooms[0];
     let door = venue.space.p2d_leave(start)[0];
     route.append_door(door, start).unwrap();

@@ -79,10 +79,8 @@ fn main() {
     let registry = registry();
     let mut failures = 0usize;
     for requested in &args.figures {
-        let Some((id, description, run)) = registry
-            .iter()
-            .find(|(id, _, _)| id == requested)
-            .copied()
+        let Some((id, description, run)) =
+            registry.iter().find(|(id, _, _)| id == requested).copied()
         else {
             eprintln!("unknown figure id: {requested}");
             failures += 1;

@@ -10,7 +10,14 @@ use indoor_keywords::QueryKeywords;
 
 fn main() {
     let example = paper_example_venue();
-    let engine = IkrqEngine::new(example.venue.space.clone(), example.venue.directory.clone());
+    let service = IkrqService::new();
+    let engine = service
+        .register_venue(
+            "fig1",
+            example.venue.space.clone(),
+            example.venue.directory.clone(),
+        )
+        .expect("fresh service accepts the venue");
 
     let query = IkrqQuery::new(
         example.p1,
@@ -29,7 +36,13 @@ fn main() {
     );
 
     for config in [VariantConfig::toe(), VariantConfig::koe()] {
-        let outcome = engine.search(&query, config).expect("query is valid");
+        let request = SearchRequest::builder("fig1")
+            .query(query.clone())
+            .variant(config)
+            .build()
+            .expect("request is valid");
+        let response = service.search(&request).expect("query is valid");
+        let outcome = response.to_outcome();
         println!("=== {} ===", outcome.label);
         println!("search: {}", outcome.metrics);
         for (rank, result) in outcome.results.routes().iter().enumerate() {

@@ -72,11 +72,7 @@ fn sweep<X: std::fmt::Display + Copy>(
     let runner = Runner::new(ctx.runs_per_instance());
     for &x in xs {
         let workload = make_workload(x);
-        let instances = venue.instances(
-            &workload,
-            ctx.instances_per_setting(),
-            ctx.seed ^ 0x5eed,
-        );
+        let instances = venue.instances(&workload, ctx.instances_per_setting(), ctx.seed ^ 0x5eed);
         if instances.is_empty() {
             for column in &mut columns {
                 column.push(None);
@@ -465,10 +461,21 @@ pub fn fig20(ctx: &ExperimentContext) -> FigureReport {
     )
 }
 
+/// One registry row: figure identifier, paper reference, runner function.
+pub type FigureEntry = (
+    &'static str,
+    &'static str,
+    fn(&ExperimentContext) -> FigureReport,
+);
+
 /// The figure registry: identifier, paper reference and runner function.
-pub fn registry() -> Vec<(&'static str, &'static str, fn(&ExperimentContext) -> FigureReport)> {
+pub fn registry() -> Vec<FigureEntry> {
     vec![
-        ("fig04", "Fig. 4: default parameters", fig04 as fn(&ExperimentContext) -> FigureReport),
+        (
+            "fig04",
+            "Fig. 4: default parameters",
+            fig04 as fn(&ExperimentContext) -> FigureReport,
+        ),
         ("fig05", "Fig. 5: running time vs. k", fig05),
         ("fig06", "Fig. 6: running time vs. |QW|", fig06),
         ("fig07", "Fig. 7: memory vs. |QW|", fig07),
@@ -484,7 +491,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, fn(&ExperimentContext) -> 
         ("fig17", "Fig. 17: real data, time vs. |QW|", fig17),
         ("fig18", "Fig. 18: real data, memory vs. |QW|", fig18),
         ("fig19", "Fig. 19: real data, time vs. eta", fig19),
-        ("fig20", "Fig. 20: real data, ToE\\P homogeneous rate", fig20),
+        (
+            "fig20",
+            "Fig. 20: real data, ToE\\P homogeneous rate",
+            fig20,
+        ),
     ]
 }
 

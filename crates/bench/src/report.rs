@@ -147,8 +147,12 @@ mod tests {
     fn sample() -> FigureReport {
         let mut report = FigureReport::new("fig05", "Running time vs. k", "k", "ms");
         report.x_values = vec!["1".into(), "3".into(), "5".into()];
-        report.series.push(Series::new("ToE", vec![Some(10.0), Some(12.0), Some(13.5)]));
-        report.series.push(Series::new("KoE", vec![Some(9.0), None, Some(14.0)]));
+        report
+            .series
+            .push(Series::new("ToE", vec![Some(10.0), Some(12.0), Some(13.5)]));
+        report
+            .series
+            .push(Series::new("KoE", vec![Some(9.0), None, Some(14.0)]));
         report.note("quick mode");
         report
     }

@@ -1,17 +1,17 @@
 //! Venue caching and workload preparation for the experiments.
 
-use ikrq_core::IkrqQuery;
+use ikrq_core::IkrqEngine;
+use ikrq_core::{ExecOptions, IkrqQuery, IkrqService, SearchRequest, VariantConfig};
+use indoor_data::real_mall::RealMallConfig;
 use indoor_data::{
     QueryGenerator, QueryInstance, RealMallSimulator, SyntheticVenueConfig, Venue, WorkloadConfig,
 };
-use indoor_data::real_mall::RealMallConfig;
 use indoor_keywords::QueryKeywords;
-use ikrq_core::IkrqEngine;
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Which venue an experiment runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -25,15 +25,37 @@ pub enum VenueKind {
     Real,
 }
 
-/// A prepared venue: the engine (owning space + keywords) plus a query
-/// generator bound to an owned copy of the venue.
+/// A prepared venue: an [`IkrqService`] hosting the venue (plus the shared
+/// engine) and a query generator bound to an owned copy of the venue.
 pub struct PreparedVenue {
-    /// The query engine.
+    /// The query engine (shared with [`PreparedVenue::service`]).
     pub engine: Arc<IkrqEngine>,
+    /// A single-venue service hosting the engine under
+    /// [`PreparedVenue::venue_id`].
+    pub service: IkrqService,
+    /// Id the venue is registered under.
+    pub venue_id: String,
     venue: Arc<Venue>,
 }
 
 impl PreparedVenue {
+    fn new(venue_id: String, venue: Venue) -> Self {
+        let engine = Arc::new(IkrqEngine::new(
+            venue.space.clone(),
+            venue.directory.clone(),
+        ));
+        let service = IkrqService::new();
+        service
+            .register_engine(&venue_id, Arc::clone(&engine))
+            .expect("fresh service accepts the venue");
+        PreparedVenue {
+            engine,
+            service,
+            venue_id,
+            venue: Arc::new(venue),
+        }
+    }
+
     /// Generates `count` query instances for a workload setting.
     pub fn instances(
         &self,
@@ -44,6 +66,15 @@ impl PreparedVenue {
         let generator = QueryGenerator::new(&self.venue);
         let mut rng = StdRng::seed_from_u64(seed);
         generator.generate_batch(workload, count, &mut rng)
+    }
+
+    /// Builds the service request for one instance under one variant.
+    pub fn request(&self, instance: &QueryInstance, variant: VariantConfig) -> SearchRequest {
+        SearchRequest {
+            venue: self.venue_id.clone(),
+            query: to_query(instance),
+            options: ExecOptions::with_variant(variant),
+        }
     }
 }
 
@@ -96,29 +127,35 @@ impl ExperimentContext {
 
     /// Returns (building and caching on first use) the requested venue.
     pub fn venue(&self, kind: VenueKind) -> Arc<PreparedVenue> {
-        if let Some(existing) = self.cache.lock().get(&kind) {
+        if let Some(existing) = self.cache.lock().unwrap().get(&kind) {
             return Arc::clone(existing);
         }
-        let venue = match kind {
+        let (venue_id, venue) = match kind {
             VenueKind::Synthetic { floors } => {
                 let config = SyntheticVenueConfig {
                     seed: self.seed,
                     ..SyntheticVenueConfig::default()
                 }
                 .with_floors(floors);
-                Venue::synthetic(&config).expect("synthetic venue generation succeeds")
+                (
+                    format!("synthetic-{floors}f"),
+                    Venue::synthetic(&config).expect("synthetic venue generation succeeds"),
+                )
             }
-            VenueKind::Real => RealMallSimulator::generate(&RealMallConfig {
-                seed: self.seed,
-                ..RealMallConfig::default()
-            })
-            .expect("real venue simulation succeeds"),
+            VenueKind::Real => (
+                "real-mall".to_string(),
+                RealMallSimulator::generate(&RealMallConfig {
+                    seed: self.seed,
+                    ..RealMallConfig::default()
+                })
+                .expect("real venue simulation succeeds"),
+            ),
         };
-        let prepared = Arc::new(PreparedVenue {
-            engine: Arc::new(IkrqEngine::new(venue.space.clone(), venue.directory.clone())),
-            venue: Arc::new(venue),
-        });
-        self.cache.lock().insert(kind, Arc::clone(&prepared));
+        let prepared = Arc::new(PreparedVenue::new(venue_id, venue));
+        self.cache
+            .lock()
+            .unwrap()
+            .insert(kind, Arc::clone(&prepared));
         prepared
     }
 }
@@ -153,11 +190,18 @@ mod tests {
         };
         let instances = prepared.instances(&workload, 2, 9);
         assert!(!instances.is_empty());
-        for instance in &instances {
-            let query = to_query(instance);
-            assert!(query.validate().is_ok());
-            let outcome = prepared.engine.search_toe(&query).unwrap();
-            assert!(outcome.metrics.stamps_expanded > 0);
+        let requests: Vec<_> = instances
+            .iter()
+            .map(|instance| prepared.request(instance, VariantConfig::toe()))
+            .collect();
+        for (request, response) in requests
+            .iter()
+            .zip(prepared.service.search_batch(&requests))
+        {
+            assert!(request.query.validate().is_ok());
+            let response = response.unwrap();
+            assert_eq!(response.venue.id, prepared.venue_id);
+            assert!(response.metrics.unwrap().stamps_expanded > 0);
         }
     }
 }

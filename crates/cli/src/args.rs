@@ -37,20 +37,20 @@ impl ParsedArgs {
                 if c.starts_with('-') {
                     // `ikrq --help` without a command.
                     if c == "--help" || c == "-h" {
-                        let mut parsed = ParsedArgs::default();
-                        parsed.command = "help".into();
-                        return Ok(parsed);
+                        return Ok(ParsedArgs {
+                            command: "help".into(),
+                            ..ParsedArgs::default()
+                        });
                     }
-                    return Err(CliError::Usage(format!(
-                        "expected a command before `{c}`"
-                    )));
+                    return Err(CliError::Usage(format!("expected a command before `{c}`")));
                 }
                 c
             }
             None => {
-                let mut parsed = ParsedArgs::default();
-                parsed.command = "help".into();
-                return Ok(parsed);
+                return Ok(ParsedArgs {
+                    command: "help".into(),
+                    ..ParsedArgs::default()
+                });
             }
         };
 
@@ -128,8 +128,9 @@ impl ParsedArgs {
     pub fn get_f64(&self, name: &str) -> Result<Option<f64>> {
         self.get(name)
             .map(|v| {
-                v.parse::<f64>()
-                    .map_err(|_| CliError::Usage(format!("flag `--{name}` expects a number, got `{v}`")))
+                v.parse::<f64>().map_err(|_| {
+                    CliError::Usage(format!("flag `--{name}` expects a number, got `{v}`"))
+                })
             })
             .transpose()
     }
@@ -138,8 +139,9 @@ impl ParsedArgs {
     pub fn get_usize(&self, name: &str) -> Result<Option<usize>> {
         self.get(name)
             .map(|v| {
-                v.parse::<usize>()
-                    .map_err(|_| CliError::Usage(format!("flag `--{name}` expects an integer, got `{v}`")))
+                v.parse::<usize>().map_err(|_| {
+                    CliError::Usage(format!("flag `--{name}` expects an integer, got `{v}`"))
+                })
             })
             .transpose()
     }
@@ -148,8 +150,9 @@ impl ParsedArgs {
     pub fn get_u64(&self, name: &str) -> Result<Option<u64>> {
         self.get(name)
             .map(|v| {
-                v.parse::<u64>()
-                    .map_err(|_| CliError::Usage(format!("flag `--{name}` expects an integer, got `{v}`")))
+                v.parse::<u64>().map_err(|_| {
+                    CliError::Usage(format!("flag `--{name}` expects an integer, got `{v}`"))
+                })
             })
             .transpose()
     }
@@ -158,8 +161,9 @@ impl ParsedArgs {
     pub fn get_i32(&self, name: &str) -> Result<Option<i32>> {
         self.get(name)
             .map(|v| {
-                v.parse::<i32>()
-                    .map_err(|_| CliError::Usage(format!("flag `--{name}` expects an integer, got `{v}`")))
+                v.parse::<i32>().map_err(|_| {
+                    CliError::Usage(format!("flag `--{name}` expects an integer, got `{v}`"))
+                })
             })
             .transpose()
     }
@@ -247,8 +251,14 @@ mod tests {
         assert!(parse(&["query", "--binary=yes"]).is_err());
         assert!(parse(&["--version"]).is_err());
         assert!(parse(&["query", "--"]).is_err());
-        assert!(parse(&["query", "--k", "three"]).unwrap().get_usize("k").is_err());
-        assert!(parse(&["query", "--delta", "soon"]).unwrap().get_f64("delta").is_err());
+        assert!(parse(&["query", "--k", "three"])
+            .unwrap()
+            .get_usize("k")
+            .is_err());
+        assert!(parse(&["query", "--delta", "soon"])
+            .unwrap()
+            .get_f64("delta")
+            .is_err());
     }
 
     #[test]

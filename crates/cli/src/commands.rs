@@ -8,7 +8,9 @@ use crate::args::ParsedArgs;
 use crate::error::CliError;
 use crate::Result;
 use ikrq_core::extensions::SoftDeltaConfig;
-use ikrq_core::{IkrqEngine, IkrqQuery, VariantConfig};
+use ikrq_core::{
+    IkrqQuery, IkrqService, MetricsDetail, SearchRequest, SearchResponse, VariantConfig,
+};
 use indoor_data::real_mall::RealMallConfig;
 use indoor_data::{paper_example_venue, RealMallSimulator, SyntheticVenueConfig, Venue};
 use indoor_keywords::{KeywordDirectory, QueryKeywords};
@@ -17,6 +19,7 @@ use indoor_space::{FloorId, IndoorPoint, IndoorSpace};
 use indoor_viz::{render_floor, render_routes_on_floor, RenderStyle};
 use std::fmt::Write as _;
 use std::path::Path;
+use std::sync::Arc;
 
 /// The usage text printed by `ikrq help`.
 pub const USAGE: &str = "\
@@ -39,8 +42,13 @@ COMMANDS:
                --delta METERS      --keywords \"w1,w2,...\"
                --k N (default 3)   --alpha A (0.5)   --tau T (0.1)
                --algorithm toe|koe|toe-d|toe-b|toe-p|koe-d|koe-b|koe-star
+               --budget N                      cap on expanded stamps
                --slack FRACTION                soft distance constraint
                --out PATH                      also save results as JSON
+    batch      Run a saved query workload against a venue (parallel batch)
+               --venue PATH   --workload PATH  workload document (JSON)
+               --algorithm ...  --budget N     as for query
+               --out PATH                      save all results as JSON
     render     Render a floorplan (optionally with the routes of a query)
                --venue PATH   --floor N (default 0)   --out PATH.svg
                --no-labels    --door-ids
@@ -55,6 +63,7 @@ pub fn run(args: &ParsedArgs) -> Result<String> {
         "generate" => generate(args),
         "stats" => stats(args),
         "query" => query(args),
+        "batch" => batch(args),
         "render" => render(args),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
@@ -281,16 +290,66 @@ fn describe_route(
     )
 }
 
-fn query(args: &ParsedArgs) -> Result<String> {
-    let path = args.require("venue")?;
-    let (space, directory, _) = load_engine(path)?;
-    let engine = IkrqEngine::new(space, directory);
+/// Loads a venue document and hosts it on a fresh single-venue service,
+/// returning the service, the venue id it is registered under, and the
+/// shared engine (for extension paths and route descriptions).
+fn load_service(path: &str) -> Result<(IkrqService, String, Arc<ikrq_core::IkrqEngine>)> {
+    let (space, directory, name) = load_engine(path)?;
+    let venue_id = name.unwrap_or_else(|| path.to_string());
+    let service = IkrqService::new();
+    let engine = service
+        .register_venue(&venue_id, space, directory)
+        .map_err(CliError::Engine)?;
+    Ok((service, venue_id, engine))
+}
+
+/// Builds the service request for the common query flags.
+fn build_request(args: &ParsedArgs, venue_id: &str) -> Result<SearchRequest> {
     let query = build_query(args)?;
     let variant = parse_variant(args.get("algorithm"))?;
+    let mut builder = SearchRequest::builder(venue_id)
+        .query(query)
+        .variant(variant)
+        .metrics(MetricsDetail::Full);
+    if let Some(budget) = args.get_u64("budget")? {
+        builder = builder.expansion_budget(budget);
+    }
+    builder.build().map_err(CliError::Engine)
+}
+
+fn report_response(report: &mut String, engine: &ikrq_core::IkrqEngine, response: &SearchResponse) {
+    let metrics = response.to_outcome().metrics;
+    let _ = writeln!(
+        report,
+        "{}: {} routes, {:.2} ms, peak {:.2} MB, {} stamps expanded",
+        response.variant,
+        response.results.len(),
+        response.timing.search_ms,
+        metrics.peak_memory_mb(),
+        metrics.stamps_expanded,
+    );
+    for (i, r) in response.results.routes().iter().enumerate() {
+        let _ = writeln!(
+            report,
+            "  #{:<2} {}",
+            i + 1,
+            describe_route(engine.space(), engine.directory(), r)
+        );
+    }
+}
+
+fn query(args: &ParsedArgs) -> Result<String> {
+    let path = args.require("venue")?;
+    let (service, venue_id, engine) = load_service(path)?;
+    let request = build_request(args, &venue_id)?;
 
     let mut report = String::new();
     let outcome = if let Some(slack) = args.get_f64("slack")? {
-        let soft = engine.search_soft(&query, variant, SoftDeltaConfig::with_slack(slack))?;
+        let soft = engine.search_soft(
+            &request.query,
+            request.options.effective_variant(),
+            SoftDeltaConfig::with_slack(slack),
+        )?;
         let _ = writeln!(
             report,
             "{}: {} routes (soft ∆ = {:.1} m), {:.2} ms",
@@ -300,7 +359,11 @@ fn query(args: &ParsedArgs) -> Result<String> {
             soft.metrics.elapsed_millis(),
         );
         for (i, r) in soft.routes.iter().enumerate() {
-            let over = if r.exceeds_hard_delta { "  (over ∆)" } else { "" };
+            let over = if r.exceeds_hard_delta {
+                "  (over ∆)"
+            } else {
+                ""
+            };
             let _ = writeln!(
                 report,
                 "  #{:<2} soft score {:.4}  {}{}",
@@ -312,36 +375,91 @@ fn query(args: &ParsedArgs) -> Result<String> {
         }
         None
     } else {
-        let outcome = engine.search(&query, variant)?;
-        let _ = writeln!(
-            report,
-            "{}: {} routes, {:.2} ms, peak {:.2} MB, {} stamps expanded",
-            outcome.label,
-            outcome.results.len(),
-            outcome.metrics.elapsed_millis(),
-            outcome.metrics.peak_memory_mb(),
-            outcome.metrics.stamps_expanded,
-        );
-        for (i, r) in outcome.results.routes().iter().enumerate() {
-            let _ = writeln!(
-                report,
-                "  #{:<2} {}",
-                i + 1,
-                describe_route(engine.space(), engine.directory(), r)
-            );
-        }
-        Some(outcome)
+        let response = service.search(&request)?;
+        report_response(&mut report, &engine, &response);
+        Some(response.to_outcome())
     };
 
     if let Some(out) = args.get("out") {
         let mut results = ResultDocument::new(format!("ikrq query against {path}"));
         if let Some(outcome) = outcome {
-            results.push(&query, outcome);
+            results.push(&request.query, outcome);
         } else {
             // Soft-constraint runs save the underlying relaxed outcome.
-            let hard = engine.search(&query, variant)?;
-            results.push(&query, hard);
+            let hard = service.search(&request)?;
+            results.push(&request.query, hard.to_outcome());
         }
+        json::save_json(&results, out)?;
+        let _ = writeln!(report, "results written to {out}");
+    }
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------
+// batch
+// ---------------------------------------------------------------------
+
+fn batch(args: &ParsedArgs) -> Result<String> {
+    let venue_path = args.require("venue")?;
+    let workload_path = args.require("workload")?;
+    let (service, venue_id, _engine) = load_service(venue_path)?;
+    let variant = parse_variant(args.get("algorithm"))?;
+
+    let workload = json::load_workload_json(workload_path)?;
+    let queries = workload.to_queries()?;
+    if queries.is_empty() {
+        return Err(CliError::Usage(format!(
+            "workload `{workload_path}` contains no queries"
+        )));
+    }
+    let budget = args.get_u64("budget")?;
+    let requests: Vec<SearchRequest> = queries
+        .iter()
+        .map(|query| {
+            let mut builder = SearchRequest::builder(&venue_id)
+                .query(query.clone())
+                .variant(variant);
+            if let Some(budget) = budget {
+                builder = builder.expansion_budget(budget);
+            }
+            builder.build().map_err(CliError::Engine)
+        })
+        .collect::<Result<_>>()?;
+
+    let started = std::time::Instant::now();
+    let responses = service.search_batch(&requests);
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let mut report = String::new();
+    let mut ok = 0usize;
+    let mut failed = 0usize;
+    let mut search_ms_total = 0.0;
+    let mut results = ResultDocument::new(format!(
+        "ikrq batch of {} queries from {workload_path} against {venue_path}",
+        requests.len()
+    ));
+    for (request, response) in requests.iter().zip(&responses) {
+        match response {
+            Ok(response) => {
+                ok += 1;
+                search_ms_total += response.timing.search_ms;
+                results.push(&request.query, response.to_outcome());
+            }
+            Err(error) => {
+                failed += 1;
+                let _ = writeln!(report, "  query #{} failed: {error}", ok + failed);
+            }
+        }
+    }
+    let _ = writeln!(
+        report,
+        "{}: {ok} ok, {failed} failed in {wall_ms:.2} ms wall \
+         ({:.2} ms summed search time, {:.2} ms/query)",
+        variant.label(),
+        search_ms_total,
+        search_ms_total / ok.max(1) as f64,
+    );
+    if let Some(out) = args.get("out") {
         json::save_json(&results, out)?;
         let _ = writeln!(report, "results written to {out}");
     }
@@ -374,21 +492,19 @@ fn render(args: &ParsedArgs) -> Result<String> {
     let mut report = String::new();
     let svg = if args.get("from").is_some() {
         // Overlay the routes of a query.
-        let engine = IkrqEngine::new(space.clone(), directory.clone());
-        let query = build_query(args)?;
-        let variant = parse_variant(args.get("algorithm"))?;
-        let outcome = engine.search(&query, variant)?;
-        let routes: Vec<&indoor_space::Route> = outcome
-            .results
-            .routes()
-            .iter()
-            .map(|r| &r.route)
-            .collect();
+        let service = IkrqService::new();
+        service
+            .register_venue("render", space.clone(), directory.clone())
+            .map_err(CliError::Engine)?;
+        let request = build_request(args, "render")?;
+        let response = service.search(&request)?;
+        let routes: Vec<&indoor_space::Route> =
+            response.results.routes().iter().map(|r| &r.route).collect();
         let _ = writeln!(
             report,
             "overlaying {} route(s) from {}",
             routes.len(),
-            outcome.label
+            response.variant
         );
         render_routes_on_floor(&space, &routes, floor, &style)?
     } else {
@@ -411,7 +527,7 @@ mod tests {
 
     #[test]
     fn usage_mentions_every_command() {
-        for cmd in ["generate", "stats", "query", "render", "help"] {
+        for cmd in ["generate", "stats", "query", "batch", "render", "help"] {
             assert!(USAGE.contains(cmd), "usage should mention {cmd}");
         }
     }
@@ -471,7 +587,15 @@ mod tests {
     #[test]
     fn query_flag_validation() {
         let args = ParsedArgs::parse([
-            "query", "--venue", "v.json", "--to", "1,1", "--delta", "10", "--keywords", "a",
+            "query",
+            "--venue",
+            "v.json",
+            "--to",
+            "1,1",
+            "--delta",
+            "10",
+            "--keywords",
+            "a",
         ])
         .unwrap();
         // Missing --from is a usage error (before the venue is even loaded,

@@ -147,6 +147,77 @@ fn generate_stats_query_render_flow_on_the_example_venue() {
 }
 
 #[test]
+fn batch_runs_a_saved_workload_through_the_service() {
+    use ikrq_core::IkrqQuery;
+    use indoor_keywords::QueryKeywords;
+    use indoor_space::{FloorId, IndoorPoint};
+
+    let dir = TempDir::new("batch");
+    let venue_path = dir.file("example.json");
+    run_args([
+        "generate",
+        "--kind",
+        "example",
+        "--out",
+        venue_path.as_str(),
+    ])
+    .unwrap();
+
+    // Save a workload of repeated running-example queries.
+    let mut workload = indoor_persist::WorkloadDocument::new("cli batch test");
+    for k in [1usize, 2, 3] {
+        let query = IkrqQuery::new(
+            IndoorPoint::from_xy(10.0, 45.0, FloorId(0)),
+            IndoorPoint::from_xy(90.0, 30.0, FloorId(0)),
+            300.0,
+            QueryKeywords::new(["coffee", "laptop"]).unwrap(),
+            k,
+        );
+        workload.push_query(&query);
+    }
+    let workload_path = dir.file("workload.json");
+    indoor_persist::json::save_workload_json(&workload, &workload_path).unwrap();
+
+    let results_path = dir.file("batch-results.json");
+    let report = run_args([
+        "batch",
+        "--venue",
+        venue_path.as_str(),
+        "--workload",
+        workload_path.as_str(),
+        "--algorithm",
+        "koe",
+        "--out",
+        results_path.as_str(),
+    ])
+    .unwrap();
+    assert!(report.contains("3 ok, 0 failed"), "report: {report}");
+    assert!(report.contains("results written"));
+    let saved: indoor_persist::ResultDocument =
+        indoor_persist::json::load_json(&results_path).unwrap();
+    assert_eq!(saved.len(), 3);
+    for record in &saved.results {
+        assert_eq!(record.outcome.label, "KoE");
+        assert!(!record.outcome.results.is_empty());
+    }
+
+    // A workload against a missing venue id / empty workload errors cleanly.
+    let empty = indoor_persist::WorkloadDocument::new("empty");
+    let empty_path = dir.file("empty.json");
+    indoor_persist::json::save_workload_json(&empty, &empty_path).unwrap();
+    assert!(matches!(
+        run_args([
+            "batch",
+            "--venue",
+            venue_path.as_str(),
+            "--workload",
+            empty_path.as_str(),
+        ]),
+        Err(CliError::Usage(_))
+    ));
+}
+
+#[test]
 fn binary_venue_documents_work_end_to_end() {
     let dir = TempDir::new("binary");
     let venue_path = dir.file("example.ikrq");

@@ -64,11 +64,7 @@ impl Search<'_> {
             // Degenerate case: ps and pt share a partition and the route has
             // no doors yet; the leg is the intra-partition straight line.
             None => (
-                self.ctx
-                    .query
-                    .start
-                    .position
-                    .distance(&terminal.position),
+                self.ctx.query.start.position.distance(&terminal.position),
                 self.ctx.terminal_partition,
             ),
         };

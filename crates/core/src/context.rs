@@ -85,7 +85,9 @@ impl<'a> SearchContext<'a> {
     /// query keywords. This predicate defines the key-partition sequences
     /// `KP(·)` used for homogeneity.
     pub fn is_key_partition(&self, v: PartitionId) -> bool {
-        v == self.start_partition || v == self.terminal_partition || self.keyword_partitions.contains(&v)
+        v == self.start_partition
+            || v == self.terminal_partition
+            || self.keyword_partitions.contains(&v)
     }
 
     /// Whether a partition's i-word is a candidate match of some query
@@ -174,9 +176,9 @@ impl<'a> SearchContext<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use indoor_geom::{Point, Rect};
     use indoor_keywords::QueryKeywords;
     use indoor_space::{DoorKind, FloorId, IndoorPoint, IndoorSpaceBuilder, PartitionKind};
-    use indoor_geom::{Point, Rect};
 
     /// Three rooms in a row with i-words zara / costa / apple; costa has
     /// t-word coffee.
@@ -230,7 +232,10 @@ mod tests {
         assert!(ctx.routing_key_partitions.contains(&PartitionId(1)));
         assert!(ctx.routing_key_partitions.contains(&PartitionId(2)));
         assert!(!ctx.routing_key_partitions.contains(&PartitionId(0)));
-        assert!(ctx.is_key_partition(PartitionId(0)), "start partition is a key partition for KP()");
+        assert!(
+            ctx.is_key_partition(PartitionId(0)),
+            "start partition is a key partition for KP()"
+        );
         assert!(ctx.is_key_partition(PartitionId(1)));
         assert!(ctx.partition_covers_candidate(PartitionId(1)));
         assert!(!ctx.partition_covers_candidate(PartitionId(2)));

@@ -5,24 +5,25 @@ use crate::context::SearchContext;
 use crate::framework::Search;
 use crate::precompute::PrecomputedPaths;
 use crate::query::IkrqQuery;
+use crate::request::ExecOptions;
 use crate::results::SearchOutcome;
 use crate::variants::VariantConfig;
 use crate::Result;
 use indoor_keywords::KeywordDirectory;
 use indoor_space::IndoorSpace;
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// The query engine for one venue.
 ///
 /// The engine owns the immutable space model and keyword directory and caches
 /// the all-pairs precomputation needed by the KoE* variant (built lazily on
-/// first use, shared across queries).
+/// first use, shared across queries). The cache is a [`OnceLock`], so once
+/// built, concurrent queries read it without any lock traffic.
 #[derive(Debug)]
 pub struct IkrqEngine {
     space: IndoorSpace,
     directory: KeywordDirectory,
-    precomputed: Mutex<Option<Arc<PrecomputedPaths>>>,
+    precomputed: OnceLock<Arc<PrecomputedPaths>>,
 }
 
 impl IkrqEngine {
@@ -31,7 +32,7 @@ impl IkrqEngine {
         IkrqEngine {
             space,
             directory,
-            precomputed: Mutex::new(None),
+            precomputed: OnceLock::new(),
         }
     }
 
@@ -52,17 +53,19 @@ impl IkrqEngine {
     }
 
     fn precomputed_paths(&self) -> Arc<PrecomputedPaths> {
-        let mut guard = self.precomputed.lock();
-        if let Some(existing) = guard.as_ref() {
-            return Arc::clone(existing);
-        }
-        let built = Arc::new(PrecomputedPaths::build(&self.space));
-        *guard = Some(Arc::clone(&built));
-        built
+        Arc::clone(
+            self.precomputed
+                .get_or_init(|| Arc::new(PrecomputedPaths::build(&self.space))),
+        )
     }
 
-    /// Answers a query with the given algorithm variant.
-    pub fn search(&self, query: &IkrqQuery, config: VariantConfig) -> Result<SearchOutcome> {
+    /// Answers a query under per-request [`ExecOptions`] (variant, metrics
+    /// detail, expansion budget). This is the engine-level entry point the
+    /// service layer uses; multi-venue callers should go through
+    /// [`crate::IkrqService`].
+    pub fn execute(&self, query: &IkrqQuery, options: &ExecOptions) -> Result<SearchOutcome> {
+        options.validate()?;
+        let config = options.effective_variant();
         let ctx = SearchContext::prepare(&self.space, &self.directory, query)?;
         let precomputed = config
             .use_precomputed_paths
@@ -71,14 +74,34 @@ impl IkrqEngine {
         Ok(search.run())
     }
 
+    /// Answers a query with the given algorithm variant.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a SearchRequest and use IkrqService::search, or call \
+                IkrqEngine::execute with ExecOptions"
+    )]
+    pub fn search(&self, query: &IkrqQuery, config: VariantConfig) -> Result<SearchOutcome> {
+        self.execute(query, &ExecOptions::with_variant(config))
+    }
+
     /// Convenience: ToE with all pruning rules.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a SearchRequest and use IkrqService::search, or call \
+                IkrqEngine::execute with ExecOptions"
+    )]
     pub fn search_toe(&self, query: &IkrqQuery) -> Result<SearchOutcome> {
-        self.search(query, VariantConfig::toe())
+        self.execute(query, &ExecOptions::with_variant(VariantConfig::toe()))
     }
 
     /// Convenience: KoE with all pruning rules.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a SearchRequest and use IkrqService::search, or call \
+                IkrqEngine::execute with ExecOptions"
+    )]
     pub fn search_koe(&self, query: &IkrqQuery) -> Result<SearchOutcome> {
-        self.search(query, VariantConfig::koe())
+        self.execute(query, &ExecOptions::with_variant(VariantConfig::koe()))
     }
 
     /// Runs every variant of Table III on the same query, in the paper's
@@ -86,7 +109,7 @@ impl IkrqEngine {
     pub fn search_all_variants(&self, query: &IkrqQuery) -> Result<Vec<SearchOutcome>> {
         VariantConfig::all_variants()
             .into_iter()
-            .map(|config| self.search(query, config))
+            .map(|config| self.execute(query, &ExecOptions::with_variant(config)))
             .collect()
     }
 }

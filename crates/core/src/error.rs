@@ -35,6 +35,12 @@ pub enum EngineError {
         /// The rejected value.
         value: f64,
     },
+    /// A service-level request envelope is malformed (missing field, empty
+    /// venue id, zero budget, duplicate registration, ...).
+    InvalidRequest(String),
+    /// A request addressed a venue id that is not registered with the
+    /// service.
+    UnknownVenue(String),
 }
 
 impl fmt::Display for EngineError {
@@ -43,7 +49,9 @@ impl fmt::Display for EngineError {
             EngineError::Space(e) => write!(f, "space error: {e}"),
             EngineError::Keyword(e) => write!(f, "keyword error: {e}"),
             EngineError::InvalidK(k) => write!(f, "k must be >= 1, got {k}"),
-            EngineError::InvalidDelta(d) => write!(f, "distance constraint must be positive, got {d}"),
+            EngineError::InvalidDelta(d) => {
+                write!(f, "distance constraint must be positive, got {d}")
+            }
             EngineError::InvalidAlpha(a) => write!(f, "alpha must be in [0,1], got {a}"),
             EngineError::InvalidTau(t) => write!(f, "tau must be in [0,1], got {t}"),
             EngineError::PointOutsideVenue(which) => {
@@ -56,6 +64,8 @@ impl fmt::Display for EngineError {
             EngineError::InvalidExtensionParameter { name, value } => {
                 write!(f, "extension parameter {name} is out of range: {value}")
             }
+            EngineError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            EngineError::UnknownVenue(id) => write!(f, "unknown venue `{id}`"),
         }
     }
 }
@@ -98,6 +108,8 @@ mod tests {
                 delta: 10.0,
                 lower_bound: 20.0,
             },
+            EngineError::InvalidRequest("missing start point".into()),
+            EngineError::UnknownVenue("ghost".into()),
         ];
         for c in cases {
             assert!(!c.to_string().is_empty());

@@ -217,7 +217,10 @@ impl IkrqEngine {
         query.validate()?;
         let mut oversampled = query.clone();
         oversampled.k = query.k.saturating_mul(oversample.max(1)).max(query.k);
-        let outcome = self.search(&oversampled, config)?;
+        let outcome = self.execute(
+            &oversampled,
+            &crate::request::ExecOptions::with_variant(config),
+        )?;
         let mut ranked = model.rerank(outcome.results.routes(), provider);
         ranked.truncate(query.k);
         Ok(ranked)
@@ -251,8 +254,14 @@ mod tests {
     fn uniform_popularity_is_clamped_and_constant() {
         let p = UniformPopularity(0.4);
         assert_eq!(p.partition_popularity(PartitionId(1)), 0.4);
-        assert_eq!(UniformPopularity(7.0).partition_popularity(PartitionId(0)), 1.0);
-        assert_eq!(UniformPopularity(-1.0).partition_popularity(PartitionId(0)), 0.0);
+        assert_eq!(
+            UniformPopularity(7.0).partition_popularity(PartitionId(0)),
+            1.0
+        );
+        assert_eq!(
+            UniformPopularity(-1.0).partition_popularity(PartitionId(0)),
+            0.0
+        );
     }
 
     #[test]
@@ -288,8 +297,7 @@ mod tests {
 
     #[test]
     fn route_popularity_is_the_mean_over_distinct_partitions() {
-        let table =
-            VisitCountPopularity::from_counts([(PartitionId(1), 4), (PartitionId(2), 2)]);
+        let table = VisitCountPopularity::from_counts([(PartitionId(1), 4), (PartitionId(2), 2)]);
         // Route passes partition 1 twice and partition 2 once: distinct
         // partitions {1, 2} with popularities 1.0 and 0.5.
         let route = route_through(&[1, 1, 2]);
@@ -315,8 +323,7 @@ mod tests {
 
     #[test]
     fn zero_weight_preserves_psi_order_and_full_weight_uses_popularity() {
-        let table =
-            VisitCountPopularity::from_counts([(PartitionId(1), 1), (PartitionId(2), 10)]);
+        let table = VisitCountPopularity::from_counts([(PartitionId(1), 1), (PartitionId(2), 10)]);
         let low_psi_popular = result(route_through(&[2]), 0.4, 30.0);
         let high_psi_unpopular = result(route_through(&[1]), 0.6, 20.0);
         let routes = vec![high_psi_unpopular.clone(), low_psi_popular.clone()];

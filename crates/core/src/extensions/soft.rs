@@ -166,7 +166,7 @@ impl IkrqEngine {
         let relaxed_delta = soft.relaxed_delta(query.delta);
         let mut relaxed = query.clone();
         relaxed.delta = relaxed_delta;
-        let outcome = self.search(&relaxed, config)?;
+        let outcome = self.execute(&relaxed, &crate::request::ExecOptions::with_variant(config))?;
 
         let hard_model = RankingModel::new(query.alpha, query.delta, query.num_keywords());
         let soft_model = SoftRankingModel::new(hard_model, soft);

@@ -100,11 +100,11 @@ impl Search<'_> {
             // Distance constraint check (line 11): current distance plus the
             // lower bound of reaching pt through vj.
             let via_bound = match tail {
-                Some(dk) => self.ctx.space.door_via_partition_lower_bound(
-                    dk,
-                    vj,
-                    &self.ctx.query.terminal,
-                ),
+                Some(dk) => {
+                    self.ctx
+                        .space
+                        .door_via_partition_lower_bound(dk, vj, &self.ctx.query.terminal)
+                }
                 None => self.ctx.space.partition_detour_lower_bound(
                     &self.ctx.query.start,
                     vj,

@@ -25,8 +25,51 @@
 //! variants of Table III (ToE\D, ToE\B, ToE\P, KoE\D, KoE\B, KoE*), and a
 //! naive exhaustive baseline for correctness checking.
 //!
-//! The entry point is [`IkrqEngine`]; see `examples/quickstart.rs` in the
-//! workspace root for a complete walk-through.
+//! # Serving queries
+//!
+//! The primary entry point is the service layer: an [`IkrqService`] hosts
+//! any number of named venues and answers [`SearchRequest`] envelopes —
+//! venue id + query + [`ExecOptions`] — one at a time or as a parallel
+//! batch:
+//!
+//! ```
+//! use ikrq_core::{IkrqService, SearchRequest, VariantConfig};
+//! use indoor_keywords::QueryKeywords;
+//!
+//! let example = indoor_data::paper_example_venue();
+//! let service = IkrqService::new();
+//! service
+//!     .register_venue(
+//!         "fig1",
+//!         example.venue.space.clone(),
+//!         example.venue.directory.clone(),
+//!     )
+//!     .unwrap();
+//!
+//! let request = SearchRequest::builder("fig1")
+//!     .from(example.ps)
+//!     .to(example.pt)
+//!     .delta(400.0)
+//!     .keywords(QueryKeywords::new(["latte", "apple"]).unwrap())
+//!     .k(3)
+//!     .variant(VariantConfig::koe())
+//!     .build()
+//!     .unwrap();
+//!
+//! let response = service.search(&request).unwrap();
+//! println!("{} routes in {:.2} ms", response.results.len(), response.timing.total_ms);
+//!
+//! // Throughput path: many requests fan out over all cores, results come
+//! // back in request order.
+//! let responses = service.search_batch(&[request.clone(), request]);
+//! assert_eq!(responses.len(), 2);
+//! ```
+//!
+//! Single-venue embedders can hold an [`IkrqEngine`] directly and call
+//! [`IkrqEngine::execute`] with [`ExecOptions`]; the one-shot
+//! `IkrqEngine::search*` methods are deprecated shims kept for one release.
+//! See `examples/quickstart.rs` in the workspace root for a complete
+//! walk-through.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,8 +87,10 @@ pub mod precompute;
 pub mod prime;
 pub mod pruning;
 pub mod query;
+pub mod request;
 pub mod results;
 pub mod score;
+pub mod service;
 pub mod stamp;
 pub mod toe;
 pub mod variants;
@@ -63,8 +108,13 @@ pub use precompute::PrecomputedPaths;
 pub use prime::PrimeTable;
 pub use pruning::{PruneRule, PruneStats};
 pub use query::IkrqQuery;
+pub use request::{
+    ExecOptions, MetricsDetail, ResponseTiming, SearchRequest, SearchRequestBuilder,
+    SearchResponse, VenueSummary, API_VERSION,
+};
 pub use results::{ResultRoute, SearchOutcome, TopKResults};
 pub use score::RankingModel;
+pub use service::{IkrqService, VenueRegistry};
 pub use stamp::Stamp;
 pub use variants::{AlgorithmKind, VariantConfig};
 
@@ -74,7 +124,9 @@ pub type Result<T> = std::result::Result<T, EngineError>;
 /// Commonly used types, re-exported for glob import.
 pub mod prelude {
     pub use crate::{
-        AlgorithmKind, ExhaustiveBaseline, IkrqEngine, IkrqQuery, PruneRule, RankingModel,
-        ResultRoute, SearchMetrics, SearchOutcome, TopKResults, VariantConfig,
+        AlgorithmKind, ExecOptions, ExhaustiveBaseline, IkrqEngine, IkrqQuery, IkrqService,
+        MetricsDetail, PruneRule, RankingModel, ResultRoute, SearchMetrics, SearchOutcome,
+        SearchRequest, SearchRequestBuilder, SearchResponse, TopKResults, VariantConfig,
+        VenueRegistry,
     };
 }

@@ -107,12 +107,7 @@ impl PruneStats {
     pub fn total_numbered(&self) -> u64 {
         PruneRule::ALL
             .iter()
-            .filter(|r| {
-                !matches!(
-                    r,
-                    PruneRule::Regularity | PruneRule::DistanceConstraint
-                )
-            })
+            .filter(|r| !matches!(r, PruneRule::Regularity | PruneRule::DistanceConstraint))
             .map(|&r| self.count(r))
             .sum()
     }

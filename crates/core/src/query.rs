@@ -136,7 +136,10 @@ mod tests {
 
     #[test]
     fn invalid_parameters_are_rejected() {
-        assert!(matches!(sample(100.0, 0, 0.5, 0.1).validate(), Err(EngineError::InvalidK(0))));
+        assert!(matches!(
+            sample(100.0, 0, 0.5, 0.1).validate(),
+            Err(EngineError::InvalidK(0))
+        ));
         assert!(matches!(
             sample(-5.0, 1, 0.5, 0.1).validate(),
             Err(EngineError::InvalidDelta(_))

@@ -1,0 +1,440 @@
+//! The service-level request/response envelope.
+//!
+//! [`SearchRequest`] names a venue hosted by a
+//! [`crate::service::IkrqService`], carries the [`IkrqQuery`] itself, and an
+//! [`ExecOptions`] block controlling how the query executes. Responses come
+//! back as [`SearchResponse`]: the ranked routes plus per-request timing,
+//! optional search metrics and venue metadata. Both envelopes are
+//! serde-stable so a future HTTP/RPC front end can ship them as JSON
+//! unchanged (`api_version` stamps the wire format).
+
+use crate::error::EngineError;
+use crate::metrics::SearchMetrics;
+use crate::query::IkrqQuery;
+use crate::results::{SearchOutcome, TopKResults};
+use crate::variants::VariantConfig;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Version stamp of the request/response wire format.
+pub const API_VERSION: u16 = 1;
+
+/// How much measurement detail a [`SearchResponse`] carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum MetricsDetail {
+    /// No metrics block in the response (timing is always present).
+    None,
+    /// Only the cost headline: elapsed time and peak memory; the search
+    /// effort counters are zeroed.
+    Timing,
+    /// The complete [`SearchMetrics`] block.
+    #[default]
+    Full,
+}
+
+/// Per-request execution options.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ExecOptions {
+    /// The algorithm variant (Table III notation) that answers the query.
+    pub variant: VariantConfig,
+    /// How much measurement detail the response carries.
+    pub metrics: MetricsDetail,
+    /// Optional cap on the number of stamps the search may expand; when set
+    /// it overrides the variant's own budget. Guards tail latency of hosted
+    /// deployments against adversarial or degenerate queries.
+    pub expansion_budget: Option<u64>,
+}
+
+impl ExecOptions {
+    /// Options running the given variant with full metrics and no extra
+    /// budget.
+    pub fn with_variant(variant: VariantConfig) -> Self {
+        ExecOptions {
+            variant,
+            ..ExecOptions::default()
+        }
+    }
+
+    /// Sets the metrics detail.
+    pub fn with_metrics(mut self, metrics: MetricsDetail) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Sets the node-expansion budget.
+    pub fn with_expansion_budget(mut self, budget: u64) -> Self {
+        self.expansion_budget = Some(budget);
+        self
+    }
+
+    /// The variant configuration with the request-level budget applied.
+    pub fn effective_variant(&self) -> VariantConfig {
+        let mut variant = self.variant;
+        if self.expansion_budget.is_some() {
+            variant.expansion_budget = self.expansion_budget;
+        }
+        variant
+    }
+
+    /// Validates the options.
+    pub fn validate(&self) -> Result<()> {
+        if self.expansion_budget == Some(0) {
+            return Err(EngineError::InvalidRequest(
+                "expansion budget must be at least 1 when set".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One query addressed to one hosted venue.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchRequest {
+    /// Id of the venue (as registered with the service's venue registry).
+    pub venue: String,
+    /// The query itself.
+    pub query: IkrqQuery,
+    /// Execution options.
+    pub options: ExecOptions,
+}
+
+impl SearchRequest {
+    /// Starts building a request against a venue.
+    pub fn builder(venue: impl Into<String>) -> SearchRequestBuilder {
+        SearchRequestBuilder::new(venue)
+    }
+
+    /// Validates the request envelope (venue id and query parameters). The
+    /// execution options are validated by [`crate::IkrqEngine::execute`],
+    /// the narrowest entry point every search goes through.
+    pub fn validate(&self) -> Result<()> {
+        if self.venue.trim().is_empty() {
+            return Err(EngineError::InvalidRequest(
+                "venue id must not be empty".into(),
+            ));
+        }
+        self.query.validate()
+    }
+}
+
+/// Validating builder for [`SearchRequest`].
+///
+/// ```
+/// use ikrq_core::{SearchRequest, VariantConfig};
+/// use indoor_keywords::QueryKeywords;
+/// use indoor_space::{FloorId, IndoorPoint};
+///
+/// let request = SearchRequest::builder("mall")
+///     .from(IndoorPoint::from_xy(5.0, 5.0, FloorId(0)))
+///     .to(IndoorPoint::from_xy(80.0, 5.0, FloorId(0)))
+///     .delta(400.0)
+///     .keywords(QueryKeywords::new(["latte", "apple"]).unwrap())
+///     .k(3)
+///     .variant(VariantConfig::koe())
+///     .build()
+///     .unwrap();
+/// assert_eq!(request.venue, "mall");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SearchRequestBuilder {
+    venue: String,
+    start: Option<indoor_space::IndoorPoint>,
+    terminal: Option<indoor_space::IndoorPoint>,
+    delta: Option<f64>,
+    keywords: Option<indoor_keywords::QueryKeywords>,
+    k: usize,
+    alpha: Option<f64>,
+    tau: Option<f64>,
+    options: ExecOptions,
+}
+
+impl SearchRequestBuilder {
+    /// Starts a builder for the given venue id.
+    pub fn new(venue: impl Into<String>) -> Self {
+        SearchRequestBuilder {
+            venue: venue.into(),
+            start: None,
+            terminal: None,
+            delta: None,
+            keywords: None,
+            k: 3,
+            alpha: None,
+            tau: None,
+            options: ExecOptions::default(),
+        }
+    }
+
+    /// Sets the start point `ps`.
+    pub fn from(mut self, start: indoor_space::IndoorPoint) -> Self {
+        self.start = Some(start);
+        self
+    }
+
+    /// Sets the terminal point `pt`.
+    pub fn to(mut self, terminal: indoor_space::IndoorPoint) -> Self {
+        self.terminal = Some(terminal);
+        self
+    }
+
+    /// Sets the distance constraint `∆` in metres.
+    pub fn delta(mut self, delta: f64) -> Self {
+        self.delta = Some(delta);
+        self
+    }
+
+    /// Sets the query keyword list `QW`.
+    pub fn keywords(mut self, keywords: indoor_keywords::QueryKeywords) -> Self {
+        self.keywords = Some(keywords);
+        self
+    }
+
+    /// Sets `k` (defaults to 3).
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets the ranking trade-off `α` (defaults to [`crate::query::DEFAULT_ALPHA`]).
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = Some(alpha);
+        self
+    }
+
+    /// Sets the similarity threshold `τ` (defaults to [`crate::query::DEFAULT_TAU`]).
+    pub fn tau(mut self, tau: f64) -> Self {
+        self.tau = Some(tau);
+        self
+    }
+
+    /// Sets the algorithm variant (defaults to ToE with all pruning rules).
+    pub fn variant(mut self, variant: VariantConfig) -> Self {
+        self.options.variant = variant;
+        self
+    }
+
+    /// Sets the metrics detail (defaults to [`MetricsDetail::Full`]).
+    pub fn metrics(mut self, metrics: MetricsDetail) -> Self {
+        self.options.metrics = metrics;
+        self
+    }
+
+    /// Caps the number of stamps the search may expand.
+    pub fn expansion_budget(mut self, budget: u64) -> Self {
+        self.options.expansion_budget = Some(budget);
+        self
+    }
+
+    /// Replaces the whole options block.
+    pub fn options(mut self, options: ExecOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Builds a query from an existing [`IkrqQuery`] instead of the
+    /// point-by-point setters.
+    pub fn query(mut self, query: IkrqQuery) -> Self {
+        self.start = Some(query.start);
+        self.terminal = Some(query.terminal);
+        self.delta = Some(query.delta);
+        self.k = query.k;
+        self.alpha = Some(query.alpha);
+        self.tau = Some(query.tau);
+        self.keywords = Some(query.keywords);
+        self
+    }
+
+    /// Validates every field and produces the request.
+    pub fn build(self) -> Result<SearchRequest> {
+        let missing = |what: &str| EngineError::InvalidRequest(format!("missing {what}"));
+        let start = self.start.ok_or_else(|| missing("start point"))?;
+        let terminal = self.terminal.ok_or_else(|| missing("terminal point"))?;
+        let delta = self.delta.ok_or_else(|| missing("distance constraint"))?;
+        let keywords = self.keywords.ok_or_else(|| missing("query keywords"))?;
+        let mut query = IkrqQuery::new(start, terminal, delta, keywords, self.k);
+        if let Some(alpha) = self.alpha {
+            query = query.with_alpha(alpha);
+        }
+        if let Some(tau) = self.tau {
+            query = query.with_tau(tau);
+        }
+        let request = SearchRequest {
+            venue: self.venue,
+            query,
+            options: self.options,
+        };
+        request.validate()?;
+        request.options.validate()?;
+        Ok(request)
+    }
+}
+
+/// Identity and size of the venue that answered a request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VenueSummary {
+    /// The registered venue id.
+    pub id: String,
+    /// Number of partitions in the space model.
+    pub partitions: usize,
+    /// Number of doors in the space model.
+    pub doors: usize,
+}
+
+/// Wall-clock timing of one request.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ResponseTiming {
+    /// Total time spent inside the service (validation, venue lookup,
+    /// search, envelope assembly), in milliseconds.
+    pub total_ms: f64,
+    /// Time spent inside the search algorithm, in milliseconds.
+    pub search_ms: f64,
+}
+
+/// The answer to one [`SearchRequest`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchResponse {
+    /// Wire-format version ([`API_VERSION`]).
+    pub api_version: u16,
+    /// The venue that answered.
+    pub venue: VenueSummary,
+    /// Label of the algorithm variant that ran (Table III notation).
+    pub variant: String,
+    /// The ranked top-k routes.
+    pub results: TopKResults,
+    /// Search metrics, shaped by the request's [`MetricsDetail`].
+    pub metrics: Option<SearchMetrics>,
+    /// Per-request timing (always present, never deterministic).
+    pub timing: ResponseTiming,
+}
+
+impl SearchResponse {
+    /// Reassembles the classic [`SearchOutcome`] (label + results + metrics)
+    /// from the envelope, for code paths that persist or aggregate
+    /// outcomes. Metrics stripped by [`MetricsDetail::None`] come back
+    /// zeroed.
+    pub fn to_outcome(&self) -> SearchOutcome {
+        SearchOutcome {
+            label: self.variant.clone(),
+            results: self.results.clone(),
+            metrics: self.metrics.clone().unwrap_or_default(),
+        }
+    }
+
+    /// The deterministic part of the response (everything except timing and
+    /// metrics) as compact JSON. Two executions of the same request against
+    /// the same venue produce byte-identical strings, which is what the
+    /// batch-vs-sequential consistency tests compare.
+    pub fn deterministic_json(&self) -> String {
+        let deterministic = serde::Value::Object(vec![
+            (
+                "api_version".into(),
+                Serialize::serialize(&self.api_version),
+            ),
+            ("venue".into(), Serialize::serialize(&self.venue)),
+            ("variant".into(), Serialize::serialize(&self.variant)),
+            ("results".into(), Serialize::serialize(&self.results)),
+        ]);
+        serde_json::to_string(&deterministic).expect("responses serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indoor_keywords::QueryKeywords;
+    use indoor_space::{FloorId, IndoorPoint};
+
+    fn base() -> SearchRequestBuilder {
+        SearchRequest::builder("mall")
+            .from(IndoorPoint::from_xy(0.0, 0.0, FloorId(0)))
+            .to(IndoorPoint::from_xy(10.0, 10.0, FloorId(0)))
+            .delta(250.0)
+            .keywords(QueryKeywords::new(["coffee"]).unwrap())
+    }
+
+    #[test]
+    fn builder_produces_a_valid_request() {
+        let request = base()
+            .k(5)
+            .alpha(0.7)
+            .tau(0.2)
+            .variant(VariantConfig::koe_star())
+            .metrics(MetricsDetail::Timing)
+            .expansion_budget(10_000)
+            .build()
+            .unwrap();
+        assert_eq!(request.venue, "mall");
+        assert_eq!(request.query.k, 5);
+        assert_eq!(request.query.alpha, 0.7);
+        assert_eq!(request.options.metrics, MetricsDetail::Timing);
+        assert_eq!(
+            request.options.effective_variant().expansion_budget,
+            Some(10_000)
+        );
+        assert!(request.options.effective_variant().use_precomputed_paths);
+    }
+
+    #[test]
+    fn builder_rejects_missing_fields() {
+        let missing_from = SearchRequest::builder("mall")
+            .to(IndoorPoint::from_xy(1.0, 1.0, FloorId(0)))
+            .delta(10.0)
+            .keywords(QueryKeywords::new(["a"]).unwrap())
+            .build();
+        assert!(matches!(missing_from, Err(EngineError::InvalidRequest(_))));
+
+        let missing_delta = base().delta(f64::NAN).build();
+        assert!(matches!(missing_delta, Err(EngineError::InvalidDelta(_))));
+
+        let no_keywords = SearchRequest::builder("mall")
+            .from(IndoorPoint::from_xy(0.0, 0.0, FloorId(0)))
+            .to(IndoorPoint::from_xy(1.0, 1.0, FloorId(0)))
+            .delta(10.0)
+            .build();
+        assert!(matches!(no_keywords, Err(EngineError::InvalidRequest(_))));
+    }
+
+    #[test]
+    fn builder_rejects_invalid_parameters() {
+        assert!(matches!(base().k(0).build(), Err(EngineError::InvalidK(0))));
+        assert!(matches!(
+            base().alpha(1.5).build(),
+            Err(EngineError::InvalidAlpha(_))
+        ));
+        assert!(matches!(
+            base().tau(-0.1).build(),
+            Err(EngineError::InvalidTau(_))
+        ));
+        assert!(matches!(
+            SearchRequest::builder("  ")
+                .from(IndoorPoint::from_xy(0.0, 0.0, FloorId(0)))
+                .to(IndoorPoint::from_xy(1.0, 1.0, FloorId(0)))
+                .delta(10.0)
+                .keywords(QueryKeywords::new(["a"]).unwrap())
+                .build(),
+            Err(EngineError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            base().expansion_budget(0).build(),
+            Err(EngineError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn budget_override_only_applies_when_set() {
+        let options = ExecOptions::with_variant(VariantConfig::toe_no_prime());
+        assert_eq!(
+            options.effective_variant().expansion_budget,
+            VariantConfig::toe_no_prime().expansion_budget
+        );
+        let tightened = options.with_expansion_budget(99);
+        assert_eq!(tightened.effective_variant().expansion_budget, Some(99));
+    }
+
+    #[test]
+    fn request_round_trips_through_serde_json() {
+        let request = base().k(4).variant(VariantConfig::koe()).build().unwrap();
+        let json = serde_json::to_string(&request).unwrap();
+        let back: SearchRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, request);
+    }
+}

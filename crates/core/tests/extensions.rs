@@ -8,10 +8,7 @@ use indoor_keywords::QueryKeywords;
 
 fn engine_and_query(delta: f64, words: &[&str], k: usize) -> (IkrqEngine, IkrqQuery) {
     let example = paper_example_venue();
-    let engine = IkrqEngine::new(
-        example.venue.space.clone(),
-        example.venue.directory.clone(),
-    );
+    let engine = IkrqEngine::new(example.venue.space.clone(), example.venue.directory.clone());
     let query = IkrqQuery::new(
         example.ps,
         example.pt,
@@ -27,9 +24,15 @@ fn engine_and_query(delta: f64, words: &[&str], k: usize) -> (IkrqEngine, IkrqQu
 #[test]
 fn soft_search_with_zero_slack_matches_the_hard_search() {
     let (engine, query) = engine_and_query(300.0, &["coffee", "laptop"], 3);
-    let hard = engine.search_toe(&query).unwrap();
+    let hard = engine
+        .execute(&query, &ikrq_core::ExecOptions::default())
+        .unwrap();
     let soft = engine
-        .search_soft(&query, VariantConfig::toe(), SoftDeltaConfig::with_slack(0.0))
+        .search_soft(
+            &query,
+            VariantConfig::toe(),
+            SoftDeltaConfig::with_slack(0.0),
+        )
         .unwrap();
     assert_eq!(hard.results.len(), soft.routes.len());
     assert_eq!(soft.num_over_delta(), 0);
@@ -45,7 +48,9 @@ fn soft_search_admits_routes_beyond_the_hard_constraint() {
     // A constraint just above the s-to-t distance: the hard query can barely
     // detour, while a 60% slack admits keyword-covering routes longer than ∆.
     let (engine, query) = engine_and_query(140.0, &["coffee", "laptop"], 4);
-    let hard = engine.search_toe(&query).unwrap();
+    let hard = engine
+        .execute(&query, &ikrq_core::ExecOptions::default())
+        .unwrap();
     let soft = engine
         .search_soft(
             &query,
@@ -61,7 +66,10 @@ fn soft_search_admits_routes_beyond_the_hard_constraint() {
     // never drops below the hard result count unless k is already saturated.
     assert!(soft.routes.len() >= hard.results.len().min(query.k));
     for route in &soft.routes {
-        assert_eq!(route.exceeds_hard_delta, route.result.distance > query.delta);
+        assert_eq!(
+            route.exceeds_hard_delta,
+            route.result.distance > query.delta
+        );
         if route.result.distance <= query.delta {
             // Within ∆ the soft score equals the paper's score under ∆.
             let hard_model = ikrq_core::RankingModel::new(query.alpha, query.delta, 2);
@@ -83,7 +91,9 @@ fn soft_search_admits_routes_beyond_the_hard_constraint() {
 #[test]
 fn uniform_popularity_preserves_the_paper_ranking() {
     let (engine, query) = engine_and_query(300.0, &["coffee", "laptop"], 3);
-    let baseline = engine.search_toe(&query).unwrap();
+    let baseline = engine
+        .execute(&query, &ikrq_core::ExecOptions::default())
+        .unwrap();
     let ranked = engine
         .search_with_popularity(
             &query,
@@ -107,8 +117,13 @@ fn uniform_popularity_preserves_the_paper_ranking() {
 #[test]
 fn popularity_reranking_can_promote_a_popular_route() {
     let (engine, query) = engine_and_query(400.0, &["coffee"], 5);
-    let plain = engine.search_toe(&query).unwrap();
-    assert!(plain.results.len() >= 2, "need at least two routes to rerank");
+    let plain = engine
+        .execute(&query, &ikrq_core::ExecOptions::default())
+        .unwrap();
+    assert!(
+        plain.results.len() >= 2,
+        "need at least two routes to rerank"
+    );
 
     // Declare every partition of the *last*-ranked route maximally popular.
     let last = plain.results.routes().last().unwrap();

@@ -28,23 +28,24 @@ fn running_query(example: &indoor_data::PaperExampleVenue, delta: f64, k: usize)
 /// Checks internal consistency of an outcome against the venue: routes are
 /// regular and complete, distances and relevances match a from-scratch
 /// recomputation, scores are sorted and within the constraint.
-fn assert_outcome_consistent(
-    outcome: &SearchOutcome,
-    engine: &IkrqEngine,
-    query: &IkrqQuery,
-) {
+fn assert_outcome_consistent(outcome: &SearchOutcome, engine: &IkrqEngine, query: &IkrqQuery) {
     let ranking = RankingModel::new(query.alpha, query.delta, query.num_keywords());
-    let prepared = indoor_keywords::PreparedQuery::prepare(
-        &query.keywords,
-        engine.directory(),
-        query.tau,
-    )
-    .unwrap();
+    let prepared =
+        indoor_keywords::PreparedQuery::prepare(&query.keywords, engine.directory(), query.tau)
+            .unwrap();
     let mut previous_score = f64::INFINITY;
     for result in outcome.results.routes() {
         let route: &Route = &result.route;
-        assert!(route.is_complete(), "{}: route must be complete", outcome.label);
-        assert!(route.is_regular(), "{}: route must be regular", outcome.label);
+        assert!(
+            route.is_complete(),
+            "{}: route must be complete",
+            outcome.label
+        );
+        assert!(
+            route.is_regular(),
+            "{}: route must be regular",
+            outcome.label
+        );
         let recomputed_distance = route.distance(engine.space());
         assert!(
             (recomputed_distance - result.distance).abs() < 1e-6,
@@ -53,7 +54,11 @@ fn assert_outcome_consistent(
             recomputed_distance,
             result.distance
         );
-        assert!(result.distance <= query.delta + 1e-6, "{}: route violates ∆", outcome.label);
+        assert!(
+            result.distance <= query.delta + 1e-6,
+            "{}: route violates ∆",
+            outcome.label
+        );
         let recomputed_relevance = RelevanceModel::relevance_of_route(
             route,
             engine.space(),
@@ -86,7 +91,9 @@ fn assert_outcome_consistent(
 fn toe_finds_keyword_aware_routes_on_the_running_example() {
     let (engine, example) = engine();
     let query = running_query(&example, 400.0, 3);
-    let outcome = engine.search_toe(&query).unwrap();
+    let outcome = engine
+        .execute(&query, &ikrq_core::ExecOptions::default())
+        .unwrap();
     assert!(!outcome.results.is_empty(), "ToE must find routes");
     assert_outcome_consistent(&outcome, &engine, &query);
     // With a generous ∆ the best route covers both query keywords: latte via
@@ -104,8 +111,15 @@ fn toe_finds_keyword_aware_routes_on_the_running_example() {
 fn koe_agrees_with_toe_on_the_best_route_score() {
     let (engine, example) = engine();
     let query = running_query(&example, 400.0, 3);
-    let toe = engine.search_toe(&query).unwrap();
-    let koe = engine.search_koe(&query).unwrap();
+    let toe = engine
+        .execute(&query, &ikrq_core::ExecOptions::default())
+        .unwrap();
+    let koe = engine
+        .execute(
+            &query,
+            &ikrq_core::ExecOptions::with_variant(ikrq_core::VariantConfig::koe()),
+        )
+        .unwrap();
     assert!(!koe.results.is_empty());
     assert_outcome_consistent(&koe, &engine, &query);
     let toe_best = toe.results.best().unwrap().score;
@@ -124,7 +138,11 @@ fn all_variants_return_the_same_best_score() {
     assert_eq!(outcomes.len(), 7);
     let reference = outcomes[0].results.best().unwrap().score;
     for outcome in &outcomes {
-        assert!(!outcome.results.is_empty(), "{} found no route", outcome.label);
+        assert!(
+            !outcome.results.is_empty(),
+            "{} found no route",
+            outcome.label
+        );
         assert_outcome_consistent(outcome, &engine, &query);
         let best = outcome.results.best().unwrap().score;
         assert!(
@@ -140,7 +158,9 @@ fn exhaustive_baseline_confirms_toe_top1_is_optimal() {
     let (engine, example) = engine();
     // Keep ∆ moderate so the exhaustive enumeration stays small.
     let query = running_query(&example, 250.0, 2);
-    let toe = engine.search_toe(&query).unwrap();
+    let toe = engine
+        .execute(&query, &ikrq_core::ExecOptions::default())
+        .unwrap();
     let baseline = ExhaustiveBaseline::default()
         .search(engine.space(), engine.directory(), &query)
         .unwrap();
@@ -176,9 +196,15 @@ fn result_quality_example_returns_indirectly_matching_shops() {
     )
     .with_alpha(0.5)
     .with_tau(0.1);
-    let outcome = engine.search_toe(&query).unwrap();
+    let outcome = engine
+        .execute(&query, &ikrq_core::ExecOptions::default())
+        .unwrap();
     assert_outcome_consistent(&outcome, &engine, &query);
-    assert_eq!(outcome.results.len(), 2, "two routes requested and available");
+    assert_eq!(
+        outcome.results.len(),
+        2,
+        "two routes requested and available"
+    );
     for result in outcome.results.routes() {
         assert!(
             result.relevance > 0.0,
@@ -201,8 +227,18 @@ fn result_quality_example_returns_indirectly_matching_shops() {
 fn toe_without_prime_pruning_may_return_homogeneous_routes() {
     let (engine, example) = engine();
     let query = running_query(&example, 300.0, 8);
-    let with_prime = engine.search(&query, VariantConfig::toe()).unwrap();
-    let without_prime = engine.search(&query, VariantConfig::toe_no_prime()).unwrap();
+    let with_prime = engine
+        .execute(
+            &query,
+            &ikrq_core::ExecOptions::with_variant(VariantConfig::toe()),
+        )
+        .unwrap();
+    let without_prime = engine
+        .execute(
+            &query,
+            &ikrq_core::ExecOptions::with_variant(VariantConfig::toe_no_prime()),
+        )
+        .unwrap();
     assert!(!without_prime.results.is_empty());
     // Prime enforcement guarantees a diverse result set.
     assert_eq!(with_prime.results.homogeneous_rate(), 0.0);
@@ -220,8 +256,12 @@ fn tighter_distance_constraints_reduce_scores_and_prune_more() {
     let (engine, example) = engine();
     let tight = running_query(&example, 150.0, 3);
     let loose = running_query(&example, 400.0, 3);
-    let tight_outcome = engine.search_toe(&tight).unwrap();
-    let loose_outcome = engine.search_toe(&loose).unwrap();
+    let tight_outcome = engine
+        .execute(&tight, &ikrq_core::ExecOptions::default())
+        .unwrap();
+    let loose_outcome = engine
+        .execute(&loose, &ikrq_core::ExecOptions::default())
+        .unwrap();
     // A looser constraint can only improve keyword coverage of the best route.
     if let (Some(t), Some(l)) = (tight_outcome.results.best(), loose_outcome.results.best()) {
         assert!(l.relevance >= t.relevance - 1e-9);
@@ -236,19 +276,23 @@ fn unsatisfiable_and_invalid_queries_error_out() {
     let (engine, example) = engine();
     let query = running_query(&example, 5.0, 3);
     assert!(matches!(
-        engine.search_toe(&query),
+        engine.execute(&query, &ikrq_core::ExecOptions::default()),
         Err(ikrq_core::EngineError::UnsatisfiableConstraint { .. })
     ));
     let mut query = running_query(&example, 300.0, 3);
     query.k = 0;
-    assert!(engine.search_toe(&query).is_err());
+    assert!(engine
+        .execute(&query, &ikrq_core::ExecOptions::default())
+        .is_err());
 }
 
 #[test]
 fn metrics_report_search_effort() {
     let (engine, example) = engine();
     let query = running_query(&example, 400.0, 3);
-    let outcome = engine.search_toe(&query).unwrap();
+    let outcome = engine
+        .execute(&query, &ikrq_core::ExecOptions::default())
+        .unwrap();
     assert!(outcome.metrics.stamps_expanded > 0);
     assert!(outcome.metrics.stamps_generated > 0);
     assert!(outcome.metrics.complete_routes > 0);

@@ -10,20 +10,36 @@ use proptest::prelude::*;
 
 /// The keyword universe of the example venue (i-words and t-words mixed).
 const WORDS: &[&str] = &[
-    "zara", "apple", "samsung", "oppo", "costa", "starbucks", "ecco", "bank", "watsons",
-    "coffee", "latte", "phone", "laptop", "earphone", "pants", "shoes", "euro", "shampoo",
+    "zara",
+    "apple",
+    "samsung",
+    "oppo",
+    "costa",
+    "starbucks",
+    "ecco",
+    "bank",
+    "watsons",
+    "coffee",
+    "latte",
+    "phone",
+    "laptop",
+    "earphone",
+    "pants",
+    "shoes",
+    "euro",
+    "shampoo",
     "unknownword",
 ];
 
 fn keyword_strategy() -> impl Strategy<Value = Vec<String>> {
-    proptest::collection::vec(proptest::sample::select(WORDS).prop_map(str::to_string), 1..4)
+    proptest::collection::vec(
+        proptest::sample::select(WORDS).prop_map(str::to_string),
+        1..4,
+    )
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        .. ProptestConfig::default()
-    })]
+    #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
     fn search_invariants_hold_for_arbitrary_queries(
@@ -49,7 +65,7 @@ proptest! {
         .with_alpha(alpha)
         .with_tau(tau);
         let config = if use_koe { VariantConfig::koe() } else { VariantConfig::toe() };
-        let outcome = engine.search(&query, config).unwrap();
+        let outcome = engine.execute(&query, &ikrq_core::ExecOptions::with_variant(config)).unwrap();
         let prepared = indoor_keywords::PreparedQuery::prepare(
             &query.keywords,
             engine.directory(),
@@ -114,7 +130,7 @@ proptest! {
         )
         .with_alpha(alpha)
         .with_tau(0.1);
-        let toe = engine.search_toe(&query).unwrap();
+        let toe = engine.execute(&query, &ikrq_core::ExecOptions::default()).unwrap();
         let exhaustive = ExhaustiveBaseline::default()
             .search(engine.space(), engine.directory(), &query)
             .unwrap();
@@ -172,7 +188,7 @@ proptest! {
         for family in families {
             let mut best_scores = Vec::new();
             for &variant in family {
-                let outcome = engine.search(&query, variant).unwrap();
+                let outcome = engine.execute(&query, &ikrq_core::ExecOptions::with_variant(variant)).unwrap();
                 prop_assert!(!outcome.results.is_empty(), "{} found nothing", outcome.label);
                 for r in outcome.results.routes() {
                     prop_assert!(r.distance <= delta + 1e-6, "{} exceeded ∆", outcome.label);
@@ -190,9 +206,14 @@ proptest! {
         }
 
         // Expanding stamps beyond the terminal partition can only help.
-        let plain = engine.search_toe(&query).unwrap();
+        let plain = engine.execute(&query, &ikrq_core::ExecOptions::default()).unwrap();
         let strict = engine
-            .search(&query, VariantConfig::toe().with_strict_terminal_expansion())
+            .execute(
+                &query,
+                &ikrq_core::ExecOptions::with_variant(
+                    VariantConfig::toe().with_strict_terminal_expansion(),
+                ),
+            )
             .unwrap();
         let plain_best = plain.results.best().map(|r| r.score).unwrap_or(0.0);
         let strict_best = strict.results.best().map(|r| r.score).unwrap_or(0.0);
@@ -227,7 +248,7 @@ proptest! {
         .with_alpha(alpha)
         .with_tau(0.1);
 
-        let hard = engine.search_toe(&query).unwrap();
+        let hard = engine.execute(&query, &ikrq_core::ExecOptions::default()).unwrap();
         let hard_best = hard.results.best().map(|r| r.score).unwrap_or(0.0);
 
         let soft = engine
@@ -275,7 +296,7 @@ proptest! {
         )
         .with_tau(0.1);
 
-        let plain = engine.search_toe(&query).unwrap();
+        let plain = engine.execute(&query, &ikrq_core::ExecOptions::default()).unwrap();
         let popularity = VisitCountPopularity::from_routes(
             plain.results.routes().iter().map(|r| &r.route),
         );

@@ -48,8 +48,24 @@ fn generated_workload_queries_run_on_all_variants() {
         let query = to_query(instance);
         let outcomes = engine.search_all_variants(&query).unwrap();
         assert_eq!(outcomes.len(), 7);
-        let reference = outcomes[0].results.best().map(|r| r.score);
-        for outcome in &outcomes {
+        // The connect heuristic of Algorithm 5 (followed by the paper's ToE
+        // pseudocode) stops expanding stamps that reached the terminal
+        // partition, so default ToE can miss routes that re-exit it; KoE
+        // formulates expansion on key partitions and has no such blind spot.
+        // ToE with strict terminal expansion recovers exactly KoE's best
+        // score, so it is the reference here. See ROADMAP.md open items.
+        let reference = engine
+            .execute(
+                &query,
+                &ExecOptions::with_variant(VariantConfig::toe().with_strict_terminal_expansion()),
+            )
+            .unwrap()
+            .results
+            .best()
+            .map(|r| r.score);
+        let toe_best = outcomes[0].results.best().map(|r| r.score);
+        for (index, outcome) in outcomes.iter().enumerate() {
+            let family_reference = if index < 3 { toe_best } else { reference };
             // Every returned route satisfies the hard constraints.
             for route in outcome.results.routes() {
                 assert!(route.distance <= query.delta + 1e-6, "{}", outcome.label);
@@ -62,16 +78,28 @@ fn generated_workload_queries_run_on_all_variants() {
                     outcome.label
                 );
             }
-            // Pruning rules must not change the best achievable score.
+            // Pruning rules must not change the best achievable score
+            // within an expansion family, and no variant may beat the
+            // strict-terminal-expansion reference.
+            if let (Some(family_reference), Some(best)) =
+                (family_reference, outcome.results.best().map(|r| r.score))
+            {
+                assert!(
+                    (best - family_reference).abs() < 1e-6,
+                    "{}: best score {best} differs from its family reference \
+                     {family_reference} (instance keywords {:?})",
+                    outcome.label,
+                    instance.keywords
+                );
+            }
             if let (Some(reference), Some(best)) =
                 (reference, outcome.results.best().map(|r| r.score))
             {
                 assert!(
-                    (best - reference).abs() < 1e-6,
-                    "{}: best score {best} differs from ToE reference {reference} \
-                     (instance keywords {:?})",
-                    outcome.label,
-                    instance.keywords
+                    best <= reference + 1e-6,
+                    "{}: best score {best} exceeds the strict-expansion \
+                     reference {reference}",
+                    outcome.label
                 );
             }
             // Prime enforcement keeps the result set diverse.
@@ -90,15 +118,27 @@ fn pruning_reduces_search_effort_without_losing_quality() {
         .expect("workload instance");
     let query = to_query(&instance);
 
-    let toe = engine.search(&query, VariantConfig::toe()).unwrap();
+    let toe = engine
+        .execute(
+            &query,
+            &ikrq_core::ExecOptions::with_variant(VariantConfig::toe()),
+        )
+        .unwrap();
     let toe_no_distance = engine
-        .search(&query, VariantConfig::toe_no_distance())
+        .execute(
+            &query,
+            &ExecOptions::with_variant(VariantConfig::toe_no_distance()),
+        )
         .unwrap();
     // Distance pruning can only reduce the number of expanded stamps.
     assert!(toe.metrics.stamps_expanded <= toe_no_distance.metrics.stamps_expanded);
     // And both find the same best score.
     let a = toe.results.best().map(|r| r.score).unwrap_or(0.0);
-    let b = toe_no_distance.results.best().map(|r| r.score).unwrap_or(0.0);
+    let b = toe_no_distance
+        .results
+        .best()
+        .map(|r| r.score)
+        .unwrap_or(0.0);
     assert!((a - b).abs() < 1e-6);
     // Pruning statistics are populated when rules are active.
     assert!(toe.metrics.prunes.total() > 0);
@@ -115,8 +155,18 @@ fn koe_star_reuses_precomputed_paths() {
         .generate(&workload(), &mut rng)
         .expect("workload instance");
     let query = to_query(&instance);
-    let koe = engine.search(&query, VariantConfig::koe()).unwrap();
-    let koe_star = engine.search(&query, VariantConfig::koe_star()).unwrap();
+    let koe = engine
+        .execute(
+            &query,
+            &ikrq_core::ExecOptions::with_variant(VariantConfig::koe()),
+        )
+        .unwrap();
+    let koe_star = engine
+        .execute(
+            &query,
+            &ikrq_core::ExecOptions::with_variant(VariantConfig::koe_star()),
+        )
+        .unwrap();
     let a = koe.results.best().map(|r| r.score).unwrap_or(0.0);
     let b = koe_star.results.best().map(|r| r.score).unwrap_or(0.0);
     assert!((a - b).abs() < 1e-6, "KoE* must not change the results");
@@ -137,7 +187,9 @@ fn larger_k_never_decreases_result_count() {
     for k in [1usize, 3, 7] {
         let mut query = to_query(&instance);
         query.k = k;
-        let outcome = engine.search_toe(&query).unwrap();
+        let outcome = engine
+            .execute(&query, &ikrq_core::ExecOptions::default())
+            .unwrap();
         assert!(outcome.results.len() >= previous.min(k));
         assert!(outcome.results.len() <= k);
         previous = outcome.results.len();
@@ -156,12 +208,19 @@ fn alpha_extremes_change_the_ranking_focus() {
     // α = 0: pure distance — the best route is (one of) the shortest.
     let mut spatial = to_query(&instance);
     spatial.alpha = 0.0;
-    let spatial_outcome = engine.search_toe(&spatial).unwrap();
+    let spatial_outcome = engine
+        .execute(&spatial, &ikrq_core::ExecOptions::default())
+        .unwrap();
     // α = 1: pure keywords — the best route has maximal relevance among found.
     let mut keyword = to_query(&instance);
     keyword.alpha = 1.0;
-    let keyword_outcome = engine.search_toe(&keyword).unwrap();
-    if let (Some(s), Some(k)) = (spatial_outcome.results.best(), keyword_outcome.results.best()) {
+    let keyword_outcome = engine
+        .execute(&keyword, &ikrq_core::ExecOptions::default())
+        .unwrap();
+    if let (Some(s), Some(k)) = (
+        spatial_outcome.results.best(),
+        keyword_outcome.results.best(),
+    ) {
         assert!(s.distance <= k.distance + 1e-6 || k.relevance >= s.relevance - 1e-9);
     }
 }

@@ -93,7 +93,8 @@ pub fn generate_corpus<R: Rng>(config: &CorpusConfig, rng: &mut R) -> GeneratedC
                 for word in shared_pool.choose_multiple(rng, config.category_words_per_doc) {
                     words.push(word.clone());
                 }
-                for token in specific.choose_multiple(rng, (config.specific_tokens_per_brand / 2).max(1))
+                for token in
+                    specific.choose_multiple(rng, (config.specific_tokens_per_brand / 2).max(1))
                 {
                     words.push(token.clone());
                 }
@@ -137,7 +138,10 @@ mod tests {
     fn default_config_matches_paper_scale() {
         let c = CorpusConfig::default();
         assert_eq!(c.num_brands, 1225);
-        assert!(c.max_docs_per_brand >= 2, "≈2074 docs for 1225 brands needs >1 doc for some");
+        assert!(
+            c.max_docs_per_brand >= 2,
+            "≈2074 docs for 1225 brands needs >1 doc for some"
+        );
     }
 
     #[test]
@@ -159,7 +163,10 @@ mod tests {
                 *brands_per_word.entry(w).or_default() += 1;
             }
         }
-        assert!(brands_per_word.values().any(|&c| c > 1), "some sharing exists");
+        assert!(
+            brands_per_word.values().any(|&c| c > 1),
+            "some sharing exists"
+        );
         let avg = brands_per_word.values().map(|&c| c as f64).sum::<f64>()
             / brands_per_word.len().max(1) as f64;
         assert!(avg < 5.0, "t-word sharing must stay sparse, got {avg}");

@@ -36,7 +36,10 @@ pub struct BuiltKeywords {
 
 /// Runs the extraction pipeline over the corpus and registers every brand as
 /// an i-word with its extracted t-words.
-pub fn build_directory(corpus: &GeneratedCorpus, config: &KeywordAssignmentConfig) -> BuiltKeywords {
+pub fn build_directory(
+    corpus: &GeneratedCorpus,
+    config: &KeywordAssignmentConfig,
+) -> BuiltKeywords {
     let pipeline = ExtractionPipeline::new(ExtractionConfig {
         max_keywords_per_brand: config.max_twords_per_iword,
         ..Default::default()

@@ -91,17 +91,18 @@ impl MallConfig {
     /// doors, which the paper's per-floor counts do not include).
     pub fn doors_per_floor(&self) -> usize {
         let room_slots = self.rooms_per_arm_side * 8;
-        let extra_room_doors =
-            (self.two_door_rooms_per_arm_side.min(self.rooms_per_arm_side)) * 8;
+        let extra_room_doors = (self
+            .two_door_rooms_per_arm_side
+            .min(self.rooms_per_arm_side))
+            * 8;
         // Rooms replaced by extra staircases lose their potential second door.
-        let lost_second_doors = self
-            .extra_staircases
-            .min(8)
-            .min(if self.two_door_rooms_per_arm_side >= self.rooms_per_arm_side {
+        let lost_second_doors = self.extra_staircases.min(8).min(
+            if self.two_door_rooms_per_arm_side >= self.rooms_per_arm_side {
                 self.extra_staircases.min(8)
             } else {
                 0
-            });
+            },
+        );
         let hallway_doors = self.segments_per_arm * 4;
         let stair_hall_doors = 4 + self.extra_staircases.min(8);
         room_slots + extra_room_doors - lost_second_doors + hallway_doors + stair_hall_doors
@@ -209,11 +210,7 @@ impl MallGenerator {
             let floor = FloorId(floor_idx as i32);
             builder.add_floor(
                 floor,
-                Rect::from_origin_size(
-                    Point::ORIGIN,
-                    config.floor_width,
-                    config.floor_height,
-                )?,
+                Rect::from_origin_size(Point::ORIGIN, config.floor_width, config.floor_height)?,
             );
             let columns = Self::build_floor(
                 &mut builder,
@@ -231,21 +228,16 @@ impl MallGenerator {
         // change costs exactly `stairway_length`.
         let half_stair = config.stairway_length / 2.0;
         let num_columns = stair_columns.first().map(Vec::len).unwrap_or(0);
+        #[allow(clippy::needless_range_loop)] // indexes two parallel floor rows
         for column in 0..num_columns {
             let mut previous_stair_door: Option<DoorId> = None;
             for floor_idx in 0..config.floors.saturating_sub(1) {
                 let (lower_part, lower_hall_door) = stair_columns[floor_idx][column];
                 let (upper_part, upper_hall_door) = stair_columns[floor_idx + 1][column];
-                let lower_rect = {
-                    // Door positioned at the centre of the lower staircase.
-                    let space_point = stair_door_position(&builder, lower_part);
-                    space_point
-                };
-                let stair_door = builder.add_door(
-                    lower_rect,
-                    FloorId(floor_idx as i32),
-                    DoorKind::Stair,
-                );
+                // Door positioned at the centre of the lower staircase.
+                let lower_rect = stair_door_position(&builder, lower_part);
+                let stair_door =
+                    builder.add_door(lower_rect, FloorId(floor_idx as i32), DoorKind::Stair);
                 builder.connect_bidirectional(stair_door, lower_part, upper_part);
                 builder.set_intra_distance(lower_part, lower_hall_door, stair_door, half_stair);
                 builder.set_intra_distance(upper_part, upper_hall_door, stair_door, half_stair);
@@ -288,7 +280,10 @@ impl MallGenerator {
         let junction = builder.add_partition(
             floor,
             PartitionKind::Hallway,
-            Rect::new(Point::new(cx - half, cy - half), Point::new(cx + half, cy + half))?,
+            Rect::new(
+                Point::new(cx - half, cy - half),
+                Point::new(cx + half, cy + half),
+            )?,
             Some("junction".to_string()),
         );
         hallways.push(junction);
@@ -398,13 +393,10 @@ impl MallGenerator {
                     };
                     let mut first_door = None;
                     for (di, t) in door_positions.iter().enumerate() {
-                        let seg_index = ((t / segment_len) as usize)
-                            .min(config.segments_per_arm - 1);
-                        let door = builder.add_door(
-                            frame.point(*t, side * half),
-                            floor,
-                            DoorKind::Normal,
-                        );
+                        let seg_index =
+                            ((t / segment_len) as usize).min(config.segments_per_arm - 1);
+                        let door =
+                            builder.add_door(frame.point(*t, side * half), floor, DoorKind::Normal);
                         builder.connect_bidirectional(door, part, segments[seg_index]);
                         if di == 0 {
                             first_door = Some(door);
@@ -447,7 +439,11 @@ mod tests {
         assert_eq!(stats.partitions, 141, "141 partitions per floor (§V-A1)");
         assert_eq!(stats.doors, 220, "220 doors per floor (§V-A1)");
         assert_eq!(layout.rooms.len(), 96, "96 rooms per floor (§V-A1)");
-        assert_eq!(layout.hallways.len(), 41, "4 hallways decomposed into 41 partitions");
+        assert_eq!(
+            layout.hallways.len(),
+            41,
+            "4 hallways decomposed into 41 partitions"
+        );
         assert_eq!(layout.staircases.len(), 4, "4 staircases per floor");
         assert_eq!(config.partitions_per_floor(), 141);
         assert_eq!(config.doors_per_floor(), 220);
@@ -457,7 +453,10 @@ mod tests {
     fn five_floor_default_matches_paper_counts() {
         let layout = MallGenerator::generate(&MallConfig::default()).unwrap();
         let stats = layout.space.stats();
-        assert_eq!(stats.partitions, 705, "705 partitions in the default 5-floor space");
+        assert_eq!(
+            stats.partitions, 705,
+            "705 partitions in the default 5-floor space"
+        );
         // 1100 per-floor doors plus 4 stair columns × 4 inter-floor doors.
         assert_eq!(stats.doors, 1100 + 16);
         assert_eq!(stats.vertical_doors, 16);
@@ -523,9 +522,9 @@ mod tests {
             .find(|&s| {
                 let p = space.partition(s).unwrap();
                 p.floor == FloorId(1)
-                    && p.footprint.center().approx_eq(
-                        &space.partition(stair0).unwrap().footprint.center(),
-                    )
+                    && p.footprint
+                        .center()
+                        .approx_eq(&space.partition(stair0).unwrap().footprint.center())
             })
             .expect("same column staircase on floor 1");
         let d0 = space.p2d_enter(stair0)[0];
@@ -533,6 +532,9 @@ mod tests {
         let dist = space
             .shortest_paths()
             .door_to_door(d0, d1, &Default::default());
-        assert!((dist - 20.0).abs() < 1e-6, "one floor change costs 20 m, got {dist}");
+        assert!(
+            (dist - 20.0).abs() < 1e-6,
+            "one floor change costs 20 m, got {dist}"
+        );
     }
 }

@@ -25,8 +25,22 @@ pub const CATEGORIES: &[Category] = &[
     Category {
         name: "coffee",
         words: &[
-            "coffee", "espresso", "latte", "mocha", "cappuccino", "macchiato", "brew", "beans",
-            "roast", "pastry", "croissant", "muffin", "tea", "matcha", "frappe", "decaf",
+            "coffee",
+            "espresso",
+            "latte",
+            "mocha",
+            "cappuccino",
+            "macchiato",
+            "brew",
+            "beans",
+            "roast",
+            "pastry",
+            "croissant",
+            "muffin",
+            "tea",
+            "matcha",
+            "frappe",
+            "decaf",
         ],
     },
     Category {
@@ -39,9 +53,22 @@ pub const CATEGORIES: &[Category] = &[
     Category {
         name: "electronics",
         words: &[
-            "smartphone", "laptop", "tablet", "earphone", "headphone", "charger", "camera",
-            "smartwatch", "console", "monitor", "keyboard", "router", "drone", "speaker",
-            "powerbank", "television",
+            "smartphone",
+            "laptop",
+            "tablet",
+            "earphone",
+            "headphone",
+            "charger",
+            "camera",
+            "smartwatch",
+            "console",
+            "monitor",
+            "keyboard",
+            "router",
+            "drone",
+            "speaker",
+            "powerbank",
+            "television",
         ],
     },
     Category {
@@ -61,29 +88,76 @@ pub const CATEGORIES: &[Category] = &[
     Category {
         name: "beauty",
         words: &[
-            "cosmetics", "lipstick", "perfume", "skincare", "shampoo", "lotion", "mascara",
-            "foundation", "serum", "sunscreen", "cleanser", "fragrance", "moisturizer", "toner",
+            "cosmetics",
+            "lipstick",
+            "perfume",
+            "skincare",
+            "shampoo",
+            "lotion",
+            "mascara",
+            "foundation",
+            "serum",
+            "sunscreen",
+            "cleanser",
+            "fragrance",
+            "moisturizer",
+            "toner",
         ],
     },
     Category {
         name: "sports",
         words: &[
-            "fitness", "yoga", "racket", "football", "basketball", "swimming", "cycling",
-            "dumbbell", "jersey", "treadmill", "tennis", "golf", "ski", "camping", "climbing",
+            "fitness",
+            "yoga",
+            "racket",
+            "football",
+            "basketball",
+            "swimming",
+            "cycling",
+            "dumbbell",
+            "jersey",
+            "treadmill",
+            "tennis",
+            "golf",
+            "ski",
+            "camping",
+            "climbing",
         ],
     },
     Category {
         name: "toys",
         words: &[
-            "lego", "puzzle", "doll", "boardgame", "plush", "robot", "blocks", "figurine",
-            "stroller", "crayon", "playset", "scooter", "kite",
+            "lego",
+            "puzzle",
+            "doll",
+            "boardgame",
+            "plush",
+            "robot",
+            "blocks",
+            "figurine",
+            "stroller",
+            "crayon",
+            "playset",
+            "scooter",
+            "kite",
         ],
     },
     Category {
         name: "books",
         words: &[
-            "novel", "magazine", "stationery", "notebook", "comics", "textbook", "pens",
-            "bestseller", "bookmark", "journal", "atlas", "dictionary", "calendar",
+            "novel",
+            "magazine",
+            "stationery",
+            "notebook",
+            "comics",
+            "textbook",
+            "pens",
+            "bestseller",
+            "bookmark",
+            "journal",
+            "atlas",
+            "dictionary",
+            "calendar",
         ],
     },
     Category {
@@ -96,29 +170,73 @@ pub const CATEGORIES: &[Category] = &[
     Category {
         name: "grocery",
         words: &[
-            "snacks", "chocolate", "cookies", "wine", "cheese", "organic", "fruit", "vegetables",
-            "bakery", "frozen", "dairy", "cereal", "honey", "juice",
+            "snacks",
+            "chocolate",
+            "cookies",
+            "wine",
+            "cheese",
+            "organic",
+            "fruit",
+            "vegetables",
+            "bakery",
+            "frozen",
+            "dairy",
+            "cereal",
+            "honey",
+            "juice",
         ],
     },
     Category {
         name: "home",
         words: &[
-            "furniture", "sofa", "lighting", "bedding", "kitchenware", "curtain", "carpet",
-            "candles", "vase", "cushion", "wardrobe", "mirror", "clock",
+            "furniture",
+            "sofa",
+            "lighting",
+            "bedding",
+            "kitchenware",
+            "curtain",
+            "carpet",
+            "candles",
+            "vase",
+            "cushion",
+            "wardrobe",
+            "mirror",
+            "clock",
         ],
     },
     Category {
         name: "services",
         words: &[
-            "banking", "currency", "exchange", "printing", "photography", "repair", "pharmacy",
-            "optician", "travel", "ticketing", "courier", "laundry", "tailor", "euro", "cash",
+            "banking",
+            "currency",
+            "exchange",
+            "printing",
+            "photography",
+            "repair",
+            "pharmacy",
+            "optician",
+            "travel",
+            "ticketing",
+            "courier",
+            "laundry",
+            "tailor",
+            "euro",
+            "cash",
         ],
     },
     Category {
         name: "luggage",
         words: &[
-            "suitcase", "backpack", "handbag", "wallet", "duffel", "trolley", "briefcase",
-            "passport", "organizer", "strap",
+            "suitcase",
+            "backpack",
+            "handbag",
+            "wallet",
+            "duffel",
+            "trolley",
+            "briefcase",
+            "passport",
+            "organizer",
+            "strap",
         ],
     },
 ];
@@ -126,9 +244,26 @@ pub const CATEGORIES: &[Category] = &[
 /// Generic filler words shared across all categories, giving descriptions a
 /// realistic common vocabulary.
 pub const GENERIC_WORDS: &[&str] = &[
-    "store", "shop", "brand", "quality", "service", "premium", "collection", "classic",
-    "limited", "season", "member", "discount", "flagship", "popular", "design", "style",
-    "selection", "gift", "exclusive", "international",
+    "store",
+    "shop",
+    "brand",
+    "quality",
+    "service",
+    "premium",
+    "collection",
+    "classic",
+    "limited",
+    "season",
+    "member",
+    "discount",
+    "flagship",
+    "popular",
+    "design",
+    "style",
+    "selection",
+    "gift",
+    "exclusive",
+    "international",
 ];
 
 const SYLLABLES_A: &[&str] = &[
@@ -136,8 +271,8 @@ const SYLLABLES_A: &[&str] = &[
     "kel", "lum", "mar", "nov", "ori", "pra",
 ];
 const SYLLABLES_B: &[&str] = &[
-    "ra", "lia", "no", "vex", "din", "sa", "ton", "mia", "rus", "lle", "qui", "zen", "dor",
-    "eta", "fin", "gra", "han", "ive", "jo", "kan",
+    "ra", "lia", "no", "vex", "din", "sa", "ton", "mia", "rus", "lle", "qui", "zen", "dor", "eta",
+    "fin", "gra", "han", "ive", "jo", "kan",
 ];
 const SYLLABLES_C: &[&str] = &[
     "x", "s", "lo", "na", "ri", "co", "li", "ta", "do", "ne", "va", "mo", "ki", "za", "",

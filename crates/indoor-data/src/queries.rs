@@ -264,8 +264,10 @@ impl<'a> QueryGenerator<'a> {
     }
 
     fn random_point_in<R: Rng>(&self, partition: PartitionId, rng: &mut R) -> IndoorPoint {
-        self.venue
-            .point_in_partition(partition, (rng.gen_range(0.1..0.9), rng.gen_range(0.1..0.9)))
+        self.venue.point_in_partition(
+            partition,
+            (rng.gen_range(0.1..0.9), rng.gen_range(0.1..0.9)),
+        )
     }
 
     /// Indoor distance between two points using the precomputed matrix.

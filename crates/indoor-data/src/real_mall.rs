@@ -97,10 +97,7 @@ impl RealMallSimulator {
             let shared = (target / 2).min(category.words.len());
             let mut added = 0usize;
             for w in category.words.choose_multiple(&mut rng, shared) {
-                if directory
-                    .add_tword_for(brand_iwords[i], w)
-                    .is_some()
-                {
+                if directory.add_tword_for(brand_iwords[i], w).is_some() {
                     added += 1;
                 }
             }

@@ -263,8 +263,14 @@ mod tests {
         let a = Venue::synthetic(&SyntheticVenueConfig::small(3)).unwrap();
         let b = Venue::synthetic(&SyntheticVenueConfig::small(3)).unwrap();
         for &room in &a.rooms {
-            let wa = a.directory.partition_iword(room).map(|w| a.directory.resolve(w).unwrap().to_string());
-            let wb = b.directory.partition_iword(room).map(|w| b.directory.resolve(w).unwrap().to_string());
+            let wa = a
+                .directory
+                .partition_iword(room)
+                .map(|w| a.directory.resolve(w).unwrap().to_string());
+            let wb = b
+                .directory
+                .partition_iword(room)
+                .map(|w| b.directory.resolve(w).unwrap().to_string());
             assert_eq!(wa, wb);
         }
     }
@@ -273,7 +279,11 @@ mod tests {
     fn paper_example_venue_matches_running_example() {
         let example = paper_example_venue();
         let venue = &example.venue;
-        assert_eq!(venue.space.stats().partitions, 12, "3 hallway cells + 9 shops");
+        assert_eq!(
+            venue.space.stats().partitions,
+            12,
+            "3 hallway cells + 9 shops"
+        );
         // ps is hosted by zara, pt by the east hallway cell.
         assert_eq!(
             venue.space.host_partition(&example.ps).unwrap(),
@@ -287,13 +297,18 @@ mod tests {
         let latte = venue.directory.lookup("latte").unwrap();
         let starbucks = venue.directory.lookup("starbucks").unwrap();
         assert!(venue.directory.twords_of(starbucks).contains(&latte));
-        assert!(venue.directory.partition_iword(example.partitions["costa"]).is_some());
+        assert!(venue
+            .directory
+            .partition_iword(example.partitions["costa"])
+            .is_some());
         // Every shop requires a door loop: exactly one door per shop.
         for name in ["zara", "apple", "samsung", "oppo", "costa"] {
             assert_eq!(venue.space.p2d_enter(example.partitions[name]).len(), 1);
         }
         // The corridor connects end to end.
-        let d = venue.space.point_to_point_distance(&example.ps, &example.pt);
+        let d = venue
+            .space
+            .point_to_point_distance(&example.ps, &example.pt);
         assert!(d.is_finite() && d > 80.0);
     }
 }

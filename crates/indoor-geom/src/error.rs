@@ -92,7 +92,9 @@ mod tests {
         assert!(e.to_string().contains("non-finite"));
         let e = GeomError::InvalidCellSize { cell: -1.0 };
         assert!(e.to_string().contains("cell size"));
-        assert!(GeomError::NotRectilinear.to_string().contains("rectilinear"));
+        assert!(GeomError::NotRectilinear
+            .to_string()
+            .contains("rectilinear"));
     }
 
     #[test]

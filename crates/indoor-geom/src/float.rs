@@ -115,7 +115,7 @@ mod tests {
 
     #[test]
     fn ordered_f64_total_order() {
-        let mut v = vec![
+        let mut v = [
             OrderedF64::new(3.0),
             OrderedF64::new(-1.0),
             OrderedF64::new(2.5),

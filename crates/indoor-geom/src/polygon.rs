@@ -114,10 +114,7 @@ impl Polygon {
         if a.abs() <= EPSILON {
             // Degenerate: fall back to the vertex average.
             let n = self.vertices.len() as f64;
-            let sum = self
-                .vertices
-                .iter()
-                .fold(Point::ORIGIN, |acc, p| acc + *p);
+            let sum = self.vertices.iter().fold(Point::ORIGIN, |acc, p| acc + *p);
             return Point::new(sum.x / n, sum.y / n);
         }
         let mut cx = 0.0;

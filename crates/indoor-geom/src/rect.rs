@@ -179,7 +179,8 @@ impl Rect {
     /// Whether `other` shares a (non-degenerate) boundary segment with `self`;
     /// used by the generator to decide where doors may be placed.
     pub fn shares_wall(&self, other: &Rect) -> bool {
-        let vertical_touch = approx_eq(self.max.x, other.min.x) || approx_eq(self.min.x, other.max.x);
+        let vertical_touch =
+            approx_eq(self.max.x, other.min.x) || approx_eq(self.min.x, other.max.x);
         let horizontal_touch =
             approx_eq(self.max.y, other.min.y) || approx_eq(self.min.y, other.max.y);
         if vertical_touch {
@@ -346,6 +347,8 @@ mod tests {
         let r = rect(0.0, 0.0, 4.0, 4.0);
         let p = Point::new(1.0, 3.0);
         assert!(r.clamp_point(&p).approx_eq(&p));
-        assert!(r.clamp_point(&Point::new(-3.0, 9.0)).approx_eq(&Point::new(0.0, 4.0)));
+        assert!(r
+            .clamp_point(&Point::new(-3.0, 9.0))
+            .approx_eq(&Point::new(0.0, 4.0)));
     }
 }

@@ -108,12 +108,9 @@ mod tests {
 
     #[test]
     fn corpus_from_iterator() {
-        let c: Corpus = vec![
-            Document::new("a", "x"),
-            Document::new("b", "y"),
-        ]
-        .into_iter()
-        .collect();
+        let c: Corpus = vec![Document::new("a", "x"), Document::new("b", "y")]
+            .into_iter()
+            .collect();
         assert_eq!(c.len(), 2);
         assert!(!c.is_empty());
     }

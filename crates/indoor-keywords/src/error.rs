@@ -30,9 +30,9 @@ impl fmt::Display for KeywordError {
         match self {
             KeywordError::UnknownWord(w) => write!(f, "unknown word id {w:?}"),
             KeywordError::UnknownWordString(s) => write!(f, "unknown word '{s}'"),
-            KeywordError::VocabularyOverlap(s) =>
-
-                write!(f, "word '{s}' cannot be both an i-word and a t-word"),
+            KeywordError::VocabularyOverlap(s) => {
+                write!(f, "word '{s}' cannot be both an i-word and a t-word")
+            }
             KeywordError::PartitionAlreadyNamed(v) => {
                 write!(f, "partition {v} already has an i-word")
             }

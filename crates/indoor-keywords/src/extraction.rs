@@ -20,12 +20,12 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 /// the reproduction.
 const STOP_WORDS: &[&str] = &[
     "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "has", "have", "in",
-    "is", "it", "its", "of", "on", "or", "our", "that", "the", "their", "this", "to", "we",
-    "with", "you", "your", "all", "also", "more", "most", "other", "over", "under", "they",
-    "them", "than", "then", "there", "here", "was", "were", "will", "can", "may", "offer",
-    "offers", "best", "new", "every", "each", "into", "out", "up", "down", "about", "after",
-    "before", "between", "both", "during", "only", "own", "same", "so", "some", "such", "too",
-    "very", "just", "now", "while", "where", "which", "who", "whom", "why", "how", "not", "no",
+    "is", "it", "its", "of", "on", "or", "our", "that", "the", "their", "this", "to", "we", "with",
+    "you", "your", "all", "also", "more", "most", "other", "over", "under", "they", "them", "than",
+    "then", "there", "here", "was", "were", "will", "can", "may", "offer", "offers", "best", "new",
+    "every", "each", "into", "out", "up", "down", "about", "after", "before", "between", "both",
+    "during", "only", "own", "same", "so", "some", "such", "too", "very", "just", "now", "while",
+    "where", "which", "who", "whom", "why", "how", "not", "no",
 ];
 
 /// Configuration for the extraction pipeline.

@@ -72,9 +72,7 @@ impl KeywordMappings {
     /// `PW(v)`: the partition words of `v` — its i-word plus the i-word's
     /// t-words. Returns an error when the partition has no i-word.
     pub fn partition_words(&self, v: PartitionId) -> Result<(WordId, BTreeSet<WordId>)> {
-        let iword = self
-            .p2i(v)
-            .ok_or(KeywordError::PartitionUnnamed(v))?;
+        let iword = self.p2i(v).ok_or(KeywordError::PartitionUnnamed(v))?;
         let twords = self.i2t(iword).cloned().unwrap_or_default();
         Ok((iword, twords))
     }
@@ -160,7 +158,10 @@ mod tests {
         let laptop = v.lookup("laptop").unwrap();
         assert!(m.i2t(apple).unwrap().contains(&laptop));
         assert!(m.t2i(laptop).unwrap().contains(&apple));
-        assert!(m.t2i(v.lookup("coffee").unwrap()).unwrap().contains(&v.lookup("costa").unwrap()));
+        assert!(m
+            .t2i(v.lookup("coffee").unwrap())
+            .unwrap()
+            .contains(&v.lookup("costa").unwrap()));
         assert!(m.i2t(v.lookup("cashier").unwrap()).is_none());
     }
 

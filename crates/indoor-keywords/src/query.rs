@@ -80,12 +80,9 @@ impl PreparedQuery {
         for raw in query.words() {
             let (id, kind) = directory.classify(raw);
             let candidates = match id {
-                Some(word_id) => CandidateSet::build(
-                    word_id,
-                    directory.vocab(),
-                    directory.mappings(),
-                    tau,
-                )?,
+                Some(word_id) => {
+                    CandidateSet::build(word_id, directory.vocab(), directory.mappings(), tau)?
+                }
                 None => CandidateSet::default(),
             };
             all_candidates.extend(candidates.iwords());
@@ -254,7 +251,9 @@ mod tests {
         let keys = prepared.key_partitions(&dir);
         assert_eq!(
             keys,
-            [PartitionId(3), PartitionId(7), PartitionId(10)].into_iter().collect()
+            [PartitionId(3), PartitionId(7), PartitionId(10)]
+                .into_iter()
+                .collect()
         );
         let latte_keys = prepared.key_partitions_for_word(0, &dir);
         assert_eq!(latte_keys.len(), 2);

@@ -215,7 +215,14 @@ mod tests {
         for t in ["phone", "earphone"] {
             dir.add_tword_for(oppo, t);
         }
-        for (v, w) in [(1u32, "zara"), (2, "oppo"), (3, "costa"), (7, "starbucks"), (10, "apple"), (12, "samsung")] {
+        for (v, w) in [
+            (1u32, "zara"),
+            (2, "oppo"),
+            (3, "costa"),
+            (7, "starbucks"),
+            (10, "apple"),
+            (12, "samsung"),
+        ] {
             let id = dir.lookup(w).unwrap();
             dir.name_partition(PartitionId(v), id).unwrap();
         }

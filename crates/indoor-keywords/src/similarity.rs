@@ -69,10 +69,8 @@ impl CandidateSet {
                 entries.insert(query_word, 1.0);
             }
             WordKind::TWord => {
-                let direct: BTreeSet<WordId> = mappings
-                    .t2i(query_word)
-                    .cloned()
-                    .unwrap_or_default();
+                let direct: BTreeSet<WordId> =
+                    mappings.t2i(query_word).cloned().unwrap_or_default();
                 // Union of the t-words of each direct matching i-word.
                 let mut union: BTreeSet<WordId> = BTreeSet::new();
                 for &iw in &direct {
@@ -135,10 +133,9 @@ impl CandidateSet {
 
     /// Iterates over all `(i-word, similarity)` entries.
     pub fn entries(&self) -> impl Iterator<Item = CandidateEntry> + '_ {
-        self.entries.iter().map(|(&iword, &similarity)| CandidateEntry {
-            iword,
-            similarity,
-        })
+        self.entries
+            .iter()
+            .map(|(&iword, &similarity)| CandidateEntry { iword, similarity })
     }
 }
 

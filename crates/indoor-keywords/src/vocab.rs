@@ -44,9 +44,7 @@ impl Vocabulary {
     pub fn add_iword(&mut self, raw: &str) -> Result<WordId> {
         let id = self.interner.intern(raw);
         if self.twords.contains(&id) {
-            return Err(KeywordError::VocabularyOverlap(
-                Interner::normalise(raw),
-            ));
+            return Err(KeywordError::VocabularyOverlap(Interner::normalise(raw)));
         }
         self.iwords.insert(id);
         Ok(id)

@@ -59,13 +59,16 @@ struct DirectorySpec {
 }
 
 const TWORD_POOL: &[&str] = &[
-    "coffee", "latte", "mocha", "phone", "laptop", "watch", "earphone", "pants", "coat",
-    "shoes", "boots", "cash", "euro", "lotion", "shampoo", "noodle", "cookie", "printer",
+    "coffee", "latte", "mocha", "phone", "laptop", "watch", "earphone", "pants", "coat", "shoes",
+    "boots", "cash", "euro", "lotion", "shampoo", "noodle", "cookie", "printer",
 ];
 
 fn arb_directory() -> impl Strategy<Value = DirectorySpec> {
     (
-        proptest::collection::vec(proptest::collection::vec(0usize..TWORD_POOL.len(), 0..6), 2..10),
+        proptest::collection::vec(
+            proptest::collection::vec(0usize..TWORD_POOL.len(), 0..6),
+            2..10,
+        ),
         2usize..12,
     )
         .prop_map(|(iwords, partitions)| DirectorySpec { iwords, partitions })

@@ -57,7 +57,5 @@ pub type Result<T> = std::result::Result<T, PersistError>;
 
 /// Commonly used types, re-exported for glob import.
 pub mod prelude {
-    pub use crate::{
-        PersistError, QueryRecord, ResultDocument, VenueDocument, WorkloadDocument,
-    };
+    pub use crate::{PersistError, QueryRecord, ResultDocument, VenueDocument, WorkloadDocument};
 }

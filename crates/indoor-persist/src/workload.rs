@@ -205,10 +205,7 @@ mod tests {
     fn empty_keyword_records_fail_to_rebuild() {
         let mut record = QueryRecord::from_query(&sample_query());
         record.keywords.clear();
-        assert!(matches!(
-            record.to_query(),
-            Err(PersistError::Keyword(_))
-        ));
+        assert!(matches!(record.to_query(), Err(PersistError::Keyword(_))));
     }
 
     #[test]

@@ -61,20 +61,17 @@ fn arb_document() -> impl Strategy<Value = VenueDocument> {
                 .collect::<Vec<_>>()
         });
 
-        let connections = proptest::collection::vec(
-            (0..nd as u32, 0..np as u32, 0u8..3),
-            1..20,
-        )
-        .prop_map(|rows| {
-            rows.into_iter()
-                .map(|(door, partition, dir)| ConnectionRecord {
-                    door,
-                    partition,
-                    enterable: dir != 1,
-                    leavable: dir != 0,
-                })
-                .collect::<Vec<_>>()
-        });
+        let connections = proptest::collection::vec((0..nd as u32, 0..np as u32, 0u8..3), 1..20)
+            .prop_map(|rows| {
+                rows.into_iter()
+                    .map(|(door, partition, dir)| ConnectionRecord {
+                        door,
+                        partition,
+                        enterable: dir != 1,
+                        leavable: dir != 0,
+                    })
+                    .collect::<Vec<_>>()
+            });
 
         let intra = proptest::collection::vec(
             (0..np as u32, 0..nd as u32, 0..nd as u32, 0.1f64..500.0),
@@ -82,12 +79,14 @@ fn arb_document() -> impl Strategy<Value = VenueDocument> {
         )
         .prop_map(|rows| {
             rows.into_iter()
-                .map(|(partition, from_door, to_door, distance)| IntraOverrideRecord {
-                    partition,
-                    from_door,
-                    to_door,
-                    distance,
-                })
+                .map(
+                    |(partition, from_door, to_door, distance)| IntraOverrideRecord {
+                        partition,
+                        from_door,
+                        to_door,
+                        distance,
+                    },
+                )
                 .collect::<Vec<_>>()
         });
 
@@ -130,7 +129,10 @@ fn arb_document() -> impl Strategy<Value = VenueDocument> {
         });
 
         let floors = proptest::collection::vec(
-            (0i32..3, (0.0f64..10.0, 0.0f64..10.0, 50.0f64..200.0, 50.0f64..200.0)),
+            (
+                0i32..3,
+                (0.0f64..10.0, 0.0f64..10.0, 50.0f64..200.0, 50.0f64..200.0),
+            ),
             0..3,
         )
         .prop_map(|rows| {

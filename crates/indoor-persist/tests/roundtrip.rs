@@ -38,8 +38,9 @@ fn assert_same_results(
     variant: VariantConfig,
 ) {
     for query in queries {
-        let a = original.search(query, variant).unwrap();
-        let b = rebuilt.search(query, variant).unwrap();
+        let options = ikrq_core::ExecOptions::with_variant(variant);
+        let a = original.execute(query, &options).unwrap();
+        let b = rebuilt.execute(query, &options).unwrap();
         assert_eq!(a.results.len(), b.results.len(), "result counts differ");
         for (ra, rb) in a.results.routes().iter().zip(b.results.routes()) {
             assert!(
@@ -74,10 +75,7 @@ fn paper_example_round_trips_through_json_with_identical_query_results() {
     assert_eq!(space.num_partitions(), example.venue.space.num_partitions());
     assert_eq!(space.num_doors(), example.venue.space.num_doors());
 
-    let original = IkrqEngine::new(
-        example.venue.space.clone(),
-        example.venue.directory.clone(),
-    );
+    let original = IkrqEngine::new(example.venue.space.clone(), example.venue.directory.clone());
     let rebuilt = IkrqEngine::new(space, directory);
     let queries = example_queries(&example);
     assert_same_results(&original, &rebuilt, &queries, VariantConfig::toe());
@@ -102,10 +100,7 @@ fn paper_example_round_trips_through_the_binary_codec() {
     assert!(payload.len() < json_text.len());
 
     let (space, directory) = back.build().unwrap();
-    let original = IkrqEngine::new(
-        example.venue.space.clone(),
-        example.venue.directory.clone(),
-    );
+    let original = IkrqEngine::new(example.venue.space.clone(), example.venue.directory.clone());
     let rebuilt = IkrqEngine::new(space, directory);
     assert_same_results(
         &original,
@@ -177,13 +172,14 @@ fn workload_document_replays_identically_against_a_rebuilt_venue() {
     let replayed = back.to_queries().unwrap();
     assert_eq!(replayed.len(), queries.len());
 
-    let engine = IkrqEngine::new(
-        example.venue.space.clone(),
-        example.venue.directory.clone(),
-    );
+    let engine = IkrqEngine::new(example.venue.space.clone(), example.venue.directory.clone());
     for (orig, replay) in queries.iter().zip(&replayed) {
-        let a = engine.search_toe(orig).unwrap();
-        let b = engine.search_toe(replay).unwrap();
+        let a = engine
+            .execute(orig, &ikrq_core::ExecOptions::default())
+            .unwrap();
+        let b = engine
+            .execute(replay, &ikrq_core::ExecOptions::default())
+            .unwrap();
         assert_eq!(a.results.len(), b.results.len());
         for (ra, rb) in a.results.routes().iter().zip(b.results.routes()) {
             assert!((ra.score - rb.score).abs() < 1e-12);
@@ -194,14 +190,13 @@ fn workload_document_replays_identically_against_a_rebuilt_venue() {
 #[test]
 fn result_documents_capture_outcomes_for_later_inspection() {
     let example = paper_example_venue();
-    let engine = IkrqEngine::new(
-        example.venue.space.clone(),
-        example.venue.directory.clone(),
-    );
+    let engine = IkrqEngine::new(example.venue.space.clone(), example.venue.directory.clone());
     let queries = example_queries(&example);
     let mut results = indoor_persist::ResultDocument::new("fig1 toe run");
     for q in &queries {
-        let outcome = engine.search_toe(q).unwrap();
+        let outcome = engine
+            .execute(q, &ikrq_core::ExecOptions::default())
+            .unwrap();
         results.push(q, outcome);
     }
     assert_eq!(results.len(), queries.len());

@@ -78,7 +78,13 @@ impl Door {
 
 impl fmt::Display for Door {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}@{}{}", self.id, self.floor, if self.kind.is_vertical() { "+" } else { "" })
+        write!(
+            f,
+            "{}@{}{}",
+            self.id,
+            self.floor,
+            if self.kind.is_vertical() { "+" } else { "" }
+        )
     }
 }
 

@@ -51,7 +51,11 @@ impl DoorGraph {
                     if !weight.is_finite() {
                         continue;
                     }
-                    adjacency[di.index()].push(DoorGraphEdge { to: dj, via: v, weight });
+                    adjacency[di.index()].push(DoorGraphEdge {
+                        to: dj,
+                        via: v,
+                        weight,
+                    });
                     edge_count += 1;
                 }
             }
@@ -89,7 +93,11 @@ impl DoorGraph {
         self.edges_from(from)
             .iter()
             .filter(|e| e.to == to)
-            .min_by(|a, b| a.weight.partial_cmp(&b.weight).unwrap_or(std::cmp::Ordering::Equal))
+            .min_by(|a, b| {
+                a.weight
+                    .partial_cmp(&b.weight)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
     }
 
     /// Estimated heap size in bytes, used by the engine's memory accounting.
@@ -98,7 +106,10 @@ impl DoorGraph {
             + self
                 .adjacency
                 .iter()
-                .map(|v| v.capacity() * std::mem::size_of::<DoorGraphEdge>() + std::mem::size_of::<Vec<DoorGraphEdge>>())
+                .map(|v| {
+                    v.capacity() * std::mem::size_of::<DoorGraphEdge>()
+                        + std::mem::size_of::<Vec<DoorGraphEdge>>()
+                })
                 .sum::<usize>()
     }
 }

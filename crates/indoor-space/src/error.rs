@@ -49,7 +49,10 @@ impl fmt::Display for SpaceError {
             SpaceError::UnknownDoor(d) => write!(f, "unknown door {d}"),
             SpaceError::UnknownFloor(fl) => write!(f, "unknown floor {fl}"),
             SpaceError::FloorMismatch { door, partition } => {
-                write!(f, "door {door} and partition {partition} are on different floors")
+                write!(
+                    f,
+                    "door {door} and partition {partition} are on different floors"
+                )
             }
             SpaceError::DisconnectedDoor(d) => write!(f, "door {d} has no partition connection"),
             SpaceError::DisconnectedPartition(v) => write!(f, "partition {v} has no door"),

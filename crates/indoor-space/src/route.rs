@@ -272,7 +272,10 @@ impl Route {
     /// partition appears once, at the position of its **last** traversal.
     /// This matches the paper's Table II where route `R2` passes `v5` both in
     /// the middle and at the end yet `KP(R2) = ⟨v1, v2, v3, v5⟩`.
-    pub fn key_partition_sequence(&self, mut is_key: impl FnMut(PartitionId) -> bool) -> Vec<PartitionId> {
+    pub fn key_partition_sequence(
+        &self,
+        mut is_key: impl FnMut(PartitionId) -> bool,
+    ) -> Vec<PartitionId> {
         let keys: Vec<PartitionId> = self
             .partitions
             .iter()
@@ -460,14 +463,17 @@ mod tests {
         let kp = r.key_partition_sequence(|v| keys.contains(&v.0));
         assert_eq!(
             kp,
-            vec![PartitionId(1), PartitionId(2), PartitionId(3), PartitionId(5)]
+            vec![
+                PartitionId(1),
+                PartitionId(2),
+                PartitionId(3),
+                PartitionId(5)
+            ]
         );
         // Non-key partitions never show up.
         let kp = r.key_partition_sequence(|v| v.0 == 5);
         assert_eq!(kp, vec![PartitionId(5)]);
-        assert!(r
-            .key_partition_sequence(|_| false)
-            .is_empty());
+        assert!(r.key_partition_sequence(|_| false).is_empty());
     }
 
     #[test]

@@ -114,11 +114,7 @@ impl<'a> ShortestPaths<'a> {
                 }
             }
         }
-        DijkstraResult {
-            source,
-            dist,
-            prev,
-        }
+        DijkstraResult { source, dist, prev }
     }
 
     /// Shortest door-to-door distance avoiding `excluded` doors.
@@ -266,7 +262,10 @@ mod tests {
         assert!(!sp.door_to_door(DoorId(0), DoorId(2), &excluded).is_finite());
         // The excluded source is still usable as a source.
         excluded.insert(DoorId(0));
-        assert!(approx_eq(sp.door_to_door(DoorId(0), DoorId(0), &excluded), 0.0));
+        assert!(approx_eq(
+            sp.door_to_door(DoorId(0), DoorId(0), &excluded),
+            0.0
+        ));
     }
 
     #[test]
@@ -281,7 +280,10 @@ mod tests {
         assert!(approx_eq(d, 25.0));
         assert_eq!(doors.last(), Some(&DoorId(2)));
         assert_eq!(parts.last(), Some(&PartitionId(3)));
-        assert!(approx_eq(sp.door_to_point(DoorId(0), &pt, &HashSet::new()), 25.0));
+        assert!(approx_eq(
+            sp.door_to_point(DoorId(0), &pt, &HashSet::new()),
+            25.0
+        ));
     }
 
     #[test]
@@ -302,7 +304,10 @@ mod tests {
             .from_door(DoorId(2), &HashSet::new())
             .distance(DoorId(42))
             .is_finite());
-        assert!(sp.from_door(DoorId(2), &HashSet::new()).path_to(DoorId(42)).is_none());
+        assert!(sp
+            .from_door(DoorId(2), &HashSet::new())
+            .path_to(DoorId(42))
+            .is_none());
     }
 
     #[test]

@@ -232,7 +232,10 @@ mod tests {
         let mut stair_parts = Vec::new();
         for f in 0..2 {
             let floor = FloorId(f);
-            b.add_floor(floor, Rect::from_origin_size(Point::ORIGIN, 100.0, 100.0).unwrap());
+            b.add_floor(
+                floor,
+                Rect::from_origin_size(Point::ORIGIN, 100.0, 100.0).unwrap(),
+            );
             let room = b.add_partition(
                 floor,
                 PartitionKind::Room,

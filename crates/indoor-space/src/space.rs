@@ -221,14 +221,22 @@ impl IndoorSpaceBuilder {
             }
         }
 
-        let d2p_enter: Vec<Vec<PartitionId>> =
-            d2p_enter.into_iter().map(|s| s.into_iter().collect()).collect();
-        let d2p_leave: Vec<Vec<PartitionId>> =
-            d2p_leave.into_iter().map(|s| s.into_iter().collect()).collect();
-        let p2d_enter: Vec<Vec<DoorId>> =
-            p2d_enter.into_iter().map(|s| s.into_iter().collect()).collect();
-        let p2d_leave: Vec<Vec<DoorId>> =
-            p2d_leave.into_iter().map(|s| s.into_iter().collect()).collect();
+        let d2p_enter: Vec<Vec<PartitionId>> = d2p_enter
+            .into_iter()
+            .map(|s| s.into_iter().collect())
+            .collect();
+        let d2p_leave: Vec<Vec<PartitionId>> = d2p_leave
+            .into_iter()
+            .map(|s| s.into_iter().collect())
+            .collect();
+        let p2d_enter: Vec<Vec<DoorId>> = p2d_enter
+            .into_iter()
+            .map(|s| s.into_iter().collect())
+            .collect();
+        let p2d_leave: Vec<Vec<DoorId>> = p2d_leave
+            .into_iter()
+            .map(|s| s.into_iter().collect())
+            .collect();
 
         // Per-floor point-location grids over partition footprints.
         let mut floor_bounds: BTreeMap<FloorId, Rect> = self.floors.clone();
@@ -334,7 +342,9 @@ impl IndoorSpace {
 
     /// Looks up a door.
     pub fn door(&self, id: DoorId) -> Result<&Door> {
-        self.doors.get(id.index()).ok_or(SpaceError::UnknownDoor(id))
+        self.doors
+            .get(id.index())
+            .ok_or(SpaceError::UnknownDoor(id))
     }
 
     /// The derived door connectivity graph.
@@ -355,10 +365,10 @@ impl IndoorSpace {
 
     /// All same-door loop-cost overrides declared by the venue builder
     /// (`(partition, door) → distance`). Exposed for persistence layers.
-    pub fn loop_distance_overrides(
-        &self,
-    ) -> impl Iterator<Item = (PartitionId, DoorId, f64)> + '_ {
-        self.loop_overrides.iter().map(|(&(v, d), &dist)| (v, d, dist))
+    pub fn loop_distance_overrides(&self) -> impl Iterator<Item = (PartitionId, DoorId, f64)> + '_ {
+        self.loop_overrides
+            .iter()
+            .map(|(&(v, d), &dist)| (v, d, dist))
     }
 
     /// The skeleton-distance index (lower bound `|·,·|_L` of §IV-A).
@@ -382,22 +392,34 @@ impl IndoorSpace {
 
     /// `D2PA(d)`: partitions one can enter through door `d`.
     pub fn d2p_enter(&self, d: DoorId) -> &[PartitionId] {
-        self.d2p_enter.get(d.index()).map(Vec::as_slice).unwrap_or(&[])
+        self.d2p_enter
+            .get(d.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// `D2P@(d)`: partitions one can leave through door `d`.
     pub fn d2p_leave(&self, d: DoorId) -> &[PartitionId] {
-        self.d2p_leave.get(d.index()).map(Vec::as_slice).unwrap_or(&[])
+        self.d2p_leave
+            .get(d.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// `P2DA(v)`: doors through which partition `v` can be entered.
     pub fn p2d_enter(&self, v: PartitionId) -> &[DoorId] {
-        self.p2d_enter.get(v.index()).map(Vec::as_slice).unwrap_or(&[])
+        self.p2d_enter
+            .get(v.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// `P2D@(v)`: doors through which partition `v` can be left.
     pub fn p2d_leave(&self, v: PartitionId) -> &[DoorId] {
-        self.p2d_leave.get(v.index()).map(Vec::as_slice).unwrap_or(&[])
+        self.p2d_leave
+            .get(v.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Partitions through which one can move from door `di` (entering) to door
@@ -680,7 +702,10 @@ mod tests {
     fn two_rooms() -> IndoorSpace {
         let mut b = IndoorSpaceBuilder::new();
         let f = FloorId(0);
-        b.add_floor(f, Rect::from_origin_size(Point::ORIGIN, 20.0, 10.0).unwrap());
+        b.add_floor(
+            f,
+            Rect::from_origin_size(Point::ORIGIN, 20.0, 10.0).unwrap(),
+        );
         let v0 = b.add_partition(
             f,
             PartitionKind::Room,
@@ -769,7 +794,10 @@ mod tests {
         let s = two_rooms();
         let p_right = IndoorPoint::from_xy(12.0, 5.0, FloorId(0));
         // d1 leaves v1, so pt2d is finite ...
-        assert!(approx_eq(s.pt2d_distance(&p_right, DoorId(1)), 34.0_f64.sqrt()));
+        assert!(approx_eq(
+            s.pt2d_distance(&p_right, DoorId(1)),
+            34.0_f64.sqrt()
+        ));
         // ... but cannot be used to enter v1.
         assert!(!s.d2pt_distance(DoorId(1), &p_right).is_finite());
         // d0 can do both.
@@ -786,7 +814,10 @@ mod tests {
         // Loop at d0 inside v0: farthest corner of v0 from (10,5) is (0,0) or
         // (0,10), both at sqrt(125).
         let expected = 2.0 * 125.0_f64.sqrt();
-        assert!(approx_eq(s.loop_distance(DoorId(0), PartitionId(0)), expected));
+        assert!(approx_eq(
+            s.loop_distance(DoorId(0), PartitionId(0)),
+            expected
+        ));
         // d1 cannot loop through v1 because it is not enterable.
         assert!(!s.loop_distance(DoorId(1), PartitionId(1)).is_finite());
     }

@@ -31,7 +31,9 @@ impl SpaceStats {
     pub fn from_space(space: &IndoorSpace) -> Self {
         let mut partitions_by_kind: BTreeMap<String, usize> = BTreeMap::new();
         for p in space.partitions() {
-            *partitions_by_kind.entry(p.kind.label().to_string()).or_insert(0) += 1;
+            *partitions_by_kind
+                .entry(p.kind.label().to_string())
+                .or_insert(0) += 1;
         }
         let vertical_doors = space
             .doors()

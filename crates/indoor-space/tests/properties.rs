@@ -39,7 +39,15 @@ fn arb_spec() -> impl Strategy<Value = VenueSpec> {
         10.0f64..40.0,
     )
         .prop_map(
-            |(rooms, room_width, room_depth, corridor_width, second_doors, two_floors, stairway_length)| VenueSpec {
+            |(
+                rooms,
+                room_width,
+                room_depth,
+                corridor_width,
+                second_doors,
+                two_floors,
+                stairway_length,
+            )| VenueSpec {
                 rooms,
                 room_width,
                 room_depth,
@@ -98,16 +106,12 @@ fn build_venue(spec: &VenueSpec) -> (IndoorSpace, Vec<IndoorPoint>) {
             }
         }
         // Rooms south and north of the corridor.
+        #[allow(clippy::needless_range_loop)] // `i` also positions the rooms
         for i in 0..spec.rooms {
             let x0 = i as f64 * spec.room_width;
             for (side, y0, y1, door_y) in [
                 ("s", 0.0, spec.room_depth, corridor_y0),
-                (
-                    "n",
-                    corridor_y1,
-                    corridor_y1 + spec.room_depth,
-                    corridor_y1,
-                ),
+                ("n", corridor_y1, corridor_y1 + spec.room_depth, corridor_y1),
             ] {
                 let room = b.add_partition(
                     floor,
@@ -143,11 +147,7 @@ fn build_venue(spec: &VenueSpec) -> (IndoorSpace, Vec<IndoorPoint>) {
             let stair = b.add_partition(
                 floor,
                 PartitionKind::Staircase,
-                Rect::new(
-                    Point::new(0.0, corridor_y0),
-                    Point::new(2.0, corridor_y1),
-                )
-                .unwrap(),
+                Rect::new(Point::new(0.0, corridor_y0), Point::new(2.0, corridor_y1)).unwrap(),
                 Some(format!("stair-{f}")),
             );
             let d = b.add_door(
@@ -162,7 +162,11 @@ fn build_venue(spec: &VenueSpec) -> (IndoorSpace, Vec<IndoorPoint>) {
     // Connect the staircases of adjacent floors with a stair door whose walk
     // cost is the stairway length.
     if spec.two_floors {
-        let d = b.add_door(Point::new(1.0, spec.room_depth + 1.0), FloorId(0), DoorKind::Stair);
+        let d = b.add_door(
+            Point::new(1.0, spec.room_depth + 1.0),
+            FloorId(0),
+            DoorKind::Stair,
+        );
         b.connect_bidirectional(d, stair_partitions[0], stair_partitions[1]);
         for &stair in &stair_partitions {
             for other in 0..2u32 {

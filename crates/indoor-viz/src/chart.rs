@@ -143,10 +143,8 @@ impl LineChart {
         let plot_h = self.height - margin_top - margin_bottom;
 
         let px = |x: f64| margin_left + (x - min_x) / (max_x - min_x) * plot_w;
-        let py = |y: f64| {
-            margin_top + plot_h
-                - (self.y_transform(y, min_y) - ty_min) / ty_span * plot_h
-        };
+        let py =
+            |y: f64| margin_top + plot_h - (self.y_transform(y, min_y) - ty_min) / ty_span * plot_h;
 
         let mut doc = SvgDocument::new(self.width, self.height);
         // Frame and axes.
@@ -186,7 +184,13 @@ impl LineChart {
             },
         );
         // Axis tick labels: min/max on both axes.
-        doc.text(margin_left - 4.0, self.height - margin_bottom + 14.0, 9.0, "#444444", &fmt_coord(min_x));
+        doc.text(
+            margin_left - 4.0,
+            self.height - margin_bottom + 14.0,
+            9.0,
+            "#444444",
+            &fmt_coord(min_x),
+        );
         doc.text(
             margin_left + plot_w - 16.0,
             self.height - margin_bottom + 14.0,

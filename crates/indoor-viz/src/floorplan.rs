@@ -37,11 +37,7 @@ impl FloorProjection {
         )
     }
 
-    pub(crate) fn canvas_size(
-        &self,
-        space: &IndoorSpace,
-        floor: FloorId,
-    ) -> Result<(f64, f64)> {
+    pub(crate) fn canvas_size(&self, space: &IndoorSpace, floor: FloorId) -> Result<(f64, f64)> {
         let bounds = space
             .floor_bounds(floor)
             .map_err(|_| VizError::UnknownFloor(floor))?;
@@ -205,8 +201,7 @@ mod tests {
     #[test]
     fn render_all_floors_returns_one_svg_per_floor() {
         let example = paper_example_venue();
-        let all =
-            render_all_floors(&example.venue.space, None, &RenderStyle::compact()).unwrap();
+        let all = render_all_floors(&example.venue.space, None, &RenderStyle::compact()).unwrap();
         assert_eq!(all.len(), example.venue.space.floors().len());
         for (_, svg) in &all {
             assert!(svg.contains("<svg"));

@@ -160,10 +160,7 @@ mod tests {
 
     fn example_route() -> (indoor_space::IndoorSpace, Route) {
         let example = paper_example_venue();
-        let engine = IkrqEngine::new(
-            example.venue.space.clone(),
-            example.venue.directory.clone(),
-        );
+        let engine = IkrqEngine::new(example.venue.space.clone(), example.venue.directory.clone());
         let query = IkrqQuery::new(
             example.ps,
             example.pt,
@@ -171,7 +168,9 @@ mod tests {
             QueryKeywords::new(["coffee", "laptop"]).unwrap(),
             2,
         );
-        let outcome = engine.search_toe(&query).unwrap();
+        let outcome = engine
+            .execute(&query, &ikrq_core::ExecOptions::default())
+            .unwrap();
         let route = outcome.results.best().unwrap().route.clone();
         (example.venue.space, route)
     }
@@ -180,8 +179,7 @@ mod tests {
     fn a_result_route_renders_as_a_polyline_with_endpoint_markers() {
         let (space, route) = example_route();
         let svg =
-            render_routes_on_floor(&space, &[&route], FloorId(0), &RenderStyle::default())
-                .unwrap();
+            render_routes_on_floor(&space, &[&route], FloorId(0), &RenderStyle::default()).unwrap();
         assert!(svg.contains("route-0"));
         assert!(svg.contains("<polyline"));
         // Two endpoint markers plus the door markers of the floorplan.
@@ -195,8 +193,7 @@ mod tests {
     fn multiple_routes_use_distinct_colors() {
         let (space, route) = example_route();
         let style = RenderStyle::default();
-        let svg =
-            render_routes_on_floor(&space, &[&route, &route], FloorId(0), &style).unwrap();
+        let svg = render_routes_on_floor(&space, &[&route, &route], FloorId(0), &style).unwrap();
         assert!(svg.contains("route-0"));
         assert!(svg.contains("route-1"));
         assert!(svg.contains(style.route_color(0)));
@@ -215,7 +212,8 @@ mod tests {
     #[test]
     fn unknown_floor_is_rejected() {
         let (space, route) = example_route();
-        assert!(render_routes_on_floor(&space, &[&route], FloorId(9), &RenderStyle::default())
-            .is_err());
+        assert!(
+            render_routes_on_floor(&space, &[&route], FloorId(9), &RenderStyle::default()).is_err()
+        );
     }
 }

@@ -15,7 +15,10 @@ fn main() {
     // A single-floor synthetic mall keeps this example quick while still
     // exercising all pruning rules.
     let venue = Venue::synthetic(&SyntheticVenueConfig::small(99)).expect("venue generation");
-    let engine = IkrqEngine::new(venue.space.clone(), venue.directory.clone());
+    let service = IkrqService::new();
+    service
+        .register_venue("ablation", venue.space.clone(), venue.directory.clone())
+        .expect("venue registers");
 
     // Generate one workload instance with the experiment generator.
     let generator = QueryGenerator::new(&venue);
@@ -67,17 +70,23 @@ fn main() {
         } else {
             variant.label()
         };
-        match engine.search(&query, variant) {
-            Ok(outcome) => {
+        let request = SearchRequest::builder("ablation")
+            .query(query.clone())
+            .variant(variant)
+            .build()
+            .expect("valid request");
+        match service.search(&request) {
+            Ok(response) => {
+                let metrics = response.to_outcome().metrics;
                 println!(
                     "{:<22} {:>10.2} {:>10.3} {:>10} {:>10} {:>8.4} {:>12.2}",
                     label,
-                    outcome.metrics.elapsed_millis(),
-                    outcome.metrics.peak_memory_mb(),
-                    outcome.metrics.stamps_expanded,
-                    outcome.results.len(),
-                    outcome.results.best().map(|r| r.score).unwrap_or(0.0),
-                    outcome.results.homogeneous_rate(),
+                    metrics.elapsed_millis(),
+                    metrics.peak_memory_mb(),
+                    metrics.stamps_expanded,
+                    response.results.len(),
+                    response.results.best().map(|r| r.score).unwrap_or(0.0),
+                    response.results.homogeneous_rate(),
                 );
             }
             Err(error) => println!("{label:<22} failed: {error}"),

@@ -24,8 +24,14 @@ fn build_airport() -> (IndoorSpace, KeywordDirectory, IndoorPoint, IndoorPoint) 
     let mut b = IndoorSpaceBuilder::new().with_grid_cell(30.0);
     let ground = FloorId(0);
     let upper = FloorId(1);
-    b.add_floor(ground, Rect::from_origin_size(Point::ORIGIN, 600.0, 120.0).unwrap());
-    b.add_floor(upper, Rect::from_origin_size(Point::ORIGIN, 600.0, 120.0).unwrap());
+    b.add_floor(
+        ground,
+        Rect::from_origin_size(Point::ORIGIN, 600.0, 120.0).unwrap(),
+    );
+    b.add_floor(
+        upper,
+        Rect::from_origin_size(Point::ORIGIN, 600.0, 120.0).unwrap(),
+    );
 
     // Ground level: a long concourse with shops on one side.
     let concourse = b.add_partition(
@@ -89,7 +95,10 @@ fn build_airport() -> (IndoorSpace, KeywordDirectory, IndoorPoint, IndoorPoint) 
     let mut directory = KeywordDirectory::new();
     let twords: &[(&str, &[&str])] = &[
         ("security", &[]),
-        ("cookieshop", &["cookies", "danish", "chocolate", "souvenir"]),
+        (
+            "cookieshop",
+            &["cookies", "danish", "chocolate", "souvenir"],
+        ),
         ("bank", &["euro", "cash", "currency", "exchange", "krone"]),
         ("noodlebar", &["noodle", "ramen", "soup", "dumpling"]),
         ("dutyfree", &["perfume", "whisky", "chocolate", "souvenir"]),
@@ -112,33 +121,37 @@ fn main() {
     let (space, directory, start, gate) = build_airport();
     println!("airport model: {}", space.stats());
 
-    let engine = IkrqEngine::new(space, directory);
+    let service = IkrqService::new();
+    service
+        .register_venue("airport", space, directory)
+        .expect("venue registers");
 
     // 1.5 hours at 1.1 m/s of maximum indoor walking speed (footnote 1).
     let v_max = 1.1;
     let time_budget_s = 0.4 * 3600.0; // Jesper keeps a safety margin.
     let delta = v_max * time_budget_s;
 
-    let query = IkrqQuery::new(
-        start,
-        gate,
-        delta,
-        QueryKeywords::new(["cookies", "euro", "noodle"]).expect("keywords"),
-        3,
-    )
-    .with_alpha(0.4) // passengers are distance-sensitive (paper §III-C)
-    .with_tau(0.1);
+    let request = SearchRequest::builder("airport")
+        .from(start)
+        .to(gate)
+        .delta(delta)
+        .keywords(QueryKeywords::new(["cookies", "euro", "noodle"]).expect("keywords"))
+        .k(3)
+        .alpha(0.4) // passengers are distance-sensitive (paper §III-C)
+        .tau(0.1)
+        .build()
+        .expect("valid request");
 
-    println!(
-        "\nfrom security to the gate, ∆ = {delta:.0} m, keywords cookies / euro / noodle\n"
-    );
-    let outcome = engine.search_toe(&query).expect("valid query");
-    for (rank, route) in outcome.results.routes().iter().enumerate() {
+    println!("\nfrom security to the gate, ∆ = {delta:.0} m, keywords cookies / euro / noodle\n");
+    let response = service.search(&request).expect("valid query");
+    for (rank, route) in response.results.routes().iter().enumerate() {
         println!(
             "#{rank}: score {:.4} | covers {:.3} | {:.0} m",
             route.score, route.relevance, route.distance
         );
         println!("    {}", route.route);
     }
-    println!("\nsearch effort: {}", outcome.metrics);
+    if let Some(metrics) = &response.metrics {
+        println!("\nsearch effort: {metrics}");
+    }
 }

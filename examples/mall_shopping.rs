@@ -27,7 +27,10 @@ fn main() {
         venue.directory.vocab().num_twords()
     );
 
-    let engine = IkrqEngine::new(venue.space.clone(), venue.directory.clone());
+    let service = IkrqService::new();
+    service
+        .register_venue("mall", venue.space.clone(), venue.directory.clone())
+        .expect("venue registers");
 
     // Entrance and exit: two far-apart rooms of the mall.
     let entrance = venue.point_in_partition(venue.rooms[0], (0.5, 0.5));
@@ -43,28 +46,35 @@ fn main() {
         .and_then(|w| venue.directory.resolve(w))
         .unwrap_or("coffee")
         .to_string();
-    let keywords = vec!["coffee".to_string(), "sneakers".to_string(), some_brand.clone()];
+    let keywords = vec![
+        "coffee".to_string(),
+        "sneakers".to_string(),
+        some_brand.clone(),
+    ];
     println!("shopping list: {keywords:?}");
 
-    let query = IkrqQuery::new(
-        entrance,
-        exit,
-        1.8 * direct,
-        QueryKeywords::new(keywords).expect("keywords"),
-        5,
-    )
-    .with_alpha(0.7)
-    .with_tau(0.1);
+    let request = SearchRequest::builder("mall")
+        .from(entrance)
+        .to(exit)
+        .delta(1.8 * direct)
+        .keywords(QueryKeywords::new(keywords).expect("keywords"))
+        .k(5)
+        .alpha(0.7)
+        .tau(0.1)
+        .build()
+        .expect("valid request");
 
-    let outcome = engine.search_toe(&query).expect("valid query");
-    println!("\ntop-{} keyword-aware routes (ToE):", outcome.results.k());
-    for (rank, route) in outcome.results.routes().iter().enumerate() {
+    let response = service.search(&request).expect("valid query");
+    println!("\ntop-{} keyword-aware routes (ToE):", response.results.k());
+    for (rank, route) in response.results.routes().iter().enumerate() {
         println!(
             "#{rank}: score {:.4} | relevance {:.3} | {:.0} m (budget {:.0} m)",
-            route.score, route.relevance, route.distance, query.delta
+            route.score, route.relevance, route.distance, request.query.delta
         );
     }
-    println!("\nsearch effort: {}", outcome.metrics);
+    if let Some(metrics) = &response.metrics {
+        println!("\nsearch effort: {metrics}");
+    }
 
     // Show how the workload generator of the experiments builds queries.
     let generator = QueryGenerator::new(&venue);

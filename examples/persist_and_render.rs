@@ -45,7 +45,10 @@ fn main() {
     let reloaded = binary::load_venue_binary(&bin_path).expect("load binary venue");
     assert_eq!(reloaded, doc);
     let (space, directory) = reloaded.build().expect("rebuild venue");
-    let engine = IkrqEngine::new(space, directory);
+    let service = IkrqService::new();
+    let engine = service
+        .register_venue("fig1-example", space, directory)
+        .expect("venue registers");
 
     // 3. The running-example query, saved into a replayable workload.
     let query = IkrqQuery::new(
@@ -62,8 +65,12 @@ fn main() {
     workload.push_query(&query);
     json::save_workload_json(&workload, out_dir.join("workload.json")).expect("save workload");
 
-    // 4. Answer the query on the reloaded venue.
-    let outcome = engine.search_toe(&query).expect("search");
+    // 4. Answer the query on the reloaded venue through the service.
+    let request = SearchRequest::builder("fig1-example")
+        .query(query.clone())
+        .build()
+        .expect("valid request");
+    let outcome = service.search(&request).expect("search").to_outcome();
     println!("\n{} routes ({}):", outcome.results.len(), outcome.label);
     for (i, route) in outcome.results.routes().iter().enumerate() {
         println!(
@@ -112,19 +119,10 @@ fn main() {
     }
 
     // 7. Render the top routes over the floorplan.
-    let routes: Vec<&indoor_space::Route> = outcome
-        .results
-        .routes()
-        .iter()
-        .map(|r| &r.route)
-        .collect();
-    let svg = render_routes_on_floor(
-        engine.space(),
-        &routes,
-        FloorId(0),
-        &RenderStyle::default(),
-    )
-    .expect("render routes");
+    let routes: Vec<&indoor_space::Route> =
+        outcome.results.routes().iter().map(|r| &r.route).collect();
+    let svg = render_routes_on_floor(engine.space(), &routes, FloorId(0), &RenderStyle::default())
+        .expect("render routes");
     let svg_path = out_dir.join("routes.svg");
     std::fs::write(&svg_path, svg).expect("write SVG");
     println!("\nwrote {}", svg_path.display());

@@ -1,4 +1,5 @@
-//! Quickstart: build a small venue, pose an IKRQ, and inspect the results.
+//! Quickstart: host a venue on the query service, pose an IKRQ through the
+//! request/response envelope, and inspect the results.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -21,33 +22,76 @@ fn main() {
     let venue = &example.venue;
     println!("venue: {}", venue.space.stats());
 
-    // 2. The engine owns the venue and answers queries.
-    let engine = IkrqEngine::new(venue.space.clone(), venue.directory.clone());
+    // 2. The service hosts any number of named venues; each gets an engine
+    //    that owns an immutable copy of the venue.
+    let service = IkrqService::new();
+    service
+        .register_venue("fig1", venue.space.clone(), venue.directory.clone())
+        .expect("venue registers");
+    println!("hosted venues: {:?}", service.venue_ids());
 
-    // 3. An IKRQ: start point, terminal point, distance constraint, keyword
-    //    list, k — plus the ranking trade-off alpha and the similarity
-    //    threshold tau.
-    let query = IkrqQuery::new(
-        example.ps,
-        example.pt,
-        400.0,
-        QueryKeywords::new(["latte", "apple"]).expect("keywords"),
-        3,
-    )
-    .with_alpha(0.5)
-    .with_tau(0.1);
+    // 3. A request = venue id + IKRQ (start, terminal, distance constraint,
+    //    keyword list, k, alpha, tau) + execution options (algorithm
+    //    variant, metrics detail, expansion budget). The builder validates
+    //    everything up front.
+    let request = SearchRequest::builder("fig1")
+        .from(example.ps)
+        .to(example.pt)
+        .delta(400.0)
+        .keywords(QueryKeywords::new(["latte", "apple"]).expect("keywords"))
+        .k(3)
+        .alpha(0.5)
+        .tau(0.1)
+        .build()
+        .expect("valid request");
 
-    // 4. Run both search algorithms of the paper.
+    // 4. Run both search algorithms of the paper through the service.
     for config in [VariantConfig::toe(), VariantConfig::koe()] {
-        let outcome = engine.search(&query, config).expect("valid query");
-        println!("\n=== {} ===", outcome.label);
-        println!("search effort: {}", outcome.metrics);
-        for (rank, route) in outcome.results.routes().iter().enumerate() {
+        let request = SearchRequest {
+            options: ExecOptions::with_variant(config),
+            ..request.clone()
+        };
+        let response = service.search(&request).expect("valid query");
+        println!("\n=== {} ===", response.variant);
+        println!(
+            "answered by `{}` ({} partitions, {} doors) in {:.2} ms",
+            response.venue.id,
+            response.venue.partitions,
+            response.venue.doors,
+            response.timing.total_ms,
+        );
+        if let Some(metrics) = &response.metrics {
+            println!("search effort: {metrics}");
+        }
+        for (rank, route) in response.results.routes().iter().enumerate() {
             println!(
                 "#{rank}: score {:.4} | keyword relevance {:.3} | distance {:.1} m",
                 route.score, route.relevance, route.distance
             );
             println!("    {}", route.route);
         }
+    }
+
+    // 5. Throughput path: a batch fans out over all cores and returns
+    //    responses in request order.
+    let batch: Vec<SearchRequest> = (1..=8)
+        .map(|k| SearchRequest {
+            query: IkrqQuery {
+                k,
+                ..request.query.clone()
+            },
+            ..request.clone()
+        })
+        .collect();
+    let responses = service.search_batch(&batch);
+    println!("\nbatch of {} requests:", responses.len());
+    for (request, response) in batch.iter().zip(&responses) {
+        let response = response.as_ref().expect("valid query");
+        println!(
+            "  k={}: {} routes, {:.2} ms",
+            request.query.k,
+            response.results.len(),
+            response.timing.search_ms,
+        );
     }
 }

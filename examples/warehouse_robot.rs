@@ -19,7 +19,10 @@ use indoor_space::DoorKind;
 fn build_warehouse() -> (IndoorSpace, KeywordDirectory, IndoorPoint, IndoorPoint) {
     let floor = FloorId(0);
     let mut b = IndoorSpaceBuilder::new().with_grid_cell(20.0);
-    b.add_floor(floor, Rect::from_origin_size(Point::ORIGIN, 200.0, 140.0).unwrap());
+    b.add_floor(
+        floor,
+        Rect::from_origin_size(Point::ORIGIN, 200.0, 140.0).unwrap(),
+    );
 
     // A cross aisle along the south edge connects the three aisles.
     let cross = b.add_partition(
@@ -55,8 +58,12 @@ fn build_warehouse() -> (IndoorSpace, KeywordDirectory, IndoorPoint, IndoorPoint
                 let bay = b.add_partition(
                     floor,
                     PartitionKind::Room,
-                    Rect::from_origin_size(Point::new(x0 + dx.min(0.0) + side.max(0.0), y0), 20.0, 45.0)
-                        .unwrap(),
+                    Rect::from_origin_size(
+                        Point::new(x0 + dx.min(0.0) + side.max(0.0), y0),
+                        20.0,
+                        45.0,
+                    )
+                    .unwrap(),
                     Some(format!("bay-{bay_index}")),
                 );
                 let door_x = if side < 0.0 { x0 } else { x0 + 20.0 };
@@ -82,30 +89,40 @@ fn main() {
     let (space, directory, dock, packing) = build_warehouse();
     println!("warehouse model: {}", space.stats());
 
-    let engine = IkrqEngine::new(space, directory);
+    let service = IkrqService::new();
+    service
+        .register_venue("warehouse", space, directory)
+        .expect("venue registers");
 
     // Order: one electric item, one cleaning item, one stationery item.
-    let query = IkrqQuery::new(
-        dock,
-        packing,
-        600.0,
-        QueryKeywords::new(["batteries", "soap", "pens"]).expect("keywords"),
-        4,
-    )
     // The robot's battery is the scarce resource: weight distance highly.
-    .with_alpha(0.35)
-    .with_tau(0.1);
+    let base = SearchRequest::builder("warehouse")
+        .from(dock)
+        .to(packing)
+        .delta(600.0)
+        .keywords(QueryKeywords::new(["batteries", "soap", "pens"]).expect("keywords"))
+        .k(4)
+        .alpha(0.35)
+        .tau(0.1)
+        .build()
+        .expect("valid request");
 
     println!("\npick order: batteries / soap / pens, travel budget 600 m\n");
     for config in [VariantConfig::toe(), VariantConfig::koe()] {
-        let outcome = engine.search(&query, config).expect("valid query");
-        println!("=== {} ===", outcome.label);
-        for (rank, route) in outcome.results.routes().iter().enumerate() {
+        let request = SearchRequest {
+            options: ExecOptions::with_variant(config),
+            ..base.clone()
+        };
+        let response = service.search(&request).expect("valid query");
+        println!("=== {} ===", response.variant);
+        for (rank, route) in response.results.routes().iter().enumerate() {
             println!(
                 "#{rank}: score {:.4} | coverage {:.3} | {:.0} m",
                 route.score, route.relevance, route.distance
             );
         }
-        println!("effort: {}\n", outcome.metrics);
+        if let Some(metrics) = &response.metrics {
+            println!("effort: {metrics}\n");
+        }
     }
 }

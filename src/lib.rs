@@ -10,8 +10,10 @@
 //! * [`space`] — partitions, doors, topology, indoor distances,
 //! * [`keywords`] — i-word/t-word organisation and keyword relevance,
 //! * [`data`] — synthetic and simulated-real venues plus workloads,
-//! * [`core`] — the IKRQ engine (ToE/KoE search, pruning, prime routes,
-//!   optional soft-constraint and popularity extensions),
+//! * [`core`] — the IKRQ engine and the multi-venue `IkrqService` layer
+//!   (ToE/KoE search, pruning, prime routes, request/response envelopes,
+//!   parallel `search_batch`, optional soft-constraint and popularity
+//!   extensions),
 //! * [`persist`] — venue / workload / result documents (JSON + binary),
 //! * [`viz`] — SVG floorplan, route-overlay and figure-chart rendering.
 

@@ -59,8 +59,12 @@ fn synthetic_venue_survives_persistence_and_replays_a_saved_workload() {
     let replayed: WorkloadDocument = json::from_json_str(&workload_json).unwrap();
     for (query, record) in queries.iter().zip(replayed.queries.iter()) {
         let replay_query = record.to_query().unwrap();
-        let a = original_engine.search_toe(query).unwrap();
-        let b = rebuilt_engine.search_toe(&replay_query).unwrap();
+        let a = original_engine
+            .execute(query, &ikrq_core::ExecOptions::default())
+            .unwrap();
+        let b = rebuilt_engine
+            .execute(&replay_query, &ikrq_core::ExecOptions::default())
+            .unwrap();
         assert_eq!(a.results.len(), b.results.len());
         for (ra, rb) in a.results.routes().iter().zip(b.results.routes()) {
             assert!((ra.score - rb.score).abs() < 1e-9);
@@ -72,10 +76,7 @@ fn synthetic_venue_survives_persistence_and_replays_a_saved_workload() {
 #[test]
 fn floorplans_routes_and_charts_render_through_the_facade() {
     let example = ikrq::data::paper_example_venue();
-    let engine = IkrqEngine::new(
-        example.venue.space.clone(),
-        example.venue.directory.clone(),
-    );
+    let engine = IkrqEngine::new(example.venue.space.clone(), example.venue.directory.clone());
 
     // Floorplan with labels.
     let floor_svg = render_floor(
@@ -95,13 +96,11 @@ fn floorplans_routes_and_charts_render_through_the_facade() {
         QueryKeywords::new(["coffee", "laptop"]).unwrap(),
         2,
     );
-    let outcome = engine.search_toe(&query).unwrap();
-    let routes: Vec<&indoor_space::Route> = outcome
-        .results
-        .routes()
-        .iter()
-        .map(|r| &r.route)
-        .collect();
+    let outcome = engine
+        .execute(&query, &ikrq_core::ExecOptions::default())
+        .unwrap();
+    let routes: Vec<&indoor_space::Route> =
+        outcome.results.routes().iter().map(|r| &r.route).collect();
     assert!(!routes.is_empty());
     let overlay =
         render_routes_on_floor(engine.space(), &routes, FloorId(0), &RenderStyle::default())
@@ -114,7 +113,9 @@ fn floorplans_routes_and_charts_render_through_the_facade() {
     for k in [1usize, 3, 5] {
         let mut q = query.clone();
         q.k = k;
-        let o = engine.search_toe(&q).unwrap();
+        let o = engine
+            .execute(&q, &ikrq_core::ExecOptions::default())
+            .unwrap();
         points.push((k as f64, o.metrics.elapsed_millis().max(0.001)));
     }
     chart.push_series(ChartSeries::new("ToE", points));
@@ -150,7 +151,9 @@ fn extensions_compose_with_generated_venues_through_the_facade() {
     .with_alpha(instance.alpha)
     .with_tau(instance.tau);
 
-    let hard = engine.search_toe(&query).unwrap();
+    let hard = engine
+        .execute(&query, &ikrq_core::ExecOptions::default())
+        .unwrap();
     let soft = engine
         .search_soft(&query, VariantConfig::toe(), SoftDeltaConfig::default())
         .unwrap();

@@ -3,8 +3,8 @@
 //! (`indoor-keywords`), the space model (`indoor-space`) and the query engine
 //! (`ikrq-core`), the way a downstream user would consume the library.
 
-use ikrq::prelude::*;
 use ikrq::core::RankingModel;
+use ikrq::prelude::*;
 use indoor_keywords::QueryKeywords;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -21,10 +21,15 @@ fn facade_prelude_supports_the_full_query_pipeline() {
         QueryKeywords::new(["coffee"]).unwrap(),
         2,
     );
-    let outcome = engine.search_toe(&query).unwrap();
+    let outcome = engine
+        .execute(&query, &ikrq_core::ExecOptions::default())
+        .unwrap();
     assert!(!outcome.results.is_empty());
     let best = outcome.results.best().unwrap();
-    assert!(best.relevance > 0.0, "coffee is coverable in the example venue");
+    assert!(
+        best.relevance > 0.0,
+        "coffee is coverable in the example venue"
+    );
     // The reported score matches the ranking definition accessible from the
     // facade as well.
     let ranking = RankingModel::new(query.alpha, query.delta, query.num_keywords());
@@ -73,8 +78,15 @@ fn workload_generation_and_search_compose_end_to_end() {
         )
         .with_alpha(instance.alpha)
         .with_tau(instance.tau);
-        let toe = engine.search_toe(&query).unwrap();
-        let koe = engine.search_koe(&query).unwrap();
+        let toe = engine
+            .execute(&query, &ikrq_core::ExecOptions::default())
+            .unwrap();
+        let koe = engine
+            .execute(
+                &query,
+                &ikrq_core::ExecOptions::with_variant(ikrq_core::VariantConfig::koe()),
+            )
+            .unwrap();
         // Both algorithms respect the constraint and agree on the optimum.
         for outcome in [&toe, &koe] {
             for route in outcome.results.routes() {
@@ -119,7 +131,9 @@ fn real_venue_simulation_is_queryable() {
             instance.k,
         )
         .with_alpha(instance.alpha);
-        let outcome = engine.search_toe(&query).unwrap();
+        let outcome = engine
+            .execute(&query, &ikrq_core::ExecOptions::default())
+            .unwrap();
         assert!(outcome.metrics.stamps_expanded > 0);
     }
 }

@@ -1,0 +1,444 @@
+//! Vendored, offline subset of the `bytes` crate: [`Bytes`], [`BytesMut`]
+//! and the little-endian [`Buf`]/[`BufMut`] accessors this workspace uses.
+//!
+//! `Bytes` is a cheaply-cloneable view into shared immutable storage;
+//! reading through [`Buf`] advances the view without copying.
+
+#![forbid(unsafe_code)]
+
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Shared immutable byte storage with a movable read window.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::from(Vec::new())
+    }
+
+    /// Copies a slice into owned shared storage.
+    pub fn copy_from_slice(slice: &[u8]) -> Self {
+        Bytes::from(slice.to_vec())
+    }
+
+    /// The bytes currently visible through the window.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Length of the remaining window.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A sub-window sharing the same storage.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && self.start + range.end <= self.end);
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Copies the window into a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn take_array<const N: usize>(&mut self) -> [u8; N] {
+        assert!(self.len() >= N, "buffer underflow");
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.data[self.start..self.start + N]);
+        self.start += N;
+        out
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(vec: Vec<u8>) -> Self {
+        let end = vec.len();
+        Bytes {
+            data: vec.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(slice: &[u8]) -> Self {
+        Bytes::copy_from_slice(slice)
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({:02x?})", self.as_slice())
+    }
+}
+
+/// Growable byte buffer that freezes into [`Bytes`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            vec: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Converts into an immutable shared buffer.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.vec)
+    }
+
+    /// The written bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+/// Write-side accessors (little-endian where applicable).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, slice: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i32`.
+    fn put_i32_le(&mut self, v: i32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, slice: &[u8]) {
+        self.vec.extend_from_slice(slice);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, slice: &[u8]) {
+        self.extend_from_slice(slice);
+    }
+}
+
+/// Read-side accessors (little-endian where applicable). Reading advances
+/// the buffer; all accessors panic on underflow like upstream `bytes`.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Whether any bytes are left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Skips `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Copies `remaining >= dst.len()` bytes into `dst` and advances.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Splits off the next `len` bytes without copying the storage.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes;
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8;
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16;
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+
+    /// Reads a little-endian `i32`.
+    fn get_i32_le(&mut self) -> i32;
+
+    /// Reads a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64;
+
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64;
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "buffer underflow");
+        self.start += n;
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.len(), "buffer underflow");
+        dst.copy_from_slice(&self.data[self.start..self.start + dst.len()]);
+        self.start += dst.len();
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(len <= self.len(), "buffer underflow");
+        let out = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + len,
+        };
+        self.start += len;
+        out
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        u8::from_le_bytes(self.take_array())
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take_array())
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_array())
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_array())
+    }
+
+    fn get_i32_le(&mut self) -> i32 {
+        i32::from_le_bytes(self.take_array())
+    }
+
+    fn get_i64_le(&mut self) -> i64 {
+        i64::from_le_bytes(self.take_array())
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take_array())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "buffer underflow");
+        *self = &self[n..];
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.len(), "buffer underflow");
+        dst.copy_from_slice(&self[..dst.len()]);
+        *self = &self[dst.len()..];
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(len <= self.len(), "buffer underflow");
+        let out = Bytes::copy_from_slice(&self[..len]);
+        *self = &self[len..];
+        out
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let mut raw = [0u8; 1];
+        self.copy_to_slice(&mut raw);
+        raw[0]
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let mut raw = [0u8; 2];
+        self.copy_to_slice(&mut raw);
+        u16::from_le_bytes(raw)
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        self.copy_to_slice(&mut raw);
+        u32::from_le_bytes(raw)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice(&mut raw);
+        u64::from_le_bytes(raw)
+    }
+
+    fn get_i32_le(&mut self) -> i32 {
+        let mut raw = [0u8; 4];
+        self.copy_to_slice(&mut raw);
+        i32::from_le_bytes(raw)
+    }
+
+    fn get_i64_le(&mut self) -> i64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice(&mut raw);
+        i64::from_le_bytes(raw)
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice(&mut raw);
+        f64::from_le_bytes(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u8(7);
+        buf.put_u16_le(513);
+        buf.put_u32_le(70_000);
+        buf.put_i32_le(-5);
+        buf.put_f64_le(2.5);
+        buf.put_slice(b"abc");
+        let mut bytes = buf.freeze();
+        assert_eq!(bytes.remaining(), 1 + 2 + 4 + 4 + 8 + 3);
+        assert_eq!(bytes.get_u8(), 7);
+        assert_eq!(bytes.get_u16_le(), 513);
+        assert_eq!(bytes.get_u32_le(), 70_000);
+        assert_eq!(bytes.get_i32_le(), -5);
+        assert_eq!(bytes.get_f64_le(), 2.5);
+        let tail = bytes.copy_to_bytes(3);
+        assert_eq!(tail.as_slice(), b"abc");
+        assert!(!bytes.has_remaining());
+    }
+
+    #[test]
+    fn equality_and_hashing_use_the_window() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let mut b = Bytes::from(vec![0, 1, 2, 3]);
+        b.advance(1);
+        assert_eq!(a, b);
+        let mut set = std::collections::HashMap::new();
+        set.insert(a, 1.0f64);
+        assert!(set.contains_key(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::from(vec![1]);
+        b.get_u32_le();
+    }
+}

@@ -1,0 +1,212 @@
+//! Vendored, offline subset of the `criterion` benchmarking API.
+//!
+//! Implements the surface the workspace's benches use — `Criterion`,
+//! benchmark groups, `BenchmarkId`, `black_box`, `criterion_group!` and
+//! `criterion_main!` — with a simple fixed-budget measurement loop instead
+//! of criterion's statistical machinery: each benchmark warms up briefly,
+//! then runs batches of iterations until a time budget is spent, and the
+//! mean iteration time is printed. When the binary is invoked with
+//! `--test` (as `cargo test --benches` does), every benchmark runs exactly
+//! one iteration so the run stays fast.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-value helper preventing the optimizer from deleting benched code.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id made of a parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher<'a> {
+    budget: Duration,
+    test_mode: bool,
+    report: &'a mut Vec<(String, Duration, u64)>,
+    label: String,
+}
+
+impl Bencher<'_> {
+    /// Measures the mean wall-clock time of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.report.push((self.label.clone(), Duration::ZERO, 1));
+            return;
+        }
+        // Warm-up: one untimed call (also gives a duration estimate).
+        let warmup_start = Instant::now();
+        black_box(routine());
+        let estimate = warmup_start.elapsed().max(Duration::from_nanos(1));
+        let target_iters = (self.budget.as_nanos() / estimate.as_nanos()).clamp(1, 1_000_000);
+        let start = Instant::now();
+        for _ in 0..target_iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.report
+            .push((self.label.clone(), elapsed, target_iters as u64));
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream tunes statistical sampling with this; the vendored subset
+    /// scales its time budget instead (smaller sample size → smaller
+    /// budget).
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.criterion.budget = Duration::from_millis((samples as u64 * 10).clamp(20, 2_000));
+        self
+    }
+
+    /// Benches a closure under a name.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.run_one(label, |b| f(b));
+        self
+    }
+
+    /// Benches a closure over one input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.run_one(label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (prints nothing extra in the vendored subset).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    budget: Duration,
+    test_mode: bool,
+    results: Vec<(String, Duration, u64)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test")
+            || std::env::var_os("IKRQ_BENCH_TEST_MODE").is_some();
+        Criterion {
+            budget: Duration::from_millis(300),
+            test_mode,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    fn run_one<F: FnMut(&mut Bencher<'_>)>(&mut self, label: String, mut f: F) {
+        let mut bencher = Bencher {
+            budget: self.budget,
+            test_mode: self.test_mode,
+            report: &mut self.results,
+            label: label.clone(),
+        };
+        f(&mut bencher);
+        if let Some((name, elapsed, iters)) = self.results.last() {
+            if self.test_mode {
+                println!("bench {name}: ok (test mode)");
+            } else {
+                let mean = elapsed.as_secs_f64() / (*iters).max(1) as f64;
+                println!("bench {name}: {:.3} ms/iter ({iters} iters)", mean * 1e3);
+            }
+        } else {
+            println!("bench {label}: no measurement recorded");
+        }
+    }
+
+    /// Benches a standalone closure.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.run_one(name.to_string(), |b| f(b));
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+        }
+    }
+
+    /// Prints a closing summary.
+    pub fn final_summary(&self) {
+        println!("{} benchmark(s) completed", self.results.len());
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        $crate::criterion_group!($group, $($target),+);
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,341 @@
+//! Vendored, offline subset of `proptest`.
+//!
+//! Implements the slice of the proptest API this workspace's property tests
+//! use: the [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`,
+//! [`strategy::Strategy`] with `prop_map`/`prop_flat_map`, range and
+//! regex-literal strategies, tuple strategies, `collection::{vec,
+//! btree_set}`, `option::of`, `sample::select`, `Just` and `prop_oneof!`.
+//!
+//! Differences from upstream proptest, by design:
+//!
+//! * no shrinking — a failing case reports its case number and the seed is
+//!   derived deterministically from the test name, so failures reproduce;
+//! * regex strategies support only the literal/char-class/quantifier subset
+//!   used in this workspace (e.g. `"[a-z]{2,10}"`);
+//! * the default case count is 64 (upstream: 256) to keep `cargo test`
+//!   fast; tests override it per-block with `ProptestConfig::with_cases`.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+
+/// Test-runner configuration and plumbing used by the macros.
+pub mod test_runner {
+    /// Configuration of one `proptest!` block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed property within a test case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(message: impl std::fmt::Display) -> Self {
+            TestCaseError {
+                message: message.to_string(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// The deterministic generator driving a test.
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// Creates the deterministic generator for a named test.
+    pub fn rng_for_test(name: &str) -> TestRng {
+        use rand::SeedableRng;
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut hash: u64 = 0xcbf29ce484222325;
+        for byte in name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+        TestRng::seed_from_u64(hash)
+    }
+}
+
+/// Sized-collection strategies.
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy};
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.draw(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with a target size drawn from
+    /// `size` (the set may stay smaller when the element strategy cannot
+    /// produce enough distinct values).
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`btree_set`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.draw(rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0;
+            while out.len() < target && attempts < target * 10 + 16 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy for a uniformly random boolean.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The uniform boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+/// Optional-value strategies.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy producing `None` about a quarter of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.gen_bool(0.25) {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Sampling from fixed pools.
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::seq::SliceRandom;
+
+    /// Strategy drawing a uniformly random element of a non-empty slice.
+    pub fn select<T: Clone + std::fmt::Debug>(options: &'static [T]) -> Select<T> {
+        assert!(!options.is_empty(), "sample::select on an empty slice");
+        Select { options }
+    }
+
+    /// See [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T: 'static> {
+        options: &'static [T],
+    }
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options.choose(rng).expect("non-empty pool").clone()
+        }
+    }
+}
+
+/// The types and macros tests usually glob-import.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking directly) when it does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(__l == __r, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l != __r,
+            "assertion failed: `{}` != `{}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l
+        );
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Defines property tests: each `fn name(binding in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let mut __rng = $crate::test_runner::rng_for_test(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut __rng);)+
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(__err) = __outcome {
+                    panic!(
+                        "proptest {}: case {}/{} failed: {}",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        __err
+                    );
+                }
+            }
+        }
+    )*};
+}

@@ -1,0 +1,404 @@
+//! The [`Strategy`] trait and the combinators / base strategies the
+//! workspace's tests use. No shrinking — see the crate docs.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through a function.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over a non-empty list of strategies.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let index = rng.gen_range(0..self.options.len());
+        self.options[index].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ranges
+// ---------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+// ---------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+    (A, B, C, D, E, F, G, H, I)
+    (A, B, C, D, E, F, G, H, I, J)
+    (A, B, C, D, E, F, G, H, I, J, K)
+    (A, B, C, D, E, F, G, H, I, J, K, L)
+}
+
+// ---------------------------------------------------------------------
+// Regex-literal string strategies
+// ---------------------------------------------------------------------
+
+/// `&str` patterns act as string strategies, supporting the literal /
+/// char-class / `{m,n}` quantifier subset this workspace uses.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+#[derive(Debug)]
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Atom {
+    let mut ranges = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .expect("vendored proptest regex: unterminated character class");
+        if c == ']' {
+            break;
+        }
+        if chars.peek() == Some(&'-') {
+            let mut lookahead = chars.clone();
+            lookahead.next();
+            if lookahead.peek().is_some() && lookahead.peek() != Some(&']') {
+                chars.next();
+                let end = chars.next().expect("range end");
+                ranges.push((c, end));
+                continue;
+            }
+        }
+        ranges.push((c, c));
+    }
+    assert!(
+        !ranges.is_empty(),
+        "vendored proptest regex: empty character class"
+    );
+    Atom::Class(ranges)
+}
+
+fn parse_quantifier(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Option<(usize, usize)> {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            let (lo, hi) = match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("quantifier lower bound"),
+                    hi.trim().parse().expect("quantifier upper bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            };
+            Some((lo, hi))
+        }
+        Some('?') => {
+            chars.next();
+            Some((0, 1))
+        }
+        Some('*') => {
+            chars.next();
+            Some((0, 8))
+        }
+        Some('+') => {
+            chars.next();
+            Some((1, 8))
+        }
+        _ => None,
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let mut out = String::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => parse_class(&mut chars),
+            '\\' => Atom::Literal(chars.next().expect("escaped character")),
+            other => Atom::Literal(other),
+        };
+        let (lo, hi) = parse_quantifier(&mut chars).unwrap_or((1, 1));
+        let count = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
+        for _ in 0..count {
+            match &atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(ranges) => {
+                    let total: u32 = ranges
+                        .iter()
+                        .map(|(a, b)| (*b as u32) - (*a as u32) + 1)
+                        .sum();
+                    let mut pick = rng.gen_range(0..total);
+                    for (a, b) in ranges {
+                        let span = (*b as u32) - (*a as u32) + 1;
+                        if pick < span {
+                            out.push(char::from_u32(*a as u32 + pick).expect("valid char"));
+                            break;
+                        }
+                        pick -= span;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Collection sizes
+// ---------------------------------------------------------------------
+
+/// Accepted size arguments for `collection::vec` / `collection::btree_set`.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl SizeRange {
+    pub(crate) fn draw(&self, rng: &mut TestRng) -> usize {
+        if self.lo == self.hi_inclusive {
+            self.lo
+        } else {
+            rng.gen_range(self.lo..=self.hi_inclusive)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            lo: exact,
+            hi_inclusive: exact,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty size range");
+        SizeRange {
+            lo: range.start,
+            hi_inclusive: range.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(range: RangeInclusive<usize>) -> Self {
+        let (lo, hi) = range.into_inner();
+        assert!(lo <= hi, "empty size range");
+        SizeRange {
+            lo,
+            hi_inclusive: hi,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for_test;
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = rng_for_test("regex");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z]{2,10}", &mut rng);
+            assert!((2..=10).contains(&s.len()), "{s}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s}");
+
+            let t = Strategy::generate(&"[a-z ]{1,16}", &mut rng);
+            assert!((1..=16).contains(&t.len()));
+            assert!(t.chars().all(|c| c.is_ascii_lowercase() || c == ' '));
+
+            let u = Strategy::generate(&"ab[0-9]c", &mut rng);
+            assert_eq!(u.len(), 4);
+            assert!(u.starts_with("ab") && u.ends_with('c'));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = rng_for_test("combinators");
+        let strat = (0u32..10, 0u32..10).prop_map(|(a, b)| a + b);
+        for _ in 0..100 {
+            assert!(strat.generate(&mut rng) < 20);
+        }
+        let dependent = (1usize..4).prop_flat_map(|n| crate::collection::vec(0u8..=255, n));
+        for _ in 0..50 {
+            let v = dependent.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+        let constant = Just(7u8);
+        assert_eq!(constant.generate(&mut rng), 7);
+    }
+
+    #[test]
+    fn union_draws_from_every_arm() {
+        let mut rng = rng_for_test("union");
+        let union = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed()]);
+        let draws: std::collections::BTreeSet<u8> =
+            (0..100).map(|_| union.generate(&mut rng)).collect();
+        assert_eq!(draws, [1u8, 2].into_iter().collect());
+    }
+}

@@ -1,0 +1,644 @@
+//! Vendored, offline subset of `serde`.
+//!
+//! The build environment of this workspace has no access to crates.io, so
+//! this crate provides the slice of the serde surface the workspace actually
+//! uses: the `Serialize` / `Deserialize` traits, the derive macros, and a
+//! self-describing [`Value`] data model that `serde_json` (also vendored)
+//! renders and parses.
+//!
+//! Differences from upstream serde, by design:
+//!
+//! * Serialization is eager: `Serialize::serialize(&self) -> Value` builds an
+//!   owned tree instead of driving a `Serializer` visitor.
+//! * Maps always serialize as arrays of `[key, value]` pairs (upstream
+//!   serde_json only supports string keys in objects; several workspace
+//!   types use struct keys). `HashMap` / `HashSet` entries are sorted by
+//!   their serialized key so output is deterministic.
+//! * `#[serde(with = "module")]` resolves to `module::serialize(&field) ->
+//!   Value` and `module::deserialize(&Value) -> Result<T, serde::Error>`.
+//!
+//! The wire formats produced through this crate are therefore stable within
+//! this workspace but not interchangeable with upstream serde_json for
+//! map-valued or non-self-describing types.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Deserialization-side names, mirroring upstream's module layout. In this
+/// vendored subset every deserialization is owned, so `DeserializeOwned` is
+/// the same trait as [`Deserialize`].
+pub mod de {
+    pub use crate::{Deserialize, Deserialize as DeserializeOwned, Error};
+}
+
+/// Serialization-side names, mirroring upstream's module layout.
+pub mod ser {
+    pub use crate::{Error, Serialize};
+}
+
+/// The self-describing data model every serializable type lowers into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON booleans.
+    Bool(bool),
+    /// Negative integers (and any integer parsed with a leading `-`).
+    Int(i64),
+    /// Non-negative integers.
+    UInt(u64),
+    /// Floating-point numbers.
+    Float(f64),
+    /// Strings.
+    Str(String),
+    /// Arrays.
+    Array(Vec<Value>),
+    /// Objects: ordered key/value pairs (order is preserved, not sorted).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object fields, if this value is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this value is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|fields| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// A total order over values (floats compare with `total_cmp`), used to
+    /// sort hash-map entries deterministically.
+    pub fn total_cmp(&self, other: &Value) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        use Value::*;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Null => 0,
+                Bool(_) => 1,
+                Int(_) | UInt(_) | Float(_) => 2,
+                Str(_) => 3,
+                Array(_) => 4,
+                Object(_) => 5,
+            }
+        }
+        fn as_float(v: &Value) -> f64 {
+            match v {
+                Int(i) => *i as f64,
+                UInt(u) => *u as f64,
+                Float(f) => *f,
+                _ => f64::NAN,
+            }
+        }
+        match (self, other) {
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (UInt(a), UInt(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Array(a), Array(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    let ord = x.total_cmp(y);
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (Object(a), Object(b)) => {
+                for ((ka, va), (kb, vb)) in a.iter().zip(b.iter()) {
+                    let ord = ka.cmp(kb).then_with(|| va.total_cmp(vb));
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (a, b) if rank(a) == 2 && rank(b) == 2 => as_float(a).total_cmp(&as_float(b)),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+/// Error produced while deserializing a [`Value`] into a Rust type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// An error with a custom message.
+    pub fn custom(message: impl fmt::Display) -> Self {
+        Error {
+            message: message.to_string(),
+        }
+    }
+
+    /// A type-mismatch error.
+    pub fn expected(what: &str, for_type: &str) -> Self {
+        Error::custom(format!("expected {what} for {for_type}"))
+    }
+
+    /// A missing-field error.
+    pub fn missing_field(field: &str) -> Self {
+        Error::custom(format!("missing field `{field}`"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can lower themselves into the [`Value`] data model.
+pub trait Serialize {
+    /// Builds the value tree for `self`.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can be rebuilt from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+
+    /// Called by derived struct impls when a field is absent. Defaults to an
+    /// error; `Option<T>` overrides it to `None` (matching upstream serde's
+    /// treatment of missing optional fields).
+    fn missing(field: &str) -> Result<Self, Error> {
+        Err(Error::missing_field(field))
+    }
+}
+
+/// Field lookup helper used by derived `Deserialize` impls.
+#[doc(hidden)]
+pub fn __find<'v>(fields: &'v [(String, Value)], key: &str) -> Option<&'v Value> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let raw: u64 = match value {
+                    Value::UInt(u) => *u,
+                    Value::Int(i) if *i >= 0 => *i as u64,
+                    Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 => {
+                        *f as u64
+                    }
+                    _ => return Err(Error::expected("unsigned integer", stringify!($t))),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::UInt(v as u64) } else { Value::Int(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let raw: i64 = match value {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) if *u <= i64::MAX as u64 => *u as i64,
+                    Value::Float(f)
+                        if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 =>
+                    {
+                        *f as i64
+                    }
+                    _ => return Err(Error::expected("integer", stringify!($t))),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    _ => Err(Error::expected("number", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("boolean", "bool")),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(Error::expected("single-character string", "char")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::expected("string", "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        T::deserialize(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(inner) => inner.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+
+    fn missing(_field: &str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sequences
+// ---------------------------------------------------------------------
+
+fn serialize_seq<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>) -> Value {
+    Value::Array(items.map(Serialize::serialize).collect())
+}
+
+fn deserialize_seq<T: Deserialize>(value: &Value, for_type: &str) -> Result<Vec<T>, Error> {
+    value
+        .as_array()
+        .ok_or_else(|| Error::expected("array", for_type))?
+        .iter()
+        .map(T::deserialize)
+        .collect()
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        serialize_seq(self.iter())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        deserialize_seq(value, "Vec")
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        serialize_seq(self.iter())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        serialize_seq(self.iter())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = deserialize_seq(value, "array")?;
+        <[T; N]>::try_from(items)
+            .map_err(|items| Error::custom(format!("expected {N} elements, got {}", items.len())))
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize(&self) -> Value {
+        serialize_seq(self.iter())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        deserialize_seq(value, "VecDeque").map(VecDeque::from)
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn serialize(&self) -> Value {
+        serialize_seq(self.iter())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        deserialize_seq(value, "BTreeSet").map(|v: Vec<T>| v.into_iter().collect())
+    }
+}
+
+impl<T: Serialize + Eq + Hash> Serialize for HashSet<T> {
+    fn serialize(&self) -> Value {
+        let mut items: Vec<Value> = self.iter().map(Serialize::serialize).collect();
+        items.sort_by(|a, b| a.total_cmp(b));
+        Value::Array(items)
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        deserialize_seq(value, "HashSet").map(|v: Vec<T>| v.into_iter().collect())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Maps: arrays of [key, value] pairs (keys need not be strings)
+// ---------------------------------------------------------------------
+
+fn serialize_map<'a, K: Serialize + 'a, V: Serialize + 'a>(
+    entries: impl Iterator<Item = (&'a K, &'a V)>,
+    sort: bool,
+) -> Value {
+    let mut pairs: Vec<Value> = entries
+        .map(|(k, v)| Value::Array(vec![k.serialize(), v.serialize()]))
+        .collect();
+    if sort {
+        pairs.sort_by(|a, b| a.total_cmp(b));
+    }
+    Value::Array(pairs)
+}
+
+fn deserialize_map<K: Deserialize, V: Deserialize>(
+    value: &Value,
+    for_type: &str,
+) -> Result<Vec<(K, V)>, Error> {
+    value
+        .as_array()
+        .ok_or_else(|| Error::expected("array of [key, value] pairs", for_type))?
+        .iter()
+        .map(|pair| {
+            let items = pair
+                .as_array()
+                .filter(|items| items.len() == 2)
+                .ok_or_else(|| Error::expected("[key, value] pair", for_type))?;
+            Ok((K::deserialize(&items[0])?, V::deserialize(&items[1])?))
+        })
+        .collect()
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        serialize_map(self.iter(), false)
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        deserialize_map(value, "BTreeMap").map(|pairs| pairs.into_iter().collect())
+    }
+}
+
+impl<K: Serialize + Eq + Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize(&self) -> Value {
+        serialize_map(self.iter(), true)
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        deserialize_map(value, "HashMap").map(|pairs| pairs.into_iter().collect())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                let items = value
+                    .as_array()
+                    .filter(|items| items.len() == LEN)
+                    .ok_or_else(|| Error::expected("tuple array", "tuple"))?;
+                Ok(($($name::deserialize(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+// ---------------------------------------------------------------------
+// std types with a natural stable encoding
+// ---------------------------------------------------------------------
+
+impl Serialize for std::time::Duration {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![
+            Value::UInt(self.as_secs()),
+            Value::UInt(self.subsec_nanos() as u64),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let (secs, nanos) = <(u64, u32)>::deserialize(value)?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+impl Serialize for std::path::PathBuf {
+    fn serialize(&self) -> Value {
+        Value::Str(self.display().to_string())
+    }
+}
+
+impl Deserialize for std::path::PathBuf {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        String::deserialize(value).map(std::path::PathBuf::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_missing_field_is_none() {
+        assert_eq!(<Option<u32>>::missing("x").unwrap(), None);
+        assert!(<u32>::missing("x").is_err());
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::deserialize(&42u32.serialize()).unwrap(), 42);
+        assert_eq!(i32::deserialize(&(-7i32).serialize()).unwrap(), -7);
+        assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()).unwrap(),
+            "hi"
+        );
+        assert!(u8::deserialize(&Value::UInt(300)).is_err());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::deserialize(&v.serialize()).unwrap(), v);
+        let mut m = BTreeMap::new();
+        m.insert((1u32, 2u32), "x".to_string());
+        assert_eq!(
+            BTreeMap::<(u32, u32), String>::deserialize(&m.serialize()).unwrap(),
+            m
+        );
+        let t = (Some(3u32), vec![1.0f64]);
+        assert_eq!(
+            <(Option<u32>, Vec<f64>)>::deserialize(&t.serialize()).unwrap(),
+            t
+        );
+        let arr = [1.0f64, 2.0];
+        assert_eq!(<[f64; 2]>::deserialize(&arr.serialize()).unwrap(), arr);
+    }
+
+    #[test]
+    fn hash_maps_serialize_deterministically() {
+        let mut a = HashMap::new();
+        let mut b = HashMap::new();
+        for i in 0..32u32 {
+            a.insert(i, i * 2);
+        }
+        for i in (0..32u32).rev() {
+            b.insert(i, i * 2);
+        }
+        assert_eq!(a.serialize(), b.serialize());
+    }
+}

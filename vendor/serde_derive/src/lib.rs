@@ -1,0 +1,600 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde subset in `vendor/serde`.
+//!
+//! The macros parse the item's token stream directly (no `syn`/`quote` in
+//! the offline build environment) and support the shapes this workspace
+//! uses:
+//!
+//! * structs with named fields (including `#[serde(with = "module")]`),
+//! * tuple / newtype / unit structs,
+//! * enums with unit, newtype, tuple and struct variants (externally
+//!   tagged, like upstream serde).
+//!
+//! Generic type parameters and non-`with` serde attributes are rejected
+//! with a compile-time panic so unsupported shapes fail loudly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    ty: String,
+    with: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(Vec<String>),
+    Struct(Vec<Field>),
+}
+
+enum Input {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        types: Vec<String>,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+/// Consumes leading outer attributes, returning the `with = "..."` target if
+/// a `#[serde(with = "...")]` attribute is among them.
+fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> (usize, Option<String>) {
+    let mut with = None;
+    while i + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[i] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[i + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        if let Some(found) = parse_serde_attribute(g.stream()) {
+            with = Some(found);
+        }
+        i += 2;
+    }
+    (i, with)
+}
+
+/// Extracts the `with` target from a `serde(...)` attribute body, panicking
+/// on any other serde attribute so unsupported options are not silently
+/// ignored.
+fn parse_serde_attribute(stream: TokenStream) -> Option<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(ident)) if ident.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else {
+        return None;
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    match (args.first(), args.get(1), args.get(2)) {
+        (
+            Some(TokenTree::Ident(key)),
+            Some(TokenTree::Punct(eq)),
+            Some(TokenTree::Literal(lit)),
+        ) if key.to_string() == "with" && eq.as_char() == '=' => {
+            let raw = lit.to_string();
+            Some(raw.trim_matches('"').to_string())
+        }
+        _ => panic!(
+            "vendored serde_derive only supports #[serde(with = \"module\")], got: {}",
+            args.iter().map(|t| t.to_string()).collect::<String>()
+        ),
+    }
+}
+
+/// Consumes a `pub` / `pub(...)` visibility prefix.
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(ident)) = tokens.get(i) {
+        if ident.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Splits a token slice on top-level commas (tracking `<...>` depth so type
+/// arguments don't split).
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for token in tokens {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(token.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    tokens.iter().cloned().collect::<TokenStream>().to_string()
+}
+
+/// Parses the body of a braced named-field list: `a: Ty, pub b: Ty, ...`.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, with) = skip_attributes(&tokens, i);
+        i = skip_visibility(&tokens, next);
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("expected field name, got {}", tokens[i]);
+        };
+        let name = name.to_string();
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, got {other}"),
+        }
+        let mut ty = Vec::new();
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            ty.push(tokens[i].clone());
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            ty: tokens_to_string(&ty),
+            with,
+        });
+    }
+    fields
+}
+
+fn parse_enum_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, _) = skip_attributes(&tokens, i);
+        i = next;
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("expected variant name, got {}", tokens[i]);
+        };
+        let name = name.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                let parts: Vec<Vec<TokenTree>> =
+                    split_top_level(&g.stream().into_iter().collect::<Vec<_>>());
+                VariantKind::Tuple(parts.iter().map(|p| tokens_to_string(p)).collect())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (i, _) = skip_attributes(&tokens, 0);
+    let mut i = skip_visibility(&tokens, i);
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(ident) => ident.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(ident) => ident.to_string(),
+        other => panic!("expected type name, got {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive does not support generic type `{name}`");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let parts: Vec<Vec<TokenTree>> =
+                    split_top_level(&g.stream().into_iter().collect::<Vec<_>>())
+                        .into_iter()
+                        .map(|part| {
+                            let (skip, _) = skip_attributes(&part, 0);
+                            let vis_end = skip_visibility(&part, skip);
+                            part[vis_end..].to_vec()
+                        })
+                        .collect();
+                Input::TupleStruct {
+                    name,
+                    types: parts.iter().map(|p| tokens_to_string(p)).collect(),
+                }
+            }
+            _ => Input::UnitStruct { name },
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input::Enum {
+                name,
+                variants: parse_enum_variants(g.stream()),
+            },
+            other => panic!("expected enum body, got {other:?}"),
+        },
+        other => panic!("cannot derive serde traits for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn field_serialize_expr(field: &Field, access: &str) -> String {
+    match &field.with {
+        Some(path) => format!("{path}::serialize(&{access})"),
+        None => format!("::serde::Serialize::serialize(&{access})"),
+    }
+}
+
+fn field_deserialize_arm(field: &Field) -> String {
+    let name = &field.name;
+    match &field.with {
+        Some(path) => format!(
+            "match ::serde::__find(__fields, \"{name}\") {{ \
+               ::std::option::Option::Some(__v) => {path}::deserialize(__v)?, \
+               ::std::option::Option::None => \
+                 return ::std::result::Result::Err(::serde::Error::missing_field(\"{name}\")), \
+             }}"
+        ),
+        None => {
+            let ty = &field.ty;
+            format!(
+                "match ::serde::__find(__fields, \"{name}\") {{ \
+                   ::std::option::Option::Some(__v) => \
+                     <{ty} as ::serde::Deserialize>::deserialize(__v)?, \
+                   ::std::option::Option::None => \
+                     <{ty} as ::serde::Deserialize>::missing(\"{name}\")?, \
+                 }}"
+            )
+        }
+    }
+}
+
+fn generate_serialize(input: &Input) -> String {
+    match input {
+        Input::NamedStruct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__out.push((\"{}\".to_string(), {}));",
+                        f.name,
+                        field_serialize_expr(f, &format!("self.{}", f.name))
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn serialize(&self) -> ::serde::Value {{ \
+                     let mut __out: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                       ::std::vec::Vec::new(); \
+                     {pushes} \
+                     ::serde::Value::Object(__out) \
+                   }} \
+                 }}"
+            )
+        }
+        Input::TupleStruct { name, types } => {
+            let body = if types.len() == 1 {
+                "::serde::Serialize::serialize(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..types.len())
+                    .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn serialize(&self) -> ::serde::Value {{ {body} }} \
+                 }}"
+            )
+        }
+        Input::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{ \
+               fn serialize(&self) -> ::serde::Value {{ ::serde::Value::Null }} \
+             }}"
+        ),
+        Input::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),"
+                        ),
+                        VariantKind::Tuple(types) => {
+                            let binders: Vec<String> =
+                                (0..types.len()).map(|i| format!("__f{i}")).collect();
+                            let inner = if types.len() == 1 {
+                                "::serde::Serialize::serialize(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binders
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vname}({binds}) => ::serde::Value::Object(vec![(\
+                                   \"{vname}\".to_string(), {inner})]),",
+                                binds = binders.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binders: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let pushes: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "__inner.push((\"{}\".to_string(), {}));",
+                                        f.name,
+                                        field_serialize_expr(f, f.name.to_string().as_str())
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => {{ \
+                                   let mut __inner: ::std::vec::Vec<(::std::string::String, \
+                                     ::serde::Value)> = ::std::vec::Vec::new(); \
+                                   {pushes} \
+                                   ::serde::Value::Object(vec![(\"{vname}\".to_string(), \
+                                     ::serde::Value::Object(__inner))]) \
+                                 }},",
+                                binds = binders.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn serialize(&self) -> ::serde::Value {{ \
+                     match self {{ {arms} }} \
+                   }} \
+                 }}"
+            )
+        }
+    }
+}
+
+fn generate_deserialize(input: &Input) -> String {
+    match input {
+        Input::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{}: {},", f.name, field_deserialize_arm(f)))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn deserialize(__v: &::serde::Value) -> \
+                       ::std::result::Result<Self, ::serde::Error> {{ \
+                     let __fields = __v.as_object().ok_or_else(|| \
+                       ::serde::Error::expected(\"object\", \"{name}\"))?; \
+                     ::std::result::Result::Ok({name} {{ {inits} }}) \
+                   }} \
+                 }}"
+            )
+        }
+        Input::TupleStruct { name, types } => {
+            let body = if types.len() == 1 {
+                let ty = &types[0];
+                format!(
+                    "::std::result::Result::Ok({name}(\
+                       <{ty} as ::serde::Deserialize>::deserialize(__v)?))"
+                )
+            } else {
+                let len = types.len();
+                let items: Vec<String> = types
+                    .iter()
+                    .enumerate()
+                    .map(|(i, ty)| {
+                        format!("<{ty} as ::serde::Deserialize>::deserialize(&__items[{i}])?")
+                    })
+                    .collect();
+                format!(
+                    "let __items = __v.as_array().filter(|a| a.len() == {len}).ok_or_else(|| \
+                       ::serde::Error::expected(\"array of {len}\", \"{name}\"))?; \
+                     ::std::result::Result::Ok({name}({items}))",
+                    items = items.join(", ")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn deserialize(__v: &::serde::Value) -> \
+                       ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+                 }}"
+            )
+        }
+        Input::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{ \
+               fn deserialize(_v: &::serde::Value) -> \
+                   ::std::result::Result<Self, ::serde::Error> {{ \
+                 ::std::result::Result::Ok({name}) \
+               }} \
+             }}"
+        ),
+        Input::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),",
+                        vname = v.name
+                    )
+                })
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(types) if types.len() == 1 => {
+                            let ty = &types[0];
+                            Some(format!(
+                                "if let ::std::option::Option::Some(__inner) = __v.get(\"{vname}\") {{ \
+                                   return ::std::result::Result::Ok({name}::{vname}(\
+                                     <{ty} as ::serde::Deserialize>::deserialize(__inner)?)); \
+                                 }}"
+                            ))
+                        }
+                        VariantKind::Tuple(types) => {
+                            let len = types.len();
+                            let items: Vec<String> = types
+                                .iter()
+                                .enumerate()
+                                .map(|(i, ty)| {
+                                    format!(
+                                        "<{ty} as ::serde::Deserialize>::deserialize(&__items[{i}])?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "if let ::std::option::Option::Some(__inner) = __v.get(\"{vname}\") {{ \
+                                   let __items = __inner.as_array()\
+                                     .filter(|a| a.len() == {len}).ok_or_else(|| \
+                                     ::serde::Error::expected(\"array of {len}\", \"{name}\"))?; \
+                                   return ::std::result::Result::Ok({name}::{vname}({items})); \
+                                 }}",
+                                items = items.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| format!("{}: {},", f.name, field_deserialize_arm(f)))
+                                .collect();
+                            Some(format!(
+                                "if let ::std::option::Option::Some(__inner) = __v.get(\"{vname}\") {{ \
+                                   let __fields = __inner.as_object().ok_or_else(|| \
+                                     ::serde::Error::expected(\"object\", \"{name}::{vname}\"))?; \
+                                   return ::std::result::Result::Ok({name}::{vname} {{ {inits} }}); \
+                                 }}"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn deserialize(__v: &::serde::Value) -> \
+                       ::std::result::Result<Self, ::serde::Error> {{ \
+                     if let ::serde::Value::Str(__s) = __v {{ \
+                       return match __s.as_str() {{ \
+                         {unit_arms} \
+                         __other => ::std::result::Result::Err(::serde::Error::custom(\
+                           format!(\"unknown variant `{{__other}}` of {name}\"))), \
+                       }}; \
+                     }} \
+                     {data_arms} \
+                     ::std::result::Result::Err(::serde::Error::expected(\
+                       \"variant of\", \"{name}\")) \
+                   }} \
+                 }}"
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    generate_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    generate_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}

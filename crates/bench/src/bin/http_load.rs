@@ -1,0 +1,140 @@
+//! Wire-path throughput: start an `ikrq-server` on an ephemeral port and
+//! flood it with concurrent HTTP clients.
+//!
+//! ```text
+//! cargo run --release -p ikrq-bench --bin http_load -- \
+//!     [--floors N] [--clients N] [--requests N] [--instances N]
+//!     [--algorithm toe|koe|koe-star] [--seed N]
+//! ```
+//!
+//! Prints one summary line per configuration: attempted/ok/shed counts,
+//! cache hits, queries per second and latency. `--instances 1` serves the
+//! best case for the response cache (every request identical);
+//! `--instances N` with a large N approximates a cache-hostile workload.
+
+use ikrq_bench::http_load::{run_http_load, HttpLoadConfig};
+use ikrq_bench::workload::{ExperimentContext, VenueKind};
+use ikrq_core::VariantConfig;
+use indoor_data::WorkloadConfig;
+
+struct Args {
+    floors: usize,
+    clients: usize,
+    requests_per_client: usize,
+    instances: usize,
+    variant: VariantConfig,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut parsed = Args {
+        floors: 1,
+        clients: 8,
+        requests_per_client: 50,
+        instances: 8,
+        variant: VariantConfig::toe(),
+        seed: 2020,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--floors" => parsed.floors = value("--floors")?.parse().map_err(|e| format!("{e}"))?,
+            "--clients" => {
+                parsed.clients = value("--clients")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--requests" => {
+                parsed.requests_per_client =
+                    value("--requests")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--instances" => {
+                parsed.instances = value("--instances")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--seed" => parsed.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--algorithm" => {
+                parsed.variant = match value("--algorithm")?.as_str() {
+                    "toe" => VariantConfig::toe(),
+                    "koe" => VariantConfig::koe(),
+                    "koe-star" | "koe*" => VariantConfig::koe_star(),
+                    other => return Err(format!("unknown algorithm `{other}`")),
+                }
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: http_load [--floors N] [--clients N] [--requests N] \
+                     [--instances N] [--algorithm toe|koe|koe-star] [--seed N]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if parsed.clients == 0 || parsed.requests_per_client == 0 || parsed.instances == 0 {
+        return Err("--clients, --requests and --instances must be at least 1".into());
+    }
+    Ok(parsed)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    let ctx = ExperimentContext::new(args.seed, 1.0);
+    eprintln!("building the {}-floor synthetic venue ...", args.floors);
+    let venue = ctx.venue(VenueKind::Synthetic {
+        floors: args.floors,
+    });
+    // Force the KoE* precompute off the measured path.
+    if args.variant.use_precomputed_paths {
+        venue.engine.prepare_precomputed_paths();
+    }
+    let workload = WorkloadConfig {
+        s2t: 600.0,
+        qw_len: 2,
+        ..WorkloadConfig::default()
+    };
+    let instances = venue.instances(&workload, args.instances, args.seed ^ 0x10ad);
+    if instances.is_empty() {
+        eprintln!("workload generation produced no instances");
+        std::process::exit(1);
+    }
+
+    let config = HttpLoadConfig {
+        clients: args.clients,
+        requests_per_client: args.requests_per_client,
+        ..HttpLoadConfig::default()
+    };
+    eprintln!(
+        "driving {} clients x {} requests over {} distinct queries ({}) ...",
+        config.clients,
+        config.requests_per_client,
+        instances.len(),
+        args.variant.label(),
+    );
+    match run_http_load(&venue, &instances, args.variant, &config) {
+        Ok(report) => {
+            println!(
+                "{}: {} requests -> {} ok, {} shed, {} failed | {} cache hits | \
+                 {:.1} q/s | avg {:.2} ms, max {:.2} ms over {:.2} s",
+                args.variant.label(),
+                report.requests,
+                report.ok,
+                report.shed,
+                report.failed,
+                report.cache_hits,
+                report.qps,
+                report.avg_latency_ms,
+                report.max_latency_ms,
+                report.wall_s,
+            );
+        }
+        Err(error) => {
+            eprintln!("http load run failed: {error}");
+            std::process::exit(1);
+        }
+    }
+}

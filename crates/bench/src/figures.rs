@@ -511,4 +511,32 @@ mod tests {
         }
         assert_eq!(ids.len(), 17);
     }
+
+    /// The expensive coverage sweep: actually run every registered figure.
+    /// Even at the shared context's reduced scale this builds the 5-floor
+    /// synthetic mall and the real-venue simulation and runs every variant
+    /// (including the budget-bounded ToE\P figures) — expect on the order
+    /// of an hour even in release, so it only runs on request:
+    /// `cargo test --release -p ikrq-bench --lib -- --ignored`.
+    /// For a quick smoke of individual figures use the binary instead:
+    /// `cargo run --release -p ikrq-bench --bin figures -- --quick --fig fig05`.
+    #[test]
+    #[ignore = "runs every figure end-to-end (~1 h release); use the figures binary for smoke runs"]
+    fn every_registered_figure_produces_a_populated_report() {
+        let ctx = crate::test_support::shared_context();
+        for (id, description, run) in registry() {
+            let report = run(ctx);
+            assert_eq!(report.id, id, "{description}");
+            assert!(!report.series.is_empty(), "{id} has no series");
+            assert!(!report.x_values.is_empty(), "{id} has no x axis");
+            for series in &report.series {
+                assert_eq!(
+                    series.values.len(),
+                    report.x_values.len(),
+                    "{id}/{} is ragged",
+                    series.name
+                );
+            }
+        }
+    }
 }

@@ -1,0 +1,208 @@
+//! HTTP-throughput mode: measure the full wire path by driving a live
+//! `ikrq-server` socket with concurrent clients, instead of calling
+//! [`ikrq_core::IkrqService`] in-process. This is the harness behind the
+//! `http_load` binary and puts admission control, the response cache and
+//! HTTP parsing on the measured path.
+
+use crate::workload::PreparedVenue;
+use ikrq_core::{SearchRequest, VariantConfig};
+use ikrq_server::{serve, ServerConfig};
+use indoor_data::QueryInstance;
+use serde::Serialize;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Settings of one HTTP load run.
+#[derive(Debug, Clone)]
+pub struct HttpLoadConfig {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Requests issued per client (each on a fresh connection, the way the
+    /// one-request-per-connection server expects).
+    pub requests_per_client: usize,
+    /// Server sizing for the run.
+    pub server: ServerConfig,
+}
+
+impl Default for HttpLoadConfig {
+    fn default() -> Self {
+        HttpLoadConfig {
+            clients: 8,
+            requests_per_client: 25,
+            server: ServerConfig {
+                // Load generators should observe shedding only if they
+                // genuinely outrun the venue, not because of the default
+                // admission bound.
+                max_in_flight: 1024,
+                ..ServerConfig::default()
+            },
+        }
+    }
+}
+
+/// Aggregated outcome of one HTTP load run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct HttpLoadReport {
+    /// Requests attempted (clients × requests_per_client).
+    pub requests: usize,
+    /// `200` responses.
+    pub ok: usize,
+    /// `429` responses from admission control.
+    pub shed: usize,
+    /// Anything else (transport failures, non-200/429 statuses).
+    pub failed: usize,
+    /// Responses answered from the server-side cache (`x-ikrq-cache: hit`).
+    pub cache_hits: usize,
+    /// Wall-clock duration of the whole run in seconds.
+    pub wall_s: f64,
+    /// Successful requests per wall-clock second.
+    pub qps: f64,
+    /// Mean per-request latency over successful requests, in milliseconds.
+    pub avg_latency_ms: f64,
+    /// Slowest successful request, in milliseconds.
+    pub max_latency_ms: f64,
+}
+
+/// One measured client call: status + cache flag + latency.
+struct Sample {
+    status: u16,
+    cache_hit: bool,
+    latency_ms: f64,
+}
+
+fn post_search(addr: SocketAddr, body: &str) -> std::io::Result<Sample> {
+    let started = Instant::now();
+    let reply = ikrq_server::client::one_shot(addr, "POST", "/v1/search", body)?;
+    Ok(Sample {
+        status: reply.status,
+        cache_hit: reply.header("x-ikrq-cache") == Some("hit"),
+        latency_ms: started.elapsed().as_secs_f64() * 1e3,
+    })
+}
+
+/// Starts a server over the prepared venue's engine (sharing its KoE*
+/// precompute), fires `clients × requests_per_client` searches at the
+/// socket round-robin over the instances, and aggregates the outcome.
+pub fn run_http_load(
+    venue: &PreparedVenue,
+    instances: &[QueryInstance],
+    variant: VariantConfig,
+    config: &HttpLoadConfig,
+) -> std::io::Result<HttpLoadReport> {
+    assert!(!instances.is_empty(), "need at least one query instance");
+    let service = Arc::new(ikrq_core::IkrqService::new());
+    service
+        .register_engine(&venue.venue_id, Arc::clone(&venue.engine))
+        .expect("fresh service accepts the venue");
+    let handle = serve(service, "127.0.0.1:0", config.server.clone())?;
+    let addr = handle.local_addr();
+
+    let bodies: Vec<String> = instances
+        .iter()
+        .map(|instance| {
+            let request: SearchRequest = venue.request(instance, variant);
+            serde_json::to_string(&request).expect("requests serialize")
+        })
+        .collect();
+
+    let next = AtomicUsize::new(0);
+    let started = Instant::now();
+    let samples: Vec<Vec<Option<Sample>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.clients)
+            .map(|_| {
+                let bodies = &bodies;
+                let next = &next;
+                scope.spawn(move || {
+                    (0..config.requests_per_client)
+                        .map(|_| {
+                            let index = next.fetch_add(1, Ordering::Relaxed) % bodies.len();
+                            post_search(addr, &bodies[index]).ok()
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("client thread"))
+            .collect()
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+    drop(handle); // shut the server down before reporting
+
+    let mut report = HttpLoadReport {
+        requests: config.clients * config.requests_per_client,
+        ok: 0,
+        shed: 0,
+        failed: 0,
+        cache_hits: 0,
+        wall_s,
+        qps: 0.0,
+        avg_latency_ms: 0.0,
+        max_latency_ms: 0.0,
+    };
+    let mut latency_sum = 0.0;
+    for sample in samples.into_iter().flatten() {
+        match sample {
+            Some(sample) if sample.status == 200 => {
+                report.ok += 1;
+                report.cache_hits += usize::from(sample.cache_hit);
+                latency_sum += sample.latency_ms;
+                report.max_latency_ms = report.max_latency_ms.max(sample.latency_ms);
+            }
+            Some(sample) if sample.status == 429 => report.shed += 1,
+            _ => report.failed += 1,
+        }
+    }
+    if report.ok > 0 {
+        report.avg_latency_ms = latency_sum / report.ok as f64;
+        report.qps = report.ok as f64 / wall_s.max(1e-9);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::VenueKind;
+    use indoor_data::WorkloadConfig;
+
+    #[test]
+    fn http_load_drives_a_live_socket_and_observes_the_cache() {
+        let ctx = crate::test_support::shared_context();
+        let venue = ctx.venue(VenueKind::Synthetic { floors: 1 });
+        let workload = WorkloadConfig {
+            s2t: 600.0,
+            qw_len: 2,
+            ..WorkloadConfig::default()
+        };
+        let instances = venue.instances(&workload, 2, 17);
+        assert!(!instances.is_empty());
+        let config = HttpLoadConfig {
+            clients: 4,
+            requests_per_client: 4,
+            ..HttpLoadConfig::default()
+        };
+        let report =
+            run_http_load(&venue, &instances, VariantConfig::toe(), &config).expect("load run");
+        assert_eq!(report.requests, 16);
+        assert_eq!(report.ok, 16, "no shedding at max_in_flight=1024");
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.shed, 0);
+        // 16 requests round-robin over 2 distinct bodies. A lookup can only
+        // miss while no response for that body has completed yet, and at
+        // most 4 requests (one per client) are ever in flight at once — so
+        // per body at most 4 concurrent lookups can miss before the first
+        // insert lands: >= 16 - 2*4 = 8 hits, whatever the scheduling.
+        assert!(
+            report.cache_hits >= 8,
+            "expected >= 8 cache hits, got {}",
+            report.cache_hits
+        );
+        assert!(report.qps > 0.0);
+        assert!(report.avg_latency_ms > 0.0);
+        assert!(report.max_latency_ms >= report.avg_latency_ms);
+    }
+}

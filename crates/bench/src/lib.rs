@@ -13,18 +13,39 @@
 //!   emitters,
 //! * [`figures`] — one reproduction module per paper figure (Figs. 4–20)
 //!   plus the §V-A5 result-quality study,
+//! * [`http_load`] — an HTTP-throughput mode that drives a live
+//!   `ikrq-server` socket with concurrent clients,
 //!
-//! and the two binaries `figures` (regenerates any or all figures) and
-//! `quality` (the result-quality case study).
+//! and the binaries `figures` (regenerates any or all figures), `quality`
+//! (the result-quality case study) and `http_load` (wire-path throughput).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod http_load;
 pub mod report;
 pub mod runner;
 pub mod workload;
 
+pub use http_load::{HttpLoadConfig, HttpLoadReport};
 pub use report::{FigureReport, Series};
 pub use runner::{AggregateResult, RunSettings, Runner};
 pub use workload::{ExperimentContext, VenueKind};
+
+/// Shared fixtures for this crate's unit tests. Building a synthetic venue
+/// takes seconds even at one floor, so every test that needs one goes
+/// through a single lazily-built [`ExperimentContext`] whose venue cache is
+/// shared across the whole test binary.
+#[cfg(test)]
+pub(crate) mod test_support {
+    use crate::workload::ExperimentContext;
+    use std::sync::OnceLock;
+
+    /// The one context (seed 5, instance scale 0.2) every bench lib test
+    /// shares.
+    pub fn shared_context() -> &'static ExperimentContext {
+        static CONTEXT: OnceLock<ExperimentContext> = OnceLock::new();
+        CONTEXT.get_or_init(|| ExperimentContext::new(5, 0.2))
+    }
+}

@@ -200,12 +200,12 @@ impl Runner {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::workload::{ExperimentContext, VenueKind};
+    use crate::workload::VenueKind;
     use indoor_data::WorkloadConfig;
 
     #[test]
     fn runner_aggregates_over_instances_and_variants() {
-        let ctx = ExperimentContext::new(5, 0.2);
+        let ctx = crate::test_support::shared_context();
         let venue = ctx.venue(VenueKind::Synthetic { floors: 1 });
         let workload = WorkloadConfig {
             s2t: 600.0,
@@ -233,7 +233,7 @@ mod tests {
 
     #[test]
     fn parallel_batches_agree_with_sequential_execution() {
-        let ctx = ExperimentContext::new(7, 0.2);
+        let ctx = crate::test_support::shared_context();
         let venue = ctx.venue(VenueKind::Synthetic { floors: 1 });
         let workload = WorkloadConfig {
             s2t: 600.0,

@@ -167,13 +167,17 @@ mod tests {
 
     #[test]
     fn context_caches_venues_and_scales_counts() {
-        let ctx = ExperimentContext::new(1, 0.2);
-        assert_eq!(ctx.instances_per_setting(), 2);
-        assert_eq!(ctx.runs_per_instance(), 1);
+        // Scaling arithmetic needs no venue, so fresh contexts are cheap.
+        let scaled = ExperimentContext::new(1, 0.2);
+        assert_eq!(scaled.instances_per_setting(), 2);
+        assert_eq!(scaled.runs_per_instance(), 1);
         let full = ExperimentContext::new(1, 1.0);
         assert_eq!(full.instances_per_setting(), 10);
         assert_eq!(full.runs_per_instance(), 5);
 
+        // Venue construction is the expensive part — exercise the cache on
+        // the context shared by the whole test binary.
+        let ctx = crate::test_support::shared_context();
         let kind = VenueKind::Synthetic { floors: 1 };
         let a = ctx.venue(kind);
         let b = ctx.venue(kind);
@@ -182,7 +186,7 @@ mod tests {
 
     #[test]
     fn instances_convert_to_engine_queries() {
-        let ctx = ExperimentContext::new(3, 0.2);
+        let ctx = crate::test_support::shared_context();
         let prepared = ctx.venue(VenueKind::Synthetic { floors: 1 });
         let workload = WorkloadConfig {
             s2t: 600.0,

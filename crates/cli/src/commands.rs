@@ -53,6 +53,13 @@ COMMANDS:
                --venue PATH   --floor N (default 0)   --out PATH.svg
                --no-labels    --door-ids
                [query flags as above to overlay its routes]
+    serve      Serve venues over HTTP/JSON (protocol v1, docs/PROTOCOL.md)
+               --venues \"a.json,b.json\"        venue documents to host
+               --addr HOST:PORT                (default 127.0.0.1:8080)
+               --workers N                     worker threads (default: cores)
+               --max-in-flight N               admission bound (default 4x workers)
+               --cache-capacity N              response-cache entries (default 4096, 0 disables)
+               --cache-shards N                response-cache shards (default 8)
     help       Show this message
 ";
 
@@ -65,6 +72,7 @@ pub fn run(args: &ParsedArgs) -> Result<String> {
         "query" => query(args),
         "batch" => batch(args),
         "render" => render(args),
+        "serve" => serve(args),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -467,6 +475,62 @@ fn batch(args: &ParsedArgs) -> Result<String> {
 }
 
 // ---------------------------------------------------------------------
+// serve
+// ---------------------------------------------------------------------
+
+/// Builds the service + server configuration from the `serve` flags and
+/// starts the HTTP front end. Exposed (crate-public via the library) so the
+/// integration tests can bind an ephemeral port and shut the server down;
+/// the `serve` command itself blocks forever on the returned handle.
+pub fn start_server(args: &ParsedArgs) -> Result<ikrq_server::ServerHandle> {
+    let paths = args.get_list("venues");
+    if paths.is_empty() {
+        return Err(CliError::Usage(
+            "missing required flag `--venues` (comma-separated venue documents)".into(),
+        ));
+    }
+    let service = std::sync::Arc::new(IkrqService::new());
+    for path in &paths {
+        let (space, directory, name) = load_engine(path)?;
+        let venue_id = name.unwrap_or_else(|| path.clone());
+        service
+            .register_venue(&venue_id, space, directory)
+            .map_err(CliError::Engine)?;
+    }
+
+    let mut config = ikrq_server::ServerConfig::default();
+    if let Some(workers) = args.get_usize("workers")? {
+        config.workers = workers;
+    }
+    if let Some(max_in_flight) = args.get_usize("max-in-flight")? {
+        config.max_in_flight = max_in_flight;
+    }
+    if let Some(capacity) = args.get_usize("cache-capacity")? {
+        config.cache.capacity = capacity;
+    }
+    if let Some(shards) = args.get_usize("cache-shards")? {
+        config.cache.shards = shards;
+    }
+    let addr = args.get("addr").unwrap_or("127.0.0.1:8080");
+    let handle = ikrq_server::serve(service, addr, config)?;
+    Ok(handle)
+}
+
+fn serve(args: &ParsedArgs) -> Result<String> {
+    let handle = start_server(args)?;
+    // The listening line goes to stderr immediately — the stdout report
+    // only flushes when the server stops, which for a foreground server
+    // is never.
+    eprintln!(
+        "ikrq-server listening on http://{} (protocol v1; ctrl-c to stop)",
+        handle.local_addr()
+    );
+    let addr = handle.local_addr();
+    handle.join();
+    Ok(format!("server on {addr} stopped\n"))
+}
+
+// ---------------------------------------------------------------------
 // render
 // ---------------------------------------------------------------------
 
@@ -527,7 +591,9 @@ mod tests {
 
     #[test]
     fn usage_mentions_every_command() {
-        for cmd in ["generate", "stats", "query", "batch", "render", "help"] {
+        for cmd in [
+            "generate", "stats", "query", "batch", "render", "serve", "help",
+        ] {
             assert!(USAGE.contains(cmd), "usage should mention {cmd}");
         }
     }

@@ -258,6 +258,53 @@ fn synthetic_generation_scales_with_the_floor_flag() {
 }
 
 #[test]
+fn serve_hosts_generated_venues_over_http() {
+    use std::io::{Read, Write};
+
+    let dir = TempDir::new("serve");
+    let venue_path = dir.file("example.json");
+    run_args([
+        "generate",
+        "--kind",
+        "example",
+        "--out",
+        venue_path.as_str(),
+    ])
+    .unwrap();
+
+    // Missing --venues is a usage error before anything binds.
+    assert!(matches!(
+        run_args(["serve", "--addr", "127.0.0.1:0"]),
+        Err(CliError::Usage(_))
+    ));
+
+    // Start on an ephemeral port through the same code path the `serve`
+    // command uses, then drive the socket directly.
+    let args = ikrq_cli::ParsedArgs::parse([
+        "serve",
+        "--venues",
+        venue_path.as_str(),
+        "--addr",
+        "127.0.0.1:0",
+        "--workers",
+        "2",
+    ])
+    .unwrap();
+    let handle = ikrq_cli::commands::start_server(&args).unwrap();
+    let addr = handle.local_addr();
+
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"GET /v1/venues HTTP/1.1\r\nhost: t\r\n\r\n")
+        .unwrap();
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).unwrap();
+    assert!(reply.starts_with("HTTP/1.1 200"), "reply: {reply}");
+    // The venue document carries its name, which becomes the hosted id.
+    assert!(reply.contains("fig1-example"), "reply: {reply}");
+}
+
+#[test]
 fn usage_errors_and_unknown_commands_are_reported() {
     assert!(matches!(
         run_args(["query", "--venue"]),

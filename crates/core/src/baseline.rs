@@ -149,7 +149,7 @@ impl ExhaustiveBaseline {
     }
 
     /// Convenience wrapper returning an error when the query is invalid for
-    /// the venue (mirrors [`crate::IkrqEngine::search`]).
+    /// the venue (mirrors [`crate::IkrqEngine::execute`]).
     pub fn validate(
         space: &IndoorSpace,
         directory: &KeywordDirectory,

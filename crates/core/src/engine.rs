@@ -74,36 +74,6 @@ impl IkrqEngine {
         Ok(search.run())
     }
 
-    /// Answers a query with the given algorithm variant.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a SearchRequest and use IkrqService::search, or call \
-                IkrqEngine::execute with ExecOptions"
-    )]
-    pub fn search(&self, query: &IkrqQuery, config: VariantConfig) -> Result<SearchOutcome> {
-        self.execute(query, &ExecOptions::with_variant(config))
-    }
-
-    /// Convenience: ToE with all pruning rules.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a SearchRequest and use IkrqService::search, or call \
-                IkrqEngine::execute with ExecOptions"
-    )]
-    pub fn search_toe(&self, query: &IkrqQuery) -> Result<SearchOutcome> {
-        self.execute(query, &ExecOptions::with_variant(VariantConfig::toe()))
-    }
-
-    /// Convenience: KoE with all pruning rules.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a SearchRequest and use IkrqService::search, or call \
-                IkrqEngine::execute with ExecOptions"
-    )]
-    pub fn search_koe(&self, query: &IkrqQuery) -> Result<SearchOutcome> {
-        self.execute(query, &ExecOptions::with_variant(VariantConfig::koe()))
-    }
-
     /// Runs every variant of Table III on the same query, in the paper's
     /// order, returning one outcome per variant.
     pub fn search_all_variants(&self, query: &IkrqQuery) -> Result<Vec<SearchOutcome>> {

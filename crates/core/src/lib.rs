@@ -66,15 +66,17 @@
 //! ```
 //!
 //! Single-venue embedders can hold an [`IkrqEngine`] directly and call
-//! [`IkrqEngine::execute`] with [`ExecOptions`]; the one-shot
-//! `IkrqEngine::search*` methods are deprecated shims kept for one release.
-//! See `examples/quickstart.rs` in the workspace root for a complete
-//! walk-through.
+//! [`IkrqEngine::execute`] with [`ExecOptions`]. (The deprecated one-shot
+//! `IkrqEngine::search*` shims of 0.2 have been removed.) See
+//! `examples/quickstart.rs` in the workspace root for a complete
+//! walk-through, and the `ikrq-server` crate for the HTTP/JSON front end
+//! that ships these envelopes over the wire.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod cache;
 pub mod connect;
 pub mod context;
 pub mod engine;
@@ -96,6 +98,7 @@ pub mod toe;
 pub mod variants;
 
 pub use baseline::ExhaustiveBaseline;
+pub use cache::{CacheConfig, CacheStats, ResponseCache};
 pub use context::SearchContext;
 pub use engine::IkrqEngine;
 pub use error::EngineError;

@@ -43,6 +43,14 @@ pub struct ExecOptions {
     /// it overrides the variant's own budget. Guards tail latency of hosted
     /// deployments against adversarial or degenerate queries.
     pub expansion_budget: Option<u64>,
+    /// Optional override of the variant's strict-terminal-expansion switch.
+    /// `Some(true)` keeps expanding stamps that already reached the terminal
+    /// partition, closing the connect-heuristic blind spot of the paper's
+    /// Algorithm 5 (see the ROADMAP open item); `Some(false)` forces the
+    /// paper-faithful behaviour; `None` (the default, and what requests
+    /// serialized before this field existed deserialize to) defers to the
+    /// variant.
+    pub strict_terminal_expansion: Option<bool>,
 }
 
 impl ExecOptions {
@@ -67,11 +75,20 @@ impl ExecOptions {
         self
     }
 
-    /// The variant configuration with the request-level budget applied.
+    /// Sets the strict-terminal-expansion override.
+    pub fn with_strict_terminal_expansion(mut self, strict: bool) -> Self {
+        self.strict_terminal_expansion = Some(strict);
+        self
+    }
+
+    /// The variant configuration with the request-level overrides applied.
     pub fn effective_variant(&self) -> VariantConfig {
         let mut variant = self.variant;
         if self.expansion_budget.is_some() {
             variant.expansion_budget = self.expansion_budget;
+        }
+        if let Some(strict) = self.strict_terminal_expansion {
+            variant.strict_terminal_expansion = strict;
         }
         variant
     }
@@ -114,6 +131,17 @@ impl SearchRequest {
             ));
         }
         self.query.validate()
+    }
+
+    /// The response-cache key of this request under the given venue epoch
+    /// (see [`crate::VenueRegistry::epoch`]): the wire version, the epoch,
+    /// and the request's deterministic JSON. Two requests share a key iff
+    /// they are field-for-field identical and the hosted topology has not
+    /// changed in between, so a cached response body can be replayed
+    /// byte-identically.
+    pub fn cache_key(&self, epoch: u64) -> String {
+        let body = serde_json::to_string(self).expect("requests serialize");
+        format!("v{API_VERSION}:e{epoch}:{body}")
     }
 }
 
@@ -221,6 +249,13 @@ impl SearchRequestBuilder {
     /// Caps the number of stamps the search may expand.
     pub fn expansion_budget(mut self, budget: u64) -> Self {
         self.options.expansion_budget = Some(budget);
+        self
+    }
+
+    /// Overrides the variant's strict-terminal-expansion switch (see
+    /// [`ExecOptions::strict_terminal_expansion`]).
+    pub fn strict_terminal_expansion(mut self, strict: bool) -> Self {
+        self.options.strict_terminal_expansion = Some(strict);
         self
     }
 
@@ -436,5 +471,68 @@ mod tests {
         let json = serde_json::to_string(&request).unwrap();
         let back: SearchRequest = serde_json::from_str(&json).unwrap();
         assert_eq!(back, request);
+    }
+
+    #[test]
+    fn strict_override_round_trips_and_shapes_the_effective_variant() {
+        let request = base().strict_terminal_expansion(true).build().unwrap();
+        assert_eq!(request.options.strict_terminal_expansion, Some(true));
+        assert!(
+            request
+                .options
+                .effective_variant()
+                .strict_terminal_expansion
+        );
+        let json = serde_json::to_string(&request).unwrap();
+        assert!(json.contains("strict_terminal_expansion"));
+        let back: SearchRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, request);
+
+        // `Some(false)` wins over a variant that enables the ablation.
+        let forced_off =
+            ExecOptions::with_variant(VariantConfig::toe().with_strict_terminal_expansion())
+                .with_strict_terminal_expansion(false);
+        assert!(!forced_off.effective_variant().strict_terminal_expansion);
+        // `None` defers to the variant.
+        let deferred =
+            ExecOptions::with_variant(VariantConfig::toe().with_strict_terminal_expansion());
+        assert_eq!(deferred.strict_terminal_expansion, None);
+        assert!(deferred.effective_variant().strict_terminal_expansion);
+    }
+
+    #[test]
+    fn options_serialized_before_the_strict_field_still_deserialize() {
+        // A pre-0.3 ExecOptions body without the field maps to `None`.
+        let legacy = r#"{
+            "variant": {
+                "kind": "ToE",
+                "use_distance_pruning": true,
+                "use_kbound_pruning": true,
+                "use_prime_pruning": true,
+                "use_precomputed_paths": false,
+                "strict_terminal_expansion": false,
+                "expansion_budget": null
+            },
+            "metrics": "Full",
+            "expansion_budget": null
+        }"#;
+        let options: ExecOptions = serde_json::from_str(legacy).unwrap();
+        assert_eq!(options.strict_terminal_expansion, None);
+        assert_eq!(options, ExecOptions::default());
+    }
+
+    #[test]
+    fn cache_keys_separate_requests_versions_and_epochs() {
+        let request = base().build().unwrap();
+        let key = request.cache_key(0);
+        assert!(key.starts_with(&format!("v{API_VERSION}:e0:")));
+        assert_eq!(key, request.cache_key(0), "keys are deterministic");
+        assert_ne!(key, request.cache_key(1), "epoch bumps orphan old keys");
+        let other = base().k(4).build().unwrap();
+        assert_ne!(
+            key,
+            other.cache_key(0),
+            "different requests, different keys"
+        );
     }
 }

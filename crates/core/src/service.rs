@@ -17,6 +17,7 @@ use crate::Result;
 use indoor_keywords::KeywordDirectory;
 use indoor_space::IndoorSpace;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
@@ -24,9 +25,16 @@ use std::time::Instant;
 ///
 /// Registration is expected at startup / topology changes; lookups are the
 /// hot path and only take the read lock briefly to clone an `Arc`.
+///
+/// The registry also keeps a monotonically increasing **epoch** that is
+/// bumped by every successful [`VenueRegistry::register`] and
+/// [`VenueRegistry::remove`]. Response caches embed the epoch in their keys
+/// (see [`crate::SearchRequest::cache_key`]), so any topology change
+/// instantly orphans every cached response without a purge pass.
 #[derive(Debug, Default)]
 pub struct VenueRegistry {
     venues: RwLock<BTreeMap<String, Arc<IkrqEngine>>>,
+    epoch: AtomicU64,
 }
 
 impl VenueRegistry {
@@ -50,12 +58,23 @@ impl VenueRegistry {
             )));
         }
         venues.insert(id, engine);
+        self.epoch.fetch_add(1, Ordering::SeqCst);
         Ok(())
     }
 
     /// Removes a venue, returning its engine if it was registered.
     pub fn remove(&self, id: &str) -> Option<Arc<IkrqEngine>> {
-        self.venues.write().expect("registry lock").remove(id)
+        let removed = self.venues.write().expect("registry lock").remove(id);
+        if removed.is_some() {
+            self.epoch.fetch_add(1, Ordering::SeqCst);
+        }
+        removed
+    }
+
+    /// The current topology epoch: starts at 0 and increases on every
+    /// successful registration or removal.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
     }
 
     /// The engine hosting `id`, if registered.
@@ -242,6 +261,7 @@ mod tests {
     fn registry_rejects_empty_and_duplicate_ids() {
         let registry = VenueRegistry::new();
         assert!(registry.is_empty());
+        assert_eq!(registry.epoch(), 0);
         let example = indoor_data::paper_example_venue();
         let engine = Arc::new(IkrqEngine::new(
             example.venue.space.clone(),
@@ -251,16 +271,22 @@ mod tests {
             registry.register("", Arc::clone(&engine)),
             Err(EngineError::InvalidRequest(_))
         ));
+        assert_eq!(registry.epoch(), 0, "rejected registrations do not bump");
         registry.register("a", Arc::clone(&engine)).unwrap();
+        assert_eq!(registry.epoch(), 1);
         assert!(matches!(
             registry.register("a", Arc::clone(&engine)),
             Err(EngineError::InvalidRequest(_))
         ));
+        assert_eq!(registry.epoch(), 1);
         assert_eq!(registry.ids(), vec!["a".to_string()]);
         assert!(registry.get("a").is_some());
         assert!(registry.get("b").is_none());
         assert!(registry.remove("a").is_some());
         assert!(registry.is_empty());
+        assert_eq!(registry.epoch(), 2);
+        assert!(registry.remove("a").is_none());
+        assert_eq!(registry.epoch(), 2, "no-op removals do not bump");
     }
 
     #[test]

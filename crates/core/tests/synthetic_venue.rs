@@ -108,6 +108,71 @@ fn generated_workload_queries_run_on_all_variants() {
     }
 }
 
+/// The request-level `ExecOptions::strict_terminal_expansion` override must
+/// behave exactly like the variant-level ablation — and actually change ToE
+/// results somewhere on the synthetic venue, otherwise surfacing it on the
+/// wire protocol would be pointless.
+#[test]
+fn exec_options_strict_override_matches_the_variant_ablation_and_changes_results() {
+    let mut observed_difference = false;
+    // Seed 33's first workload instance is a known exhibit of the blind
+    // spot (verified by sweeping seeds 21/33/55/77); pinning it keeps the
+    // debug-mode runtime in seconds.
+    let seed = 33u64;
+    let (venue, engine) = build_engine(seed);
+    let generator = QueryGenerator::new(&venue);
+    let mut rng = StdRng::seed_from_u64(seed ^ 7);
+    for instance in generator.generate_batch(&workload(), 2, &mut rng) {
+        let query = to_query(&instance);
+        let plain = engine.execute(&query, &ExecOptions::default()).unwrap();
+        let via_options = engine
+            .execute(
+                &query,
+                &ExecOptions::default().with_strict_terminal_expansion(true),
+            )
+            .unwrap();
+        let via_variant = engine
+            .execute(
+                &query,
+                &ExecOptions::with_variant(VariantConfig::toe().with_strict_terminal_expansion()),
+            )
+            .unwrap();
+        // Override == ablation, route for route.
+        assert_eq!(
+            serde_json::to_string(&via_options.results).unwrap(),
+            serde_json::to_string(&via_variant.results).unwrap(),
+            "request-level override must equal the variant-level ablation"
+        );
+        // `Some(false)` forces the paper-faithful behaviour back on.
+        let forced_off = engine
+            .execute(
+                &query,
+                &ExecOptions::with_variant(VariantConfig::toe().with_strict_terminal_expansion())
+                    .with_strict_terminal_expansion(false),
+            )
+            .unwrap();
+        assert_eq!(
+            serde_json::to_string(&forced_off.results).unwrap(),
+            serde_json::to_string(&plain.results).unwrap(),
+            "Some(false) must reproduce default ToE"
+        );
+        let plain_best = plain.results.best().map(|r| r.score).unwrap_or(0.0);
+        let strict_best = via_options.results.best().map(|r| r.score).unwrap_or(0.0);
+        assert!(
+            strict_best + 1e-6 >= plain_best,
+            "strict expansion only helps"
+        );
+        if strict_best > plain_best + 1e-6 {
+            observed_difference = true;
+        }
+    }
+    assert!(
+        observed_difference,
+        "no instance exposed the Algorithm 5 connect-heuristic blind spot; \
+         the strict override would be untestable on this venue"
+    );
+}
+
 #[test]
 fn pruning_reduces_search_effort_without_losing_quality() {
     let (venue, engine) = build_engine(33);

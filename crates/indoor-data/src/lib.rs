@@ -19,7 +19,7 @@
 //! * [`queries`] — the query-instance generator of §V-A1 (δs2t targeting via
 //!   the door matrix, ∆ = η · δs2t, β-controlled i-word/t-word mix);
 //! * [`params`] — the parameter space of Table IV with the paper's defaults;
-//! * [`venue`] — the [`Venue`](venue::Venue) bundle (space + keywords) plus
+//! * [`venue`] — the [`Venue`] bundle (space + keywords) plus
 //!   the small hand-crafted venue mirroring the paper's Fig. 1 running
 //!   example.
 

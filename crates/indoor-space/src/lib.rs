@@ -4,7 +4,7 @@
 //! Query (IKRQ, ICDE 2020) reproduction.
 //!
 //! The model follows the foundation of Lu et al. (ICDE 2012), which the paper
-//! builds on (its reference [13]):
+//! builds on (its reference \[13\]):
 //!
 //! * an indoor venue is a set of **partitions** (rooms, hallway cells,
 //!   staircases) distributed over **floors**,

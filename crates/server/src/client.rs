@@ -1,0 +1,99 @@
+//! A minimal one-shot HTTP/1.1 client for the server's
+//! one-request-per-connection model: connect, send, read the full reply,
+//! done. This is the reference client the integration tests and the
+//! `http_load` bench driver share, so the wire dance lives in exactly one
+//! place; production clients should use a real HTTP library behind a
+//! reverse proxy.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed one-shot reply.
+#[derive(Debug, Clone)]
+pub struct ClientReply {
+    /// HTTP status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body as text.
+    pub body: String,
+}
+
+impl ClientReply {
+    /// The first header with the given lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn invalid(what: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string())
+}
+
+/// Sends raw bytes over a fresh connection and parses whatever comes back
+/// as an HTTP reply. The escape hatch for protocol-violation tests.
+pub fn raw_one_shot(addr: SocketAddr, wire: &[u8]) -> std::io::Result<ClientReply> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    stream.write_all(wire)?;
+    let mut bytes = Vec::new();
+    stream.read_to_end(&mut bytes)?;
+    let text = String::from_utf8(bytes).map_err(|_| invalid("reply is not UTF-8"))?;
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| invalid("reply has no head/body separator"))?;
+    let mut lines = head.lines();
+    let status = lines
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| invalid("reply has no status line"))?;
+    let headers = lines
+        .filter_map(|line| line.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Ok(ClientReply {
+        status,
+        headers,
+        body: body.to_string(),
+    })
+}
+
+/// Sends one well-formed request (empty `body` for GET-style calls) and
+/// reads the reply.
+pub fn one_shot(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<ClientReply> {
+    let wire = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    raw_one_shot(addr, wire.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_against_a_live_server() {
+        let service = std::sync::Arc::new(ikrq_core::IkrqService::new());
+        let handle = crate::serve(service, "127.0.0.1:0", crate::ServerConfig::default()).unwrap();
+        let reply = one_shot(handle.local_addr(), "GET", "/v1/healthz", "").unwrap();
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.header("content-type"), Some("application/json"));
+        assert!(reply.body.contains("\"status\":\"ok\""));
+        assert!(reply.header("absent").is_none());
+
+        let raw = raw_one_shot(handle.local_addr(), b"BOGUS\r\n\r\n").unwrap();
+        assert_eq!(raw.status, 400);
+    }
+}

@@ -1,0 +1,393 @@
+//! A minimal HTTP/1.1 subset over `std::net` — just enough to carry the
+//! JSON protocol: request-line + headers + `Content-Length` bodies in,
+//! status + headers + body out, one request per connection
+//! (`Connection: close`). No chunked encoding, no keep-alive, no TLS;
+//! clients that need more should sit behind a real reverse proxy.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (request line + headers) in bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The method verb, uppercase (`GET`, `POST`, ...).
+    pub method: String,
+    /// The path component of the target, without the query string.
+    pub path: String,
+    /// The raw query string after `?`, if any.
+    pub query: Option<String>,
+    /// Header `(name, value)` pairs; names are lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header with the given lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The bytes on the wire are not parseable HTTP/1.1.
+    Malformed(String),
+    /// The declared body exceeds the configured limit.
+    PayloadTooLarge {
+        /// Declared `Content-Length`.
+        declared: usize,
+        /// The server's limit.
+        limit: usize,
+    },
+    /// The socket failed or the peer disconnected mid-request.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+            HttpError::PayloadTooLarge { declared, limit } => {
+                write!(f, "body of {declared} bytes exceeds the {limit} byte limit")
+            }
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// A buffered stream plus a running count of head bytes consumed, so the
+/// request head as a whole (not just each line) is capped.
+struct HeadReader<'stream> {
+    inner: BufReader<&'stream mut TcpStream>,
+    consumed: usize,
+}
+
+/// Reads one request off the stream. `max_body_bytes` bounds the accepted
+/// `Content-Length`, [`MAX_HEAD_BYTES`] bounds the request line + headers.
+pub fn read_request(stream: &mut TcpStream, max_body_bytes: usize) -> Result<Request, HttpError> {
+    let mut reader = HeadReader {
+        inner: BufReader::new(stream),
+        consumed: 0,
+    };
+    let request_line = read_line(&mut reader)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line has no target".into()))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line has no version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported protocol `{version}`"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(&mut reader)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!(
+                "header without colon: {line}"
+            )));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::Malformed(format!("bad content-length `{v}`")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > max_body_bytes {
+        return Err(HttpError::PayloadTooLarge {
+            declared: content_length,
+            limit: max_body_bytes,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.inner.read_exact(&mut body)?;
+
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path.to_string(), Some(query.to_string())),
+        None => (target, None),
+    };
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line, without the terminator.
+///
+/// Reads byte by byte off the buffered stream so the accumulated line —
+/// and therefore the whole request head — can never exceed
+/// [`MAX_HEAD_BYTES`] of memory, no matter how many bytes a hostile client
+/// streams without a newline. Non-UTF-8 heads are malformed HTTP, not an
+/// I/O failure, so they still get the stable 400 body.
+fn read_line(reader: &mut HeadReader<'_>) -> Result<String, HttpError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        if reader.consumed >= MAX_HEAD_BYTES {
+            return Err(HttpError::Malformed("request head too large".into()));
+        }
+        let buffer = reader.inner.fill_buf()?;
+        if buffer.is_empty() {
+            return Err(HttpError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "peer closed the connection mid-request",
+            )));
+        }
+        let budget = (MAX_HEAD_BYTES - reader.consumed).min(buffer.len());
+        match buffer[..budget].iter().position(|&b| b == b'\n') {
+            Some(newline) => {
+                line.extend_from_slice(&buffer[..newline]);
+                reader.inner.consume(newline + 1);
+                reader.consumed += newline + 1;
+                break;
+            }
+            None => {
+                line.extend_from_slice(&buffer[..budget]);
+                reader.inner.consume(budget);
+                reader.consumed += budget;
+            }
+        }
+    }
+    while line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| HttpError::Malformed("request head is not UTF-8".into()))
+}
+
+/// A response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers beyond the defaults.
+    pub headers: Vec<(String, String)>,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            headers: vec![("content-type".into(), "application/json".into())],
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// The standard reason phrase of the status (a small table; anything
+    /// unknown renders as `Status`).
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            _ => "Status",
+        }
+    }
+
+    /// Serializes status line, headers (plus `Content-Length` and
+    /// `Connection: close`) and body onto the stream.
+    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason());
+        for (name, value) in &self.headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str(&format!("content-length: {}\r\n", self.body.len()));
+        head.push_str("connection: close\r\n\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Runs `read_request` against raw bytes pushed through a real socket
+    /// pair.
+    fn parse(raw: &[u8], max_body: usize) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut client = TcpStream::connect(addr).unwrap();
+            client.write_all(&raw).unwrap();
+            client.flush().unwrap();
+            // Keep the socket open until the parser is done reading.
+            client
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let parsed = read_request(&mut stream, max_body);
+        drop(writer.join().unwrap());
+        parsed
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_query() {
+        let raw = b"POST /v1/search?trace=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\nX-Mixed-Case: Kept\r\n\r\nbody";
+        let request = parse(raw, 1024).unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/v1/search");
+        assert_eq!(request.query.as_deref(), Some("trace=1"));
+        assert_eq!(request.body, b"body");
+        assert_eq!(request.header("x-mixed-case"), Some("Kept"));
+        assert_eq!(request.header("host"), Some("x"));
+        assert_eq!(request.header("absent"), None);
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let raw = b"GET /v1/healthz HTTP/1.1\r\n\r\n";
+        let request = parse(raw, 1024).unwrap();
+        assert_eq!(request.method, "GET");
+        assert_eq!(request.path, "/v1/healthz");
+        assert!(request.query.is_none());
+        assert!(request.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage_and_oversized_bodies() {
+        assert!(matches!(
+            parse(b"NOT-HTTP\r\n\r\n", 1024),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / SPDY/3\r\n\r\n", 1024),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: nine\r\n\r\n", 1024),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 99\r\n\r\nx", 10),
+            Err(HttpError::PayloadTooLarge {
+                declared: 99,
+                limit: 10
+            })
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\nbroken header\r\n\r\n", 1024),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_heads_are_rejected_without_buffering_them() {
+        // A single header line far beyond MAX_HEAD_BYTES, no newline until
+        // the very end: must come back as malformed, not as an
+        // unbounded-memory read or an I/O error.
+        let mut raw = b"GET / HTTP/1.1\r\nx-flood: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES * 2));
+        raw.extend_from_slice(b"\r\n\r\n");
+        assert!(matches!(
+            parse(&raw, 1024),
+            Err(HttpError::Malformed(msg)) if msg.contains("too large")
+        ));
+        // Same for many small headers adding up past the limit.
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..2048 {
+            raw.extend_from_slice(format!("x-h{i}: {i}\r\n").as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        assert!(matches!(
+            parse(&raw, 1024),
+            Err(HttpError::Malformed(msg)) if msg.contains("too large")
+        ));
+    }
+
+    #[test]
+    fn non_utf8_heads_are_malformed_not_io_errors() {
+        assert!(matches!(
+            parse(b"GET /\xff\xfe HTTP/1.1\r\n\r\n", 1024),
+            Err(HttpError::Malformed(msg)) if msg.contains("UTF-8")
+        ));
+    }
+
+    #[test]
+    fn responses_serialize_with_length_and_close() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reader = std::thread::spawn(move || {
+            let mut client = TcpStream::connect(addr).unwrap();
+            let mut bytes = Vec::new();
+            std::io::Read::read_to_end(&mut client, &mut bytes).unwrap();
+            String::from_utf8(bytes).unwrap()
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        Response::json(200, "{\"ok\":true}")
+            .with_header("x-ikrq-cache", "hit")
+            .write_to(&mut stream)
+            .unwrap();
+        drop(stream);
+        let wire = reader.join().unwrap();
+        assert!(wire.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(wire.contains("content-type: application/json\r\n"));
+        assert!(wire.contains("x-ikrq-cache: hit\r\n"));
+        assert!(wire.contains("content-length: 11\r\n"));
+        assert!(wire.contains("connection: close\r\n"));
+        assert!(wire.ends_with("{\"ok\":true}"));
+        assert_eq!(Response::json(429, "").reason(), "Too Many Requests");
+        assert_eq!(Response::json(555, "").reason(), "Status");
+    }
+
+    #[test]
+    fn http_error_display_is_informative() {
+        let malformed = HttpError::Malformed("x".into());
+        assert!(malformed.to_string().contains("malformed"));
+        let too_large = HttpError::PayloadTooLarge {
+            declared: 9,
+            limit: 1,
+        };
+        assert!(too_large.to_string().contains("exceeds"));
+        let io: HttpError = std::io::Error::other("boom").into();
+        assert!(io.to_string().contains("boom"));
+    }
+}

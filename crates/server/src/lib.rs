@@ -1,0 +1,51 @@
+//! # ikrq-server
+//!
+//! A dependency-free threaded HTTP/1.1 JSON front end over the
+//! [`ikrq_core::IkrqService`] envelopes, turning the in-process service
+//! seam of `ikrq-core` into a wire protocol (documented in
+//! `docs/PROTOCOL.md`). Built entirely on `std::net` because this
+//! workspace has no crates.io access.
+//!
+//! Routes of protocol version 1:
+//!
+//! | method | path | body |
+//! |---|---|---|
+//! | `GET` | `/v1/healthz` | liveness + hosted venue count |
+//! | `GET` | `/v1/venues` | venue summaries + topology epoch |
+//! | `GET` | `/v1/stats` | served/shed counters + cache stats |
+//! | `POST` | `/v1/search` | one [`ikrq_core::SearchRequest`] → one [`ikrq_core::SearchResponse`] |
+//! | `POST` | `/v1/search/batch` | `{"requests": [...]}` → per-request results in order |
+//!
+//! Operational behaviour: a bounded worker pool with admission control
+//! (connections beyond `max_in_flight` are shed with a `429 overloaded`
+//! error body), and a sharded LRU response cache keyed on the request's
+//! deterministic JSON plus the venue-registry epoch, so cache hits replay
+//! byte-identical responses (`x-ikrq-cache: hit|miss`) and any topology
+//! change invalidates everything at once.
+//!
+//! ```no_run
+//! use ikrq_server::{serve, ServerConfig};
+//! use std::sync::Arc;
+//!
+//! let example = indoor_data::paper_example_venue();
+//! let service = Arc::new(ikrq_core::IkrqService::new());
+//! service
+//!     .register_venue("fig1", example.venue.space.clone(), example.venue.directory.clone())
+//!     .unwrap();
+//! let handle = serve(service, "127.0.0.1:8080", ServerConfig::default()).unwrap();
+//! println!("listening on http://{}", handle.local_addr());
+//! handle.join();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod protocol;
+pub mod server;
+
+pub use client::{one_shot, ClientReply};
+pub use http::{Request, Response};
+pub use protocol::{ApiVersion, ErrorBody, ErrorCode, ErrorDetail};
+pub use server::{serve, ServerConfig, ServerHandle, ServerStats};

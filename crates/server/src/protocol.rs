@@ -1,0 +1,230 @@
+//! The versioned wire protocol: API versions, machine-readable error codes
+//! and the stable error body.
+//!
+//! Every URL is rooted at a version segment (`/v1/...`). Adding `v2` later
+//! means adding a variant to [`ApiVersion`] and branching in the router —
+//! existing `v1` clients keep the exact body shapes documented in
+//! `docs/PROTOCOL.md`. Errors always serialize as
+//!
+//! ```json
+//! {"api_version": 1, "error": {"code": "unknown_venue", "message": "..."}}
+//! ```
+//!
+//! where `code` comes from the closed set in [`ErrorCode`] (clients switch
+//! on it) and `message` is human-readable and unstable.
+
+use ikrq_core::EngineError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A protocol version the server can speak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ApiVersion {
+    /// Version 1: the serde-stable `SearchRequest`/`SearchResponse`
+    /// envelopes of `ikrq-core` as JSON.
+    V1,
+}
+
+impl ApiVersion {
+    /// The newest version this server speaks.
+    pub const CURRENT: ApiVersion = ApiVersion::V1;
+
+    /// All versions this server speaks, newest last.
+    pub const SUPPORTED: &'static [ApiVersion] = &[ApiVersion::V1];
+
+    /// Parses the leading path segment (`"v1"`) of a request target.
+    pub fn from_segment(segment: &str) -> Option<ApiVersion> {
+        match segment {
+            "v1" => Some(ApiVersion::V1),
+            _ => None,
+        }
+    }
+
+    /// The path segment of this version.
+    pub fn segment(&self) -> &'static str {
+        match self {
+            ApiVersion::V1 => "v1",
+        }
+    }
+
+    /// The numeric wire stamp carried in response bodies. `V1` matches
+    /// [`ikrq_core::API_VERSION`], the version of the envelope structs.
+    pub fn wire(&self) -> u16 {
+        match self {
+            ApiVersion::V1 => 1,
+        }
+    }
+}
+
+impl fmt::Display for ApiVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.segment())
+    }
+}
+
+/// The closed set of machine-readable error codes of the v1 protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request body is not valid JSON or does not decode into the
+    /// documented envelope.
+    InvalidJson,
+    /// The envelope decoded but a field is out of range (bad `k`, `alpha`,
+    /// `delta`, empty keywords, zero budget, point outside the venue,
+    /// unsatisfiable constraint, ...).
+    InvalidRequest,
+    /// The request addressed a venue id the server does not host.
+    UnknownVenue,
+    /// No route matches the request target.
+    NotFound,
+    /// The path exists but not under this method.
+    MethodNotAllowed,
+    /// The request body exceeds the configured size limit.
+    PayloadTooLarge,
+    /// The server is at its in-flight capacity; retry later.
+    Overloaded,
+    /// The URL names a protocol version this server does not speak.
+    UnsupportedVersion,
+    /// The request line/headers are not parseable HTTP.
+    MalformedHttp,
+    /// Anything the server cannot blame on the client.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The stable wire identifier of the code.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorCode::InvalidJson => "invalid_json",
+            ErrorCode::InvalidRequest => "invalid_request",
+            ErrorCode::UnknownVenue => "unknown_venue",
+            ErrorCode::NotFound => "not_found",
+            ErrorCode::MethodNotAllowed => "method_not_allowed",
+            ErrorCode::PayloadTooLarge => "payload_too_large",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::UnsupportedVersion => "unsupported_version",
+            ErrorCode::MalformedHttp => "malformed_http",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// The HTTP status the code travels under.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            ErrorCode::InvalidJson | ErrorCode::InvalidRequest | ErrorCode::MalformedHttp => 400,
+            ErrorCode::UnknownVenue | ErrorCode::NotFound | ErrorCode::UnsupportedVersion => 404,
+            ErrorCode::MethodNotAllowed => 405,
+            ErrorCode::PayloadTooLarge => 413,
+            ErrorCode::Overloaded => 429,
+            ErrorCode::Internal => 500,
+        }
+    }
+}
+
+/// The machine-readable half of an error body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorDetail {
+    /// One of the [`ErrorCode`] identifiers.
+    pub code: String,
+    /// Human-readable explanation; not part of the stable protocol.
+    pub message: String,
+}
+
+/// The stable JSON body of every non-2xx response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// Version of the wire format that produced this error.
+    pub api_version: u16,
+    /// The error itself.
+    pub error: ErrorDetail,
+}
+
+impl ErrorBody {
+    /// An error body under the current protocol version.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        ErrorBody {
+            api_version: ApiVersion::CURRENT.wire(),
+            error: ErrorDetail {
+                code: code.as_str().to_string(),
+                message: message.into(),
+            },
+        }
+    }
+
+    /// The body as compact JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("error bodies serialize")
+    }
+}
+
+/// Maps an engine error to the protocol's (status, code) pair. Everything
+/// the validation layer rejects is the client's fault (400) except venue
+/// addressing, which is 404 so clients can distinguish "fix the query"
+/// from "fix the routing".
+pub fn classify_engine_error(error: &EngineError) -> ErrorCode {
+    match error {
+        EngineError::UnknownVenue(_) => ErrorCode::UnknownVenue,
+        _ => ErrorCode::InvalidRequest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_parsing_and_display() {
+        assert_eq!(ApiVersion::from_segment("v1"), Some(ApiVersion::V1));
+        assert_eq!(ApiVersion::from_segment("v2"), None);
+        assert_eq!(ApiVersion::from_segment(""), None);
+        assert_eq!(ApiVersion::V1.segment(), "v1");
+        assert_eq!(ApiVersion::V1.to_string(), "v1");
+        assert_eq!(ApiVersion::V1.wire(), ikrq_core::API_VERSION);
+        assert_eq!(ApiVersion::SUPPORTED.last(), Some(&ApiVersion::CURRENT));
+    }
+
+    #[test]
+    fn codes_have_stable_identifiers_and_statuses() {
+        let table: &[(ErrorCode, &str, u16)] = &[
+            (ErrorCode::InvalidJson, "invalid_json", 400),
+            (ErrorCode::InvalidRequest, "invalid_request", 400),
+            (ErrorCode::UnknownVenue, "unknown_venue", 404),
+            (ErrorCode::NotFound, "not_found", 404),
+            (ErrorCode::MethodNotAllowed, "method_not_allowed", 405),
+            (ErrorCode::PayloadTooLarge, "payload_too_large", 413),
+            (ErrorCode::Overloaded, "overloaded", 429),
+            (ErrorCode::UnsupportedVersion, "unsupported_version", 404),
+            (ErrorCode::MalformedHttp, "malformed_http", 400),
+            (ErrorCode::Internal, "internal", 500),
+        ];
+        for (code, name, status) in table {
+            assert_eq!(code.as_str(), *name);
+            assert_eq!(code.http_status(), *status);
+        }
+    }
+
+    #[test]
+    fn error_bodies_round_trip() {
+        let body = ErrorBody::new(ErrorCode::UnknownVenue, "no such venue `x`");
+        let json = body.to_json();
+        assert!(json.contains("\"unknown_venue\""));
+        let back: ErrorBody = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, body);
+        assert_eq!(back.api_version, ikrq_core::API_VERSION);
+    }
+
+    #[test]
+    fn engine_errors_classify() {
+        assert_eq!(
+            classify_engine_error(&EngineError::UnknownVenue("x".into())),
+            ErrorCode::UnknownVenue
+        );
+        assert_eq!(
+            classify_engine_error(&EngineError::InvalidK(0)),
+            ErrorCode::InvalidRequest
+        );
+        assert_eq!(
+            classify_engine_error(&EngineError::InvalidRequest("bad".into())),
+            ErrorCode::InvalidRequest
+        );
+    }
+}

@@ -1,0 +1,629 @@
+//! The threaded HTTP server: listener, bounded worker pool with admission
+//! control, the v1 route table, and the sharded response cache.
+//!
+//! # Concurrency model
+//!
+//! One acceptor thread plus a fixed pool of worker threads. The acceptor
+//! never parses HTTP; it only counts. If admitting a connection would push
+//! the number of in-flight connections (queued + being handled) past
+//! [`ServerConfig::max_in_flight`], the connection is *shed*: a detached
+//! helper thread drains the request and answers `429` with the stable
+//! `overloaded` error body, so overload degrades into fast, well-formed
+//! rejections instead of unbounded queueing.
+//!
+//! # Caching
+//!
+//! Successful `POST /v1/search` responses are cached body-verbatim in a
+//! sharded LRU ([`ikrq_core::ResponseCache`]) keyed by
+//! [`ikrq_core::SearchRequest::cache_key`] — the request's deterministic
+//! JSON plus the registry's venue epoch. A hit replays the exact bytes of
+//! the original response (including its `timing` block) and is flagged with
+//! the `x-ikrq-cache: hit` header; registering or removing a venue bumps
+//! the epoch and thereby orphans every cached entry at once.
+
+use crate::http::{read_request, HttpError, Request, Response};
+use crate::protocol::{classify_engine_error, ApiVersion, ErrorBody, ErrorCode, ErrorDetail};
+use ikrq_core::{CacheConfig, CacheStats, IkrqService, ResponseCache, SearchRequest, VenueSummary};
+use serde::{Deserialize, Serialize};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs of a [`serve`] run.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads handling requests (0 means one per available core).
+    pub workers: usize,
+    /// Admission bound: connections in flight (queued + handled) before the
+    /// acceptor starts shedding with `429 overloaded` (0 means `4 × workers`).
+    pub max_in_flight: usize,
+    /// Largest accepted request body in bytes.
+    pub max_body_bytes: usize,
+    /// Largest accepted `requests` array in a batch call.
+    pub max_batch_size: usize,
+    /// Sizing of the response cache.
+    pub cache: CacheConfig,
+    /// Per-socket read timeout, so a stalled client cannot pin a worker.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 0,
+            max_in_flight: 0,
+            max_body_bytes: 1024 * 1024,
+            max_batch_size: 256,
+            cache: CacheConfig::default(),
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+impl ServerConfig {
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+    }
+
+    fn effective_max_in_flight(&self) -> usize {
+        if self.max_in_flight > 0 {
+            return self.max_in_flight;
+        }
+        self.effective_workers() * 4
+    }
+}
+
+/// Point-in-time server counters, exposed on `GET /v1/stats`.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ServerStats {
+    /// Requests answered by a worker (any status).
+    pub requests_served: u64,
+    /// Connections rejected by admission control.
+    pub requests_shed: u64,
+    /// Connections queued or being handled right now.
+    pub in_flight: usize,
+    /// Response-cache counters.
+    pub cache: CacheStats,
+}
+
+/// Upper bound on concurrent shed-helper threads. Past this, rejected
+/// connections are dropped without a response — under a genuine flood the
+/// polite 429 path must itself stay bounded.
+const MAX_SHED_THREADS: usize = 64;
+
+/// State shared by the acceptor, the workers and the handle.
+struct Shared {
+    service: Arc<IkrqService>,
+    cache: ResponseCache,
+    config: ServerConfig,
+    max_in_flight: usize,
+    in_flight: AtomicUsize,
+    served: AtomicU64,
+    shed: AtomicU64,
+    shed_helpers: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            requests_served: self.served.load(Ordering::SeqCst),
+            requests_shed: self.shed.load(Ordering::SeqCst),
+            in_flight: self.in_flight.load(Ordering::SeqCst),
+            cache: self.cache.stats(),
+        }
+    }
+}
+
+/// A running server: joinable threads plus the shared state.
+///
+/// Dropping the handle shuts the server down and joins every thread.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves `:0` requests).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Stops accepting, drains queued connections and joins every thread.
+    /// Idempotent; also invoked by `Drop`. The listener is non-blocking and
+    /// polls the shutdown flag, so this returns within a poll interval plus
+    /// the time the workers need to finish in-flight requests — no wake-up
+    /// connection is involved that could itself fail.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    /// Blocks until the server stops (it only stops via [`shutdown`], so
+    /// for a foreground `ikrq serve` this means "forever").
+    ///
+    /// [`shutdown`]: ServerHandle::shutdown
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds `addr` and starts the acceptor and worker threads.
+pub fn serve(
+    service: Arc<IkrqService>,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    // Non-blocking accept lets the acceptor poll the shutdown flag instead
+    // of parking forever in `accept()` (which would make shutdown depend on
+    // a wake-up connection that can fail, e.g. on 0.0.0.0 binds).
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let workers = config.effective_workers();
+    let max_in_flight = config.effective_max_in_flight();
+    let shared = Arc::new(Shared {
+        service,
+        cache: ResponseCache::new(config.cache),
+        config,
+        max_in_flight,
+        in_flight: AtomicUsize::new(0),
+        served: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
+        shed_helpers: AtomicUsize::new(0),
+        shutdown: AtomicBool::new(false),
+    });
+
+    let (sender, receiver): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+    let receiver = Arc::new(Mutex::new(receiver));
+    let mut worker_handles = Vec::with_capacity(workers);
+    for index in 0..workers {
+        let receiver = Arc::clone(&receiver);
+        let shared = Arc::clone(&shared);
+        worker_handles.push(
+            std::thread::Builder::new()
+                .name(format!("ikrq-worker-{index}"))
+                .spawn(move || worker_loop(&shared, &receiver))
+                .expect("spawn worker thread"),
+        );
+    }
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("ikrq-acceptor".into())
+            .spawn(move || accept_loop(&shared, &listener, sender))
+            .expect("spawn acceptor thread")
+    };
+
+    Ok(ServerHandle {
+        shared,
+        addr,
+        acceptor: Some(acceptor),
+        workers: worker_handles,
+    })
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener, sender: Sender<TcpStream>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => {
+                // The listener is non-blocking; the accepted socket must
+                // not be (inheritance is platform-dependent).
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                stream
+            }
+            Err(error) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let idle = error.kind() == std::io::ErrorKind::WouldBlock;
+                // Idle poll interval, or backoff after real accept failures
+                // (EMFILE during an fd flood must not busy-spin a core).
+                std::thread::sleep(Duration::from_millis(if idle { 5 } else { 20 }));
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let admitted = shared
+            .in_flight
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |current| {
+                (current < shared.max_in_flight).then_some(current + 1)
+            })
+            .is_ok();
+        if admitted {
+            if sender.send(stream).is_err() {
+                shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                break;
+            }
+        } else {
+            shed(Arc::clone(shared), stream);
+        }
+    }
+    // Dropping the sender disconnects the channel; workers drain what is
+    // queued and exit.
+}
+
+/// Rejects a connection with `429 overloaded` on a detached helper thread,
+/// so a slow peer cannot stall the acceptor. The helpers themselves are
+/// capped at [`MAX_SHED_THREADS`]; past that the connection is simply
+/// dropped — the overload path must not be a thread/fd amplifier.
+fn shed(shared: Arc<Shared>, mut stream: TcpStream) {
+    shared.shed.fetch_add(1, Ordering::SeqCst);
+    let capped = shared
+        .shed_helpers
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |current| {
+            (current < MAX_SHED_THREADS).then_some(current + 1)
+        })
+        .is_err();
+    if capped {
+        return; // dropping the stream resets the connection
+    }
+    let read_timeout = shared.config.read_timeout;
+    let max_body = shared.config.max_body_bytes;
+    let helper_shared = Arc::clone(&shared);
+    let spawned = std::thread::Builder::new()
+        .name("ikrq-shed".into())
+        .spawn(move || {
+            let _ = stream.set_read_timeout(Some(read_timeout));
+            let _ = stream.set_write_timeout(Some(read_timeout));
+            // Drain the request so well-behaved clients see the response
+            // instead of a reset, then answer.
+            let _ = read_request(&mut stream, max_body);
+            let body = ErrorBody::new(
+                ErrorCode::Overloaded,
+                "server is at its in-flight request limit; retry later",
+            );
+            let _ = Response::json(ErrorCode::Overloaded.http_status(), body.to_json())
+                .with_header("retry-after", "1")
+                .write_to(&mut stream);
+            helper_shared.shed_helpers.fetch_sub(1, Ordering::SeqCst);
+        });
+    if spawned.is_err() {
+        shared.shed_helpers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn worker_loop(shared: &Shared, receiver: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        let stream = {
+            let receiver = receiver.lock().expect("worker receiver lock");
+            receiver.recv()
+        };
+        let Ok(stream) = stream else {
+            break;
+        };
+        handle_connection(shared, stream);
+        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.read_timeout));
+    let response = match read_request(&mut stream, shared.config.max_body_bytes) {
+        Ok(request) => {
+            shared.served.fetch_add(1, Ordering::SeqCst);
+            // A panicking handler must cost one response, not one worker.
+            catch_unwind(AssertUnwindSafe(|| route(shared, &request)))
+                .unwrap_or_else(|_| error_response(ErrorCode::Internal, "request handler panicked"))
+        }
+        Err(HttpError::PayloadTooLarge { declared, limit }) => {
+            shared.served.fetch_add(1, Ordering::SeqCst);
+            error_response(
+                ErrorCode::PayloadTooLarge,
+                format!("body of {declared} bytes exceeds the {limit} byte limit"),
+            )
+        }
+        Err(HttpError::Malformed(message)) => {
+            shared.served.fetch_add(1, Ordering::SeqCst);
+            error_response(ErrorCode::MalformedHttp, message)
+        }
+        // Connection died before a request arrived (shutdown wake-ups land
+        // here too) — nothing to answer.
+        Err(HttpError::Io(_)) => return,
+    };
+    let _ = response.write_to(&mut stream);
+}
+
+fn error_response(code: ErrorCode, message: impl Into<String>) -> Response {
+    Response::json(code.http_status(), ErrorBody::new(code, message).to_json())
+}
+
+// ---------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------
+
+fn route(shared: &Shared, request: &Request) -> Response {
+    let segments: Vec<&str> = request
+        .path
+        .split('/')
+        .filter(|segment| !segment.is_empty())
+        .collect();
+    let Some((&head, rest)) = segments.split_first() else {
+        return error_response(
+            ErrorCode::NotFound,
+            format!("no route at `/`; supported versions: {}", supported()),
+        );
+    };
+    let Some(version) = ApiVersion::from_segment(head) else {
+        // Distinguish "a version we do not speak" from "not an API path".
+        let looks_like_version = head.len() >= 2
+            && head.starts_with('v')
+            && head[1..].chars().all(|c| c.is_ascii_digit());
+        return if looks_like_version {
+            error_response(
+                ErrorCode::UnsupportedVersion,
+                format!(
+                    "unsupported protocol version `{head}`; supported: {}",
+                    supported()
+                ),
+            )
+        } else {
+            error_response(
+                ErrorCode::NotFound,
+                format!("no route at `{}`", request.path),
+            )
+        };
+    };
+    debug_assert_eq!(version, ApiVersion::V1, "v1 is the only routed version");
+
+    match (request.method.as_str(), rest) {
+        ("GET", ["healthz"]) => healthz(shared),
+        ("GET", ["venues"]) => venues(shared),
+        ("GET", ["stats"]) => stats(shared),
+        ("POST", ["search"]) => search(shared, request),
+        ("POST", ["search", "batch"]) => search_batch(shared, request),
+        (_, ["healthz"]) | (_, ["venues"]) | (_, ["stats"]) => method_not_allowed(request, "GET"),
+        (_, ["search"]) | (_, ["search", "batch"]) => method_not_allowed(request, "POST"),
+        _ => error_response(
+            ErrorCode::NotFound,
+            format!("no route at `{}`", request.path),
+        ),
+    }
+}
+
+fn supported() -> String {
+    ApiVersion::SUPPORTED
+        .iter()
+        .map(|v| v.segment())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn method_not_allowed(request: &Request, allow: &str) -> Response {
+    error_response(
+        ErrorCode::MethodNotAllowed,
+        format!("`{}` does not allow {}", request.path, request.method),
+    )
+    .with_header("allow", allow)
+}
+
+// ---------------------------------------------------------------------
+// Handlers
+// ---------------------------------------------------------------------
+
+#[derive(Serialize)]
+struct HealthBody {
+    api_version: u16,
+    status: String,
+    venues: usize,
+}
+
+fn healthz(shared: &Shared) -> Response {
+    let body = HealthBody {
+        api_version: ApiVersion::CURRENT.wire(),
+        status: "ok".into(),
+        venues: shared.service.registry().len(),
+    };
+    Response::json(
+        200,
+        serde_json::to_string(&body).expect("health serializes"),
+    )
+}
+
+#[derive(Serialize)]
+struct VenuesBody {
+    api_version: u16,
+    epoch: u64,
+    venues: Vec<VenueSummary>,
+}
+
+fn venues(shared: &Shared) -> Response {
+    let registry = shared.service.registry();
+    let venues = registry
+        .ids()
+        .into_iter()
+        .filter_map(|id| {
+            registry.get(&id).map(|engine| VenueSummary {
+                id,
+                partitions: engine.space().num_partitions(),
+                doors: engine.space().num_doors(),
+            })
+        })
+        .collect();
+    let body = VenuesBody {
+        api_version: ApiVersion::CURRENT.wire(),
+        epoch: registry.epoch(),
+        venues,
+    };
+    Response::json(200, serde_json::to_string(&body).expect("venues serialize"))
+}
+
+#[derive(Serialize)]
+struct StatsBody {
+    api_version: u16,
+    epoch: u64,
+    workers: usize,
+    max_in_flight: usize,
+    stats: ServerStats,
+}
+
+fn stats(shared: &Shared) -> Response {
+    let body = StatsBody {
+        api_version: ApiVersion::CURRENT.wire(),
+        epoch: shared.service.registry().epoch(),
+        workers: shared.config.effective_workers(),
+        max_in_flight: shared.max_in_flight,
+        stats: shared.stats(),
+    };
+    Response::json(200, serde_json::to_string(&body).expect("stats serialize"))
+}
+
+fn search(shared: &Shared, request: &Request) -> Response {
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(body) => body,
+        Err(_) => return error_response(ErrorCode::InvalidJson, "body is not UTF-8"),
+    };
+    let search_request: SearchRequest = match serde_json::from_str(body) {
+        Ok(request) => request,
+        Err(error) => {
+            return error_response(
+                ErrorCode::InvalidJson,
+                format!("body does not decode into a SearchRequest: {error}"),
+            )
+        }
+    };
+    let key = search_request.cache_key(shared.service.registry().epoch());
+    if let Some(cached) = shared.cache.get(&key) {
+        return Response::json(200, cached.as_ref()).with_header("x-ikrq-cache", "hit");
+    }
+    match shared.service.search(&search_request) {
+        Ok(response) => {
+            let body = serde_json::to_string(&response).expect("responses serialize");
+            shared.cache.insert(key, body.as_str());
+            Response::json(200, body).with_header("x-ikrq-cache", "miss")
+        }
+        Err(error) => error_response(classify_engine_error(&error), error.to_string()),
+    }
+}
+
+#[derive(Deserialize)]
+struct BatchBody {
+    requests: Vec<SearchRequest>,
+}
+
+// The batch response body is assembled by splicing pre-serialized JSON
+// fragments (cached bodies are stored as compact JSON, fresh responses are
+// serialized exactly once for both the cache and the reply), so each `ok`
+// entry is byte-identical to the single-request endpoint's body. Wire
+// shape, one slot per request in request order:
+//
+//     {"api_version":1,
+//      "responses":[{"ok":<SearchResponse>,"err":null},
+//                   {"ok":null,"err":{"code":"...","message":"..."}}],
+//      "cache_hits":N}
+
+fn search_batch(shared: &Shared, request: &Request) -> Response {
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(body) => body,
+        Err(_) => return error_response(ErrorCode::InvalidJson, "body is not UTF-8"),
+    };
+    let batch: BatchBody = match serde_json::from_str(body) {
+        Ok(batch) => batch,
+        Err(error) => {
+            return error_response(
+                ErrorCode::InvalidJson,
+                format!("body does not decode into a batch envelope: {error}"),
+            )
+        }
+    };
+    if batch.requests.is_empty() {
+        return error_response(ErrorCode::InvalidRequest, "batch contains no requests");
+    }
+    if batch.requests.len() > shared.config.max_batch_size {
+        return error_response(
+            ErrorCode::InvalidRequest,
+            format!(
+                "batch of {} requests exceeds the limit of {}",
+                batch.requests.len(),
+                shared.config.max_batch_size
+            ),
+        );
+    }
+
+    let epoch = shared.service.registry().epoch();
+    let keys: Vec<String> = batch
+        .requests
+        .iter()
+        .map(|request| request.cache_key(epoch))
+        .collect();
+    let cached: Vec<Option<Arc<str>>> = keys.iter().map(|key| shared.cache.get(key)).collect();
+    let misses: Vec<SearchRequest> = batch
+        .requests
+        .iter()
+        .zip(&cached)
+        .filter(|(_, hit)| hit.is_none())
+        .map(|(request, _)| request.clone())
+        .collect();
+    let mut fresh = shared.service.search_batch(&misses).into_iter();
+
+    let mut entries: Vec<String> = Vec::with_capacity(batch.requests.len());
+    let mut cache_hits = 0usize;
+    for (key, cached) in keys.into_iter().zip(cached) {
+        let entry = match cached {
+            Some(body) => {
+                cache_hits += 1;
+                format!("{{\"ok\":{body},\"err\":null}}")
+            }
+            None => match fresh.next().expect("one fresh result per miss") {
+                Ok(response) => {
+                    let body = serde_json::to_string(&response).expect("responses serialize");
+                    shared.cache.insert(key, body.as_str());
+                    format!("{{\"ok\":{body},\"err\":null}}")
+                }
+                Err(error) => {
+                    let detail = ErrorDetail {
+                        code: classify_engine_error(&error).as_str().to_string(),
+                        message: error.to_string(),
+                    };
+                    let detail = serde_json::to_string(&detail).expect("details serialize");
+                    format!("{{\"ok\":null,\"err\":{detail}}}")
+                }
+            },
+        };
+        entries.push(entry);
+    }
+    let body = format!(
+        "{{\"api_version\":{},\"responses\":[{}],\"cache_hits\":{cache_hits}}}",
+        ApiVersion::CURRENT.wire(),
+        entries.join(",")
+    );
+    Response::json(200, body).with_header("x-ikrq-cache-hits", cache_hits.to_string())
+}

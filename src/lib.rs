@@ -15,11 +15,14 @@
 //!   parallel `search_batch`, optional soft-constraint and popularity
 //!   extensions),
 //! * [`persist`] — venue / workload / result documents (JSON + binary),
-//! * [`viz`] — SVG floorplan, route-overlay and figure-chart rendering.
+//! * [`viz`] — SVG floorplan, route-overlay and figure-chart rendering,
+//! * [`server`] — the HTTP/JSON wire front end over the service envelopes
+//!   (protocol v1, see `docs/PROTOCOL.md`).
 
 #![forbid(unsafe_code)]
 
 pub use ikrq_core as core;
+pub use ikrq_server as server;
 pub use indoor_data as data;
 pub use indoor_geom as geom;
 pub use indoor_keywords as keywords;

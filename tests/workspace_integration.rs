@@ -137,3 +137,48 @@ fn real_venue_simulation_is_queryable() {
         assert!(outcome.metrics.stamps_expanded > 0);
     }
 }
+
+#[test]
+fn http_server_round_trips_a_search_through_the_facade() {
+    use std::io::{Read, Write};
+    use std::sync::Arc;
+
+    let example = ikrq::data::paper_example_venue();
+    let service = Arc::new(IkrqService::new());
+    service
+        .register_venue(
+            "fig1",
+            example.venue.space.clone(),
+            example.venue.directory.clone(),
+        )
+        .unwrap();
+    let request = SearchRequest::builder("fig1")
+        .from(example.ps)
+        .to(example.pt)
+        .delta(400.0)
+        .keywords(QueryKeywords::new(["latte", "apple"]).unwrap())
+        .k(3)
+        .build()
+        .unwrap();
+    let expected = service.search(&request).unwrap().deterministic_json();
+
+    let handle = ikrq::server::serve(
+        Arc::clone(&service),
+        "127.0.0.1:0",
+        ikrq::server::ServerConfig::default(),
+    )
+    .unwrap();
+    let body = serde_json::to_string(&request).unwrap();
+    let wire = format!(
+        "POST /v1/search HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let mut reply = String::new();
+    let mut stream = std::net::TcpStream::connect(handle.local_addr()).unwrap();
+    stream.write_all(wire.as_bytes()).unwrap();
+    stream.read_to_string(&mut reply).unwrap();
+    assert!(reply.starts_with("HTTP/1.1 200"), "reply: {reply}");
+    let (_, response_body) = reply.split_once("\r\n\r\n").unwrap();
+    let response: SearchResponse = serde_json::from_str(response_body).unwrap();
+    assert_eq!(response.deterministic_json(), expected);
+}

@@ -4,15 +4,20 @@
 //! ```text
 //! cargo run --release -p ikrq-bench --bin http_load -- \
 //!     [--floors N] [--clients N] [--requests N] [--instances N]
-//!     [--algorithm toe|koe|koe-star] [--seed N]
+//!     [--algorithm toe|koe|koe-star] [--seed N] [--keep-alive] [--compare]
 //! ```
 //!
 //! Prints one summary line per configuration: attempted/ok/shed counts,
 //! cache hits, queries per second and latency. `--instances 1` serves the
 //! best case for the response cache (every request identical);
 //! `--instances N` with a large N approximates a cache-hostile workload.
+//! `--keep-alive` reuses one connection per client instead of dialing per
+//! request; `--compare` runs both modes back to back and prints the
+//! close-vs-reuse throughput ratio.
 
-use ikrq_bench::http_load::{run_http_load, HttpLoadConfig};
+use ikrq_bench::http_load::{
+    run_close_vs_keep_alive, run_http_load, HttpLoadConfig, HttpLoadReport,
+};
 use ikrq_bench::workload::{ExperimentContext, VenueKind};
 use ikrq_core::VariantConfig;
 use indoor_data::WorkloadConfig;
@@ -24,6 +29,8 @@ struct Args {
     instances: usize,
     variant: VariantConfig,
     seed: u64,
+    keep_alive: bool,
+    compare: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -34,6 +41,8 @@ fn parse_args() -> Result<Args, String> {
         instances: 8,
         variant: VariantConfig::toe(),
         seed: 2020,
+        keep_alive: false,
+        compare: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -51,6 +60,8 @@ fn parse_args() -> Result<Args, String> {
                 parsed.instances = value("--instances")?.parse().map_err(|e| format!("{e}"))?
             }
             "--seed" => parsed.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--keep-alive" => parsed.keep_alive = true,
+            "--compare" => parsed.compare = true,
             "--algorithm" => {
                 parsed.variant = match value("--algorithm")?.as_str() {
                     "toe" => VariantConfig::toe(),
@@ -62,7 +73,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: http_load [--floors N] [--clients N] [--requests N] \
-                     [--instances N] [--algorithm toe|koe|koe-star] [--seed N]"
+                     [--instances N] [--algorithm toe|koe|koe-star] [--seed N] \
+                     [--keep-alive] [--compare]"
                         .into(),
                 )
             }
@@ -106,6 +118,7 @@ fn main() {
     let config = HttpLoadConfig {
         clients: args.clients,
         requests_per_client: args.requests_per_client,
+        keep_alive: args.keep_alive,
         ..HttpLoadConfig::default()
     };
     eprintln!(
@@ -115,26 +128,55 @@ fn main() {
         instances.len(),
         args.variant.label(),
     );
-    match run_http_load(&venue, &instances, args.variant, &config) {
-        Ok(report) => {
-            println!(
-                "{}: {} requests -> {} ok, {} shed, {} failed | {} cache hits | \
-                 {:.1} q/s | avg {:.2} ms, max {:.2} ms over {:.2} s",
-                args.variant.label(),
-                report.requests,
-                report.ok,
-                report.shed,
-                report.failed,
-                report.cache_hits,
-                report.qps,
-                report.avg_latency_ms,
-                report.max_latency_ms,
-                report.wall_s,
-            );
+    if args.compare {
+        match run_close_vs_keep_alive(&venue, &instances, args.variant, &config) {
+            Ok((close, reuse)) => {
+                print_report(&args.variant.label(), &close);
+                print_report(&args.variant.label(), &reuse);
+                println!(
+                    "keep-alive speedup: {:.2}x ({:.1} -> {:.1} q/s; {} -> {} connects)",
+                    reuse.qps / close.qps.max(1e-9),
+                    close.qps,
+                    reuse.qps,
+                    close.connects,
+                    reuse.connects,
+                );
+            }
+            Err(error) => {
+                eprintln!("http load comparison failed: {error}");
+                std::process::exit(1);
+            }
         }
+        return;
+    }
+    match run_http_load(&venue, &instances, args.variant, &config) {
+        Ok(report) => print_report(&args.variant.label(), &report),
         Err(error) => {
             eprintln!("http load run failed: {error}");
             std::process::exit(1);
         }
     }
+}
+
+fn print_report(label: &str, report: &HttpLoadReport) {
+    println!(
+        "{} [{}]: {} requests ({} connects) -> {} ok, {} shed, {} failed | \
+         {} cache hits | {:.1} q/s | avg {:.2} ms, max {:.2} ms over {:.2} s",
+        label,
+        if report.keep_alive {
+            "keep-alive"
+        } else {
+            "close"
+        },
+        report.requests,
+        report.connects,
+        report.ok,
+        report.shed,
+        report.failed,
+        report.cache_hits,
+        report.qps,
+        report.avg_latency_ms,
+        report.max_latency_ms,
+        report.wall_s,
+    );
 }

@@ -19,9 +19,13 @@ use std::time::Instant;
 pub struct HttpLoadConfig {
     /// Concurrent client threads.
     pub clients: usize,
-    /// Requests issued per client (each on a fresh connection, the way the
-    /// one-request-per-connection server expects).
+    /// Requests issued per client.
     pub requests_per_client: usize,
+    /// `true` reuses one keep-alive connection per client thread;
+    /// `false` dials a fresh connection per request (`Connection: close`),
+    /// so the close-vs-reuse throughput delta is measurable on the same
+    /// harness.
+    pub keep_alive: bool,
     /// Server sizing for the run.
     pub server: ServerConfig,
 }
@@ -31,6 +35,7 @@ impl Default for HttpLoadConfig {
         HttpLoadConfig {
             clients: 8,
             requests_per_client: 25,
+            keep_alive: false,
             server: ServerConfig {
                 // Load generators should observe shedding only if they
                 // genuinely outrun the venue, not because of the default
@@ -55,6 +60,11 @@ pub struct HttpLoadReport {
     pub failed: usize,
     /// Responses answered from the server-side cache (`x-ikrq-cache: hit`).
     pub cache_hits: usize,
+    /// Whether the run reused keep-alive connections.
+    pub keep_alive: bool,
+    /// TCP connections dialed across all clients (== `requests` in close
+    /// mode, ~= `clients` in keep-alive mode).
+    pub connects: usize,
     /// Wall-clock duration of the whole run in seconds.
     pub wall_s: f64,
     /// Successful requests per wall-clock second.
@@ -72,14 +82,51 @@ struct Sample {
     latency_ms: f64,
 }
 
-fn post_search(addr: SocketAddr, body: &str) -> std::io::Result<Sample> {
+fn post_search(
+    addr: SocketAddr,
+    client: Option<&mut ikrq_server::KeepAliveClient>,
+    body: &str,
+) -> std::io::Result<Sample> {
     let started = Instant::now();
-    let reply = ikrq_server::client::one_shot(addr, "POST", "/v1/search", body)?;
+    let reply = match client {
+        Some(client) => client.request("POST", "/v1/search", body)?,
+        None => ikrq_server::client::one_shot(addr, "POST", "/v1/search", body)?,
+    };
     Ok(Sample {
         status: reply.status,
         cache_hit: reply.header("x-ikrq-cache") == Some("hit"),
         latency_ms: started.elapsed().as_secs_f64() * 1e3,
     })
+}
+
+/// Runs the same workload twice — close-per-request, then keep-alive —
+/// and returns both reports, so the connect-cost share of the wire path
+/// is directly measurable.
+pub fn run_close_vs_keep_alive(
+    venue: &PreparedVenue,
+    instances: &[QueryInstance],
+    variant: VariantConfig,
+    config: &HttpLoadConfig,
+) -> std::io::Result<(HttpLoadReport, HttpLoadReport)> {
+    let close = run_http_load(
+        venue,
+        instances,
+        variant,
+        &HttpLoadConfig {
+            keep_alive: false,
+            ..config.clone()
+        },
+    )?;
+    let reuse = run_http_load(
+        venue,
+        instances,
+        variant,
+        &HttpLoadConfig {
+            keep_alive: true,
+            ..config.clone()
+        },
+    )?;
+    Ok((close, reuse))
 }
 
 /// Starts a server over the prepared venue's engine (sharing its KoE*
@@ -109,18 +156,25 @@ pub fn run_http_load(
 
     let next = AtomicUsize::new(0);
     let started = Instant::now();
-    let samples: Vec<Vec<Option<Sample>>> = std::thread::scope(|scope| {
+    let outcomes: Vec<(Vec<Option<Sample>>, usize)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..config.clients)
             .map(|_| {
                 let bodies = &bodies;
                 let next = &next;
+                let keep_alive = config.keep_alive;
                 scope.spawn(move || {
-                    (0..config.requests_per_client)
+                    let mut client = keep_alive.then(|| ikrq_server::KeepAliveClient::new(addr));
+                    let samples = (0..config.requests_per_client)
                         .map(|_| {
                             let index = next.fetch_add(1, Ordering::Relaxed) % bodies.len();
-                            post_search(addr, &bodies[index]).ok()
+                            post_search(addr, client.as_mut(), &bodies[index]).ok()
                         })
-                        .collect()
+                        .collect();
+                    let connects = match &client {
+                        Some(client) => client.connects() as usize,
+                        None => config.requests_per_client,
+                    };
+                    (samples, connects)
                 })
             })
             .collect();
@@ -138,13 +192,15 @@ pub fn run_http_load(
         shed: 0,
         failed: 0,
         cache_hits: 0,
+        keep_alive: config.keep_alive,
+        connects: outcomes.iter().map(|(_, connects)| connects).sum(),
         wall_s,
         qps: 0.0,
         avg_latency_ms: 0.0,
         max_latency_ms: 0.0,
     };
     let mut latency_sum = 0.0;
-    for sample in samples.into_iter().flatten() {
+    for sample in outcomes.into_iter().flat_map(|(samples, _)| samples) {
         match sample {
             Some(sample) if sample.status == 200 => {
                 report.ok += 1;
@@ -191,6 +247,8 @@ mod tests {
         assert_eq!(report.ok, 16, "no shedding at max_in_flight=1024");
         assert_eq!(report.failed, 0);
         assert_eq!(report.shed, 0);
+        assert!(!report.keep_alive);
+        assert_eq!(report.connects, 16, "close mode dials per request");
         // 16 requests round-robin over 2 distinct bodies. A lookup can only
         // miss while no response for that body has completed yet, and at
         // most 4 requests (one per client) are ever in flight at once — so
@@ -204,5 +262,32 @@ mod tests {
         assert!(report.qps > 0.0);
         assert!(report.avg_latency_ms > 0.0);
         assert!(report.max_latency_ms >= report.avg_latency_ms);
+    }
+
+    #[test]
+    fn keep_alive_mode_reuses_connections_on_the_live_socket() {
+        let ctx = crate::test_support::shared_context();
+        let venue = ctx.venue(VenueKind::Synthetic { floors: 1 });
+        let workload = WorkloadConfig {
+            s2t: 600.0,
+            qw_len: 2,
+            ..WorkloadConfig::default()
+        };
+        let instances = venue.instances(&workload, 2, 17);
+        let config = HttpLoadConfig {
+            clients: 4,
+            requests_per_client: 8,
+            keep_alive: true,
+            ..HttpLoadConfig::default()
+        };
+        let report =
+            run_http_load(&venue, &instances, VariantConfig::toe(), &config).expect("load run");
+        assert_eq!(report.ok, 32, "every request must succeed");
+        assert_eq!(report.failed, 0);
+        assert!(report.keep_alive);
+        // One dial per client thread: 32 requests over 4 connections (a
+        // transparent reconnect would only show up under server-side
+        // recycling, which this config does not enable).
+        assert_eq!(report.connects, 4, "keep-alive mode must reuse");
     }
 }

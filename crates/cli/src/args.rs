@@ -146,6 +146,20 @@ impl ParsedArgs {
             .transpose()
     }
 
+    /// An optional flag parsed as a boolean (`true`/`false`, `on`/`off`,
+    /// `1`/`0`, `yes`/`no`).
+    pub fn get_bool(&self, name: &str) -> Result<Option<bool>> {
+        self.get(name)
+            .map(|v| match v.to_ascii_lowercase().as_str() {
+                "true" | "1" | "on" | "yes" => Ok(true),
+                "false" | "0" | "off" | "no" => Ok(false),
+                _ => Err(CliError::Usage(format!(
+                    "flag `--{name}` expects true|false, got `{v}`"
+                ))),
+            })
+            .transpose()
+    }
+
     /// An optional flag parsed as `u64`.
     pub fn get_u64(&self, name: &str) -> Result<Option<u64>> {
         self.get(name)
@@ -235,6 +249,32 @@ mod tests {
         assert!(p.switch("binary"));
         assert!(!p.switch("quiet"));
         assert_eq!(p.get("out"), Some("venue.bin"));
+    }
+
+    #[test]
+    fn booleans_parse_their_spellings() {
+        let p = parse(&["serve", "--keep-alive", "false", "--quiet"]).unwrap();
+        assert_eq!(p.get_bool("keep-alive").unwrap(), Some(false));
+        assert_eq!(p.get_bool("absent").unwrap(), None);
+        for (spelling, expected) in [
+            ("true", true),
+            ("ON", true),
+            ("1", true),
+            ("yes", true),
+            ("false", false),
+            ("off", false),
+            ("0", false),
+            ("No", false),
+        ] {
+            let p = parse(&["serve", "--keep-alive", spelling]).unwrap();
+            assert_eq!(
+                p.get_bool("keep-alive").unwrap(),
+                Some(expected),
+                "{spelling}"
+            );
+        }
+        let bad = parse(&["serve", "--keep-alive", "maybe"]).unwrap();
+        assert!(bad.get_bool("keep-alive").is_err());
     }
 
     #[test]

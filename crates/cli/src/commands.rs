@@ -57,7 +57,11 @@ COMMANDS:
                --venues \"a.json,b.json\"        venue documents to host
                --addr HOST:PORT                (default 127.0.0.1:8080)
                --workers N                     worker threads (default: cores)
-               --max-in-flight N               admission bound (default 4x workers)
+               --max-in-flight N               concurrent-request bound (default 4x workers)
+               --max-connections N             open-connection bound (default 4x max-in-flight)
+               --keep-alive true|false         connection reuse (default true)
+               --idle-timeout SECONDS          close idle connections after (default 30)
+               --max-requests-per-conn N       recycle connections after N requests (default: unlimited)
                --cache-capacity N              response-cache entries (default 4096, 0 disables)
                --cache-shards N                response-cache shards (default 8)
     help       Show this message
@@ -510,6 +514,23 @@ pub fn start_server(args: &ParsedArgs) -> Result<ikrq_server::ServerHandle> {
     }
     if let Some(shards) = args.get_usize("cache-shards")? {
         config.cache.shards = shards;
+    }
+    if let Some(keep_alive) = args.get_bool("keep-alive")? {
+        config.keep_alive = keep_alive;
+    }
+    if let Some(idle_timeout) = args.get_f64("idle-timeout")? {
+        if !idle_timeout.is_finite() || idle_timeout <= 0.0 {
+            return Err(CliError::Usage(
+                "flag `--idle-timeout` expects a positive number of seconds".into(),
+            ));
+        }
+        config.idle_timeout = std::time::Duration::from_secs_f64(idle_timeout);
+    }
+    if let Some(max_requests) = args.get_usize("max-requests-per-conn")? {
+        config.max_requests_per_conn = max_requests;
+    }
+    if let Some(max_connections) = args.get_usize("max-connections")? {
+        config.max_connections = max_connections;
     }
     let addr = args.get("addr").unwrap_or("127.0.0.1:8080");
     let handle = ikrq_server::serve(service, addr, config)?;

@@ -288,20 +288,61 @@ fn serve_hosts_generated_venues_over_http() {
         "127.0.0.1:0",
         "--workers",
         "2",
+        "--keep-alive",
+        "true",
+        "--idle-timeout",
+        "5",
+        "--max-requests-per-conn",
+        "2",
+        "--max-connections",
+        "16",
     ])
     .unwrap();
     let handle = ikrq_cli::commands::start_server(&args).unwrap();
     let addr = handle.local_addr();
 
+    // Two requests on one connection: the keep-alive flags wired through,
+    // and the request cap of 2 closes the connection after the second.
     let mut stream = std::net::TcpStream::connect(addr).unwrap();
     stream
-        .write_all(b"GET /v1/venues HTTP/1.1\r\nhost: t\r\n\r\n")
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(
+            b"GET /v1/venues HTTP/1.1\r\nhost: t\r\n\r\nGET /v1/venues HTTP/1.1\r\nhost: t\r\n\r\n",
+        )
         .unwrap();
     let mut reply = String::new();
     stream.read_to_string(&mut reply).unwrap();
     assert!(reply.starts_with("HTTP/1.1 200"), "reply: {reply}");
     // The venue document carries its name, which becomes the hosted id.
     assert!(reply.contains("fig1-example"), "reply: {reply}");
+    assert!(reply.contains("connection: keep-alive"), "reply: {reply}");
+    // The second response retires the connection (cap = 2), which is what
+    // let read_to_string return at all.
+    assert!(reply.contains("connection: close"), "reply: {reply}");
+
+    // Bad boolean spellings are usage errors before anything binds.
+    assert!(matches!(
+        run_args([
+            "serve",
+            "--venues",
+            venue_path.as_str(),
+            "--keep-alive",
+            "maybe"
+        ]),
+        Err(CliError::Usage(_))
+    ));
+    assert!(matches!(
+        run_args([
+            "serve",
+            "--venues",
+            venue_path.as_str(),
+            "--idle-timeout",
+            "-3"
+        ]),
+        Err(CliError::Usage(_))
+    ));
 }
 
 #[test]

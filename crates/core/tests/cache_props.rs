@@ -1,0 +1,205 @@
+//! Property tests of [`ikrq_core::ResponseCache`] against a naive model.
+//!
+//! The model replays every operation on plain per-shard vectors ordered
+//! least- to most-recently-used, mirroring the documented behaviour of the
+//! sharded cache: hash-on-key shard selection, per-shard LRU eviction at
+//! `capacity / shards` entries, and the hit/miss/insertion/eviction
+//! counters. Any divergence between the real cache and the model — wrong
+//! value, wrong eviction victim, drifting counters — fails the property.
+
+use ikrq_core::{CacheConfig, ResponseCache};
+use proptest::collection;
+use proptest::prelude::*;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// One step of a cache workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Get(String),
+    Put(String, String),
+    Clear,
+}
+
+/// The naive reference implementation. Each shard is a vector ordered from
+/// least to most recently used, so eviction is `remove(0)` and a touch is
+/// move-to-back.
+struct Model {
+    shards: Vec<Vec<(String, String)>>,
+    per_shard_capacity: usize,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+}
+
+impl Model {
+    fn new(config: CacheConfig) -> Self {
+        // Mirrors ResponseCache::new's clamping: at least one shard, never
+        // more shards than entries, per-shard capacity rounding down.
+        let shards = config.shards.clamp(1, config.capacity.max(1));
+        Model {
+            shards: (0..shards).map(|_| Vec::new()).collect(),
+            per_shard_capacity: config.capacity / shards,
+            hits: 0,
+            misses: 0,
+            insertions: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Mirrors ResponseCache::shard — same std hasher, same modulo.
+    fn shard_index(&self, key: &str) -> usize {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() as usize) % self.shards.len()
+    }
+
+    fn get(&mut self, key: &str) -> Option<String> {
+        let index = self.shard_index(key);
+        let shard = &mut self.shards[index];
+        match shard.iter().position(|(k, _)| k == key) {
+            Some(position) => {
+                let entry = shard.remove(position);
+                let value = entry.1.clone();
+                shard.push(entry);
+                self.hits += 1;
+                Some(value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn put(&mut self, key: &str, value: &str) {
+        if self.per_shard_capacity == 0 {
+            return; // disabled cache: inserts are silent no-ops
+        }
+        let index = self.shard_index(key);
+        let capacity = self.per_shard_capacity;
+        let shard = &mut self.shards[index];
+        if let Some(position) = shard.iter().position(|(k, _)| k == key) {
+            shard.remove(position);
+        }
+        shard.push((key.to_string(), value.to_string()));
+        self.insertions += 1;
+        while shard.len() > capacity {
+            shard.remove(0);
+            self.evictions += 1;
+        }
+    }
+
+    fn clear(&mut self) {
+        for shard in &mut self.shards {
+            self.evictions += shard.len() as u64;
+            shard.clear();
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(Vec::len).sum()
+    }
+}
+
+fn key_pool() -> impl Strategy<Value = String> {
+    (0usize..8).prop_map(|i| format!("k{i}"))
+}
+
+/// Roughly 5/12 gets, 6/12 puts, 1/12 clears.
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u32..12, key_pool(), 0u32..1000).prop_map(|(selector, key, value)| match selector {
+        0..=4 => Op::Get(key),
+        5..=10 => Op::Put(key, format!("v{value}")),
+        _ => Op::Clear,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Random get/put/clear sequences over random shard/capacity sizings
+    /// behave exactly like the naive per-shard LRU model, operation by
+    /// operation and counter by counter.
+    #[test]
+    fn random_sequences_match_the_naive_model(
+        shards in 0usize..=6,
+        capacity in 0usize..=16,
+        ops in collection::vec(op_strategy(), 0..120),
+    ) {
+        let config = CacheConfig { shards, capacity };
+        let cache = ResponseCache::new(config);
+        let mut model = Model::new(config);
+
+        for op in &ops {
+            match op {
+                Op::Get(key) => {
+                    let real = cache.get(key).map(|v| v.to_string());
+                    let expected = model.get(key);
+                    prop_assert_eq!(real, expected, "get({}) diverged", key);
+                }
+                Op::Put(key, value) => {
+                    cache.insert(key.clone(), value.as_str());
+                    model.put(key, value);
+                }
+                Op::Clear => {
+                    cache.clear();
+                    model.clear();
+                }
+            }
+            prop_assert_eq!(cache.len(), model.len(), "len diverged after {:?}", op);
+            prop_assert!(
+                cache.len() <= capacity,
+                "cache of capacity {} holds {} entries",
+                capacity,
+                cache.len()
+            );
+        }
+
+        // A final sweep over the whole key pool pins the surviving entries
+        // and their values (the sweep touches both sides identically, so
+        // the counter comparison below stays exact).
+        for i in 0..8 {
+            let key = format!("k{i}");
+            prop_assert_eq!(
+                cache.get(&key).map(|v| v.to_string()),
+                model.get(&key),
+                "final sweep diverged on {}",
+                key
+            );
+        }
+
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits, model.hits);
+        prop_assert_eq!(stats.misses, model.misses);
+        prop_assert_eq!(stats.insertions, model.insertions);
+        prop_assert_eq!(stats.evictions, model.evictions);
+        prop_assert_eq!(stats.entries, model.len());
+        prop_assert_eq!(stats.capacity, model.per_shard_capacity * model.shards.len());
+    }
+
+    /// The per-shard hit/miss counters always sum to the number of lookups
+    /// issued, and hits + live entries can never exceed the work inserted —
+    /// a coarse sanity net independent of the model above.
+    #[test]
+    fn counters_are_conserved(
+        keys in collection::vec(key_pool(), 1..64),
+    ) {
+        let cache = ResponseCache::new(CacheConfig { shards: 3, capacity: 5 });
+        let mut lookups = 0u64;
+        for (index, key) in keys.iter().enumerate() {
+            if index % 2 == 0 {
+                cache.insert(key.clone(), "v");
+            } else {
+                let _ = cache.get(key);
+                lookups += 1;
+            }
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits + stats.misses, lookups);
+        prop_assert_eq!(stats.insertions, keys.len().div_ceil(2) as u64);
+        prop_assert!(stats.entries <= 5);
+        prop_assert!(stats.evictions <= stats.insertions);
+    }
+}

@@ -1,15 +1,15 @@
-//! A minimal one-shot HTTP/1.1 client for the server's
-//! one-request-per-connection model: connect, send, read the full reply,
-//! done. This is the reference client the integration tests and the
-//! `http_load` bench driver share, so the wire dance lives in exactly one
-//! place; production clients should use a real HTTP library behind a
-//! reverse proxy.
+//! Minimal HTTP/1.1 clients for the server's wire protocol: a [`one_shot`]
+//! connect-send-read-close helper, and a [`KeepAliveClient`] that keeps one
+//! connection open across requests. These are the reference clients the
+//! integration tests and the `http_load` bench driver share, so the wire
+//! dance lives in exactly one place; production clients should use a real
+//! HTTP library behind a reverse proxy.
 
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
-/// A parsed one-shot reply.
+/// A parsed reply.
 #[derive(Debug, Clone)]
 pub struct ClientReply {
     /// HTTP status code.
@@ -35,11 +35,15 @@ fn invalid(what: &str) -> std::io::Error {
 }
 
 /// Sends raw bytes over a fresh connection and parses whatever comes back
-/// as an HTTP reply. The escape hatch for protocol-violation tests.
+/// as an HTTP reply, reading until the server closes. The escape hatch for
+/// protocol-violation tests — note that a keep-alive server only closes
+/// after an error or an explicit `Connection: close`, so well-formed wire
+/// bytes passed here should carry that header.
 pub fn raw_one_shot(addr: SocketAddr, wire: &[u8]) -> std::io::Result<ClientReply> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(30)))?;
     stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let _ = stream.set_nodelay(true);
     stream.write_all(wire)?;
     let mut bytes = Vec::new();
     stream.read_to_end(&mut bytes)?;
@@ -64,8 +68,9 @@ pub fn raw_one_shot(addr: SocketAddr, wire: &[u8]) -> std::io::Result<ClientRepl
     })
 }
 
-/// Sends one well-formed request (empty `body` for GET-style calls) and
-/// reads the reply.
+/// Sends one well-formed request (empty `body` for GET-style calls) over a
+/// fresh connection and reads the reply. Opts out of keep-alive explicitly
+/// (`connection: close`), so reading to end-of-stream frames the reply.
 pub fn one_shot(
     addr: SocketAddr,
     method: &str,
@@ -73,10 +78,213 @@ pub fn one_shot(
     body: &str,
 ) -> std::io::Result<ClientReply> {
     let wire = format!(
-        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
         body.len()
     );
     raw_one_shot(addr, wire.as_bytes())
+}
+
+/// A client that holds one keep-alive connection to the server and reuses
+/// it across requests, reconnecting transparently when the server closed
+/// it in between (idle timeout, per-connection request cap, restart).
+///
+/// Replies are framed by `content-length`, so the connection stays usable
+/// after each exchange; a reply carrying `connection: close` drops the
+/// cached connection so the next request dials fresh.
+#[derive(Debug)]
+pub struct KeepAliveClient {
+    addr: SocketAddr,
+    timeout: Duration,
+    stream: Option<BufReader<TcpStream>>,
+    connects: u64,
+    requests: u64,
+}
+
+impl KeepAliveClient {
+    /// A client for the given server; no connection is opened until the
+    /// first request.
+    pub fn new(addr: SocketAddr) -> Self {
+        KeepAliveClient {
+            addr,
+            timeout: Duration::from_secs(30),
+            stream: None,
+            connects: 0,
+            requests: 0,
+        }
+    }
+
+    /// Overrides the per-socket read/write timeout (default 30 s).
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// TCP connections dialed so far — `requests() - connects()` exchanges
+    /// rode a reused connection.
+    pub fn connects(&self) -> u64 {
+        self.connects
+    }
+
+    /// Requests completed so far.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Drops the cached connection, forcing the next request to dial.
+    pub fn disconnect(&mut self) {
+        self.stream = None;
+    }
+
+    /// Sends one request, reusing the open connection when possible. If a
+    /// *reused* connection turns out dead before any reply byte arrives
+    /// (the server timed it out or recycled it since the last exchange),
+    /// the client redials once and retries. An exchange that fails after
+    /// reply bytes started flowing is NOT retried — the server may
+    /// already have executed the request, and resending would run it
+    /// twice.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<ClientReply> {
+        for attempt in 0..2 {
+            let reused = self.stream.is_some();
+            if !reused {
+                let stream = TcpStream::connect(self.addr)?;
+                stream.set_read_timeout(Some(self.timeout))?;
+                stream.set_write_timeout(Some(self.timeout))?;
+                let _ = stream.set_nodelay(true);
+                self.connects += 1;
+                self.stream = Some(BufReader::new(stream));
+            }
+            match self.exchange(method, path, body) {
+                Ok(reply) => {
+                    self.requests += 1;
+                    if reply
+                        .header("connection")
+                        .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+                    {
+                        self.stream = None;
+                    }
+                    return Ok(reply);
+                }
+                Err(failure) => {
+                    self.stream = None;
+                    // Only a stale reused connection that never produced
+                    // a reply byte earns the one retry; a fresh
+                    // connection failing, or a reply cut off mid-flight,
+                    // is a real fault surfaced to the caller.
+                    if !(attempt == 0 && reused && !failure.reply_started) {
+                        return Err(failure.error);
+                    }
+                }
+            }
+        }
+        unreachable!("the retry loop always returns")
+    }
+
+    /// One write + framed read on the cached connection.
+    fn exchange(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> Result<ClientReply, ExchangeFailure> {
+        let reader = self.stream.as_mut().expect("connection is open");
+        let wire = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\n\r\n{body}",
+            self.addr,
+            body.len()
+        );
+        let before_reply = |error| ExchangeFailure {
+            error,
+            reply_started: false,
+        };
+        reader
+            .get_mut()
+            .write_all(wire.as_bytes())
+            .map_err(before_reply)?;
+        reader.get_mut().flush().map_err(before_reply)?;
+
+        // Wait for the first reply byte without consuming it: everything
+        // up to here can safely retry on a fresh connection, everything
+        // after it cannot (the server demonstrably took the request).
+        match reader.fill_buf() {
+            Ok([]) => {
+                return Err(before_reply(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )))
+            }
+            Ok(_) => {}
+            Err(error) => return Err(before_reply(error)),
+        }
+        self.framed_reply().map_err(|error| ExchangeFailure {
+            error,
+            reply_started: true,
+        })
+    }
+
+    /// Reads one length-framed reply off the cached connection (the first
+    /// byte is already known to be waiting).
+    fn framed_reply(&mut self) -> std::io::Result<ClientReply> {
+        let reader = self.stream.as_mut().expect("connection is open");
+        let status_line = read_head_line(reader)?;
+        let status = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|code| code.parse::<u16>().ok())
+            .ok_or_else(|| invalid("reply has no status line"))?;
+        let mut headers = Vec::new();
+        loop {
+            let line = read_head_line(reader)?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+            }
+        }
+        let content_length = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok())
+            .ok_or_else(|| invalid("reply has no content-length"))?;
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body).map_err(|_| invalid("reply is not UTF-8"))?;
+        Ok(ClientReply {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+/// An [`KeepAliveClient::exchange`] failure: the error plus whether any
+/// reply byte had arrived (the boundary between "safe to retry on a fresh
+/// connection" and "the server may have executed the request").
+struct ExchangeFailure {
+    error: std::io::Error,
+    reply_started: bool,
+}
+
+/// Reads one CRLF-terminated reply-head line; EOF mid-reply surfaces as
+/// `UnexpectedEof`.
+fn read_head_line(reader: &mut BufReader<TcpStream>) -> std::io::Result<String> {
+    let mut line = String::new();
+    let read = reader.read_line(&mut line)?;
+    if read == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection",
+        ));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
 }
 
 #[cfg(test)]
@@ -90,10 +298,33 @@ mod tests {
         let reply = one_shot(handle.local_addr(), "GET", "/v1/healthz", "").unwrap();
         assert_eq!(reply.status, 200);
         assert_eq!(reply.header("content-type"), Some("application/json"));
+        assert_eq!(reply.header("connection"), Some("close"));
         assert!(reply.body.contains("\"status\":\"ok\""));
         assert!(reply.header("absent").is_none());
 
         let raw = raw_one_shot(handle.local_addr(), b"BOGUS\r\n\r\n").unwrap();
         assert_eq!(raw.status, 400);
+    }
+
+    #[test]
+    fn keep_alive_client_reuses_one_connection() {
+        let service = std::sync::Arc::new(ikrq_core::IkrqService::new());
+        let handle = crate::serve(service, "127.0.0.1:0", crate::ServerConfig::default()).unwrap();
+        let mut client = KeepAliveClient::new(handle.local_addr());
+        for _ in 0..5 {
+            let reply = client.request("GET", "/v1/healthz", "").unwrap();
+            assert_eq!(reply.status, 200);
+            assert_eq!(reply.header("connection"), Some("keep-alive"));
+        }
+        assert_eq!(client.requests(), 5);
+        assert_eq!(client.connects(), 1, "five requests over one connection");
+
+        // A dropped connection redials transparently.
+        client.disconnect();
+        assert_eq!(
+            client.request("GET", "/v1/healthz", "").unwrap().status,
+            200
+        );
+        assert_eq!(client.connects(), 2);
     }
 }

@@ -1,11 +1,13 @@
 //! A minimal HTTP/1.1 subset over `std::net` — just enough to carry the
 //! JSON protocol: request-line + headers + `Content-Length` bodies in,
-//! status + headers + body out, one request per connection
-//! (`Connection: close`). No chunked encoding, no keep-alive, no TLS;
-//! clients that need more should sit behind a real reverse proxy.
+//! status + headers + body out. Connections are persistent by default
+//! ([`HttpConnection`] carries buffered bytes across requests, so
+//! pipelined requests and split TCP segments frame correctly); keep-alive
+//! is negotiated per request via [`Request::wants_keep_alive`]. No chunked
+//! encoding, no TLS; clients that need more should sit behind a real
+//! reverse proxy.
 
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
 
 /// Upper bound on the request head (request line + headers) in bytes.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -23,6 +25,9 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The request body (empty unless `Content-Length` said otherwise).
     pub body: Vec<u8>,
+    /// Minor HTTP version from the request line (`0` for `HTTP/1.0`,
+    /// `1` for `HTTP/1.1`).
+    pub version_minor: u8,
 }
 
 impl Request {
@@ -32,6 +37,28 @@ impl Request {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether this request asks the server to keep the connection open.
+    /// Per RFC 9112 §9.6, a `close` option anywhere in the `Connection`
+    /// list (any casing) closes the connection, regardless of what else
+    /// is listed; otherwise `keep-alive` keeps it open; absent both,
+    /// HTTP/1.1 defaults to keep-alive and HTTP/1.0 to close.
+    pub fn wants_keep_alive(&self) -> bool {
+        if let Some(value) = self.header("connection") {
+            let mut keep_alive_token = false;
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    return false;
+                }
+                keep_alive_token |= token.eq_ignore_ascii_case("keep-alive");
+            }
+            if keep_alive_token {
+                return true;
+            }
+        }
+        self.version_minor >= 1
     }
 }
 
@@ -47,6 +74,9 @@ pub enum HttpError {
         /// The server's limit.
         limit: usize,
     },
+    /// The peer closed the connection cleanly at a request boundary —
+    /// the normal end of a keep-alive session, not a fault.
+    Closed,
     /// The socket failed or the peer disconnected mid-request.
     Io(std::io::Error),
 }
@@ -58,6 +88,7 @@ impl std::fmt::Display for HttpError {
             HttpError::PayloadTooLarge { declared, limit } => {
                 write!(f, "body of {declared} bytes exceeds the {limit} byte limit")
             }
+            HttpError::Closed => write!(f, "peer closed the connection"),
             HttpError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -69,123 +100,176 @@ impl From<std::io::Error> for HttpError {
     }
 }
 
-/// A buffered stream plus a running count of head bytes consumed, so the
-/// request head as a whole (not just each line) is capped.
-struct HeadReader<'stream> {
-    inner: BufReader<&'stream mut TcpStream>,
-    consumed: usize,
-}
-
-/// Reads one request off the stream. `max_body_bytes` bounds the accepted
-/// `Content-Length`, [`MAX_HEAD_BYTES`] bounds the request line + headers.
-pub fn read_request(stream: &mut TcpStream, max_body_bytes: usize) -> Result<Request, HttpError> {
-    let mut reader = HeadReader {
-        inner: BufReader::new(stream),
-        consumed: 0,
-    };
-    let request_line = read_line(&mut reader)?;
-    let mut parts = request_line.split_whitespace();
-    let method = parts
-        .next()
-        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
-        .to_ascii_uppercase();
-    let target = parts
-        .next()
-        .ok_or_else(|| HttpError::Malformed("request line has no target".into()))?
-        .to_string();
-    let version = parts
-        .next()
-        .ok_or_else(|| HttpError::Malformed("request line has no version".into()))?;
-    if !version.starts_with("HTTP/1.") {
-        return Err(HttpError::Malformed(format!(
-            "unsupported protocol `{version}`"
-        )));
-    }
-
-    let mut headers = Vec::new();
-    loop {
-        let line = read_line(&mut reader)?;
-        if line.is_empty() {
-            break;
-        }
-        let Some((name, value)) = line.split_once(':') else {
-            return Err(HttpError::Malformed(format!(
-                "header without colon: {line}"
-            )));
-        };
-        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
-    }
-
-    let content_length = headers
-        .iter()
-        .find(|(n, _)| n == "content-length")
-        .map(|(_, v)| {
-            v.parse::<usize>()
-                .map_err(|_| HttpError::Malformed(format!("bad content-length `{v}`")))
-        })
-        .transpose()?
-        .unwrap_or(0);
-    if content_length > max_body_bytes {
-        return Err(HttpError::PayloadTooLarge {
-            declared: content_length,
-            limit: max_body_bytes,
-        });
-    }
-    let mut body = vec![0u8; content_length];
-    reader.inner.read_exact(&mut body)?;
-
-    let (path, query) = match target.split_once('?') {
-        Some((path, query)) => (path.to_string(), Some(query.to_string())),
-        None => (target, None),
-    };
-    Ok(Request {
-        method,
-        path,
-        query,
-        headers,
-        body,
-    })
-}
-
-/// Reads one CRLF- (or bare-LF-) terminated line, without the terminator.
+/// One side of a persistent HTTP exchange: a buffered reader that survives
+/// across requests, so bytes a peer sent ahead of time (pipelining, or a
+/// body split across TCP segments) are never dropped between requests.
 ///
-/// Reads byte by byte off the buffered stream so the accumulated line —
-/// and therefore the whole request head — can never exceed
-/// [`MAX_HEAD_BYTES`] of memory, no matter how many bytes a hostile client
-/// streams without a newline. Non-UTF-8 heads are malformed HTTP, not an
-/// I/O failure, so they still get the stable 400 body.
-fn read_line(reader: &mut HeadReader<'_>) -> Result<String, HttpError> {
-    let mut line: Vec<u8> = Vec::new();
-    loop {
-        if reader.consumed >= MAX_HEAD_BYTES {
-            return Err(HttpError::Malformed("request head too large".into()));
+/// Generic over the transport so the framing layer is testable against
+/// in-memory readers; the server instantiates it with `TcpStream`.
+#[derive(Debug)]
+pub struct HttpConnection<S> {
+    reader: BufReader<S>,
+}
+
+impl<S: Read> HttpConnection<S> {
+    /// Wraps a transport.
+    pub fn new(stream: S) -> Self {
+        HttpConnection {
+            reader: BufReader::new(stream),
         }
-        let buffer = reader.inner.fill_buf()?;
-        if buffer.is_empty() {
-            return Err(HttpError::Io(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "peer closed the connection mid-request",
-            )));
-        }
-        let budget = (MAX_HEAD_BYTES - reader.consumed).min(buffer.len());
-        match buffer[..budget].iter().position(|&b| b == b'\n') {
-            Some(newline) => {
-                line.extend_from_slice(&buffer[..newline]);
-                reader.inner.consume(newline + 1);
-                reader.consumed += newline + 1;
+    }
+
+    /// The underlying transport (for socket-level timeout configuration
+    /// and for writing responses).
+    pub fn get_mut(&mut self) -> &mut S {
+        self.reader.get_mut()
+    }
+
+    /// Whether carried-over bytes from a previous read are already
+    /// buffered (a pipelined request is waiting).
+    pub fn has_buffered_data(&self) -> bool {
+        !self.reader.buffer().is_empty()
+    }
+
+    /// Blocks until at least one byte is readable (buffered or from the
+    /// transport). `Ok(true)` means data is ready, `Ok(false)` a clean
+    /// end-of-stream; timeouts surface as `Err` with kind
+    /// `WouldBlock`/`TimedOut`, which callers use as an idle-poll tick.
+    pub fn poll_data(&mut self) -> std::io::Result<bool> {
+        Ok(!self.reader.fill_buf()?.is_empty())
+    }
+
+    /// Reads one request off the connection. `max_body_bytes` bounds the
+    /// accepted `Content-Length`, [`MAX_HEAD_BYTES`] bounds the request
+    /// line + headers. End-of-stream before the first byte of a request is
+    /// the clean [`HttpError::Closed`]; anything later is a fault.
+    pub fn read_request(&mut self, max_body_bytes: usize) -> Result<Request, HttpError> {
+        let mut consumed = 0usize;
+        let request_line = self.read_line(&mut consumed)?;
+        let mut parts = request_line.split_whitespace();
+        let method = parts
+            .next()
+            .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+            .to_ascii_uppercase();
+        let target = parts
+            .next()
+            .ok_or_else(|| HttpError::Malformed("request line has no target".into()))?
+            .to_string();
+        let version = parts
+            .next()
+            .ok_or_else(|| HttpError::Malformed("request line has no version".into()))?;
+        let version_minor = match version.strip_prefix("HTTP/1.") {
+            Some(minor) => minor
+                .parse::<u8>()
+                .map_err(|_| HttpError::Malformed(format!("unsupported protocol `{version}`")))?,
+            None => {
+                return Err(HttpError::Malformed(format!(
+                    "unsupported protocol `{version}`"
+                )))
+            }
+        };
+
+        let mut headers = Vec::new();
+        loop {
+            let line = self.read_line(&mut consumed)?;
+            if line.is_empty() {
                 break;
             }
-            None => {
-                line.extend_from_slice(&buffer[..budget]);
-                reader.inner.consume(budget);
-                reader.consumed += budget;
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(HttpError::Malformed(format!(
+                    "header without colon: {line}"
+                )));
+            };
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+
+        let content_length = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .map(|(_, v)| {
+                v.parse::<usize>()
+                    .map_err(|_| HttpError::Malformed(format!("bad content-length `{v}`")))
+            })
+            .transpose()?
+            .unwrap_or(0);
+        if content_length > max_body_bytes {
+            return Err(HttpError::PayloadTooLarge {
+                declared: content_length,
+                limit: max_body_bytes,
+            });
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+
+        let (path, query) = match target.split_once('?') {
+            Some((path, query)) => (path.to_string(), Some(query.to_string())),
+            None => (target, None),
+        };
+        Ok(Request {
+            method,
+            path,
+            query,
+            headers,
+            body,
+            version_minor,
+        })
+    }
+
+    /// Reads one CRLF- (or bare-LF-) terminated line, without the
+    /// terminator.
+    ///
+    /// Reads off the buffered stream in bounded slices so the accumulated
+    /// head — not just each line — can never exceed [`MAX_HEAD_BYTES`] of
+    /// memory, no matter how many bytes a hostile client streams without a
+    /// newline. Non-UTF-8 heads are malformed HTTP, not an I/O failure, so
+    /// they still get the stable 400 body. End-of-stream before the first
+    /// head byte is the clean [`HttpError::Closed`].
+    fn read_line(&mut self, consumed: &mut usize) -> Result<String, HttpError> {
+        let mut line: Vec<u8> = Vec::new();
+        loop {
+            if *consumed >= MAX_HEAD_BYTES {
+                return Err(HttpError::Malformed("request head too large".into()));
+            }
+            let buffer = self.reader.fill_buf()?;
+            if buffer.is_empty() {
+                if *consumed == 0 && line.is_empty() {
+                    return Err(HttpError::Closed);
+                }
+                return Err(HttpError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "peer closed the connection mid-request",
+                )));
+            }
+            let budget = (MAX_HEAD_BYTES - *consumed).min(buffer.len());
+            match buffer[..budget].iter().position(|&b| b == b'\n') {
+                Some(newline) => {
+                    line.extend_from_slice(&buffer[..newline]);
+                    self.reader.consume(newline + 1);
+                    *consumed += newline + 1;
+                    break;
+                }
+                None => {
+                    line.extend_from_slice(&buffer[..budget]);
+                    self.reader.consume(budget);
+                    *consumed += budget;
+                }
             }
         }
+        while line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        String::from_utf8(line)
+            .map_err(|_| HttpError::Malformed("request head is not UTF-8".into()))
     }
-    while line.last() == Some(&b'\r') {
-        line.pop();
+}
+
+impl<S: Read + Write> HttpConnection<S> {
+    /// Writes a response onto the transport. `keep_alive` selects the
+    /// `connection:` header the peer sees; the framing (explicit
+    /// `content-length`) is reuse-safe either way.
+    pub fn write_response(&mut self, response: &Response, keep_alive: bool) -> std::io::Result<()> {
+        response.write_to(self.reader.get_mut(), keep_alive)
     }
-    String::from_utf8(line).map_err(|_| HttpError::Malformed("request head is not UTF-8".into()))
 }
 
 /// A response under construction.
@@ -230,17 +314,26 @@ impl Response {
         }
     }
 
-    /// Serializes status line, headers (plus `Content-Length` and
-    /// `Connection: close`) and body onto the stream.
-    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
-        let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason());
+    /// Serializes status line, headers (plus `Content-Length` and the
+    /// negotiated `Connection` disposition) and body onto the stream.
+    ///
+    /// Head and body go out in a single `write_all` — on a keep-alive TCP
+    /// connection, two small writes would interact with Nagle's algorithm
+    /// and the peer's delayed ACK, stalling every response by tens of
+    /// milliseconds.
+    pub fn write_to<W: Write>(&self, stream: &mut W, keep_alive: bool) -> std::io::Result<()> {
+        let mut wire = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason()).into_bytes();
         for (name, value) in &self.headers {
-            head.push_str(&format!("{name}: {value}\r\n"));
+            wire.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
         }
-        head.push_str(&format!("content-length: {}\r\n", self.body.len()));
-        head.push_str("connection: close\r\n\r\n");
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(&self.body)?;
+        wire.extend_from_slice(format!("content-length: {}\r\n", self.body.len()).as_bytes());
+        wire.extend_from_slice(if keep_alive {
+            b"connection: keep-alive\r\n\r\n"
+        } else {
+            b"connection: close\r\n\r\n"
+        });
+        wire.extend_from_slice(&self.body);
+        stream.write_all(&wire)?;
         stream.flush()
     }
 }
@@ -248,25 +341,11 @@ impl Response {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::net::{TcpListener, TcpStream};
 
-    /// Runs `read_request` against raw bytes pushed through a real socket
-    /// pair.
+    /// Runs `read_request` against raw bytes through an in-memory reader
+    /// (the transport-generic `HttpConnection` needs no real socket).
     fn parse(raw: &[u8], max_body: usize) -> Result<Request, HttpError> {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let raw = raw.to_vec();
-        let writer = std::thread::spawn(move || {
-            let mut client = TcpStream::connect(addr).unwrap();
-            client.write_all(&raw).unwrap();
-            client.flush().unwrap();
-            // Keep the socket open until the parser is done reading.
-            client
-        });
-        let (mut stream, _) = listener.accept().unwrap();
-        let parsed = read_request(&mut stream, max_body);
-        drop(writer.join().unwrap());
-        parsed
+        HttpConnection::new(std::io::Cursor::new(raw.to_vec())).read_request(max_body)
     }
 
     #[test]
@@ -280,6 +359,7 @@ mod tests {
         assert_eq!(request.header("x-mixed-case"), Some("Kept"));
         assert_eq!(request.header("host"), Some("x"));
         assert_eq!(request.header("absent"), None);
+        assert_eq!(request.version_minor, 1);
     }
 
     #[test]
@@ -293,6 +373,50 @@ mod tests {
     }
 
     #[test]
+    fn sequential_requests_share_one_connection_buffer() {
+        // Two pipelined requests in one byte stream: both must parse, and
+        // the boundary between them must be exact (no lost or duplicated
+        // bytes), then the third read sees the clean close.
+        let raw = b"POST /a HTTP/1.1\r\ncontent-length: 3\r\n\r\nabcGET /b HTTP/1.1\r\n\r\n";
+        let mut conn = HttpConnection::new(std::io::Cursor::new(raw.to_vec()));
+        let first = conn.read_request(1024).unwrap();
+        assert_eq!(first.path, "/a");
+        assert_eq!(first.body, b"abc");
+        assert!(conn.has_buffered_data(), "second request is carried over");
+        let second = conn.read_request(1024).unwrap();
+        assert_eq!(second.path, "/b");
+        assert!(second.body.is_empty());
+        assert!(matches!(conn.read_request(1024), Err(HttpError::Closed)));
+    }
+
+    #[test]
+    fn keep_alive_negotiation_follows_the_version_and_the_connection_header() {
+        let case = |raw: &[u8]| parse(raw, 1024).unwrap().wants_keep_alive();
+        // HTTP/1.1 defaults to keep-alive; `close` opts out.
+        assert!(case(b"GET / HTTP/1.1\r\n\r\n"));
+        assert!(!case(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n"));
+        assert!(!case(b"GET / HTTP/1.1\r\nConnection: CLOSE\r\n\r\n"));
+        // HTTP/1.0 defaults to close; `keep-alive` opts in.
+        assert!(!case(b"GET / HTTP/1.0\r\n\r\n"));
+        assert!(case(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"));
+        assert!(case(b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n"));
+        // Comma lists and mixed casing resolve per token; close wins
+        // wherever it appears in the list (RFC 9112 §9.6).
+        assert!(case(
+            b"GET / HTTP/1.0\r\nConnection: TE, Keep-Alive\r\n\r\n"
+        ));
+        assert!(!case(b"GET / HTTP/1.1\r\nConnection: close, TE\r\n\r\n"));
+        assert!(!case(
+            b"GET / HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n"
+        ));
+        assert!(!case(
+            b"GET / HTTP/1.0\r\nConnection: Keep-Alive, CLOSE\r\n\r\n"
+        ));
+        // Unknown tokens fall back to the version default.
+        assert!(case(b"GET / HTTP/1.1\r\nConnection: upgrade\r\n\r\n"));
+    }
+
+    #[test]
     fn rejects_garbage_and_oversized_bodies() {
         assert!(matches!(
             parse(b"NOT-HTTP\r\n\r\n", 1024),
@@ -300,6 +424,10 @@ mod tests {
         ));
         assert!(matches!(
             parse(b"GET / SPDY/3\r\n\r\n", 1024),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/1.x\r\n\r\n", 1024),
             Err(HttpError::Malformed(_))
         ));
         assert!(matches!(
@@ -316,6 +444,22 @@ mod tests {
         assert!(matches!(
             parse(b"GET / HTTP/1.1\r\nbroken header\r\n\r\n", 1024),
             Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn clean_and_mid_request_closes_are_distinguished() {
+        // Nothing at all: the clean keep-alive goodbye.
+        assert!(matches!(parse(b"", 1024), Err(HttpError::Closed)));
+        // A few head bytes then EOF: a fault.
+        assert!(matches!(
+            parse(b"GET / HT", 1024),
+            Err(HttpError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof
+        ));
+        // Declared body longer than the stream: a fault.
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\ncontent-length: 5\r\n\r\nab", 1024),
+            Err(HttpError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof
         ));
     }
 
@@ -352,28 +496,25 @@ mod tests {
     }
 
     #[test]
-    fn responses_serialize_with_length_and_close() {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let reader = std::thread::spawn(move || {
-            let mut client = TcpStream::connect(addr).unwrap();
-            let mut bytes = Vec::new();
-            std::io::Read::read_to_end(&mut client, &mut bytes).unwrap();
-            String::from_utf8(bytes).unwrap()
-        });
-        let (mut stream, _) = listener.accept().unwrap();
-        Response::json(200, "{\"ok\":true}")
-            .with_header("x-ikrq-cache", "hit")
-            .write_to(&mut stream)
-            .unwrap();
-        drop(stream);
-        let wire = reader.join().unwrap();
-        assert!(wire.starts_with("HTTP/1.1 200 OK\r\n"));
-        assert!(wire.contains("content-type: application/json\r\n"));
-        assert!(wire.contains("x-ikrq-cache: hit\r\n"));
-        assert!(wire.contains("content-length: 11\r\n"));
-        assert!(wire.contains("connection: close\r\n"));
-        assert!(wire.ends_with("{\"ok\":true}"));
+    fn responses_serialize_with_length_and_the_negotiated_disposition() {
+        let render = |keep_alive: bool| {
+            let mut wire = Vec::new();
+            Response::json(200, "{\"ok\":true}")
+                .with_header("x-ikrq-cache", "hit")
+                .write_to(&mut wire, keep_alive)
+                .unwrap();
+            String::from_utf8(wire).unwrap()
+        };
+        let close = render(false);
+        assert!(close.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(close.contains("content-type: application/json\r\n"));
+        assert!(close.contains("x-ikrq-cache: hit\r\n"));
+        assert!(close.contains("content-length: 11\r\n"));
+        assert!(close.contains("connection: close\r\n"));
+        assert!(close.ends_with("{\"ok\":true}"));
+        let keep = render(true);
+        assert!(keep.contains("connection: keep-alive\r\n"));
+        assert!(!keep.contains("connection: close\r\n"));
         assert_eq!(Response::json(429, "").reason(), "Too Many Requests");
         assert_eq!(Response::json(555, "").reason(), "Status");
     }
@@ -387,6 +528,7 @@ mod tests {
             limit: 1,
         };
         assert!(too_large.to_string().contains("exceeds"));
+        assert!(HttpError::Closed.to_string().contains("closed"));
         let io: HttpError = std::io::Error::other("boom").into();
         assert!(io.to_string().contains("boom"));
     }

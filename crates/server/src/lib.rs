@@ -12,16 +12,21 @@
 //! |---|---|---|
 //! | `GET` | `/v1/healthz` | liveness + hosted venue count |
 //! | `GET` | `/v1/venues` | venue summaries + topology epoch |
-//! | `GET` | `/v1/stats` | served/shed counters + cache stats |
+//! | `GET` | `/v1/stats` | served/shed/connection counters + cache stats |
 //! | `POST` | `/v1/search` | one [`ikrq_core::SearchRequest`] → one [`ikrq_core::SearchResponse`] |
 //! | `POST` | `/v1/search/batch` | `{"requests": [...]}` → per-request results in order |
 //!
-//! Operational behaviour: a bounded worker pool with admission control
-//! (connections beyond `max_in_flight` are shed with a `429 overloaded`
-//! error body), and a sharded LRU response cache keyed on the request's
-//! deterministic JSON plus the venue-registry epoch, so cache hits replay
-//! byte-identical responses (`x-ikrq-cache: hit|miss`) and any topology
-//! change invalidates everything at once.
+//! Operational behaviour: connections are **persistent by default**
+//! (HTTP/1.1 keep-alive, honoring `Connection: close`/`keep-alive` on
+//! both 1.0 and 1.1, with idle timeouts and an optional per-connection
+//! request cap), served by a bounded worker pool. Admission control is
+//! accounted per request — a request past `max_in_flight` is answered
+//! `429 overloaded` while its connection stays usable, and connections
+//! past `max_connections` are shed on the accept path. A sharded LRU
+//! response cache keyed on the request's deterministic JSON plus the
+//! venue-registry epoch replays byte-identical responses
+//! (`x-ikrq-cache: hit|miss`), and any topology change invalidates
+//! everything at once.
 //!
 //! ```no_run
 //! use ikrq_server::{serve, ServerConfig};
@@ -45,7 +50,7 @@ pub mod http;
 pub mod protocol;
 pub mod server;
 
-pub use client::{one_shot, ClientReply};
-pub use http::{Request, Response};
+pub use client::{one_shot, ClientReply, KeepAliveClient};
+pub use http::{HttpConnection, HttpError, Request, Response};
 pub use protocol::{ApiVersion, ErrorBody, ErrorCode, ErrorDetail};
 pub use server::{serve, ServerConfig, ServerHandle, ServerStats};

@@ -5,11 +5,34 @@
 //!
 //! One acceptor thread plus a fixed pool of worker threads. The acceptor
 //! never parses HTTP; it only counts. If admitting a connection would push
-//! the number of in-flight connections (queued + being handled) past
-//! [`ServerConfig::max_in_flight`], the connection is *shed*: a detached
-//! helper thread drains the request and answers `429` with the stable
+//! the number of open connections (queued + being served) past
+//! [`ServerConfig::max_connections`], the connection is *shed*: a detached
+//! helper thread drains one request and answers `429` with the stable
 //! `overloaded` error body, so overload degrades into fast, well-formed
 //! rejections instead of unbounded queueing.
+//!
+//! # Connection reuse
+//!
+//! Connections are persistent sessions, not worker property. A worker
+//! serves a session while it has work: it reads requests off a
+//! persistent [`HttpConnection`] (so pipelined bytes carry over between
+//! requests), answers each, and keeps going while the next request is
+//! already arriving. Once a session goes quiet for one poll interval the
+//! worker *parks* it — hands the socket to a parker thread that watches
+//! all idle sessions with non-blocking peeks — and moves on, so idle
+//! keep-alive clients never pin workers. When bytes arrive on a parked
+//! session the parker re-queues it to the worker pool with its buffer and
+//! request count intact; the parker also closes sessions whose
+//! [`ServerConfig::idle_timeout`] expired. A session ends when the peer
+//! asks for `close` (honored on both HTTP/1.0 and 1.1), the idle timeout
+//! or per-connection request cap fires, or shutdown begins.
+//!
+//! Admission control is accounted per *request*: each parsed request
+//! acquires one of [`ServerConfig::max_in_flight`] slots, and a saturated
+//! server answers `429` for that request while keeping the connection
+//! usable — a reused connection sheds and recovers without reconnecting.
+//! Graceful shutdown finishes the requests being executed, then closes
+//! idle and queued sessions within one poll interval.
 //!
 //! # Caching
 //!
@@ -21,7 +44,7 @@
 //! the `x-ikrq-cache: hit` header; registering or removing a venue bumps
 //! the epoch and thereby orphans every cached entry at once.
 
-use crate::http::{read_request, HttpError, Request, Response};
+use crate::http::{HttpConnection, HttpError, Request, Response};
 use crate::protocol::{classify_engine_error, ApiVersion, ErrorBody, ErrorCode, ErrorDetail};
 use ikrq_core::{CacheConfig, CacheStats, IkrqService, ResponseCache, SearchRequest, VenueSummary};
 use serde::{Deserialize, Serialize};
@@ -31,24 +54,38 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs of a [`serve`] run.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads handling requests (0 means one per available core).
+    /// Worker threads handling connections (0 means one per available core).
     pub workers: usize,
-    /// Admission bound: connections in flight (queued + handled) before the
-    /// acceptor starts shedding with `429 overloaded` (0 means `4 × workers`).
+    /// Admission bound on *requests* being executed at once; a request
+    /// arriving past it is answered `429 overloaded` without closing its
+    /// connection (0 means `4 × workers`).
     pub max_in_flight: usize,
+    /// Bound on open connections (queued + being served) before the accept
+    /// path sheds new ones with `429` (0 means `4 × max_in_flight`).
+    pub max_connections: usize,
     /// Largest accepted request body in bytes.
     pub max_body_bytes: usize,
     /// Largest accepted `requests` array in a batch call.
     pub max_batch_size: usize,
     /// Sizing of the response cache.
     pub cache: CacheConfig,
-    /// Per-socket read timeout, so a stalled client cannot pin a worker.
+    /// Per-socket read timeout while a request is being received, so a
+    /// stalled client cannot pin a worker mid-request.
     pub read_timeout: Duration,
+    /// Whether to honor keep-alive at all; `false` restores the PR 2
+    /// close-after-one-response behaviour regardless of what clients ask.
+    pub keep_alive: bool,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the server closes it.
+    pub idle_timeout: Duration,
+    /// Requests served on one connection before the server closes it
+    /// (connection recycling; 0 means unlimited).
+    pub max_requests_per_conn: usize,
 }
 
 impl Default for ServerConfig {
@@ -56,16 +93,20 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: 0,
             max_in_flight: 0,
+            max_connections: 0,
             max_body_bytes: 1024 * 1024,
             max_batch_size: 256,
             cache: CacheConfig::default(),
             read_timeout: Duration::from_secs(10),
+            keep_alive: true,
+            idle_timeout: Duration::from_secs(30),
+            max_requests_per_conn: 0,
         }
     }
 }
 
 impl ServerConfig {
-    fn effective_workers(&self) -> usize {
+    pub(crate) fn effective_workers(&self) -> usize {
         if self.workers > 0 {
             return self.workers;
         }
@@ -74,11 +115,18 @@ impl ServerConfig {
             .unwrap_or(2)
     }
 
-    fn effective_max_in_flight(&self) -> usize {
+    pub(crate) fn effective_max_in_flight(&self) -> usize {
         if self.max_in_flight > 0 {
             return self.max_in_flight;
         }
         self.effective_workers() * 4
+    }
+
+    pub(crate) fn effective_max_connections(&self) -> usize {
+        if self.max_connections > 0 {
+            return self.max_connections;
+        }
+        self.effective_max_in_flight() * 4
     }
 }
 
@@ -87,10 +135,17 @@ impl ServerConfig {
 pub struct ServerStats {
     /// Requests answered by a worker (any status).
     pub requests_served: u64,
-    /// Connections rejected by admission control.
+    /// Requests answered `429` — shed at accept or past the in-flight cap.
     pub requests_shed: u64,
-    /// Connections queued or being handled right now.
+    /// Requests being executed right now.
     pub in_flight: usize,
+    /// Connections admitted since the server started.
+    pub connections_accepted: u64,
+    /// Connections open right now (queued + being served).
+    pub connections_active: usize,
+    /// Requests served on a reused connection (the second and later
+    /// requests of each keep-alive session).
+    pub keep_alive_reuses: u64,
     /// Response-cache counters.
     pub cache: CacheStats,
 }
@@ -100,17 +155,64 @@ pub struct ServerStats {
 /// polite 429 path must itself stay bounded.
 const MAX_SHED_THREADS: usize = 64;
 
-/// State shared by the acceptor, the workers and the handle.
+/// How long a worker lingers on a quiet session before parking it. Long
+/// enough that a client firing back-to-back requests stays on its worker
+/// (no handoff latency on the hot path), short enough that an idle client
+/// frees the worker almost immediately.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+
+/// How often the parker thread sweeps the parked sessions for readable
+/// sockets, expired idle timers and shutdown. Bounds the extra first-byte
+/// latency of a request arriving on a parked connection.
+const PARK_SCAN: Duration = Duration::from_millis(5);
+
+/// One keep-alive session in flight through the worker/parker machinery:
+/// the connection (with any carried-over buffered bytes) plus how many
+/// requests it has answered so far.
+struct Session {
+    conn: HttpConnection<TcpStream>,
+    requests_on_conn: u64,
+}
+
+/// A session waiting for its next request on the parker's watch list.
+struct Parked {
+    session: Session,
+    last_activity: Instant,
+}
+
+/// State shared by the acceptor, the workers, the parker and the handle.
 struct Shared {
     service: Arc<IkrqService>,
     cache: ResponseCache,
     config: ServerConfig,
     max_in_flight: usize,
+    max_connections: usize,
     in_flight: AtomicUsize,
+    connections: AtomicUsize,
+    accepted: AtomicU64,
     served: AtomicU64,
+    reused: AtomicU64,
     shed: AtomicU64,
     shed_helpers: AtomicUsize,
     shutdown: AtomicBool,
+    parked: Mutex<Vec<Parked>>,
+}
+
+impl Shared {
+    /// Ends a session: drops the socket and releases its connection slot.
+    fn close_session(&self, session: Session) {
+        drop(session);
+        self.connections.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Closes everything on the parked list (the shutdown path; parked
+    /// sessions are idle by definition).
+    fn close_all_parked(&self) {
+        let mut parked = self.parked.lock().expect("parked lock");
+        for entry in parked.drain(..) {
+            self.close_session(entry.session);
+        }
+    }
 }
 
 impl Shared {
@@ -119,6 +221,9 @@ impl Shared {
             requests_served: self.served.load(Ordering::SeqCst),
             requests_shed: self.shed.load(Ordering::SeqCst),
             in_flight: self.in_flight.load(Ordering::SeqCst),
+            connections_accepted: self.accepted.load(Ordering::SeqCst),
+            connections_active: self.connections.load(Ordering::SeqCst),
+            keep_alive_reuses: self.reused.load(Ordering::SeqCst),
             cache: self.cache.stats(),
         }
     }
@@ -131,6 +236,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     addr: SocketAddr,
     acceptor: Option<JoinHandle<()>>,
+    parker: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -145,19 +251,27 @@ impl ServerHandle {
         self.shared.stats()
     }
 
-    /// Stops accepting, drains queued connections and joins every thread.
-    /// Idempotent; also invoked by `Drop`. The listener is non-blocking and
-    /// polls the shutdown flag, so this returns within a poll interval plus
-    /// the time the workers need to finish in-flight requests — no wake-up
-    /// connection is involved that could itself fail.
+    /// Stops accepting, finishes requests being executed, closes idle and
+    /// queued connections, and joins every thread. Idempotent; also
+    /// invoked by `Drop`. The listener is non-blocking and idle
+    /// connections poll the shutdown flag, so this returns within a poll
+    /// interval plus the time the workers need to finish in-flight
+    /// requests — no wake-up connection is involved that could itself
+    /// fail.
     pub fn shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
+        if let Some(parker) = self.parker.take() {
+            let _ = parker.join();
+        }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        // A worker may have parked a session after the parker already
+        // drained and exited; sweep once more now that everyone is gone.
+        self.shared.close_all_parked();
     }
 
     /// Blocks until the server stops (it only stops via [`shutdown`], so
@@ -168,9 +282,13 @@ impl ServerHandle {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
+        if let Some(parker) = self.parker.take() {
+            let _ = parker.join();
+        }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        self.shared.close_all_parked();
     }
 }
 
@@ -194,19 +312,25 @@ pub fn serve(
     let addr = listener.local_addr()?;
     let workers = config.effective_workers();
     let max_in_flight = config.effective_max_in_flight();
+    let max_connections = config.effective_max_connections();
     let shared = Arc::new(Shared {
         service,
         cache: ResponseCache::new(config.cache),
         config,
         max_in_flight,
+        max_connections,
         in_flight: AtomicUsize::new(0),
+        connections: AtomicUsize::new(0),
+        accepted: AtomicU64::new(0),
         served: AtomicU64::new(0),
+        reused: AtomicU64::new(0),
         shed: AtomicU64::new(0),
         shed_helpers: AtomicUsize::new(0),
         shutdown: AtomicBool::new(false),
+        parked: Mutex::new(Vec::new()),
     });
 
-    let (sender, receiver): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+    let (sender, receiver): (Sender<Session>, Receiver<Session>) = channel();
     let receiver = Arc::new(Mutex::new(receiver));
     let mut worker_handles = Vec::with_capacity(workers);
     for index in 0..workers {
@@ -220,6 +344,15 @@ pub fn serve(
         );
     }
 
+    let parker = {
+        let shared = Arc::clone(&shared);
+        let sender = sender.clone();
+        std::thread::Builder::new()
+            .name("ikrq-parker".into())
+            .spawn(move || parker_loop(&shared, sender))
+            .expect("spawn parker thread")
+    };
+
     let acceptor = {
         let shared = Arc::clone(&shared);
         std::thread::Builder::new()
@@ -232,11 +365,12 @@ pub fn serve(
         shared,
         addr,
         acceptor: Some(acceptor),
+        parker: Some(parker),
         workers: worker_handles,
     })
 }
 
-fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener, sender: Sender<TcpStream>) {
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener, sender: Sender<Session>) {
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => {
@@ -245,6 +379,11 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener, sender: Sender<TcpS
                 if stream.set_nonblocking(false).is_err() {
                     continue;
                 }
+                // Request/response over a persistent connection: Nagle
+                // plus the peer's delayed ACK would add ~40 ms to every
+                // exchange, so send segments immediately.
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_write_timeout(Some(shared.config.read_timeout));
                 stream
             }
             Err(error) => {
@@ -262,29 +401,34 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener, sender: Sender<TcpS
             break;
         }
         let admitted = shared
-            .in_flight
+            .connections
             .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |current| {
-                (current < shared.max_in_flight).then_some(current + 1)
+                (current < shared.max_connections).then_some(current + 1)
             })
             .is_ok();
         if admitted {
-            if sender.send(stream).is_err() {
-                shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            shared.accepted.fetch_add(1, Ordering::SeqCst);
+            let session = Session {
+                conn: HttpConnection::new(stream),
+                requests_on_conn: 0,
+            };
+            if sender.send(session).is_err() {
+                shared.connections.fetch_sub(1, Ordering::SeqCst);
                 break;
             }
         } else {
             shed(Arc::clone(shared), stream);
         }
     }
-    // Dropping the sender disconnects the channel; workers drain what is
-    // queued and exit.
+    // Dropping the sender disconnects the channel once the parker drops
+    // its clone too; workers then drain what is queued and exit.
 }
 
 /// Rejects a connection with `429 overloaded` on a detached helper thread,
 /// so a slow peer cannot stall the acceptor. The helpers themselves are
 /// capped at [`MAX_SHED_THREADS`]; past that the connection is simply
 /// dropped — the overload path must not be a thread/fd amplifier.
-fn shed(shared: Arc<Shared>, mut stream: TcpStream) {
+fn shed(shared: Arc<Shared>, stream: TcpStream) {
     shared.shed.fetch_add(1, Ordering::SeqCst);
     let capped = shared
         .shed_helpers
@@ -303,16 +447,11 @@ fn shed(shared: Arc<Shared>, mut stream: TcpStream) {
         .spawn(move || {
             let _ = stream.set_read_timeout(Some(read_timeout));
             let _ = stream.set_write_timeout(Some(read_timeout));
+            let mut conn = HttpConnection::new(stream);
             // Drain the request so well-behaved clients see the response
-            // instead of a reset, then answer.
-            let _ = read_request(&mut stream, max_body);
-            let body = ErrorBody::new(
-                ErrorCode::Overloaded,
-                "server is at its in-flight request limit; retry later",
-            );
-            let _ = Response::json(ErrorCode::Overloaded.http_status(), body.to_json())
-                .with_header("retry-after", "1")
-                .write_to(&mut stream);
+            // instead of a reset, then answer and close.
+            let _ = conn.read_request(max_body);
+            let _ = conn.write_response(&overloaded_response(), false);
             helper_shared.shed_helpers.fetch_sub(1, Ordering::SeqCst);
         });
     if spawned.is_err() {
@@ -320,46 +459,232 @@ fn shed(shared: Arc<Shared>, mut stream: TcpStream) {
     }
 }
 
-fn worker_loop(shared: &Shared, receiver: &Mutex<Receiver<TcpStream>>) {
+fn worker_loop(shared: &Shared, receiver: &Mutex<Receiver<Session>>) {
     loop {
-        let stream = {
+        let session = {
             let receiver = receiver.lock().expect("worker receiver lock");
             receiver.recv()
         };
-        let Ok(stream) = stream else {
+        let Ok(session) = session else {
             break;
         };
-        handle_connection(shared, stream);
-        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        match serve_session(shared, session) {
+            SessionFate::Closed => {}
+            SessionFate::Park(session) => park_session(shared, session),
+        }
     }
 }
 
-fn handle_connection(shared: &Shared, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
-    let _ = stream.set_write_timeout(Some(shared.config.read_timeout));
-    let response = match read_request(&mut stream, shared.config.max_body_bytes) {
-        Ok(request) => {
-            shared.served.fetch_add(1, Ordering::SeqCst);
-            // A panicking handler must cost one response, not one worker.
-            catch_unwind(AssertUnwindSafe(|| route(shared, &request)))
-                .unwrap_or_else(|_| error_response(ErrorCode::Internal, "request handler panicked"))
+/// Whether an I/O error is a read-timeout / would-block tick rather than a
+/// real fault.
+fn is_timeout(error: &std::io::Error) -> bool {
+    matches!(
+        error.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// What became of a session a worker served.
+enum SessionFate {
+    /// The session ended; its connection slot has been released.
+    Closed,
+    /// The session went quiet and should move to the parker's watch list.
+    Park(Session),
+}
+
+/// Serves a session while it has work: read a request under the request
+/// read-timeout, answer it, and loop while keep-alive holds and the next
+/// request is already arriving. A session quiet for one [`IDLE_POLL`] is
+/// handed back for parking instead of pinning the worker.
+fn serve_session(shared: &Shared, mut session: Session) -> SessionFate {
+    loop {
+        // Wait-for-request phase. Pipelined bytes skip the wait entirely.
+        if !session.conn.has_buffered_data() {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                shared.close_session(session);
+                return SessionFate::Closed;
+            }
+            if session
+                .conn
+                .get_mut()
+                .set_read_timeout(Some(IDLE_POLL))
+                .is_err()
+            {
+                shared.close_session(session);
+                return SessionFate::Closed;
+            }
+            match session.conn.poll_data() {
+                Ok(true) => {}
+                Ok(false) => {
+                    // Peer closed cleanly between requests.
+                    shared.close_session(session);
+                    return SessionFate::Closed;
+                }
+                Err(error) if is_timeout(&error) => return SessionFate::Park(session),
+                Err(_) => {
+                    shared.close_session(session);
+                    return SessionFate::Closed;
+                }
+            }
         }
-        Err(HttpError::PayloadTooLarge { declared, limit }) => {
-            shared.served.fetch_add(1, Ordering::SeqCst);
-            error_response(
-                ErrorCode::PayloadTooLarge,
-                format!("body of {declared} bytes exceeds the {limit} byte limit"),
-            )
+        // Read phase: the first byte arrived; the rest of the request must
+        // land within the per-read timeout.
+        if session
+            .conn
+            .get_mut()
+            .set_read_timeout(Some(shared.config.read_timeout))
+            .is_err()
+        {
+            shared.close_session(session);
+            return SessionFate::Closed;
         }
-        Err(HttpError::Malformed(message)) => {
-            shared.served.fetch_add(1, Ordering::SeqCst);
-            error_response(ErrorCode::MalformedHttp, message)
+        let outcome = session.conn.read_request(shared.config.max_body_bytes);
+        let (response, keep_alive) = match outcome {
+            Ok(request) => {
+                shared.served.fetch_add(1, Ordering::SeqCst);
+                if session.requests_on_conn > 0 {
+                    shared.reused.fetch_add(1, Ordering::SeqCst);
+                }
+                session.requests_on_conn += 1;
+                let cap = shared.config.max_requests_per_conn as u64;
+                let keep = shared.config.keep_alive
+                    && request.wants_keep_alive()
+                    && (cap == 0 || session.requests_on_conn < cap)
+                    && !shared.shutdown.load(Ordering::SeqCst);
+                (answer_request(shared, &request), keep)
+            }
+            Err(HttpError::PayloadTooLarge { declared, limit }) => {
+                shared.served.fetch_add(1, Ordering::SeqCst);
+                // The oversized body was never read, so the request
+                // framing is lost — answer, then close.
+                (
+                    error_response(
+                        ErrorCode::PayloadTooLarge,
+                        format!("body of {declared} bytes exceeds the {limit} byte limit"),
+                    ),
+                    false,
+                )
+            }
+            Err(HttpError::Malformed(message)) => {
+                shared.served.fetch_add(1, Ordering::SeqCst);
+                (error_response(ErrorCode::MalformedHttp, message), false)
+            }
+            // Clean close between requests, or the connection died
+            // mid-request — nothing to answer either way.
+            Err(HttpError::Closed) | Err(HttpError::Io(_)) => {
+                shared.close_session(session);
+                return SessionFate::Closed;
+            }
+        };
+        let written = session.conn.write_response(&response, keep_alive).is_ok();
+        if !written || !keep_alive {
+            shared.close_session(session);
+            return SessionFate::Closed;
         }
-        // Connection died before a request arrived (shutdown wake-ups land
-        // here too) — nothing to answer.
-        Err(HttpError::Io(_)) => return,
-    };
-    let _ = response.write_to(&mut stream);
+    }
+}
+
+/// Moves a quiet session onto the parker's watch list (non-blocking, so
+/// the parker can probe many sockets cheaply). During shutdown the parker
+/// may already be gone, so quiet sessions close instead.
+fn park_session(shared: &Shared, mut session: Session) {
+    if shared.shutdown.load(Ordering::SeqCst)
+        || session.conn.get_mut().set_nonblocking(true).is_err()
+    {
+        shared.close_session(session);
+        return;
+    }
+    shared.parked.lock().expect("parked lock").push(Parked {
+        session,
+        last_activity: Instant::now(),
+    });
+}
+
+/// The parker thread: sweeps parked sessions every [`PARK_SCAN`], closing
+/// the ones whose peer hung up or whose idle timeout expired, and
+/// re-queueing the ones with bytes waiting back to the worker pool. On
+/// shutdown it closes everything parked and drops its channel sender so
+/// the workers can drain and exit.
+fn parker_loop(shared: &Arc<Shared>, sender: Sender<Session>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(PARK_SCAN);
+        let mut parked = shared.parked.lock().expect("parked lock");
+        let now = Instant::now();
+        let mut index = 0;
+        while index < parked.len() {
+            enum Action {
+                Stay,
+                Close,
+                Wake,
+            }
+            let entry = &mut parked[index];
+            let mut probe = [0u8; 1];
+            let action = match entry.session.conn.get_mut().peek(&mut probe) {
+                Ok(0) => Action::Close, // peer hung up while parked
+                Ok(_) => Action::Wake,
+                Err(error) if is_timeout(&error) => {
+                    if now.duration_since(entry.last_activity) >= shared.config.idle_timeout {
+                        Action::Close
+                    } else {
+                        Action::Stay
+                    }
+                }
+                Err(_) => Action::Close,
+            };
+            match action {
+                Action::Stay => index += 1,
+                Action::Close => {
+                    let entry = parked.swap_remove(index);
+                    shared.close_session(entry.session);
+                }
+                Action::Wake => {
+                    let entry = parked.swap_remove(index);
+                    let mut session = entry.session;
+                    if session.conn.get_mut().set_nonblocking(false).is_err() {
+                        shared.close_session(session);
+                    } else if let Err(returned) = sender.send(session) {
+                        // Workers are gone (shutdown): close it here.
+                        shared.close_session(returned.0);
+                    }
+                }
+            }
+        }
+    }
+    // Shutdown: every parked session is idle by definition — close them.
+    let mut parked = shared.parked.lock().expect("parked lock");
+    for entry in parked.drain(..) {
+        shared.close_session(entry.session);
+    }
+}
+
+/// Runs one parsed request through admission control and the route table.
+/// A request past the in-flight cap is answered `429` without touching the
+/// connection's keep-alive state, so reused connections shed and recover.
+fn answer_request(shared: &Shared, request: &Request) -> Response {
+    let admitted = shared
+        .in_flight
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |current| {
+            (current < shared.max_in_flight).then_some(current + 1)
+        })
+        .is_ok();
+    if !admitted {
+        shared.shed.fetch_add(1, Ordering::SeqCst);
+        return overloaded_response();
+    }
+    // A panicking handler must cost one response, not one worker.
+    let response = catch_unwind(AssertUnwindSafe(|| route(shared, request)))
+        .unwrap_or_else(|_| error_response(ErrorCode::Internal, "request handler panicked"));
+    shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+    response
+}
+
+fn overloaded_response() -> Response {
+    let body = ErrorBody::new(
+        ErrorCode::Overloaded,
+        "server is at its in-flight request limit; retry later",
+    );
+    Response::json(ErrorCode::Overloaded.http_status(), body.to_json())
+        .with_header("retry-after", "1")
 }
 
 fn error_response(code: ErrorCode, message: impl Into<String>) -> Response {
@@ -492,6 +817,8 @@ struct StatsBody {
     epoch: u64,
     workers: usize,
     max_in_flight: usize,
+    max_connections: usize,
+    keep_alive: bool,
     stats: ServerStats,
 }
 
@@ -501,6 +828,8 @@ fn stats(shared: &Shared) -> Response {
         epoch: shared.service.registry().epoch(),
         workers: shared.config.effective_workers(),
         max_in_flight: shared.max_in_flight,
+        max_connections: shared.max_connections,
+        keep_alive: shared.config.keep_alive,
         stats: shared.stats(),
     };
     Response::json(200, serde_json::to_string(&body).expect("stats serialize"))

@@ -169,8 +169,10 @@ fn http_server_round_trips_a_search_through_the_facade() {
     )
     .unwrap();
     let body = serde_json::to_string(&request).unwrap();
+    // The server defaults to keep-alive, so a read-to-end client must ask
+    // for close explicitly.
     let wire = format!(
-        "POST /v1/search HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
+        "POST /v1/search HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
         body.len()
     );
     let mut reply = String::new();
@@ -181,4 +183,15 @@ fn http_server_round_trips_a_search_through_the_facade() {
     let (_, response_body) = reply.split_once("\r\n\r\n").unwrap();
     let response: SearchResponse = serde_json::from_str(response_body).unwrap();
     assert_eq!(response.deterministic_json(), expected);
+
+    // The facade also re-exports the keep-alive client: two requests, one
+    // connection, identical deterministic payloads.
+    let mut client = ikrq::server::KeepAliveClient::new(handle.local_addr());
+    for _ in 0..2 {
+        let reply = client.request("POST", "/v1/search", &body).unwrap();
+        assert_eq!(reply.status, 200);
+        let response: SearchResponse = serde_json::from_str(&reply.body).unwrap();
+        assert_eq!(response.deterministic_json(), expected);
+    }
+    assert_eq!(client.connects(), 1);
 }

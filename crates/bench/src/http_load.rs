@@ -164,7 +164,7 @@ pub fn run_http_load(
                 let keep_alive = config.keep_alive;
                 scope.spawn(move || {
                     let mut client = keep_alive.then(|| ikrq_server::KeepAliveClient::new(addr));
-                    let samples = (0..config.requests_per_client)
+                    let samples: Vec<Option<Sample>> = (0..config.requests_per_client)
                         .map(|_| {
                             let index = next.fetch_add(1, Ordering::Relaxed) % bodies.len();
                             post_search(addr, client.as_mut(), &bodies[index]).ok()
@@ -172,7 +172,11 @@ pub fn run_http_load(
                         .collect();
                     let connects = match &client {
                         Some(client) => client.connects() as usize,
-                        None => config.requests_per_client,
+                        // Close mode dials once per *completed* exchange;
+                        // counting failed attempts (e.g. connection
+                        // refused) as dials would skew the close-vs-reuse
+                        // connect comparison.
+                        None => samples.iter().filter(|s| s.is_some()).count(),
                     };
                     (samples, connects)
                 })

@@ -519,12 +519,19 @@ pub fn start_server(args: &ParsedArgs) -> Result<ikrq_server::ServerHandle> {
         config.keep_alive = keep_alive;
     }
     if let Some(idle_timeout) = args.get_f64("idle-timeout")? {
-        if !idle_timeout.is_finite() || idle_timeout <= 0.0 {
-            return Err(CliError::Usage(
-                "flag `--idle-timeout` expects a positive number of seconds".into(),
-            ));
+        // try_from_secs_f64 also rejects NaN/negative/overflowing values,
+        // which from_secs_f64 would panic on (e.g. `--idle-timeout 1e30`).
+        match std::time::Duration::try_from_secs_f64(idle_timeout) {
+            // Guard the rounded Duration, not the f64: 1e-10 is positive
+            // but rounds to zero, which would close every parked
+            // connection on the parker's first sweep.
+            Ok(duration) if !duration.is_zero() => config.idle_timeout = duration,
+            _ => {
+                return Err(CliError::Usage(
+                    "flag `--idle-timeout` expects a positive number of seconds".into(),
+                ))
+            }
         }
-        config.idle_timeout = std::time::Duration::from_secs_f64(idle_timeout);
     }
     if let Some(max_requests) = args.get_usize("max-requests-per-conn")? {
         config.max_requests_per_conn = max_requests;

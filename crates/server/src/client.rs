@@ -136,12 +136,13 @@ impl KeepAliveClient {
     }
 
     /// Sends one request, reusing the open connection when possible. If a
-    /// *reused* connection turns out dead before any reply byte arrives
-    /// (the server timed it out or recycled it since the last exchange),
-    /// the client redials once and retries. An exchange that fails after
-    /// reply bytes started flowing is NOT retried — the server may
-    /// already have executed the request, and resending would run it
-    /// twice.
+    /// *reused* connection turns out demonstrably dead before any reply
+    /// byte arrives (the server timed it out or recycled it since the
+    /// last exchange — an EOF/reset-class error), the client redials once
+    /// and retries. An exchange that fails after reply bytes started
+    /// flowing is NOT retried, and neither is a read *timeout*: a
+    /// slow-but-alive server may still be executing the request, and
+    /// resending would run it twice.
     pub fn request(
         &mut self,
         method: &str,
@@ -171,11 +172,17 @@ impl KeepAliveClient {
                 }
                 Err(failure) => {
                     self.stream = None;
-                    // Only a stale reused connection that never produced
-                    // a reply byte earns the one retry; a fresh
-                    // connection failing, or a reply cut off mid-flight,
-                    // is a real fault surfaced to the caller.
-                    if !(attempt == 0 && reused && !failure.reply_started) {
+                    // Only a reused connection that *demonstrably died*
+                    // before any reply byte earns the one retry; a fresh
+                    // connection failing, a reply cut off mid-flight, or
+                    // a timeout (the server may be slow, not gone, and
+                    // may still execute the request) is a real fault
+                    // surfaced to the caller.
+                    if !(attempt == 0
+                        && reused
+                        && !failure.reply_started
+                        && connection_died(&failure.error))
+                    {
                         return Err(failure.error);
                     }
                 }
@@ -229,37 +236,58 @@ impl KeepAliveClient {
     /// Reads one length-framed reply off the cached connection (the first
     /// byte is already known to be waiting).
     fn framed_reply(&mut self) -> std::io::Result<ClientReply> {
-        let reader = self.stream.as_mut().expect("connection is open");
-        let status_line = read_head_line(reader)?;
-        let status = status_line
-            .split_whitespace()
-            .nth(1)
-            .and_then(|code| code.parse::<u16>().ok())
-            .ok_or_else(|| invalid("reply has no status line"))?;
-        let mut headers = Vec::new();
-        loop {
-            let line = read_head_line(reader)?;
-            if line.is_empty() {
-                break;
-            }
-            if let Some((name, value)) = line.split_once(':') {
-                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
-            }
-        }
-        let content_length = headers
-            .iter()
-            .find(|(n, _)| n == "content-length")
-            .and_then(|(_, v)| v.parse::<usize>().ok())
-            .ok_or_else(|| invalid("reply has no content-length"))?;
-        let mut body = vec![0u8; content_length];
-        reader.read_exact(&mut body)?;
-        let body = String::from_utf8(body).map_err(|_| invalid("reply is not UTF-8"))?;
-        Ok(ClientReply {
-            status,
-            headers,
-            body,
-        })
+        read_framed_reply(self.stream.as_mut().expect("connection is open"))
     }
+}
+
+/// Reads one `content-length`-framed reply off a buffered stream, leaving
+/// the connection positioned at the next reply — the one shared parser of
+/// the server's wire format, used by [`KeepAliveClient`] and by the
+/// integration tests' raw-socket fixtures.
+pub fn read_framed_reply(reader: &mut BufReader<TcpStream>) -> std::io::Result<ClientReply> {
+    let status_line = read_head_line(reader)?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| invalid("reply has no status line"))?;
+    let mut headers = Vec::new();
+    loop {
+        let line = read_head_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+        .ok_or_else(|| invalid("reply has no content-length"))?;
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body).map_err(|_| invalid("reply is not UTF-8"))?;
+    Ok(ClientReply {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Whether an I/O error proves the peer closed or reset the connection —
+/// the only failures that justify resending a request on a fresh dial.
+/// `WouldBlock`/`TimedOut` deliberately do not qualify: the server may be
+/// slow but alive, still executing the request.
+fn connection_died(error: &std::io::Error) -> bool {
+    matches!(
+        error.kind(),
+        std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe
+    )
 }
 
 /// An [`KeepAliveClient::exchange`] failure: the error plus whether any

@@ -43,10 +43,15 @@ impl Request {
     /// Per RFC 9112 §9.6, a `close` option anywhere in the `Connection`
     /// list (any casing) closes the connection, regardless of what else
     /// is listed; otherwise `keep-alive` keeps it open; absent both,
-    /// HTTP/1.1 defaults to keep-alive and HTTP/1.0 to close.
+    /// HTTP/1.1 defaults to keep-alive and HTTP/1.0 to close. Repeated
+    /// `Connection` field lines count as one combined list (RFC 9110
+    /// §5.3), so a `close` on a second line is still honored.
     pub fn wants_keep_alive(&self) -> bool {
-        if let Some(value) = self.header("connection") {
-            let mut keep_alive_token = false;
+        let mut keep_alive_token = false;
+        for (name, value) in &self.headers {
+            if name != "connection" {
+                continue;
+            }
             for token in value.split(',') {
                 let token = token.trim();
                 if token.eq_ignore_ascii_case("close") {
@@ -54,9 +59,9 @@ impl Request {
                 }
                 keep_alive_token |= token.eq_ignore_ascii_case("keep-alive");
             }
-            if keep_alive_token {
-                return true;
-            }
+        }
+        if keep_alive_token {
+            return true;
         }
         self.version_minor >= 1
     }
@@ -183,15 +188,48 @@ impl<S: Read> HttpConnection<S> {
             headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
         }
 
-        let content_length = headers
-            .iter()
-            .find(|(n, _)| n == "content-length")
-            .map(|(_, v)| {
-                v.parse::<usize>()
-                    .map_err(|_| HttpError::Malformed(format!("bad content-length `{v}`")))
-            })
-            .transpose()?
-            .unwrap_or(0);
+        // Request-smuggling defense (RFC 9112 §6.1, §6.3). This parser
+        // frames bodies by `Content-Length` alone, so a `Transfer-Encoding`
+        // header — or conflicting `Content-Length` values — would leave
+        // body bytes in the buffer to be re-parsed as the next request on
+        // a reused connection. Both are hard 400s, and the server closes
+        // the connection on malformed requests, so no bytes survive.
+        if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+            return Err(HttpError::Malformed(
+                "transfer-encoding is not supported; frame the body with content-length".into(),
+            ));
+        }
+        let mut content_length_value: Option<&str> = None;
+        for (name, value) in &headers {
+            if name != "content-length" {
+                continue;
+            }
+            match content_length_value {
+                // Duplicates must match byte-for-byte: `4` vs `+4` or `04`
+                // is exactly the lenient-parser disagreement smuggling
+                // exploits, so raw values are compared, not parsed ones.
+                Some(previous) if previous != value => {
+                    return Err(HttpError::Malformed(
+                        "conflicting content-length headers".into(),
+                    ))
+                }
+                _ => content_length_value = Some(value),
+            }
+        }
+        let content_length = match content_length_value {
+            None => 0,
+            // RFC 9112 §6.3: Content-Length is 1*DIGIT — no sign, no
+            // whitespace. `parse::<usize>` alone would accept `+4`, which
+            // a front proxy may frame differently.
+            Some(value) if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) => {
+                return Err(HttpError::Malformed(format!(
+                    "bad content-length `{value}`"
+                )))
+            }
+            Some(value) => value
+                .parse::<usize>()
+                .map_err(|_| HttpError::Malformed(format!("bad content-length `{value}`")))?,
+        };
         if content_length > max_body_bytes {
             return Err(HttpError::PayloadTooLarge {
                 declared: content_length,
@@ -414,6 +452,14 @@ mod tests {
         ));
         // Unknown tokens fall back to the version default.
         assert!(case(b"GET / HTTP/1.1\r\nConnection: upgrade\r\n\r\n"));
+        // Repeated Connection field lines are one combined list
+        // (RFC 9110 §5.3): close on a later line still wins.
+        assert!(!case(
+            b"GET / HTTP/1.1\r\nConnection: keep-alive\r\nConnection: close\r\n\r\n"
+        ));
+        assert!(case(
+            b"GET / HTTP/1.0\r\nConnection: TE\r\nConnection: keep-alive\r\n\r\n"
+        ));
     }
 
     #[test]
@@ -445,6 +491,59 @@ mod tests {
             parse(b"GET / HTTP/1.1\r\nbroken header\r\n\r\n", 1024),
             Err(HttpError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn smuggling_vectors_are_rejected_as_malformed() {
+        // Transfer-Encoding is never honored: a chunked body would be
+        // re-parsed as the next request on a reused connection (TE.CL).
+        assert!(matches!(
+            parse(
+                b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n",
+                1024
+            ),
+            Err(HttpError::Malformed(msg)) if msg.contains("transfer-encoding")
+        ));
+        // Even alongside a Content-Length, and in any casing.
+        assert!(matches!(
+            parse(
+                b"POST / HTTP/1.1\r\ncontent-length: 4\r\ntRANSFER-eNCODING: chunked\r\n\r\nbody",
+                1024
+            ),
+            Err(HttpError::Malformed(msg)) if msg.contains("transfer-encoding")
+        ));
+        // Conflicting Content-Length values are a CL.CL desync vector.
+        assert!(matches!(
+            parse(
+                b"POST / HTTP/1.1\r\ncontent-length: 4\r\ncontent-length: 2\r\n\r\nbody",
+                1024
+            ),
+            Err(HttpError::Malformed(msg)) if msg.contains("conflicting")
+        ));
+        // Same numeric value spelled differently still conflicts — a
+        // lenient front proxy may frame by the form this parser would
+        // have collapsed away.
+        assert!(matches!(
+            parse(
+                b"POST / HTTP/1.1\r\ncontent-length: 4\r\ncontent-length: 04\r\n\r\nbody",
+                1024
+            ),
+            Err(HttpError::Malformed(msg)) if msg.contains("conflicting")
+        ));
+        // Content-Length is 1*DIGIT: a sign is not a valid length, even
+        // though `parse::<usize>` would accept it.
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\ncontent-length: +4\r\n\r\nbody", 1024),
+            Err(HttpError::Malformed(msg)) if msg.contains("bad content-length")
+        ));
+        // Repeated but identical Content-Length headers are fine
+        // (RFC 9112 §6.3 allows collapsing them to the single value).
+        let request = parse(
+            b"POST / HTTP/1.1\r\ncontent-length: 4\r\ncontent-length: 4\r\n\r\nbody",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(request.body, b"body");
     }
 
     #[test]

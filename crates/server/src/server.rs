@@ -17,7 +17,8 @@
 //! serves a session while it has work: it reads requests off a
 //! persistent [`HttpConnection`] (so pipelined bytes carry over between
 //! requests), answers each, and keeps going while the next request is
-//! already arriving. Once a session goes quiet for one poll interval the
+//! already arriving. Once a session goes quiet for one poll interval
+//! (shortened to ~1 ms while other sessions are queued for a worker) the
 //! worker *parks* it — hands the socket to a parker thread that watches
 //! all idle sessions with non-blocking peeks — and moves on, so idle
 //! keep-alive clients never pin workers. When bytes arrive on a parked
@@ -63,7 +64,13 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Admission bound on *requests* being executed at once; a request
     /// arriving past it is answered `429 overloaded` without closing its
-    /// connection (0 means `4 × workers`).
+    /// connection (0 means `4 × workers`). Note that each worker executes
+    /// one request at a time, so in-flight can never exceed the worker
+    /// count: this cap only produces 429s when set *below* `workers`. At
+    /// or above it (including the default), overload degrades by queueing
+    /// connections up to [`max_connections`] instead.
+    ///
+    /// [`max_connections`]: ServerConfig::max_connections
     pub max_in_flight: usize,
     /// Bound on open connections (queued + being served) before the accept
     /// path sheds new ones with `429` (0 means `4 × max_in_flight`).
@@ -161,6 +168,19 @@ const MAX_SHED_THREADS: usize = 64;
 /// frees the worker almost immediately.
 const IDLE_POLL: Duration = Duration::from_millis(50);
 
+/// The tick size of the linger: the worker waits on a quiet session in
+/// [`LINGER_TICK`] slices (up to [`IDLE_POLL`] total) instead of one
+/// blocking wait, so queue pressure or shutdown arriving *mid-linger* is
+/// observed within a tick. On small pools (one worker on a one-core
+/// host) a single blocking [`IDLE_POLL`] would add 50 ms of queueing
+/// delay to every waiting connection per exchange; with ticks, a quiet
+/// session is parked within ~1 ms of another session queueing.
+const LINGER_TICK: Duration = Duration::from_millis(1);
+
+/// How long [`drain_then_close`] reads-and-discards a rejected request's
+/// leftover bytes before dropping the socket regardless.
+const ERROR_DRAIN_WINDOW: Duration = Duration::from_millis(250);
+
 /// How often the parker thread sweeps the parked sessions for readable
 /// sockets, expired idle timers and shutdown. Bounds the extra first-byte
 /// latency of a request arriving on a parked connection.
@@ -189,6 +209,10 @@ struct Shared {
     max_connections: usize,
     in_flight: AtomicUsize,
     connections: AtomicUsize,
+    /// Sessions sent to the worker channel and not yet picked up — the
+    /// queue-pressure signal that cuts the idle linger short (see
+    /// [`LINGER_TICK`]) and parks pipelining sessions between requests.
+    queued: AtomicUsize,
     accepted: AtomicU64,
     served: AtomicU64,
     reused: AtomicU64,
@@ -321,6 +345,7 @@ pub fn serve(
         max_connections,
         in_flight: AtomicUsize::new(0),
         connections: AtomicUsize::new(0),
+        queued: AtomicUsize::new(0),
         accepted: AtomicU64::new(0),
         served: AtomicU64::new(0),
         reused: AtomicU64::new(0),
@@ -412,7 +437,9 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener, sender: Sender<Sess
                 conn: HttpConnection::new(stream),
                 requests_on_conn: 0,
             };
+            shared.queued.fetch_add(1, Ordering::SeqCst);
             if sender.send(session).is_err() {
+                shared.queued.fetch_sub(1, Ordering::SeqCst);
                 shared.connections.fetch_sub(1, Ordering::SeqCst);
                 break;
             }
@@ -451,7 +478,8 @@ fn shed(shared: Arc<Shared>, stream: TcpStream) {
             // Drain the request so well-behaved clients see the response
             // instead of a reset, then answer and close.
             let _ = conn.read_request(max_body);
-            let _ = conn.write_response(&overloaded_response(), false);
+            let response = overloaded_response("server is at its connection limit; retry later");
+            let _ = conn.write_response(&response, false);
             helper_shared.shed_helpers.fetch_sub(1, Ordering::SeqCst);
         });
     if spawned.is_err() {
@@ -468,6 +496,7 @@ fn worker_loop(shared: &Shared, receiver: &Mutex<Receiver<Session>>) {
         let Ok(session) = session else {
             break;
         };
+        shared.queued.fetch_sub(1, Ordering::SeqCst);
         match serve_session(shared, session) {
             SessionFate::Closed => {}
             SessionFate::Park(session) => park_session(shared, session),
@@ -475,12 +504,15 @@ fn worker_loop(shared: &Shared, receiver: &Mutex<Receiver<Session>>) {
     }
 }
 
-/// Whether an I/O error is a read-timeout / would-block tick rather than a
-/// real fault.
-fn is_timeout(error: &std::io::Error) -> bool {
+/// Whether an I/O error is transient — a read-timeout / would-block tick
+/// or a signal-interrupted syscall (EINTR) — rather than a real fault. A
+/// profiler's SIGPROF landing mid-read must not cost a healthy connection.
+fn is_transient(error: &std::io::Error) -> bool {
     matches!(
         error.kind(),
-        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::Interrupted
     )
 }
 
@@ -497,35 +529,57 @@ enum SessionFate {
 /// request is already arriving. A session quiet for one [`IDLE_POLL`] is
 /// handed back for parking instead of pinning the worker.
 fn serve_session(shared: &Shared, mut session: Session) -> SessionFate {
+    let mut served_this_turn = 0u32;
     loop {
         // Wait-for-request phase. Pipelined bytes skip the wait entirely.
         if !session.conn.has_buffered_data() {
-            if shared.shutdown.load(Ordering::SeqCst) {
-                shared.close_session(session);
-                return SessionFate::Closed;
-            }
             if session
                 .conn
                 .get_mut()
-                .set_read_timeout(Some(IDLE_POLL))
+                .set_read_timeout(Some(LINGER_TICK))
                 .is_err()
             {
                 shared.close_session(session);
                 return SessionFate::Closed;
             }
-            match session.conn.poll_data() {
-                Ok(true) => {}
-                Ok(false) => {
-                    // Peer closed cleanly between requests.
+            let wait_started = Instant::now();
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
                     shared.close_session(session);
                     return SessionFate::Closed;
                 }
-                Err(error) if is_timeout(&error) => return SessionFate::Park(session),
-                Err(_) => {
-                    shared.close_session(session);
-                    return SessionFate::Closed;
+                match session.conn.poll_data() {
+                    Ok(true) => break,
+                    Ok(false) => {
+                        // Peer closed cleanly between requests.
+                        shared.close_session(session);
+                        return SessionFate::Closed;
+                    }
+                    Err(error) if is_transient(&error) => {
+                        // Park as soon as other sessions are waiting for
+                        // a worker — even mid-linger — or once this quiet
+                        // session has had its full linger.
+                        if shared.queued.load(Ordering::SeqCst) > 0
+                            || wait_started.elapsed() >= IDLE_POLL
+                        {
+                            return SessionFate::Park(session);
+                        }
+                    }
+                    Err(_) => {
+                        shared.close_session(session);
+                        return SessionFate::Closed;
+                    }
                 }
             }
+        } else if served_this_turn > 0 && shared.queued.load(Ordering::SeqCst) > 0 {
+            // Fairness: a client streaming pipelined requests keeps
+            // has_buffered_data() true forever and would otherwise
+            // monopolize this worker while other sessions starve in the
+            // queue. Park it — the parker wakes buffered sessions on its
+            // next sweep, re-queueing them *behind* the waiting ones. The
+            // served_this_turn guard ensures every dequeue makes progress
+            // (no park/wake livelock when every session is pipelining).
+            return SessionFate::Park(session);
         }
         // Read phase: the first byte arrived; the rest of the request must
         // land within the per-read timeout.
@@ -539,7 +593,7 @@ fn serve_session(shared: &Shared, mut session: Session) -> SessionFate {
             return SessionFate::Closed;
         }
         let outcome = session.conn.read_request(shared.config.max_body_bytes);
-        let (response, keep_alive) = match outcome {
+        let (response, keep_alive, framing_lost) = match outcome {
             Ok(request) => {
                 shared.served.fetch_add(1, Ordering::SeqCst);
                 if session.requests_on_conn > 0 {
@@ -551,7 +605,7 @@ fn serve_session(shared: &Shared, mut session: Session) -> SessionFate {
                     && request.wants_keep_alive()
                     && (cap == 0 || session.requests_on_conn < cap)
                     && !shared.shutdown.load(Ordering::SeqCst);
-                (answer_request(shared, &request), keep)
+                (answer_request(shared, &request), keep, false)
             }
             Err(HttpError::PayloadTooLarge { declared, limit }) => {
                 shared.served.fetch_add(1, Ordering::SeqCst);
@@ -563,11 +617,16 @@ fn serve_session(shared: &Shared, mut session: Session) -> SessionFate {
                         format!("body of {declared} bytes exceeds the {limit} byte limit"),
                     ),
                     false,
+                    true,
                 )
             }
             Err(HttpError::Malformed(message)) => {
                 shared.served.fetch_add(1, Ordering::SeqCst);
-                (error_response(ErrorCode::MalformedHttp, message), false)
+                (
+                    error_response(ErrorCode::MalformedHttp, message),
+                    false,
+                    true,
+                )
             }
             // Clean close between requests, or the connection died
             // mid-request — nothing to answer either way.
@@ -578,10 +637,45 @@ fn serve_session(shared: &Shared, mut session: Session) -> SessionFate {
         };
         let written = session.conn.write_response(&response, keep_alive).is_ok();
         if !written || !keep_alive {
-            shared.close_session(session);
+            if written && framing_lost {
+                // The rejected request's remaining bytes are still unread;
+                // dropping the socket now would RST and could destroy the
+                // just-written error response before the peer reads it.
+                drain_then_close(shared, session);
+            } else {
+                shared.close_session(session);
+            }
             return SessionFate::Closed;
         }
+        served_this_turn += 1;
     }
+}
+
+/// Closes a session whose request was rejected with bytes still unread on
+/// the socket (the payload-too-large / malformed paths). Dropping such a
+/// socket makes the OS send RST, which on a real network can discard the
+/// just-written error response before the peer reads it (RFC 9112 §9.6
+/// recommends a half-close here). So: shut down the write side — the FIN
+/// tells the peer to stop sending — then read-and-discard what is already
+/// in flight until the peer closes or [`ERROR_DRAIN_WINDOW`] passes; the
+/// drain is time-bounded so a hostile peer cannot pin the worker.
+fn drain_then_close(shared: &Shared, mut session: Session) {
+    use std::io::Read;
+    let stream = session.conn.get_mut();
+    let deadline = Instant::now() + ERROR_DRAIN_WINDOW;
+    if stream.shutdown(std::net::Shutdown::Write).is_ok()
+        && stream.set_read_timeout(Some(ERROR_DRAIN_WINDOW)).is_ok()
+    {
+        let mut sink = [0u8; 4096];
+        loop {
+            match stream.read(&mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(_) if Instant::now() >= deadline => break,
+                Ok(_) => {}
+            }
+        }
+    }
+    shared.close_session(session);
 }
 
 /// Moves a quiet session onto the parker's watch list (non-blocking, so
@@ -619,17 +713,23 @@ fn parker_loop(shared: &Arc<Shared>, sender: Sender<Session>) {
             }
             let entry = &mut parked[index];
             let mut probe = [0u8; 1];
-            let action = match entry.session.conn.get_mut().peek(&mut probe) {
-                Ok(0) => Action::Close, // peer hung up while parked
-                Ok(_) => Action::Wake,
-                Err(error) if is_timeout(&error) => {
-                    if now.duration_since(entry.last_activity) >= shared.config.idle_timeout {
-                        Action::Close
-                    } else {
-                        Action::Stay
+            // A session parked for fairness mid-pipeline has its next
+            // request in the connection buffer, invisible to peek().
+            let action = if entry.session.conn.has_buffered_data() {
+                Action::Wake
+            } else {
+                match entry.session.conn.get_mut().peek(&mut probe) {
+                    Ok(0) => Action::Close, // peer hung up while parked
+                    Ok(_) => Action::Wake,
+                    Err(error) if is_transient(&error) => {
+                        if now.duration_since(entry.last_activity) >= shared.config.idle_timeout {
+                            Action::Close
+                        } else {
+                            Action::Stay
+                        }
                     }
+                    Err(_) => Action::Close,
                 }
-                Err(_) => Action::Close,
             };
             match action {
                 Action::Stay => index += 1,
@@ -642,19 +742,20 @@ fn parker_loop(shared: &Arc<Shared>, sender: Sender<Session>) {
                     let mut session = entry.session;
                     if session.conn.get_mut().set_nonblocking(false).is_err() {
                         shared.close_session(session);
-                    } else if let Err(returned) = sender.send(session) {
-                        // Workers are gone (shutdown): close it here.
-                        shared.close_session(returned.0);
+                    } else {
+                        shared.queued.fetch_add(1, Ordering::SeqCst);
+                        if let Err(returned) = sender.send(session) {
+                            // Workers are gone (shutdown): close it here.
+                            shared.queued.fetch_sub(1, Ordering::SeqCst);
+                            shared.close_session(returned.0);
+                        }
                     }
                 }
             }
         }
     }
     // Shutdown: every parked session is idle by definition — close them.
-    let mut parked = shared.parked.lock().expect("parked lock");
-    for entry in parked.drain(..) {
-        shared.close_session(entry.session);
-    }
+    shared.close_all_parked();
 }
 
 /// Runs one parsed request through admission control and the route table.
@@ -669,7 +770,7 @@ fn answer_request(shared: &Shared, request: &Request) -> Response {
         .is_ok();
     if !admitted {
         shared.shed.fetch_add(1, Ordering::SeqCst);
-        return overloaded_response();
+        return overloaded_response("server is at its in-flight request limit; retry later");
     }
     // A panicking handler must cost one response, not one worker.
     let response = catch_unwind(AssertUnwindSafe(|| route(shared, request)))
@@ -678,11 +779,11 @@ fn answer_request(shared: &Shared, request: &Request) -> Response {
     response
 }
 
-fn overloaded_response() -> Response {
-    let body = ErrorBody::new(
-        ErrorCode::Overloaded,
-        "server is at its in-flight request limit; retry later",
-    );
+/// The stable `429 overloaded` reply; `message` names which admission
+/// bound was hit (connection vs in-flight) so operators tune the right
+/// knob.
+fn overloaded_response(message: &str) -> Response {
+    let body = ErrorBody::new(ErrorCode::Overloaded, message);
     Response::json(ErrorCode::Overloaded.http_status(), body.to_json())
         .with_header("retry-after", "1")
 }

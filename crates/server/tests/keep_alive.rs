@@ -7,7 +7,7 @@ use ikrq_core::{CacheConfig, IkrqService, MetricsDetail, SearchRequest, VariantC
 use ikrq_server::client::{ClientReply, KeepAliveClient};
 use ikrq_server::{serve, ServerConfig, ServerHandle};
 use indoor_keywords::QueryKeywords;
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -73,40 +73,8 @@ impl FramedStream {
     }
 
     fn read_response(&mut self) -> ClientReply {
-        let mut status_line = String::new();
-        assert!(
-            self.reader.read_line(&mut status_line).unwrap() > 0,
-            "connection closed instead of answering"
-        );
-        let status = status_line
-            .split_whitespace()
-            .nth(1)
-            .and_then(|code| code.parse::<u16>().ok())
-            .expect("status line");
-        let mut headers = Vec::new();
-        loop {
-            let mut line = String::new();
-            assert!(self.reader.read_line(&mut line).unwrap() > 0, "head cut");
-            let line = line.trim_end();
-            if line.is_empty() {
-                break;
-            }
-            if let Some((name, value)) = line.split_once(':') {
-                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
-            }
-        }
-        let length: usize = headers
-            .iter()
-            .find(|(n, _)| n == "content-length")
-            .map(|(_, v)| v.parse().unwrap())
-            .expect("content-length");
-        let mut body = vec![0u8; length];
-        self.reader.read_exact(&mut body).unwrap();
-        ClientReply {
-            status,
-            headers,
-            body: String::from_utf8(body).unwrap(),
-        }
+        ikrq_server::client::read_framed_reply(&mut self.reader)
+            .expect("connection closed instead of answering")
     }
 
     /// True once the server closes; fails the test on a timeout.
@@ -397,4 +365,39 @@ fn stats_report_connection_and_reuse_counters() {
     // Three healthz rounds + this stats call: three reuses.
     assert_eq!(inner.get("keep_alive_reuses").unwrap().as_u64(), Some(3));
     assert_eq!(inner.get("requests_served").unwrap().as_u64(), Some(4));
+}
+
+/// Smuggling vectors are refused outright: a `Transfer-Encoding` header
+/// or conflicting `Content-Length` values get `400 malformed_http` and
+/// the connection is closed, so no attacker-controlled body bytes remain
+/// buffered to be parsed as the "next request" of a reused connection.
+#[test]
+fn smuggling_vectors_get_400_and_a_closed_connection() {
+    let handle = start(ServerConfig::default());
+    let addr = handle.local_addr();
+
+    // TE.CL shape: a chunked body hiding a second request. The pipelined
+    // healthz must never be answered — the 400 closes the connection.
+    let mut conn = FramedStream::connect(addr);
+    conn.send(
+        "POST /v1/search HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n\
+         0\r\n\r\nGET /v1/healthz HTTP/1.1\r\n\r\n",
+    );
+    let reply = conn.read_response();
+    assert_eq!(reply.status, 400);
+    assert_eq!(reply.header("connection"), Some("close"));
+    assert!(
+        reply.body.contains("malformed_http"),
+        "body: {}",
+        reply.body
+    );
+    assert!(conn.at_eof(), "connection must close after the 400");
+
+    // CL.CL shape: two conflicting lengths.
+    let mut conn = FramedStream::connect(addr);
+    conn.send("POST /v1/search HTTP/1.1\r\ncontent-length: 4\r\ncontent-length: 0\r\n\r\nbody");
+    let reply = conn.read_response();
+    assert_eq!(reply.status, 400);
+    assert_eq!(reply.header("connection"), Some("close"));
+    assert!(conn.at_eof(), "connection must close after the 400");
 }

@@ -5,6 +5,9 @@
 //! cargo run --release -p ikrq-bench --bin http_load -- \
 //!     [--floors N] [--clients N] [--requests N] [--instances N]
 //!     [--algorithm toe|koe|koe-star] [--seed N] [--keep-alive] [--compare]
+//!     [--reactor true|false]
+//!     [--connections 0,64,1024,4096 [--active N] [--external HOST:PORT]]
+//!     [--serve HOST:PORT]
 //! ```
 //!
 //! Prints one summary line per configuration: attempted/ok/shed counts,
@@ -14,9 +17,18 @@
 //! `--keep-alive` reuses one connection per client instead of dialing per
 //! request; `--compare` runs both modes back to back and prints the
 //! close-vs-reuse throughput ratio.
+//!
+//! `--connections` switches to the *parked-connection sweep*: ramp idle
+//! keep-alive sessions through the listed counts while `--active` client
+//! threads measure q/s and p50/p99 latency at every step — the workload
+//! the readiness reactor exists for. Both socket ends count against
+//! `RLIMIT_NOFILE` when the server is in-process; for large steps run
+//! `http_load --serve HOST:PORT` (same --floors/--seed/--algorithm) in a
+//! second process and point the sweep at it with `--external HOST:PORT`.
 
 use ikrq_bench::http_load::{
-    run_close_vs_keep_alive, run_http_load, HttpLoadConfig, HttpLoadReport,
+    host_cores, run_close_vs_keep_alive, run_connection_sweep, run_http_load,
+    ConnectionSweepConfig, HttpLoadConfig, HttpLoadReport, SweepStep,
 };
 use ikrq_bench::workload::{ExperimentContext, VenueKind};
 use ikrq_core::VariantConfig;
@@ -31,6 +43,15 @@ struct Args {
     seed: u64,
     keep_alive: bool,
     compare: bool,
+    reactor: bool,
+    /// `--connections`: parked-session counts of a connection sweep.
+    connections: Option<Vec<usize>>,
+    /// Active client threads of the sweep.
+    active: usize,
+    /// Sweep against an already-running server instead of in-process.
+    external: Option<std::net::SocketAddr>,
+    /// Serve mode: host the synthetic venue on this address and block.
+    serve_addr: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -43,6 +64,11 @@ fn parse_args() -> Result<Args, String> {
         seed: 2020,
         keep_alive: false,
         compare: false,
+        reactor: true,
+        connections: None,
+        active: 8,
+        external: None,
+        serve_addr: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -62,6 +88,25 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => parsed.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
             "--keep-alive" => parsed.keep_alive = true,
             "--compare" => parsed.compare = true,
+            "--reactor" => {
+                parsed.reactor = match value("--reactor")?.as_str() {
+                    "true" | "on" | "1" => true,
+                    "false" | "off" | "0" => false,
+                    other => return Err(format!("--reactor expects true|false, got `{other}`")),
+                }
+            }
+            "--connections" => {
+                let list = value("--connections")?;
+                let steps: Result<Vec<usize>, _> =
+                    list.split(',').map(|step| step.trim().parse()).collect();
+                parsed.connections = Some(steps.map_err(|e| format!("--connections: {e}"))?);
+            }
+            "--active" => parsed.active = value("--active")?.parse().map_err(|e| format!("{e}"))?,
+            "--external" => {
+                let addr = value("--external")?;
+                parsed.external = Some(addr.parse().map_err(|e| format!("--external: {e}"))?);
+            }
+            "--serve" => parsed.serve_addr = Some(value("--serve")?),
             "--algorithm" => {
                 parsed.variant = match value("--algorithm")?.as_str() {
                     "toe" => VariantConfig::toe(),
@@ -74,7 +119,9 @@ fn parse_args() -> Result<Args, String> {
                 return Err(
                     "usage: http_load [--floors N] [--clients N] [--requests N] \
                      [--instances N] [--algorithm toe|koe|koe-star] [--seed N] \
-                     [--keep-alive] [--compare]"
+                     [--keep-alive] [--compare] [--reactor true|false] \
+                     [--connections N,N,... [--active N] [--external HOST:PORT]] \
+                     [--serve HOST:PORT]"
                         .into(),
                 )
             }
@@ -83,6 +130,12 @@ fn parse_args() -> Result<Args, String> {
     }
     if parsed.clients == 0 || parsed.requests_per_client == 0 || parsed.instances == 0 {
         return Err("--clients, --requests and --instances must be at least 1".into());
+    }
+    if parsed.active == 0 {
+        return Err("--active must be at least 1".into());
+    }
+    if parsed.connections.as_ref().is_some_and(|c| c.is_empty()) {
+        return Err("--connections needs at least one step".into());
     }
     Ok(parsed)
 }
@@ -115,12 +168,73 @@ fn main() {
         std::process::exit(1);
     }
 
-    let config = HttpLoadConfig {
+    let mut config = HttpLoadConfig {
         clients: args.clients,
         requests_per_client: args.requests_per_client,
         keep_alive: args.keep_alive,
         ..HttpLoadConfig::default()
     };
+    config.server.reactor = args.reactor;
+
+    // Serve mode: host the venue for an --external sweep and block.
+    if let Some(addr) = &args.serve_addr {
+        let service = std::sync::Arc::new(ikrq_core::IkrqService::new());
+        service
+            .register_engine(&venue.venue_id, std::sync::Arc::clone(&venue.engine))
+            .expect("fresh service accepts the venue");
+        let mut server = config.server.clone();
+        server.idle_timeout = std::time::Duration::from_secs(600);
+        server.max_connections = server.max_connections.max(32 * 1024);
+        let handle = match ikrq_server::serve(service, addr.as_str(), server) {
+            Ok(handle) => handle,
+            Err(error) => {
+                eprintln!("--serve failed to bind {addr}: {error}");
+                std::process::exit(1);
+            }
+        };
+        eprintln!(
+            "http_load serving venue `{}` on http://{} (reactor: {}; ctrl-c to stop)",
+            venue.venue_id,
+            handle.local_addr(),
+            args.reactor,
+        );
+        handle.join();
+        return;
+    }
+
+    // Sweep mode: ramp parked keep-alive sessions, measure the active
+    // subset at every step.
+    if let Some(steps) = &args.connections {
+        let sweep = ConnectionSweepConfig {
+            parked_steps: steps.clone(),
+            active_clients: args.active,
+            requests_per_client: args.requests_per_client,
+            server: config.server.clone(),
+            external: args.external,
+        };
+        eprintln!(
+            "sweeping parked connections {:?} with {} active clients x {} requests \
+             ({}; reactor: {}; host cores: {}) ...",
+            sweep.parked_steps,
+            sweep.active_clients,
+            sweep.requests_per_client,
+            args.variant.label(),
+            args.reactor,
+            host_cores(),
+        );
+        match run_connection_sweep(&venue, &instances, args.variant, &sweep) {
+            Ok(steps) => {
+                for step in &steps {
+                    print_sweep_step(step);
+                }
+            }
+            Err(error) => {
+                eprintln!("connection sweep failed: {error}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     eprintln!(
         "driving {} clients x {} requests over {} distinct queries ({}) ...",
         config.clients,
@@ -161,7 +275,8 @@ fn main() {
 fn print_report(label: &str, report: &HttpLoadReport) {
     println!(
         "{} [{}]: {} requests ({} connects) -> {} ok, {} shed, {} failed | \
-         {} cache hits | {:.1} q/s | avg {:.2} ms, max {:.2} ms over {:.2} s",
+         {} cache hits | {:.1} q/s | avg {:.2} ms, p50 {:.2} ms, p99 {:.2} ms, \
+         max {:.2} ms over {:.2} s | {} cores",
         label,
         if report.keep_alive {
             "keep-alive"
@@ -176,7 +291,27 @@ fn print_report(label: &str, report: &HttpLoadReport) {
         report.cache_hits,
         report.qps,
         report.avg_latency_ms,
+        report.p50_latency_ms,
+        report.p99_latency_ms,
         report.max_latency_ms,
         report.wall_s,
+        report.host_cores,
+    );
+}
+
+fn print_sweep_step(step: &SweepStep) {
+    println!(
+        "parked {:>6} (target {:>6}): {:.1} q/s | p50 {:.2} ms, p99 {:.2} ms, \
+         max {:.2} ms | {} ok, {} shed, {} failed | {} cores",
+        step.parked_established,
+        step.parked_target,
+        step.report.qps,
+        step.report.p50_latency_ms,
+        step.report.p99_latency_ms,
+        step.report.max_latency_ms,
+        step.report.ok,
+        step.report.shed,
+        step.report.failed,
+        step.report.host_cores,
     );
 }

@@ -62,6 +62,8 @@ COMMANDS:
                --keep-alive true|false         connection reuse (default true)
                --idle-timeout SECONDS          close idle connections after (default 30)
                --max-requests-per-conn N       recycle connections after N requests (default: unlimited)
+               --reactor true|false            idle-connection watcher: readiness reactor (default)
+                                               or the legacy 5 ms poll-sweep parker
                --cache-capacity N              response-cache entries (default 4096, 0 disables)
                --cache-shards N                response-cache shards (default 8)
     help       Show this message
@@ -538,6 +540,9 @@ pub fn start_server(args: &ParsedArgs) -> Result<ikrq_server::ServerHandle> {
     }
     if let Some(max_connections) = args.get_usize("max-connections")? {
         config.max_connections = max_connections;
+    }
+    if let Some(reactor) = args.get_bool("reactor")? {
+        config.reactor = reactor;
     }
     let addr = args.get("addr").unwrap_or("127.0.0.1:8080");
     let handle = ikrq_server::serve(service, addr, config)?;

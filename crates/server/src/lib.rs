@@ -48,6 +48,7 @@
 pub mod client;
 pub mod http;
 pub mod protocol;
+mod reactor;
 pub mod server;
 
 pub use client::{one_shot, ClientReply, KeepAliveClient};

@@ -19,14 +19,20 @@
 //! requests), answers each, and keeps going while the next request is
 //! already arriving. Once a session goes quiet for one poll interval
 //! (shortened to ~1 ms while other sessions are queued for a worker) the
-//! worker *parks* it — hands the socket to a parker thread that watches
-//! all idle sessions with non-blocking peeks — and moves on, so idle
-//! keep-alive clients never pin workers. When bytes arrive on a parked
-//! session the parker re-queues it to the worker pool with its buffer and
-//! request count intact; the parker also closes sessions whose
-//! [`ServerConfig::idle_timeout`] expired. A session ends when the peer
-//! asks for `close` (honored on both HTTP/1.0 and 1.1), the idle timeout
-//! or per-connection request cap fires, or shutdown begins.
+//! worker *parks* it — hands the socket to the readiness **reactor**
+//! (`crate::reactor`), a single thread that registers every idle session
+//! with the kernel poller and blocks until one becomes readable — and
+//! moves on, so idle keep-alive clients never pin workers (or cost CPU
+//! at all while idle). When bytes arrive on a parked session the reactor
+//! re-queues it to the worker pool with its buffer and request count
+//! intact; sessions whose [`ServerConfig::idle_timeout`] expires inside
+//! the wait are closed on a timer-aware deadline, not a sweep. With
+//! [`ServerConfig::reactor`] off (or when no poller is available on the
+//! platform) the pre-reactor *parker* thread takes over: a 5 ms sweep
+//! probing every parked socket with a non-blocking peek. A session ends
+//! when the peer asks for `close` (honored on both HTTP/1.0 and 1.1),
+//! the idle timeout or per-connection request cap fires, or shutdown
+//! begins.
 //!
 //! Admission control is accounted per *request*: each parsed request
 //! acquires one of [`ServerConfig::max_in_flight`] slots, and a saturated
@@ -93,6 +99,12 @@ pub struct ServerConfig {
     /// Requests served on one connection before the server closes it
     /// (connection recycling; 0 means unlimited).
     pub max_requests_per_conn: usize,
+    /// Whether idle keep-alive sessions are watched by the readiness
+    /// reactor (one thread blocking in the kernel poller, the default)
+    /// or by the legacy parker thread (a 5 ms non-blocking peek sweep).
+    /// The parker also takes over automatically when the reactor cannot
+    /// start (no poller on the platform, fd exhaustion at startup).
+    pub reactor: bool,
 }
 
 impl Default for ServerConfig {
@@ -108,6 +120,7 @@ impl Default for ServerConfig {
             keep_alive: true,
             idle_timeout: Duration::from_secs(30),
             max_requests_per_conn: 0,
+            reactor: true,
         }
     }
 }
@@ -153,6 +166,18 @@ pub struct ServerStats {
     /// Requests served on a reused connection (the second and later
     /// requests of each keep-alive session).
     pub keep_alive_reuses: u64,
+    /// Idle keep-alive sessions currently parked (on the reactor's
+    /// watch list or the legacy parker's, whichever is active).
+    pub connections_parked: usize,
+    /// Parked sessions the reactor woke and handed back to the worker
+    /// pool because their socket became readable (data, EOF or error —
+    /// the worker's read tells them apart). Always 0 under the legacy
+    /// parker.
+    pub reactor_wakeups: u64,
+    /// Reactor waits that returned without waking a session, expiring
+    /// an idle timer, or being asked to (stale timer ticks, EINTR) —
+    /// the poll-churn signal. Always 0 under the legacy parker.
+    pub reactor_spurious_wakeups: u64,
     /// Response-cache counters.
     pub cache: CacheStats,
 }
@@ -181,30 +206,33 @@ const LINGER_TICK: Duration = Duration::from_millis(1);
 /// leftover bytes before dropping the socket regardless.
 const ERROR_DRAIN_WINDOW: Duration = Duration::from_millis(250);
 
-/// How often the parker thread sweeps the parked sessions for readable
-/// sockets, expired idle timers and shutdown. Bounds the extra first-byte
-/// latency of a request arriving on a parked connection.
+/// How often the *legacy* parker thread sweeps the parked sessions for
+/// readable sockets, expired idle timers and shutdown. Bounds the extra
+/// first-byte latency of a request arriving on a parked connection. The
+/// default reactor path has no sweep — the kernel poller wakes it.
 const PARK_SCAN: Duration = Duration::from_millis(5);
 
-/// One keep-alive session in flight through the worker/parker machinery:
-/// the connection (with any carried-over buffered bytes) plus how many
-/// requests it has answered so far.
-struct Session {
-    conn: HttpConnection<TcpStream>,
+/// One keep-alive session in flight through the worker/reactor/parker
+/// machinery: the connection (with any carried-over buffered bytes) plus
+/// how many requests it has answered so far.
+pub(crate) struct Session {
+    pub(crate) conn: HttpConnection<TcpStream>,
     requests_on_conn: u64,
 }
 
-/// A session waiting for its next request on the parker's watch list.
-struct Parked {
+/// A session waiting for its next request on the legacy parker's watch
+/// list.
+struct ParkedEntry {
     session: Session,
     last_activity: Instant,
 }
 
-/// State shared by the acceptor, the workers, the parker and the handle.
-struct Shared {
+/// State shared by the acceptor, the workers, the reactor (or parker)
+/// and the handle.
+pub(crate) struct Shared {
     service: Arc<IkrqService>,
     cache: ResponseCache,
-    config: ServerConfig,
+    pub(crate) config: ServerConfig,
     max_in_flight: usize,
     max_connections: usize,
     in_flight: AtomicUsize,
@@ -218,23 +246,48 @@ struct Shared {
     reused: AtomicU64,
     shed: AtomicU64,
     shed_helpers: AtomicUsize,
-    shutdown: AtomicBool,
-    parked: Mutex<Vec<Parked>>,
+    pub(crate) shutdown: AtomicBool,
+    /// Count of idle sessions currently parked, whichever path watches
+    /// them (reactor inbox + slab, or the legacy parker list).
+    pub(crate) parked: AtomicUsize,
+    /// Parked sessions woken for readability by the reactor.
+    pub(crate) reactor_wakeups: AtomicU64,
+    /// Reactor waits that found nothing to do (see [`ServerStats`]).
+    pub(crate) reactor_spurious_wakeups: AtomicU64,
+    /// The effective `RLIMIT_NOFILE` soft limit after the startup raise
+    /// (0 when the platform has no such limit or querying it failed).
+    nofile_limit: u64,
+    /// The readiness reactor; `None` runs the legacy parker sweep.
+    pub(crate) reactor: Option<crate::reactor::Reactor>,
+    /// The legacy parker's watch list (unused while the reactor is on).
+    park_list: Mutex<Vec<ParkedEntry>>,
 }
 
 impl Shared {
     /// Ends a session: drops the socket and releases its connection slot.
-    fn close_session(&self, session: Session) {
+    pub(crate) fn close_session(&self, session: Session) {
         drop(session);
         self.connections.fetch_sub(1, Ordering::SeqCst);
     }
 
-    /// Closes everything on the parked list (the shutdown path; parked
-    /// sessions are idle by definition).
+    /// Closes everything still parked (the post-join shutdown sweep;
+    /// parked sessions are idle by definition). Covers both the legacy
+    /// parker's list and the reactor's inbox — the reactor's registered
+    /// slab is drained by the reactor thread itself before it exits.
     fn close_all_parked(&self) {
-        let mut parked = self.parked.lock().expect("parked lock");
-        for entry in parked.drain(..) {
-            self.close_session(entry.session);
+        let drained: Vec<Session> = {
+            let mut list = self.park_list.lock().expect("park list lock");
+            list.drain(..).map(|entry| entry.session).collect()
+        };
+        for session in drained {
+            self.parked.fetch_sub(1, Ordering::SeqCst);
+            self.close_session(session);
+        }
+        if let Some(reactor) = &self.reactor {
+            for session in reactor.drain_inbox() {
+                self.parked.fetch_sub(1, Ordering::SeqCst);
+                self.close_session(session);
+            }
         }
     }
 }
@@ -248,6 +301,9 @@ impl Shared {
             connections_accepted: self.accepted.load(Ordering::SeqCst),
             connections_active: self.connections.load(Ordering::SeqCst),
             keep_alive_reuses: self.reused.load(Ordering::SeqCst),
+            connections_parked: self.parked.load(Ordering::SeqCst),
+            reactor_wakeups: self.reactor_wakeups.load(Ordering::SeqCst),
+            reactor_spurious_wakeups: self.reactor_spurious_wakeups.load(Ordering::SeqCst),
             cache: self.cache.stats(),
         }
     }
@@ -260,7 +316,8 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     addr: SocketAddr,
     acceptor: Option<JoinHandle<()>>,
-    parker: Option<JoinHandle<()>>,
+    /// The reactor thread, or the legacy parker when the reactor is off.
+    idle_watcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -277,24 +334,30 @@ impl ServerHandle {
 
     /// Stops accepting, finishes requests being executed, closes idle and
     /// queued connections, and joins every thread. Idempotent; also
-    /// invoked by `Drop`. The listener is non-blocking and idle
-    /// connections poll the shutdown flag, so this returns within a poll
-    /// interval plus the time the workers need to finish in-flight
-    /// requests — no wake-up connection is involved that could itself
-    /// fail.
+    /// invoked by `Drop`. The listener is non-blocking, the reactor is
+    /// notified out of its wait, and idle connections poll the shutdown
+    /// flag, so this returns within a poll interval plus the time the
+    /// workers need to finish in-flight requests — no wake-up connection
+    /// is involved that could itself fail.
     pub fn shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(reactor) = &self.shared.reactor {
+            // The reactor may be blocked in `wait()` with no deadline;
+            // the notify pipe gets it to observe the flag immediately.
+            reactor.wake();
+        }
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
-        if let Some(parker) = self.parker.take() {
-            let _ = parker.join();
+        if let Some(idle_watcher) = self.idle_watcher.take() {
+            let _ = idle_watcher.join();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
-        // A worker may have parked a session after the parker already
-        // drained and exited; sweep once more now that everyone is gone.
+        // A worker may have parked a session after the reactor/parker
+        // already drained and exited; sweep once more now that everyone
+        // is gone.
         self.shared.close_all_parked();
     }
 
@@ -306,8 +369,8 @@ impl ServerHandle {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
-        if let Some(parker) = self.parker.take() {
-            let _ = parker.join();
+        if let Some(idle_watcher) = self.idle_watcher.take() {
+            let _ = idle_watcher.join();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
@@ -337,6 +400,25 @@ pub fn serve(
     let workers = config.effective_workers();
     let max_in_flight = config.effective_max_in_flight();
     let max_connections = config.effective_max_connections();
+    // Lift the fd soft limit toward the hard limit before the first
+    // accept: every parked keep-alive session holds an fd, so the
+    // default soft limit (often 1024) would cap the very workload the
+    // reactor exists for.
+    let nofile_limit = effective_nofile_limit();
+    let reactor = if config.reactor {
+        match crate::reactor::Reactor::new() {
+            Ok(reactor) => Some(reactor),
+            Err(error) => {
+                eprintln!(
+                    "ikrq-server: readiness reactor unavailable ({error}); \
+                     falling back to the legacy parker thread"
+                );
+                None
+            }
+        }
+    } else {
+        None
+    };
     let shared = Arc::new(Shared {
         service,
         cache: ResponseCache::new(config.cache),
@@ -352,7 +434,12 @@ pub fn serve(
         shed: AtomicU64::new(0),
         shed_helpers: AtomicUsize::new(0),
         shutdown: AtomicBool::new(false),
-        parked: Mutex::new(Vec::new()),
+        parked: AtomicUsize::new(0),
+        reactor_wakeups: AtomicU64::new(0),
+        reactor_spurious_wakeups: AtomicU64::new(0),
+        nofile_limit,
+        reactor,
+        park_list: Mutex::new(Vec::new()),
     });
 
     let (sender, receiver): (Sender<Session>, Receiver<Session>) = channel();
@@ -369,13 +456,27 @@ pub fn serve(
         );
     }
 
-    let parker = {
+    let idle_watcher = {
         let shared = Arc::clone(&shared);
         let sender = sender.clone();
+        let use_reactor = shared.reactor.is_some();
         std::thread::Builder::new()
-            .name("ikrq-parker".into())
-            .spawn(move || parker_loop(&shared, sender))
-            .expect("spawn parker thread")
+            .name(
+                if use_reactor {
+                    "ikrq-reactor"
+                } else {
+                    "ikrq-parker"
+                }
+                .into(),
+            )
+            .spawn(move || {
+                if use_reactor {
+                    crate::reactor::reactor_loop(&shared, sender);
+                } else {
+                    parker_loop(&shared, sender);
+                }
+            })
+            .expect("spawn idle watcher thread")
     };
 
     let acceptor = {
@@ -390,9 +491,45 @@ pub fn serve(
         shared,
         addr,
         acceptor: Some(acceptor),
-        parker: Some(parker),
+        idle_watcher: Some(idle_watcher),
         workers: worker_handles,
     })
+}
+
+/// Raises the `RLIMIT_NOFILE` soft limit toward the hard limit — once
+/// per process, logging the outcome once — and returns the effective
+/// soft limit (0 when the platform has no such limit or the query
+/// failed). Every parked session costs one fd, so this is the knob that
+/// decides how many keep-alive connections the server can hold.
+#[cfg(unix)]
+fn effective_nofile_limit() -> u64 {
+    use std::sync::OnceLock;
+    static NOFILE: OnceLock<u64> = OnceLock::new();
+    *NOFILE.get_or_init(|| match netpoll::raise_nofile_limit() {
+        Ok(limit) => {
+            if limit.raised() {
+                eprintln!(
+                    "ikrq-server: raised RLIMIT_NOFILE soft limit {} -> {} (hard {})",
+                    limit.previous_soft, limit.soft, limit.hard
+                );
+            } else {
+                eprintln!(
+                    "ikrq-server: RLIMIT_NOFILE soft limit already {} (hard {})",
+                    limit.soft, limit.hard
+                );
+            }
+            limit.soft
+        }
+        Err(error) => {
+            eprintln!("ikrq-server: could not raise RLIMIT_NOFILE: {error}");
+            0
+        }
+    })
+}
+
+#[cfg(not(unix))]
+fn effective_nofile_limit() -> u64 {
+    0
 }
 
 fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener, sender: Sender<Session>) {
@@ -575,10 +712,11 @@ fn serve_session(shared: &Shared, mut session: Session) -> SessionFate {
             // Fairness: a client streaming pipelined requests keeps
             // has_buffered_data() true forever and would otherwise
             // monopolize this worker while other sessions starve in the
-            // queue. Park it — the parker wakes buffered sessions on its
-            // next sweep, re-queueing them *behind* the waiting ones. The
-            // served_this_turn guard ensures every dequeue makes progress
-            // (no park/wake livelock when every session is pipelining).
+            // queue. Park it — the idle watcher re-queues buffered
+            // sessions (immediately on the reactor, next sweep on the
+            // parker) *behind* the waiting ones. The served_this_turn
+            // guard ensures every dequeue makes progress (no park/wake
+            // livelock when every session is pipelining).
             return SessionFate::Park(session);
         }
         // Read phase: the first byte arrived; the rest of the request must
@@ -678,40 +816,67 @@ fn drain_then_close(shared: &Shared, mut session: Session) {
     shared.close_session(session);
 }
 
-/// Moves a quiet session onto the parker's watch list (non-blocking, so
-/// the parker can probe many sockets cheaply). During shutdown the parker
-/// may already be gone, so quiet sessions close instead.
+/// Hands a quiet session to whichever idle watcher is running: the
+/// reactor (sockets stay blocking — the reactor never reads them, the
+/// kernel poller watches the fd) or the legacy parker's watch list
+/// (non-blocking, so the sweep can probe many sockets cheaply). During
+/// shutdown the watcher may already be gone, so quiet sessions close
+/// instead.
 fn park_session(shared: &Shared, mut session: Session) {
-    if shared.shutdown.load(Ordering::SeqCst)
-        || session.conn.get_mut().set_nonblocking(true).is_err()
-    {
+    if shared.shutdown.load(Ordering::SeqCst) {
         shared.close_session(session);
         return;
     }
-    shared.parked.lock().expect("parked lock").push(Parked {
-        session,
-        last_activity: Instant::now(),
-    });
+    if let Some(reactor) = &shared.reactor {
+        shared.parked.fetch_add(1, Ordering::SeqCst);
+        reactor.park(session);
+        return;
+    }
+    if session.conn.get_mut().set_nonblocking(true).is_err() {
+        shared.close_session(session);
+        return;
+    }
+    shared.parked.fetch_add(1, Ordering::SeqCst);
+    shared
+        .park_list
+        .lock()
+        .expect("park list lock")
+        .push(ParkedEntry {
+            session,
+            last_activity: Instant::now(),
+        });
 }
 
-/// The parker thread: sweeps parked sessions every [`PARK_SCAN`], closing
-/// the ones whose peer hung up or whose idle timeout expired, and
-/// re-queueing the ones with bytes waiting back to the worker pool. On
-/// shutdown it closes everything parked and drops its channel sender so
-/// the workers can drain and exit.
+/// Sends a previously parked session back to the worker pool (the wake
+/// path shared by the reactor and the legacy parker). If the workers are
+/// already gone — shutdown won the race — the session closes here.
+pub(crate) fn requeue_session(shared: &Shared, sender: &Sender<Session>, session: Session) {
+    shared.queued.fetch_add(1, Ordering::SeqCst);
+    if let Err(returned) = sender.send(session) {
+        shared.queued.fetch_sub(1, Ordering::SeqCst);
+        shared.close_session(returned.0);
+    }
+}
+
+/// The legacy parker thread (`ServerConfig::reactor = false`, or the
+/// startup fallback when no poller backend is available): sweeps parked
+/// sessions every [`PARK_SCAN`], closing the ones whose peer hung up or
+/// whose idle timeout expired, and re-queueing the ones with bytes
+/// waiting back to the worker pool. O(parked) work per tick — the
+/// readiness reactor replaces this with a blocking kernel wait.
 fn parker_loop(shared: &Arc<Shared>, sender: Sender<Session>) {
     while !shared.shutdown.load(Ordering::SeqCst) {
         std::thread::sleep(PARK_SCAN);
-        let mut parked = shared.parked.lock().expect("parked lock");
+        let mut list = shared.park_list.lock().expect("park list lock");
         let now = Instant::now();
         let mut index = 0;
-        while index < parked.len() {
+        while index < list.len() {
             enum Action {
                 Stay,
                 Close,
                 Wake,
             }
-            let entry = &mut parked[index];
+            let entry = &mut list[index];
             let mut probe = [0u8; 1];
             // A session parked for fairness mid-pipeline has its next
             // request in the connection buffer, invisible to peek().
@@ -734,21 +899,18 @@ fn parker_loop(shared: &Arc<Shared>, sender: Sender<Session>) {
             match action {
                 Action::Stay => index += 1,
                 Action::Close => {
-                    let entry = parked.swap_remove(index);
+                    let entry = list.swap_remove(index);
+                    shared.parked.fetch_sub(1, Ordering::SeqCst);
                     shared.close_session(entry.session);
                 }
                 Action::Wake => {
-                    let entry = parked.swap_remove(index);
+                    let entry = list.swap_remove(index);
                     let mut session = entry.session;
+                    shared.parked.fetch_sub(1, Ordering::SeqCst);
                     if session.conn.get_mut().set_nonblocking(false).is_err() {
                         shared.close_session(session);
                     } else {
-                        shared.queued.fetch_add(1, Ordering::SeqCst);
-                        if let Err(returned) = sender.send(session) {
-                            // Workers are gone (shutdown): close it here.
-                            shared.queued.fetch_sub(1, Ordering::SeqCst);
-                            shared.close_session(returned.0);
-                        }
+                        requeue_session(shared, &sender, session);
                     }
                 }
             }
@@ -920,6 +1082,12 @@ struct StatsBody {
     max_in_flight: usize,
     max_connections: usize,
     keep_alive: bool,
+    /// Whether the readiness reactor is watching idle sessions (`false`
+    /// means the legacy parker sweep is running).
+    reactor: bool,
+    /// Effective `RLIMIT_NOFILE` soft limit — the fd budget bounding how
+    /// many connections this process can hold (0: unknown/no limit API).
+    nofile_limit: u64,
     stats: ServerStats,
 }
 
@@ -931,6 +1099,8 @@ fn stats(shared: &Shared) -> Response {
         max_in_flight: shared.max_in_flight,
         max_connections: shared.max_connections,
         keep_alive: shared.config.keep_alive,
+        reactor: shared.reactor.is_some(),
+        nofile_limit: shared.nofile_limit,
         stats: shared.stats(),
     };
     Response::json(200, serde_json::to_string(&body).expect("stats serialize"))

@@ -1,0 +1,255 @@
+//! Integration tests of the readiness reactor: session registration,
+//! wake-on-readable, deregistration, idle-timeout expiry inside the
+//! blocking wait, shutdown draining, and the counters it surfaces on
+//! `/v1/stats` — all against a live server on an ephemeral port.
+
+use ikrq_core::IkrqService;
+use ikrq_server::client::{read_framed_reply, ClientReply};
+use ikrq_server::{serve, ServerConfig, ServerHandle};
+use std::io::{BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn start(config: ServerConfig) -> ServerHandle {
+    let example = indoor_data::paper_example_venue();
+    let service = Arc::new(IkrqService::new());
+    service
+        .register_venue(
+            "fig1",
+            example.venue.space.clone(),
+            example.venue.directory.clone(),
+        )
+        .unwrap();
+    serve(service, "127.0.0.1:0", config).expect("bind ephemeral port")
+}
+
+/// A raw keep-alive connection with framed response reads.
+struct Conn {
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn open(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        Conn {
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn healthz(&mut self) -> ClientReply {
+        self.reader
+            .get_mut()
+            .write_all(b"GET /v1/healthz HTTP/1.1\r\nhost: t\r\ncontent-length: 0\r\n\r\n")
+            .unwrap();
+        read_framed_reply(&mut self.reader).expect("healthz reply")
+    }
+
+    /// True once the server closes; panics on any other outcome.
+    fn at_eof(&mut self) -> bool {
+        let mut probe = [0u8; 1];
+        match self.reader.read(&mut probe) {
+            Ok(0) => true,
+            Ok(_) => false,
+            Err(error) => panic!("expected EOF, got error: {error}"),
+        }
+    }
+}
+
+/// The parsed `/v1/stats` body, read over a `Connection: close` one-shot
+/// so the read itself never joins the parked population.
+fn stats(addr: SocketAddr) -> serde::Value {
+    let reply = ikrq_server::one_shot(addr, "GET", "/v1/stats", "").expect("stats reply");
+    assert_eq!(reply.status, 200);
+    serde_json::from_str(&reply.body).expect("stats body parses")
+}
+
+fn counter(stats: &serde::Value, name: &str) -> u64 {
+    stats
+        .get("stats")
+        .and_then(|inner| inner.get(name))
+        .and_then(|value| value.as_u64())
+        .unwrap_or_else(|| panic!("stats body missing counter `{name}`"))
+}
+
+/// Polls `/v1/stats` until `predicate` holds or five seconds pass —
+/// parking happens after the worker linger (up to 50 ms), so counters
+/// move asynchronously to the wire traffic that causes them.
+fn wait_for_stats(addr: SocketAddr, what: &str, predicate: impl Fn(&serde::Value) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let body = stats(addr);
+        if predicate(&body) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {what}; last stats: {body:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Register → wake → deregister, observable through the counters: a
+/// quiet session is parked into the reactor, its next request wakes it
+/// (counted), and the woken session answers correctly on the same
+/// connection.
+#[test]
+fn park_wake_and_deregister_one_session() {
+    let handle = start(ServerConfig::default());
+    let addr = handle.local_addr();
+
+    let mut conn = Conn::open(addr);
+    assert_eq!(conn.healthz().status, 200);
+    wait_for_stats(addr, "the session to park", |body| {
+        counter(body, "connections_parked") == 1
+    });
+    let before = counter(&stats(addr), "reactor_wakeups");
+
+    // The next request must wake the parked session and be answered on
+    // the same connection, and the wake must be counted.
+    assert_eq!(conn.healthz().status, 200);
+    wait_for_stats(addr, "the wake to be counted", |body| {
+        counter(body, "reactor_wakeups") > before
+    });
+}
+
+/// The idle timeout fires *inside* the reactor's wait: a parked session
+/// is closed roughly at the configured timeout (not instantly, not at
+/// some sweep multiple), and leaves the parked count at zero.
+#[test]
+fn idle_timeout_expires_inside_the_wait() {
+    let handle = start(ServerConfig {
+        idle_timeout: Duration::from_millis(250),
+        ..ServerConfig::default()
+    });
+    let addr = handle.local_addr();
+    let mut conn = Conn::open(addr);
+    assert_eq!(conn.healthz().status, 200);
+
+    let waited = Instant::now();
+    assert!(conn.at_eof(), "expired session must be closed server-side");
+    let waited = waited.elapsed();
+    assert!(
+        waited >= Duration::from_millis(120),
+        "closed too eagerly: {waited:?}"
+    );
+    assert!(
+        waited < Duration::from_secs(5),
+        "idle timeout did not fire: {waited:?}"
+    );
+    wait_for_stats(addr, "the parked count to drain", |body| {
+        counter(body, "connections_parked") == 0
+    });
+}
+
+/// Many sessions parked at once: readiness wakes exactly the right one —
+/// its request is answered while its neighbors stay parked and open.
+#[test]
+fn readiness_wakes_only_the_ready_session() {
+    // The default connection cap scales with the core count and can sit
+    // below the 33 connections this test holds (32 parked + the stats
+    // one-shots); size it explicitly.
+    let handle = start(ServerConfig {
+        max_connections: 64,
+        ..ServerConfig::default()
+    });
+    let addr = handle.local_addr();
+
+    let mut parked: Vec<Conn> = (0..32)
+        .map(|_| {
+            let mut conn = Conn::open(addr);
+            assert_eq!(conn.healthz().status, 200);
+            conn
+        })
+        .collect();
+    wait_for_stats(addr, "all 32 sessions to park", |body| {
+        counter(body, "connections_parked") == 32
+    });
+
+    // Wake number 17; everyone else stays parked.
+    assert_eq!(parked[17].healthz().status, 200);
+    wait_for_stats(addr, "the woken session to re-park", |body| {
+        counter(body, "connections_parked") == 32
+    });
+
+    // The neighbors are still alive and answer in turn.
+    assert_eq!(parked[0].healthz().status, 200);
+    assert_eq!(parked[31].healthz().status, 200);
+}
+
+/// Shutdown with a parked population: every parked session is closed
+/// promptly (the reactor is notified out of its open-ended wait), the
+/// count drains to zero, and the server joins without waiting for any
+/// idle timeout.
+#[test]
+fn shutdown_drains_the_parked_population() {
+    let mut handle = start(ServerConfig {
+        idle_timeout: Duration::from_secs(3600),
+        ..ServerConfig::default()
+    });
+    let addr = handle.local_addr();
+    let mut parked: Vec<Conn> = (0..8)
+        .map(|_| {
+            let mut conn = Conn::open(addr);
+            assert_eq!(conn.healthz().status, 200);
+            conn
+        })
+        .collect();
+    wait_for_stats(addr, "all 8 sessions to park", |body| {
+        counter(body, "connections_parked") == 8
+    });
+
+    let started = Instant::now();
+    handle.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "shutdown must not wait out the hour-long idle timeout"
+    );
+    for (index, conn) in parked.iter_mut().enumerate() {
+        assert!(conn.at_eof(), "parked connection {index} must be closed");
+    }
+    assert_eq!(handle.stats().connections_parked, 0);
+    assert_eq!(handle.stats().connections_active, 0);
+}
+
+/// `/v1/stats` names which idle watcher is running and the fd budget;
+/// under the legacy parker the reactor counters stay zero across a full
+/// park/wake cycle.
+#[test]
+fn stats_surface_the_watcher_mode_and_fd_limit() {
+    let with_reactor = start(ServerConfig::default());
+    let body = stats(with_reactor.local_addr());
+    assert_eq!(body.get("reactor").and_then(|v| v.as_bool()), Some(true));
+    #[cfg(unix)]
+    assert!(
+        body.get("nofile_limit").and_then(|v| v.as_u64()).unwrap() > 0,
+        "unix hosts must report a real fd limit"
+    );
+    drop(with_reactor);
+
+    let with_parker = start(ServerConfig {
+        reactor: false,
+        ..ServerConfig::default()
+    });
+    let addr = with_parker.local_addr();
+    assert_eq!(
+        stats(addr).get("reactor").and_then(|v| v.as_bool()),
+        Some(false)
+    );
+    let mut conn = Conn::open(addr);
+    assert_eq!(conn.healthz().status, 200);
+    wait_for_stats(addr, "the parker to park the session", |body| {
+        counter(body, "connections_parked") == 1
+    });
+    assert_eq!(conn.healthz().status, 200);
+    wait_for_stats(addr, "the parker wake to drain", |body| {
+        counter(body, "connections_parked") <= 1
+    });
+    let body = stats(addr);
+    assert_eq!(counter(&body, "reactor_wakeups"), 0);
+    assert_eq!(counter(&body, "reactor_spurious_wakeups"), 0);
+}

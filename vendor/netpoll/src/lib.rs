@@ -1,0 +1,469 @@
+//! Offline vendored readiness-polling shim (mio-style API subset).
+//!
+//! The workspace has no crates.io access, so this crate provides the
+//! small slice of a readiness library that `ikrq-server`'s reactor
+//! needs, over raw libc externs (no `libc` crate either):
+//!
+//! * [`Poller`] — `add` / `modify` / `delete` file descriptors with a
+//!   [`Token`] and an [`Interest`], then block in [`Poller::wait`] until
+//!   some of them become ready or a timeout passes. One `wait`-ing
+//!   thread multiplexes any number of descriptors in O(ready), not
+//!   O(registered) (on the epoll backend).
+//! * [`Poller::notify`] — wake a blocked `wait` from another thread
+//!   (self-pipe; no descriptor of the caller involved).
+//! * [`nofile_limit`] / [`raise_nofile_limit`] — query and raise the
+//!   process `RLIMIT_NOFILE` soft limit toward the hard limit, so
+//!   holding tens of thousands of sockets does not die on fd
+//!   exhaustion.
+//!
+//! # Backends
+//!
+//! * **Epoll** (Linux): `epoll_create1` / `epoll_ctl` / `epoll_wait`,
+//!   level-triggered. The default on Linux.
+//! * **Poll** (portable fallback, any unix): `poll(2)` over a snapshot
+//!   of the registered set — O(registered) per wait, but it builds and
+//!   behaves identically, so non-Linux dev boxes still work and the
+//!   Linux CI can exercise both backends. Selected with
+//!   [`Poller::with_backend`].
+//!
+//! On non-unix targets the crate still compiles but [`Poller::new`]
+//! returns [`std::io::ErrorKind::Unsupported`]; callers are expected to
+//! fall back to non-reactor code paths.
+//!
+//! # Documented edge cases
+//!
+//! * Registration is **level-triggered**: a descriptor with unread data
+//!   is reported on every `wait` until it is read or deleted. The
+//!   intended pattern (and what the reactor does) is delete-on-ready:
+//!   take the descriptor out of the poller before handing it to a
+//!   worker.
+//! * **Delete before close.** Closing a registered descriptor without
+//!   [`Poller::delete`] leaves a stale entry on the poll backend (the
+//!   next `wait` reports it as `error`) — and on the epoll backend the
+//!   kernel auto-removes the entry only once the *description* has no
+//!   other handles (`dup`/fork can keep it alive). Always delete first.
+//! * A peer that closed or reset shows up as `readable` and/or
+//!   `closed`/`error` — reading the descriptor yields the EOF or error.
+//!   Hangup conditions are always reported, even though only
+//!   read/write interest can be requested.
+//! * `wait` interrupted by a signal (`EINTR`) returns `Ok` with no
+//!   events, like a timeout — callers loop.
+//! * Timeouts are rounded **up** to the backend's millisecond
+//!   resolution, so a 100 µs timeout cannot spin the CPU.
+//!
+//! Upstream divergences (this is a subset, not mio): no edge-triggered
+//! mode, no oneshot, no `Waker` type (the waker is built into the
+//! poller), unix only.
+
+#![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+#[cfg(not(unix))]
+use std::io;
+#[cfg(unix)]
+use std::time::Duration;
+
+#[cfg(unix)]
+mod sys;
+#[cfg(unix)]
+mod unix_impl;
+#[cfg(unix)]
+pub use unix_impl::Poller;
+
+#[cfg(unix)]
+mod rlimit;
+#[cfg(unix)]
+pub use rlimit::{nofile_limit, raise_nofile_limit, NofileLimit};
+
+/// Caller-chosen identifier carried by a registration and handed back
+/// on its [`Event`]s. [`Token::MAX`](usize::MAX) is reserved for the
+/// poller's internal waker.
+pub type Token = usize;
+
+/// What to watch a descriptor for.
+///
+/// Error and hangup conditions are always watched and reported; only
+/// the read/write interest is selectable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Wake when the descriptor becomes readable (data, EOF, or a
+    /// pending error that a read would surface).
+    pub const READABLE: Interest = Interest(0b01);
+    /// Wake when the descriptor becomes writable.
+    pub const WRITABLE: Interest = Interest(0b10);
+
+    /// Combines two interests.
+    #[must_use]
+    pub const fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// Whether read interest is included.
+    pub const fn is_readable(self) -> bool {
+        self.0 & 0b01 != 0
+    }
+
+    /// Whether write interest is included.
+    pub const fn is_writable(self) -> bool {
+        self.0 & 0b10 != 0
+    }
+}
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The token the descriptor was registered with.
+    pub token: Token,
+    /// A read would not block (data, EOF, or an error to collect).
+    pub readable: bool,
+    /// A write would not block.
+    pub writable: bool,
+    /// The peer hung up (EPOLLHUP/EPOLLRDHUP/POLLHUP); a read yields
+    /// whatever data remains, then EOF.
+    pub closed: bool,
+    /// An error condition is pending on the descriptor.
+    pub error: bool,
+}
+
+/// Which readiness mechanism a [`Poller`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Linux `epoll` — O(ready) waits, the production backend.
+    Epoll,
+    /// Portable `poll(2)` — O(registered) waits, the fallback backend.
+    Poll,
+}
+
+impl Backend {
+    /// The preferred backend of the current platform.
+    pub fn default_for_platform() -> Backend {
+        if cfg!(target_os = "linux") {
+            Backend::Epoll
+        } else {
+            Backend::Poll
+        }
+    }
+}
+
+/// Stub poller so the crate (and its dependents) still build on
+/// non-unix targets; every constructor reports `Unsupported`.
+#[cfg(not(unix))]
+#[derive(Debug)]
+pub struct Poller {
+    _private: (),
+}
+
+#[cfg(not(unix))]
+impl Poller {
+    /// Unsupported on this platform.
+    pub fn new() -> io::Result<Poller> {
+        Err(unsupported())
+    }
+
+    /// Unsupported on this platform.
+    pub fn with_backend(_backend: Backend) -> io::Result<Poller> {
+        Err(unsupported())
+    }
+}
+
+#[cfg(not(unix))]
+fn unsupported() -> io::Error {
+    io::Error::new(
+        io::ErrorKind::Unsupported,
+        "netpoll requires a unix platform",
+    )
+}
+
+/// Rounds a timeout up to whole milliseconds for the syscall interface
+/// (`None` means block forever). Rounding *up* matters: a sub-ms
+/// timeout truncated to 0 would turn a blocking wait into a busy spin.
+#[cfg(unix)]
+fn timeout_millis(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(duration) => {
+            let millis = duration.as_millis();
+            let rounded = if duration.subsec_nanos() % 1_000_000 != 0 {
+                millis + 1
+            } else {
+                millis
+            };
+            rounded.min(i32::MAX as u128) as i32
+        }
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+    use std::time::Instant;
+
+    fn backends() -> Vec<Backend> {
+        if cfg!(target_os = "linux") {
+            vec![Backend::Epoll, Backend::Poll]
+        } else {
+            vec![Backend::Poll]
+        }
+    }
+
+    /// A connected TCP pair — real descriptors for readiness tests.
+    fn tcp_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn register_wake_deregister_round_trip() {
+        for backend in backends() {
+            let poller = Poller::with_backend(backend).unwrap();
+            assert_eq!(poller.backend(), backend);
+            let (mut client, server) = tcp_pair();
+            poller
+                .add(server.as_raw_fd(), 7, Interest::READABLE)
+                .unwrap();
+
+            // Quiet socket: the wait times out with no events.
+            let mut events = Vec::new();
+            let notified = poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap();
+            assert!(!notified, "{backend:?}");
+            assert!(events.is_empty(), "{backend:?}: {events:?}");
+
+            // Bytes arrive: the wait reports the token readable.
+            client.write_all(b"x").unwrap();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(events.len(), 1, "{backend:?}");
+            assert_eq!(events[0].token, 7);
+            assert!(events[0].readable);
+
+            // Deregistered: the same readable socket no longer reports.
+            poller.delete(server.as_raw_fd()).unwrap();
+            let notified = poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap();
+            assert!(!notified);
+            assert!(events.is_empty(), "{backend:?}: {events:?}");
+        }
+    }
+
+    #[test]
+    fn level_triggered_until_drained() {
+        for backend in backends() {
+            let poller = Poller::with_backend(backend).unwrap();
+            let (mut client, mut server) = tcp_pair();
+            poller
+                .add(server.as_raw_fd(), 1, Interest::READABLE)
+                .unwrap();
+            client.write_all(b"abc").unwrap();
+
+            let mut events = Vec::new();
+            for _ in 0..2 {
+                poller
+                    .wait(&mut events, Some(Duration::from_secs(5)))
+                    .unwrap();
+                assert_eq!(events.len(), 1, "{backend:?} re-reports until read");
+                assert!(events[0].readable);
+            }
+            let mut sink = [0u8; 8];
+            let n = server.read(&mut sink).unwrap();
+            assert_eq!(n, 3);
+            let notified = poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap();
+            assert!(!notified);
+            assert!(events.is_empty(), "{backend:?} drained socket is quiet");
+        }
+    }
+
+    #[test]
+    fn peer_hangup_is_reported_readable() {
+        for backend in backends() {
+            let poller = Poller::with_backend(backend).unwrap();
+            let (client, server) = tcp_pair();
+            poller
+                .add(server.as_raw_fd(), 3, Interest::READABLE)
+                .unwrap();
+            drop(client);
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(events.len(), 1, "{backend:?}");
+            // A clean FIN surfaces as readable (read returns 0) and/or
+            // an explicit closed flag, depending on the backend.
+            assert!(
+                events[0].readable || events[0].closed,
+                "{backend:?}: {:?}",
+                events[0]
+            );
+        }
+    }
+
+    #[test]
+    fn modify_switches_interest() {
+        for backend in backends() {
+            let poller = Poller::with_backend(backend).unwrap();
+            let (mut client, server) = tcp_pair();
+            // Watch for writable first: a fresh socket's send buffer has
+            // room, so this fires immediately.
+            poller
+                .add(server.as_raw_fd(), 9, Interest::WRITABLE)
+                .unwrap();
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(events.len(), 1, "{backend:?}");
+            assert!(events[0].writable);
+
+            // Switch to readable-only: quiet until bytes arrive.
+            poller
+                .modify(server.as_raw_fd(), 9, Interest::READABLE)
+                .unwrap();
+            let notified = poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap();
+            assert!(!notified);
+            assert!(events.is_empty(), "{backend:?}: {events:?}");
+            client.write_all(b"y").unwrap();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(events.len(), 1);
+            assert!(events[0].readable && !events[0].writable, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait() {
+        for backend in backends() {
+            let poller = std::sync::Arc::new(Poller::with_backend(backend).unwrap());
+            let waker = std::sync::Arc::clone(&poller);
+            let handle = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                waker.notify().unwrap();
+            });
+            let mut events = Vec::new();
+            let started = Instant::now();
+            let notified = poller
+                .wait(&mut events, Some(Duration::from_secs(30)))
+                .unwrap();
+            assert!(notified, "{backend:?} must report the notify");
+            assert!(events.is_empty());
+            assert!(
+                started.elapsed() < Duration::from_secs(10),
+                "{backend:?} wait did not wake on notify"
+            );
+            handle.join().unwrap();
+
+            // The notification is consumed: the next wait times out.
+            let notified = poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap();
+            assert!(!notified, "{backend:?} notify must be one-shot");
+
+            // Coalescing: many notifies before one wait wake it once.
+            for _ in 0..100 {
+                poller.notify().unwrap();
+            }
+            let notified = poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert!(notified);
+            let notified = poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap();
+            assert!(!notified, "{backend:?} notifications must coalesce");
+        }
+    }
+
+    #[test]
+    fn wait_times_out_close_to_the_requested_duration() {
+        for backend in backends() {
+            let poller = Poller::with_backend(backend).unwrap();
+            let mut events = Vec::new();
+            let started = Instant::now();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(60)))
+                .unwrap();
+            let elapsed = started.elapsed();
+            assert!(
+                elapsed >= Duration::from_millis(50),
+                "{backend:?} returned early: {elapsed:?}"
+            );
+            assert!(
+                elapsed < Duration::from_secs(5),
+                "{backend:?} overslept: {elapsed:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sub_millisecond_timeouts_round_up_not_to_zero() {
+        assert_eq!(timeout_millis(None), -1);
+        assert_eq!(timeout_millis(Some(Duration::ZERO)), 0);
+        assert_eq!(timeout_millis(Some(Duration::from_micros(100))), 1);
+        assert_eq!(timeout_millis(Some(Duration::from_millis(5))), 5);
+        assert_eq!(
+            timeout_millis(Some(Duration::from_micros(5_200))),
+            6,
+            "partial milliseconds round up"
+        );
+        assert_eq!(timeout_millis(Some(Duration::from_secs(1 << 40))), i32::MAX);
+    }
+
+    #[test]
+    fn many_registrations_wake_only_the_ready_one() {
+        for backend in backends() {
+            let poller = Poller::with_backend(backend).unwrap();
+            let mut pairs = Vec::new();
+            for token in 0..64 {
+                let (client, server) = tcp_pair();
+                poller
+                    .add(server.as_raw_fd(), token, Interest::READABLE)
+                    .unwrap();
+                pairs.push((client, server));
+            }
+            pairs[17].0.write_all(b"!").unwrap();
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(events.len(), 1, "{backend:?}: {events:?}");
+            assert_eq!(events[0].token, 17);
+        }
+    }
+
+    #[test]
+    fn nofile_limit_is_queryable_and_raisable() {
+        let (soft, hard) = nofile_limit().unwrap();
+        assert!(soft > 0 && hard >= soft);
+        let raised = raise_nofile_limit().unwrap();
+        assert_eq!(raised.hard, hard);
+        assert_eq!(raised.soft, hard, "soft must reach the hard limit");
+        let (soft_after, _) = nofile_limit().unwrap();
+        assert_eq!(soft_after, hard);
+        // Idempotent.
+        let again = raise_nofile_limit().unwrap();
+        assert_eq!(again.soft, raised.soft);
+    }
+
+    #[test]
+    fn interest_combinators() {
+        let both = Interest::READABLE.add(Interest::WRITABLE);
+        assert!(both.is_readable() && both.is_writable());
+        assert!(!Interest::READABLE.is_writable());
+        assert!(!Interest::WRITABLE.is_readable());
+    }
+}

@@ -1,0 +1,69 @@
+//! `RLIMIT_NOFILE` helpers: querying and raising the open-file limit,
+//! so a process holding tens of thousands of sockets does not die on
+//! fd exhaustion with the distribution-default soft limit (often 1024).
+
+use crate::sys;
+use std::io;
+
+/// Outcome of [`raise_nofile_limit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NofileLimit {
+    /// The soft limit before the raise.
+    pub previous_soft: u64,
+    /// The effective soft limit after the raise.
+    pub soft: u64,
+    /// The hard limit (the ceiling; raising past it needs privilege
+    /// the process does not have).
+    pub hard: u64,
+}
+
+impl NofileLimit {
+    /// Whether the call actually changed the soft limit.
+    pub fn raised(&self) -> bool {
+        self.soft != self.previous_soft
+    }
+}
+
+/// The current `(soft, hard)` `RLIMIT_NOFILE` of the process.
+pub fn nofile_limit() -> io::Result<(u64, u64)> {
+    let mut limit = sys::rlimit {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    sys::cvt(unsafe { sys::getrlimit(sys::RLIMIT_NOFILE, &mut limit) })?;
+    Ok((limit.rlim_cur, limit.rlim_max))
+}
+
+/// Raises the soft `RLIMIT_NOFILE` to the hard limit and reports the
+/// effective limits. A no-op (still `Ok`) when the soft limit already
+/// equals the hard one.
+///
+/// On macOS the kernel rejects soft limits above `kern.maxfilesperproc`
+/// even when the hard limit reads `RLIM_INFINITY`, so the target is
+/// clamped to the traditional `OPEN_MAX` (10240) there.
+pub fn raise_nofile_limit() -> io::Result<NofileLimit> {
+    let (soft, hard) = nofile_limit()?;
+    let target = if cfg!(target_os = "macos") {
+        hard.min(10_240)
+    } else {
+        hard
+    };
+    if target <= soft {
+        return Ok(NofileLimit {
+            previous_soft: soft,
+            soft,
+            hard,
+        });
+    }
+    let request = sys::rlimit {
+        rlim_cur: target,
+        rlim_max: hard,
+    };
+    sys::cvt(unsafe { sys::setrlimit(sys::RLIMIT_NOFILE, &request) })?;
+    let (soft_after, hard_after) = nofile_limit()?;
+    Ok(NofileLimit {
+        previous_soft: soft,
+        soft: soft_after,
+        hard: hard_after,
+    })
+}

@@ -1,0 +1,132 @@
+//! Raw libc externs and the constants this crate needs. The build
+//! environment has no `libc` crate, so the handful of symbols are
+//! declared here directly against the platform C library (which the
+//! Rust standard library already links).
+//!
+//! Everything below is unix-only; the constants carry per-OS `cfg`s
+//! where the ABIs diverge (Linux vs the BSD family).
+
+#![allow(non_camel_case_types)]
+
+pub type c_int = i32;
+pub type c_short = i16;
+#[cfg(not(target_os = "linux"))]
+pub type c_uint = u32;
+
+/// `nfds_t` of `poll(2)`: `unsigned long` on Linux/glibc/musl,
+/// `unsigned int` on the BSDs and macOS.
+#[cfg(target_os = "linux")]
+pub type nfds_t = core::ffi::c_ulong;
+#[cfg(not(target_os = "linux"))]
+pub type nfds_t = c_uint;
+
+// --- poll(2), the portable backend -----------------------------------
+
+pub const POLLIN: c_short = 0x001;
+pub const POLLOUT: c_short = 0x004;
+pub const POLLERR: c_short = 0x008;
+pub const POLLHUP: c_short = 0x010;
+pub const POLLNVAL: c_short = 0x020;
+
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct pollfd {
+    pub fd: c_int,
+    pub events: c_short,
+    pub revents: c_short,
+}
+
+// --- epoll(7), the Linux backend --------------------------------------
+
+#[cfg(target_os = "linux")]
+pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+#[cfg(target_os = "linux")]
+pub const EPOLL_CTL_ADD: c_int = 1;
+#[cfg(target_os = "linux")]
+pub const EPOLL_CTL_DEL: c_int = 2;
+#[cfg(target_os = "linux")]
+pub const EPOLL_CTL_MOD: c_int = 3;
+#[cfg(target_os = "linux")]
+pub const EPOLLIN: u32 = 0x001;
+#[cfg(target_os = "linux")]
+pub const EPOLLOUT: u32 = 0x004;
+#[cfg(target_os = "linux")]
+pub const EPOLLERR: u32 = 0x008;
+#[cfg(target_os = "linux")]
+pub const EPOLLHUP: u32 = 0x010;
+#[cfg(target_os = "linux")]
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+/// The kernel's `struct epoll_event`. On x86-64 (and x32) the kernel
+/// declares it packed so the 64-bit data field sits at offset 4; other
+/// architectures use natural alignment. Getting this wrong corrupts
+/// every token the kernel hands back.
+#[cfg(target_os = "linux")]
+#[repr(C)]
+#[cfg_attr(any(target_arch = "x86_64", target_arch = "x86"), repr(packed))]
+#[derive(Debug, Clone, Copy)]
+pub struct epoll_event {
+    pub events: u32,
+    pub data: u64,
+}
+
+// --- fcntl(2) flags for the self-pipe ---------------------------------
+
+pub const F_GETFL: c_int = 3;
+pub const F_SETFL: c_int = 4;
+pub const F_SETFD: c_int = 2;
+pub const FD_CLOEXEC: c_int = 1;
+#[cfg(target_os = "linux")]
+pub const O_NONBLOCK: c_int = 0o4000;
+#[cfg(not(target_os = "linux"))]
+pub const O_NONBLOCK: c_int = 0x0004;
+
+// --- getrlimit(2) ------------------------------------------------------
+
+/// `RLIMIT_NOFILE`: 7 on Linux, 8 on the BSD family (incl. macOS).
+#[cfg(target_os = "linux")]
+pub const RLIMIT_NOFILE: c_int = 7;
+#[cfg(not(target_os = "linux"))]
+pub const RLIMIT_NOFILE: c_int = 8;
+
+/// `rlim_t` is a 64-bit quantity on every supported target (glibc and
+/// musl use `unsigned long` with LFS on by default in Rust targets;
+/// Darwin uses `rlim_t = __uint64_t`).
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct rlimit {
+    pub rlim_cur: u64,
+    pub rlim_max: u64,
+}
+
+extern "C" {
+    pub fn poll(fds: *mut pollfd, nfds: nfds_t, timeout: c_int) -> c_int;
+    pub fn pipe(fds: *mut c_int) -> c_int;
+    pub fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+    pub fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+    pub fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+    pub fn close(fd: c_int) -> c_int;
+    pub fn getrlimit(resource: c_int, rlim: *mut rlimit) -> c_int;
+    pub fn setrlimit(resource: c_int, rlim: *const rlimit) -> c_int;
+}
+
+#[cfg(target_os = "linux")]
+extern "C" {
+    pub fn epoll_create1(flags: c_int) -> c_int;
+    pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+    pub fn epoll_wait(
+        epfd: c_int,
+        events: *mut epoll_event,
+        maxevents: c_int,
+        timeout: c_int,
+    ) -> c_int;
+}
+
+/// `-1` from a syscall → the `errno`-carrying `io::Error`.
+pub fn cvt(result: c_int) -> std::io::Result<c_int> {
+    if result < 0 {
+        Err(std::io::Error::last_os_error())
+    } else {
+        Ok(result)
+    }
+}

@@ -1,0 +1,368 @@
+//! The unix [`Poller`]: the epoll backend (Linux), the portable
+//! `poll(2)` backend, and the shared self-pipe waker.
+
+use crate::sys;
+use crate::{timeout_millis, Backend, Event, Interest, Token};
+use std::collections::BTreeMap;
+use std::io;
+use std::os::unix::io::RawFd;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The token value reserved for the internal waker pipe; never
+/// reported to callers.
+const NOTIFY_TOKEN: Token = usize::MAX;
+
+/// Upper bound on events harvested per `epoll_wait` call. Readiness is
+/// level-triggered, so anything past the batch is simply reported by
+/// the next call — no starvation, just batching.
+const EVENT_BATCH: usize = 1024;
+
+/// A readiness multiplexer over registered file descriptors. See the
+/// crate docs for the API contract and edge cases.
+#[derive(Debug)]
+pub struct Poller {
+    backend: BackendImpl,
+    /// Self-pipe read/write ends, both non-blocking and cloexec; the
+    /// read end is registered in the backend under [`NOTIFY_TOKEN`].
+    notify_read: RawFd,
+    notify_write: RawFd,
+}
+
+#[derive(Debug)]
+enum BackendImpl {
+    #[cfg(target_os = "linux")]
+    Epoll { epfd: RawFd },
+    Poll {
+        /// fd → (token, interest); a BTreeMap so wait order (and thus
+        /// event order) is deterministic.
+        registered: Mutex<BTreeMap<RawFd, (Token, Interest)>>,
+    },
+}
+
+impl Poller {
+    /// A poller on the platform's preferred backend (epoll on Linux,
+    /// `poll(2)` elsewhere).
+    pub fn new() -> io::Result<Poller> {
+        Poller::with_backend(Backend::default_for_platform())
+    }
+
+    /// A poller on an explicit backend. Requesting [`Backend::Epoll`]
+    /// off Linux reports [`io::ErrorKind::Unsupported`].
+    pub fn with_backend(backend: Backend) -> io::Result<Poller> {
+        let backend = match backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll => {
+                let epfd = sys::cvt(unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) })?;
+                BackendImpl::Epoll { epfd }
+            }
+            #[cfg(not(target_os = "linux"))]
+            Backend::Epoll => {
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "the epoll backend requires Linux",
+                ))
+            }
+            Backend::Poll => BackendImpl::Poll {
+                registered: Mutex::new(BTreeMap::new()),
+            },
+        };
+        let (notify_read, notify_write) = new_pipe().inspect_err(|_| {
+            #[cfg(target_os = "linux")]
+            if let BackendImpl::Epoll { epfd } = &backend {
+                unsafe { sys::close(*epfd) };
+            }
+        })?;
+        let poller = Poller {
+            backend,
+            notify_read,
+            notify_write,
+        };
+        poller.add(notify_read, NOTIFY_TOKEN, Interest::READABLE)?;
+        Ok(poller)
+    }
+
+    /// Which backend this poller runs on.
+    pub fn backend(&self) -> Backend {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            BackendImpl::Epoll { .. } => Backend::Epoll,
+            BackendImpl::Poll { .. } => Backend::Poll,
+        }
+    }
+
+    /// Registers a descriptor under `token`. Registering an fd twice is
+    /// an error (`EEXIST` on epoll; rejected to match on the fallback);
+    /// use [`Poller::modify`].
+    pub fn add(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            BackendImpl::Epoll { epfd } => {
+                let mut event = sys::epoll_event {
+                    events: epoll_bits(interest),
+                    data: token as u64,
+                };
+                sys::cvt(unsafe { sys::epoll_ctl(*epfd, sys::EPOLL_CTL_ADD, fd, &mut event) })?;
+                Ok(())
+            }
+            BackendImpl::Poll { registered } => {
+                let mut registered = registered.lock().expect("netpoll registration lock");
+                if registered.contains_key(&fd) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AlreadyExists,
+                        "descriptor is already registered",
+                    ));
+                }
+                registered.insert(fd, (token, interest));
+                Ok(())
+            }
+        }
+    }
+
+    /// Re-arms an already-registered descriptor with a new token and/or
+    /// interest.
+    pub fn modify(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            BackendImpl::Epoll { epfd } => {
+                let mut event = sys::epoll_event {
+                    events: epoll_bits(interest),
+                    data: token as u64,
+                };
+                sys::cvt(unsafe { sys::epoll_ctl(*epfd, sys::EPOLL_CTL_MOD, fd, &mut event) })?;
+                Ok(())
+            }
+            BackendImpl::Poll { registered } => {
+                let mut registered = registered.lock().expect("netpoll registration lock");
+                match registered.get_mut(&fd) {
+                    Some(entry) => {
+                        *entry = (token, interest);
+                        Ok(())
+                    }
+                    None => Err(io::Error::new(
+                        io::ErrorKind::NotFound,
+                        "descriptor is not registered",
+                    )),
+                }
+            }
+        }
+    }
+
+    /// Removes a descriptor. Call this *before* closing the fd (see the
+    /// crate docs).
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            BackendImpl::Epoll { epfd } => {
+                // The event pointer is unused for DEL on modern kernels
+                // but must be non-null for pre-2.6.9 compatibility.
+                let mut event = sys::epoll_event { events: 0, data: 0 };
+                sys::cvt(unsafe { sys::epoll_ctl(*epfd, sys::EPOLL_CTL_DEL, fd, &mut event) })?;
+                Ok(())
+            }
+            BackendImpl::Poll { registered } => {
+                let mut registered = registered.lock().expect("netpoll registration lock");
+                match registered.remove(&fd) {
+                    Some(_) => Ok(()),
+                    None => Err(io::Error::new(
+                        io::ErrorKind::NotFound,
+                        "descriptor is not registered",
+                    )),
+                }
+            }
+        }
+    }
+
+    /// Blocks until at least one registered descriptor is ready, a
+    /// [`notify`](Poller::notify) arrives, or `timeout` passes (`None`
+    /// blocks forever). Ready descriptors are appended to `events`
+    /// (which is cleared first); the return value reports whether a
+    /// notification was consumed. `EINTR` returns `Ok(false)` with no
+    /// events, like a timeout.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<bool> {
+        events.clear();
+        let mut notified = false;
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            BackendImpl::Epoll { epfd } => {
+                let mut buffer = [sys::epoll_event { events: 0, data: 0 }; EVENT_BATCH];
+                let count = unsafe {
+                    sys::epoll_wait(
+                        *epfd,
+                        buffer.as_mut_ptr(),
+                        EVENT_BATCH as sys::c_int,
+                        timeout_millis(timeout),
+                    )
+                };
+                let count = match sys::cvt(count) {
+                    Ok(count) => count as usize,
+                    Err(error) if error.kind() == io::ErrorKind::Interrupted => 0,
+                    Err(error) => return Err(error),
+                };
+                for raw in &buffer[..count] {
+                    // A packed struct's fields must be copied out, not
+                    // referenced.
+                    let (bits, data) = (raw.events, raw.data);
+                    if data as usize == NOTIFY_TOKEN {
+                        notified = true;
+                        self.drain_notify();
+                        continue;
+                    }
+                    events.push(Event {
+                        token: data as usize,
+                        readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP) != 0,
+                        writable: bits & sys::EPOLLOUT != 0,
+                        closed: bits & (sys::EPOLLHUP | sys::EPOLLRDHUP) != 0,
+                        error: bits & sys::EPOLLERR != 0,
+                    });
+                }
+            }
+            BackendImpl::Poll { registered } => {
+                // Snapshot the registration set so other threads can
+                // add/delete while this thread sleeps in poll(). A
+                // descriptor deleted mid-wait can still produce one
+                // stale event — the documented edge case.
+                let mut fds: Vec<sys::pollfd> = {
+                    let registered = registered.lock().expect("netpoll registration lock");
+                    std::iter::once(sys::pollfd {
+                        fd: self.notify_read,
+                        events: sys::POLLIN,
+                        revents: 0,
+                    })
+                    .chain(registered.iter().filter_map(|(&fd, &(token, interest))| {
+                        (token != NOTIFY_TOKEN).then_some(sys::pollfd {
+                            fd,
+                            events: poll_bits(interest),
+                            revents: 0,
+                        })
+                    }))
+                    .collect()
+                };
+                let count = unsafe {
+                    sys::poll(
+                        fds.as_mut_ptr(),
+                        fds.len() as sys::nfds_t,
+                        timeout_millis(timeout),
+                    )
+                };
+                match sys::cvt(count) {
+                    Ok(_) => {}
+                    Err(error) if error.kind() == io::ErrorKind::Interrupted => {
+                        return Ok(false);
+                    }
+                    Err(error) => return Err(error),
+                }
+                if fds[0].revents != 0 {
+                    notified = true;
+                    self.drain_notify();
+                }
+                let registered = registered.lock().expect("netpoll registration lock");
+                for slot in &fds[1..] {
+                    if slot.revents == 0 {
+                        continue;
+                    }
+                    // Re-resolve the token: registration may have
+                    // changed while poll() slept.
+                    let Some(&(token, _)) = registered.get(&slot.fd) else {
+                        continue;
+                    };
+                    events.push(Event {
+                        token,
+                        readable: slot.revents & (sys::POLLIN | sys::POLLHUP) != 0,
+                        writable: slot.revents & sys::POLLOUT != 0,
+                        closed: slot.revents & sys::POLLHUP != 0,
+                        error: slot.revents & (sys::POLLERR | sys::POLLNVAL) != 0,
+                    });
+                }
+            }
+        }
+        Ok(notified)
+    }
+
+    /// Wakes the thread blocked in [`wait`](Poller::wait) (or the next
+    /// one to call it). Notifications coalesce: any number of calls
+    /// before a wait produce one wake-up. Never blocks.
+    pub fn notify(&self) -> io::Result<()> {
+        let byte = 1u8;
+        let wrote = unsafe { sys::write(self.notify_write, &byte, 1) };
+        if wrote < 0 {
+            let error = io::Error::last_os_error();
+            // A full pipe already guarantees a pending wake-up.
+            if error.kind() == io::ErrorKind::WouldBlock {
+                return Ok(());
+            }
+            return Err(error);
+        }
+        Ok(())
+    }
+
+    /// Consumes pending notification bytes (the pipe is non-blocking,
+    /// so this never sleeps).
+    fn drain_notify(&self) {
+        let mut sink = [0u8; 64];
+        loop {
+            let got = unsafe { sys::read(self.notify_read, sink.as_mut_ptr(), sink.len()) };
+            if got <= 0 {
+                break;
+            }
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        #[cfg(target_os = "linux")]
+        if let BackendImpl::Epoll { epfd } = &self.backend {
+            unsafe { sys::close(*epfd) };
+        }
+        unsafe {
+            sys::close(self.notify_read);
+            sys::close(self.notify_write);
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn epoll_bits(interest: Interest) -> u32 {
+    let mut bits = sys::EPOLLRDHUP;
+    if interest.is_readable() {
+        bits |= sys::EPOLLIN;
+    }
+    if interest.is_writable() {
+        bits |= sys::EPOLLOUT;
+    }
+    bits
+}
+
+fn poll_bits(interest: Interest) -> sys::c_short {
+    let mut bits = 0;
+    if interest.is_readable() {
+        bits |= sys::POLLIN;
+    }
+    if interest.is_writable() {
+        bits |= sys::POLLOUT;
+    }
+    bits
+}
+
+/// A non-blocking, close-on-exec pipe: `(read_end, write_end)`.
+fn new_pipe() -> io::Result<(RawFd, RawFd)> {
+    let mut fds = [0 as sys::c_int; 2];
+    sys::cvt(unsafe { sys::pipe(fds.as_mut_ptr()) })?;
+    for fd in fds {
+        let configure = (|| -> io::Result<()> {
+            let flags = sys::cvt(unsafe { sys::fcntl(fd, sys::F_GETFL, 0) })?;
+            sys::cvt(unsafe { sys::fcntl(fd, sys::F_SETFL, flags | sys::O_NONBLOCK) })?;
+            sys::cvt(unsafe { sys::fcntl(fd, sys::F_SETFD, sys::FD_CLOEXEC) })?;
+            Ok(())
+        })();
+        if let Err(error) = configure {
+            unsafe {
+                sys::close(fds[0]);
+                sys::close(fds[1]);
+            }
+            return Err(error);
+        }
+    }
+    Ok((fds[0], fds[1]))
+}

@@ -5,6 +5,7 @@
 //! cargo run --release -p ikrq-bench --bin http_load -- \
 //!     [--floors N] [--clients N] [--requests N] [--instances N]
 //!     [--algorithm toe|koe|koe-star] [--seed N] [--keep-alive] [--compare]
+//!     [--strict-terminal true|false] [--strict-compare]
 //!     [--reactor true|false]
 //!     [--connections 0,64,1024,4096 [--active N] [--external HOST:PORT]]
 //!     [--serve HOST:PORT]
@@ -16,7 +17,9 @@
 //! `--instances N` with a large N approximates a cache-hostile workload.
 //! `--keep-alive` reuses one connection per client instead of dialing per
 //! request; `--compare` runs both modes back to back and prints the
-//! close-vs-reuse throughput ratio.
+//! close-vs-reuse throughput ratio. `--strict-terminal` pins the ToE
+//! terminal-expansion rule per request, and `--strict-compare` runs
+//! strict-off then strict-on back to back to quantify its wire-path cost.
 //!
 //! `--connections` switches to the *parked-connection sweep*: ramp idle
 //! keep-alive sessions through the listed counts while `--active` client
@@ -28,7 +31,8 @@
 
 use ikrq_bench::http_load::{
     host_cores, run_close_vs_keep_alive, run_connection_sweep, run_http_load,
-    ConnectionSweepConfig, HttpLoadConfig, HttpLoadReport, SweepStep,
+    run_strict_terminal_comparison, ConnectionSweepConfig, HttpLoadConfig, HttpLoadReport,
+    SweepStep,
 };
 use ikrq_bench::workload::{ExperimentContext, VenueKind};
 use ikrq_core::VariantConfig;
@@ -43,6 +47,10 @@ struct Args {
     seed: u64,
     keep_alive: bool,
     compare: bool,
+    /// `--strict-terminal`: pin `strict_terminal_expansion` per request.
+    strict_terminal: Option<bool>,
+    /// `--strict-compare`: run strict off then on, print the cost ratio.
+    strict_compare: bool,
     reactor: bool,
     /// `--connections`: parked-session counts of a connection sweep.
     connections: Option<Vec<usize>>,
@@ -64,6 +72,8 @@ fn parse_args() -> Result<Args, String> {
         seed: 2020,
         keep_alive: false,
         compare: false,
+        strict_terminal: None,
+        strict_compare: false,
         reactor: true,
         connections: None,
         active: 8,
@@ -88,6 +98,18 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => parsed.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
             "--keep-alive" => parsed.keep_alive = true,
             "--compare" => parsed.compare = true,
+            "--strict-terminal" => {
+                parsed.strict_terminal = Some(match value("--strict-terminal")?.as_str() {
+                    "true" | "on" | "1" => true,
+                    "false" | "off" | "0" => false,
+                    other => {
+                        return Err(format!(
+                            "--strict-terminal expects true|false, got `{other}`"
+                        ))
+                    }
+                })
+            }
+            "--strict-compare" => parsed.strict_compare = true,
             "--reactor" => {
                 parsed.reactor = match value("--reactor")?.as_str() {
                     "true" | "on" | "1" => true,
@@ -119,7 +141,8 @@ fn parse_args() -> Result<Args, String> {
                 return Err(
                     "usage: http_load [--floors N] [--clients N] [--requests N] \
                      [--instances N] [--algorithm toe|koe|koe-star] [--seed N] \
-                     [--keep-alive] [--compare] [--reactor true|false] \
+                     [--keep-alive] [--compare] [--strict-terminal true|false] \
+                     [--strict-compare] [--reactor true|false] \
                      [--connections N,N,... [--active N] [--external HOST:PORT]] \
                      [--serve HOST:PORT]"
                         .into(),
@@ -172,6 +195,7 @@ fn main() {
         clients: args.clients,
         requests_per_client: args.requests_per_client,
         keep_alive: args.keep_alive,
+        strict_terminal: args.strict_terminal,
         ..HttpLoadConfig::default()
     };
     config.server.reactor = args.reactor;
@@ -242,6 +266,30 @@ fn main() {
         instances.len(),
         args.variant.label(),
     );
+    if args.strict_compare {
+        match run_strict_terminal_comparison(&venue, &instances, args.variant, &config) {
+            Ok((relaxed, strict)) => {
+                print_report(&format!("{} strict=off", args.variant.label()), &relaxed);
+                print_report(&format!("{} strict=on", args.variant.label()), &strict);
+                println!(
+                    "strict terminal expansion cost: {:.2}x q/s ({:.1} -> {:.1}; \
+                     p50 {:.2} -> {:.2} ms, p99 {:.2} -> {:.2} ms)",
+                    relaxed.qps / strict.qps.max(1e-9),
+                    relaxed.qps,
+                    strict.qps,
+                    relaxed.p50_latency_ms,
+                    strict.p50_latency_ms,
+                    relaxed.p99_latency_ms,
+                    strict.p99_latency_ms,
+                );
+            }
+            Err(error) => {
+                eprintln!("strict-expansion comparison failed: {error}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     if args.compare {
         match run_close_vs_keep_alive(&venue, &instances, args.variant, &config) {
             Ok((close, reuse)) => {

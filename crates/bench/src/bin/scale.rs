@@ -1,0 +1,101 @@
+//! Venue-size scaling sweep: builds mega venues, hosts each under both index
+//! modes, and reports throughput, candidate-set fraction, index build time
+//! and memory. See `ikrq_bench::scale` for what each column means.
+//!
+//! ```text
+//! scale [--sizes 100,1000,10000] [--queries 20] [--seed 42] [--csv]
+//! ```
+
+use ikrq_bench::scale::{markdown_table, run_scale_sweep, ScaleSweepConfig};
+
+fn main() {
+    let mut config = ScaleSweepConfig::default();
+    let mut csv = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--sizes" => {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| usage("--sizes needs a value"));
+                config.sizes = value
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .unwrap_or_else(|_| usage(&format!("bad size {s:?}")))
+                    })
+                    .collect();
+            }
+            "--queries" => {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| usage("--queries needs a value"));
+                config.queries_per_size = value
+                    .parse()
+                    .unwrap_or_else(|_| usage(&format!("bad query count {value:?}")));
+            }
+            "--seed" => {
+                let value = args.next().unwrap_or_else(|| usage("--seed needs a value"));
+                config.seed = value
+                    .parse()
+                    .unwrap_or_else(|_| usage(&format!("bad seed {value:?}")));
+            }
+            "--csv" => csv = true,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    if config.sizes.is_empty() || config.queries_per_size == 0 {
+        usage("sizes and queries must be non-empty");
+    }
+
+    eprintln!(
+        "scaling sweep: sizes {:?}, {} queries per size, seed {}",
+        config.sizes, config.queries_per_size, config.seed
+    );
+    let points = run_scale_sweep(&config);
+    if csv {
+        println!(
+            "partitions,doors,index_build_ms,index_bytes,scan_qps,accelerated_qps,\
+             candidate_fraction,scan_peak_bytes,accelerated_peak_bytes,\
+             koe_star_rows,koe_star_total_rows,identical"
+        );
+        for p in &points {
+            println!(
+                "{},{},{:.3},{},{:.2},{:.2},{:.6},{},{},{},{},{}",
+                p.partitions,
+                p.doors,
+                p.index_build_ms,
+                p.index_bytes,
+                p.scan_qps,
+                p.accelerated_qps,
+                p.candidate_fraction,
+                p.scan_peak_memory,
+                p.accelerated_peak_memory,
+                p.koe_star_rows,
+                p.koe_star_total_rows,
+                p.identical_responses,
+            );
+        }
+    } else {
+        print!("{}", markdown_table(&points));
+    }
+    if points.iter().any(|p| !p.identical_responses) {
+        eprintln!("ERROR: index and scan responses diverged");
+        std::process::exit(1);
+    }
+}
+
+fn usage(problem: &str) -> ! {
+    if !problem.is_empty() {
+        eprintln!("error: {problem}\n");
+    }
+    eprintln!(
+        "usage: scale [--sizes 100,1000,10000] [--queries 20] [--seed 42] [--csv]\n\
+         \n\
+         Sweeps venue sizes, comparing the index-accelerated engine against\n\
+         the linear-scan engine on identical mega-venue workloads."
+    );
+    std::process::exit(if problem.is_empty() { 0 } else { 2 });
+}

@@ -26,6 +26,11 @@ pub struct HttpLoadConfig {
     /// so the close-vs-reuse throughput delta is measurable on the same
     /// harness.
     pub keep_alive: bool,
+    /// Per-request override of the ToE terminal-expansion rule
+    /// (`ExecOptions::strict_terminal_expansion`): `None` leaves the
+    /// variant's default, `Some(_)` pins it, so the wire-path cost of
+    /// strict expansion is measurable on the same harness.
+    pub strict_terminal: Option<bool>,
     /// Server sizing for the run.
     pub server: ServerConfig,
 }
@@ -36,6 +41,7 @@ impl Default for HttpLoadConfig {
             clients: 8,
             requests_per_client: 25,
             keep_alive: false,
+            strict_terminal: None,
             server: ServerConfig {
                 // Load generators should observe shedding only if they
                 // genuinely outrun the venue, not because of the default
@@ -155,6 +161,37 @@ pub fn run_close_vs_keep_alive(
     Ok((close, reuse))
 }
 
+/// Runs the same workload twice — `strict_terminal_expansion` off, then
+/// on — and returns both reports, quantifying the wire-path cost of the
+/// corrected ToE terminal-expansion rule (see the ROADMAP's
+/// connect-heuristic item).
+pub fn run_strict_terminal_comparison(
+    venue: &PreparedVenue,
+    instances: &[QueryInstance],
+    variant: VariantConfig,
+    config: &HttpLoadConfig,
+) -> std::io::Result<(HttpLoadReport, HttpLoadReport)> {
+    let relaxed = run_http_load(
+        venue,
+        instances,
+        variant,
+        &HttpLoadConfig {
+            strict_terminal: Some(false),
+            ..config.clone()
+        },
+    )?;
+    let strict = run_http_load(
+        venue,
+        instances,
+        variant,
+        &HttpLoadConfig {
+            strict_terminal: Some(true),
+            ..config.clone()
+        },
+    )?;
+    Ok((relaxed, strict))
+}
+
 /// Starts a server over the prepared venue's engine (sharing its KoE*
 /// precompute), fires `clients × requests_per_client` searches at the
 /// socket round-robin over the instances, and aggregates the outcome.
@@ -171,7 +208,7 @@ pub fn run_http_load(
         .expect("fresh service accepts the venue");
     let handle = serve(service, "127.0.0.1:0", config.server.clone())?;
     let addr = handle.local_addr();
-    let bodies = search_bodies(venue, instances, variant);
+    let bodies = search_bodies(venue, instances, variant, config.strict_terminal);
     let report = drive_load(
         addr,
         &bodies,
@@ -189,11 +226,13 @@ fn search_bodies(
     venue: &PreparedVenue,
     instances: &[QueryInstance],
     variant: VariantConfig,
+    strict_terminal: Option<bool>,
 ) -> Vec<String> {
     instances
         .iter()
         .map(|instance| {
-            let request: SearchRequest = venue.request(instance, variant);
+            let mut request: SearchRequest = venue.request(instance, variant);
+            request.options.strict_terminal_expansion = strict_terminal;
             serde_json::to_string(&request).expect("requests serialize")
         })
         .collect()
@@ -397,7 +436,7 @@ pub fn run_connection_sweep(
         Some(addr) => addr,
         None => handle.as_ref().expect("in-process server").local_addr(),
     };
-    let bodies = search_bodies(venue, instances, variant);
+    let bodies = search_bodies(venue, instances, variant, None);
 
     // Both socket ends count against this process's RLIMIT_NOFILE when
     // the server is in-process; only the client end does when external.

@@ -15,6 +15,8 @@
 //!   plus the §V-A5 result-quality study,
 //! * [`http_load`] — an HTTP-throughput mode that drives a live
 //!   `ikrq-server` socket with concurrent clients,
+//! * [`scale`] — the venue-size scaling sweep: index-accelerated vs
+//!   linear-scan engines on 10²–10⁵-partition mega venues,
 //!
 //! and the binaries `figures` (regenerates any or all figures), `quality`
 //! (the result-quality case study) and `http_load` (wire-path throughput).
@@ -26,11 +28,13 @@ pub mod figures;
 pub mod http_load;
 pub mod report;
 pub mod runner;
+pub mod scale;
 pub mod workload;
 
 pub use http_load::{HttpLoadConfig, HttpLoadReport};
 pub use report::{FigureReport, Series};
 pub use runner::{AggregateResult, RunSettings, Runner};
+pub use scale::{run_scale_sweep, ScalePoint, ScaleSweepConfig};
 pub use workload::{ExperimentContext, VenueKind};
 
 /// Shared fixtures for this crate's unit tests. Building a synthetic venue

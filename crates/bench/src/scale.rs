@@ -1,0 +1,287 @@
+//! Venue-size scaling sweep: index-accelerated vs linear-scan engines on
+//! mega venues of 10²–10⁵ partitions.
+//!
+//! For each venue size the sweep builds one [`indoor_data::mega_venue`],
+//! hosts it twice — once per [`IndexMode`] — and reports:
+//!
+//! * queries per second for both engines (same instances, same variant),
+//! * the candidate-set fraction (keyword-matching partitions over all
+//!   partitions) that the inverted index enumerates directly,
+//! * index build time and estimated index bytes,
+//! * per-variant peak search memory on both paths,
+//! * KoE* lazy-row materialization (rows touched vs total doors), showing
+//!   the incremental distance precompute staying sublinear.
+//!
+//! Every instance is answered by both engines and the responses are
+//! compared byte-for-byte (timings and memory metrics excluded), so the
+//! sweep doubles as a large-scale equivalence check.
+
+use crate::workload::to_query;
+use ikrq_core::{ExecOptions, IkrqEngine, IkrqService, IndexMode, SearchRequest, VariantConfig};
+use indoor_data::{mega_venue, MegaVenueConfig, QueryGenerator, WorkloadConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration of the scaling sweep.
+#[derive(Debug, Clone)]
+pub struct ScaleSweepConfig {
+    /// Venue sizes (target partition counts) to sweep.
+    pub sizes: Vec<usize>,
+    /// Query instances per venue size.
+    pub queries_per_size: usize,
+    /// Base random seed (venue synthesis and workload generation).
+    pub seed: u64,
+}
+
+impl Default for ScaleSweepConfig {
+    fn default() -> Self {
+        ScaleSweepConfig {
+            sizes: vec![100, 1_000, 10_000],
+            queries_per_size: 20,
+            seed: 42,
+        }
+    }
+}
+
+/// One measured point of the sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalePoint {
+    /// Requested partition count.
+    pub requested_partitions: usize,
+    /// Partitions actually built (the comb layout rounds up).
+    pub partitions: usize,
+    /// Doors in the venue.
+    pub doors: usize,
+    /// Query instances that ran.
+    pub queries: usize,
+    /// Index build wall-clock time in milliseconds.
+    pub index_build_ms: f64,
+    /// Estimated index heap bytes.
+    pub index_bytes: usize,
+    /// Queries per second through the linear-scan engine.
+    pub scan_qps: f64,
+    /// Queries per second through the index-accelerated engine.
+    pub accelerated_qps: f64,
+    /// Mean fraction of partitions in the query candidate sets.
+    pub candidate_fraction: f64,
+    /// Peak per-query search memory on the scan engine, bytes.
+    pub scan_peak_memory: usize,
+    /// Peak per-query search memory on the accelerated engine, bytes
+    /// (includes the shared index charge).
+    pub accelerated_peak_memory: usize,
+    /// KoE* distance rows materialized after the KoE* probe queries.
+    pub koe_star_rows: usize,
+    /// Total door rows the eager matrix would have built.
+    pub koe_star_total_rows: usize,
+    /// Whether every accelerated response was byte-identical to the scan
+    /// response (deterministic fields only).
+    pub identical_responses: bool,
+}
+
+/// Runs the sweep. Panics on venue generation errors (the built-in sizes are
+/// always valid; custom sizes go through [`MegaVenueConfig::validate`]).
+pub fn run_scale_sweep(config: &ScaleSweepConfig) -> Vec<ScalePoint> {
+    config
+        .sizes
+        .iter()
+        .map(|&size| run_scale_point(size, config.queries_per_size, config.seed))
+        .collect()
+}
+
+/// The workload the sweep replays at every size: mid-range δs2t so routes
+/// cross several rib segments, KoE so Rule 3 exercises the region layer.
+fn sweep_workload() -> WorkloadConfig {
+    WorkloadConfig {
+        qw_len: 3,
+        beta: 0.5,
+        s2t: 150.0,
+        eta: 2.0,
+        k: 3,
+        alpha: 0.5,
+        tau: 0.3,
+    }
+}
+
+fn run_scale_point(size: usize, queries: usize, seed: u64) -> ScalePoint {
+    let venue = mega_venue(&MegaVenueConfig::sized(size, seed)).expect("sweep sizes are valid");
+    let stats = venue.space.stats();
+
+    let scan = Arc::new(IkrqEngine::with_index_mode(
+        venue.space.clone(),
+        venue.directory.clone(),
+        IndexMode::Scan,
+    ));
+    let accelerated = Arc::new(IkrqEngine::with_index_mode(
+        venue.space.clone(),
+        venue.directory.clone(),
+        IndexMode::Accelerated,
+    ));
+    let index_stats = accelerated
+        .index_stats()
+        .expect("accelerated engine has an index");
+
+    // Same venue id on both services so responses are comparable
+    // byte-for-byte.
+    let scan_service = IkrqService::new();
+    scan_service
+        .register_engine("sweep", Arc::clone(&scan))
+        .expect("fresh service accepts the venue");
+    let accel_service = IkrqService::new();
+    accel_service
+        .register_engine("sweep", Arc::clone(&accelerated))
+        .expect("fresh service accepts the venue");
+
+    let generator = QueryGenerator::new(&venue);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5ca1e);
+    let instances = generator.generate_batch(&sweep_workload(), queries, &mut rng);
+    assert!(!instances.is_empty(), "sweep venues must yield instances");
+
+    let requests: Vec<SearchRequest> = instances
+        .iter()
+        .map(|instance| SearchRequest {
+            venue: "sweep".to_string(),
+            query: to_query(instance),
+            options: ExecOptions::with_variant(VariantConfig::koe()),
+        })
+        .collect();
+
+    let mut identical = true;
+    let mut scan_peak = 0usize;
+    let mut accel_peak = 0usize;
+
+    let scan_start = Instant::now();
+    let scan_responses: Vec<_> = requests
+        .iter()
+        .map(|r| scan_service.search(r).expect("scan query succeeds"))
+        .collect();
+    let scan_elapsed = scan_start.elapsed();
+
+    let accel_start = Instant::now();
+    let accel_responses: Vec<_> = requests
+        .iter()
+        .map(|r| accel_service.search(r).expect("accelerated query succeeds"))
+        .collect();
+    let accel_elapsed = accel_start.elapsed();
+
+    for (a, b) in scan_responses.iter().zip(&accel_responses) {
+        identical &= a.deterministic_json() == b.deterministic_json();
+        if let Some(m) = &a.metrics {
+            scan_peak = scan_peak.max(m.peak_memory_bytes);
+        }
+        if let Some(m) = &b.metrics {
+            accel_peak = accel_peak.max(m.peak_memory_bytes);
+        }
+    }
+
+    // Candidate-set fraction through the index's own prepared queries.
+    let index = accelerated
+        .index()
+        .expect("accelerated engine has an index");
+    let directory = accelerated.directory();
+    let candidate_fraction = instances
+        .iter()
+        .map(|instance| {
+            let query = to_query(instance);
+            let prepared = index
+                .prepare_query(&query.keywords, directory, query.tau)
+                .expect("sweep keywords come from the venue vocabulary");
+            prepared.key_partitions(directory).len() as f64 / stats.partitions as f64
+        })
+        .sum::<f64>()
+        / instances.len() as f64;
+
+    // KoE* probe: a few precomputed-path queries, then read how many door
+    // rows actually materialized.
+    for instance in instances.iter().take(3) {
+        let query = to_query(instance);
+        accelerated
+            .execute(
+                &query,
+                &ExecOptions::with_variant(VariantConfig::koe_star()),
+            )
+            .expect("KoE* probe succeeds");
+    }
+
+    ScalePoint {
+        requested_partitions: size,
+        partitions: stats.partitions,
+        doors: stats.doors,
+        queries: instances.len(),
+        index_build_ms: index_stats.build_micros as f64 / 1_000.0,
+        index_bytes: index_stats.estimated_bytes,
+        scan_qps: instances.len() as f64 / scan_elapsed.as_secs_f64(),
+        accelerated_qps: instances.len() as f64 / accel_elapsed.as_secs_f64(),
+        candidate_fraction,
+        scan_peak_memory: scan_peak,
+        accelerated_peak_memory: accel_peak,
+        koe_star_rows: accelerated.precomputed_rows(),
+        koe_star_total_rows: stats.doors,
+        identical_responses: identical,
+    }
+}
+
+/// Renders the sweep as a Markdown table (the format recorded in the docs).
+pub fn markdown_table(points: &[ScalePoint]) -> String {
+    let mut out = String::from(
+        "| partitions | doors | build ms | index KiB | scan q/s | index q/s | \
+         cand. frac | scan peak KiB | index peak KiB | KoE* rows | identical |\n\
+         |---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|:---|\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "| {} | {} | {:.1} | {} | {:.1} | {:.1} | {:.4} | {} | {} | {}/{} | {} |\n",
+            p.partitions,
+            p.doors,
+            p.index_build_ms,
+            p.index_bytes / 1024,
+            p.scan_qps,
+            p.accelerated_qps,
+            p.candidate_fraction,
+            p.scan_peak_memory / 1024,
+            p.accelerated_peak_memory / 1024,
+            p.koe_star_rows,
+            p.koe_star_total_rows,
+            p.identical_responses,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_point_is_sane_and_identical() {
+        let config = ScaleSweepConfig {
+            sizes: vec![100],
+            queries_per_size: 3,
+            seed: 9,
+        };
+        let points = run_scale_sweep(&config);
+        assert_eq!(points.len(), 1);
+        let p = &points[0];
+        assert!(p.partitions >= 100);
+        assert_eq!(p.queries, 3);
+        assert!(p.scan_qps > 0.0 && p.accelerated_qps > 0.0);
+        assert!(p.index_bytes > 0);
+        assert!(p.candidate_fraction > 0.0 && p.candidate_fraction <= 1.0);
+        assert!(
+            p.identical_responses,
+            "index and scan paths must agree byte-for-byte"
+        );
+        // The KoE* probe touches only a fraction of the door rows.
+        assert!(p.koe_star_rows > 0, "KoE* probes materialize rows");
+        assert!(
+            p.koe_star_rows < p.koe_star_total_rows,
+            "lazy rows stay sublinear: {} of {}",
+            p.koe_star_rows,
+            p.koe_star_total_rows
+        );
+        let table = markdown_table(&points);
+        assert!(table.contains("| scan q/s |") || table.contains("scan q/s"));
+    }
+}

@@ -12,7 +12,10 @@ use ikrq_core::{
     IkrqQuery, IkrqService, MetricsDetail, SearchRequest, SearchResponse, VariantConfig,
 };
 use indoor_data::real_mall::RealMallConfig;
-use indoor_data::{paper_example_venue, RealMallSimulator, SyntheticVenueConfig, Venue};
+use indoor_data::{
+    mega_venue, paper_example_venue, MegaVenueConfig, RealMallSimulator, SyntheticVenueConfig,
+    Venue,
+};
 use indoor_keywords::{KeywordDirectory, QueryKeywords};
 use indoor_persist::{binary, json, ResultDocument, VenueDocument};
 use indoor_space::{FloorId, IndoorPoint, IndoorSpace};
@@ -30,8 +33,9 @@ USAGE:
 
 COMMANDS:
     generate   Generate a venue document
-               --kind example|synthetic|real   (default: synthetic)
-               --floors N   --seed S           (synthetic/real only)
+               --kind example|synthetic|real|mega   (default: synthetic)
+               --floors N   --seed S           (synthetic/real/mega)
+               --partitions N                  target partition count (mega only)
                --out PATH                      output file (required)
                --binary                        write the compact binary format
     stats      Print venue statistics
@@ -64,6 +68,8 @@ COMMANDS:
                --max-requests-per-conn N       recycle connections after N requests (default: unlimited)
                --reactor true|false            idle-connection watcher: readiness reactor (default)
                                                or the legacy 5 ms poll-sweep parker
+               --index true|false              venue index: keyword/region-accelerated queries
+                                               (default) or the original linear scans
                --cache-capacity N              response-cache entries (default 4096, 0 disables)
                --cache-shards N                response-cache shards (default 8)
     help       Show this message
@@ -116,8 +122,17 @@ fn build_venue(args: &ParsedArgs) -> Result<(Venue, String, f64)> {
             let venue = RealMallSimulator::generate(&config)?;
             Ok((venue, format!("real-mall-seed{seed}"), 25.0))
         }
+        "mega" => {
+            let partitions = args.get_usize("partitions")?.unwrap_or(1_000);
+            let mut config = MegaVenueConfig::sized(partitions, seed);
+            if let Some(floors) = args.get_usize("floors")? {
+                config.floors = floors;
+            }
+            let venue = mega_venue(&config)?;
+            Ok((venue, format!("mega-{partitions}p-seed{seed}"), 32.0))
+        }
         other => Err(CliError::Usage(format!(
-            "unknown venue kind `{other}` (expected example, synthetic or real)"
+            "unknown venue kind `{other}` (expected example, synthetic, real or mega)"
         ))),
     }
 }
@@ -495,12 +510,19 @@ pub fn start_server(args: &ParsedArgs) -> Result<ikrq_server::ServerHandle> {
             "missing required flag `--venues` (comma-separated venue documents)".into(),
         ));
     }
+    let index_mode = match args.get_bool("index")? {
+        Some(false) => ikrq_core::IndexMode::Scan,
+        _ => ikrq_core::IndexMode::Accelerated,
+    };
     let service = std::sync::Arc::new(IkrqService::new());
     for path in &paths {
         let (space, directory, name) = load_engine(path)?;
         let venue_id = name.unwrap_or_else(|| path.clone());
+        let engine = std::sync::Arc::new(ikrq_core::IkrqEngine::with_index_mode(
+            space, directory, index_mode,
+        ));
         service
-            .register_venue(&venue_id, space, directory)
+            .register_engine(&venue_id, engine)
             .map_err(CliError::Engine)?;
     }
 

@@ -5,6 +5,7 @@ use crate::error::EngineError;
 use crate::query::IkrqQuery;
 use crate::score::RankingModel;
 use crate::Result;
+use indoor_index::VenueIndex;
 use indoor_keywords::{KeywordDirectory, PreparedQuery, WordId};
 use indoor_space::{DoorId, IndoorSpace, PartitionId, Route};
 use std::collections::BTreeSet;
@@ -31,6 +32,10 @@ pub struct SearchContext<'a> {
     /// The routing key-partition set `P` of Algorithm 1 line 3: partitions
     /// covering at least one candidate i-word, minus `v(ps)`, plus `v(pt)`.
     pub routing_key_partitions: BTreeSet<PartitionId>,
+    /// The venue index, when the engine runs accelerated. Search algorithms
+    /// use it for cached/region-level Rule-3 bounds; `None` runs the
+    /// original per-partition computations.
+    pub index: Option<&'a VenueIndex>,
     /// Partitions whose i-word is a candidate of some query keyword (the raw
     /// keyword cover, before the start/terminal adjustment).
     keyword_partitions: BTreeSet<PartitionId>,
@@ -47,6 +52,21 @@ impl<'a> SearchContext<'a> {
         directory: &'a KeywordDirectory,
         query: &'a IkrqQuery,
     ) -> Result<Self> {
+        Self::prepare_with_index(space, directory, None, query)
+    }
+
+    /// [`SearchContext::prepare`] with an optional venue index. With an
+    /// index, keyword candidate expansion goes through the posting lists
+    /// (`VenueIndex::prepare_query`) instead of the vocabulary scan; the
+    /// produced context is otherwise identical — the two paths are
+    /// cross-checked for byte-identical search results by the mirrored
+    /// proptest in `tests/index_mirror.rs`.
+    pub fn prepare_with_index(
+        space: &'a IndoorSpace,
+        directory: &'a KeywordDirectory,
+        index: Option<&'a VenueIndex>,
+        query: &'a IkrqQuery,
+    ) -> Result<Self> {
         query.validate()?;
         let start_partition = space
             .host_partition(&query.start)
@@ -61,7 +81,10 @@ impl<'a> SearchContext<'a> {
                 lower_bound,
             });
         }
-        let prepared = PreparedQuery::prepare(&query.keywords, directory, query.tau)?;
+        let prepared = match index {
+            Some(index) => index.prepare_query(&query.keywords, directory, query.tau)?,
+            None => PreparedQuery::prepare(&query.keywords, directory, query.tau)?,
+        };
         let keyword_partitions = prepared.key_partitions(directory);
         let mut routing_key_partitions = keyword_partitions.clone();
         routing_key_partitions.remove(&start_partition);
@@ -76,6 +99,7 @@ impl<'a> SearchContext<'a> {
             start_partition,
             terminal_partition,
             routing_key_partitions,
+            index,
             keyword_partitions,
         })
     }

@@ -9,29 +9,85 @@ use crate::request::ExecOptions;
 use crate::results::SearchOutcome;
 use crate::variants::VariantConfig;
 use crate::Result;
+use indoor_index::{IndexCounterSnapshot, VenueIndex};
 use indoor_keywords::KeywordDirectory;
 use indoor_space::IndoorSpace;
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, OnceLock};
+
+/// Whether an engine answers queries through the venue index or the original
+/// linear scans. Accelerated is the default; Scan is the `--index false`
+/// fallback kept for cross-checking (the two produce byte-identical
+/// results — the scan path is the executable specification of the index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexMode {
+    /// Build a [`VenueIndex`] at engine construction and consult it for
+    /// keyword candidate generation and KoE region pruning.
+    #[default]
+    Accelerated,
+    /// Original behaviour: vocabulary scans and per-partition bounds.
+    Scan,
+}
+
+impl IndexMode {
+    /// Stable wire label, used by `/v1/stats` and CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            IndexMode::Accelerated => "accelerated",
+            IndexMode::Scan => "scan",
+        }
+    }
+}
+
+/// Point-in-time index observability for one engine, shaped for `/v1/stats`.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexStats {
+    /// Index build wall-clock time in microseconds.
+    pub build_micros: u64,
+    /// Estimated index heap footprint in bytes.
+    pub estimated_bytes: usize,
+    /// Cumulative usage counters since engine construction.
+    pub counters: IndexCounterSnapshot,
+}
 
 /// The query engine for one venue.
 ///
-/// The engine owns the immutable space model and keyword directory and caches
-/// the all-pairs precomputation needed by the KoE* variant (built lazily on
-/// first use, shared across queries). The cache is a [`OnceLock`], so once
-/// built, concurrent queries read it without any lock traffic.
+/// The engine owns the immutable space model and keyword directory, the
+/// optional venue index (built eagerly at construction in
+/// [`IndexMode::Accelerated`], so its build time is a constructor-time cost
+/// and not query jitter), and the per-door-row KoE* distance cache (created
+/// on first use behind a [`OnceLock`]; individual rows materialise lazily).
 #[derive(Debug)]
 pub struct IkrqEngine {
-    space: IndoorSpace,
+    space: Arc<IndoorSpace>,
     directory: KeywordDirectory,
+    index: Option<Arc<VenueIndex>>,
     precomputed: OnceLock<Arc<PrecomputedPaths>>,
 }
 
 impl IkrqEngine {
-    /// Creates an engine for a venue.
+    /// Creates an engine for a venue with the default (index-accelerated)
+    /// query path.
     pub fn new(space: IndoorSpace, directory: KeywordDirectory) -> Self {
+        Self::with_index_mode(space, directory, IndexMode::default())
+    }
+
+    /// Creates an engine with an explicit index mode. [`IndexMode::Scan`]
+    /// preserves the original linear-scan behaviour exactly.
+    pub fn with_index_mode(
+        space: IndoorSpace,
+        directory: KeywordDirectory,
+        mode: IndexMode,
+    ) -> Self {
+        let space = Arc::new(space);
+        let index = match mode {
+            IndexMode::Accelerated => Some(Arc::new(VenueIndex::build(&space, &directory))),
+            IndexMode::Scan => None,
+        };
         IkrqEngine {
             space,
             directory,
+            index,
             precomputed: OnceLock::new(),
         }
     }
@@ -46,16 +102,53 @@ impl IkrqEngine {
         &self.directory
     }
 
-    /// Forces the KoE* all-pairs precomputation now (otherwise it happens on
-    /// the first KoE* query) and returns its memory footprint in bytes.
+    /// The engine's index mode.
+    pub fn index_mode(&self) -> IndexMode {
+        if self.index.is_some() {
+            IndexMode::Accelerated
+        } else {
+            IndexMode::Scan
+        }
+    }
+
+    /// The venue index, when the engine runs accelerated.
+    pub fn index(&self) -> Option<&VenueIndex> {
+        self.index.as_deref()
+    }
+
+    /// Index observability snapshot, when the engine runs accelerated.
+    pub fn index_stats(&self) -> Option<IndexStats> {
+        self.index.as_deref().map(|index| IndexStats {
+            build_micros: index.build_micros(),
+            estimated_bytes: index.estimated_bytes(),
+            counters: index.counters().snapshot(),
+        })
+    }
+
+    /// Forces the KoE* row cache to materialise every door row now
+    /// (otherwise rows materialise as KoE* queries touch them) and returns
+    /// its memory footprint in bytes.
     pub fn prepare_precomputed_paths(&self) -> usize {
-        self.precomputed_paths().estimated_bytes()
+        self.precomputed_paths().warm()
+    }
+
+    /// Number of KoE* distance rows materialised so far (0 before any KoE*
+    /// query touches the cache). The row cache is lazy, so this stays
+    /// proportional to the doors actually visited unless the whole matrix is
+    /// warmed with [`IkrqEngine::prepare_precomputed_paths`].
+    pub fn precomputed_rows(&self) -> usize {
+        self.precomputed.get().map_or(0, |p| p.materialized_rows())
+    }
+
+    /// Estimated heap footprint of the KoE* row cache in bytes.
+    pub fn precomputed_bytes(&self) -> usize {
+        self.precomputed.get().map_or(0, |p| p.estimated_bytes())
     }
 
     fn precomputed_paths(&self) -> Arc<PrecomputedPaths> {
         Arc::clone(
             self.precomputed
-                .get_or_init(|| Arc::new(PrecomputedPaths::build(&self.space))),
+                .get_or_init(|| Arc::new(PrecomputedPaths::new(Arc::clone(&self.space)))),
         )
     }
 
@@ -66,7 +159,18 @@ impl IkrqEngine {
     pub fn execute(&self, query: &IkrqQuery, options: &ExecOptions) -> Result<SearchOutcome> {
         options.validate()?;
         let config = options.effective_variant();
-        let ctx = SearchContext::prepare(&self.space, &self.directory, query)?;
+        let ctx = SearchContext::prepare_with_index(
+            &self.space,
+            &self.directory,
+            self.index.as_deref(),
+            query,
+        )?;
+        if let Some(index) = self.index.as_deref() {
+            index
+                .counters()
+                .queries_accelerated
+                .fetch_add(1, Ordering::Relaxed);
+        }
         let precomputed = config
             .use_precomputed_paths
             .then(|| self.precomputed_paths());

@@ -17,7 +17,7 @@ use crate::stamp::{Stamp, StampOrder};
 use crate::variants::{AlgorithmKind, VariantConfig};
 use indoor_keywords::CoverageTracker;
 use indoor_space::{DoorId, PartitionId, Route};
-use std::collections::{BTreeSet, BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet};
 use std::time::Instant;
 
 /// Mutable state of one search run.
@@ -38,6 +38,15 @@ pub(crate) struct SearchState {
     pub metrics: SearchMetrics,
     /// Running total of the estimated bytes held by queued stamps.
     pub queue_bytes: usize,
+    /// Index mode only: per-query cache of Rule-3 partition detour bounds
+    /// (the bound is a pure function of the query and the partition, so
+    /// recomputing it per popped stamp — as the scan path does — is wasted
+    /// work the index path skips).
+    pub member_bounds: HashMap<PartitionId, f64>,
+    /// Index mode only: regions already tested against the distance
+    /// constraint this query; `true` means the region bound exceeded `∆`
+    /// and every member is pruned from the cached flag.
+    pub region_failed: HashMap<u32, bool>,
 }
 
 /// One search run: context + configuration + state.
@@ -69,6 +78,8 @@ impl<'a> Search<'a> {
                 routing_partitions: ctx.routing_key_partitions.clone(),
                 metrics: SearchMetrics::new(),
                 queue_bytes: 0,
+                member_bounds: HashMap::new(),
+                region_failed: HashMap::new(),
             },
         }
     }
@@ -285,7 +296,13 @@ impl<'a> Search<'a> {
                 .precomputed
                 .filter(|_| self.config.use_precomputed_paths)
                 .map(|p| p.estimated_bytes())
-                .unwrap_or(0);
+                .unwrap_or(0)
+            // Index mode charges the shared index plus the per-query bound
+            // caches, mirroring how KoE* charges its distance cache.
+            + self.ctx.index.map(|i| i.estimated_bytes()).unwrap_or(0)
+            + self.state.member_bounds.len()
+                * (std::mem::size_of::<PartitionId>() + std::mem::size_of::<f64>() + 8)
+            + self.state.region_failed.len() * 16;
         self.state.metrics.observe_memory(live);
     }
 

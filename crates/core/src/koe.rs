@@ -12,6 +12,7 @@ use crate::pruning::PruneRule;
 use crate::stamp::Stamp;
 use indoor_space::{DijkstraResult, DoorId, PartitionId};
 use std::collections::{BTreeSet, HashSet};
+use std::sync::atomic::Ordering;
 
 /// A resolved connection from the current stamp position to a target door.
 struct Connection {
@@ -81,21 +82,17 @@ impl Search<'_> {
                 continue;
             }
             // Pruning Rule 3 (lines 9–10): drop the partition globally when
-            // its best-case detour already violates the constraint.
-            if self.config.use_distance_pruning {
-                let detour = self.ctx.space.partition_detour_lower_bound(
-                    &self.ctx.query.start,
-                    vj,
-                    &self.ctx.query.terminal,
-                );
-                if detour > delta {
-                    self.state.routing_partitions.remove(&vj);
-                    self.state
-                        .metrics
-                        .prunes
-                        .record(PruneRule::PartitionDistance);
-                    continue;
-                }
+            // its best-case detour already violates the constraint. In index
+            // mode this consults a cached per-region bound first (one test
+            // prunes the whole region) and caches the per-partition bound
+            // for the rest of the query; decisions are identical either way.
+            if self.config.use_distance_pruning && self.detour_exceeds_delta(vj, delta) {
+                self.state.routing_partitions.remove(&vj);
+                self.state
+                    .metrics
+                    .prunes
+                    .record(PruneRule::PartitionDistance);
+                continue;
             }
             // Distance constraint check (line 11): current distance plus the
             // lower bound of reaching pt through vj.
@@ -105,11 +102,7 @@ impl Search<'_> {
                         .space
                         .door_via_partition_lower_bound(dk, vj, &self.ctx.query.terminal)
                 }
-                None => self.ctx.space.partition_detour_lower_bound(
-                    &self.ctx.query.start,
-                    vj,
-                    &self.ctx.query.terminal,
-                ),
+                None => self.member_detour_bound(vj),
             };
             if stamp.distance + via_bound > delta {
                 self.state
@@ -169,6 +162,74 @@ impl Search<'_> {
             }
         }
         expansions
+    }
+
+    /// The Rule-3 partition detour lower bound
+    /// `|ps, vj|_L-ish + |vj, pt|_L-ish` (Lemma 3). In index mode the value
+    /// is cached per query — it depends only on the query endpoints and the
+    /// partition, while the scan path recomputes it on every popped stamp.
+    fn member_detour_bound(&mut self, vj: PartitionId) -> f64 {
+        let bound = |space: &indoor_space::IndoorSpace| {
+            space.partition_detour_lower_bound(&self.ctx.query.start, vj, &self.ctx.query.terminal)
+        };
+        match self.ctx.index {
+            Some(index) => {
+                if let Some(&cached) = self.state.member_bounds.get(&vj) {
+                    index
+                        .counters()
+                        .bound_cache_hits
+                        .fetch_add(1, Ordering::Relaxed);
+                    return cached;
+                }
+                let b = bound(self.ctx.space);
+                self.state.member_bounds.insert(vj, b);
+                b
+            }
+            None => bound(self.ctx.space),
+        }
+    }
+
+    /// Whether Rule 3 prunes candidate partition `vj`. Index mode answers
+    /// from the region layer when it can: a region whose detour bound
+    /// already exceeds `∆` fails every member in one cached test (sound
+    /// because the region bound never exceeds any member's bound — see the
+    /// `indoor-index` crate invariant), and a region that passes falls
+    /// through to the exact per-partition bound, so the outcome always
+    /// equals the scan path's `partition_detour_lower_bound > delta`.
+    fn detour_exceeds_delta(&mut self, vj: PartitionId, delta: f64) -> bool {
+        if let Some(index) = self.ctx.index {
+            if index.regions().is_sound() {
+                if let Some(rid) = index.regions().region_of(vj) {
+                    let failed = match self.state.region_failed.get(&rid) {
+                        Some(&failed) => failed,
+                        None => {
+                            let counters = index.counters();
+                            counters.regions_tested.fetch_add(1, Ordering::Relaxed);
+                            let rb = index.regions().detour_lower_bound(
+                                self.ctx.space,
+                                rid,
+                                &self.ctx.query.start,
+                                &self.ctx.query.terminal,
+                            );
+                            let failed = rb > delta;
+                            self.state.region_failed.insert(rid, failed);
+                            if failed {
+                                counters.regions_pruned.fetch_add(1, Ordering::Relaxed);
+                            }
+                            failed
+                        }
+                    };
+                    if failed {
+                        index
+                            .counters()
+                            .candidates_pruned
+                            .fetch_add(1, Ordering::Relaxed);
+                        return true;
+                    }
+                }
+            }
+        }
+        self.member_detour_bound(vj) > delta
     }
 
     /// Builds the shortest-path source rooted at the stamp's current position.

@@ -1,45 +1,78 @@
-//! Precomputed all-pairs shortest door routes for the KoE* variant (§V-A3).
+//! Precomputed shortest door routes for the KoE* variant (§V-A3), lazily
+//! materialised per source door.
+//!
+//! Historically this wrapped an eager `DoorMatrix::build_with_paths`: the
+//! full `O(doors²)` all-pairs matrix was computed behind a `OnceLock` before
+//! the first KoE* query could run — untenable at venue scale (a 2×10⁴-door
+//! venue would pin several gigabytes whether or not any query touches it).
+//! It now wraps [`LazyDoorRows`] from `indoor-index`: the same per-source
+//! Dijkstra runs on first touch of each row, so distances and reconstructed
+//! paths are value-identical to the eager matrix (tested below) while
+//! resident memory tracks the rows queries actually touch.
 
-use indoor_space::{DoorId, DoorMatrix, IndoorSpace, PartitionId};
+use indoor_index::LazyDoorRows;
+use indoor_space::{DoorId, IndoorSpace, PartitionId};
+use std::sync::Arc;
 
 /// Precomputed shortest routes between every pair of doors, including the
 /// predecessor information needed to reconstruct the actual paths.
 ///
 /// The paper's KoE* uses this to avoid on-the-fly shortest-path computation
-/// when jumping to the next key partition, at the cost of a memory footprint
-/// roughly an order of magnitude above KoE's and of recomputations whenever a
-/// precomputed path fails the regularity check against the current route.
-#[derive(Debug, Clone)]
+/// when jumping to the next key partition, at the cost of recomputations
+/// whenever a precomputed path fails the regularity check against the
+/// current route. Rows materialise on first use; [`PrecomputedPaths::warm`]
+/// restores the old build-everything-up-front behaviour for callers that
+/// want the full footprint paid before serving.
+#[derive(Debug)]
 pub struct PrecomputedPaths {
-    matrix: DoorMatrix,
+    rows: LazyDoorRows,
 }
 
 impl PrecomputedPaths {
-    /// Precomputes all-pairs shortest paths over the venue's door graph.
-    pub fn build(space: &IndoorSpace) -> Self {
+    /// Creates the (empty) lazy row table for a venue. Cost: one allocation.
+    pub fn new(space: Arc<IndoorSpace>) -> Self {
         PrecomputedPaths {
-            matrix: DoorMatrix::build_with_paths(space),
+            rows: LazyDoorRows::new(space),
         }
+    }
+
+    /// Convenience constructor from a borrowed space (clones it into the
+    /// internal [`Arc`]); rows still materialise lazily.
+    pub fn build(space: &IndoorSpace) -> Self {
+        Self::new(Arc::new(space.clone()))
+    }
+
+    /// Forces every row to materialise and returns the resulting byte
+    /// footprint — the all-or-nothing warm-up of the original design.
+    pub fn warm(&self) -> usize {
+        self.rows.materialize_all()
     }
 
     /// Shortest distance between two doors (ignoring regularity).
     pub fn distance(&self, from: DoorId, to: DoorId) -> f64 {
-        self.matrix.distance(from, to)
+        self.rows.distance(from, to)
     }
 
     /// The precomputed shortest path, as `(doors, connecting partitions)`.
     pub fn path(&self, from: DoorId, to: DoorId) -> Option<(Vec<DoorId>, Vec<PartitionId>)> {
-        self.matrix.path(from, to)
+        self.rows.path(from, to)
     }
 
     /// Number of doors covered.
     pub fn num_doors(&self) -> usize {
-        self.matrix.num_doors()
+        self.rows.num_doors()
     }
 
-    /// Estimated heap size in bytes; charged to the KoE* memory metric.
+    /// Number of source rows materialised so far.
+    pub fn materialized_rows(&self) -> usize {
+        self.rows.materialized_rows()
+    }
+
+    /// Estimated heap size in bytes — materialised rows only, so the figure
+    /// charged to the KoE* memory metric grows with use instead of starting
+    /// at the full all-pairs footprint.
     pub fn estimated_bytes(&self) -> usize {
-        self.matrix.estimated_bytes()
+        self.rows.estimated_bytes()
     }
 }
 
@@ -47,7 +80,7 @@ impl PrecomputedPaths {
 mod tests {
     use super::*;
     use indoor_geom::{approx_eq, Point, Rect};
-    use indoor_space::{DoorKind, FloorId, IndoorSpaceBuilder, PartitionKind};
+    use indoor_space::{DoorKind, DoorMatrix, FloorId, IndoorSpaceBuilder, PartitionKind};
 
     fn corridor(n: usize) -> IndoorSpace {
         let mut b = IndoorSpaceBuilder::new();
@@ -74,11 +107,50 @@ mod tests {
         let space = corridor(5);
         let pre = PrecomputedPaths::build(&space);
         assert_eq!(pre.num_doors(), 4);
+        assert_eq!(pre.materialized_rows(), 0, "nothing touched yet");
         assert!(approx_eq(pre.distance(DoorId(0), DoorId(3)), 30.0));
+        assert_eq!(pre.materialized_rows(), 1, "one row touched");
         let (doors, parts) = pre.path(DoorId(0), DoorId(3)).unwrap();
         assert_eq!(doors.len(), 4);
         assert_eq!(parts.len(), 3);
         assert!(pre.estimated_bytes() > 0);
         assert!(pre.path(DoorId(0), DoorId(99)).is_none());
+    }
+
+    #[test]
+    fn lazy_rows_agree_with_eager_matrix() {
+        let space = corridor(7);
+        let eager = DoorMatrix::build_with_paths(&space);
+        let lazy = PrecomputedPaths::build(&space);
+        let n = space.num_doors();
+        for a in 0..n {
+            for b in 0..n {
+                let (da, db) = (DoorId(a as u32), DoorId(b as u32));
+                let de = eager.distance(da, db);
+                let dl = lazy.distance(da, db);
+                assert!(
+                    (de.is_finite() == dl.is_finite()) && (!de.is_finite() || de == dl),
+                    "distance mismatch {da:?}->{db:?}: {de} vs {dl}"
+                );
+                assert_eq!(
+                    eager.path(da, db),
+                    lazy.path(da, db),
+                    "path mismatch {da:?}->{db:?}"
+                );
+            }
+        }
+        assert_eq!(lazy.materialized_rows(), n);
+        // Warm-up is idempotent and reports the full footprint.
+        let full = lazy.warm();
+        assert_eq!(full, lazy.estimated_bytes());
+    }
+
+    #[test]
+    fn warm_materialises_every_row() {
+        let space = corridor(4);
+        let pre = PrecomputedPaths::build(&space);
+        let bytes = pre.warm();
+        assert_eq!(pre.materialized_rows(), pre.num_doors());
+        assert!(bytes > 0);
     }
 }

@@ -16,8 +16,12 @@
 //! * [`real_mall`] — the simulated "real" venue standing in for the paper's
 //!   proprietary Hangzhou mall dataset (7 floors, 2700 m × 2000 m, 639
 //!   stores, 533 i-words, ≈5036 t-words, per-floor category clustering);
+//! * [`mega`] — the mega-venue generator: comb-topology venues of 10³–10⁵
+//!   partitions with directly synthesized Zipf-skewed keywords, for the
+//!   venue-scale indexing experiments;
 //! * [`queries`] — the query-instance generator of §V-A1 (δs2t targeting via
-//!   the door matrix, ∆ = η · δs2t, β-controlled i-word/t-word mix);
+//!   lazily materialized door-distance rows, ∆ = η · δs2t, β-controlled
+//!   i-word/t-word mix);
 //! * [`params`] — the parameter space of Table IV with the paper's defaults;
 //! * [`venue`] — the [`Venue`] bundle (space + keywords) plus
 //!   the small hand-crafted venue mirroring the paper's Fig. 1 running
@@ -29,6 +33,7 @@
 pub mod corpus_gen;
 pub mod keywords_gen;
 pub mod mall;
+pub mod mega;
 pub mod names;
 pub mod params;
 pub mod queries;
@@ -36,6 +41,7 @@ pub mod real_mall;
 pub mod venue;
 
 pub use mall::{MallConfig, MallGenerator};
+pub use mega::{mega_venue, MegaVenueConfig};
 pub use params::{ExperimentDefaults, ParameterSpace};
 pub use queries::{QueryGenerator, QueryInstance, WorkloadConfig};
 pub use real_mall::RealMallSimulator;
@@ -44,8 +50,8 @@ pub use venue::{paper_example_venue, PaperExampleVenue, SyntheticVenueConfig, Ve
 /// Commonly used types, re-exported for glob import.
 pub mod prelude {
     pub use crate::{
-        paper_example_venue, ExperimentDefaults, MallConfig, MallGenerator, ParameterSpace,
-        QueryGenerator, QueryInstance, RealMallSimulator, SyntheticVenueConfig, Venue,
-        WorkloadConfig,
+        mega_venue, paper_example_venue, ExperimentDefaults, MallConfig, MallGenerator,
+        MegaVenueConfig, ParameterSpace, QueryGenerator, QueryInstance, RealMallSimulator,
+        SyntheticVenueConfig, Venue, WorkloadConfig,
     };
 }

@@ -79,6 +79,49 @@ impl MallConfig {
         self
     }
 
+    /// Checks that the configuration describes a buildable floorplan,
+    /// returning a usage error instead of letting the generator panic on a
+    /// degenerate rectangle deep inside the layout code.
+    pub fn validate(&self) -> SpaceResult<()> {
+        let fail = |msg: String| Err(indoor_space::SpaceError::InvalidConfig(msg));
+        if self.floors == 0 {
+            return fail("floors must be at least 1".into());
+        }
+        if self.segments_per_arm == 0 || self.rooms_per_arm_side == 0 {
+            return fail("segments_per_arm and rooms_per_arm_side must be at least 1".into());
+        }
+        for (name, v) in [
+            ("floor_width", self.floor_width),
+            ("floor_height", self.floor_height),
+            ("corridor_width", self.corridor_width),
+            ("room_depth", self.room_depth),
+            ("staircase_length", self.staircase_length),
+            ("stairway_length", self.stairway_length),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return fail(format!("{name} must be a positive finite length, got {v}"));
+            }
+        }
+        // Every arm must keep a positive length after the central junction
+        // and the arm-end staircase are carved out, and the rooms flanking
+        // the arms must fit inside the floor.
+        let arm_extent = self.floor_width.min(self.floor_height) / 2.0;
+        let arm_length = arm_extent - self.corridor_width / 2.0 - self.staircase_length;
+        if arm_length <= 1.0 {
+            return fail(format!(
+                "floor {} m x {} m is too small for corridor_width {} and staircase_length {}",
+                self.floor_width, self.floor_height, self.corridor_width, self.staircase_length
+            ));
+        }
+        if self.corridor_width / 2.0 + self.room_depth > arm_extent {
+            return fail(format!(
+                "room_depth {} does not fit beside the corridor on a {} m x {} m floor",
+                self.room_depth, self.floor_width, self.floor_height
+            ));
+        }
+        Ok(())
+    }
+
     /// Expected number of partitions per floor.
     pub fn partitions_per_floor(&self) -> usize {
         let rooms = self.rooms_per_arm_side * 8;
@@ -199,6 +242,7 @@ pub struct MallGenerator;
 impl MallGenerator {
     /// Generates a mall from the configuration.
     pub fn generate(config: &MallConfig) -> SpaceResult<MallLayout> {
+        config.validate()?;
         let mut builder = IndoorSpaceBuilder::new().with_grid_cell(60.0);
         let mut rooms = Vec::new();
         let mut hallways = Vec::new();
@@ -505,6 +549,38 @@ mod tests {
             let stats = layout.space.stats();
             assert_eq!(stats.partitions, 141 * floors);
             assert_eq!(stats.doors, 220 * floors + 4 * (floors - 1));
+        }
+    }
+
+    #[test]
+    fn degenerate_configurations_fail_with_usage_errors() {
+        use indoor_space::SpaceError;
+        let cases = [
+            MallConfig {
+                floors: 0,
+                ..Default::default()
+            },
+            MallConfig {
+                segments_per_arm: 0,
+                ..Default::default()
+            },
+            MallConfig {
+                floor_width: 100.0,
+                floor_height: 100.0,
+                ..Default::default()
+            },
+            MallConfig {
+                room_depth: f64::NAN,
+                ..Default::default()
+            },
+        ];
+        for config in cases {
+            let err = MallGenerator::generate(&config).unwrap_err();
+            assert!(
+                matches!(err, SpaceError::InvalidConfig(_)),
+                "expected InvalidConfig, got {err:?}"
+            );
+            assert!(err.to_string().contains("invalid configuration"));
         }
     }
 

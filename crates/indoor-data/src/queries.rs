@@ -16,11 +16,13 @@
 
 use crate::params::ExperimentDefaults;
 use crate::venue::Venue;
+use indoor_index::LazyDoorRows;
 use indoor_keywords::WordId;
-use indoor_space::{DoorMatrix, IndoorPoint, PartitionId, PartitionKind, UNREACHABLE};
+use indoor_space::{IndoorPoint, PartitionId, PartitionKind, UNREACHABLE};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Workload parameters of one query setting.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -83,22 +85,27 @@ pub struct QueryInstance {
     pub actual_s2t: f64,
 }
 
-/// Query generator bound to a venue. Construction precomputes the door
-/// distance matrix, mirroring the paper's use of a "precomputed door-to-door
-/// matrix" for workload generation.
+/// Query generator bound to a venue. The paper's procedure uses a
+/// "precomputed door-to-door matrix"; the generator exposes the same
+/// distances through lazily materialized per-door rows, so only the rows
+/// actually touched (the leave doors of sampled start partitions) are ever
+/// computed. This keeps generation memory and setup time linear in the venue
+/// size instead of the quadratic all-pairs matrix, which is what makes
+/// workload generation feasible on the 10⁴–10⁵-partition mega venues of
+/// [`crate::mega`].
 #[derive(Debug)]
 pub struct QueryGenerator<'a> {
     venue: &'a Venue,
-    matrix: DoorMatrix,
+    rows: LazyDoorRows,
     candidate_partitions: Vec<PartitionId>,
     iword_pool: Vec<WordId>,
     tword_pool: Vec<WordId>,
 }
 
 impl<'a> QueryGenerator<'a> {
-    /// Creates a generator (builds the all-pairs door distance matrix).
+    /// Creates a generator. Cheap: door-distance rows materialize on demand.
     pub fn new(venue: &'a Venue) -> Self {
-        let matrix = DoorMatrix::build(&venue.space);
+        let rows = LazyDoorRows::new(Arc::new(venue.space.clone()));
         let candidate_partitions = venue
             .space
             .partitions()
@@ -110,16 +117,22 @@ impl<'a> QueryGenerator<'a> {
         let tword_pool = venue.directory.vocab().twords().collect();
         QueryGenerator {
             venue,
-            matrix,
+            rows,
             candidate_partitions,
             iword_pool,
             tword_pool,
         }
     }
 
-    /// The door distance matrix (also useful to experiment drivers).
-    pub fn matrix(&self) -> &DoorMatrix {
-        &self.matrix
+    /// Door-to-door distance through the lazily materialized rows (also
+    /// useful to experiment drivers).
+    pub fn door_distance(&self, from: indoor_space::DoorId, to: indoor_space::DoorId) -> f64 {
+        self.rows.distance(from, to)
+    }
+
+    /// Number of door-distance rows materialized so far.
+    pub fn materialized_rows(&self) -> usize {
+        self.rows.materialized_rows()
     }
 
     /// Generates one query instance; returns `None` when no valid instance
@@ -165,7 +178,7 @@ impl<'a> QueryGenerator<'a> {
                     head + if dx == door {
                         0.0
                     } else {
-                        self.matrix.distance(dx, door)
+                        self.rows.distance(dx, door)
                     }
                 })
                 .fold(UNREACHABLE, f64::min)
@@ -294,7 +307,7 @@ impl<'a> QueryGenerator<'a> {
                 let mid = if dx == de {
                     0.0
                 } else {
-                    self.matrix.distance(dx, de)
+                    self.rows.distance(dx, de)
                 };
                 if mid.is_finite() {
                     best = best.min(head + mid + tail);
@@ -399,6 +412,23 @@ mod tests {
             assert!(instance.actual_s2t > 0.25 * config.s2t);
             assert!(instance.actual_s2t < 4.0 * config.s2t);
         }
+    }
+
+    #[test]
+    fn lazy_rows_stay_sublinear_in_the_door_count() {
+        let venue = small_venue();
+        let generator = QueryGenerator::new(&venue);
+        assert_eq!(generator.materialized_rows(), 0, "construction is lazy");
+        let mut rng = StdRng::seed_from_u64(5);
+        let batch = generator.generate_batch(&small_config(), 4, &mut rng);
+        assert!(!batch.is_empty());
+        let doors = venue.space.num_doors();
+        assert!(generator.materialized_rows() > 0);
+        assert!(
+            generator.materialized_rows() < doors / 4,
+            "only the sampled start partitions' leave-door rows materialize: {} of {doors}",
+            generator.materialized_rows()
+        );
     }
 
     #[test]

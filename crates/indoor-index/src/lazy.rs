@@ -1,0 +1,104 @@
+//! Lazily materialised per-door shortest-path rows.
+//!
+//! The eager `DoorMatrix::build_with_paths` runs one single-source Dijkstra
+//! per door up front and stores `O(doors²)` distances plus predecessors.
+//! [`LazyDoorRows`] keeps the identical per-source computation — the same
+//! `ShortestPaths::from_door` with an empty exclusion set — but runs it on
+//! first touch of each row and caches the whole [`DijkstraResult`] behind a
+//! [`OnceLock`]. Distances and reconstructed paths are therefore
+//! value-identical to the eager matrix (tested against it), while resident
+//! memory is `O(touched_doors × doors)`.
+
+use indoor_space::{DijkstraResult, DoorId, IndoorSpace, PartitionId, ShortestPaths, UNREACHABLE};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// All-pairs door distances and paths, materialised one source row at a
+/// time. Shareable across query threads; concurrent first touches of the
+/// same row may duplicate the Dijkstra but a single result wins (standard
+/// `OnceLock` semantics), so readers always observe one consistent row.
+#[derive(Debug)]
+pub struct LazyDoorRows {
+    space: Arc<IndoorSpace>,
+    rows: Vec<OnceLock<DijkstraResult>>,
+    materialized: AtomicUsize,
+}
+
+impl LazyDoorRows {
+    /// Creates the (empty) row table for a venue. Cost: one allocation.
+    pub fn new(space: Arc<IndoorSpace>) -> Self {
+        let n = space.num_doors();
+        let mut rows = Vec::with_capacity(n);
+        rows.resize_with(n, OnceLock::new);
+        LazyDoorRows {
+            space,
+            rows,
+            materialized: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of doors covered (row and column count).
+    pub fn num_doors(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The Dijkstra row for a source door, materialising it on first touch.
+    /// `None` only for an out-of-range door id.
+    pub fn row(&self, from: DoorId) -> Option<&DijkstraResult> {
+        let slot = self.rows.get(from.index())?;
+        Some(slot.get_or_init(|| {
+            self.materialized.fetch_add(1, Ordering::Relaxed);
+            ShortestPaths::new(&self.space).from_door(from, &HashSet::new())
+        }))
+    }
+
+    /// Shortest distance between two doors; [`UNREACHABLE`] when either id
+    /// is out of range (same contract as `DoorMatrix::distance`).
+    pub fn distance(&self, from: DoorId, to: DoorId) -> f64 {
+        if to.index() >= self.rows.len() {
+            return UNREACHABLE;
+        }
+        match self.row(from) {
+            Some(row) => row.distance(to),
+            None => UNREACHABLE,
+        }
+    }
+
+    /// Reconstructs the shortest path from `from` to `to` as
+    /// `(doors, partitions)`; same contract as `DoorMatrix::path` on a
+    /// matrix built with paths.
+    pub fn path(&self, from: DoorId, to: DoorId) -> Option<(Vec<DoorId>, Vec<PartitionId>)> {
+        if to.index() >= self.rows.len() {
+            return None;
+        }
+        self.row(from)?.path_to(to)
+    }
+
+    /// Number of rows materialised so far.
+    pub fn materialized_rows(&self) -> usize {
+        self.materialized.load(Ordering::Relaxed)
+    }
+
+    /// Forces every row to materialise (the old all-or-nothing warm-up);
+    /// returns the estimated byte footprint afterwards.
+    pub fn materialize_all(&self) -> usize {
+        for i in 0..self.rows.len() {
+            let _ = self.row(DoorId(i as u32));
+        }
+        self.estimated_bytes()
+    }
+
+    /// Estimated heap size in bytes: only materialised rows count, so the
+    /// figure grows with use instead of starting at the full `O(doors²)`.
+    pub fn estimated_bytes(&self) -> usize {
+        let n = self.rows.len();
+        // One row holds `dist: Vec<f64>` and `prev: Vec<Option<(DoorId,
+        // PartitionId)>>`, both of length `n`.
+        let per_row =
+            n * (std::mem::size_of::<f64>() + std::mem::size_of::<Option<(DoorId, PartitionId)>>());
+        std::mem::size_of::<Self>()
+            + n * std::mem::size_of::<OnceLock<DijkstraResult>>()
+            + self.materialized_rows() * per_row
+    }
+}

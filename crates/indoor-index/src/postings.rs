@@ -1,0 +1,271 @@
+//! Inverted keyword → partition posting lists over interned [`WordId`]s.
+//!
+//! Three sorted tables replace the vocabulary scan of
+//! `CandidateSet::build`: `i-word → partitions` (the inverted index proper,
+//! used for key-partition generation), `t-word → i-words` and `i-word →
+//! t-words` (the association adjacency, used to enumerate Definition-4
+//! indirect matches without touching unrelated i-words). All three are
+//! plain sorted `Vec<(WordId, …)>` looked up by binary search — compact,
+//! cache-friendly, and build in `O(vocabulary + associations)`.
+
+use indoor_keywords::{jaccard, CandidateSet, KeywordDirectory, Result as KeywordResult, WordId};
+use indoor_keywords::{KeywordError, WordKind};
+use indoor_space::PartitionId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Sorted posting-list tables for one venue's keyword directory.
+#[derive(Debug, Default)]
+pub struct KeywordPostings {
+    /// i-word → partitions it names, sorted by word then by partition.
+    iword_partitions: Vec<(WordId, Box<[PartitionId]>)>,
+    /// t-word → i-words it thematically describes, sorted by word.
+    tword_iwords: Vec<(WordId, Box<[WordId]>)>,
+    /// i-word → its t-word set, sorted by word. Kept as `BTreeSet` so the
+    /// accelerated path scores with the exact [`jaccard`] the scan uses.
+    iword_twords: Vec<(WordId, BTreeSet<WordId>)>,
+}
+
+impl KeywordPostings {
+    /// Builds the tables from a keyword directory.
+    pub fn build(directory: &KeywordDirectory) -> Self {
+        let vocab = directory.vocab();
+        let mappings = directory.mappings();
+
+        let mut iword_partitions = Vec::new();
+        let mut iword_twords = Vec::new();
+        for iw in vocab.iwords() {
+            let partitions = mappings.i2p(iw);
+            if !partitions.is_empty() {
+                let mut sorted: Vec<PartitionId> = partitions.to_vec();
+                sorted.sort_unstable();
+                iword_partitions.push((iw, sorted.into_boxed_slice()));
+            }
+            if let Some(tw) = mappings.i2t(iw) {
+                iword_twords.push((iw, tw.clone()));
+            }
+        }
+
+        let mut tword_iwords = Vec::new();
+        for tw in vocab.twords() {
+            if let Some(iws) = mappings.t2i(tw) {
+                let list: Vec<WordId> = iws.iter().copied().collect();
+                tword_iwords.push((tw, list.into_boxed_slice()));
+            }
+        }
+
+        // `Vocabulary` hands words out in insertion order; sort so lookups
+        // can binary-search regardless.
+        iword_partitions.sort_unstable_by_key(|(w, _)| *w);
+        iword_twords.sort_unstable_by_key(|(w, _)| *w);
+        tword_iwords.sort_unstable_by_key(|(w, _)| *w);
+        KeywordPostings {
+            iword_partitions,
+            tword_iwords,
+            iword_twords,
+        }
+    }
+
+    /// The partitions named by an i-word (empty for non-naming words).
+    pub fn partitions_of(&self, iword: WordId) -> &[PartitionId] {
+        match self
+            .iword_partitions
+            .binary_search_by_key(&iword, |(w, _)| *w)
+        {
+            Ok(i) => &self.iword_partitions[i].1,
+            Err(_) => &[],
+        }
+    }
+
+    /// The i-words a t-word directly describes (`T2I`).
+    pub fn iwords_of_tword(&self, tword: WordId) -> &[WordId] {
+        match self.tword_iwords.binary_search_by_key(&tword, |(w, _)| *w) {
+            Ok(i) => &self.tword_iwords[i].1,
+            Err(_) => &[],
+        }
+    }
+
+    /// The t-word set of an i-word (`I2T`), when it has one.
+    pub fn twords_of_iword(&self, iword: WordId) -> Option<&BTreeSet<WordId>> {
+        match self.iword_twords.binary_search_by_key(&iword, |(w, _)| *w) {
+            Ok(i) => Some(&self.iword_twords[i].1),
+            Err(_) => None,
+        }
+    }
+
+    /// Number of i-word posting lists.
+    pub fn num_posting_lists(&self) -> usize {
+        self.iword_partitions.len()
+    }
+
+    /// Builds the candidate i-word set `κ(wQ)` for one query keyword from
+    /// the posting lists — same output as [`CandidateSet::build`], without
+    /// the vocabulary scan.
+    ///
+    /// Equivalence argument: the scan keeps an indirect i-word `wi` iff
+    /// `I2T(wi)` intersects the union `U` of the direct matches' t-words.
+    /// Associations are symmetric (`wi ∈ T2I(t) ⟺ t ∈ I2T(wi)`), so that
+    /// set is exactly `⋃_{t ∈ U} T2I(t)` minus the direct matches — which
+    /// is what this walks. Scores use the same [`jaccard`] on the same
+    /// `BTreeSet`s, so entries and similarities match bit for bit.
+    pub fn candidate_set(
+        &self,
+        query_word: WordId,
+        kind: WordKind,
+        tau: f64,
+    ) -> KeywordResult<CandidateSet> {
+        if !(0.0..=1.0).contains(&tau) {
+            return Err(KeywordError::InvalidThreshold(tau));
+        }
+        let mut entries = BTreeMap::new();
+        match kind {
+            WordKind::IWord => {
+                entries.insert(query_word, 1.0);
+            }
+            WordKind::TWord => {
+                let direct = self.iwords_of_tword(query_word);
+                let mut union: BTreeSet<WordId> = BTreeSet::new();
+                for &iw in direct {
+                    if let Some(tw) = self.twords_of_iword(iw) {
+                        union.extend(tw.iter().copied());
+                    }
+                }
+                for &iw in direct {
+                    entries.insert(iw, 1.0);
+                }
+                let mut visited: BTreeSet<WordId> = BTreeSet::new();
+                for &tw in &union {
+                    for &iw in self.iwords_of_tword(tw) {
+                        if entries.contains_key(&iw) || !visited.insert(iw) {
+                            continue;
+                        }
+                        let Some(tws) = self.twords_of_iword(iw) else {
+                            continue;
+                        };
+                        let s = jaccard(tws, &union);
+                        if s > tau {
+                            entries.insert(iw, s);
+                        }
+                    }
+                }
+            }
+            WordKind::Unknown => {}
+        }
+        Ok(CandidateSet::from_entries(query_word, entries))
+    }
+
+    /// Estimated heap size in bytes.
+    pub fn estimated_bytes(&self) -> usize {
+        let iword_partitions = self
+            .iword_partitions
+            .iter()
+            .map(|(_, p)| std::mem::size_of_val::<[PartitionId]>(p) + 16)
+            .sum::<usize>();
+        let tword_iwords = self
+            .tword_iwords
+            .iter()
+            .map(|(_, i)| std::mem::size_of_val::<[WordId]>(i) + 16)
+            .sum::<usize>();
+        let iword_twords = self
+            .iword_twords
+            .iter()
+            .map(|(_, t)| t.len() * std::mem::size_of::<WordId>() * 3 + 16)
+            .sum::<usize>();
+        iword_partitions + tword_iwords + iword_twords
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The §III running example plus an unassociated t-word and an i-word
+    /// with no t-words at all.
+    fn example_directory() -> KeywordDirectory {
+        let mut dir = KeywordDirectory::new();
+        let costa = dir.add_iword("costa").unwrap();
+        let apple = dir.add_iword("apple").unwrap();
+        let starbucks = dir.add_iword("starbucks").unwrap();
+        let samsung = dir.add_iword("samsung").unwrap();
+        let bare = dir.add_iword("bare-brand").unwrap();
+        for t in ["coffee", "drinks", "macha"] {
+            dir.add_tword_for(costa, t);
+        }
+        for t in ["phone", "mac", "laptop", "watch"] {
+            dir.add_tword_for(apple, t);
+        }
+        for t in ["coffee", "macha", "latte", "drinks"] {
+            dir.add_tword_for(starbucks, t);
+        }
+        for t in ["phone", "laptop", "earphone"] {
+            dir.add_tword_for(samsung, t);
+        }
+        dir.name_partition(PartitionId(3), costa).unwrap();
+        dir.name_partition(PartitionId(10), apple).unwrap();
+        dir.name_partition(PartitionId(7), starbucks).unwrap();
+        dir.name_partition(PartitionId(12), samsung).unwrap();
+        dir.name_partition(PartitionId(2), bare).unwrap();
+        dir
+    }
+
+    fn assert_sets_equal(a: &CandidateSet, b: &CandidateSet) {
+        assert_eq!(a.query_word, b.query_word);
+        assert_eq!(a.len(), b.len());
+        for e in a.entries() {
+            let other = b.similarity(e.iword).expect("entry present in both");
+            assert!(
+                (e.similarity - other).abs() == 0.0,
+                "similarity mismatch for {:?}: {} vs {}",
+                e.iword,
+                e.similarity,
+                other
+            );
+        }
+    }
+
+    #[test]
+    fn candidate_sets_match_vocabulary_scan() {
+        let dir = example_directory();
+        let postings = KeywordPostings::build(&dir);
+        // Every word in the vocabulary, at several thresholds, must produce
+        // the same candidate set through postings as through the scan.
+        let words: Vec<WordId> = dir.vocab().iwords().chain(dir.vocab().twords()).collect();
+        for &w in &words {
+            for tau in [0.0, 0.05, 0.3, 0.5, 0.9, 1.0] {
+                let scan = CandidateSet::build(w, dir.vocab(), dir.mappings(), tau).unwrap();
+                let fast = postings
+                    .candidate_set(w, dir.vocab().classify(w), tau)
+                    .unwrap();
+                assert_sets_equal(&scan, &fast);
+            }
+        }
+    }
+
+    #[test]
+    fn posting_lists_match_directory() {
+        let dir = example_directory();
+        let postings = KeywordPostings::build(&dir);
+        for iw in dir.vocab().iwords() {
+            let mut expect = dir.partitions_of(iw).to_vec();
+            expect.sort_unstable();
+            assert_eq!(postings.partitions_of(iw), expect.as_slice());
+        }
+        let latte = dir.lookup("latte").unwrap();
+        let starbucks = dir.lookup("starbucks").unwrap();
+        assert_eq!(postings.iwords_of_tword(latte), &[starbucks]);
+        // A word that is not a t-word has an empty reverse posting.
+        assert!(postings.iwords_of_tword(starbucks).is_empty());
+        assert!(postings.num_posting_lists() >= 5);
+        assert!(postings.estimated_bytes() > 0);
+    }
+
+    #[test]
+    fn invalid_threshold_is_rejected_like_the_scan() {
+        let dir = example_directory();
+        let postings = KeywordPostings::build(&dir);
+        let latte = dir.lookup("latte").unwrap();
+        assert!(matches!(
+            postings.candidate_set(latte, WordKind::TWord, 1.5),
+            Err(KeywordError::InvalidThreshold(_))
+        ));
+    }
+}

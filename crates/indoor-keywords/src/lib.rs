@@ -44,7 +44,7 @@ pub use error::KeywordError;
 pub use extraction::{ExtractionConfig, ExtractionPipeline};
 pub use intern::{Interner, WordId};
 pub use mappings::KeywordMappings;
-pub use query::{PreparedQuery, QueryKeywords};
+pub use query::{PreparedQuery, PreparedWord, QueryKeywords};
 pub use relevance::{route_words, CoverageTracker, RelevanceModel};
 pub use similarity::{jaccard, CandidateEntry, CandidateSet};
 pub use vocab::{Vocabulary, WordKind};

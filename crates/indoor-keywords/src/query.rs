@@ -100,6 +100,28 @@ impl PreparedQuery {
         })
     }
 
+    /// Assembles a prepared query from already-expanded words.
+    ///
+    /// Used by index-accelerated preparation (`indoor-index`), which builds
+    /// each word's [`CandidateSet`] from posting lists instead of a
+    /// vocabulary scan. The candidate-union `Wci` is derived here exactly as
+    /// [`PreparedQuery::prepare`] derives it, so a `PreparedQuery` built
+    /// from equivalent words is indistinguishable from a scan-prepared one.
+    pub fn from_words(words: Vec<PreparedWord>, tau: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&tau) {
+            return Err(KeywordError::InvalidThreshold(tau));
+        }
+        let mut all_candidates = BTreeSet::new();
+        for w in &words {
+            all_candidates.extend(w.candidates.iwords());
+        }
+        Ok(PreparedQuery {
+            words,
+            all_candidates,
+            tau,
+        })
+    }
+
     /// Number of query keywords `|QW|`.
     pub fn len(&self) -> usize {
         self.words.len()

@@ -105,6 +105,22 @@ impl CandidateSet {
         })
     }
 
+    /// Assembles a candidate set from precomputed `(i-word, similarity)`
+    /// entries.
+    ///
+    /// This is the constructor used by index-accelerated candidate
+    /// generation (`indoor-index`), which enumerates the same Definition-4
+    /// entries without scanning the whole vocabulary. Callers are
+    /// responsible for supplying exactly the entries [`CandidateSet::build`]
+    /// would produce; `build` remains the reference implementation and the
+    /// two are cross-checked by tests.
+    pub fn from_entries(query_word: WordId, entries: BTreeMap<WordId, f64>) -> Self {
+        CandidateSet {
+            query_word,
+            entries,
+        }
+    }
+
     /// The matching i-words (`κ(wQ).Wi`).
     pub fn iwords(&self) -> impl Iterator<Item = WordId> + '_ {
         self.entries.keys().copied()

@@ -39,6 +39,10 @@ pub enum SpaceError {
     Unreachable,
     /// The space has no floors / no partitions.
     EmptySpace,
+    /// A generator or builder configuration is unusable (e.g. zero floors,
+    /// a venue size that does not fit the requested layout). Carried as a
+    /// human-readable usage message so callers can surface it directly.
+    InvalidConfig(String),
 }
 
 impl fmt::Display for SpaceError {
@@ -63,6 +67,7 @@ impl fmt::Display for SpaceError {
             SpaceError::IrregularRoute(msg) => write!(f, "irregular route: {msg}"),
             SpaceError::Unreachable => write!(f, "items are not connected"),
             SpaceError::EmptySpace => write!(f, "indoor space has no partitions"),
+            SpaceError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }
@@ -103,6 +108,7 @@ mod tests {
             SpaceError::IrregularRoute("y".into()),
             SpaceError::Unreachable,
             SpaceError::EmptySpace,
+            SpaceError::InvalidConfig("z".into()),
         ];
         for c in cases {
             assert!(!c.to_string().is_empty());

@@ -1088,7 +1088,92 @@ struct StatsBody {
     /// Effective `RLIMIT_NOFILE` soft limit — the fd budget bounding how
     /// many connections this process can hold (0: unknown/no limit API).
     nofile_limit: u64,
+    /// Venue-index observability, aggregated over the hosted venues.
+    index: IndexBody,
     stats: ServerStats,
+}
+
+/// Aggregated venue-index observability (mirrors the reactor counters: one
+/// snapshot per `/v1/stats` call, cumulative since engine construction).
+#[derive(Serialize)]
+struct IndexBody {
+    /// `"accelerated"` when every hosted venue has an index, `"scan"` when
+    /// none does, `"mixed"` otherwise (also `"scan"` with zero venues).
+    mode: String,
+    /// Venues answering through a venue index.
+    venues_indexed: usize,
+    /// Venues hosted in total.
+    venues_total: usize,
+    /// Summed index build time in microseconds.
+    build_micros: u64,
+    /// Summed estimated index heap bytes.
+    estimated_bytes: usize,
+    /// Queries answered through the index path.
+    queries_accelerated: u64,
+    /// Region bounds evaluated by Rule-3 pruning.
+    regions_tested: u64,
+    /// Regions whose bound exceeded ∆ (every member partition pruned).
+    regions_pruned: u64,
+    /// Candidate partitions pruned via a cached region verdict.
+    candidates_pruned: u64,
+    /// Rule-3 member bounds served from the per-query cache.
+    bound_cache_hits: u64,
+    /// KoE* lazy distance rows materialized, summed over venues.
+    precomputed_rows: usize,
+    /// Estimated bytes held by materialized KoE* rows, summed over venues.
+    precomputed_bytes: usize,
+}
+
+fn index_body(shared: &Shared) -> IndexBody {
+    let registry = shared.service.registry();
+    let mut body = IndexBody {
+        mode: String::new(),
+        venues_indexed: 0,
+        venues_total: 0,
+        build_micros: 0,
+        estimated_bytes: 0,
+        queries_accelerated: 0,
+        regions_tested: 0,
+        regions_pruned: 0,
+        candidates_pruned: 0,
+        bound_cache_hits: 0,
+        precomputed_rows: 0,
+        precomputed_bytes: 0,
+    };
+    let mut counters = ikrq_core::IndexStats {
+        build_micros: 0,
+        estimated_bytes: 0,
+        counters: Default::default(),
+    };
+    for id in registry.ids() {
+        let Some(engine) = registry.get(&id) else {
+            continue;
+        };
+        body.venues_total += 1;
+        if let Some(stats) = engine.index_stats() {
+            body.venues_indexed += 1;
+            counters.build_micros += stats.build_micros;
+            counters.estimated_bytes += stats.estimated_bytes;
+            counters.counters.add(&stats.counters);
+        }
+        body.precomputed_rows += engine.precomputed_rows();
+        body.precomputed_bytes += engine.precomputed_bytes();
+    }
+    body.mode = if body.venues_indexed == 0 {
+        "scan".to_string()
+    } else if body.venues_indexed == body.venues_total {
+        "accelerated".to_string()
+    } else {
+        "mixed".to_string()
+    };
+    body.build_micros = counters.build_micros;
+    body.estimated_bytes = counters.estimated_bytes;
+    body.queries_accelerated = counters.counters.queries_accelerated;
+    body.regions_tested = counters.counters.regions_tested;
+    body.regions_pruned = counters.counters.regions_pruned;
+    body.candidates_pruned = counters.counters.candidates_pruned;
+    body.bound_cache_hits = counters.counters.bound_cache_hits;
+    body
 }
 
 fn stats(shared: &Shared) -> Response {
@@ -1101,6 +1186,7 @@ fn stats(shared: &Shared) -> Response {
         keep_alive: shared.config.keep_alive,
         reactor: shared.reactor.is_some(),
         nofile_limit: shared.nofile_limit,
+        index: index_body(shared),
         stats: shared.stats(),
     };
     Response::json(200, serde_json::to_string(&body).expect("stats serialize"))

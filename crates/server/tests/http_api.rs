@@ -575,3 +575,48 @@ fn shutdown_is_idempotent_and_stats_survive() {
         "a stopped server must not answer"
     );
 }
+
+#[test]
+fn stats_expose_index_observability() {
+    let service = fig1_service();
+    let handle = start(Arc::clone(&service), ServerConfig::default());
+    let addr = handle.local_addr();
+
+    // Before any query: default registration builds the index eagerly, so
+    // mode and build/memory figures are already visible.
+    let stats = request(addr, "GET", "/v1/stats", None).json();
+    let index = stats.get("index").unwrap();
+    assert_eq!(index.get("mode").unwrap().as_str(), Some("accelerated"));
+    assert_eq!(index.get("venues_indexed").unwrap().as_u64(), Some(1));
+    assert_eq!(index.get("venues_total").unwrap().as_u64(), Some(1));
+    assert!(index.get("estimated_bytes").unwrap().as_u64().unwrap() > 0);
+    assert_eq!(index.get("queries_accelerated").unwrap().as_u64(), Some(0));
+    assert_eq!(index.get("precomputed_rows").unwrap().as_u64(), Some(0));
+
+    // Queries bump the cumulative accelerated counter.
+    let body = serde_json::to_string(&fig1_request(3, 400.0, VariantConfig::koe())).unwrap();
+    assert_eq!(request(addr, "POST", "/v1/search", Some(&body)).status, 200);
+    let stats = request(addr, "GET", "/v1/stats", None).json();
+    let index = stats.get("index").unwrap();
+    assert!(index.get("queries_accelerated").unwrap().as_u64().unwrap() >= 1);
+
+    // A scan-mode registration reports the fallback mode with no index cost.
+    let example = indoor_data::paper_example_venue();
+    let scan_service = Arc::new(IkrqService::new());
+    scan_service
+        .register_engine(
+            "fig1",
+            Arc::new(ikrq_core::IkrqEngine::with_index_mode(
+                example.venue.space.clone(),
+                example.venue.directory.clone(),
+                ikrq_core::IndexMode::Scan,
+            )),
+        )
+        .unwrap();
+    let scan_handle = start(Arc::clone(&scan_service), ServerConfig::default());
+    let stats = request(scan_handle.local_addr(), "GET", "/v1/stats", None).json();
+    let index = stats.get("index").unwrap();
+    assert_eq!(index.get("mode").unwrap().as_str(), Some("scan"));
+    assert_eq!(index.get("venues_indexed").unwrap().as_u64(), Some(0));
+    assert_eq!(index.get("estimated_bytes").unwrap().as_u64(), Some(0));
+}

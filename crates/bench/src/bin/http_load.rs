@@ -60,6 +60,18 @@ struct Args {
     external: Option<std::net::SocketAddr>,
     /// Serve mode: host the synthetic venue on this address and block.
     serve_addr: Option<String>,
+    /// Router mode: spawn this many `--serve` child processes, front them
+    /// with `ikrq-router`, verify byte-identity, then measure.
+    router: Option<usize>,
+    /// Extra venue aliases each serve process registers (`0` = auto in
+    /// router mode, none in serve mode). The aliases give the ring
+    /// something to spread across shards.
+    copies: usize,
+}
+
+/// The alias a venue copy is registered (and queried) under.
+fn copy_id(base: &str, copy: usize) -> String {
+    format!("{base}#copy-{copy}")
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -79,6 +91,8 @@ fn parse_args() -> Result<Args, String> {
         active: 8,
         external: None,
         serve_addr: None,
+        router: None,
+        copies: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -129,6 +143,10 @@ fn parse_args() -> Result<Args, String> {
                 parsed.external = Some(addr.parse().map_err(|e| format!("--external: {e}"))?);
             }
             "--serve" => parsed.serve_addr = Some(value("--serve")?),
+            "--router" => {
+                parsed.router = Some(value("--router")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--copies" => parsed.copies = value("--copies")?.parse().map_err(|e| format!("{e}"))?,
             "--algorithm" => {
                 parsed.variant = match value("--algorithm")?.as_str() {
                     "toe" => VariantConfig::toe(),
@@ -144,7 +162,7 @@ fn parse_args() -> Result<Args, String> {
                      [--keep-alive] [--compare] [--strict-terminal true|false] \
                      [--strict-compare] [--reactor true|false] \
                      [--connections N,N,... [--active N] [--external HOST:PORT]] \
-                     [--serve HOST:PORT]"
+                     [--serve HOST:PORT [--copies N]] [--router N [--copies N]]"
                         .into(),
                 )
             }
@@ -159,6 +177,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if parsed.connections.as_ref().is_some_and(|c| c.is_empty()) {
         return Err("--connections needs at least one step".into());
+    }
+    if parsed.router == Some(0) {
+        return Err("--router needs at least one shard".into());
     }
     Ok(parsed)
 }
@@ -200,12 +221,24 @@ fn main() {
     };
     config.server.reactor = args.reactor;
 
-    // Serve mode: host the venue for an --external sweep and block.
+    // Serve mode: host the venue for an --external sweep (or as one
+    // shard of a --router run) and block.
     if let Some(addr) = &args.serve_addr {
         let service = std::sync::Arc::new(ikrq_core::IkrqService::new());
         service
             .register_engine(&venue.venue_id, std::sync::Arc::clone(&venue.engine))
             .expect("fresh service accepts the venue");
+        // Copy aliases share the engine (Arc clones); they exist so a
+        // router's consistent-hash ring has multiple venue ids to spread
+        // across shards.
+        for copy in 0..args.copies {
+            service
+                .register_engine(
+                    copy_id(&venue.venue_id, copy),
+                    std::sync::Arc::clone(&venue.engine),
+                )
+                .expect("copy alias registers");
+        }
         let mut server = config.server.clone();
         server.idle_timeout = std::time::Duration::from_secs(600);
         server.max_connections = server.max_connections.max(32 * 1024);
@@ -223,6 +256,13 @@ fn main() {
             args.reactor,
         );
         handle.join();
+        return;
+    }
+
+    // Router mode: spawn child backends, front them with ikrq-router,
+    // verify byte-identity, then measure the spliced wire path.
+    if args.router.is_some() {
+        run_router_mode(&args, &venue, &instances, &config);
         return;
     }
 
@@ -317,6 +357,178 @@ fn main() {
             eprintln!("http load run failed: {error}");
             std::process::exit(1);
         }
+    }
+}
+
+/// The `--router N` flow: N backend *processes* (spawned from this very
+/// binary in `--serve` mode, killed on drop — even a panicking
+/// verification pass cannot leak them), one single-replica shard each,
+/// fronted by an in-process `ikrq-router`. Before measuring, every
+/// distinct request is verified byte-identical between the router and its
+/// owning backend's response cache; any divergence exits non-zero, which
+/// is what CI runs this mode for.
+fn run_router_mode(
+    args: &Args,
+    venue: &ikrq_bench::workload::PreparedVenue,
+    instances: &[indoor_data::QueryInstance],
+    config: &HttpLoadConfig,
+) {
+    use ikrq_bench::http_load::drive_external_load;
+    use ikrq_bench::multiproc::ChildServer;
+
+    let shard_count = args.router.expect("router mode");
+    let copies = if args.copies > 0 {
+        args.copies
+    } else {
+        // Auto-size the copy alias count by walking the same ring the
+        // router will build, until every shard owns at least two venue
+        // ids — a blind guess can land every alias on one shard and
+        // measure a cluster of one.
+        let names: Vec<String> = (0..shard_count).map(|i| format!("shard-{i}")).collect();
+        let ring = ikrq_router::HashRing::new(&names, ikrq_router::DEFAULT_VNODES);
+        let mut per_shard = vec![0usize; shard_count];
+        let mut copies = 0;
+        while copies < 4 || per_shard.iter().any(|&owned| owned < 2) {
+            per_shard[ring.assign(&copy_id(&venue.venue_id, copies))] += 1;
+            copies += 1;
+            assert!(copies < 4096, "ring never covered every shard");
+        }
+        copies
+    };
+    let exe = std::env::current_exe().expect("own executable path");
+    eprintln!("spawning {shard_count} backend processes ({copies} venue copies each) ...");
+    let children: Vec<ChildServer> = (0..shard_count)
+        .map(|index| {
+            let mut command = std::process::Command::new(&exe);
+            command
+                .args(["--serve", "127.0.0.1:0"])
+                .args(["--floors", &args.floors.to_string()])
+                .args(["--seed", &args.seed.to_string()])
+                .args(["--copies", &copies.to_string()])
+                .args(["--reactor", if args.reactor { "true" } else { "false" }]);
+            match ChildServer::spawn(command, std::time::Duration::from_secs(300)) {
+                Ok(child) => {
+                    eprintln!("  shard-{index} on {} (pid {})", child.addr(), child.id());
+                    child
+                }
+                Err(error) => {
+                    eprintln!("failed to spawn backend {index}: {error}");
+                    std::process::exit(1);
+                }
+            }
+        })
+        .collect();
+    let shards: Vec<ikrq_router::ShardSpec> = children
+        .iter()
+        .enumerate()
+        .map(|(index, child)| ikrq_router::ShardSpec {
+            name: format!("shard-{index}"),
+            replicas: vec![child.addr()],
+        })
+        .collect();
+    let router_config = ikrq_router::RouterConfig {
+        server: config.server.clone(),
+        ..ikrq_router::RouterConfig::default()
+    };
+    let router = match ikrq_router::route(shards, "127.0.0.1:0", router_config) {
+        Ok(router) => router,
+        Err(error) => {
+            eprintln!("router failed to start: {error}");
+            std::process::exit(1);
+        }
+    };
+    let addr = router.local_addr();
+
+    // One body per (instance, venue copy): the copy aliases are what the
+    // ring spreads over the shards.
+    let mut bodies: Vec<(String, String)> = Vec::with_capacity(instances.len() * copies);
+    for instance in instances {
+        for copy in 0..copies {
+            let mut request = venue.request(instance, args.variant);
+            request.options.strict_terminal_expansion = args.strict_terminal;
+            request.venue = copy_id(&venue.venue_id, copy);
+            let body = serde_json::to_string(&request).expect("requests serialize");
+            bodies.push((request.venue, body));
+        }
+    }
+
+    // Verification pass: route each distinct request once, then fetch the
+    // same request from its owning backend — the backend serves its cached
+    // bytes, which must equal what the router relayed.
+    let mut owned = vec![0usize; shard_count];
+    for (venue_id, body) in &bodies {
+        let routed = match ikrq_server::client::one_shot(addr, "POST", "/v1/search", body) {
+            Ok(reply) => reply,
+            Err(error) => {
+                eprintln!("verification: router request failed for `{venue_id}`: {error}");
+                std::process::exit(1);
+            }
+        };
+        if routed.status != 200 {
+            eprintln!(
+                "verification: router answered {} for `{venue_id}`: {}",
+                routed.status, routed.body
+            );
+            std::process::exit(1);
+        }
+        let shard_name = router.shard_for(venue_id);
+        let index: usize = shard_name
+            .strip_prefix("shard-")
+            .and_then(|n| n.parse().ok())
+            .expect("shard names are shard-N");
+        owned[index] += 1;
+        let direct =
+            match ikrq_server::client::one_shot(children[index].addr(), "POST", "/v1/search", body)
+            {
+                Ok(reply) => reply,
+                Err(error) => {
+                    eprintln!("verification: direct request to {shard_name} failed: {error}");
+                    std::process::exit(1);
+                }
+            };
+        if direct.header("x-ikrq-cache") != Some("hit") {
+            eprintln!(
+                "verification: `{venue_id}` was not cached on {shard_name} — the router \
+                 did not execute it there"
+            );
+            std::process::exit(1);
+        }
+        if direct.body != routed.body {
+            eprintln!(
+                "BYTE DIVERGENCE on `{venue_id}`: the router's response differs from \
+                 {shard_name}'s cached bytes"
+            );
+            std::process::exit(1);
+        }
+    }
+    eprintln!(
+        "verification: {} responses byte-identical to their owning shards (placement {owned:?})",
+        bodies.len()
+    );
+
+    let request_bodies: Vec<String> = bodies.into_iter().map(|(_, body)| body).collect();
+    eprintln!(
+        "driving {} clients x {} requests over {} distinct queries through {shard_count} \
+         shard(s) ({}) ...",
+        config.clients,
+        config.requests_per_client,
+        request_bodies.len(),
+        args.variant.label(),
+    );
+    let report = drive_external_load(
+        addr,
+        &request_bodies,
+        config.clients,
+        config.requests_per_client,
+        args.keep_alive,
+    );
+    print_report(
+        &format!("{} via {shard_count}-shard router", args.variant.label()),
+        &report,
+    );
+    if report.failed > 0 {
+        eprintln!("router measurement saw {} failed requests", report.failed);
+        std::process::exit(1);
     }
 }
 

@@ -239,6 +239,20 @@ fn search_bodies(
 }
 
 /// Fires `clients × requests_per_client` searches at an already-running
+/// server (or router) round-robin over pre-serialized bodies — the
+/// measurement entry point for split-process targets the harness did not
+/// start itself (`http_load --router`).
+pub fn drive_external_load(
+    addr: SocketAddr,
+    bodies: &[String],
+    clients: usize,
+    requests_per_client: usize,
+    keep_alive: bool,
+) -> HttpLoadReport {
+    drive_load(addr, bodies, clients, requests_per_client, keep_alive)
+}
+
+/// Fires `clients × requests_per_client` searches at an already-running
 /// server round-robin over the bodies and aggregates the outcome (the
 /// measurement core shared by [`run_http_load`] and
 /// [`run_connection_sweep`]).

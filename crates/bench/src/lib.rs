@@ -26,6 +26,7 @@
 
 pub mod figures;
 pub mod http_load;
+pub mod multiproc;
 pub mod report;
 pub mod runner;
 pub mod scale;

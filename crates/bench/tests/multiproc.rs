@@ -1,0 +1,77 @@
+//! Split-process harness tests: spawn the real `http_load` binary as a
+//! serving child, and run the full `--router` verification + measurement
+//! flow as a subprocess (the same smoke CI runs).
+
+use ikrq_bench::multiproc::ChildServer;
+use std::process::Command;
+use std::time::Duration;
+
+fn http_load_command() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_http_load"))
+}
+
+#[cfg(target_os = "linux")]
+fn alive(pid: u32) -> bool {
+    std::path::Path::new(&format!("/proc/{pid}")).exists()
+}
+
+#[test]
+fn serve_child_spawns_answers_and_dies_on_drop() {
+    let mut command = http_load_command();
+    command
+        .args(["--serve", "127.0.0.1:0"])
+        .args(["--floors", "1"])
+        .args(["--seed", "2020"])
+        .args(["--copies", "2"]);
+    let child = ChildServer::spawn(command, Duration::from_secs(300)).expect("child serves");
+    let pid = child.id();
+
+    let venues = ikrq_server::client::one_shot(child.addr(), "GET", "/v1/venues", "")
+        .expect("venues round trip");
+    assert_eq!(venues.status, 200);
+    assert!(
+        venues.body.contains("#copy-0") && venues.body.contains("#copy-1"),
+        "copy aliases are hosted: {}",
+        venues.body
+    );
+
+    #[cfg(target_os = "linux")]
+    {
+        assert!(alive(pid));
+        drop(child);
+        assert!(!alive(pid), "dropping the handle must kill child {pid}");
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = pid;
+        drop(child);
+    }
+}
+
+#[test]
+fn two_shard_router_smoke_verifies_byte_identity() {
+    let output = http_load_command()
+        .args(["--router", "2"])
+        .args(["--floors", "1"])
+        .args(["--seed", "2020"])
+        .args(["--clients", "2"])
+        .args(["--requests", "4"])
+        .args(["--instances", "2"])
+        .arg("--keep-alive")
+        .output()
+        .expect("router smoke runs");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "router smoke failed\nstdout: {stdout}\nstderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("byte-identical"),
+        "verification pass ran: {stderr}"
+    );
+    assert!(
+        stdout.contains("via 2-shard router"),
+        "measurement line printed: {stdout}"
+    );
+}

@@ -72,6 +72,20 @@ COMMANDS:
                                                (default) or the original linear scans
                --cache-capacity N              response-cache entries (default 4096, 0 disables)
                --cache-shards N                response-cache shards (default 8)
+               (POST /v1/admin/reload re-reads a venue's document from disk
+                and swaps it in without dropping connections)
+    route      Front a cluster of serve processes: consistent-hash venue
+               placement, replica failover, fan-out batches (docs/ROUTER.md)
+               --shards \"a=H:P,H:P;b=H:P\"      shard name = replica addresses;
+                                               replicas comma-separated, shards
+                                               semicolon-separated (required)
+               --addr HOST:PORT                (default 127.0.0.1:8080)
+               --workers N                     worker threads (default: cores)
+               --vnodes N                      ring points per shard (default 64)
+               --backend-timeout SECONDS       per-request backend budget (default 10)
+               --probe-interval SECONDS        health-probe cadence (default 0.5)
+               --fail-threshold N              consecutive failures before a
+                                               backend is routed around (default 3)
     help       Show this message
 ";
 
@@ -85,6 +99,7 @@ pub fn run(args: &ParsedArgs) -> Result<String> {
         "batch" => batch(args),
         "render" => render(args),
         "serve" => serve(args),
+        "route" => route(args),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -515,6 +530,8 @@ pub fn start_server(args: &ParsedArgs) -> Result<ikrq_server::ServerHandle> {
         _ => ikrq_core::IndexMode::Accelerated,
     };
     let service = std::sync::Arc::new(IkrqService::new());
+    let mut documents: std::collections::BTreeMap<String, String> =
+        std::collections::BTreeMap::new();
     for path in &paths {
         let (space, directory, name) = load_engine(path)?;
         let venue_id = name.unwrap_or_else(|| path.clone());
@@ -524,7 +541,19 @@ pub fn start_server(args: &ParsedArgs) -> Result<ikrq_server::ServerHandle> {
         service
             .register_engine(&venue_id, engine)
             .map_err(CliError::Engine)?;
+        documents.insert(venue_id, path.clone());
     }
+    // Hot reload re-reads the venue's document from disk — edit the file,
+    // `POST /v1/admin/reload`, and the new engine swaps in atomically.
+    let reloader: ikrq_server::VenueReloader = std::sync::Arc::new(move |venue_id: &str| {
+        let path = documents
+            .get(venue_id)
+            .ok_or_else(|| format!("venue `{venue_id}` was not loaded from a document"))?;
+        let (space, directory, _) = load_engine(path).map_err(|error| error.to_string())?;
+        Ok(std::sync::Arc::new(ikrq_core::IkrqEngine::with_index_mode(
+            space, directory, index_mode,
+        )))
+    });
 
     let mut config = ikrq_server::ServerConfig::default();
     if let Some(workers) = args.get_usize("workers")? {
@@ -567,7 +596,7 @@ pub fn start_server(args: &ParsedArgs) -> Result<ikrq_server::ServerHandle> {
         config.reactor = reactor;
     }
     let addr = args.get("addr").unwrap_or("127.0.0.1:8080");
-    let handle = ikrq_server::serve(service, addr, config)?;
+    let handle = ikrq_server::serve_with_reloader(service, addr, config, reloader)?;
     Ok(handle)
 }
 
@@ -583,6 +612,81 @@ fn serve(args: &ParsedArgs) -> Result<String> {
     let addr = handle.local_addr();
     handle.join();
     Ok(format!("server on {addr} stopped\n"))
+}
+
+// ---------------------------------------------------------------------
+// route
+// ---------------------------------------------------------------------
+
+/// A flag holding a positive duration in (possibly fractional) seconds.
+fn positive_secs(args: &ParsedArgs, name: &str) -> Result<Option<std::time::Duration>> {
+    let Some(value) = args.get_f64(name)? else {
+        return Ok(None);
+    };
+    match std::time::Duration::try_from_secs_f64(value) {
+        Ok(duration) if !duration.is_zero() => Ok(Some(duration)),
+        _ => Err(CliError::Usage(format!(
+            "flag `--{name}` expects a positive number of seconds"
+        ))),
+    }
+}
+
+/// Builds the shard topology + router configuration from the `route` flags
+/// and starts the front tier. Exposed so the integration tests can bind an
+/// ephemeral port and shut the router down; the `route` command itself
+/// blocks forever on the returned handle.
+pub fn start_router(args: &ParsedArgs) -> Result<ikrq_router::RouterHandle> {
+    let specs = args.require("shards")?;
+    let mut shards = Vec::new();
+    for spec in specs.split(';').map(str::trim).filter(|s| !s.is_empty()) {
+        shards.push(ikrq_router::ShardSpec::parse(spec).map_err(CliError::Usage)?);
+    }
+    if shards.is_empty() {
+        return Err(CliError::Usage(
+            "flag `--shards` expects at least one `name=host:port` spec".into(),
+        ));
+    }
+    let mut config = ikrq_router::RouterConfig::default();
+    if let Some(workers) = args.get_usize("workers")? {
+        config.server.workers = workers;
+    }
+    if let Some(vnodes) = args.get_usize("vnodes")? {
+        config.vnodes = vnodes;
+    }
+    if let Some(timeout) = positive_secs(args, "backend-timeout")? {
+        config.backend_timeout = timeout;
+    }
+    if let Some(interval) = positive_secs(args, "probe-interval")? {
+        config.probe_interval = interval;
+    }
+    if let Some(threshold) = args.get_usize("fail-threshold")? {
+        config.fail_threshold = u32::try_from(threshold).map_err(|_| {
+            CliError::Usage(format!(
+                "flag `--fail-threshold` is out of range: {threshold}"
+            ))
+        })?;
+        if config.fail_threshold == 0 {
+            return Err(CliError::Usage(
+                "flag `--fail-threshold` must be at least 1".into(),
+            ));
+        }
+    }
+    let addr = args.get("addr").unwrap_or("127.0.0.1:8080");
+    Ok(ikrq_router::route(shards, addr, config)?)
+}
+
+fn route(args: &ParsedArgs) -> Result<String> {
+    let handle = start_router(args)?;
+    eprintln!(
+        "ikrq-router fronting {} shard(s) on http://{} (protocol v1; ctrl-c to stop)",
+        handle.shard_count(),
+        handle.local_addr()
+    );
+    // A foreground router runs until killed; the handle keeps the server
+    // and prober alive while this thread sleeps.
+    loop {
+        std::thread::park();
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -647,7 +751,7 @@ mod tests {
     #[test]
     fn usage_mentions_every_command() {
         for cmd in [
-            "generate", "stats", "query", "batch", "render", "serve", "help",
+            "generate", "stats", "query", "batch", "render", "serve", "route", "help",
         ] {
             assert!(USAGE.contains(cmd), "usage should mention {cmd}");
         }

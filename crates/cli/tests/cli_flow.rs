@@ -346,6 +346,101 @@ fn serve_hosts_generated_venues_over_http() {
 }
 
 #[test]
+fn route_fronts_sharded_serve_processes() {
+    use ikrq_server::client::one_shot;
+
+    let dir = TempDir::new("route");
+    let venue_path = dir.file("example.json");
+    run_args([
+        "generate",
+        "--kind",
+        "example",
+        "--out",
+        venue_path.as_str(),
+    ])
+    .unwrap();
+
+    // Usage errors before anything binds.
+    assert!(matches!(run_args(["route"]), Err(CliError::Usage(_))));
+    assert!(matches!(
+        run_args(["route", "--shards", "a=not-an-address"]),
+        Err(CliError::Usage(_))
+    ));
+    assert!(matches!(
+        run_args([
+            "route",
+            "--shards",
+            "a=127.0.0.1:1",
+            "--probe-interval",
+            "0"
+        ]),
+        Err(CliError::Usage(_))
+    ));
+
+    // Two single-replica shards, each a full `serve` process (so the
+    // router also exercises the disk-based reload the serve command
+    // wires up).
+    let backend_args = ikrq_cli::ParsedArgs::parse([
+        "serve",
+        "--venues",
+        venue_path.as_str(),
+        "--addr",
+        "127.0.0.1:0",
+        "--workers",
+        "2",
+    ])
+    .unwrap();
+    let backend_a = ikrq_cli::commands::start_server(&backend_args).unwrap();
+    let backend_b = ikrq_cli::commands::start_server(&backend_args).unwrap();
+
+    let route_args = ikrq_cli::ParsedArgs::parse([
+        "route",
+        "--shards",
+        &format!("a={};b={}", backend_a.local_addr(), backend_b.local_addr()),
+        "--addr",
+        "127.0.0.1:0",
+        "--workers",
+        "2",
+        "--vnodes",
+        "32",
+        "--backend-timeout",
+        "5",
+        "--fail-threshold",
+        "1",
+    ])
+    .unwrap();
+    let router = ikrq_cli::commands::start_router(&route_args).unwrap();
+    let addr = router.local_addr();
+    assert_eq!(router.shard_count(), 2);
+
+    let health = one_shot(addr, "GET", "/v1/healthz", "").unwrap();
+    assert_eq!(health.status, 200);
+    assert!(
+        health.body.contains("\"shards\":2"),
+        "body: {}",
+        health.body
+    );
+
+    // Both backends host the example venue; the aggregate attributes it
+    // to its ring owner exactly once.
+    let venues = one_shot(addr, "GET", "/v1/venues", "").unwrap();
+    assert_eq!(venues.status, 200);
+    assert_eq!(venues.body.matches("fig1-example").count(), 1);
+
+    // Reload through the router reaches the owning serve process, whose
+    // reloader re-reads the document from disk.
+    let reload = one_shot(
+        addr,
+        "POST",
+        "/v1/admin/reload",
+        "{\"venue\":\"fig1-example\"}",
+    )
+    .unwrap();
+    assert_eq!(reload.status, 200, "reload: {}", reload.body);
+    assert!(reload.body.contains("\"shard\""), "reload: {}", reload.body);
+}
+
+#[test]
 fn usage_errors_and_unknown_commands_are_reported() {
     assert!(matches!(
         run_args(["query", "--venue"]),

@@ -62,6 +62,23 @@ impl VenueRegistry {
         Ok(())
     }
 
+    /// Atomically swaps the engine under an already-registered id — the hot
+    /// venue reload primitive. Unlike a `remove` + `register` pair there is
+    /// no window where the venue is unregistered, so concurrent searches
+    /// never observe a transient `unknown_venue`. The epoch is bumped once,
+    /// orphaning every cached response keyed on the old topology. Returns
+    /// the replaced engine; errors if the id was never registered (reload
+    /// does not create venues).
+    pub fn replace(&self, id: &str, engine: Arc<IkrqEngine>) -> Result<Arc<IkrqEngine>> {
+        let mut venues = self.venues.write().expect("registry lock");
+        let Some(slot) = venues.get_mut(id) else {
+            return Err(EngineError::UnknownVenue(id.to_string()));
+        };
+        let previous = std::mem::replace(slot, engine);
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        Ok(previous)
+    }
+
     /// Removes a venue, returning its engine if it was registered.
     pub fn remove(&self, id: &str) -> Option<Arc<IkrqEngine>> {
         let removed = self.venues.write().expect("registry lock").remove(id);
@@ -287,6 +304,30 @@ mod tests {
         assert_eq!(registry.epoch(), 2);
         assert!(registry.remove("a").is_none());
         assert_eq!(registry.epoch(), 2, "no-op removals do not bump");
+    }
+
+    #[test]
+    fn replace_swaps_in_place_and_bumps_epoch_once() {
+        let registry = VenueRegistry::new();
+        let example = indoor_data::paper_example_venue();
+        let engine = || {
+            Arc::new(IkrqEngine::new(
+                example.venue.space.clone(),
+                example.venue.directory.clone(),
+            ))
+        };
+        assert!(matches!(
+            registry.replace("a", engine()),
+            Err(EngineError::UnknownVenue(id)) if id == "a"
+        ));
+        assert_eq!(registry.epoch(), 0, "failed replacements do not bump");
+        let first = engine();
+        registry.register("a", Arc::clone(&first)).unwrap();
+        assert_eq!(registry.epoch(), 1);
+        let replaced = registry.replace("a", engine()).unwrap();
+        assert!(Arc::ptr_eq(&replaced, &first), "returns the old engine");
+        assert_eq!(registry.epoch(), 2, "one bump, not remove+register's two");
+        assert_eq!(registry.len(), 1, "no unregistered window side effects");
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! Backends, shards and the forwarding/failover core.
+//!
+//! A **shard** is a named replica set: an ordered list of backend
+//! `ikrq-server` addresses that all host the shard's venues. The router
+//! forwards a request to the shard's first *healthy* backend (declared
+//! order — replica 0 is the preferred primary) over a pooled
+//! [`KeepAliveClient`], and fails over down the replica list only when the
+//! failed exchange is **provably safe to resend** under the same rule the
+//! client uses for its own redial ([`RequestFailure::safe_to_resend`]):
+//! the connection died or the dial was refused *before any reply byte*.
+//! A timeout or a mid-reply failure never fails over — the backend may be
+//! slow-but-alive and still executing, and resending to a replica would
+//! run the request twice. Those requests surface as
+//! `503 backend_unavailable` instead.
+//!
+//! Health is tracked two ways: the prober thread (`prober_loop` in the
+//! crate root) issues periodic `GET /v1/healthz` probes with
+//! their own timeout and exponential backoff for down backends, and the
+//! forwarding path itself counts consecutive failures. Either marking a
+//! backend unhealthy (or healthy again) flips its flag and counts a
+//! *rebalance* — the point where the shard's preferred serving order
+//! changed.
+
+use crate::RouterConfig;
+use ikrq_server::client::{KeepAliveClient, RequestFailure};
+use ikrq_server::ClientReply;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One backend `ikrq-server` process: its address, health flag, counters
+/// and a small pool of keep-alive connections.
+pub(crate) struct Backend {
+    pub(crate) addr: SocketAddr,
+    /// Starts `true` (optimistic: the first request probes it for real);
+    /// flipped by probe or forward failures reaching the threshold.
+    healthy: AtomicBool,
+    consecutive_failures: AtomicU32,
+    pub(crate) probes: AtomicU64,
+    pub(crate) probe_failures: AtomicU64,
+    pub(crate) forwarded: AtomicU64,
+    pub(crate) forward_failures: AtomicU64,
+    pool: Mutex<Vec<KeepAliveClient>>,
+}
+
+impl Backend {
+    pub(crate) fn new(addr: SocketAddr) -> Backend {
+        Backend {
+            addr,
+            healthy: AtomicBool::new(true),
+            consecutive_failures: AtomicU32::new(0),
+            probes: AtomicU64::new(0),
+            probe_failures: AtomicU64::new(0),
+            forwarded: AtomicU64::new(0),
+            forward_failures: AtomicU64::new(0),
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures.load(Ordering::SeqCst)
+    }
+
+    /// A pooled connection to this backend, or a fresh one.
+    fn client(&self, timeout: Duration) -> KeepAliveClient {
+        self.pool
+            .lock()
+            .expect("backend pool lock")
+            .pop()
+            .unwrap_or_else(|| KeepAliveClient::new(self.addr).with_timeout(timeout))
+    }
+
+    /// Returns a connection to the pool after a successful exchange.
+    fn recycle(&self, client: KeepAliveClient, cap: usize) {
+        let mut pool = self.pool.lock().expect("backend pool lock");
+        if pool.len() < cap {
+            pool.push(client);
+        }
+    }
+
+    /// Records a successful probe or forward; marks the backend healthy.
+    /// Returns whether the health flag flipped (a rebalance).
+    pub(crate) fn record_success(&self) -> bool {
+        self.consecutive_failures.store(0, Ordering::SeqCst);
+        !self.healthy.swap(true, Ordering::SeqCst)
+    }
+
+    /// Records a failed probe or forward; marks the backend unhealthy once
+    /// `threshold` consecutive failures accumulate. Returns whether the
+    /// health flag flipped (a rebalance).
+    pub(crate) fn record_failure(&self, threshold: u32) -> bool {
+        let failures = self.consecutive_failures.fetch_add(1, Ordering::SeqCst) + 1;
+        if failures >= threshold {
+            return self.healthy.swap(false, Ordering::SeqCst);
+        }
+        false
+    }
+}
+
+/// A named replica set.
+pub(crate) struct Shard {
+    pub(crate) name: String,
+    pub(crate) backends: Vec<Backend>,
+}
+
+/// Router-level counters (distinct from the per-backend ones).
+#[derive(Default)]
+pub(crate) struct Counters {
+    /// Exchanges forwarded to a backend (any outcome).
+    pub(crate) forwarded: AtomicU64,
+    /// Requests that moved on to another replica after a resend-safe
+    /// failure.
+    pub(crate) failovers: AtomicU64,
+    /// Health-flag flips (either direction) — each one changes some
+    /// shard's preferred serving order.
+    pub(crate) rebalances: AtomicU64,
+    /// Requests answered `503 backend_unavailable`.
+    pub(crate) unavailable: AtomicU64,
+    /// Venue reloads fanned out successfully to a whole shard.
+    pub(crate) reloads: AtomicU64,
+}
+
+/// Why a forward could not produce a backend reply.
+pub(crate) enum ForwardError {
+    /// Every candidate replica failed in a resend-safe way; the request
+    /// was never answered and never left executing anywhere reachable.
+    AllReplicasDown { last: String },
+    /// A backend took the request but the exchange failed in a way where
+    /// a resend could double-execute (timeout, mid-reply death).
+    UnsafeToResend { addr: SocketAddr, detail: String },
+}
+
+impl ForwardError {
+    /// The human half of the `503 backend_unavailable` body.
+    pub(crate) fn message(&self, shard: &str) -> String {
+        match self {
+            ForwardError::AllReplicasDown { last } => {
+                format!("no live backend for shard `{shard}`: {last}")
+            }
+            ForwardError::UnsafeToResend { addr, detail } => format!(
+                "backend {addr} of shard `{shard}` did not answer ({detail}); \
+                 not resent to a replica because the backend may still be \
+                 executing the request"
+            ),
+        }
+    }
+}
+
+/// The shard topology plus everything the forwarding path needs.
+pub(crate) struct Cluster {
+    pub(crate) shards: Vec<Shard>,
+    pub(crate) ring: crate::ring::HashRing,
+    pub(crate) config: RouterConfig,
+    pub(crate) counters: Counters,
+}
+
+impl Cluster {
+    /// The shard owning a venue id.
+    pub(crate) fn shard_for(&self, venue: &str) -> &Shard {
+        &self.shards[self.ring.assign(venue)]
+    }
+
+    /// Records a health flip as a rebalance.
+    pub(crate) fn note_flip(&self, flipped: bool) {
+        if flipped {
+            self.counters.rebalances.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Forwards one exchange to a shard, failing over down the replica
+    /// list under the resend-safety rule (see the module docs).
+    pub(crate) fn forward(
+        &self,
+        shard: &Shard,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> Result<ClientReply, ForwardError> {
+        // Preference order: healthy replicas in declared order, then the
+        // unhealthy ones as a last resort (the prober may simply not have
+        // noticed a recovery yet, and a dial refusal is resend-safe).
+        let order = self.shard_backend_order(shard).collect::<Vec<&Backend>>();
+        let candidates = order.len();
+        let mut last = format!("shard `{}` has no backends", shard.name);
+        for (position, backend) in order.into_iter().enumerate() {
+            match self.forward_to_backend(backend, method, path, body) {
+                Ok(reply) => return Ok(reply),
+                Err(failure) => {
+                    if failure.safe_to_resend() {
+                        last = format!("{} ({})", backend.addr, failure.error);
+                        if position + 1 < candidates {
+                            self.counters.failovers.fetch_add(1, Ordering::SeqCst);
+                        }
+                        continue;
+                    }
+                    self.counters.unavailable.fetch_add(1, Ordering::SeqCst);
+                    return Err(ForwardError::UnsafeToResend {
+                        addr: backend.addr,
+                        detail: failure.error.to_string(),
+                    });
+                }
+            }
+        }
+        self.counters.unavailable.fetch_add(1, Ordering::SeqCst);
+        Err(ForwardError::AllReplicasDown { last })
+    }
+
+    /// One pooled exchange against one specific backend, recording the
+    /// outcome in its health bookkeeping (no failover — the reload path
+    /// uses this to address every replica of a shard individually).
+    pub(crate) fn forward_to_backend(
+        &self,
+        backend: &Backend,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> Result<ClientReply, RequestFailure> {
+        match self.try_backend(backend, method, path, body) {
+            Ok(reply) => {
+                self.note_flip(backend.record_success());
+                Ok(reply)
+            }
+            Err(failure) => {
+                self.note_flip(backend.record_failure(self.config.fail_threshold));
+                Err(failure)
+            }
+        }
+    }
+
+    /// One pooled exchange against one backend.
+    fn try_backend(
+        &self,
+        backend: &Backend,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> Result<ClientReply, RequestFailure> {
+        backend.forwarded.fetch_add(1, Ordering::SeqCst);
+        self.counters.forwarded.fetch_add(1, Ordering::SeqCst);
+        let mut client = backend.client(self.config.backend_timeout);
+        match client.request_with_outcome(method, path, body) {
+            Ok(reply) => {
+                backend.recycle(client, self.config.pool_per_backend);
+                Ok(reply)
+            }
+            Err(failure) => {
+                backend.forward_failures.fetch_add(1, Ordering::SeqCst);
+                Err(failure)
+            }
+        }
+    }
+
+    fn shard_backend_order<'a>(&self, shard: &'a Shard) -> impl Iterator<Item = &'a Backend> {
+        let healthy = shard.backends.iter().filter(|b| b.is_healthy());
+        let unhealthy = shard.backends.iter().filter(|b| !b.is_healthy());
+        healthy.chain(unhealthy)
+    }
+}

@@ -1,0 +1,247 @@
+//! [`FaultProxy`]: a TCP fault-injection proxy for chaos tests.
+//!
+//! The proxy sits between the router and one backend and misbehaves on
+//! command. Requests (client→backend bytes) always flow — the point of
+//! most faults is that the backend *does* receive and execute the request
+//! — while the configured [`FaultMode`] shapes the *reply* path:
+//!
+//! * [`FaultMode::Forward`] — transparent relay (the baseline),
+//! * [`FaultMode::Delay`] — replies arrive late; a delay beyond the
+//!   router's backend timeout makes the exchange time out *after* the
+//!   backend executed, which is exactly the situation where failing over
+//!   would double-execute,
+//! * [`FaultMode::Blackhole`] — replies never arrive at all.
+//!
+//! Orthogonally, [`FaultProxy::kill_connections`] hard-closes every live
+//! connection mid-flight (the peer observes EOF/ECONNRESET — the
+//! connection-death class that *is* safe to fail over), and
+//! [`FaultProxy::stop_accepting`] makes the proxy swallow new connections
+//! (accepted, then immediately closed — a dying process). Chaos tests in
+//! `tests/failover.rs` drive these to prove the router's resend-safety
+//! rules hold under real socket behaviour, not mocks.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How the proxy treats backend replies (requests always flow through).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Relay both directions transparently.
+    Forward,
+    /// Hold every reply chunk for this long before relaying it.
+    Delay(Duration),
+    /// Swallow replies entirely; the client never hears back.
+    Blackhole,
+}
+
+struct ProxyInner {
+    upstream: SocketAddr,
+    mode: Mutex<FaultMode>,
+    accepting: AtomicBool,
+    shutdown: AtomicBool,
+    connections_seen: AtomicU64,
+    /// Clones of both halves of every live relay, for [`kill_connections`].
+    ///
+    /// [`kill_connections`]: FaultProxy::kill_connections
+    live: Mutex<Vec<TcpStream>>,
+}
+
+impl ProxyInner {
+    fn mode(&self) -> FaultMode {
+        *self.mode.lock().expect("fault mode lock")
+    }
+}
+
+/// A TCP proxy in front of one backend that injects faults on command.
+pub struct FaultProxy {
+    addr: SocketAddr,
+    inner: Arc<ProxyInner>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+/// How often blocked reads wake up to check the shutdown flag.
+const TICK: Duration = Duration::from_millis(25);
+
+impl FaultProxy {
+    /// Starts a proxy on an ephemeral local port relaying to `upstream`.
+    pub fn spawn(upstream: SocketAddr) -> std::io::Result<FaultProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(ProxyInner {
+            upstream,
+            mode: Mutex::new(FaultMode::Forward),
+            accepting: AtomicBool::new(true),
+            shutdown: AtomicBool::new(false),
+            connections_seen: AtomicU64::new(0),
+            live: Mutex::new(Vec::new()),
+        });
+        let accept_inner = Arc::clone(&inner);
+        let accept_thread = std::thread::Builder::new()
+            .name("fault-proxy-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_inner))
+            .expect("fault proxy accept thread spawns");
+        Ok(FaultProxy {
+            addr,
+            inner,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address clients (the router) should dial.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Switches the reply-path fault mode; applies to in-flight and future
+    /// connections alike.
+    pub fn set_mode(&self, mode: FaultMode) {
+        *self.inner.mode.lock().expect("fault mode lock") = mode;
+    }
+
+    /// Hard-closes every live proxied connection. Both peers observe a
+    /// connection-death error (EOF or ECONNRESET) on their next read or
+    /// write — mid-reply for exchanges in flight.
+    pub fn kill_connections(&self) {
+        let mut live = self.inner.live.lock().expect("live connection lock");
+        for stream in live.drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Makes the proxy swallow new connections: they are accepted at the
+    /// TCP level and immediately closed, so a client's first read observes
+    /// EOF before any reply byte — the dying-process shape.
+    pub fn stop_accepting(&self) {
+        self.inner.accepting.store(false, Ordering::SeqCst);
+    }
+
+    /// Resumes relaying new connections.
+    pub fn resume_accepting(&self) {
+        self.inner.accepting.store(true, Ordering::SeqCst);
+    }
+
+    /// Connections relayed (not swallowed) since the proxy started.
+    pub fn connections_seen(&self) -> u64 {
+        self.inner.connections_seen.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.kill_connections();
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, inner: &Arc<ProxyInner>) {
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((client, _)) => {
+                if !inner.accepting.load(Ordering::SeqCst) {
+                    // Swallow: accepted then dropped — the client sees EOF.
+                    drop(client);
+                    continue;
+                }
+                let Ok(upstream) = TcpStream::connect(inner.upstream) else {
+                    drop(client);
+                    continue;
+                };
+                inner.connections_seen.fetch_add(1, Ordering::SeqCst);
+                relay(client, upstream, inner);
+            }
+            Err(error)
+                if error.kind() == std::io::ErrorKind::WouldBlock
+                    || error.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Wires up the two pump threads for one proxied connection.
+fn relay(client: TcpStream, upstream: TcpStream, inner: &Arc<ProxyInner>) {
+    let _ = client.set_read_timeout(Some(TICK));
+    let _ = upstream.set_read_timeout(Some(TICK));
+    let _ = client.set_nodelay(true);
+    let _ = upstream.set_nodelay(true);
+    {
+        let mut live = inner.live.lock().expect("live connection lock");
+        if let (Ok(c), Ok(u)) = (client.try_clone(), upstream.try_clone()) {
+            live.push(c);
+            live.push(u);
+        }
+    }
+    let (Ok(client_read), Ok(upstream_read)) = (client.try_clone(), upstream.try_clone()) else {
+        return;
+    };
+    // Requests always flow — the faults under test are about replies that
+    // are late, missing, or cut off *after* the backend took the request.
+    spawn_pump(
+        "fault-proxy-up",
+        client_read,
+        upstream,
+        Arc::clone(inner),
+        false,
+    );
+    spawn_pump(
+        "fault-proxy-down",
+        upstream_read,
+        client,
+        Arc::clone(inner),
+        true,
+    );
+}
+
+fn spawn_pump(
+    name: &str,
+    mut from: TcpStream,
+    mut to: TcpStream,
+    inner: Arc<ProxyInner>,
+    shaped: bool,
+) {
+    std::thread::Builder::new()
+        .name(name.into())
+        .spawn(move || {
+            let mut buffer = [0u8; 16 * 1024];
+            loop {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match from.read(&mut buffer) {
+                    Ok(0) => break,
+                    Ok(read) => {
+                        if shaped {
+                            match inner.mode() {
+                                FaultMode::Forward => {}
+                                FaultMode::Delay(delay) => std::thread::sleep(delay),
+                                FaultMode::Blackhole => continue,
+                            }
+                        }
+                        if to.write_all(&buffer[..read]).is_err() {
+                            break;
+                        }
+                    }
+                    Err(error)
+                        if error.kind() == std::io::ErrorKind::WouldBlock
+                            || error.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        continue;
+                    }
+                    Err(_) => break,
+                }
+            }
+            // Propagate the closure so the other peer unblocks too.
+            let _ = from.shutdown(Shutdown::Both);
+            let _ = to.shutdown(Shutdown::Both);
+        })
+        .expect("fault proxy pump thread spawns");
+}

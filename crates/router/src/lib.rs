@@ -1,0 +1,315 @@
+//! # ikrq-router — the venue-sharded scale-out tier
+//!
+//! A single `ikrq-server` process answers every venue it hosts; this crate
+//! puts a routing tier in front of *many* of them so a deployment scales
+//! horizontally: venues are placed onto named **shards** by a consistent
+//! hash ring ([`HashRing`]), each shard is a replica set of identical
+//! backends, and the router — itself an app on the same connection engine
+//! — speaks the same protocol v1 on its front socket:
+//!
+//! * `POST /v1/search` is forwarded verbatim to the owning shard,
+//! * `POST /v1/search/batch` fans out per shard and the replies are
+//!   **byte-spliced** back together in request order,
+//! * `POST /v1/admin/reload` fans a hot venue reload out to every replica
+//!   of the owning shard,
+//! * `GET /v1/healthz`, `/v1/venues`, `/v1/stats` report the cluster view.
+//!
+//! Failures fail over to replicas only when resending is provably safe —
+//! the connection died or the dial was refused before any reply byte — and
+//! surface as `503 backend_unavailable` otherwise (a timed-out backend may
+//! still be executing; resending would run the request twice). See
+//! `docs/ROUTER.md` for the full design, and [`fault::FaultProxy`] for the
+//! chaos-test harness that pins these rules against real sockets.
+//!
+//! ```no_run
+//! use ikrq_router::{route, RouterConfig, ShardSpec};
+//!
+//! let shards = vec![
+//!     ShardSpec::parse("alpha=127.0.0.1:7101,127.0.0.1:7102").unwrap(),
+//!     ShardSpec::parse("beta=127.0.0.1:7201").unwrap(),
+//! ];
+//! let handle = route(shards, "127.0.0.1:7100", RouterConfig::default()).unwrap();
+//! println!("routing on http://{}", handle.local_addr());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod app;
+mod backend;
+pub mod fault;
+pub mod ring;
+mod splice;
+
+pub use fault::{FaultMode, FaultProxy};
+pub use ring::{fnv1a64, ring_point, HashRing, DEFAULT_VNODES};
+
+use backend::{Backend, Cluster, Counters, Shard};
+use ikrq_server::client::KeepAliveClient;
+use ikrq_server::{serve_app, ServerConfig, ServerHandle, ServerStats};
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One shard of the cluster: a name (the unit of ring placement) and the
+/// ordered replica list (replica 0 is the preferred primary).
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// Ring name; must be unique across the cluster and is what placement
+    /// hashes against, so renaming a shard moves its venues.
+    pub name: String,
+    /// Backend addresses, all hosting the same venues.
+    pub replicas: Vec<SocketAddr>,
+}
+
+impl ShardSpec {
+    /// Parses the CLI form `name=addr[,addr...]`.
+    pub fn parse(spec: &str) -> Result<ShardSpec, String> {
+        let (name, replicas) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("shard spec `{spec}` is not of the form name=addr[,addr...]"))?;
+        if name.trim().is_empty() {
+            return Err(format!("shard spec `{spec}` has an empty name"));
+        }
+        let replicas = replicas
+            .split(',')
+            .map(|addr| {
+                addr.trim()
+                    .parse::<SocketAddr>()
+                    .map_err(|error| format!("shard `{name}`: bad address `{addr}`: {error}"))
+            })
+            .collect::<Result<Vec<SocketAddr>, String>>()?;
+        if replicas.is_empty() {
+            return Err(format!("shard `{name}` has no replicas"));
+        }
+        Ok(ShardSpec {
+            name: name.trim().to_string(),
+            replicas,
+        })
+    }
+}
+
+/// Router configuration: the front server's engine knobs plus the
+/// routing-tier knobs.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Connection-engine configuration of the router's own front socket
+    /// (workers, admission, keep-alive, reactor — the same engine the
+    /// backends run). `server.max_batch_size` bounds the *combined* batch
+    /// the router accepts, before the per-shard fan-out.
+    pub server: ServerConfig,
+    /// Virtual nodes per shard on the placement ring.
+    pub vnodes: usize,
+    /// Per-socket timeout on forwarded backend exchanges. An exchange that
+    /// exceeds it is answered `503 backend_unavailable` *without* failover
+    /// (the backend may still be executing).
+    pub backend_timeout: Duration,
+    /// Baseline interval between health probes of one backend.
+    pub probe_interval: Duration,
+    /// Per-socket timeout on health probes (kept separate from
+    /// [`backend_timeout`](RouterConfig::backend_timeout): probes should
+    /// fail fast).
+    pub probe_timeout: Duration,
+    /// Consecutive failures — probe or forward — before a backend is
+    /// marked unhealthy and demoted in its shard's serving order.
+    pub fail_threshold: u32,
+    /// Probe interval ceiling for unhealthy backends: each consecutive
+    /// failure doubles the backend's probe interval up to this cap, so a
+    /// long-dead backend is not hammered.
+    pub probe_backoff_max: Duration,
+    /// Keep-alive connections pooled per backend for forwarding.
+    pub pool_per_backend: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            server: ServerConfig::default(),
+            vnodes: DEFAULT_VNODES,
+            backend_timeout: Duration::from_secs(10),
+            probe_interval: Duration::from_millis(500),
+            probe_timeout: Duration::from_secs(1),
+            fail_threshold: 3,
+            probe_backoff_max: Duration::from_secs(5),
+            pool_per_backend: 8,
+        }
+    }
+}
+
+fn invalid(message: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidInput, message)
+}
+
+/// Starts the router: builds the ring over `shards`, binds the front
+/// socket at `addr`, and starts the health prober.
+pub fn route(
+    shards: Vec<ShardSpec>,
+    addr: impl ToSocketAddrs,
+    config: RouterConfig,
+) -> std::io::Result<RouterHandle> {
+    if shards.is_empty() {
+        return Err(invalid("a router needs at least one shard".into()));
+    }
+    {
+        let mut names: Vec<&str> = shards.iter().map(|shard| shard.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        if names.len() != shards.len() {
+            return Err(invalid("shard names must be unique".into()));
+        }
+    }
+    for shard in &shards {
+        if shard.replicas.is_empty() {
+            return Err(invalid(format!("shard `{}` has no replicas", shard.name)));
+        }
+    }
+    if config.vnodes == 0 {
+        return Err(invalid("vnodes must be at least 1".into()));
+    }
+    let names: Vec<String> = shards.iter().map(|shard| shard.name.clone()).collect();
+    let ring = HashRing::new(&names, config.vnodes);
+    let server_config = config.server.clone();
+    let cluster = Arc::new(Cluster {
+        shards: shards
+            .into_iter()
+            .map(|spec| Shard {
+                name: spec.name,
+                backends: spec.replicas.into_iter().map(Backend::new).collect(),
+            })
+            .collect(),
+        ring,
+        config,
+        counters: Counters::default(),
+    });
+    let server = serve_app(
+        Arc::new(app::RouterApp::new(Arc::clone(&cluster))),
+        addr,
+        server_config,
+    )?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let prober = {
+        let cluster = Arc::clone(&cluster);
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::Builder::new()
+            .name("ikrq-router-prober".into())
+            .spawn(move || prober_loop(&cluster, &shutdown))
+            .expect("prober thread spawns")
+    };
+    Ok(RouterHandle {
+        server,
+        cluster,
+        shutdown,
+        prober: Some(prober),
+    })
+}
+
+/// A running router; dropping it shuts the front server and prober down.
+pub struct RouterHandle {
+    server: ServerHandle,
+    cluster: Arc<Cluster>,
+    shutdown: Arc<AtomicBool>,
+    prober: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// The front address the router actually bound (resolves `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// Point-in-time counters of the router's own connection engine.
+    pub fn stats(&self) -> ServerStats {
+        self.server.stats()
+    }
+
+    /// Whether a backend is currently marked healthy (`None` when the
+    /// address is not part of the cluster). Test and CLI observability;
+    /// the full picture is `GET /v1/stats`.
+    pub fn backend_healthy(&self, addr: SocketAddr) -> Option<bool> {
+        self.cluster
+            .shards
+            .iter()
+            .flat_map(|shard| shard.backends.iter())
+            .find(|backend| backend.addr == addr)
+            .map(|backend| backend.is_healthy())
+    }
+
+    /// The shard name a venue id routes to.
+    pub fn shard_for(&self, venue: &str) -> &str {
+        self.cluster.ring.assign_name(venue)
+    }
+
+    /// Number of shards the router fronts.
+    pub fn shard_count(&self) -> usize {
+        self.cluster.shards.len()
+    }
+
+    /// Stops the prober and shuts the front server down (idempotent).
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(prober) = self.prober.take() {
+            let _ = prober.join();
+        }
+        self.server.shutdown();
+    }
+}
+
+impl Drop for RouterHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Per-backend probe bookkeeping owned by the prober thread.
+struct ProbeState {
+    client: KeepAliveClient,
+    next: Instant,
+    interval: Duration,
+}
+
+/// The health-probe loop: each backend gets a `GET /v1/healthz` every
+/// `probe_interval`, with its own fast-failing timeout; failures double the
+/// backend's interval up to `probe_backoff_max`, successes reset it. Health
+/// flips feed the same bookkeeping the forwarding path uses.
+fn prober_loop(cluster: &Arc<Cluster>, shutdown: &Arc<AtomicBool>) {
+    let config = &cluster.config;
+    let mut states: Vec<(usize, usize, ProbeState)> = Vec::new();
+    let start = Instant::now();
+    for (shard_index, shard) in cluster.shards.iter().enumerate() {
+        for (backend_index, backend) in shard.backends.iter().enumerate() {
+            states.push((
+                shard_index,
+                backend_index,
+                ProbeState {
+                    client: KeepAliveClient::new(backend.addr).with_timeout(config.probe_timeout),
+                    next: start,
+                    interval: config.probe_interval,
+                },
+            ));
+        }
+    }
+    while !shutdown.load(Ordering::SeqCst) {
+        let now = Instant::now();
+        for (shard_index, backend_index, state) in &mut states {
+            if state.next > now {
+                continue;
+            }
+            let backend = &cluster.shards[*shard_index].backends[*backend_index];
+            backend.probes.fetch_add(1, Ordering::SeqCst);
+            match state.client.request("GET", "/v1/healthz", "") {
+                Ok(reply) if reply.status == 200 => {
+                    cluster.note_flip(backend.record_success());
+                    state.interval = config.probe_interval;
+                }
+                _ => {
+                    backend.probe_failures.fetch_add(1, Ordering::SeqCst);
+                    cluster.note_flip(backend.record_failure(config.fail_threshold));
+                    state.interval = (state.interval * 2).min(config.probe_backoff_max);
+                }
+            }
+            state.next = Instant::now() + state.interval;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}

@@ -1,0 +1,129 @@
+//! Byte-exact batch splicing.
+//!
+//! The router fans one `POST /v1/search/batch` out as per-shard
+//! sub-batches and must reassemble the combined reply so every entry is
+//! **byte-identical** to what a single process would have produced. A
+//! deserialize→reserialize round trip through `serde_json` would not
+//! guarantee that (float formatting, map ordering are implementation
+//! details), so instead the backend bodies are *sliced*: the server's
+//! batch body has the fixed compact shape
+//!
+//! ```json
+//! {"api_version":1,"responses":[<entry>,<entry>,...],"cache_hits":N}
+//! ```
+//!
+//! and [`split_batch`] cuts the raw `responses` entries out of it with a
+//! string-and-nesting-aware scanner (entries contain arbitrary JSON
+//! strings — venue ids, error messages — which may themselves contain
+//! brackets, commas or `"responses":[`). The router then re-joins entry
+//! slices verbatim in request order.
+
+/// Splits a backend batch body into its raw `responses` entry slices and
+/// the `cache_hits` count. Returns `None` when the body is not a batch
+/// reply of the expected wire version (e.g. an error body).
+pub(crate) fn split_batch(body: &str) -> Option<(Vec<&str>, u64)> {
+    let rest = body.strip_prefix("{\"api_version\":1,\"responses\":[")?;
+    let bytes = rest.as_bytes();
+    let mut entries = Vec::new();
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut start = 0usize;
+    let mut index = 0usize;
+    loop {
+        let byte = *bytes.get(index)?;
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if byte == b'\\' {
+                escaped = true;
+            } else if byte == b'"' {
+                in_string = false;
+            }
+        } else {
+            match byte {
+                b'"' => in_string = true,
+                b'{' | b'[' => depth += 1,
+                b'}' | b']' if depth > 0 => depth -= 1,
+                b']' => {
+                    // The close of the `responses` array itself.
+                    if index > start {
+                        entries.push(&rest[start..index]);
+                    }
+                    let hits = rest[index + 1..]
+                        .strip_prefix(",\"cache_hits\":")?
+                        .strip_suffix('}')?;
+                    return Some((entries, hits.parse().ok()?));
+                }
+                b',' if depth == 0 => {
+                    entries.push(&rest[start..index]);
+                    start = index + 1;
+                }
+                _ => {}
+            }
+        }
+        index += 1;
+    }
+}
+
+/// Reassembles a combined batch body from entry slices (in request order)
+/// and the summed cache-hit count — the exact `format!` the server's own
+/// batch handler uses, so healthy-path splices are byte-identical to
+/// single-process serving.
+pub(crate) fn join_batch(entries: &[String], cache_hits: u64) -> String {
+    format!(
+        "{{\"api_version\":1,\"responses\":[{}],\"cache_hits\":{cache_hits}}}",
+        entries.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_a_two_entry_body() {
+        let body = r#"{"api_version":1,"responses":[{"ok":{"x":[1,2]},"err":null},{"ok":null,"err":{"code":"unknown_venue","message":"no venue `m`"}}],"cache_hits":7}"#;
+        let (entries, hits) = split_batch(body).expect("splits");
+        assert_eq!(hits, 7);
+        assert_eq!(
+            entries,
+            vec![
+                r#"{"ok":{"x":[1,2]},"err":null}"#,
+                r#"{"ok":null,"err":{"code":"unknown_venue","message":"no venue `m`"}}"#,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_structural_bytes_do_not_confuse_the_scanner() {
+        // A venue id/message may contain anything — including the exact
+        // delimiters the scanner looks for.
+        let tricky = r#"{"ok":null,"err":{"code":"x","message":"a,b]{[\" \"responses\":[ end"}}"#;
+        let body =
+            format!("{{\"api_version\":1,\"responses\":[{tricky},{tricky}],\"cache_hits\":0}}");
+        let (entries, hits) = split_batch(&body).expect("splits");
+        assert_eq!(hits, 0);
+        assert_eq!(entries, vec![tricky, tricky]);
+    }
+
+    #[test]
+    fn split_then_join_is_the_identity() {
+        let body = r#"{"api_version":1,"responses":[{"ok":1,"err":null},{"ok":2,"err":null},{"ok":3,"err":null}],"cache_hits":2}"#;
+        let (entries, hits) = split_batch(body).expect("splits");
+        let owned: Vec<String> = entries.iter().map(|e| e.to_string()).collect();
+        assert_eq!(join_batch(&owned, hits), body);
+    }
+
+    #[test]
+    fn non_batch_bodies_are_rejected() {
+        assert!(
+            split_batch(r#"{"api_version":1,"error":{"code":"overloaded","message":"m"}}"#)
+                .is_none()
+        );
+        assert!(split_batch("").is_none());
+        assert!(split_batch(r#"{"api_version":1,"responses":[{"ok":1]"#).is_none());
+        // Truncated mid-array: no closing bracket.
+        assert!(split_batch(r#"{"api_version":1,"responses":[{"ok":1},"#).is_none());
+    }
+}

@@ -1,0 +1,319 @@
+//! Hot venue reload through the router: the reload fans out to every
+//! replica of the owning shard, swaps engines atomically (no transient
+//! `unknown_venue` under concurrent load), and orphans the response cache
+//! via the registry epoch — while venues that did not change keep
+//! answering exactly as before.
+
+mod common;
+
+use common::*;
+use ikrq_core::IkrqEngine;
+use ikrq_router::{route, FaultProxy, RouterHandle, ShardSpec};
+use ikrq_server::client::one_shot;
+use ikrq_server::{serve_with_reloader, ClientReply, ServerHandle, VenueReloader};
+use indoor_data::{mega_venue, MegaVenueConfig, Venue};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// A venue with a different topology than [`small_venue`] — reloading onto
+/// it must visibly change the partition count the cluster reports.
+fn bigger_venue(seed: u64) -> Venue {
+    let mut config = MegaVenueConfig::sized(120, seed);
+    config.floors = 2;
+    mega_venue(&config).expect("bigger mega-venue builds")
+}
+
+/// A reload source that rebuilds any venue from `venue`'s topology.
+fn reloader_for(venue: &Venue) -> VenueReloader {
+    let space = venue.space.clone();
+    let directory = venue.directory.clone();
+    Arc::new(move |_id| Ok(Arc::new(IkrqEngine::new(space.clone(), directory.clone()))))
+}
+
+/// Starts a backend whose `POST /v1/admin/reload` swaps in `reload_to`.
+fn start_reloading_backend(
+    venues: &[(&str, &Venue)],
+    reload_to: &Venue,
+    cache_capacity: usize,
+) -> ServerHandle {
+    serve_with_reloader(
+        service_with(venues),
+        "127.0.0.1:0",
+        backend_config(cache_capacity),
+        reloader_for(reload_to),
+    )
+    .expect("backend binds")
+}
+
+fn get(addr: SocketAddr, path: &str) -> ClientReply {
+    one_shot(addr, "GET", path, "").expect("GET round trip")
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> ClientReply {
+    one_shot(addr, "POST", path, body).expect("POST round trip")
+}
+
+/// The `partitions` count `/v1/venues` reports for one venue id.
+fn reported_partitions(addr: SocketAddr, venue_id: &str) -> u64 {
+    let reply = get(addr, "/v1/venues");
+    assert_eq!(reply.status, 200);
+    let body: serde::Value = serde_json::from_str(&reply.body).unwrap();
+    body.get("venues")
+        .and_then(|venues| venues.as_array())
+        .expect("venues array")
+        .iter()
+        .find(|venue| venue.get("id").unwrap().as_str() == Some(venue_id))
+        .unwrap_or_else(|| panic!("venue `{venue_id}` is listed"))
+        .get("partitions")
+        .unwrap()
+        .as_u64()
+        .unwrap()
+}
+
+/// The registry epoch a backend reports on `/v1/venues`.
+fn backend_epoch(addr: SocketAddr) -> u64 {
+    let body: serde::Value = serde_json::from_str(&get(addr, "/v1/venues").body).unwrap();
+    body.get("epoch").unwrap().as_u64().unwrap()
+}
+
+fn router_reloads(router: &RouterHandle) -> u64 {
+    let body: serde::Value =
+        serde_json::from_str(&get(router.local_addr(), "/v1/stats").body).unwrap();
+    body.get("router")
+        .unwrap()
+        .get("reloads")
+        .unwrap()
+        .as_u64()
+        .unwrap()
+}
+
+#[test]
+fn reload_swaps_every_replica_and_orphans_the_cache() {
+    let old = small_venue(7);
+    let new = bigger_venue(9);
+    let hosted: Vec<(&str, &Venue)> = vec![("venue-0", &old), ("venue-1", &old)];
+    let replica_a = start_reloading_backend(&hosted, &new, 1024);
+    let replica_b = start_reloading_backend(&hosted, &new, 1024);
+    let router = route(
+        vec![ShardSpec {
+            name: "solo".to_string(),
+            replicas: vec![replica_a.local_addr(), replica_b.local_addr()],
+        }],
+        "127.0.0.1:0",
+        router_config(Duration::from_secs(10)),
+    )
+    .expect("router binds");
+    let addr = router.local_addr();
+
+    // Pre-reload: the cluster reports the old topology, and a search on the
+    // venue that will NOT be reloaded caches.
+    assert_eq!(
+        reported_partitions(addr, "venue-0") as usize,
+        old.space.num_partitions()
+    );
+    let request = &workload("venue-1", &old, 1, 17)[0];
+    let body = serde_json::to_string(request).unwrap();
+    assert_eq!(
+        post(addr, "/v1/search", &body).header("x-ikrq-cache"),
+        Some("miss")
+    );
+    let cached = post(addr, "/v1/search", &body);
+    assert_eq!(cached.header("x-ikrq-cache"), Some("hit"));
+
+    // Reload venue-0 through the router: every replica must swap.
+    let reply = post(addr, "/v1/admin/reload", "{\"venue\":\"venue-0\"}");
+    assert_eq!(reply.status, 200, "reload succeeds: {}", reply.body);
+    let reloaded: serde::Value = serde_json::from_str(&reply.body).unwrap();
+    assert_eq!(reloaded.get("venue").unwrap().as_str(), Some("venue-0"));
+    assert_eq!(reloaded.get("shard").unwrap().as_str(), Some("solo"));
+    let replicas = reloaded.get("replicas").unwrap().as_array().unwrap();
+    assert_eq!(replicas.len(), 2, "the reload reaches both replicas");
+    for replica in replicas {
+        assert!(replica.get("epoch").unwrap().as_u64().unwrap() >= 1);
+    }
+    assert_eq!(router_reloads(&router), 1);
+
+    // Post-reload: the new topology is visible through the router, on the
+    // reloaded venue only.
+    assert_eq!(
+        reported_partitions(addr, "venue-0") as usize,
+        new.space.num_partitions()
+    );
+    assert_ne!(old.space.num_partitions(), new.space.num_partitions());
+    assert_eq!(
+        reported_partitions(addr, "venue-1") as usize,
+        old.space.num_partitions()
+    );
+
+    // The epoch bump orphaned every cached response — the unchanged
+    // venue's request misses once, answers the same search result, and
+    // re-caches under the new epoch.
+    let after = post(addr, "/v1/search", &body);
+    assert_eq!(after.status, 200);
+    assert_eq!(
+        after.header("x-ikrq-cache"),
+        Some("miss"),
+        "the old epoch's cache entry is orphaned"
+    );
+    assert_eq!(deterministic(&after.body), deterministic(&cached.body));
+    let recached = post(addr, "/v1/search", &body);
+    assert_eq!(recached.header("x-ikrq-cache"), Some("hit"));
+    assert_eq!(recached.body, after.body, "re-cached bytes are verbatim");
+}
+
+#[test]
+fn reload_under_concurrent_load_is_atomic() {
+    // The reloader rebuilds the SAME topology, so every answer — served
+    // before, during, or after a swap — must be deterministically equal.
+    // What the test rules out is a transient `unknown_venue` (or any
+    // non-200) while the registry replaces the engine.
+    let venue = small_venue(7);
+    let backend = start_reloading_backend(&[("venue-0", &venue)], &venue, 0);
+    let router = route(
+        vec![shard("solo", backend.local_addr())],
+        "127.0.0.1:0",
+        router_config(Duration::from_secs(10)),
+    )
+    .expect("router binds");
+    let addr = router.local_addr();
+
+    let requests = workload("venue-0", &venue, 4, 19);
+    let oracles: Vec<String> = requests
+        .iter()
+        .map(|request| {
+            let body = serde_json::to_string(request).unwrap();
+            let reply = post(addr, "/v1/search", &body);
+            assert_eq!(reply.status, 200);
+            deterministic(&reply.body)
+        })
+        .collect();
+
+    thread::scope(|scope| {
+        for worker in 0..2 {
+            let requests = &requests;
+            let oracles = &oracles;
+            scope.spawn(move || {
+                for round in 0..30 {
+                    let index = (worker + round) % requests.len();
+                    let body = serde_json::to_string(&requests[index]).unwrap();
+                    let reply = post(addr, "/v1/search", &body);
+                    assert_eq!(
+                        reply.status, 200,
+                        "no transient failure mid-reload: {}",
+                        reply.body
+                    );
+                    assert_eq!(deterministic(&reply.body), oracles[index]);
+                }
+            });
+        }
+        let mut last_epoch = 0;
+        for _ in 0..5 {
+            let reply = post(addr, "/v1/admin/reload", "{\"venue\":\"venue-0\"}");
+            assert_eq!(reply.status, 200, "reload succeeds: {}", reply.body);
+            let reloaded: serde::Value = serde_json::from_str(&reply.body).unwrap();
+            let epoch = reloaded.get("replicas").unwrap().as_array().unwrap()[0]
+                .get("epoch")
+                .unwrap()
+                .as_u64()
+                .unwrap();
+            assert!(epoch > last_epoch, "epochs increase monotonically");
+            last_epoch = epoch;
+            thread::sleep(Duration::from_millis(20));
+        }
+    });
+}
+
+#[test]
+fn reload_refusals_pass_backend_bytes_through() {
+    let venue = small_venue(7);
+
+    // A backend with a reload source still refuses unknown venues; the
+    // router forwards that refusal verbatim.
+    let reloadable = start_reloading_backend(&[("venue-0", &venue)], &venue, 0);
+    let router = route(
+        vec![shard("solo", reloadable.local_addr())],
+        "127.0.0.1:0",
+        router_config(Duration::from_secs(10)),
+    )
+    .expect("router binds");
+    let body = "{\"venue\":\"nowhere\"}";
+    let direct = post(reloadable.local_addr(), "/v1/admin/reload", body);
+    let routed = post(router.local_addr(), "/v1/admin/reload", body);
+    assert_eq!(direct.status, 404);
+    assert_eq!(routed.status, direct.status);
+    assert_eq!(routed.body, direct.body);
+    assert_eq!(router_reloads(&router), 0, "refusals are not reloads");
+
+    // A backend WITHOUT a reload source answers 400; again verbatim.
+    let plain = start_backend(service_with(&[("venue-0", &venue)]), 0);
+    let plain_router = route(
+        vec![shard("solo", plain.local_addr())],
+        "127.0.0.1:0",
+        router_config(Duration::from_secs(10)),
+    )
+    .expect("router binds");
+    let body = "{\"venue\":\"venue-0\"}";
+    let direct = post(plain.local_addr(), "/v1/admin/reload", body);
+    let routed = post(plain_router.local_addr(), "/v1/admin/reload", body);
+    assert_eq!(direct.status, 400);
+    assert!(direct.body.contains("no reload source configured"));
+    assert_eq!(routed.status, direct.status);
+    assert_eq!(routed.body, direct.body);
+}
+
+#[test]
+fn partial_reload_failure_reports_503_and_a_retry_converges() {
+    let venue = small_venue(7);
+    let hosted: Vec<(&str, &Venue)> = vec![("venue-0", &venue)];
+    let replica_a = start_reloading_backend(&hosted, &venue, 0);
+    let replica_b = start_reloading_backend(&hosted, &venue, 0);
+    let proxy = FaultProxy::spawn(replica_b.local_addr()).expect("proxy binds");
+    let router = route(
+        vec![ShardSpec {
+            name: "solo".to_string(),
+            replicas: vec![replica_a.local_addr(), proxy.addr()],
+        }],
+        "127.0.0.1:0",
+        router_config(Duration::from_secs(10)),
+    )
+    .expect("router binds");
+    let addr = router.local_addr();
+    let epoch_a = backend_epoch(replica_a.local_addr());
+    let epoch_b = backend_epoch(replica_b.local_addr());
+
+    // Take replica B off the network; the fan-out must report the gap
+    // rather than claim a successful reload.
+    proxy.stop_accepting();
+    proxy.kill_connections();
+    let reply = post(addr, "/v1/admin/reload", "{\"venue\":\"venue-0\"}");
+    assert_eq!(reply.status, 503);
+    assert!(
+        reply.body.contains("did not reach every replica"),
+        "the error names the gap: {}",
+        reply.body
+    );
+    assert_eq!(
+        router_reloads(&router),
+        0,
+        "a partial reload does not count"
+    );
+    // The healthy replica already swapped (the operation is idempotent, so
+    // over-reloading on retry is safe); the dead one did not.
+    assert!(backend_epoch(replica_a.local_addr()) > epoch_a);
+    assert_eq!(backend_epoch(replica_b.local_addr()), epoch_b);
+
+    // Once the replica is reachable again, retrying the SAME reload
+    // converges the shard: both replicas answer, the router counts it.
+    proxy.resume_accepting();
+    let reply = post(addr, "/v1/admin/reload", "{\"venue\":\"venue-0\"}");
+    assert_eq!(reply.status, 200, "retry succeeds: {}", reply.body);
+    let reloaded: serde::Value = serde_json::from_str(&reply.body).unwrap();
+    assert_eq!(
+        reloaded.get("replicas").unwrap().as_array().unwrap().len(),
+        2
+    );
+    assert!(backend_epoch(replica_b.local_addr()) > epoch_b);
+    assert_eq!(router_reloads(&router), 1);
+}

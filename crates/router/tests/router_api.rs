@@ -1,0 +1,311 @@
+//! End-to-end tests of the routing tier against live backends: placement,
+//! verbatim forwarding, batch splicing, and the byte-identity contract
+//! with a single-process oracle.
+//!
+//! Byte-identity is pinned two ways, because full response bodies carry
+//! per-run timing:
+//!
+//! * **same-process, raw bytes** — the backends run with a response cache,
+//!   so replaying a request the router already executed returns the exact
+//!   cached body; comparing those bytes against the router's spliced batch
+//!   entries (and its single-search passthrough) proves the router never
+//!   re-prints a backend response;
+//! * **cross-process, deterministic part** — the same workload against a
+//!   single-process oracle must agree on `SearchResponse::deterministic_json`
+//!   for every slot, and byte-for-byte on every *error* entry (error
+//!   bodies carry no timing).
+
+mod common;
+
+use common::*;
+use ikrq_core::SearchRequest;
+use ikrq_router::{route, RouterHandle};
+use ikrq_server::client::one_shot;
+use ikrq_server::{ClientReply, ServerHandle};
+use indoor_data::Venue;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// Two shards (`a`, `b`) of one backend each, every backend hosting every
+/// venue, plus a single-process oracle hosting the same venues.
+struct TwoShards {
+    ids_a: Vec<String>,
+    ids_b: Vec<String>,
+    venue: Venue,
+    backend_a: ServerHandle,
+    backend_b: ServerHandle,
+    oracle: ServerHandle,
+    router: RouterHandle,
+}
+
+impl TwoShards {
+    fn start() -> TwoShards {
+        let venue = small_venue(7);
+        let mut ids = venue_ids_on_shard(&["a", "b"], "a", 2);
+        let ids_b = venue_ids_on_shard(&["a", "b"], "b", 2);
+        ids.extend(ids_b.iter().cloned());
+        let hosted: Vec<(&str, &Venue)> = ids.iter().map(|id| (id.as_str(), &venue)).collect();
+        let backend_a = start_backend(service_with(&hosted), 1024);
+        let backend_b = start_backend(service_with(&hosted), 1024);
+        let oracle = start_backend(service_with(&hosted), 1024);
+        let router = route(
+            vec![
+                shard("a", backend_a.local_addr()),
+                shard("b", backend_b.local_addr()),
+            ],
+            "127.0.0.1:0",
+            router_config(Duration::from_secs(10)),
+        )
+        .expect("router binds");
+        let ids_a = ids[..2].to_vec();
+        TwoShards {
+            ids_a,
+            ids_b,
+            venue,
+            backend_a,
+            backend_b,
+            oracle,
+            router,
+        }
+    }
+
+    fn addr(&self) -> SocketAddr {
+        self.router.local_addr()
+    }
+
+    fn backend_for(&self, venue_id: &str) -> &ServerHandle {
+        match self.router.shard_for(venue_id) {
+            "a" => &self.backend_a,
+            "b" => &self.backend_b,
+            other => panic!("unexpected shard {other}"),
+        }
+    }
+}
+
+fn get(addr: SocketAddr, path: &str) -> ClientReply {
+    one_shot(addr, "GET", path, "").expect("GET round trip")
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> ClientReply {
+    one_shot(addr, "POST", path, body).expect("POST round trip")
+}
+
+#[test]
+fn healthz_reports_cluster_shape() {
+    let cluster = TwoShards::start();
+    let reply = get(cluster.addr(), "/v1/healthz");
+    assert_eq!(reply.status, 200);
+    let body: serde::Value = serde_json::from_str(&reply.body).unwrap();
+    assert_eq!(body.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(body.get("shards").unwrap().as_u64(), Some(2));
+    assert_eq!(body.get("backends_total").unwrap().as_u64(), Some(2));
+    assert_eq!(body.get("backends_healthy").unwrap().as_u64(), Some(2));
+}
+
+#[test]
+fn single_search_passes_backend_bytes_through() {
+    let cluster = TwoShards::start();
+    let venue_id = cluster.ids_a[0].clone();
+    let request = &workload(&venue_id, &cluster.venue, 1, 11)[0];
+    let body = serde_json::to_string(request).unwrap();
+
+    // Prime the owning backend directly; the router must then serve the
+    // exact cached bytes (proof it reached the same process and relayed
+    // the reply verbatim).
+    let direct = post(
+        cluster.backend_for(&venue_id).local_addr(),
+        "/v1/search",
+        &body,
+    );
+    assert_eq!(direct.status, 200);
+    assert_eq!(direct.header("x-ikrq-cache"), Some("miss"));
+
+    let routed = post(cluster.addr(), "/v1/search", &body);
+    assert_eq!(routed.status, 200);
+    assert_eq!(routed.header("x-ikrq-cache"), Some("hit"));
+    assert_eq!(
+        routed.body, direct.body,
+        "router must not re-print the body"
+    );
+
+    // The other backend never saw a search for this venue: routing the
+    // same body again still hits.
+    let again = post(cluster.addr(), "/v1/search", &body);
+    assert_eq!(again.header("x-ikrq-cache"), Some("hit"));
+    assert_eq!(again.body, direct.body);
+}
+
+#[test]
+fn batch_splices_verbatim_backend_bytes_in_request_order() {
+    let cluster = TwoShards::start();
+    // Interleave venues of both shards plus one unknown venue.
+    let mut requests: Vec<SearchRequest> = Vec::new();
+    for (index, venue_id) in cluster
+        .ids_a
+        .iter()
+        .chain(cluster.ids_b.iter())
+        .cycle()
+        .take(8)
+        .enumerate()
+    {
+        requests.push(workload(venue_id, &cluster.venue, index + 1, 23)[index].clone());
+    }
+    let mut unknown = requests[3].clone();
+    unknown.venue = "nowhere".to_string();
+    requests.insert(4, unknown);
+
+    let body = batch_body(&requests.iter().collect::<Vec<_>>());
+    let routed = post(cluster.addr(), "/v1/search/batch", &body);
+    assert_eq!(routed.status, 200);
+    let (entries, hits) = split_entries(&routed.body);
+    assert_eq!(entries.len(), requests.len());
+    assert_eq!(hits, 0, "first execution misses everywhere");
+    assert_eq!(routed.header("x-ikrq-cache-hits"), Some("0"));
+
+    for (request, entry) in requests.iter().zip(&entries) {
+        match entry_ok(entry) {
+            Some(ok_body) => {
+                // Replaying the request against the owning backend returns
+                // the cached body — the exact bytes the router spliced.
+                let serialized = serde_json::to_string(request).unwrap();
+                let direct = post(
+                    cluster.backend_for(&request.venue).local_addr(),
+                    "/v1/search",
+                    &serialized,
+                );
+                assert_eq!(direct.header("x-ikrq-cache"), Some("hit"));
+                assert_eq!(direct.body, ok_body, "spliced entry is verbatim");
+            }
+            None => {
+                assert_eq!(request.venue, "nowhere");
+                assert!(entry.contains("\"code\":\"unknown_venue\""));
+            }
+        }
+    }
+
+    // Cross-process oracle: same batch against a single process agrees on
+    // every deterministic part, and byte-for-byte on error entries.
+    let oracle = post(cluster.oracle.local_addr(), "/v1/search/batch", &body);
+    assert_eq!(oracle.status, 200);
+    let (oracle_entries, _) = split_entries(&oracle.body);
+    assert_eq!(oracle_entries.len(), entries.len());
+    for (routed_entry, oracle_entry) in entries.iter().zip(&oracle_entries) {
+        match (entry_ok(routed_entry), entry_ok(oracle_entry)) {
+            (Some(routed_ok), Some(oracle_ok)) => {
+                assert_eq!(deterministic(routed_ok), deterministic(oracle_ok));
+            }
+            (None, None) => assert_eq!(routed_entry, oracle_entry),
+            other => panic!("entry kinds diverge from the oracle: {other:?}"),
+        }
+    }
+
+    // Replaying the whole batch through the router: every slot now hits.
+    let replay = post(cluster.addr(), "/v1/search/batch", &body);
+    let (_, replay_hits) = split_entries(&replay.body);
+    assert_eq!(
+        replay_hits as usize,
+        requests.len() - 1,
+        "all but the error hit"
+    );
+}
+
+#[test]
+fn router_errors_match_backend_bytes() {
+    let cluster = TwoShards::start();
+    let backend = cluster.backend_a.local_addr();
+    let cases: Vec<(&str, &str, &str)> = vec![
+        ("GET", "/v1/nope", ""),
+        ("GET", "/nope", ""),
+        ("DELETE", "/v1/search", ""),
+        ("PUT", "/v1/healthz", ""),
+        ("GET", "/v2/healthz", ""),
+        ("POST", "/v1/search/batch", "{"),
+        ("POST", "/v1/search/batch", "{\"requests\":[]}"),
+        ("POST", "/v1/search", "not json at all"),
+        ("POST", "/v1/search", "{\"venue\":\"nowhere\"}"),
+    ];
+    for (method, path, body) in cases {
+        let direct = one_shot(backend, method, path, body).unwrap();
+        let routed = one_shot(cluster.addr(), method, path, body).unwrap();
+        assert_eq!(routed.status, direct.status, "{method} {path}");
+        assert_eq!(routed.body, direct.body, "{method} {path}");
+        assert_eq!(
+            routed.header("allow"),
+            direct.header("allow"),
+            "{method} {path}"
+        );
+    }
+}
+
+#[test]
+fn venues_aggregates_ring_ownership() {
+    let cluster = TwoShards::start();
+    let reply = get(cluster.addr(), "/v1/venues");
+    assert_eq!(reply.status, 200);
+    let body: serde::Value = serde_json::from_str(&reply.body).unwrap();
+    let venues = body.get("venues").unwrap().as_array().unwrap();
+    // Every backend hosts all four venues, but the aggregate attributes
+    // each venue to its ring owner exactly once.
+    assert_eq!(venues.len(), 4);
+    let mut ids: Vec<&str> = venues
+        .iter()
+        .map(|venue| venue.get("id").unwrap().as_str().unwrap())
+        .collect();
+    let mut expected: Vec<&str> = cluster
+        .ids_a
+        .iter()
+        .chain(cluster.ids_b.iter())
+        .map(|id| id.as_str())
+        .collect();
+    ids.sort_unstable();
+    expected.sort_unstable();
+    assert_eq!(ids, expected);
+    let shards = body.get("shards").unwrap().as_array().unwrap();
+    assert_eq!(shards.len(), 2);
+    for shard in shards {
+        assert_eq!(shard.get("venues").unwrap().as_u64(), Some(2));
+    }
+}
+
+#[test]
+fn stats_reports_backends_and_counters() {
+    let cluster = TwoShards::start();
+    let venue_id = cluster.ids_b[0].clone();
+    let request = &workload(&venue_id, &cluster.venue, 1, 31)[0];
+    let body = serde_json::to_string(request).unwrap();
+    assert_eq!(post(cluster.addr(), "/v1/search", &body).status, 200);
+
+    let reply = get(cluster.addr(), "/v1/stats");
+    assert_eq!(reply.status, 200);
+    let stats: serde::Value = serde_json::from_str(&reply.body).unwrap();
+    let shards = stats.get("shards").unwrap().as_array().unwrap();
+    assert_eq!(shards.len(), 2);
+    for shard in shards {
+        for backend in shard.get("backends").unwrap().as_array().unwrap() {
+            assert_eq!(backend.get("healthy").unwrap().as_bool(), Some(true));
+        }
+    }
+    let router = stats.get("router").unwrap();
+    assert!(router.get("forwarded").unwrap().as_u64().unwrap() >= 1);
+    assert_eq!(router.get("failovers").unwrap().as_u64(), Some(0));
+    assert_eq!(router.get("backend_unavailable").unwrap().as_u64(), Some(0));
+    let engine = stats.get("stats").unwrap();
+    assert!(engine.get("requests_served").unwrap().as_u64().unwrap() >= 1);
+}
+
+#[test]
+fn oversized_batches_are_rejected_at_the_router() {
+    let cluster = TwoShards::start();
+    let venue_id = cluster.ids_a[0].clone();
+    let request = workload(&venue_id, &cluster.venue, 1, 41)[0].clone();
+    let max = backend_config(0).max_batch_size;
+    let requests: Vec<SearchRequest> = (0..max + 1).map(|_| request.clone()).collect();
+    let body = batch_body(&requests.iter().collect::<Vec<_>>());
+    let reply = post(cluster.addr(), "/v1/search/batch", &body);
+    assert_eq!(reply.status, 400);
+    assert!(reply.body.contains("\"code\":\"invalid_request\""));
+    assert!(reply.body.contains(&format!(
+        "batch of {} requests exceeds the limit of {max}",
+        max + 1
+    )));
+}

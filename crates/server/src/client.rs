@@ -149,12 +149,37 @@ impl KeepAliveClient {
         path: &str,
         body: &str,
     ) -> std::io::Result<ClientReply> {
+        self.request_with_outcome(method, path, body)
+            .map_err(|failure| failure.error)
+    }
+
+    /// Like [`request`], but a failure keeps the retry-safety context:
+    /// whether any reply byte had arrived before the exchange died. A
+    /// routing tier uses this to decide whether the request may be resent
+    /// to a *replica* under the same rule this client uses for its own
+    /// redial (see [`RequestFailure::safe_to_resend`]).
+    ///
+    /// [`request`]: KeepAliveClient::request
+    pub fn request_with_outcome(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> Result<ClientReply, RequestFailure> {
+        let before_reply = |error| RequestFailure {
+            error,
+            reply_started: false,
+        };
         for attempt in 0..2 {
             let reused = self.stream.is_some();
             if !reused {
-                let stream = TcpStream::connect(self.addr)?;
-                stream.set_read_timeout(Some(self.timeout))?;
-                stream.set_write_timeout(Some(self.timeout))?;
+                let stream = TcpStream::connect(self.addr).map_err(before_reply)?;
+                stream
+                    .set_read_timeout(Some(self.timeout))
+                    .map_err(before_reply)?;
+                stream
+                    .set_write_timeout(Some(self.timeout))
+                    .map_err(before_reply)?;
                 let _ = stream.set_nodelay(true);
                 self.connects += 1;
                 self.stream = Some(BufReader::new(stream));
@@ -183,7 +208,10 @@ impl KeepAliveClient {
                         && !failure.reply_started
                         && connection_died(&failure.error))
                     {
-                        return Err(failure.error);
+                        return Err(RequestFailure {
+                            error: failure.error,
+                            reply_started: failure.reply_started,
+                        });
                     }
                 }
             }
@@ -280,7 +308,7 @@ pub fn read_framed_reply(reader: &mut BufReader<TcpStream>) -> std::io::Result<C
 /// the only failures that justify resending a request on a fresh dial.
 /// `WouldBlock`/`TimedOut` deliberately do not qualify: the server may be
 /// slow but alive, still executing the request.
-fn connection_died(error: &std::io::Error) -> bool {
+pub fn connection_died(error: &std::io::Error) -> bool {
     matches!(
         error.kind(),
         std::io::ErrorKind::UnexpectedEof
@@ -288,6 +316,34 @@ fn connection_died(error: &std::io::Error) -> bool {
             | std::io::ErrorKind::ConnectionAborted
             | std::io::ErrorKind::BrokenPipe
     )
+}
+
+/// A failed [`KeepAliveClient::request_with_outcome`] exchange: the error
+/// plus whether any reply byte had arrived — the boundary between "the
+/// request was demonstrably not answered" and "the server took it and may
+/// have executed it".
+#[derive(Debug)]
+pub struct RequestFailure {
+    /// The underlying I/O error.
+    pub error: std::io::Error,
+    /// Whether the first reply byte had arrived before the failure.
+    pub reply_started: bool,
+}
+
+impl RequestFailure {
+    /// Whether resending this request — to the same backend or a replica —
+    /// cannot double-execute it. True only when no reply byte arrived
+    /// *and* the failure is connection-death class ([`connection_died`])
+    /// or a dial refusal (the request was never even sent). Timeouts are
+    /// never safe: a slow-but-alive backend may still be executing.
+    pub fn safe_to_resend(&self) -> bool {
+        !self.reply_started
+            && (connection_died(&self.error)
+                || matches!(
+                    self.error.kind(),
+                    std::io::ErrorKind::ConnectionRefused | std::io::ErrorKind::NotConnected
+                ))
+    }
 }
 
 /// An [`KeepAliveClient::exchange`] failure: the error plus whether any

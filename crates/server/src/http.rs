@@ -348,6 +348,7 @@ impl Response {
             413 => "Payload Too Large",
             429 => "Too Many Requests",
             500 => "Internal Server Error",
+            503 => "Service Unavailable",
             _ => "Status",
         }
     }

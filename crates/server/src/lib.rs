@@ -45,13 +45,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod app;
 pub mod client;
 pub mod http;
 pub mod protocol;
 mod reactor;
 pub mod server;
 
-pub use client::{one_shot, ClientReply, KeepAliveClient};
+pub use app::{IkrqApp, VenueReloader};
+pub use client::{connection_died, one_shot, ClientReply, KeepAliveClient, RequestFailure};
 pub use http::{HttpConnection, HttpError, Request, Response};
 pub use protocol::{ApiVersion, ErrorBody, ErrorCode, ErrorDetail};
-pub use server::{serve, ServerConfig, ServerHandle, ServerStats};
+pub use server::{
+    serve, serve_app, serve_with_reloader, App, EngineView, ServerConfig, ServerHandle, ServerStats,
+};

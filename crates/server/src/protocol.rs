@@ -86,6 +86,10 @@ pub enum ErrorCode {
     UnsupportedVersion,
     /// The request line/headers are not parseable HTTP.
     MalformedHttp,
+    /// A routing tier could not reach any backend that could safely
+    /// execute the request (every replica is down, or the owning backend
+    /// failed in a way where a retry risks double execution).
+    BackendUnavailable,
     /// Anything the server cannot blame on the client.
     Internal,
 }
@@ -103,6 +107,7 @@ impl ErrorCode {
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::UnsupportedVersion => "unsupported_version",
             ErrorCode::MalformedHttp => "malformed_http",
+            ErrorCode::BackendUnavailable => "backend_unavailable",
             ErrorCode::Internal => "internal",
         }
     }
@@ -116,6 +121,7 @@ impl ErrorCode {
             ErrorCode::PayloadTooLarge => 413,
             ErrorCode::Overloaded => 429,
             ErrorCode::Internal => 500,
+            ErrorCode::BackendUnavailable => 503,
         }
     }
 }
@@ -194,6 +200,7 @@ mod tests {
             (ErrorCode::Overloaded, "overloaded", 429),
             (ErrorCode::UnsupportedVersion, "unsupported_version", 404),
             (ErrorCode::MalformedHttp, "malformed_http", 400),
+            (ErrorCode::BackendUnavailable, "backend_unavailable", 503),
             (ErrorCode::Internal, "internal", 500),
         ];
         for (code, name, status) in table {

@@ -1,5 +1,11 @@
-//! The threaded HTTP server: listener, bounded worker pool with admission
-//! control, the v1 route table, and the sharded response cache.
+//! The threaded HTTP *connection engine*: listener, bounded worker pool
+//! with admission control, keep-alive session management, and the
+//! reactor/parker idle watchers. What the engine does **not** know is what
+//! the requests mean — that lives behind the [`App`] trait, implemented by
+//! [`crate::app::IkrqApp`] (the v1 search route table and response cache)
+//! and by out-of-crate applications such as the `ikrq-router` front tier,
+//! which reuse the exact same parsing, admission, parking and shutdown
+//! machinery.
 //!
 //! # Concurrency model
 //!
@@ -52,9 +58,9 @@
 //! the epoch and thereby orphans every cached entry at once.
 
 use crate::http::{HttpConnection, HttpError, Request, Response};
-use crate::protocol::{classify_engine_error, ApiVersion, ErrorBody, ErrorCode, ErrorDetail};
-use ikrq_core::{CacheConfig, CacheStats, IkrqService, ResponseCache, SearchRequest, VenueSummary};
-use serde::{Deserialize, Serialize};
+use crate::protocol::{ApiVersion, ErrorBody, ErrorCode};
+use ikrq_core::{CacheConfig, CacheStats};
+use serde::Serialize;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -126,7 +132,9 @@ impl Default for ServerConfig {
 }
 
 impl ServerConfig {
-    pub(crate) fn effective_workers(&self) -> usize {
+    /// Worker threads after resolving the `0 = one per core` default —
+    /// what [`App::handle`] implementations report in their stats bodies.
+    pub fn effective_workers(&self) -> usize {
         if self.workers > 0 {
             return self.workers;
         }
@@ -148,6 +156,43 @@ impl ServerConfig {
         }
         self.effective_max_in_flight() * 4
     }
+}
+
+/// The application half of the server. The connection engine owns sockets,
+/// framing, admission and parking; the app owns request *meaning*: it maps
+/// one parsed [`Request`] to one [`Response`]. `handle` runs on a worker
+/// thread under the in-flight admission slot, wrapped in `catch_unwind`
+/// (a panicking handler costs one `500`, not one worker).
+pub trait App: Send + Sync + 'static {
+    /// Answers one parsed request. `engine` is a point-in-time view of the
+    /// connection engine (configuration plus live counters) for stats-style
+    /// endpoints.
+    fn handle(&self, request: &Request, engine: &EngineView<'_>) -> Response;
+
+    /// Response-cache counters folded into [`ServerStats::cache`]; apps
+    /// without a cache report zeros.
+    fn cache_stats(&self) -> CacheStats {
+        CacheStats::default()
+    }
+}
+
+/// What an [`App`] may observe about the connection engine serving it:
+/// the configuration and a snapshot of the live counters.
+pub struct EngineView<'a> {
+    /// The configuration the engine was started with.
+    pub config: &'a ServerConfig,
+    /// Whether the readiness reactor is watching idle sessions (`false`
+    /// means the legacy parker sweep is running).
+    pub reactor: bool,
+    /// Effective `RLIMIT_NOFILE` soft limit after the startup raise
+    /// (0 when unknown or the platform has no such limit).
+    pub nofile_limit: u64,
+    /// Resolved [`ServerConfig::max_in_flight`].
+    pub max_in_flight: usize,
+    /// Resolved [`ServerConfig::max_connections`].
+    pub max_connections: usize,
+    /// Counter snapshot taken when the request was admitted.
+    pub stats: ServerStats,
 }
 
 /// Point-in-time server counters, exposed on `GET /v1/stats`.
@@ -230,8 +275,7 @@ struct ParkedEntry {
 /// State shared by the acceptor, the workers, the reactor (or parker)
 /// and the handle.
 pub(crate) struct Shared {
-    service: Arc<IkrqService>,
-    cache: ResponseCache,
+    app: Arc<dyn App>,
     pub(crate) config: ServerConfig,
     max_in_flight: usize,
     max_connections: usize,
@@ -304,7 +348,7 @@ impl Shared {
             connections_parked: self.parked.load(Ordering::SeqCst),
             reactor_wakeups: self.reactor_wakeups.load(Ordering::SeqCst),
             reactor_spurious_wakeups: self.reactor_spurious_wakeups.load(Ordering::SeqCst),
-            cache: self.cache.stats(),
+            cache: self.app.cache_stats(),
         }
     }
 }
@@ -385,9 +429,36 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Binds `addr` and starts the acceptor and worker threads.
+/// Binds `addr` and starts the v1 search server: the connection engine
+/// with the [`crate::app::IkrqApp`] route table and response cache on top.
 pub fn serve(
-    service: Arc<IkrqService>,
+    service: Arc<ikrq_core::IkrqService>,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    let app = Arc::new(crate::app::IkrqApp::new(service, config.cache));
+    serve_app(app, addr, config)
+}
+
+/// Like [`serve`], but with a hot-reload source: `POST /v1/admin/reload`
+/// re-builds a hosted venue through `reloader` and swaps it in atomically
+/// (see [`crate::app::VenueReloader`]).
+pub fn serve_with_reloader(
+    service: Arc<ikrq_core::IkrqService>,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+    reloader: crate::app::VenueReloader,
+) -> std::io::Result<ServerHandle> {
+    let app = Arc::new(crate::app::IkrqApp::new(service, config.cache).with_reloader(reloader));
+    serve_app(app, addr, config)
+}
+
+/// Binds `addr` and starts the connection engine serving an arbitrary
+/// [`App`] — the entry point for non-search applications (the `ikrq-router`
+/// front tier) that want the same keep-alive, admission and reactor
+/// machinery under a different route table.
+pub fn serve_app(
+    app: Arc<dyn App>,
     addr: impl ToSocketAddrs,
     config: ServerConfig,
 ) -> std::io::Result<ServerHandle> {
@@ -420,8 +491,7 @@ pub fn serve(
         None
     };
     let shared = Arc::new(Shared {
-        service,
-        cache: ResponseCache::new(config.cache),
+        app,
         config,
         max_in_flight,
         max_connections,
@@ -934,8 +1004,16 @@ fn answer_request(shared: &Shared, request: &Request) -> Response {
         shared.shed.fetch_add(1, Ordering::SeqCst);
         return overloaded_response("server is at its in-flight request limit; retry later");
     }
+    let view = EngineView {
+        config: &shared.config,
+        reactor: shared.reactor.is_some(),
+        nofile_limit: shared.nofile_limit,
+        max_in_flight: shared.max_in_flight,
+        max_connections: shared.max_connections,
+        stats: shared.stats(),
+    };
     // A panicking handler must cost one response, not one worker.
-    let response = catch_unwind(AssertUnwindSafe(|| route(shared, request)))
+    let response = catch_unwind(AssertUnwindSafe(|| shared.app.handle(request, &view)))
         .unwrap_or_else(|_| error_response(ErrorCode::Internal, "request handler panicked"));
     shared.in_flight.fetch_sub(1, Ordering::SeqCst);
     response
@@ -950,32 +1028,39 @@ fn overloaded_response(message: &str) -> Response {
         .with_header("retry-after", "1")
 }
 
-fn error_response(code: ErrorCode, message: impl Into<String>) -> Response {
+/// The canonical error reply of the v1 protocol: the stable JSON error
+/// body under the code's HTTP status. Shared by every [`App`] so a router
+/// in front of a backend produces byte-identical error bodies.
+pub fn error_response(code: ErrorCode, message: impl Into<String>) -> Response {
     Response::json(code.http_status(), ErrorBody::new(code, message).to_json())
 }
 
 // ---------------------------------------------------------------------
-// Routing
+// Routing helpers shared by every App
 // ---------------------------------------------------------------------
 
-fn route(shared: &Shared, request: &Request) -> Response {
+/// Splits a request path into its non-empty segments after validating the
+/// leading protocol-version segment. `Err` carries the canonical
+/// `not_found` / `unsupported_version` response — sharing this between the
+/// search app and the router keeps their error bytes identical.
+pub fn route_v1(request: &Request) -> Result<Vec<&str>, Response> {
     let segments: Vec<&str> = request
         .path
         .split('/')
         .filter(|segment| !segment.is_empty())
         .collect();
     let Some((&head, rest)) = segments.split_first() else {
-        return error_response(
+        return Err(error_response(
             ErrorCode::NotFound,
             format!("no route at `/`; supported versions: {}", supported()),
-        );
+        ));
     };
     let Some(version) = ApiVersion::from_segment(head) else {
         // Distinguish "a version we do not speak" from "not an API path".
         let looks_like_version = head.len() >= 2
             && head.starts_with('v')
             && head[1..].chars().all(|c| c.is_ascii_digit());
-        return if looks_like_version {
+        return Err(if looks_like_version {
             error_response(
                 ErrorCode::UnsupportedVersion,
                 format!(
@@ -988,23 +1073,10 @@ fn route(shared: &Shared, request: &Request) -> Response {
                 ErrorCode::NotFound,
                 format!("no route at `{}`", request.path),
             )
-        };
+        });
     };
     debug_assert_eq!(version, ApiVersion::V1, "v1 is the only routed version");
-
-    match (request.method.as_str(), rest) {
-        ("GET", ["healthz"]) => healthz(shared),
-        ("GET", ["venues"]) => venues(shared),
-        ("GET", ["stats"]) => stats(shared),
-        ("POST", ["search"]) => search(shared, request),
-        ("POST", ["search", "batch"]) => search_batch(shared, request),
-        (_, ["healthz"]) | (_, ["venues"]) | (_, ["stats"]) => method_not_allowed(request, "GET"),
-        (_, ["search"]) | (_, ["search", "batch"]) => method_not_allowed(request, "POST"),
-        _ => error_response(
-            ErrorCode::NotFound,
-            format!("no route at `{}`", request.path),
-        ),
-    }
+    Ok(rest.to_vec())
 }
 
 fn supported() -> String {
@@ -1015,301 +1087,11 @@ fn supported() -> String {
         .join(", ")
 }
 
-fn method_not_allowed(request: &Request, allow: &str) -> Response {
+/// The canonical `405` reply naming the allowed method.
+pub fn method_not_allowed(request: &Request, allow: &str) -> Response {
     error_response(
         ErrorCode::MethodNotAllowed,
         format!("`{}` does not allow {}", request.path, request.method),
     )
     .with_header("allow", allow)
-}
-
-// ---------------------------------------------------------------------
-// Handlers
-// ---------------------------------------------------------------------
-
-#[derive(Serialize)]
-struct HealthBody {
-    api_version: u16,
-    status: String,
-    venues: usize,
-}
-
-fn healthz(shared: &Shared) -> Response {
-    let body = HealthBody {
-        api_version: ApiVersion::CURRENT.wire(),
-        status: "ok".into(),
-        venues: shared.service.registry().len(),
-    };
-    Response::json(
-        200,
-        serde_json::to_string(&body).expect("health serializes"),
-    )
-}
-
-#[derive(Serialize)]
-struct VenuesBody {
-    api_version: u16,
-    epoch: u64,
-    venues: Vec<VenueSummary>,
-}
-
-fn venues(shared: &Shared) -> Response {
-    let registry = shared.service.registry();
-    let venues = registry
-        .ids()
-        .into_iter()
-        .filter_map(|id| {
-            registry.get(&id).map(|engine| VenueSummary {
-                id,
-                partitions: engine.space().num_partitions(),
-                doors: engine.space().num_doors(),
-            })
-        })
-        .collect();
-    let body = VenuesBody {
-        api_version: ApiVersion::CURRENT.wire(),
-        epoch: registry.epoch(),
-        venues,
-    };
-    Response::json(200, serde_json::to_string(&body).expect("venues serialize"))
-}
-
-#[derive(Serialize)]
-struct StatsBody {
-    api_version: u16,
-    epoch: u64,
-    workers: usize,
-    max_in_flight: usize,
-    max_connections: usize,
-    keep_alive: bool,
-    /// Whether the readiness reactor is watching idle sessions (`false`
-    /// means the legacy parker sweep is running).
-    reactor: bool,
-    /// Effective `RLIMIT_NOFILE` soft limit — the fd budget bounding how
-    /// many connections this process can hold (0: unknown/no limit API).
-    nofile_limit: u64,
-    /// Venue-index observability, aggregated over the hosted venues.
-    index: IndexBody,
-    stats: ServerStats,
-}
-
-/// Aggregated venue-index observability (mirrors the reactor counters: one
-/// snapshot per `/v1/stats` call, cumulative since engine construction).
-#[derive(Serialize)]
-struct IndexBody {
-    /// `"accelerated"` when every hosted venue has an index, `"scan"` when
-    /// none does, `"mixed"` otherwise (also `"scan"` with zero venues).
-    mode: String,
-    /// Venues answering through a venue index.
-    venues_indexed: usize,
-    /// Venues hosted in total.
-    venues_total: usize,
-    /// Summed index build time in microseconds.
-    build_micros: u64,
-    /// Summed estimated index heap bytes.
-    estimated_bytes: usize,
-    /// Queries answered through the index path.
-    queries_accelerated: u64,
-    /// Region bounds evaluated by Rule-3 pruning.
-    regions_tested: u64,
-    /// Regions whose bound exceeded ∆ (every member partition pruned).
-    regions_pruned: u64,
-    /// Candidate partitions pruned via a cached region verdict.
-    candidates_pruned: u64,
-    /// Rule-3 member bounds served from the per-query cache.
-    bound_cache_hits: u64,
-    /// KoE* lazy distance rows materialized, summed over venues.
-    precomputed_rows: usize,
-    /// Estimated bytes held by materialized KoE* rows, summed over venues.
-    precomputed_bytes: usize,
-}
-
-fn index_body(shared: &Shared) -> IndexBody {
-    let registry = shared.service.registry();
-    let mut body = IndexBody {
-        mode: String::new(),
-        venues_indexed: 0,
-        venues_total: 0,
-        build_micros: 0,
-        estimated_bytes: 0,
-        queries_accelerated: 0,
-        regions_tested: 0,
-        regions_pruned: 0,
-        candidates_pruned: 0,
-        bound_cache_hits: 0,
-        precomputed_rows: 0,
-        precomputed_bytes: 0,
-    };
-    let mut counters = ikrq_core::IndexStats {
-        build_micros: 0,
-        estimated_bytes: 0,
-        counters: Default::default(),
-    };
-    for id in registry.ids() {
-        let Some(engine) = registry.get(&id) else {
-            continue;
-        };
-        body.venues_total += 1;
-        if let Some(stats) = engine.index_stats() {
-            body.venues_indexed += 1;
-            counters.build_micros += stats.build_micros;
-            counters.estimated_bytes += stats.estimated_bytes;
-            counters.counters.add(&stats.counters);
-        }
-        body.precomputed_rows += engine.precomputed_rows();
-        body.precomputed_bytes += engine.precomputed_bytes();
-    }
-    body.mode = if body.venues_indexed == 0 {
-        "scan".to_string()
-    } else if body.venues_indexed == body.venues_total {
-        "accelerated".to_string()
-    } else {
-        "mixed".to_string()
-    };
-    body.build_micros = counters.build_micros;
-    body.estimated_bytes = counters.estimated_bytes;
-    body.queries_accelerated = counters.counters.queries_accelerated;
-    body.regions_tested = counters.counters.regions_tested;
-    body.regions_pruned = counters.counters.regions_pruned;
-    body.candidates_pruned = counters.counters.candidates_pruned;
-    body.bound_cache_hits = counters.counters.bound_cache_hits;
-    body
-}
-
-fn stats(shared: &Shared) -> Response {
-    let body = StatsBody {
-        api_version: ApiVersion::CURRENT.wire(),
-        epoch: shared.service.registry().epoch(),
-        workers: shared.config.effective_workers(),
-        max_in_flight: shared.max_in_flight,
-        max_connections: shared.max_connections,
-        keep_alive: shared.config.keep_alive,
-        reactor: shared.reactor.is_some(),
-        nofile_limit: shared.nofile_limit,
-        index: index_body(shared),
-        stats: shared.stats(),
-    };
-    Response::json(200, serde_json::to_string(&body).expect("stats serialize"))
-}
-
-fn search(shared: &Shared, request: &Request) -> Response {
-    let body = match std::str::from_utf8(&request.body) {
-        Ok(body) => body,
-        Err(_) => return error_response(ErrorCode::InvalidJson, "body is not UTF-8"),
-    };
-    let search_request: SearchRequest = match serde_json::from_str(body) {
-        Ok(request) => request,
-        Err(error) => {
-            return error_response(
-                ErrorCode::InvalidJson,
-                format!("body does not decode into a SearchRequest: {error}"),
-            )
-        }
-    };
-    let key = search_request.cache_key(shared.service.registry().epoch());
-    if let Some(cached) = shared.cache.get(&key) {
-        return Response::json(200, cached.as_ref()).with_header("x-ikrq-cache", "hit");
-    }
-    match shared.service.search(&search_request) {
-        Ok(response) => {
-            let body = serde_json::to_string(&response).expect("responses serialize");
-            shared.cache.insert(key, body.as_str());
-            Response::json(200, body).with_header("x-ikrq-cache", "miss")
-        }
-        Err(error) => error_response(classify_engine_error(&error), error.to_string()),
-    }
-}
-
-#[derive(Deserialize)]
-struct BatchBody {
-    requests: Vec<SearchRequest>,
-}
-
-// The batch response body is assembled by splicing pre-serialized JSON
-// fragments (cached bodies are stored as compact JSON, fresh responses are
-// serialized exactly once for both the cache and the reply), so each `ok`
-// entry is byte-identical to the single-request endpoint's body. Wire
-// shape, one slot per request in request order:
-//
-//     {"api_version":1,
-//      "responses":[{"ok":<SearchResponse>,"err":null},
-//                   {"ok":null,"err":{"code":"...","message":"..."}}],
-//      "cache_hits":N}
-
-fn search_batch(shared: &Shared, request: &Request) -> Response {
-    let body = match std::str::from_utf8(&request.body) {
-        Ok(body) => body,
-        Err(_) => return error_response(ErrorCode::InvalidJson, "body is not UTF-8"),
-    };
-    let batch: BatchBody = match serde_json::from_str(body) {
-        Ok(batch) => batch,
-        Err(error) => {
-            return error_response(
-                ErrorCode::InvalidJson,
-                format!("body does not decode into a batch envelope: {error}"),
-            )
-        }
-    };
-    if batch.requests.is_empty() {
-        return error_response(ErrorCode::InvalidRequest, "batch contains no requests");
-    }
-    if batch.requests.len() > shared.config.max_batch_size {
-        return error_response(
-            ErrorCode::InvalidRequest,
-            format!(
-                "batch of {} requests exceeds the limit of {}",
-                batch.requests.len(),
-                shared.config.max_batch_size
-            ),
-        );
-    }
-
-    let epoch = shared.service.registry().epoch();
-    let keys: Vec<String> = batch
-        .requests
-        .iter()
-        .map(|request| request.cache_key(epoch))
-        .collect();
-    let cached: Vec<Option<Arc<str>>> = keys.iter().map(|key| shared.cache.get(key)).collect();
-    let misses: Vec<SearchRequest> = batch
-        .requests
-        .iter()
-        .zip(&cached)
-        .filter(|(_, hit)| hit.is_none())
-        .map(|(request, _)| request.clone())
-        .collect();
-    let mut fresh = shared.service.search_batch(&misses).into_iter();
-
-    let mut entries: Vec<String> = Vec::with_capacity(batch.requests.len());
-    let mut cache_hits = 0usize;
-    for (key, cached) in keys.into_iter().zip(cached) {
-        let entry = match cached {
-            Some(body) => {
-                cache_hits += 1;
-                format!("{{\"ok\":{body},\"err\":null}}")
-            }
-            None => match fresh.next().expect("one fresh result per miss") {
-                Ok(response) => {
-                    let body = serde_json::to_string(&response).expect("responses serialize");
-                    shared.cache.insert(key, body.as_str());
-                    format!("{{\"ok\":{body},\"err\":null}}")
-                }
-                Err(error) => {
-                    let detail = ErrorDetail {
-                        code: classify_engine_error(&error).as_str().to_string(),
-                        message: error.to_string(),
-                    };
-                    let detail = serde_json::to_string(&detail).expect("details serialize");
-                    format!("{{\"ok\":null,\"err\":{detail}}}")
-                }
-            },
-        };
-        entries.push(entry);
-    }
-    let body = format!(
-        "{{\"api_version\":{},\"responses\":[{}],\"cache_hits\":{cache_hits}}}",
-        ApiVersion::CURRENT.wire(),
-        entries.join(",")
-    );
-    Response::json(200, body).with_header("x-ikrq-cache-hits", cache_hits.to_string())
 }

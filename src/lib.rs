@@ -17,11 +17,15 @@
 //! * [`persist`] — venue / workload / result documents (JSON + binary),
 //! * [`viz`] — SVG floorplan, route-overlay and figure-chart rendering,
 //! * [`server`] — the HTTP/JSON wire front end over the service envelopes
-//!   (protocol v1, see `docs/PROTOCOL.md`).
+//!   (protocol v1, see `docs/PROTOCOL.md`),
+//! * [`router`] — the venue-sharded scale-out tier in front of many
+//!   servers (consistent hashing, replica failover, hot venue reload —
+//!   see `docs/ROUTER.md`).
 
 #![forbid(unsafe_code)]
 
 pub use ikrq_core as core;
+pub use ikrq_router as router;
 pub use ikrq_server as server;
 pub use indoor_data as data;
 pub use indoor_geom as geom;

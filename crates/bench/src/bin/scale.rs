@@ -3,14 +3,20 @@
 //! and memory. See `ikrq_bench::scale` for what each column means.
 //!
 //! ```text
-//! scale [--sizes 100,1000,10000] [--queries 20] [--seed 42] [--csv]
+//! scale [--sizes 100,1000,10000] [--queries 20] [--seed 42] [--csv] [--persist]
 //! ```
+//!
+//! `--persist` additionally enforces the serving criterion on every point
+//! of at least 10⁴ partitions: adopting the persisted index must be at
+//! least 5× faster than building it fresh, and the loaded engine's
+//! responses must be byte-identical to the scan engine's.
 
 use ikrq_bench::scale::{markdown_table, run_scale_sweep, ScaleSweepConfig};
 
 fn main() {
     let mut config = ScaleSweepConfig::default();
     let mut csv = false;
+    let mut persist = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -42,6 +48,7 @@ fn main() {
                     .unwrap_or_else(|_| usage(&format!("bad seed {value:?}")));
             }
             "--csv" => csv = true,
+            "--persist" => persist = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other:?}")),
         }
@@ -57,16 +64,22 @@ fn main() {
     let points = run_scale_sweep(&config);
     if csv {
         println!(
-            "partitions,doors,index_build_ms,index_bytes,scan_qps,accelerated_qps,\
+            "partitions,doors,generate_ms,space_build_ms,index_build_ms,save_ms,load_ms,\
+             index_load_ms,index_bytes,scan_qps,accelerated_qps,\
              candidate_fraction,scan_peak_bytes,accelerated_peak_bytes,\
-             koe_star_rows,koe_star_total_rows,identical"
+             koe_star_rows,koe_star_total_rows,peak_rss_kib,identical,loaded_identical"
         );
         for p in &points {
             println!(
-                "{},{},{:.3},{},{:.2},{:.2},{:.6},{},{},{},{},{}",
+                "{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{},{:.2},{:.2},{:.6},{},{},{},{},{},{},{}",
                 p.partitions,
                 p.doors,
+                p.generate_ms,
+                p.space_build_ms,
                 p.index_build_ms,
+                p.save_ms,
+                p.load_ms,
+                p.index_load_ms,
                 p.index_bytes,
                 p.scan_qps,
                 p.accelerated_qps,
@@ -75,7 +88,9 @@ fn main() {
                 p.accelerated_peak_memory,
                 p.koe_star_rows,
                 p.koe_star_total_rows,
+                p.peak_rss_kib,
                 p.identical_responses,
+                p.loaded_identical,
             );
         }
     } else {
@@ -85,6 +100,29 @@ fn main() {
         eprintln!("ERROR: index and scan responses diverged");
         std::process::exit(1);
     }
+    if points.iter().any(|p| !p.loaded_identical) {
+        eprintln!("ERROR: loaded-index and scan responses diverged");
+        std::process::exit(1);
+    }
+    if persist {
+        let mut failed = false;
+        for p in points.iter().filter(|p| p.partitions >= 10_000) {
+            let ratio = p.index_build_ms / p.index_load_ms.max(1e-9);
+            eprintln!(
+                "persist criterion at {} partitions: build {:.2} ms vs load {:.2} ms ({ratio:.1}x)",
+                p.partitions, p.index_build_ms, p.index_load_ms
+            );
+            if p.index_build_ms < 5.0 * p.index_load_ms {
+                eprintln!(
+                    "ERROR: persisted-index load must be at least 5x faster than a fresh build"
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
 }
 
 fn usage(problem: &str) -> ! {
@@ -92,10 +130,12 @@ fn usage(problem: &str) -> ! {
         eprintln!("error: {problem}\n");
     }
     eprintln!(
-        "usage: scale [--sizes 100,1000,10000] [--queries 20] [--seed 42] [--csv]\n\
+        "usage: scale [--sizes 100,1000,10000] [--queries 20] [--seed 42] [--csv] [--persist]\n\
          \n\
          Sweeps venue sizes, comparing the index-accelerated engine against\n\
-         the linear-scan engine on identical mega-venue workloads."
+         the linear-scan engine on identical mega-venue workloads. --persist\n\
+         additionally enforces the >=5x persisted-index load speedup on\n\
+         points of at least 10^4 partitions."
     );
     std::process::exit(if problem.is_empty() { 0 } else { 2 });
 }

@@ -36,8 +36,11 @@ COMMANDS:
                --kind example|synthetic|real|mega   (default: synthetic)
                --floors N   --seed S           (synthetic/real/mega)
                --partitions N                  target partition count (mega only)
-               --out PATH                      output file (required)
+               --out PATH                      output file
                --binary                        write the compact binary format
+               --save-indexed PATH             also write the binary format with a
+                                               pre-built index section appended
+                                               (serve loads it instead of rebuilding)
     stats      Print venue statistics
                --venue PATH                    venue document (json or binary)
     query      Run an IKRQ against a venue
@@ -70,6 +73,8 @@ COMMANDS:
                                                or the legacy 5 ms poll-sweep parker
                --index true|false              venue index: keyword/region-accelerated queries
                                                (default) or the original linear scans
+               --koe-rows-cap N                bound on cached KoE* distance rows per venue
+                                               (default: sized from a 256 MiB budget)
                --cache-capacity N              response-cache entries (default 4096, 0 disables)
                --cache-shards N                response-cache shards (default 8)
                (POST /v1/admin/reload re-reads a venue's document from disk
@@ -153,24 +158,52 @@ fn build_venue(args: &ParsedArgs) -> Result<(Venue, String, f64)> {
 }
 
 fn generate(args: &ParsedArgs) -> Result<String> {
-    let out = args.require("out")?.to_string();
+    let out = args.get("out").map(str::to_string);
+    let save_indexed = args.get("save-indexed").map(str::to_string);
+    if out.is_none() && save_indexed.is_none() {
+        return Err(CliError::Usage(
+            "missing output flag: give `--out PATH`, `--save-indexed PATH` or both".into(),
+        ));
+    }
     let (venue, name, grid_cell) = build_venue(args)?;
     let doc = VenueDocument::from_venue(&venue.space, &venue.directory, grid_cell, Some(name));
-    if args.switch("binary") {
-        binary::save_venue_binary(&doc, &out)?;
-    } else {
-        json::save_venue_json(&doc, &out)?;
-    }
     let mut report = String::new();
-    let _ = writeln!(
-        report,
-        "wrote {} ({} partitions, {} doors, {} i-words, {} t-words)",
-        out,
-        doc.num_partitions(),
-        doc.num_doors(),
-        doc.num_iwords(),
-        doc.num_twords(),
-    );
+    if let Some(out) = &out {
+        if args.switch("binary") {
+            binary::save_venue_binary(&doc, out)?;
+        } else {
+            json::save_venue_json(&doc, out)?;
+        }
+        let _ = writeln!(
+            report,
+            "wrote {} ({} partitions, {} doors, {} i-words, {} t-words)",
+            out,
+            doc.num_partitions(),
+            doc.num_doors(),
+            doc.num_iwords(),
+            doc.num_twords(),
+        );
+    }
+    if let Some(path) = &save_indexed {
+        // The persisted index must bind to the directory a loader will
+        // rebuild from the document (interned word ids are insertion-order
+        // artifacts), so build it from the round-tripped document rather
+        // than the generator's in-memory venue.
+        let (space, directory) = doc.build()?;
+        let engine = ikrq_core::IkrqEngine::new(space, directory);
+        let index = engine
+            .index()
+            .expect("accelerated engines build an index at construction");
+        binary::save_venue_binary_with_index(&doc, index, engine.directory(), path)?;
+        let _ = writeln!(
+            report,
+            "wrote {} (pre-indexed: {} built in {:.2} ms, {:.2} MB)",
+            path,
+            doc.name.as_deref().unwrap_or("venue"),
+            index.build_micros() as f64 / 1e3,
+            index.estimated_bytes() as f64 / (1024.0 * 1024.0),
+        );
+    }
     Ok(report)
 }
 
@@ -208,6 +241,51 @@ fn load_engine(path: &str) -> Result<(IndoorSpace, KeywordDirectory, Option<Stri
     let name = doc.name.clone();
     let (space, directory) = doc.build()?;
     Ok((space, directory, name))
+}
+
+/// Loads a venue document together with its optional pre-built index
+/// section. Only the binary format can carry a section; JSON documents (and
+/// binary files without one) report [`IndexSection::Absent`].
+fn load_document_with_section(path: &str) -> Result<(VenueDocument, indoor_persist::IndexSection)> {
+    match binary::load_venue_binary_file(path) {
+        Ok(pair) => Ok(pair),
+        Err(_) => load_venue_document(path).map(|doc| (doc, indoor_persist::IndexSection::Absent)),
+    }
+}
+
+/// Builds a serving engine for a venue file, adopting a usable persisted
+/// index section instead of rebuilding. Any section defect (corruption,
+/// version skew, directory mismatch) degrades to a fresh build with a
+/// warning on stderr — a stale index never prevents a venue from serving.
+fn build_serving_engine(
+    path: &str,
+    index_mode: ikrq_core::IndexMode,
+    koe_rows_cap: Option<usize>,
+) -> Result<(ikrq_core::IkrqEngine, Option<String>)> {
+    let (doc, section) = load_document_with_section(path)?;
+    let name = doc.name.clone();
+    let (space, directory) = doc.build()?;
+    let mut engine = match (index_mode, section) {
+        (ikrq_core::IndexMode::Accelerated, indoor_persist::IndexSection::Present(prebuilt)) => {
+            match prebuilt.into_index(&directory) {
+                Ok(index) => ikrq_core::IkrqEngine::with_prebuilt_index(space, directory, index),
+                Err(reason) => {
+                    eprintln!("warning: {path}: persisted index not loaded ({reason}); rebuilding");
+                    ikrq_core::IkrqEngine::new(space, directory)
+                }
+            }
+        }
+        (mode, section) => {
+            if let indoor_persist::IndexSection::Unusable(reason) = &section {
+                eprintln!("warning: {path}: persisted index not loaded ({reason}); rebuilding");
+            }
+            ikrq_core::IkrqEngine::with_index_mode(space, directory, mode)
+        }
+    };
+    if let Some(cap) = koe_rows_cap {
+        engine.set_koe_rows_cap(cap);
+    }
+    Ok((engine, name))
 }
 
 fn stats(args: &ParsedArgs) -> Result<String> {
@@ -529,17 +607,20 @@ pub fn start_server(args: &ParsedArgs) -> Result<ikrq_server::ServerHandle> {
         Some(false) => ikrq_core::IndexMode::Scan,
         _ => ikrq_core::IndexMode::Accelerated,
     };
+    let koe_rows_cap = args.get_usize("koe-rows-cap")?;
+    if koe_rows_cap == Some(0) {
+        return Err(CliError::Usage(
+            "flag `--koe-rows-cap` must be at least 1".into(),
+        ));
+    }
     let service = std::sync::Arc::new(IkrqService::new());
     let mut documents: std::collections::BTreeMap<String, String> =
         std::collections::BTreeMap::new();
     for path in &paths {
-        let (space, directory, name) = load_engine(path)?;
+        let (engine, name) = build_serving_engine(path, index_mode, koe_rows_cap)?;
         let venue_id = name.unwrap_or_else(|| path.clone());
-        let engine = std::sync::Arc::new(ikrq_core::IkrqEngine::with_index_mode(
-            space, directory, index_mode,
-        ));
         service
-            .register_engine(&venue_id, engine)
+            .register_engine(&venue_id, std::sync::Arc::new(engine))
             .map_err(CliError::Engine)?;
         documents.insert(venue_id, path.clone());
     }
@@ -549,10 +630,9 @@ pub fn start_server(args: &ParsedArgs) -> Result<ikrq_server::ServerHandle> {
         let path = documents
             .get(venue_id)
             .ok_or_else(|| format!("venue `{venue_id}` was not loaded from a document"))?;
-        let (space, directory, _) = load_engine(path).map_err(|error| error.to_string())?;
-        Ok(std::sync::Arc::new(ikrq_core::IkrqEngine::with_index_mode(
-            space, directory, index_mode,
-        )))
+        let (engine, _) = build_serving_engine(path, index_mode, koe_rows_cap)
+            .map_err(|error| error.to_string())?;
+        Ok(std::sync::Arc::new(engine))
     });
 
     let mut config = ikrq_server::ServerConfig::default();
@@ -798,6 +878,106 @@ mod tests {
             VariantConfig::koe_star()
         );
         assert!(parse_variant(Some("dijkstra")).is_err());
+    }
+
+    #[test]
+    fn serving_engines_adopt_persisted_indexes_transparently() {
+        use indoor_data::{QueryGenerator, WorkloadConfig};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let dir = std::env::temp_dir().join(format!(
+            "ikrq-serve-seam-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bin = dir.join("mega.bin").to_string_lossy().into_owned();
+        let json_path = dir.join("mega.json").to_string_lossy().into_owned();
+
+        let args = ParsedArgs::parse([
+            "generate",
+            "--kind",
+            "mega",
+            "--partitions",
+            "150",
+            "--seed",
+            "9",
+            "--out",
+            json_path.as_str(),
+            "--save-indexed",
+            bin.as_str(),
+        ])
+        .unwrap();
+        let report = run(&args).unwrap();
+        assert!(report.contains("pre-indexed"), "report: {report}");
+
+        // The seam `serve` uses: a pre-indexed binary adopts its section, a
+        // plain JSON document rebuilds, and the row cap is applied.
+        let (loaded, name) =
+            build_serving_engine(&bin, ikrq_core::IndexMode::Accelerated, Some(64)).unwrap();
+        assert!(loaded.index().is_some_and(|i| i.loaded_from_disk()));
+        assert_eq!(loaded.koe_rows_capacity(), 64);
+        assert_eq!(name.as_deref(), Some("mega-150p-seed9"));
+        let (fresh, _) =
+            build_serving_engine(&json_path, ikrq_core::IndexMode::Accelerated, None).unwrap();
+        assert!(fresh.index().is_some_and(|i| !i.loaded_from_disk()));
+
+        let loaded_service = IkrqService::new();
+        loaded_service
+            .register_engine("m", Arc::new(loaded))
+            .unwrap();
+        let fresh_service = IkrqService::new();
+        fresh_service.register_engine("m", Arc::new(fresh)).unwrap();
+
+        // Same workload through both: responses must be byte-identical.
+        let venue = mega_venue(&MegaVenueConfig::sized(150, 9)).unwrap();
+        let generator = QueryGenerator::new(&venue);
+        let mut rng = StdRng::seed_from_u64(77);
+        let workload = WorkloadConfig {
+            qw_len: 3,
+            beta: 0.5,
+            s2t: 60.0,
+            eta: 2.0,
+            k: 3,
+            alpha: 0.5,
+            tau: 0.3,
+        };
+        let instances = generator.generate_batch(&workload, 3, &mut rng);
+        assert!(!instances.is_empty(), "the mega venue yields instances");
+        for instance in &instances {
+            let query = IkrqQuery::new(
+                instance.start,
+                instance.terminal,
+                instance.delta,
+                QueryKeywords::new(instance.keywords.iter().cloned()).unwrap(),
+                instance.k,
+            )
+            .with_alpha(instance.alpha)
+            .with_tau(instance.tau);
+            let request = SearchRequest::builder("m")
+                .query(query)
+                .variant(VariantConfig::koe())
+                .build()
+                .unwrap();
+            let a = loaded_service.search(&request).unwrap();
+            let b = fresh_service.search(&request).unwrap();
+            assert_eq!(a.deterministic_json(), b.deterministic_json());
+        }
+
+        // Corrupting the section degrades to a rebuild, not a failure.
+        let mut bytes = std::fs::read(&bin).unwrap();
+        let n = bytes.len();
+        bytes[n - 5] ^= 0xff;
+        std::fs::write(&bin, &bytes).unwrap();
+        let (degraded, _) =
+            build_serving_engine(&bin, ikrq_core::IndexMode::Accelerated, None).unwrap();
+        assert!(degraded.index().is_some_and(|i| !i.loaded_from_disk()));
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

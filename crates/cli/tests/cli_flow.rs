@@ -441,6 +441,34 @@ fn route_fronts_sharded_serve_processes() {
 }
 
 #[test]
+fn generate_save_indexed_produces_a_binary_other_commands_accept() {
+    let dir = TempDir::new("preindexed");
+    let bin = dir.file("mega.bin");
+
+    // --save-indexed alone is a valid output target.
+    let report = run_args([
+        "generate",
+        "--kind",
+        "mega",
+        "--partitions",
+        "120",
+        "--seed",
+        "4",
+        "--save-indexed",
+        bin.as_str(),
+    ])
+    .unwrap();
+    assert!(report.contains("pre-indexed"), "report: {report}");
+    assert!(std::path::Path::new(&bin).exists());
+
+    // The pre-indexed binary flows through document-consuming commands
+    // exactly like a plain venue file.
+    let report = run_args(["stats", "--venue", bin.as_str()]).unwrap();
+    assert!(report.contains("partitions: "), "report: {report}");
+    assert!(report.contains("i-words: "), "report: {report}");
+}
+
+#[test]
 fn usage_errors_and_unknown_commands_are_reported() {
     assert!(matches!(
         run_args(["query", "--venue"]),

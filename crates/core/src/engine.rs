@@ -42,10 +42,14 @@ impl IndexMode {
 /// Point-in-time index observability for one engine, shaped for `/v1/stats`.
 #[derive(Debug, Clone, Copy)]
 pub struct IndexStats {
-    /// Index build wall-clock time in microseconds.
+    /// Index build wall-clock time in microseconds (decode time when the
+    /// index was loaded from a persisted section).
     pub build_micros: u64,
     /// Estimated index heap footprint in bytes.
     pub estimated_bytes: usize,
+    /// Whether the index was loaded from a persisted venue file rather than
+    /// built from the venue at engine construction.
+    pub loaded_from_disk: bool,
     /// Cumulative usage counters since engine construction.
     pub counters: IndexCounterSnapshot,
 }
@@ -63,6 +67,9 @@ pub struct IkrqEngine {
     directory: KeywordDirectory,
     index: Option<Arc<VenueIndex>>,
     precomputed: OnceLock<Arc<PrecomputedPaths>>,
+    /// Explicit KoE* row-cache capacity (`--koe-rows-cap`); `None` sizes the
+    /// cache from the default byte budget when the cache is first created.
+    koe_rows_cap: Option<usize>,
 }
 
 impl IkrqEngine {
@@ -89,6 +96,56 @@ impl IkrqEngine {
             directory,
             index,
             precomputed: OnceLock::new(),
+            koe_rows_cap: None,
+        }
+    }
+
+    /// Creates an accelerated engine around an index that was loaded from a
+    /// persisted venue file instead of built here. The caller is responsible
+    /// for the binding discipline: the index must have been validated
+    /// against this exact directory (see
+    /// `indoor_persist::PrebuiltIndex::into_index`).
+    pub fn with_prebuilt_index(
+        space: IndoorSpace,
+        directory: KeywordDirectory,
+        index: VenueIndex,
+    ) -> Self {
+        IkrqEngine {
+            space: Arc::new(space),
+            directory,
+            index: Some(Arc::new(index)),
+            precomputed: OnceLock::new(),
+            koe_rows_cap: None,
+        }
+    }
+
+    /// Sets an explicit KoE* row-cache capacity. Must be called before the
+    /// first KoE* query creates the cache; later calls are ignored (the
+    /// `OnceLock`ed cache keeps the capacity it was created with).
+    pub fn set_koe_rows_cap(&mut self, capacity: usize) {
+        self.koe_rows_cap = Some(capacity.max(1));
+    }
+
+    /// The KoE* row-cache capacity: the explicit override when set,
+    /// otherwise the default budget-derived capacity for this venue.
+    pub fn koe_rows_capacity(&self) -> usize {
+        self.koe_rows_cap
+            .unwrap_or_else(|| indoor_index::LazyDoorRows::default_capacity(self.space.num_doors()))
+    }
+
+    /// KoE* row-cache counters (capacity, resident rows, hits, misses,
+    /// evictions). Reports an all-zero snapshot with the configured capacity
+    /// before the first KoE* query creates the cache.
+    pub fn koe_rows_stats(&self) -> indoor_index::RowCacheStats {
+        match self.precomputed.get() {
+            Some(p) => p.cache_stats(),
+            None => indoor_index::RowCacheStats {
+                capacity: self.koe_rows_capacity(),
+                resident: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            },
         }
     }
 
@@ -121,6 +178,7 @@ impl IkrqEngine {
         self.index.as_deref().map(|index| IndexStats {
             build_micros: index.build_micros(),
             estimated_bytes: index.estimated_bytes(),
+            loaded_from_disk: index.loaded_from_disk(),
             counters: index.counters().snapshot(),
         })
     }
@@ -146,10 +204,13 @@ impl IkrqEngine {
     }
 
     fn precomputed_paths(&self) -> Arc<PrecomputedPaths> {
-        Arc::clone(
-            self.precomputed
-                .get_or_init(|| Arc::new(PrecomputedPaths::new(Arc::clone(&self.space)))),
-        )
+        Arc::clone(self.precomputed.get_or_init(|| {
+            let space = Arc::clone(&self.space);
+            Arc::new(match self.koe_rows_cap {
+                Some(cap) => PrecomputedPaths::with_capacity(space, cap),
+                None => PrecomputedPaths::new(space),
+            })
+        }))
     }
 
     /// Answers a query under per-request [`ExecOptions`] (variant, metrics

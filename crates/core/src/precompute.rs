@@ -10,7 +10,7 @@
 //! paths are value-identical to the eager matrix (tested below) while
 //! resident memory tracks the rows queries actually touch.
 
-use indoor_index::LazyDoorRows;
+use indoor_index::{LazyDoorRows, RowCacheStats};
 use indoor_space::{DoorId, IndoorSpace, PartitionId};
 use std::sync::Arc;
 
@@ -29,10 +29,19 @@ pub struct PrecomputedPaths {
 }
 
 impl PrecomputedPaths {
-    /// Creates the (empty) lazy row table for a venue. Cost: one allocation.
+    /// Creates the (empty) lazy row table for a venue with the default
+    /// budget-derived row capacity. Cost: one allocation.
     pub fn new(space: Arc<IndoorSpace>) -> Self {
         PrecomputedPaths {
             rows: LazyDoorRows::new(space),
+        }
+    }
+
+    /// Creates the row table with an explicit LRU row capacity
+    /// (the `--koe-rows-cap` serve flag ends up here).
+    pub fn with_capacity(space: Arc<IndoorSpace>, capacity: usize) -> Self {
+        PrecomputedPaths {
+            rows: LazyDoorRows::with_capacity(space, capacity),
         }
     }
 
@@ -63,9 +72,15 @@ impl PrecomputedPaths {
         self.rows.num_doors()
     }
 
-    /// Number of source rows materialised so far.
+    /// Number of source rows currently resident.
     pub fn materialized_rows(&self) -> usize {
         self.rows.materialized_rows()
+    }
+
+    /// Row-cache counter snapshot (capacity, residency, hits, misses,
+    /// evictions) for `/v1/stats`.
+    pub fn cache_stats(&self) -> RowCacheStats {
+        self.rows.cache_stats()
     }
 
     /// Estimated heap size in bytes — materialised rows only, so the figure
@@ -152,5 +167,43 @@ mod tests {
         let bytes = pre.warm();
         assert_eq!(pre.materialized_rows(), pre.num_doors());
         assert!(bytes > 0);
+    }
+
+    #[test]
+    fn bounded_rows_never_exceed_capacity_and_stay_correct() {
+        let space = corridor(9); // 8 doors
+        let eager = DoorMatrix::build_with_paths(&space);
+        let pre = PrecomputedPaths::with_capacity(Arc::new(space.clone()), 3);
+        let n = space.num_doors();
+        for a in 0..n {
+            for b in 0..n {
+                let (da, db) = (DoorId(a as u32), DoorId(b as u32));
+                assert_eq!(eager.path(da, db), pre.path(da, db));
+                assert!(
+                    pre.materialized_rows() <= 3,
+                    "resident rows {} exceeded capacity",
+                    pre.materialized_rows()
+                );
+            }
+        }
+        let stats = pre.cache_stats();
+        assert_eq!(stats.capacity, 3);
+        assert!(stats.resident <= 3);
+        assert!(stats.evictions > 0, "eviction must have happened");
+        assert!(stats.hits > 0 && stats.misses >= n as u64);
+        // Evicted rows recompute to the same values on re-touch.
+        assert!(approx_eq(
+            pre.distance(DoorId(0), DoorId(7)),
+            eager.distance(DoorId(0), DoorId(7))
+        ));
+    }
+
+    #[test]
+    fn warm_with_small_capacity_leaves_capacity_rows() {
+        let space = corridor(6); // 5 doors
+        let pre = PrecomputedPaths::with_capacity(Arc::new(space), 2);
+        pre.warm();
+        assert_eq!(pre.materialized_rows(), 2);
+        assert_eq!(pre.cache_stats().evictions as usize, 5 - 2);
     }
 }

@@ -36,6 +36,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
 
 /// Room width along the rib corridor, metres.
 const ROOM_W: f64 = 8.0;
@@ -316,10 +317,23 @@ fn synthesize_keywords(config: &MegaVenueConfig, rooms: &[PartitionId]) -> Keywo
         cumulative.push(total);
     }
 
+    // Pre-render every category t-word once; the per-room loop below would
+    // otherwise `format!` rooms × twords_per_brand throwaway strings.
+    let pool_names: Vec<Vec<String>> = (0..config.categories)
+        .map(|category| {
+            (0..config.twords_per_category)
+                .map(|j| format!("cat{category}-item{j}"))
+                .collect()
+        })
+        .collect();
+
     let mut pool_indices: Vec<usize> = (0..config.twords_per_category).collect();
+    let mut brand_name = String::with_capacity(24);
     for (i, &room) in rooms.iter().enumerate() {
+        brand_name.clear();
+        write!(brand_name, "brand-{i}").expect("writing to a String cannot fail");
         let brand = directory
-            .add_iword(&format!("brand-{i}"))
+            .add_iword(&brand_name)
             .expect("generated brand names are distinct");
         let u = rng.gen_range(0.0..total);
         let category = cumulative
@@ -327,7 +341,7 @@ fn synthesize_keywords(config: &MegaVenueConfig, rooms: &[PartitionId]) -> Keywo
             .min(config.categories - 1);
         pool_indices.shuffle(&mut rng);
         for &j in pool_indices.iter().take(config.twords_per_brand) {
-            directory.add_tword_for(brand, &format!("cat{category}-item{j}"));
+            directory.add_tword_for(brand, &pool_names[category][j]);
         }
         directory
             .name_partition(room, brand)

@@ -1,62 +1,185 @@
-//! Lazily materialised per-door shortest-path rows.
+//! Lazily materialised, capacity-bounded per-door shortest-path rows.
 //!
 //! The eager `DoorMatrix::build_with_paths` runs one single-source Dijkstra
 //! per door up front and stores `O(doors²)` distances plus predecessors.
 //! [`LazyDoorRows`] keeps the identical per-source computation — the same
 //! `ShortestPaths::from_door` with an empty exclusion set — but runs it on
-//! first touch of each row and caches the whole [`DijkstraResult`] behind a
-//! [`OnceLock`]. Distances and reconstructed paths are therefore
+//! first touch of each row and caches the [`DijkstraResult`] in an LRU table
+//! bounded by a row capacity. Distances and reconstructed paths are therefore
 //! value-identical to the eager matrix (tested against it), while resident
-//! memory is `O(touched_doors × doors)`.
+//! memory is `O(min(touched, capacity) × doors)` instead of `O(doors²)`.
+//!
+//! The default capacity is sized from a fixed byte budget
+//! ([`DEFAULT_ROW_BYTES_BUDGET`]) divided by the per-row footprint, clamped
+//! to `[16, doors]` — small venues therefore never evict (the cache holds
+//! every row), while a 10⁵-door mega venue is capped at a few hundred
+//! resident rows. Hits, misses, and evictions are counted for `/v1/stats`.
 
 use indoor_space::{DijkstraResult, DoorId, IndoorSpace, PartitionId, ShortestPaths, UNREACHABLE};
-use std::collections::HashSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
-/// All-pairs door distances and paths, materialised one source row at a
-/// time. Shareable across query threads; concurrent first touches of the
-/// same row may duplicate the Dijkstra but a single result wins (standard
-/// `OnceLock` semantics), so readers always observe one consistent row.
+/// Byte budget the default row capacity is sized from (256 MiB).
+pub const DEFAULT_ROW_BYTES_BUDGET: usize = 256 << 20;
+
+/// Minimum row capacity regardless of venue size.
+pub const MIN_ROWS_CAPACITY: usize = 16;
+
+/// Point-in-time view of the row cache, surfaced on `/v1/stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowCacheStats {
+    /// Maximum number of rows the cache may hold at once.
+    pub capacity: usize,
+    /// Rows currently resident.
+    pub resident: usize,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to run a Dijkstra.
+    pub misses: u64,
+    /// Rows dropped to stay within capacity.
+    pub evictions: u64,
+}
+
+/// The LRU bookkeeping behind one mutex: the resident rows keyed by door id,
+/// each stamped with its last-use tick, plus the inverse tick → door order
+/// map the eviction loop pops from.
+#[derive(Debug, Default)]
+struct RowCache {
+    map: HashMap<u32, (u64, Arc<DijkstraResult>)>,
+    order: BTreeMap<u64, u32>,
+    next_tick: u64,
+}
+
+impl RowCache {
+    /// Returns the row and refreshes its recency, if resident.
+    fn touch(&mut self, key: u32) -> Option<Arc<DijkstraResult>> {
+        if !self.map.contains_key(&key) {
+            return None;
+        }
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        let entry = self.map.get_mut(&key).expect("checked resident above");
+        let old = std::mem::replace(&mut entry.0, tick);
+        let row = Arc::clone(&entry.1);
+        self.order.remove(&old);
+        self.order.insert(tick, key);
+        Some(row)
+    }
+
+    /// Inserts a freshly computed row and evicts the least recently used
+    /// rows until the cache fits `capacity`; returns the eviction count.
+    fn insert(&mut self, key: u32, row: Arc<DijkstraResult>, capacity: usize) -> u64 {
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        self.map.insert(key, (tick, row));
+        self.order.insert(tick, key);
+        let mut evicted = 0;
+        while self.map.len() > capacity {
+            let (&oldest, &victim) = self.order.iter().next().expect("map non-empty");
+            self.order.remove(&oldest);
+            self.map.remove(&victim);
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// All-pairs door distances and paths, materialised one source row at a time
+/// and bounded by an LRU capacity. Shareable across query threads; a
+/// concurrent first touch of the same row may duplicate the Dijkstra, but
+/// the first insert wins and later racers adopt it, so readers always
+/// observe one consistent row.
 #[derive(Debug)]
 pub struct LazyDoorRows {
     space: Arc<IndoorSpace>,
-    rows: Vec<OnceLock<DijkstraResult>>,
-    materialized: AtomicUsize,
+    num_doors: usize,
+    capacity: usize,
+    cache: Mutex<RowCache>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl LazyDoorRows {
-    /// Creates the (empty) row table for a venue. Cost: one allocation.
+    /// Creates the (empty) row table for a venue with the default
+    /// budget-derived capacity. Cost: one allocation.
     pub fn new(space: Arc<IndoorSpace>) -> Self {
         let n = space.num_doors();
-        let mut rows = Vec::with_capacity(n);
-        rows.resize_with(n, OnceLock::new);
+        Self::with_capacity(space, Self::default_capacity(n))
+    }
+
+    /// Creates the row table with an explicit row capacity (clamped to ≥ 1).
+    pub fn with_capacity(space: Arc<IndoorSpace>, capacity: usize) -> Self {
+        let num_doors = space.num_doors();
         LazyDoorRows {
             space,
-            rows,
-            materialized: AtomicUsize::new(0),
+            num_doors,
+            capacity: capacity.max(1),
+            cache: Mutex::new(RowCache::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
+    }
+
+    /// The default capacity for a venue with `num_doors` doors:
+    /// `DEFAULT_ROW_BYTES_BUDGET / row_bytes`, clamped to
+    /// `[MIN_ROWS_CAPACITY, num_doors]`. Venues whose full matrix fits the
+    /// budget keep every row resident and never evict.
+    pub fn default_capacity(num_doors: usize) -> usize {
+        let per_row = Self::row_bytes(num_doors).max(1);
+        (DEFAULT_ROW_BYTES_BUDGET / per_row)
+            .clamp(MIN_ROWS_CAPACITY, num_doors.max(MIN_ROWS_CAPACITY))
+    }
+
+    /// Heap footprint of one materialised row.
+    fn row_bytes(num_doors: usize) -> usize {
+        num_doors
+            * (std::mem::size_of::<f64>() + std::mem::size_of::<Option<(DoorId, PartitionId)>>())
     }
 
     /// Number of doors covered (row and column count).
     pub fn num_doors(&self) -> usize {
-        self.rows.len()
+        self.num_doors
     }
 
-    /// The Dijkstra row for a source door, materialising it on first touch.
-    /// `None` only for an out-of-range door id.
-    pub fn row(&self, from: DoorId) -> Option<&DijkstraResult> {
-        let slot = self.rows.get(from.index())?;
-        Some(slot.get_or_init(|| {
-            self.materialized.fetch_add(1, Ordering::Relaxed);
-            ShortestPaths::new(&self.space).from_door(from, &HashSet::new())
-        }))
+    /// Maximum number of rows the cache may hold at once.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The Dijkstra row for a source door, materialising it on first touch
+    /// (and possibly evicting the least recently used row). `None` only for
+    /// an out-of-range door id.
+    pub fn row(&self, from: DoorId) -> Option<Arc<DijkstraResult>> {
+        if from.index() >= self.num_doors {
+            return None;
+        }
+        let key = from.0;
+        if let Some(row) = self.cache.lock().expect("row cache poisoned").touch(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(row);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Dijkstra runs outside the lock so concurrent misses on different
+        // rows do not serialise; on relock, adopt a racing winner if any.
+        let computed = Arc::new(ShortestPaths::new(&self.space).from_door(from, &HashSet::new()));
+        let mut cache = self.cache.lock().expect("row cache poisoned");
+        if let Some(existing) = cache.touch(key) {
+            return Some(existing);
+        }
+        let evicted = cache.insert(key, Arc::clone(&computed), self.capacity);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        Some(computed)
     }
 
     /// Shortest distance between two doors; [`UNREACHABLE`] when either id
     /// is out of range (same contract as `DoorMatrix::distance`).
     pub fn distance(&self, from: DoorId, to: DoorId) -> f64 {
-        if to.index() >= self.rows.len() {
+        if to.index() >= self.num_doors {
             return UNREACHABLE;
         }
         match self.row(from) {
@@ -69,36 +192,99 @@ impl LazyDoorRows {
     /// `(doors, partitions)`; same contract as `DoorMatrix::path` on a
     /// matrix built with paths.
     pub fn path(&self, from: DoorId, to: DoorId) -> Option<(Vec<DoorId>, Vec<PartitionId>)> {
-        if to.index() >= self.rows.len() {
+        if to.index() >= self.num_doors {
             return None;
         }
         self.row(from)?.path_to(to)
     }
 
-    /// Number of rows materialised so far.
+    /// Number of rows currently resident in the cache.
     pub fn materialized_rows(&self) -> usize {
-        self.materialized.load(Ordering::Relaxed)
+        self.cache.lock().expect("row cache poisoned").map.len()
     }
 
-    /// Forces every row to materialise (the old all-or-nothing warm-up);
-    /// returns the estimated byte footprint afterwards.
+    /// Counter snapshot for stats reporting.
+    pub fn cache_stats(&self) -> RowCacheStats {
+        RowCacheStats {
+            capacity: self.capacity,
+            resident: self.materialized_rows(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Touches every row once (the old all-or-nothing warm-up); with a
+    /// capacity below the door count this leaves the last `capacity` rows
+    /// resident. Returns the estimated byte footprint afterwards.
     pub fn materialize_all(&self) -> usize {
-        for i in 0..self.rows.len() {
+        for i in 0..self.num_doors {
             let _ = self.row(DoorId(i as u32));
         }
         self.estimated_bytes()
     }
 
-    /// Estimated heap size in bytes: only materialised rows count, so the
-    /// figure grows with use instead of starting at the full `O(doors²)`.
+    /// Estimated heap size in bytes: only resident rows count, so the
+    /// figure grows with use and is bounded by the capacity instead of the
+    /// full `O(doors²)`.
     pub fn estimated_bytes(&self) -> usize {
-        let n = self.rows.len();
-        // One row holds `dist: Vec<f64>` and `prev: Vec<Option<(DoorId,
-        // PartitionId)>>`, both of length `n`.
-        let per_row =
-            n * (std::mem::size_of::<f64>() + std::mem::size_of::<Option<(DoorId, PartitionId)>>());
+        let resident = self.materialized_rows();
         std::mem::size_of::<Self>()
-            + n * std::mem::size_of::<OnceLock<DijkstraResult>>()
-            + self.materialized_rows() * per_row
+            + resident
+                * (Self::row_bytes(self.num_doors)
+                    + std::mem::size_of::<(u64, u32)>()
+                    + std::mem::size_of::<(u32, (u64, usize))>())
+    }
+}
+
+#[cfg(test)]
+mod cache_tests {
+    use super::*;
+    use indoor_geom::{Point, Rect};
+    use indoor_space::{DoorKind, FloorId, IndoorSpaceBuilder, PartitionKind};
+
+    /// Any real Dijkstra row works; the cache never inspects contents.
+    fn dummy_row() -> Arc<DijkstraResult> {
+        let mut b = IndoorSpaceBuilder::new();
+        let f = FloorId(0);
+        let a = b.add_partition(
+            f,
+            PartitionKind::Room,
+            Rect::from_origin_size(Point::new(0.0, 0.0), 10.0, 10.0).unwrap(),
+            None,
+        );
+        let c = b.add_partition(
+            f,
+            PartitionKind::Room,
+            Rect::from_origin_size(Point::new(10.0, 0.0), 10.0, 10.0).unwrap(),
+            None,
+        );
+        let d = b.add_door(Point::new(10.0, 5.0), f, DoorKind::Normal);
+        b.connect_bidirectional(d, a, c);
+        let space = b.build().unwrap();
+        Arc::new(ShortestPaths::new(&space).from_door(DoorId(0), &HashSet::new()))
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_first() {
+        let mut c = RowCache::default();
+        assert_eq!(c.insert(0, dummy_row(), 2), 0);
+        assert_eq!(c.insert(1, dummy_row(), 2), 0);
+        // Touch 0 so 1 becomes the LRU victim.
+        assert!(c.touch(0).is_some());
+        assert_eq!(c.insert(2, dummy_row(), 2), 1);
+        assert!(c.touch(1).is_none(), "1 was evicted");
+        assert!(c.touch(0).is_some());
+        assert!(c.touch(2).is_some());
+    }
+
+    #[test]
+    fn capacity_one_keeps_only_the_newest() {
+        let mut c = RowCache::default();
+        for k in 0..5u32 {
+            c.insert(k, dummy_row(), 1);
+        }
+        assert_eq!(c.map.len(), 1);
+        assert!(c.touch(4).is_some());
     }
 }

@@ -85,8 +85,8 @@ pub mod postings;
 pub mod regions;
 
 pub use counters::{IndexCounterSnapshot, IndexCounters};
-pub use lazy::LazyDoorRows;
-pub use postings::KeywordPostings;
+pub use lazy::{LazyDoorRows, RowCacheStats, DEFAULT_ROW_BYTES_BUDGET, MIN_ROWS_CAPACITY};
+pub use postings::{KeywordPostings, PostingTable};
 pub use regions::{Region, RegionIndex};
 
 use indoor_keywords::{
@@ -106,6 +106,7 @@ pub struct VenueIndex {
     regions: RegionIndex,
     counters: IndexCounters,
     build_micros: u64,
+    loaded_from_disk: bool,
 }
 
 impl VenueIndex {
@@ -122,7 +123,29 @@ impl VenueIndex {
             regions,
             counters: IndexCounters::new(),
             build_micros,
+            loaded_from_disk: false,
         }
+    }
+
+    /// Reassembles an index from persisted parts (the pre-built index
+    /// section of a venue file). `build_micros` records the decode time —
+    /// what acquiring the index actually cost this process — and
+    /// [`VenueIndex::loaded_from_disk`] reports `true` so `/v1/stats` can
+    /// distinguish loaded venues from freshly indexed ones.
+    pub fn from_parts(postings: KeywordPostings, regions: RegionIndex, build_micros: u64) -> Self {
+        VenueIndex {
+            postings,
+            regions,
+            counters: IndexCounters::new(),
+            build_micros,
+            loaded_from_disk: true,
+        }
+    }
+
+    /// Whether this index was decoded from a persisted section rather than
+    /// built from the venue.
+    pub fn loaded_from_disk(&self) -> bool {
+        self.loaded_from_disk
     }
 
     /// The inverted keyword → partition tables.

@@ -8,21 +8,123 @@
 //! plain sorted `Vec<(WordId, …)>` looked up by binary search — compact,
 //! cache-friendly, and build in `O(vocabulary + associations)`.
 
-use indoor_keywords::{jaccard, CandidateSet, KeywordDirectory, Result as KeywordResult, WordId};
+use indoor_keywords::{
+    jaccard_sorted, CandidateSet, KeywordDirectory, Result as KeywordResult, WordId,
+};
 use indoor_keywords::{KeywordError, WordKind};
 use indoor_space::PartitionId;
 use std::collections::{BTreeMap, BTreeSet};
+
+/// One flat posting table: word ids sorted for binary search, every word's
+/// value list in a shared arena addressed CSR-style. Replaces the previous
+/// one-boxed-slice-per-word layout — three allocations however many words,
+/// which is what lets persisted-section decode adopt a mega venue's tables
+/// in well under the index-build time.
+#[derive(Debug, PartialEq, Eq)]
+pub struct PostingTable<T> {
+    words: Vec<WordId>,
+    /// `words.len() + 1` offsets into `values`; word `i`'s list is
+    /// `values[offsets[i]..offsets[i + 1]]`.
+    offsets: Vec<u32>,
+    values: Vec<T>,
+}
+
+impl<T> Default for PostingTable<T> {
+    fn default() -> Self {
+        PostingTable {
+            words: Vec::new(),
+            offsets: vec![0],
+            values: Vec::new(),
+        }
+    }
+}
+
+impl<T> PostingTable<T> {
+    /// Flattens `(word, list)` pairs; sorts by word id.
+    pub fn from_lists(mut lists: Vec<(WordId, Vec<T>)>) -> Self {
+        lists.sort_unstable_by_key(|(w, _)| *w);
+        let mut table = PostingTable {
+            words: Vec::with_capacity(lists.len()),
+            offsets: Vec::with_capacity(lists.len() + 1),
+            values: Vec::with_capacity(lists.iter().map(|(_, l)| l.len()).sum()),
+        };
+        table.offsets.push(0);
+        for (w, list) in lists {
+            table.words.push(w);
+            table.values.extend(list);
+            table.offsets.push(table.values.len() as u32);
+        }
+        table
+    }
+
+    /// Adopts already-flat parts (persisted-section decode). `words` must be
+    /// strictly sorted and `offsets` a monotone cover of `values` with
+    /// `words.len() + 1` entries.
+    pub fn from_flat(words: Vec<WordId>, offsets: Vec<u32>, values: Vec<T>) -> Self {
+        assert_eq!(offsets.len(), words.len() + 1, "offset row per word");
+        assert_eq!(offsets.first(), Some(&0), "offsets start at 0");
+        assert_eq!(
+            *offsets.last().expect("offsets are non-empty") as usize,
+            values.len(),
+            "offsets cover the value arena"
+        );
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets monotone");
+        assert!(
+            words.windows(2).all(|w| w[0] < w[1]),
+            "words strictly sorted"
+        );
+        PostingTable {
+            words,
+            offsets,
+            values,
+        }
+    }
+
+    /// The value list of one word, when present.
+    pub fn get(&self, word: WordId) -> Option<&[T]> {
+        let i = self.words.binary_search(&word).ok()?;
+        Some(&self.values[self.offsets[i] as usize..self.offsets[i + 1] as usize])
+    }
+
+    /// Iterates `(word, values)` entries in word order.
+    pub fn entries(&self) -> impl ExactSizeIterator<Item = (WordId, &[T])> {
+        self.words.iter().enumerate().map(|(i, &w)| {
+            (
+                w,
+                &self.values[self.offsets[i] as usize..self.offsets[i + 1] as usize],
+            )
+        })
+    }
+
+    /// Number of words with a list.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether no word has a list.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Estimated heap bytes.
+    pub fn estimated_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<WordId>()
+            + self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.values.capacity() * std::mem::size_of::<T>()
+    }
+}
 
 /// Sorted posting-list tables for one venue's keyword directory.
 #[derive(Debug, Default)]
 pub struct KeywordPostings {
     /// i-word → partitions it names, sorted by word then by partition.
-    iword_partitions: Vec<(WordId, Box<[PartitionId]>)>,
+    iword_partitions: PostingTable<PartitionId>,
     /// t-word → i-words it thematically describes, sorted by word.
-    tword_iwords: Vec<(WordId, Box<[WordId]>)>,
-    /// i-word → its t-word set, sorted by word. Kept as `BTreeSet` so the
-    /// accelerated path scores with the exact [`jaccard`] the scan uses.
-    iword_twords: Vec<(WordId, BTreeSet<WordId>)>,
+    tword_iwords: PostingTable<WordId>,
+    /// i-word → its sorted t-word list, sorted by word. Flat sorted rows
+    /// rather than `BTreeSet`s: [`jaccard_sorted`] computes the identical
+    /// score the scan path gets from set intersection.
+    iword_twords: PostingTable<WordId>,
 }
 
 impl KeywordPostings {
@@ -38,26 +140,34 @@ impl KeywordPostings {
             if !partitions.is_empty() {
                 let mut sorted: Vec<PartitionId> = partitions.to_vec();
                 sorted.sort_unstable();
-                iword_partitions.push((iw, sorted.into_boxed_slice()));
+                iword_partitions.push((iw, sorted));
             }
             if let Some(tw) = mappings.i2t(iw) {
-                iword_twords.push((iw, tw.clone()));
+                iword_twords.push((iw, tw.iter().copied().collect()));
             }
         }
 
         let mut tword_iwords = Vec::new();
         for tw in vocab.twords() {
             if let Some(iws) = mappings.t2i(tw) {
-                let list: Vec<WordId> = iws.iter().copied().collect();
-                tword_iwords.push((tw, list.into_boxed_slice()));
+                tword_iwords.push((tw, iws.iter().copied().collect()));
             }
         }
 
-        // `Vocabulary` hands words out in insertion order; sort so lookups
-        // can binary-search regardless.
-        iword_partitions.sort_unstable_by_key(|(w, _)| *w);
-        iword_twords.sort_unstable_by_key(|(w, _)| *w);
-        tword_iwords.sort_unstable_by_key(|(w, _)| *w);
+        KeywordPostings {
+            iword_partitions: PostingTable::from_lists(iword_partitions),
+            tword_iwords: PostingTable::from_lists(tword_iwords),
+            iword_twords: PostingTable::from_lists(iword_twords),
+        }
+    }
+
+    /// Reassembles the tables from already-flat parts, as decoded from a
+    /// persisted index section.
+    pub fn from_tables(
+        iword_partitions: PostingTable<PartitionId>,
+        tword_iwords: PostingTable<WordId>,
+        iword_twords: PostingTable<WordId>,
+    ) -> Self {
         KeywordPostings {
             iword_partitions,
             tword_iwords,
@@ -65,31 +175,34 @@ impl KeywordPostings {
         }
     }
 
+    /// The i-word → partitions table, sorted by word (serialisation).
+    pub fn iword_partition_tables(&self) -> &PostingTable<PartitionId> {
+        &self.iword_partitions
+    }
+
+    /// The t-word → i-words table, sorted by word (serialisation).
+    pub fn tword_iword_tables(&self) -> &PostingTable<WordId> {
+        &self.tword_iwords
+    }
+
+    /// The i-word → t-word-list table, sorted by word (serialisation).
+    pub fn iword_tword_tables(&self) -> &PostingTable<WordId> {
+        &self.iword_twords
+    }
+
     /// The partitions named by an i-word (empty for non-naming words).
     pub fn partitions_of(&self, iword: WordId) -> &[PartitionId] {
-        match self
-            .iword_partitions
-            .binary_search_by_key(&iword, |(w, _)| *w)
-        {
-            Ok(i) => &self.iword_partitions[i].1,
-            Err(_) => &[],
-        }
+        self.iword_partitions.get(iword).unwrap_or(&[])
     }
 
     /// The i-words a t-word directly describes (`T2I`).
     pub fn iwords_of_tword(&self, tword: WordId) -> &[WordId] {
-        match self.tword_iwords.binary_search_by_key(&tword, |(w, _)| *w) {
-            Ok(i) => &self.tword_iwords[i].1,
-            Err(_) => &[],
-        }
+        self.tword_iwords.get(tword).unwrap_or(&[])
     }
 
-    /// The t-word set of an i-word (`I2T`), when it has one.
-    pub fn twords_of_iword(&self, iword: WordId) -> Option<&BTreeSet<WordId>> {
-        match self.iword_twords.binary_search_by_key(&iword, |(w, _)| *w) {
-            Ok(i) => Some(&self.iword_twords[i].1),
-            Err(_) => None,
-        }
+    /// The sorted t-word list of an i-word (`I2T`), when it has one.
+    pub fn twords_of_iword(&self, iword: WordId) -> Option<&[WordId]> {
+        self.iword_twords.get(iword)
     }
 
     /// Number of i-word posting lists.
@@ -105,8 +218,9 @@ impl KeywordPostings {
     /// `I2T(wi)` intersects the union `U` of the direct matches' t-words.
     /// Associations are symmetric (`wi ∈ T2I(t) ⟺ t ∈ I2T(wi)`), so that
     /// set is exactly `⋃_{t ∈ U} T2I(t)` minus the direct matches — which
-    /// is what this walks. Scores use the same [`jaccard`] on the same
-    /// `BTreeSet`s, so entries and similarities match bit for bit.
+    /// is what this walks. Scores use [`jaccard_sorted`], which computes
+    /// the scan's Jaccard bit for bit over the flat posting rows, so
+    /// entries and similarities match exactly.
     pub fn candidate_set(
         &self,
         query_word: WordId,
@@ -141,7 +255,7 @@ impl KeywordPostings {
                         let Some(tws) = self.twords_of_iword(iw) else {
                             continue;
                         };
-                        let s = jaccard(tws, &union);
+                        let s = jaccard_sorted(tws, &union);
                         if s > tau {
                             entries.insert(iw, s);
                         }
@@ -155,22 +269,9 @@ impl KeywordPostings {
 
     /// Estimated heap size in bytes.
     pub fn estimated_bytes(&self) -> usize {
-        let iword_partitions = self
-            .iword_partitions
-            .iter()
-            .map(|(_, p)| std::mem::size_of_val::<[PartitionId]>(p) + 16)
-            .sum::<usize>();
-        let tword_iwords = self
-            .tword_iwords
-            .iter()
-            .map(|(_, i)| std::mem::size_of_val::<[WordId]>(i) + 16)
-            .sum::<usize>();
-        let iword_twords = self
-            .iword_twords
-            .iter()
-            .map(|(_, t)| t.len() * std::mem::size_of::<WordId>() * 3 + 16)
-            .sum::<usize>();
-        iword_partitions + tword_iwords + iword_twords
+        self.iword_partitions.estimated_bytes()
+            + self.tword_iwords.estimated_bytes()
+            + self.iword_twords.estimated_bytes()
     }
 }
 

@@ -37,6 +37,29 @@ pub struct Region {
 }
 
 impl Region {
+    /// Reassembles a region from persisted parts; `floors` and `members`
+    /// must be sorted (the order [`RegionIndex::build`] produces).
+    pub fn from_parts(
+        bbox: Rect,
+        floors: Vec<FloorId>,
+        members: Vec<PartitionId>,
+        iword_bits: Vec<u64>,
+    ) -> Self {
+        debug_assert!(floors.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(members.windows(2).all(|w| w[0] < w[1]));
+        Region {
+            bbox,
+            floors,
+            members,
+            iword_bits,
+        }
+    }
+
+    /// The raw keyword summary bitmap (serialisation).
+    pub fn iword_bits(&self) -> &[u64] {
+        &self.iword_bits
+    }
+
     /// The members of the region, sorted by partition id.
     pub fn members(&self) -> &[PartitionId] {
         &self.members
@@ -171,6 +194,33 @@ impl RegionIndex {
             iword_dense,
             sound,
         }
+    }
+
+    /// Reassembles the layer from persisted parts, as decoded from a
+    /// persisted index section.
+    pub fn from_parts(
+        regions: Vec<Region>,
+        region_of: Vec<u32>,
+        iword_dense: Vec<WordId>,
+        sound: bool,
+    ) -> Self {
+        debug_assert!(iword_dense.windows(2).all(|w| w[0] < w[1]));
+        RegionIndex {
+            regions,
+            region_of,
+            iword_dense,
+            sound,
+        }
+    }
+
+    /// The raw partition → region table (serialisation).
+    pub fn region_of_table(&self) -> &[u32] {
+        &self.region_of
+    }
+
+    /// The dense sorted table of partition-naming i-words (serialisation).
+    pub fn iword_dense(&self) -> &[WordId] {
+        &self.iword_dense
     }
 
     /// Number of regions.

@@ -7,14 +7,44 @@ use crate::Result;
 use indoor_space::PartitionId;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+use std::sync::OnceLock;
 
 /// The complete keyword knowledge of a venue: the disjoint i-word/t-word
 /// vocabularies plus the four mappings. The structure is immutable once
 /// built; the builders in `indoor-data` assemble it.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct KeywordDirectory {
     vocab: Vocabulary,
     mappings: KeywordMappings,
+    /// Memoized [`KeywordDirectory::fingerprint`]; reset by the assembly
+    /// helpers so it can never go stale.
+    fingerprint_cache: OnceLock<u64>,
+}
+
+// Hand-written (de)serialization: the wire shape is exactly the two content
+// fields, so the fingerprint cache never leaks into persisted bytes and a
+// deserialized directory starts with a cold cache.
+impl Serialize for KeywordDirectory {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("vocab".to_string(), self.vocab.serialize()),
+            ("mappings".to_string(), self.mappings.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for KeywordDirectory {
+    fn deserialize(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let vocab = match value.get("vocab") {
+            Some(v) => Vocabulary::deserialize(v)?,
+            None => Vocabulary::missing("vocab")?,
+        };
+        let mappings = match value.get("mappings") {
+            Some(v) => KeywordMappings::deserialize(v)?,
+            None => KeywordMappings::missing("mappings")?,
+        };
+        Ok(KeywordDirectory::from_parts(vocab, mappings))
+    }
 }
 
 impl KeywordDirectory {
@@ -25,7 +55,11 @@ impl KeywordDirectory {
 
     /// Creates a directory from already-assembled parts.
     pub fn from_parts(vocab: Vocabulary, mappings: KeywordMappings) -> Self {
-        KeywordDirectory { vocab, mappings }
+        KeywordDirectory {
+            vocab,
+            mappings,
+            fingerprint_cache: OnceLock::new(),
+        }
     }
 
     /// Read access to the vocabulary.
@@ -44,6 +78,7 @@ impl KeywordDirectory {
 
     /// Registers an i-word.
     pub fn add_iword(&mut self, raw: &str) -> Result<WordId> {
+        self.fingerprint_cache = OnceLock::new();
         self.vocab.add_iword(raw)
     }
 
@@ -51,6 +86,7 @@ impl KeywordDirectory {
     /// string is actually an i-word it is skipped (the sets stay disjoint) and
     /// `None` is returned.
     pub fn add_tword_for(&mut self, iword: WordId, raw: &str) -> Option<WordId> {
+        self.fingerprint_cache = OnceLock::new();
         let (id, added) = self.vocab.add_tword(raw);
         if !added {
             return None;
@@ -61,6 +97,7 @@ impl KeywordDirectory {
 
     /// Assigns an i-word to a partition.
     pub fn name_partition(&mut self, v: PartitionId, iword: WordId) -> Result<()> {
+        self.fingerprint_cache = OnceLock::new();
         self.mappings.assign_partition(v, iword)
     }
 
@@ -105,6 +142,60 @@ impl KeywordDirectory {
     pub fn estimated_bytes(&self) -> usize {
         self.vocab.estimated_bytes() + self.mappings.estimated_bytes()
     }
+
+    /// Deterministic fingerprint of the directory: the interned word table
+    /// in id order plus every i-word's partitions and t-word set. A
+    /// persisted pre-built index records this value; on load it must match
+    /// the directory rebuilt from the venue document, because posting lists
+    /// store raw [`WordId`]s/partition ids that are only meaningful against
+    /// the exact same interning order.
+    ///
+    /// The value is memoized: a built directory never changes, and save
+    /// (section encode) and load (section binding) both read it.
+    pub fn fingerprint(&self) -> u64 {
+        *self
+            .fingerprint_cache
+            .get_or_init(|| self.compute_fingerprint())
+    }
+
+    fn compute_fingerprint(&self) -> u64 {
+        use crate::intern::mix;
+        let mut hash = self.vocab.interner().fingerprint();
+        // Traverse `I2P`/`I2T` in map order rather than looking each i-word
+        // up: at mega-venue scale the per-word `BTreeMap` searches cost more
+        // than all the mixing below. Each entry leads with the word id and
+        // list length packed into one value, so list elements can never be
+        // misread across entry boundaries.
+        for (w, partitions) in self.mappings.i2p_entries() {
+            hash = mix(
+                hash,
+                0x1000_0000_0000_0000 | ((w.0 as u64) << 24) | partitions.len() as u64,
+            );
+            let mut pairs = partitions.chunks_exact(2);
+            for pair in &mut pairs {
+                hash = mix(hash, ((pair[0].0 as u64) << 32) | pair[1].0 as u64);
+            }
+            if let Some(last) = pairs.remainder().first() {
+                hash = mix(hash, last.0 as u64);
+            }
+        }
+        for (w, twords) in self.mappings.i2t_entries() {
+            hash = mix(
+                hash,
+                0x2000_0000_0000_0000 | ((w.0 as u64) << 24) | twords.len() as u64,
+            );
+            for &tw in twords {
+                hash = mix(hash, tw.0 as u64);
+            }
+        }
+        for iw in self.vocab.iwords() {
+            hash = mix(hash, 0x4000_0000_0000_0000 | iw.0 as u64);
+        }
+        for tw in self.vocab.twords() {
+            hash = mix(hash, 0x8000_0000_0000_0000 | tw.0 as u64);
+        }
+        hash
+    }
 }
 
 #[cfg(test)]
@@ -135,6 +226,26 @@ mod tests {
         assert!(dir.estimated_bytes() > 0);
         assert_eq!(dir.vocab().num_iwords(), 2);
         assert_eq!(dir.mappings().num_associations(), 2);
+    }
+
+    #[test]
+    fn fingerprint_is_memoized_but_never_stale() {
+        let mut dir = KeywordDirectory::new();
+        let iw = dir.add_iword("costa").unwrap();
+        dir.name_partition(PartitionId(1), iw).unwrap();
+        let before = dir.fingerprint();
+        assert_eq!(dir.fingerprint(), before, "memoized value is stable");
+        // Every assembly mutation must drop the cache.
+        dir.add_tword_for(iw, "coffee").unwrap();
+        let with_tword = dir.fingerprint();
+        assert_ne!(before, with_tword);
+        dir.name_partition(PartitionId(2), iw).unwrap();
+        let with_partition = dir.fingerprint();
+        assert_ne!(with_tword, with_partition);
+        dir.add_iword("zara").unwrap();
+        assert_ne!(with_partition, dir.fingerprint());
+        // A clone carries the same value.
+        assert_eq!(dir.clone().fingerprint(), dir.fingerprint());
     }
 
     #[test]

@@ -3,8 +3,18 @@
 //! Keyword relevance computation compares and unions word sets heavily; the
 //! interner maps every distinct keyword string to a dense [`WordId`] so that
 //! all downstream set operations work on `u32`s.
+//!
+//! Storage is arena-based: every interned word lives in one shared `String`
+//! buffer addressed by `(start, end)` spans, and lookup goes through an
+//! FNV-1a hash table keyed by `u64` word hashes (with an explicit overflow
+//! list for the rare collisions). The previous layout kept two owned
+//! `String`s per word (one in the id table, one as the map key) — at mega
+//! venue scale (~9×10⁴ brand words) that was ~1.8×10⁵ heap allocations per
+//! load; the arena does a handful.
 
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -28,12 +38,55 @@ impl fmt::Display for WordId {
     }
 }
 
+/// FNV-1a over the word bytes — deterministic across runs (no `RandomState`),
+/// so interning order artefacts never leak into persisted artefacts.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Folds one value into a running fingerprint (wrapping multiply + shift
+/// mix, the same family as the persisted-section checksum).
+#[inline]
+pub(crate) fn mix(hash: u64, value: u64) -> u64 {
+    let h = (hash ^ value).wrapping_mul(0x2545_f491_4f6c_dd1d);
+    h ^ (h >> 29)
+}
+
+/// Folds a byte slice into a running fingerprint, 8 bytes at a time, with
+/// the length mixed in so concatenation boundaries stay significant.
+pub(crate) fn mix_bytes(mut hash: u64, bytes: &[u8]) -> u64 {
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("chunks_exact yields 8 bytes"));
+        hash = mix(hash, word);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut last = [0u8; 8];
+        last[..rem.len()].copy_from_slice(rem);
+        hash = mix(hash, u64::from_le_bytes(last));
+    }
+    mix(hash, bytes.len() as u64)
+}
+
 /// A simple string interner. Words are normalised to lowercase with trimmed
 /// whitespace so that `"Latte "` and `"latte"` are the same keyword.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Interner {
-    by_name: HashMap<String, WordId>,
-    names: Vec<String>,
+    /// Every interned word, concatenated in id order.
+    arena: String,
+    /// Byte span of each word in the arena, indexed by `WordId`.
+    spans: Vec<(u32, u32)>,
+    /// Word hash → the first id carrying that hash.
+    primary: HashMap<u64, WordId>,
+    /// Ids whose hash collided with an earlier word; scanned on a primary
+    /// string mismatch (in practice empty).
+    overflow: Vec<(u64, WordId)>,
 }
 
 impl Interner {
@@ -47,59 +100,102 @@ impl Interner {
         raw.trim().to_lowercase()
     }
 
+    /// Trims and lowercases without allocating when the input is already
+    /// normalised (the common case for generated venues and binary loads).
+    fn normalise_cow(raw: &str) -> Cow<'_, str> {
+        let trimmed = raw.trim();
+        if trimmed
+            .bytes()
+            .all(|b| b.is_ascii() && !b.is_ascii_uppercase())
+        {
+            Cow::Borrowed(trimmed)
+        } else {
+            Cow::Owned(trimmed.to_lowercase())
+        }
+    }
+
+    fn find(&self, hash: u64, key: &str) -> Option<WordId> {
+        let &id = self.primary.get(&hash)?;
+        if self.resolve(id) == Some(key) {
+            return Some(id);
+        }
+        self.overflow
+            .iter()
+            .find(|&&(h, oid)| h == hash && self.resolve(oid) == Some(key))
+            .map(|&(_, oid)| oid)
+    }
+
     /// Interns a word, returning its id (existing or freshly assigned).
     pub fn intern(&mut self, raw: &str) -> WordId {
-        let key = Self::normalise(raw);
-        if let Some(&id) = self.by_name.get(&key) {
+        let key = Self::normalise_cow(raw);
+        let hash = fnv1a(key.as_bytes());
+        if let Some(id) = self.find(hash, &key) {
             return id;
         }
-        let id = WordId(self.names.len() as u32);
-        self.by_name.insert(key.clone(), id);
-        self.names.push(key);
+        let start = self.arena.len() as u32;
+        self.arena.push_str(&key);
+        let id = WordId(self.spans.len() as u32);
+        self.spans.push((start, self.arena.len() as u32));
+        match self.primary.entry(hash) {
+            Entry::Vacant(slot) => {
+                slot.insert(id);
+            }
+            Entry::Occupied(_) => self.overflow.push((hash, id)),
+        }
         id
     }
 
     /// Looks up a word without interning it.
     pub fn get(&self, raw: &str) -> Option<WordId> {
-        self.by_name.get(&Self::normalise(raw)).copied()
+        let key = Self::normalise_cow(raw);
+        self.find(fnv1a(key.as_bytes()), &key)
     }
 
     /// Resolves an id back to its string.
     pub fn resolve(&self, id: WordId) -> Option<&str> {
-        self.names.get(id.index()).map(String::as_str)
+        self.spans
+            .get(id.index())
+            .map(|&(a, b)| &self.arena[a as usize..b as usize])
     }
 
     /// Number of distinct interned words.
     pub fn len(&self) -> usize {
-        self.names.len()
+        self.spans.len()
     }
 
     /// Whether the interner is empty.
     pub fn is_empty(&self) -> bool {
-        self.names.is_empty()
+        self.spans.is_empty()
     }
 
     /// Iterates over `(id, word)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (WordId, &str)> {
-        self.names
+        self.spans
             .iter()
             .enumerate()
-            .map(|(i, s)| (WordId(i as u32), s.as_str()))
+            .map(|(i, &(a, b))| (WordId(i as u32), &self.arena[a as usize..b as usize]))
+    }
+
+    /// Deterministic fingerprint of the whole table — the arena contents
+    /// plus the span list, so it pins both the set of words and their
+    /// id assignment order. Hashes the arena in 8-byte chunks rather than
+    /// per word: at mega-venue scale this runs in the microseconds that a
+    /// persisted-index load budget allows.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash = mix_bytes(0xcbf2_9ce4_8422_2325, self.arena.as_bytes());
+        for &(start, end) in &self.spans {
+            hash = mix(hash, ((start as u64) << 32) | end as u64);
+        }
+        mix(hash, self.spans.len() as u64)
     }
 
     /// Estimated heap size in bytes.
     pub fn estimated_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
-            + self
-                .names
-                .iter()
-                .map(|s| s.capacity() + std::mem::size_of::<String>())
-                .sum::<usize>()
-            + self
-                .by_name
-                .keys()
-                .map(|s| s.capacity() + std::mem::size_of::<(String, WordId)>())
-                .sum::<usize>()
+            + self.arena.capacity()
+            + self.spans.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.primary.len() * std::mem::size_of::<(u64, WordId)>() * 2
+            + self.overflow.capacity() * std::mem::size_of::<(u64, WordId)>()
     }
 }
 
@@ -138,5 +234,26 @@ mod tests {
     fn word_id_display_and_index() {
         assert_eq!(WordId(4).to_string(), "w4");
         assert_eq!(WordId(4).index(), 4);
+    }
+
+    #[test]
+    fn non_ascii_words_are_normalised() {
+        let mut i = Interner::new();
+        let a = i.intern("CAFÉ");
+        let b = i.intern("café");
+        assert_eq!(a, b);
+        assert_eq!(i.resolve(a), Some("café"));
+    }
+
+    #[test]
+    fn prefix_words_do_not_collide_in_the_arena() {
+        // "brand-1" is a prefix of "brand-10"; spans must keep them distinct.
+        let mut i = Interner::new();
+        let ids: Vec<WordId> = (0..12).map(|n| i.intern(&format!("brand-{n}"))).collect();
+        assert_eq!(i.len(), 12);
+        for (n, id) in ids.iter().enumerate() {
+            assert_eq!(i.resolve(*id), Some(format!("brand-{n}").as_str()));
+            assert_eq!(i.get(&format!("brand-{n}")), Some(*id));
+        }
     }
 }

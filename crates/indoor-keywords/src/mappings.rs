@@ -69,6 +69,17 @@ impl KeywordMappings {
         self.t2i.get(&t)
     }
 
+    /// Iterates `I2P` in i-word order — map-order traversal for callers
+    /// (like fingerprinting) that would otherwise pay a lookup per i-word.
+    pub fn i2p_entries(&self) -> impl Iterator<Item = (WordId, &[PartitionId])> {
+        self.i2p.iter().map(|(w, v)| (*w, v.as_slice()))
+    }
+
+    /// Iterates `I2T` in i-word order.
+    pub fn i2t_entries(&self) -> impl Iterator<Item = (WordId, &BTreeSet<WordId>)> {
+        self.i2t.iter().map(|(w, s)| (*w, s))
+    }
+
     /// `PW(v)`: the partition words of `v` — its i-word plus the i-word's
     /// t-words. Returns an error when the partition has no i-word.
     pub fn partition_words(&self, v: PartitionId) -> Result<(WordId, BTreeSet<WordId>)> {

@@ -23,6 +23,23 @@ pub fn jaccard(a: &BTreeSet<WordId>, b: &BTreeSet<WordId>) -> f64 {
     }
 }
 
+/// [`jaccard`] with the first set held as a sorted, duplicate-free slice
+/// (the posting-table representation). Same counts, same division — the
+/// result is bit-identical to the `BTreeSet` form.
+pub fn jaccard_sorted(a: &[WordId], b: &BTreeSet<WordId>) -> f64 {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "slice must be a set");
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.iter().filter(|w| b.contains(w)).count();
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
 /// One entry of a candidate i-word set: a matching i-word and its similarity
 /// score with the query keyword (`(wi, s)` in Definition 4).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

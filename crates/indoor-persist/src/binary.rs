@@ -32,8 +32,11 @@ use crate::document::{
     LoopOverrideRecord, PartitionRecord, VenueDocument, FORMAT_VERSION,
 };
 use crate::error::PersistError;
+use crate::index_section::IndexSection;
 use crate::Result;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use indoor_index::VenueIndex;
+use indoor_keywords::KeywordDirectory;
 use std::fs;
 use std::path::Path;
 
@@ -266,8 +269,38 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Decodes a venue document from the compact binary format.
+/// Decodes a venue document from the compact binary format. Trailing bytes
+/// are rejected unless they form an index section (see
+/// [`crate::index_section`]), which this entry point skips — use
+/// [`decode_venue_file`] to decode both.
 pub fn decode_venue(payload: &[u8]) -> Result<VenueDocument> {
+    let (doc, rest) = decode_venue_prefix(payload)?;
+    if !rest.is_empty() && !rest.starts_with(crate::index_section::INDEX_MAGIC) {
+        return Err(PersistError::Binary(format!(
+            "{} trailing bytes after the document",
+            rest.len()
+        )));
+    }
+    Ok(doc)
+}
+
+/// Decodes a venue file: the document plus whatever its optional pre-built
+/// index section held. The section outcome is advisory — corruption there
+/// yields [`IndexSection::Unusable`], never an error.
+pub fn decode_venue_file(payload: &[u8]) -> Result<(VenueDocument, IndexSection)> {
+    let (doc, rest) = decode_venue_prefix(payload)?;
+    if !rest.is_empty() && !rest.starts_with(crate::index_section::INDEX_MAGIC) {
+        return Err(PersistError::Binary(format!(
+            "{} trailing bytes after the document",
+            rest.len()
+        )));
+    }
+    Ok((doc, crate::index_section::decode_index_section(rest)))
+}
+
+/// Decodes the document at the head of `payload` and returns the unread
+/// remainder (empty, or an index section).
+fn decode_venue_prefix(payload: &[u8]) -> Result<(VenueDocument, &[u8])> {
     let mut r = Reader::new(payload);
     r.need(MAGIC.len(), "magic")?;
     let mut magic = [0u8; 8];
@@ -384,13 +417,6 @@ pub fn decode_venue(payload: &[u8]) -> Result<VenueDocument> {
         });
     }
 
-    if r.buf.has_remaining() {
-        return Err(PersistError::Binary(format!(
-            "{} trailing bytes after the document",
-            r.buf.remaining()
-        )));
-    }
-
     let doc = VenueDocument {
         format_version,
         name,
@@ -404,25 +430,64 @@ pub fn decode_venue(payload: &[u8]) -> Result<VenueDocument> {
         keywords,
     };
     doc.validate()?;
-    Ok(doc)
+    Ok((doc, r.buf))
 }
 
-/// Writes a venue document in binary form to a file.
-pub fn save_venue_binary(doc: &VenueDocument, path: impl AsRef<Path>) -> Result<()> {
-    let path = path.as_ref();
+/// Encodes a venue document followed by a pre-built index section for
+/// `index` (which must have been built against `directory`, itself rebuilt
+/// from `doc` — the section records the directory fingerprint and loaders
+/// verify it).
+pub fn encode_venue_with_index(
+    doc: &VenueDocument,
+    index: &VenueIndex,
+    directory: &KeywordDirectory,
+) -> Result<Bytes> {
+    let venue = encode_venue(doc)?;
+    let mut buf = BytesMut::with_capacity(venue.len() + (1 << 16));
+    buf.put_slice(&venue);
+    crate::index_section::encode_index_section(&mut buf, index, directory);
+    Ok(buf.freeze())
+}
+
+fn write_file(path: &Path, payload: &[u8]) -> Result<()> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             fs::create_dir_all(parent)?;
         }
     }
-    fs::write(path, encode_venue(doc)?)?;
+    fs::write(path, payload)?;
     Ok(())
 }
 
-/// Reads a venue document from a binary file.
+/// Writes a venue document in binary form to a file.
+pub fn save_venue_binary(doc: &VenueDocument, path: impl AsRef<Path>) -> Result<()> {
+    write_file(path.as_ref(), &encode_venue(doc)?)
+}
+
+/// Writes a venue document plus its pre-built index section to a file.
+pub fn save_venue_binary_with_index(
+    doc: &VenueDocument,
+    index: &VenueIndex,
+    directory: &KeywordDirectory,
+    path: impl AsRef<Path>,
+) -> Result<()> {
+    write_file(
+        path.as_ref(),
+        &encode_venue_with_index(doc, index, directory)?,
+    )
+}
+
+/// Reads a venue document from a binary file (ignoring any index section).
 pub fn load_venue_binary(path: impl AsRef<Path>) -> Result<VenueDocument> {
     let payload = fs::read(path)?;
     decode_venue(&payload)
+}
+
+/// Reads a venue document and its optional pre-built index section from a
+/// binary file.
+pub fn load_venue_binary_file(path: impl AsRef<Path>) -> Result<(VenueDocument, IndexSection)> {
+    let payload = fs::read(path)?;
+    decode_venue_file(&payload)
 }
 
 #[cfg(test)]

@@ -40,15 +40,20 @@
 pub mod binary;
 pub mod document;
 pub mod error;
+pub mod index_section;
 pub mod json;
 pub mod workload;
 
-pub use binary::{decode_venue, encode_venue, load_venue_binary, save_venue_binary};
+pub use binary::{
+    decode_venue, decode_venue_file, encode_venue, encode_venue_with_index, load_venue_binary,
+    load_venue_binary_file, save_venue_binary, save_venue_binary_with_index,
+};
 pub use document::{
     ConnectionRecord, DoorRecord, FloorRecord, IntraOverrideRecord, KeywordRecord,
     LoopOverrideRecord, PartitionRecord, VenueDocument, FORMAT_VERSION,
 };
 pub use error::PersistError;
+pub use index_section::{IndexSection, PrebuiltIndex, INDEX_FORMAT_VERSION, INDEX_MAGIC};
 pub use json::{load_venue_json, save_venue_json};
 pub use workload::{QueryRecord, ResultDocument, ResultRecord, WorkloadDocument};
 

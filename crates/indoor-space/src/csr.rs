@@ -1,0 +1,112 @@
+//! Compressed sparse row (CSR) adjacency storage.
+//!
+//! The topology mappings (`D2PA`, `D2P@`, `P2DA`, `P2D@`) and the door-graph
+//! adjacency used to be `Vec<Vec<_>>` — one heap allocation per door and per
+//! partition, which dominates cold-start time at venue scale (10⁵ partitions
+//! ⇒ ~4×10⁵ tiny allocations) and scatters the hot Dijkstra/expansion loops
+//! across the heap. [`Csr`] packs all adjacency lists of one mapping into two
+//! contiguous arrays: a flat `data` array holding every list back to back,
+//! and an `offsets` array of `n + 1` positions; the list of node `i` is
+//! `data[offsets[i]..offsets[i + 1]]`. Two allocations total, cache-linear
+//! iteration, identical slices to the old layout.
+
+/// A compact adjacency map from dense `u32`-indexed nodes to lists of `T`.
+#[derive(Debug, Clone, Default)]
+pub struct Csr<T> {
+    /// `n + 1` positions into `data`; list `i` is `data[offsets[i]..offsets[i+1]]`.
+    offsets: Vec<u32>,
+    /// All lists, concatenated in node order.
+    data: Vec<T>,
+}
+
+impl<T: Copy + Ord> Csr<T> {
+    /// Builds a CSR map over `n` nodes from unordered `(node, value)` pairs.
+    /// Pairs are sorted and deduplicated, so every list comes out sorted —
+    /// the same order the previous per-node `BTreeSet` assembly produced.
+    pub fn from_pairs(n: usize, mut pairs: Vec<(u32, T)>) -> Self {
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut offsets = vec![0u32; n + 1];
+        for &(node, _) in &pairs {
+            offsets[node as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let data = pairs.into_iter().map(|(_, v)| v).collect();
+        Csr { offsets, data }
+    }
+}
+
+impl<T> Csr<T> {
+    /// Builds a CSR map directly from already-grouped rows (sorted-by-node
+    /// concatenation); used where the caller produces rows in node order.
+    pub fn from_rows<I: IntoIterator<Item = Vec<T>>>(rows: I) -> Self {
+        let mut offsets = vec![0u32];
+        let mut data = Vec::new();
+        for row in rows {
+            data.extend(row);
+            offsets.push(data.len() as u32);
+        }
+        Csr { offsets, data }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Total number of stored values across all lists.
+    pub fn num_values(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The list of a node; empty for out-of-range nodes.
+    #[inline]
+    pub fn row(&self, node: usize) -> &[T] {
+        match (self.offsets.get(node), self.offsets.get(node + 1)) {
+            (Some(&a), Some(&b)) => &self.data[a as usize..b as usize],
+            _ => &[],
+        }
+    }
+
+    /// Estimated heap size in bytes.
+    pub fn estimated_bytes(&self) -> usize {
+        self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.data.capacity() * std::mem::size_of::<T>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_sorts_and_dedups() {
+        let csr = Csr::from_pairs(4, vec![(2, 7u32), (0, 3), (2, 1), (2, 7), (0, 3)]);
+        assert_eq!(csr.num_nodes(), 4);
+        assert_eq!(csr.row(0), &[3]);
+        assert_eq!(csr.row(1), &[] as &[u32]);
+        assert_eq!(csr.row(2), &[1, 7]);
+        assert_eq!(csr.row(3), &[] as &[u32]);
+        assert_eq!(csr.row(99), &[] as &[u32]);
+        assert_eq!(csr.num_values(), 3);
+        assert!(csr.estimated_bytes() > 0);
+    }
+
+    #[test]
+    fn from_rows_preserves_row_contents() {
+        let csr = Csr::from_rows(vec![vec![1u8, 2], vec![], vec![9]]);
+        assert_eq!(csr.num_nodes(), 3);
+        assert_eq!(csr.row(0), &[1, 2]);
+        assert_eq!(csr.row(1), &[] as &[u8]);
+        assert_eq!(csr.row(2), &[9]);
+    }
+
+    #[test]
+    fn empty_csr() {
+        let csr: Csr<u32> = Csr::from_pairs(0, Vec::new());
+        assert_eq!(csr.num_nodes(), 0);
+        assert_eq!(csr.row(0), &[] as &[u32]);
+    }
+}

@@ -22,11 +22,17 @@ pub struct DoorGraphEdge {
     pub weight: f64,
 }
 
-/// Directed weighted graph over doors.
+/// Directed weighted graph over doors in CSR form: one flat edge array plus
+/// `n + 1` offsets, instead of one heap-allocated `Vec` per door. Dijkstra's
+/// relaxation loop walks `edges_from` for every popped node; the flat layout
+/// keeps those reads cache-linear and the build free of per-node allocations.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct DoorGraph {
-    adjacency: Vec<Vec<DoorGraphEdge>>,
-    edge_count: usize,
+    /// `n + 1` positions into `edges`; door `i`'s outgoing edges are
+    /// `edges[offsets[i]..offsets[i + 1]]`.
+    offsets: Vec<u32>,
+    /// All edges, grouped by source door, each group sorted by `(to, via)`.
+    edges: Vec<DoorGraphEdge>,
 }
 
 impl DoorGraph {
@@ -38,8 +44,10 @@ impl DoorGraph {
     /// Builds the graph from the topology and distances of `space`.
     pub fn build(space: &IndoorSpace) -> Self {
         let n = space.num_doors();
-        let mut adjacency: Vec<Vec<DoorGraphEdge>> = vec![Vec::new(); n];
-        let mut edge_count = 0;
+        // Collect `(from, edge)` pairs flat, then one sort groups them by
+        // source and orders every neighbour list by destination then
+        // partition — the same deterministic order as the old per-node sort.
+        let mut flat: Vec<(DoorId, DoorGraphEdge)> = Vec::new();
         for partition in space.partitions() {
             let v = partition.id;
             for &di in space.p2d_enter(v) {
@@ -47,45 +55,51 @@ impl DoorGraph {
                     if di == dj {
                         continue;
                     }
-                    let weight = space.intra_door_distance(v, di, dj);
+                    let weight = space.intra_door_distance_unchecked(v, di, dj);
                     if !weight.is_finite() {
                         continue;
                     }
-                    adjacency[di.index()].push(DoorGraphEdge {
-                        to: dj,
-                        via: v,
-                        weight,
-                    });
-                    edge_count += 1;
+                    flat.push((
+                        di,
+                        DoorGraphEdge {
+                            to: dj,
+                            via: v,
+                            weight,
+                        },
+                    ));
                 }
             }
         }
-        // Deterministic neighbour order: by destination door then partition.
-        for edges in &mut adjacency {
-            edges.sort_by_key(|e| (e.to, e.via));
+        flat.sort_unstable_by_key(|(from, e)| (*from, e.to, e.via));
+        let mut offsets = vec![0u32; n + 1];
+        for (from, _) in &flat {
+            offsets[from.index() + 1] += 1;
         }
-        DoorGraph {
-            adjacency,
-            edge_count,
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
         }
+        let edges = flat.into_iter().map(|(_, e)| e).collect();
+        DoorGraph { offsets, edges }
     }
 
     /// Number of door nodes.
     pub fn num_nodes(&self) -> usize {
-        self.adjacency.len()
+        self.offsets.len().saturating_sub(1)
     }
 
     /// Number of directed edges.
     pub fn num_edges(&self) -> usize {
-        self.edge_count
+        self.edges.len()
     }
 
     /// Outgoing edges of a door.
+    #[inline]
     pub fn edges_from(&self, d: DoorId) -> &[DoorGraphEdge] {
-        self.adjacency
-            .get(d.index())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        let i = d.index();
+        match (self.offsets.get(i), self.offsets.get(i + 1)) {
+            (Some(&a), Some(&b)) => &self.edges[a as usize..b as usize],
+            _ => &[],
+        }
     }
 
     /// The cheapest edge from `from` to `to`, if any.
@@ -103,14 +117,8 @@ impl DoorGraph {
     /// Estimated heap size in bytes, used by the engine's memory accounting.
     pub fn estimated_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
-            + self
-                .adjacency
-                .iter()
-                .map(|v| {
-                    v.capacity() * std::mem::size_of::<DoorGraphEdge>()
-                        + std::mem::size_of::<Vec<DoorGraphEdge>>()
-                })
-                .sum::<usize>()
+            + self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.edges.capacity() * std::mem::size_of::<DoorGraphEdge>()
     }
 }
 

@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod csr;
 pub mod door;
 pub mod door_graph;
 pub mod error;
@@ -42,6 +43,7 @@ pub mod skeleton;
 pub mod space;
 pub mod stats;
 
+pub use csr::Csr;
 pub use door::{Door, DoorKind};
 pub use door_graph::{DoorGraph, DoorGraphEdge};
 pub use error::SpaceError;

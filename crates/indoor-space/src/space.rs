@@ -2,6 +2,7 @@
 //! intra-partition distance functions of §II-A, plus the derived structures
 //! (door graph, skeleton index, per-floor point-location grids).
 
+use crate::csr::Csr;
 use crate::door::{Door, DoorKind};
 use crate::door_graph::DoorGraph;
 use crate::error::SpaceError;
@@ -15,7 +16,7 @@ use crate::Result;
 use crate::UNREACHABLE;
 use indoor_geom::{Point, Rect, UniformGrid};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, HashMap};
 
 /// Connection descriptor between a door and a partition recorded by the
 /// builder before validation.
@@ -191,52 +192,59 @@ impl IndoorSpaceBuilder {
             }
         }
 
-        // Assemble the four topology mappings. BTreeSet keeps them sorted and
-        // deduplicated so that iteration order is deterministic.
-        let mut d2p_enter: Vec<BTreeSet<PartitionId>> = vec![BTreeSet::new(); num_doors];
-        let mut d2p_leave: Vec<BTreeSet<PartitionId>> = vec![BTreeSet::new(); num_doors];
-        let mut p2d_enter: Vec<BTreeSet<DoorId>> = vec![BTreeSet::new(); num_partitions];
-        let mut p2d_leave: Vec<BTreeSet<DoorId>> = vec![BTreeSet::new(); num_partitions];
+        // Assemble the four topology mappings as CSR arrays: flat pair lists,
+        // one sort + dedup each — sorted, deduplicated and deterministic like
+        // the previous per-node BTreeSet assembly, without the per-node heap
+        // allocations that dominated cold-start time at venue scale.
+        let mut d2p_enter_pairs: Vec<(u32, PartitionId)> =
+            Vec::with_capacity(self.connections.len());
+        let mut d2p_leave_pairs: Vec<(u32, PartitionId)> =
+            Vec::with_capacity(self.connections.len());
+        let mut p2d_enter_pairs: Vec<(u32, DoorId)> = Vec::with_capacity(self.connections.len());
+        let mut p2d_leave_pairs: Vec<(u32, DoorId)> = Vec::with_capacity(self.connections.len());
         for c in &self.connections {
             if c.enterable {
-                d2p_enter[c.door.index()].insert(c.partition);
-                p2d_enter[c.partition.index()].insert(c.door);
+                d2p_enter_pairs.push((c.door.0, c.partition));
+                p2d_enter_pairs.push((c.partition.0, c.door));
             }
             if c.leavable {
-                d2p_leave[c.door.index()].insert(c.partition);
-                p2d_leave[c.partition.index()].insert(c.door);
+                d2p_leave_pairs.push((c.door.0, c.partition));
+                p2d_leave_pairs.push((c.partition.0, c.door));
             }
         }
+        let d2p_enter = Csr::from_pairs(num_doors, d2p_enter_pairs);
+        let d2p_leave = Csr::from_pairs(num_doors, d2p_leave_pairs);
+        let p2d_enter = Csr::from_pairs(num_partitions, p2d_enter_pairs);
+        let p2d_leave = Csr::from_pairs(num_partitions, p2d_leave_pairs);
 
         // Every door must connect to something; every partition must have a
         // door (otherwise it can never appear on a route).
-        for (i, (enter, leave)) in d2p_enter.iter().zip(&d2p_leave).enumerate() {
-            if enter.is_empty() && leave.is_empty() {
+        for i in 0..num_doors {
+            if d2p_enter.row(i).is_empty() && d2p_leave.row(i).is_empty() {
                 return Err(SpaceError::DisconnectedDoor(DoorId(i as u32)));
             }
         }
-        for (i, (enter, leave)) in p2d_enter.iter().zip(&p2d_leave).enumerate() {
-            if enter.is_empty() && leave.is_empty() {
+        for i in 0..num_partitions {
+            if p2d_enter.row(i).is_empty() && p2d_leave.row(i).is_empty() {
                 return Err(SpaceError::DisconnectedPartition(PartitionId(i as u32)));
             }
         }
 
-        let d2p_enter: Vec<Vec<PartitionId>> = d2p_enter
+        // Distance overrides become sorted flat tables looked up by binary
+        // search — the per-query HashMap probes of the old layout were a
+        // measurable constant on the hot d2d path.
+        let mut intra_overrides: Vec<(PartitionId, DoorId, DoorId, f64)> = self
+            .intra_overrides
             .into_iter()
-            .map(|s| s.into_iter().collect())
+            .map(|((v, a, b), d)| (v, a, b, d))
             .collect();
-        let d2p_leave: Vec<Vec<PartitionId>> = d2p_leave
+        intra_overrides.sort_unstable_by_key(|&(v, a, b, _)| (v, a, b));
+        let mut loop_overrides: Vec<(PartitionId, DoorId, f64)> = self
+            .loop_overrides
             .into_iter()
-            .map(|s| s.into_iter().collect())
+            .map(|((v, d), dist)| (v, d, dist))
             .collect();
-        let p2d_enter: Vec<Vec<DoorId>> = p2d_enter
-            .into_iter()
-            .map(|s| s.into_iter().collect())
-            .collect();
-        let p2d_leave: Vec<Vec<DoorId>> = p2d_leave
-            .into_iter()
-            .map(|s| s.into_iter().collect())
-            .collect();
+        loop_overrides.sort_unstable_by_key(|&(v, d, _)| (v, d));
 
         // Per-floor point-location grids over partition footprints.
         let mut floor_bounds: BTreeMap<FloorId, Rect> = self.floors.clone();
@@ -265,8 +273,8 @@ impl IndoorSpaceBuilder {
             d2p_leave,
             p2d_enter,
             p2d_leave,
-            intra_overrides: self.intra_overrides,
-            loop_overrides: self.loop_overrides,
+            intra_overrides,
+            loop_overrides,
             floor_bounds,
             grids,
             door_graph: DoorGraph::empty(),
@@ -284,12 +292,14 @@ impl IndoorSpaceBuilder {
 pub struct IndoorSpace {
     partitions: Vec<Partition>,
     doors: Vec<Door>,
-    d2p_enter: Vec<Vec<PartitionId>>,
-    d2p_leave: Vec<Vec<PartitionId>>,
-    p2d_enter: Vec<Vec<DoorId>>,
-    p2d_leave: Vec<Vec<DoorId>>,
-    intra_overrides: HashMap<(PartitionId, DoorId, DoorId), f64>,
-    loop_overrides: HashMap<(PartitionId, DoorId), f64>,
+    d2p_enter: Csr<PartitionId>,
+    d2p_leave: Csr<PartitionId>,
+    p2d_enter: Csr<DoorId>,
+    p2d_leave: Csr<DoorId>,
+    /// Sorted by `(partition, from door, to door)`; binary-searched.
+    intra_overrides: Vec<(PartitionId, DoorId, DoorId, f64)>,
+    /// Sorted by `(partition, door)`; binary-searched.
+    loop_overrides: Vec<(PartitionId, DoorId, f64)>,
     floor_bounds: BTreeMap<FloorId, Rect>,
     grids: BTreeMap<FloorId, (UniformGrid, Vec<PartitionId>)>,
     door_graph: DoorGraph,
@@ -358,17 +368,13 @@ impl IndoorSpace {
     pub fn intra_distance_overrides(
         &self,
     ) -> impl Iterator<Item = (PartitionId, DoorId, DoorId, f64)> + '_ {
-        self.intra_overrides
-            .iter()
-            .map(|(&(v, a, b), &d)| (v, a, b, d))
+        self.intra_overrides.iter().copied()
     }
 
     /// All same-door loop-cost overrides declared by the venue builder
     /// (`(partition, door) → distance`). Exposed for persistence layers.
     pub fn loop_distance_overrides(&self) -> impl Iterator<Item = (PartitionId, DoorId, f64)> + '_ {
-        self.loop_overrides
-            .iter()
-            .map(|(&(v, d), &dist)| (v, d, dist))
+        self.loop_overrides.iter().copied()
     }
 
     /// The skeleton-distance index (lower bound `|·,·|_L` of §IV-A).
@@ -391,35 +397,27 @@ impl IndoorSpace {
     // ------------------------------------------------------------------
 
     /// `D2PA(d)`: partitions one can enter through door `d`.
+    #[inline]
     pub fn d2p_enter(&self, d: DoorId) -> &[PartitionId] {
-        self.d2p_enter
-            .get(d.index())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.d2p_enter.row(d.index())
     }
 
     /// `D2P@(d)`: partitions one can leave through door `d`.
+    #[inline]
     pub fn d2p_leave(&self, d: DoorId) -> &[PartitionId] {
-        self.d2p_leave
-            .get(d.index())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.d2p_leave.row(d.index())
     }
 
     /// `P2DA(v)`: doors through which partition `v` can be entered.
+    #[inline]
     pub fn p2d_enter(&self, v: PartitionId) -> &[DoorId] {
-        self.p2d_enter
-            .get(v.index())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.p2d_enter.row(v.index())
     }
 
     /// `P2D@(v)`: doors through which partition `v` can be left.
+    #[inline]
     pub fn p2d_leave(&self, v: PartitionId) -> &[DoorId] {
-        self.p2d_leave
-            .get(v.index())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.p2d_leave.row(v.index())
     }
 
     /// Partitions through which one can move from door `di` (entering) to door
@@ -506,8 +504,26 @@ impl IndoorSpace {
         if !self.d2p_enter(di).contains(&v) || !self.d2p_leave(dj).contains(&v) {
             return UNREACHABLE;
         }
-        if let Some(d) = self.intra_overrides.get(&(v, di, dj)) {
-            return *d;
+        self.intra_door_distance_unchecked(v, di, dj)
+    }
+
+    /// [`IndoorSpace::intra_door_distance`] without the topology membership
+    /// re-check, for callers that already iterate `P2DA(v)` × `P2D@(v)`
+    /// (the door-graph builder runs this once per potential edge).
+    #[inline]
+    pub(crate) fn intra_door_distance_unchecked(
+        &self,
+        v: PartitionId,
+        di: DoorId,
+        dj: DoorId,
+    ) -> f64 {
+        if !self.intra_overrides.is_empty() {
+            if let Ok(i) = self
+                .intra_overrides
+                .binary_search_by(|&(pv, pa, pb, _)| (pv, pa, pb).cmp(&(v, di, dj)))
+            {
+                return self.intra_overrides[i].3;
+            }
         }
         let a = &self.doors[di.index()];
         let b = &self.doors[dj.index()];
@@ -541,8 +557,11 @@ impl IndoorSpace {
         if !self.d2p_enter(d).contains(&v) || !self.d2p_leave(d).contains(&v) {
             return UNREACHABLE;
         }
-        if let Some(dist) = self.loop_overrides.get(&(v, d)) {
-            return *dist;
+        if let Ok(i) = self
+            .loop_overrides
+            .binary_search_by(|&(pv, pd, _)| (pv, pd).cmp(&(v, d)))
+        {
+            return self.loop_overrides[i].2;
         }
         let door = &self.doors[d.index()];
         let partition = &self.partitions[v.index()];

@@ -157,6 +157,35 @@ struct IndexBody {
     precomputed_rows: usize,
     /// Estimated bytes held by materialized KoE* rows, summed over venues.
     precomputed_bytes: usize,
+    /// Venues whose index was loaded from a persisted venue file.
+    venues_loaded_from_disk: usize,
+    /// KoE* row-cache evictions, summed over venues.
+    rows_evictions: u64,
+    /// Per-venue index/row-cache detail, in venue-id order.
+    venues: Vec<VenueIndexBody>,
+}
+
+/// Per-venue index observability inside [`IndexBody`].
+#[derive(Serialize)]
+struct VenueIndexBody {
+    id: String,
+    /// `"accelerated"` or `"scan"`.
+    mode: String,
+    /// Whether the venue's index came from a persisted venue file.
+    loaded_from_disk: bool,
+    /// Index acquisition time in microseconds (build, or decode when
+    /// loaded from disk).
+    build_micros: u64,
+    /// Maximum KoE* distance rows the LRU cache may hold.
+    rows_capacity: usize,
+    /// KoE* distance rows currently resident.
+    rows_resident: usize,
+    /// Row-cache lookups answered without a Dijkstra.
+    rows_hits: u64,
+    /// Row-cache lookups that ran a Dijkstra.
+    rows_misses: u64,
+    /// Rows dropped to stay within capacity.
+    rows_evictions: u64,
 }
 
 #[derive(Deserialize)]
@@ -228,10 +257,14 @@ impl IkrqApp {
             bound_cache_hits: 0,
             precomputed_rows: 0,
             precomputed_bytes: 0,
+            venues_loaded_from_disk: 0,
+            rows_evictions: 0,
+            venues: Vec::new(),
         };
         let mut counters = ikrq_core::IndexStats {
             build_micros: 0,
             estimated_bytes: 0,
+            loaded_from_disk: false,
             counters: Default::default(),
         };
         for id in registry.ids() {
@@ -239,14 +272,31 @@ impl IkrqApp {
                 continue;
             };
             body.venues_total += 1;
-            if let Some(stats) = engine.index_stats() {
+            let stats = engine.index_stats();
+            if let Some(stats) = &stats {
                 body.venues_indexed += 1;
                 counters.build_micros += stats.build_micros;
                 counters.estimated_bytes += stats.estimated_bytes;
                 counters.counters.add(&stats.counters);
+                if stats.loaded_from_disk {
+                    body.venues_loaded_from_disk += 1;
+                }
             }
             body.precomputed_rows += engine.precomputed_rows();
             body.precomputed_bytes += engine.precomputed_bytes();
+            let rows = engine.koe_rows_stats();
+            body.rows_evictions += rows.evictions;
+            body.venues.push(VenueIndexBody {
+                id,
+                mode: engine.index_mode().label().to_string(),
+                loaded_from_disk: stats.as_ref().is_some_and(|s| s.loaded_from_disk),
+                build_micros: stats.as_ref().map_or(0, |s| s.build_micros),
+                rows_capacity: rows.capacity,
+                rows_resident: rows.resident,
+                rows_hits: rows.hits,
+                rows_misses: rows.misses,
+                rows_evictions: rows.evictions,
+            });
         }
         body.mode = if body.venues_indexed == 0 {
             "scan".to_string()

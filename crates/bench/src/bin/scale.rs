@@ -6,10 +6,12 @@
 //! scale [--sizes 100,1000,10000] [--queries 20] [--seed 42] [--csv] [--persist]
 //! ```
 //!
-//! `--persist` additionally enforces the serving criterion on every point
+//! `--persist` additionally enforces the serving criteria on every point
 //! of at least 10⁴ partitions: adopting the persisted index must be at
-//! least 5× faster than building it fresh, and the loaded engine's
-//! responses must be byte-identical to the scan engine's.
+//! least 5× faster than building it fresh, adopting the v2 columnar
+//! document body (decode + adopt) must be at least 5× faster than the
+//! v1-style record rebuild, and the loaded engines' responses must be
+//! byte-identical to the scan engine's.
 
 use ikrq_bench::scale::{markdown_table, run_scale_sweep, ScaleSweepConfig};
 
@@ -65,13 +67,15 @@ fn main() {
     if csv {
         println!(
             "partitions,doors,generate_ms,space_build_ms,index_build_ms,save_ms,load_ms,\
-             index_load_ms,index_bytes,scan_qps,accelerated_qps,\
+             index_load_ms,doc_decode_ms,model_adopt_ms,doc_rebuild_ms,\
+             index_bytes,scan_qps,accelerated_qps,\
              candidate_fraction,scan_peak_bytes,accelerated_peak_bytes,\
-             koe_star_rows,koe_star_total_rows,peak_rss_kib,identical,loaded_identical"
+             koe_star_rows,koe_star_total_rows,peak_rss_kib,identical,loaded_identical,\
+             columnar_adopted,columnar_identical"
         );
         for p in &points {
             println!(
-                "{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{},{:.2},{:.2},{:.6},{},{},{},{},{},{},{}",
+                "{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{},{:.2},{:.2},{:.6},{},{},{},{},{},{},{},{},{}",
                 p.partitions,
                 p.doors,
                 p.generate_ms,
@@ -80,6 +84,9 @@ fn main() {
                 p.save_ms,
                 p.load_ms,
                 p.index_load_ms,
+                p.doc_decode_ms,
+                p.model_adopt_ms,
+                p.doc_rebuild_ms,
                 p.index_bytes,
                 p.scan_qps,
                 p.accelerated_qps,
@@ -91,6 +98,8 @@ fn main() {
                 p.peak_rss_kib,
                 p.identical_responses,
                 p.loaded_identical,
+                p.columnar_adopted,
+                p.columnar_identical,
             );
         }
     } else {
@@ -104,6 +113,10 @@ fn main() {
         eprintln!("ERROR: loaded-index and scan responses diverged");
         std::process::exit(1);
     }
+    if points.iter().any(|p| !p.columnar_identical) {
+        eprintln!("ERROR: columnar-loaded and scan responses diverged");
+        std::process::exit(1);
+    }
     if persist {
         let mut failed = false;
         for p in points.iter().filter(|p| p.partitions >= 10_000) {
@@ -115,6 +128,22 @@ fn main() {
             if p.index_build_ms < 5.0 * p.index_load_ms {
                 eprintln!(
                     "ERROR: persisted-index load must be at least 5x faster than a fresh build"
+                );
+                failed = true;
+            }
+            let adopt_ms = p.doc_decode_ms + p.model_adopt_ms;
+            let doc_ratio = p.doc_rebuild_ms / adopt_ms.max(1e-9);
+            eprintln!(
+                "document criterion at {} partitions: rebuild {:.2} ms vs adopt {:.2} ms ({doc_ratio:.1}x)",
+                p.partitions, p.doc_rebuild_ms, adopt_ms
+            );
+            if !p.columnar_adopted {
+                eprintln!("ERROR: a v2 cold load degraded to a record rebuild");
+                failed = true;
+            }
+            if p.doc_rebuild_ms < 5.0 * adopt_ms {
+                eprintln!(
+                    "ERROR: columnar document adoption must be at least 5x faster than a record rebuild"
                 );
                 failed = true;
             }
@@ -134,8 +163,9 @@ fn usage(problem: &str) -> ! {
          \n\
          Sweeps venue sizes, comparing the index-accelerated engine against\n\
          the linear-scan engine on identical mega-venue workloads. --persist\n\
-         additionally enforces the >=5x persisted-index load speedup on\n\
-         points of at least 10^4 partitions."
+         additionally enforces the >=5x persisted-index load speedup and the\n\
+         >=5x columnar document adoption speedup on points of at least 10^4\n\
+         partitions."
     );
     std::process::exit(if problem.is_empty() { 0 } else { 2 });
 }

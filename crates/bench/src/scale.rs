@@ -22,6 +22,14 @@
 //! generate / space-build / index-build / save / load phases, so the
 //! `index_build_ms ≥ 5 × index_load_ms` serving criterion is measured in
 //! the same run that checks loaded-engine responses for byte-identity.
+//!
+//! The v2 columnar format gets the same treatment for the document body:
+//! each point saves a columnar file, cold-loads it with
+//! [`binary::load_venue_model`], and splits that load into its *doc-decode*
+//! (bytes → columns) and *model-adopt* (columns → model) phases. The
+//! document criterion compares their sum against the v1-style
+//! record-rebuild (`VenueDocument::build`), and the v2-loaded engine's
+//! responses join the byte-identity check.
 
 use crate::workload::to_query;
 use ikrq_core::{ExecOptions, IkrqEngine, IkrqService, IndexMode, SearchRequest, VariantConfig};
@@ -100,6 +108,22 @@ pub struct ScalePoint {
     /// directory. The serving criterion compares this against
     /// `index_build_ms`.
     pub index_load_ms: f64,
+    /// v2 columnar doc-decode phase in milliseconds (best of a few rounds):
+    /// bytes → validated columns.
+    pub doc_decode_ms: f64,
+    /// v2 columnar model-adopt phase in milliseconds (best of a few
+    /// rounds): columns → space + directory.
+    pub model_adopt_ms: f64,
+    /// v1-style record rebuild in milliseconds (best of a few rounds):
+    /// `VenueDocument::build` on the loaded document. The document
+    /// criterion compares this against `doc_decode_ms + model_adopt_ms`.
+    pub doc_rebuild_ms: f64,
+    /// Whether every v2 cold load adopted the columnar section (no
+    /// degradation to a record rebuild).
+    pub columnar_adopted: bool,
+    /// Whether every response from the v2-loaded engine was byte-identical
+    /// to the scan response.
+    pub columnar_identical: bool,
     /// Process peak resident set (`VmHWM`) in KiB after this point ran.
     /// A high-water mark, so it is monotone across a multi-size sweep.
     pub peak_rss_kib: u64,
@@ -336,6 +360,55 @@ fn run_scale_point(size: usize, queries: usize, seed: u64) -> ScalePoint {
         response.deterministic_json() == scan.deterministic_json()
     });
 
+    // v2 columnar round trip: save the same document with a columnar body,
+    // cold-load it, and split that load into its decode and adopt phases.
+    // The document criterion compares decode + adopt against the v1-style
+    // record rebuild, best of a few rounds on both sides.
+    let disk2 =
+        binary::encode_venue_columnar(&doc, fresh.space(), fresh.directory(), Some(fresh_index))
+            .expect("sweep documents encode as columnar");
+    let mut doc_decode_ms = f64::INFINITY;
+    let mut model_adopt_ms = f64::INFINITY;
+    let mut columnar_adopted = true;
+    for _ in 0..TIMING_ROUNDS {
+        let round = binary::load_venue_model(&disk2).expect("columnar venue loads");
+        columnar_adopted &= round.stats.adopted_columnar && round.stats.degraded.is_none();
+        doc_decode_ms = doc_decode_ms.min(round.stats.decode_micros as f64 / 1e3);
+        model_adopt_ms = model_adopt_ms.min(round.stats.adopt_micros as f64 / 1e3);
+    }
+    let mut doc_rebuild_ms = f64::INFINITY;
+    for _ in 0..TIMING_ROUNDS {
+        let rebuild_start = Instant::now();
+        let rebuilt = loaded_doc.build().expect("loaded documents round-trip");
+        doc_rebuild_ms = doc_rebuild_ms.min(ms_since(rebuild_start));
+        drop(rebuilt);
+    }
+
+    // The v2-loaded engine (columnar model + persisted index) joins the
+    // byte-identity check against the scan responses.
+    let v2 = binary::load_venue_model(&disk2).expect("columnar venue loads");
+    let v2_index = match v2.index {
+        IndexSection::Present(prebuilt) => prebuilt
+            .into_index(&v2.directory)
+            .expect("persisted index binds to the adopted directory"),
+        other => panic!("columnar venue carries a usable index section: {other:?}"),
+    };
+    let v2_engine = Arc::new(IkrqEngine::with_prebuilt_index(
+        v2.space,
+        v2.directory,
+        v2_index,
+    ));
+    let v2_service = IkrqService::new();
+    v2_service
+        .register_engine("sweep", Arc::clone(&v2_engine))
+        .expect("fresh service accepts the venue");
+    let columnar_identical = requests.iter().zip(&scan_responses).all(|(r, scan)| {
+        let response = v2_service
+            .search(r)
+            .expect("columnar-loaded query succeeds");
+        response.deterministic_json() == scan.deterministic_json()
+    });
+
     ScalePoint {
         requested_partitions: size,
         partitions: stats.partitions,
@@ -355,6 +428,11 @@ fn run_scale_point(size: usize, queries: usize, seed: u64) -> ScalePoint {
         save_ms,
         load_ms,
         index_load_ms,
+        doc_decode_ms,
+        model_adopt_ms,
+        doc_rebuild_ms,
+        columnar_adopted,
+        columnar_identical,
         peak_rss_kib: peak_rss_kib(),
         identical_responses: identical,
         loaded_identical,
@@ -365,13 +443,14 @@ fn run_scale_point(size: usize, queries: usize, seed: u64) -> ScalePoint {
 pub fn markdown_table(points: &[ScalePoint]) -> String {
     let mut out = String::from(
         "| partitions | doors | gen ms | space ms | build ms | save ms | load ms | \
-         idx load ms | index KiB | scan q/s | index q/s | \
+         idx load ms | doc dec ms | doc adopt ms | rebuild ms | index KiB | scan q/s | index q/s | \
          cand. frac | scan peak KiB | index peak KiB | KoE* rows | RSS MiB | identical |\n\
-         |---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|:---|\n",
+         |---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|:---|\n",
     );
     for p in points {
         out.push_str(&format!(
-            "| {} | {} | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} | {:.2} | {} | {:.1} | {:.1} | \
+            "| {} | {} | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} | {:.2} | {:.2} | {:.2} | {:.1} | \
+             {} | {:.1} | {:.1} | \
              {:.4} | {} | {} | {}/{} | {} | {} |\n",
             p.partitions,
             p.doors,
@@ -381,6 +460,9 @@ pub fn markdown_table(points: &[ScalePoint]) -> String {
             p.save_ms,
             p.load_ms,
             p.index_load_ms,
+            p.doc_decode_ms,
+            p.model_adopt_ms,
+            p.doc_rebuild_ms,
             p.index_bytes / 1024,
             p.scan_qps,
             p.accelerated_qps,
@@ -390,7 +472,10 @@ pub fn markdown_table(points: &[ScalePoint]) -> String {
             p.koe_star_rows,
             p.koe_star_total_rows,
             p.peak_rss_kib / 1024,
-            p.identical_responses && p.loaded_identical,
+            p.identical_responses
+                && p.loaded_identical
+                && p.columnar_identical
+                && p.columnar_adopted,
         ));
     }
     out
@@ -423,8 +508,17 @@ mod tests {
             p.loaded_identical,
             "the loaded-index path must agree with the scan path byte-for-byte"
         );
+        assert!(
+            p.columnar_adopted,
+            "v2 cold loads must adopt the columnar section"
+        );
+        assert!(
+            p.columnar_identical,
+            "the columnar-loaded path must agree with the scan path byte-for-byte"
+        );
         assert!(p.generate_ms > 0.0 && p.space_build_ms > 0.0);
         assert!(p.save_ms > 0.0 && p.load_ms > 0.0 && p.index_load_ms > 0.0);
+        assert!(p.doc_decode_ms > 0.0 && p.model_adopt_ms > 0.0 && p.doc_rebuild_ms > 0.0);
         // The KoE* probe touches only a fraction of the door rows.
         assert!(p.koe_star_rows > 0, "KoE* probes materialize rows");
         assert!(

@@ -194,10 +194,10 @@ fn generate(args: &ParsedArgs) -> Result<String> {
         let index = engine
             .index()
             .expect("accelerated engines build an index at construction");
-        binary::save_venue_binary_with_index(&doc, index, engine.directory(), path)?;
+        binary::save_venue_columnar(&doc, engine.space(), engine.directory(), Some(index), path)?;
         let _ = writeln!(
             report,
-            "wrote {} (pre-indexed: {} built in {:.2} ms, {:.2} MB)",
+            "wrote {} (columnar + pre-indexed: {} built in {:.2} ms, {:.2} MB)",
             path,
             doc.name.as_deref().unwrap_or("venue"),
             index.build_micros() as f64 / 1e3,
@@ -243,28 +243,79 @@ fn load_engine(path: &str) -> Result<(IndoorSpace, KeywordDirectory, Option<Stri
     Ok((space, directory, name))
 }
 
-/// Loads a venue document together with its optional pre-built index
-/// section. Only the binary format can carry a section; JSON documents (and
-/// binary files without one) report [`IndexSection::Absent`].
-fn load_document_with_section(path: &str) -> Result<(VenueDocument, indoor_persist::IndexSection)> {
-    match binary::load_venue_binary_file(path) {
-        Ok(pair) => Ok(pair),
-        Err(_) => load_venue_document(path).map(|doc| (doc, indoor_persist::IndexSection::Absent)),
+/// Loads a venue file straight into its in-memory model plus the optional
+/// pre-built index section. Binary files go through
+/// [`binary::load_venue_model_file`] (which adopts a v2 columnar section when
+/// present and degrades to a record rebuild otherwise); anything else falls
+/// back to the JSON document path, reported as format version 0.
+fn load_serving_model(
+    path: &str,
+) -> Result<(
+    Option<String>,
+    IndoorSpace,
+    KeywordDirectory,
+    indoor_persist::IndexSection,
+    ikrq_core::DocumentStats,
+)> {
+    match binary::load_venue_model_file(path) {
+        Ok(loaded) => {
+            let stats = ikrq_core::DocumentStats {
+                format_version: loaded.stats.format_version,
+                adopted_columnar: loaded.stats.adopted_columnar,
+                decode_micros: loaded.stats.decode_micros,
+                adopt_micros: loaded.stats.adopt_micros,
+                degraded: loaded.stats.degraded,
+            };
+            Ok((
+                loaded.name,
+                loaded.space,
+                loaded.directory,
+                loaded.index,
+                stats,
+            ))
+        }
+        Err(_) => {
+            let started = std::time::Instant::now();
+            let doc = load_venue_document(path)?;
+            let decode_micros = started.elapsed().as_micros() as u64;
+            let name = doc.name.clone();
+            let started = std::time::Instant::now();
+            let (space, directory) = doc.build()?;
+            let adopt_micros = started.elapsed().as_micros() as u64;
+            let stats = ikrq_core::DocumentStats {
+                format_version: 0,
+                adopted_columnar: false,
+                decode_micros,
+                adopt_micros,
+                degraded: None,
+            };
+            Ok((
+                name,
+                space,
+                directory,
+                indoor_persist::IndexSection::Absent,
+                stats,
+            ))
+        }
     }
 }
 
 /// Builds a serving engine for a venue file, adopting a usable persisted
-/// index section instead of rebuilding. Any section defect (corruption,
-/// version skew, directory mismatch) degrades to a fresh build with a
-/// warning on stderr — a stale index never prevents a venue from serving.
+/// columnar document body and index section instead of rebuilding. Any
+/// section defect (corruption, version skew, directory mismatch) degrades to
+/// a fresh build with a warning on stderr — a stale section never prevents a
+/// venue from serving.
 fn build_serving_engine(
     path: &str,
     index_mode: ikrq_core::IndexMode,
     koe_rows_cap: Option<usize>,
 ) -> Result<(ikrq_core::IkrqEngine, Option<String>)> {
-    let (doc, section) = load_document_with_section(path)?;
-    let name = doc.name.clone();
-    let (space, directory) = doc.build()?;
+    let (name, space, directory, section, stats) = load_serving_model(path)?;
+    if let Some(reason) = &stats.degraded {
+        eprintln!(
+            "warning: {path}: columnar document not adopted ({reason}); rebuilt from records"
+        );
+    }
     let mut engine = match (index_mode, section) {
         (ikrq_core::IndexMode::Accelerated, indoor_persist::IndexSection::Present(prebuilt)) => {
             match prebuilt.into_index(&directory) {
@@ -285,6 +336,7 @@ fn build_serving_engine(
     if let Some(cap) = koe_rows_cap {
         engine.set_koe_rows_cap(cap);
     }
+    engine.set_document_stats(stats);
     Ok((engine, name))
 }
 
@@ -922,9 +974,16 @@ mod tests {
         assert!(loaded.index().is_some_and(|i| i.loaded_from_disk()));
         assert_eq!(loaded.koe_rows_capacity(), 64);
         assert_eq!(name.as_deref(), Some("mega-150p-seed9"));
+        let doc_stats = loaded.document_stats().expect("loaded from a document");
+        assert_eq!(doc_stats.format_version, 2);
+        assert!(doc_stats.adopted_columnar, "stats: {doc_stats:?}");
+        assert!(doc_stats.degraded.is_none(), "stats: {doc_stats:?}");
         let (fresh, _) =
             build_serving_engine(&json_path, ikrq_core::IndexMode::Accelerated, None).unwrap();
         assert!(fresh.index().is_some_and(|i| !i.loaded_from_disk()));
+        let fresh_stats = fresh.document_stats().expect("loaded from a document");
+        assert_eq!(fresh_stats.format_version, 0);
+        assert!(!fresh_stats.adopted_columnar);
 
         let loaded_service = IkrqService::new();
         loaded_service
@@ -968,7 +1027,8 @@ mod tests {
             assert_eq!(a.deterministic_json(), b.deterministic_json());
         }
 
-        // Corrupting the section degrades to a rebuild, not a failure.
+        // Corrupting the index section degrades it to a rebuild, not a
+        // failure — and leaves the columnar document adoption intact.
         let mut bytes = std::fs::read(&bin).unwrap();
         let n = bytes.len();
         bytes[n - 5] ^= 0xff;
@@ -976,6 +1036,18 @@ mod tests {
         let (degraded, _) =
             build_serving_engine(&bin, ikrq_core::IndexMode::Accelerated, None).unwrap();
         assert!(degraded.index().is_some_and(|i| !i.loaded_from_disk()));
+        assert!(degraded.document_stats().unwrap().adopted_columnar);
+
+        // Corrupting the columnar section degrades the document to a record
+        // rebuild — the venue still serves.
+        let record_len = u32::from_le_bytes(bytes[10..14].try_into().unwrap()) as usize;
+        bytes[14 + record_len + 20] ^= 0xff;
+        std::fs::write(&bin, &bytes).unwrap();
+        let (rebuilt, _) =
+            build_serving_engine(&bin, ikrq_core::IndexMode::Accelerated, None).unwrap();
+        let stats = rebuilt.document_stats().unwrap();
+        assert!(!stats.adopted_columnar, "stats: {stats:?}");
+        assert!(stats.degraded.is_some(), "stats: {stats:?}");
 
         std::fs::remove_dir_all(&dir).ok();
     }

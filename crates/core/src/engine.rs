@@ -39,6 +39,26 @@ impl IndexMode {
     }
 }
 
+/// How the venue document this engine serves was turned into its in-memory
+/// model, shaped for `/v1/stats`. Recorded by whoever loads the venue (the
+/// CLI maps `indoor_persist::DocumentLoadStats` here); engines built
+/// directly from in-memory models have none.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocumentStats {
+    /// File format version the venue was loaded from (`2` columnar binary,
+    /// `1` record binary, `0` JSON).
+    pub format_version: u16,
+    /// Whether the model was adopted from a columnar document section
+    /// rather than rebuilt from records.
+    pub adopted_columnar: bool,
+    /// Microseconds spent decoding bytes into records or columns.
+    pub decode_micros: u64,
+    /// Microseconds spent turning the decoded form into the model.
+    pub adopt_micros: u64,
+    /// Why a columnar file fell back to the record rebuild, when it did.
+    pub degraded: Option<String>,
+}
+
 /// Point-in-time index observability for one engine, shaped for `/v1/stats`.
 #[derive(Debug, Clone, Copy)]
 pub struct IndexStats {
@@ -70,6 +90,8 @@ pub struct IkrqEngine {
     /// Explicit KoE* row-cache capacity (`--koe-rows-cap`); `None` sizes the
     /// cache from the default byte budget when the cache is first created.
     koe_rows_cap: Option<usize>,
+    /// How the venue document was loaded, when the engine came from one.
+    document_stats: Option<DocumentStats>,
 }
 
 impl IkrqEngine {
@@ -97,6 +119,7 @@ impl IkrqEngine {
             index,
             precomputed: OnceLock::new(),
             koe_rows_cap: None,
+            document_stats: None,
         }
     }
 
@@ -116,7 +139,20 @@ impl IkrqEngine {
             index: Some(Arc::new(index)),
             precomputed: OnceLock::new(),
             koe_rows_cap: None,
+            document_stats: None,
         }
+    }
+
+    /// Records how the venue document behind this engine was loaded, for
+    /// `/v1/stats` observability. Called by the loader that built the
+    /// engine; replaces any earlier record.
+    pub fn set_document_stats(&mut self, stats: DocumentStats) {
+        self.document_stats = Some(stats);
+    }
+
+    /// How the venue document was loaded, when the engine came from one.
+    pub fn document_stats(&self) -> Option<&DocumentStats> {
+        self.document_stats.as_ref()
     }
 
     /// Sets an explicit KoE* row-cache capacity. Must be called before the

@@ -100,6 +100,70 @@ impl Interner {
         raw.trim().to_lowercase()
     }
 
+    /// Rebuilds an interner from its persisted arena and span table (the
+    /// columnar venue load path), replaying only the hash-table inserts —
+    /// no per-word allocation, no re-normalisation. Every span must address
+    /// a valid, already-normalised, distinct word; violations are reported
+    /// as a human-readable reason so loaders can degrade to a rebuild.
+    pub fn from_parts(arena: String, spans: Vec<(u32, u32)>) -> std::result::Result<Self, String> {
+        let mut interner = Interner {
+            arena,
+            spans: Vec::new(),
+            primary: HashMap::with_capacity(spans.len()),
+            overflow: Vec::new(),
+        };
+        for (i, &(start, end)) in spans.iter().enumerate() {
+            let (a, b) = (start as usize, end as usize);
+            if a > b
+                || b > interner.arena.len()
+                || !interner.arena.is_char_boundary(a)
+                || !interner.arena.is_char_boundary(b)
+            {
+                return Err(format!(
+                    "interner span {i} ({start}..{end}) is out of bounds"
+                ));
+            }
+            let word = &interner.arena[a..b];
+            if word.is_empty() {
+                return Err(format!("interner span {i} is empty"));
+            }
+            // ASCII words (the overwhelming majority) get a zero-allocation
+            // normalisation check; anything else pays the full comparison.
+            let normalised = if word.is_ascii() {
+                word.trim().len() == word.len() && !word.bytes().any(|c| c.is_ascii_uppercase())
+            } else {
+                Interner::normalise(word) == word
+            };
+            if !normalised {
+                return Err(format!("interner word {word:?} is not normalised"));
+            }
+            let hash = fnv1a(word.as_bytes());
+            if interner.find(hash, word).is_some() {
+                return Err(format!("interner word {word:?} appears twice"));
+            }
+            let id = WordId(i as u32);
+            match interner.primary.entry(hash) {
+                Entry::Vacant(slot) => {
+                    slot.insert(id);
+                }
+                Entry::Occupied(_) => interner.overflow.push((hash, id)),
+            }
+            interner.spans.push((start, end));
+        }
+        Ok(interner)
+    }
+
+    /// The shared arena holding every interned word back to back, exposed so
+    /// persistence layers can write it as one blob.
+    pub fn arena(&self) -> &str {
+        &self.arena
+    }
+
+    /// The byte span of each word in the arena, indexed by [`WordId`].
+    pub fn spans(&self) -> &[(u32, u32)] {
+        &self.spans
+    }
+
     /// Trims and lowercases without allocating when the input is already
     /// normalised (the common case for generated venues and binary loads).
     fn normalise_cow(raw: &str) -> Cow<'_, str> {
@@ -243,6 +307,37 @@ mod tests {
         let b = i.intern("café");
         assert_eq!(a, b);
         assert_eq!(i.resolve(a), Some("café"));
+    }
+
+    #[test]
+    fn from_parts_rebuilds_lookup_and_fingerprint() {
+        let mut i = Interner::new();
+        for w in ["latte", "mocha", "café", "brand-1", "brand-10"] {
+            i.intern(w);
+        }
+        let back = Interner::from_parts(i.arena().to_string(), i.spans().to_vec()).unwrap();
+        assert_eq!(back.len(), i.len());
+        assert_eq!(back.fingerprint(), i.fingerprint());
+        for (id, word) in i.iter() {
+            assert_eq!(back.get(word), Some(id));
+            assert_eq!(back.resolve(id), Some(word));
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_defective_tables() {
+        // Out-of-bounds span.
+        assert!(Interner::from_parts("ab".into(), vec![(0, 3)]).is_err());
+        // Inverted span.
+        assert!(Interner::from_parts("ab".into(), vec![(2, 1)]).is_err());
+        // Split inside a multi-byte character.
+        assert!(Interner::from_parts("é".into(), vec![(0, 1)]).is_err());
+        // Empty word.
+        assert!(Interner::from_parts("ab".into(), vec![(1, 1)]).is_err());
+        // Un-normalised word.
+        assert!(Interner::from_parts("Ab".into(), vec![(0, 2)]).is_err());
+        // Duplicate word.
+        assert!(Interner::from_parts("abab".into(), vec![(0, 2), (2, 4)]).is_err());
     }
 
     #[test]

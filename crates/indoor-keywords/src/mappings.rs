@@ -32,6 +32,79 @@ impl KeywordMappings {
         KeywordMappings::default()
     }
 
+    /// Rebuilds the mappings from persisted sorted tables (the columnar venue
+    /// load path): every map is bulk-built from its strictly ascending key
+    /// order instead of being replayed entry by entry. `i2p` lists keep their
+    /// persisted order — it is part of the model's fingerprint identity — and
+    /// only structural invariants are checked here (key order, non-empty
+    /// ascending sets, `i2p` covering exactly the named partitions); semantic
+    /// consistency between the tables is the writer's responsibility and is
+    /// protected on disk by the section checksum. Violations are reported as
+    /// a human-readable reason so loaders can degrade to a rebuild.
+    pub fn from_sorted_parts(
+        p2i: Vec<(PartitionId, WordId)>,
+        i2p: Vec<(WordId, Vec<PartitionId>)>,
+        i2t: Vec<(WordId, Vec<WordId>)>,
+        t2i: Vec<(WordId, Vec<WordId>)>,
+    ) -> std::result::Result<Self, String> {
+        if p2i.windows(2).any(|w| w[0].0 >= w[1].0) {
+            return Err("p2i partitions are not strictly ascending".to_string());
+        }
+        if i2p.windows(2).any(|w| w[0].0 >= w[1].0) {
+            return Err("i2p i-words are not strictly ascending".to_string());
+        }
+        let mut covered = 0usize;
+        for (w, list) in &i2p {
+            if list.is_empty() {
+                return Err(format!("i2p({w}) lists no partitions"));
+            }
+            covered += list.len();
+        }
+        if covered != p2i.len() {
+            return Err(format!(
+                "i2p lists {covered} partitions, p2i names {}",
+                p2i.len()
+            ));
+        }
+        let build_sets =
+            |name: &str,
+             table: Vec<(WordId, Vec<WordId>)>|
+             -> std::result::Result<BTreeMap<WordId, BTreeSet<WordId>>, String> {
+                if table.windows(2).any(|w| w[0].0 >= w[1].0) {
+                    return Err(format!("{name} keys are not strictly ascending"));
+                }
+                table
+                    .into_iter()
+                    .map(|(w, list)| {
+                        if list.is_empty() {
+                            return Err(format!("{name}({w}) is empty"));
+                        }
+                        if list.windows(2).any(|x| x[0] >= x[1]) {
+                            return Err(format!("{name}({w}) is not strictly ascending"));
+                        }
+                        Ok((w, list.into_iter().collect()))
+                    })
+                    .collect()
+            };
+        Ok(KeywordMappings {
+            p2i: p2i.into_iter().collect(),
+            i2p: i2p.into_iter().collect(),
+            i2t: build_sets("i2t", i2t)?,
+            t2i: build_sets("t2i", t2i)?,
+        })
+    }
+
+    /// Iterates `P2I` in partition order — whole-map traversal for
+    /// persistence capture.
+    pub fn p2i_entries(&self) -> impl Iterator<Item = (PartitionId, WordId)> + '_ {
+        self.p2i.iter().map(|(v, w)| (*v, *w))
+    }
+
+    /// Iterates `T2I` in t-word order.
+    pub fn t2i_entries(&self) -> impl Iterator<Item = (WordId, &BTreeSet<WordId>)> {
+        self.t2i.iter().map(|(w, s)| (*w, s))
+    }
+
     /// Assigns i-word `w` to partition `v` (`P2I(v) = w`). Fails when the
     /// partition already has an i-word.
     pub fn assign_partition(&mut self, v: PartitionId, w: WordId) -> Result<()> {
@@ -190,6 +263,52 @@ mod tests {
         // Named partition whose i-word has no t-words yields an empty set.
         let (_, tw) = m.partition_words(PartitionId(20)).unwrap();
         assert!(tw.is_empty());
+    }
+
+    #[test]
+    fn from_sorted_parts_rebuilds_and_validates() {
+        let (v, m) = sample();
+        let p2i: Vec<_> = m.p2i_entries().collect();
+        let i2p: Vec<_> = m.i2p_entries().map(|(w, l)| (w, l.to_vec())).collect();
+        let i2t: Vec<_> = m
+            .i2t_entries()
+            .map(|(w, s)| (w, s.iter().copied().collect::<Vec<_>>()))
+            .collect();
+        let t2i: Vec<_> = m
+            .t2i_entries()
+            .map(|(w, s)| (w, s.iter().copied().collect::<Vec<_>>()))
+            .collect();
+        let back =
+            KeywordMappings::from_sorted_parts(p2i.clone(), i2p.clone(), i2t.clone(), t2i.clone())
+                .unwrap();
+        let cashier = v.lookup("cashier").unwrap();
+        assert_eq!(back.i2p(cashier), m.i2p(cashier));
+        assert_eq!(back.p2i(PartitionId(10)), m.p2i(PartitionId(10)));
+        assert_eq!(back.num_associations(), m.num_associations());
+        assert_eq!(
+            back.i2t(v.lookup("apple").unwrap()),
+            m.i2t(v.lookup("apple").unwrap())
+        );
+
+        // Unsorted keys, empty lists and coverage mismatches are rejected.
+        let mut bad = p2i.clone();
+        bad.reverse();
+        assert!(
+            KeywordMappings::from_sorted_parts(bad, i2p.clone(), i2t.clone(), t2i.clone()).is_err()
+        );
+        let mut bad = i2p.clone();
+        bad[0].1.clear();
+        assert!(
+            KeywordMappings::from_sorted_parts(p2i.clone(), bad, i2t.clone(), t2i.clone()).is_err()
+        );
+        let mut bad = i2p.clone();
+        bad[0].1.push(PartitionId(77));
+        assert!(
+            KeywordMappings::from_sorted_parts(p2i.clone(), bad, i2t.clone(), t2i.clone()).is_err()
+        );
+        let mut bad = i2t.clone();
+        bad[0].1.reverse();
+        assert!(KeywordMappings::from_sorted_parts(p2i, i2p, bad, t2i).is_err());
     }
 
     #[test]

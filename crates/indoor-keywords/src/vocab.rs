@@ -40,6 +40,38 @@ impl Vocabulary {
         &self.interner
     }
 
+    /// Rebuilds a vocabulary from an adopted interner and the persisted,
+    /// strictly ascending i-word / t-word id lists (the columnar venue load
+    /// path): each set is bulk-built from its sorted list instead of being
+    /// re-classified word by word. Violations — unsorted lists, unknown ids,
+    /// overlap between the two sets — are reported as a human-readable
+    /// reason so loaders can degrade to a rebuild.
+    pub fn from_sorted_parts(
+        interner: Interner,
+        iwords: Vec<WordId>,
+        twords: Vec<WordId>,
+    ) -> std::result::Result<Self, String> {
+        let n = interner.len();
+        for (name, list) in [("i-word", &iwords), ("t-word", &twords)] {
+            if list.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("{name} list is not strictly ascending"));
+            }
+            if let Some(&id) = list.iter().find(|id| id.index() >= n) {
+                return Err(format!("{name} list references unknown word {id}"));
+            }
+        }
+        let iwords: BTreeSet<WordId> = iwords.into_iter().collect();
+        let twords: BTreeSet<WordId> = twords.into_iter().collect();
+        if let Some(id) = iwords.intersection(&twords).next() {
+            return Err(format!("word {id} is both an i-word and a t-word"));
+        }
+        Ok(Vocabulary {
+            interner,
+            iwords,
+            twords,
+        })
+    }
+
     /// Registers an i-word. Fails when the word is already a t-word.
     pub fn add_iword(&mut self, raw: &str) -> Result<WordId> {
         let id = self.interner.intern(raw);
@@ -179,6 +211,37 @@ mod tests {
         assert_eq!(v.resolve(id), Some("zara"));
         assert_eq!(v.classify_str("Laptop").1, WordKind::TWord);
         assert!(v.estimated_bytes() > 0);
+    }
+
+    #[test]
+    fn from_sorted_parts_rebuilds_and_validates() {
+        let mut v = Vocabulary::new();
+        v.add_iword("zara").unwrap();
+        v.add_tword("pants");
+        v.add_iword("apple").unwrap();
+        v.add_tword("phone");
+        let interner = v.interner().clone();
+        let iwords: Vec<WordId> = v.iwords().collect();
+        let twords: Vec<WordId> = v.twords().collect();
+        let back = Vocabulary::from_sorted_parts(interner.clone(), iwords.clone(), twords.clone())
+            .unwrap();
+        assert_eq!(back.num_iwords(), 2);
+        assert_eq!(back.num_twords(), 2);
+        assert_eq!(back.classify_str("zara").1, WordKind::IWord);
+        assert_eq!(back.classify_str("phone").1, WordKind::TWord);
+
+        // Unsorted, unknown and overlapping lists are rejected.
+        let mut unsorted = iwords.clone();
+        unsorted.reverse();
+        assert!(Vocabulary::from_sorted_parts(interner.clone(), unsorted, twords.clone()).is_err());
+        assert!(
+            Vocabulary::from_sorted_parts(interner.clone(), vec![WordId(99)], twords.clone())
+                .is_err()
+        );
+        let mut overlap = twords.clone();
+        overlap.extend(iwords.iter().copied());
+        overlap.sort();
+        assert!(Vocabulary::from_sorted_parts(interner, iwords, overlap).is_err());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! megabytes; this codec stores the same document in a flat little-endian
 //! layout at a fraction of the size and parses without an intermediate DOM.
 //!
-//! Layout (all integers little-endian):
+//! Version 1 layout (all integers little-endian):
 //!
 //! ```text
 //! magic            8 bytes  b"IKRQVEN\0"
@@ -26,7 +26,28 @@
 //! ```
 //!
 //! Strings are a `u32` byte length followed by UTF-8 bytes.
+//!
+//! Version 2 keeps the exact same record body but wraps it for the columnar
+//! cold-start path (see [`crate::columnar`] and `docs/PERSIST.md`):
+//!
+//! ```text
+//! magic            8 bytes  b"IKRQVEN\0"
+//! format version   u16 = 2
+//! record body len  u32 (advisory: lets loaders jump to the sections)
+//! record body      the v1 fields, name through keywords
+//! columnar section b"IKRQCOL\0" + u16 version + u32 len + body + u64 checksum
+//! index section    optional, as in v1
+//! ```
+//!
+//! [`load_venue_model`] adopts the columnar section directly — the record
+//! body is skipped entirely on the fast path, and decoded only when the
+//! section is damaged or outdated (the record body remains the source of
+//! truth a rebuild can always fall back to).
 
+use crate::columnar::{
+    adopt_columnar_parts, columnar_section_len, decode_columnar_parts, encode_columnar_section,
+    DocumentLoadStats, LoadedVenue,
+};
 use crate::document::{
     ConnectionRecord, DoorRecord, FloorRecord, IntraOverrideRecord, KeywordRecord,
     LoopOverrideRecord, PartitionRecord, VenueDocument, FORMAT_VERSION,
@@ -37,10 +58,17 @@ use crate::Result;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use indoor_index::VenueIndex;
 use indoor_keywords::KeywordDirectory;
+use indoor_space::IndoorSpace;
 use std::fs;
 use std::path::Path;
+use std::time::Instant;
 
 const MAGIC: &[u8; 8] = b"IKRQVEN\0";
+
+/// File format version that appends a columnar document section after the
+/// record body. This is a property of the *file*, not of the document model:
+/// the record body inside a v2 file is plain [`FORMAT_VERSION`] content.
+pub const COLUMNAR_FILE_VERSION: u16 = 2;
 
 // ---------------------------------------------------------------------
 // Encoding
@@ -115,13 +143,20 @@ fn door_kind_label(code: u8) -> Result<&'static str> {
     })
 }
 
-/// Encodes a venue document into the compact binary format.
+/// Encodes a venue document into the compact binary format (version 1).
 pub fn encode_venue(doc: &VenueDocument) -> Result<Bytes> {
     doc.validate()?;
     let mut buf = BytesMut::with_capacity(1 << 16);
     buf.put_slice(MAGIC);
     buf.put_u16_le(doc.format_version);
-    put_optional_string(&mut buf, &doc.name);
+    encode_record_body(&mut buf, doc)?;
+    Ok(buf.freeze())
+}
+
+/// Encodes the record fields shared by both file versions: everything after
+/// the version word, name through keywords.
+fn encode_record_body(buf: &mut BytesMut, doc: &VenueDocument) -> Result<()> {
+    put_optional_string(buf, &doc.name);
     buf.put_f64_le(doc.grid_cell);
 
     buf.put_u32_le(doc.floors.len() as u32);
@@ -140,7 +175,7 @@ pub fn encode_venue(doc: &VenueDocument) -> Result<Bytes> {
         for v in p.footprint {
             buf.put_f64_le(v);
         }
-        put_optional_string(&mut buf, &p.name);
+        put_optional_string(buf, &p.name);
     }
 
     buf.put_u32_le(doc.doors.len() as u32);
@@ -176,17 +211,48 @@ pub fn encode_venue(doc: &VenueDocument) -> Result<Bytes> {
 
     buf.put_u32_le(doc.keywords.len() as u32);
     for k in &doc.keywords {
-        put_string(&mut buf, &k.iword);
+        put_string(buf, &k.iword);
         buf.put_u32_le(k.partitions.len() as u32);
         for &v in &k.partitions {
             buf.put_u32_le(v);
         }
         buf.put_u32_le(k.twords.len() as u32);
         for t in &k.twords {
-            put_string(&mut buf, t);
+            put_string(buf, t);
         }
     }
 
+    Ok(())
+}
+
+/// Encodes a venue document in the columnar file format (version 2): the v1
+/// record body, a columnar section capturing `space` and `directory`
+/// wholesale, and optionally a pre-built index section.
+///
+/// `space` and `directory` must be the model rebuilt from `doc` itself
+/// (i.e. the output of [`VenueDocument::build`]) — interned word ids and CSR
+/// layouts are insertion-order artifacts, and the adopted model must be
+/// indistinguishable from a record-body rebuild. `index`, when given, must
+/// have been built against that same `directory` (its section records the
+/// directory fingerprint, and loaders verify it).
+pub fn encode_venue_columnar(
+    doc: &VenueDocument,
+    space: &IndoorSpace,
+    directory: &KeywordDirectory,
+    index: Option<&VenueIndex>,
+) -> Result<Bytes> {
+    doc.validate()?;
+    let mut record = BytesMut::with_capacity(1 << 16);
+    encode_record_body(&mut record, doc)?;
+    let mut buf = BytesMut::with_capacity(record.len() + (1 << 17));
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(COLUMNAR_FILE_VERSION);
+    buf.put_u32_le(record.len() as u32);
+    buf.put_slice(record.as_ref());
+    encode_columnar_section(&mut buf, &doc.name, space, directory, doc.grid_cell);
+    if let Some(index) = index {
+        crate::index_section::encode_index_section(&mut buf, index, directory);
+    }
     Ok(buf.freeze())
 }
 
@@ -269,13 +335,18 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Decodes a venue document from the compact binary format. Trailing bytes
-/// are rejected unless they form an index section (see
-/// [`crate::index_section`]), which this entry point skips — use
-/// [`decode_venue_file`] to decode both.
+/// Decodes a venue document from the compact binary format. For version 1
+/// payloads, trailing bytes are rejected unless they form an index section
+/// (see [`crate::index_section`]); version 2 payloads always carry sections
+/// after the record body, which this entry point skips — use
+/// [`decode_venue_file`] for the index section or [`load_venue_model`] for
+/// the columnar fast path.
 pub fn decode_venue(payload: &[u8]) -> Result<VenueDocument> {
-    let (doc, rest) = decode_venue_prefix(payload)?;
-    if !rest.is_empty() && !rest.starts_with(crate::index_section::INDEX_MAGIC) {
+    let (doc, file_version, rest) = decode_venue_prefix(payload)?;
+    if file_version < COLUMNAR_FILE_VERSION
+        && !rest.is_empty()
+        && !rest.starts_with(crate::index_section::INDEX_MAGIC)
+    {
         return Err(PersistError::Binary(format!(
             "{} trailing bytes after the document",
             rest.len()
@@ -286,9 +357,25 @@ pub fn decode_venue(payload: &[u8]) -> Result<VenueDocument> {
 
 /// Decodes a venue file: the document plus whatever its optional pre-built
 /// index section held. The section outcome is advisory — corruption there
-/// yields [`IndexSection::Unusable`], never an error.
+/// yields [`IndexSection::Unusable`], never an error. In a version 2 file
+/// the index section sits after the columnar section; when the columnar
+/// framing is too damaged to skip over, the index is reported unusable (the
+/// document itself still decodes).
 pub fn decode_venue_file(payload: &[u8]) -> Result<(VenueDocument, IndexSection)> {
-    let (doc, rest) = decode_venue_prefix(payload)?;
+    let (doc, file_version, rest) = decode_venue_prefix(payload)?;
+    if file_version >= COLUMNAR_FILE_VERSION {
+        let index = if rest.is_empty() {
+            IndexSection::Absent
+        } else {
+            match columnar_section_len(rest) {
+                Some(len) => crate::index_section::decode_index_section(&rest[len..]),
+                None => IndexSection::Unusable(
+                    "columnar section framing is damaged; cannot locate the index section".into(),
+                ),
+            }
+        };
+        return Ok((doc, index));
+    }
     if !rest.is_empty() && !rest.starts_with(crate::index_section::INDEX_MAGIC) {
         return Err(PersistError::Binary(format!(
             "{} trailing bytes after the document",
@@ -298,9 +385,9 @@ pub fn decode_venue_file(payload: &[u8]) -> Result<(VenueDocument, IndexSection)
     Ok((doc, crate::index_section::decode_index_section(rest)))
 }
 
-/// Decodes the document at the head of `payload` and returns the unread
-/// remainder (empty, or an index section).
-fn decode_venue_prefix(payload: &[u8]) -> Result<(VenueDocument, &[u8])> {
+/// Decodes the document at the head of `payload` and returns the file
+/// version plus the unread remainder (empty, or the trailing sections).
+fn decode_venue_prefix(payload: &[u8]) -> Result<(VenueDocument, u16, &[u8])> {
     let mut r = Reader::new(payload);
     r.need(MAGIC.len(), "magic")?;
     let mut magic = [0u8; 8];
@@ -308,12 +395,19 @@ fn decode_venue_prefix(payload: &[u8]) -> Result<(VenueDocument, &[u8])> {
     if &magic != MAGIC {
         return Err(PersistError::Binary("wrong magic bytes".into()));
     }
-    let format_version = r.u16("format version")?;
-    if format_version > FORMAT_VERSION {
+    let file_version = r.u16("format version")?;
+    if file_version > COLUMNAR_FILE_VERSION {
         return Err(PersistError::UnsupportedVersion {
-            found: format_version,
-            supported: FORMAT_VERSION,
+            found: file_version,
+            supported: COLUMNAR_FILE_VERSION,
         });
+    }
+    // The document model stays at FORMAT_VERSION inside a columnar file;
+    // only the wrapper differs. The advisory record-body length is not
+    // trusted here — the record fields are self-describing.
+    let format_version = file_version.min(FORMAT_VERSION);
+    if file_version >= COLUMNAR_FILE_VERSION {
+        let _advisory_len = r.u32("record body length")?;
     }
     let name = r.optional_string("venue name")?;
     let grid_cell = r.f64("grid cell")?;
@@ -430,7 +524,7 @@ fn decode_venue_prefix(payload: &[u8]) -> Result<(VenueDocument, &[u8])> {
         keywords,
     };
     doc.validate()?;
-    Ok((doc, r.buf))
+    Ok((doc, file_version, r.buf))
 }
 
 /// Encodes a venue document followed by a pre-built index section for
@@ -447,6 +541,94 @@ pub fn encode_venue_with_index(
     buf.put_slice(&venue);
     crate::index_section::encode_index_section(&mut buf, index, directory);
     Ok(buf.freeze())
+}
+
+/// Loads a venue payload straight into its in-memory model.
+///
+/// Version 2 payloads take the columnar fast path: the record body is
+/// skipped, the columnar section decodes into flat columns, and the model
+/// adopts them wholesale. *Any* columnar defect — damaged framing, checksum
+/// mismatch, version skew, a column the adoption scans reject — degrades to
+/// the v1-style path (decode the record body, replay the builders) with the
+/// reason recorded in [`DocumentLoadStats::degraded`]; a venue file never
+/// fails to load because of its columnar section. Version 1 payloads always
+/// rebuild.
+pub fn load_venue_model(payload: &[u8]) -> Result<LoadedVenue> {
+    let mut degraded = None;
+    if payload.len() >= 14 && &payload[..8] == MAGIC {
+        let file_version = u16::from_le_bytes([payload[8], payload[9]]);
+        if file_version == COLUMNAR_FILE_VERSION {
+            let skip = u32::from_le_bytes([payload[10], payload[11], payload[12], payload[13]]);
+            match payload.get(14 + skip as usize..) {
+                Some(rest) => match columnar_section_len(rest) {
+                    Some(len) => {
+                        let started = Instant::now();
+                        match decode_columnar_parts(&rest[..len]) {
+                            Ok(parts) => {
+                                let decode_micros = started.elapsed().as_micros() as u64;
+                                let started = Instant::now();
+                                match adopt_columnar_parts(parts) {
+                                    Ok((name, space, directory)) => {
+                                        let adopt_micros = started.elapsed().as_micros() as u64;
+                                        let index = crate::index_section::decode_index_section(
+                                            &rest[len..],
+                                        );
+                                        return Ok(LoadedVenue {
+                                            name,
+                                            space,
+                                            directory,
+                                            index,
+                                            stats: DocumentLoadStats {
+                                                format_version: file_version,
+                                                adopted_columnar: true,
+                                                decode_micros,
+                                                adopt_micros,
+                                                degraded: None,
+                                            },
+                                        });
+                                    }
+                                    Err(reason) => degraded = Some(reason),
+                                }
+                            }
+                            Err(reason) => degraded = Some(reason),
+                        }
+                    }
+                    None => {
+                        degraded =
+                            Some("columnar section framing is damaged or missing".to_string())
+                    }
+                },
+                None => degraded = Some("record body length overruns the file".to_string()),
+            }
+        }
+    }
+    rebuild_venue_model(payload, degraded)
+}
+
+/// The degradation ladder's rebuild rung: decode the record body (or a v1
+/// payload) and replay the builders, exactly as pre-columnar loaders did.
+fn rebuild_venue_model(payload: &[u8], degraded: Option<String>) -> Result<LoadedVenue> {
+    let started = Instant::now();
+    let (doc, index) = decode_venue_file(payload)?;
+    let decode_micros = started.elapsed().as_micros() as u64;
+    let file_version = u16::from_le_bytes([payload[8], payload[9]]);
+    let started = Instant::now();
+    let name = doc.name.clone();
+    let (space, directory) = doc.build()?;
+    let adopt_micros = started.elapsed().as_micros() as u64;
+    Ok(LoadedVenue {
+        name,
+        space,
+        directory,
+        index,
+        stats: DocumentLoadStats {
+            format_version: file_version,
+            adopted_columnar: false,
+            decode_micros,
+            adopt_micros,
+            degraded,
+        },
+    })
 }
 
 fn write_file(path: &Path, payload: &[u8]) -> Result<()> {
@@ -475,6 +657,29 @@ pub fn save_venue_binary_with_index(
         path.as_ref(),
         &encode_venue_with_index(doc, index, directory)?,
     )
+}
+
+/// Writes a venue in the columnar file format (version 2), with an optional
+/// pre-built index section. See [`encode_venue_columnar`] for the binding
+/// contract on `space`/`directory`/`index`.
+pub fn save_venue_columnar(
+    doc: &VenueDocument,
+    space: &IndoorSpace,
+    directory: &KeywordDirectory,
+    index: Option<&VenueIndex>,
+    path: impl AsRef<Path>,
+) -> Result<()> {
+    write_file(
+        path.as_ref(),
+        &encode_venue_columnar(doc, space, directory, index)?,
+    )
+}
+
+/// Reads a venue file straight into its in-memory model (see
+/// [`load_venue_model`]).
+pub fn load_venue_model_file(path: impl AsRef<Path>) -> Result<LoadedVenue> {
+    let payload = fs::read(path)?;
+    load_venue_model(&payload)
 }
 
 /// Reads a venue document from a binary file (ignoring any index section).
@@ -638,13 +843,170 @@ mod tests {
         let mut doc = tiny_document();
         doc.format_version = FORMAT_VERSION + 1;
         assert!(encode_venue(&doc).is_err());
-        // Patch a valid payload's version field directly (offset 8..10).
+        // Patch a valid payload's version field directly (offset 8..10) to
+        // one past the highest supported *file* version.
         let payload = encode_venue(&tiny_document()).unwrap();
         let mut patched = payload.to_vec();
-        patched[8] = (FORMAT_VERSION + 1) as u8;
+        patched[8] = (COLUMNAR_FILE_VERSION + 1) as u8;
         assert!(matches!(
             decode_venue(&patched),
             Err(PersistError::UnsupportedVersion { .. })
+        ));
+        assert!(matches!(
+            load_venue_model(&patched),
+            Err(PersistError::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn columnar_files_adopt_the_model_and_still_decode_as_documents() {
+        let doc = tiny_document();
+        let (space, directory) = doc.build().unwrap();
+        let payload = encode_venue_columnar(&doc, &space, &directory, None).unwrap();
+
+        // The record body survives verbatim: document-level decoding sees
+        // plain v1 content.
+        let back = decode_venue(&payload).unwrap();
+        assert_eq!(back, doc);
+        let (back, section) = decode_venue_file(&payload).unwrap();
+        assert_eq!(back, doc);
+        assert!(matches!(section, IndexSection::Absent));
+
+        // The model loader takes the columnar fast path and lands on the
+        // same model a rebuild produces.
+        let loaded = load_venue_model(&payload).unwrap();
+        assert!(loaded.stats.adopted_columnar, "{:?}", loaded.stats);
+        assert_eq!(loaded.stats.format_version, COLUMNAR_FILE_VERSION);
+        assert!(loaded.stats.degraded.is_none());
+        assert_eq!(loaded.name, doc.name);
+        assert_eq!(loaded.space.num_partitions(), space.num_partitions());
+        assert_eq!(loaded.space.num_doors(), space.num_doors());
+        assert_eq!(loaded.directory.fingerprint(), directory.fingerprint());
+
+        // A v1 payload rebuilds through the same entry point.
+        let v1 = encode_venue(&doc).unwrap();
+        let rebuilt = load_venue_model(&v1).unwrap();
+        assert!(!rebuilt.stats.adopted_columnar);
+        assert_eq!(rebuilt.stats.format_version, FORMAT_VERSION);
+        assert_eq!(rebuilt.directory.fingerprint(), directory.fingerprint());
+    }
+
+    #[test]
+    fn columnar_files_carry_an_index_section() {
+        let doc = tiny_document();
+        let (space, directory) = doc.build().unwrap();
+        let index = indoor_index::VenueIndex::build(&space, &directory);
+        let payload = encode_venue_columnar(&doc, &space, &directory, Some(&index)).unwrap();
+        let loaded = load_venue_model(&payload).unwrap();
+        assert!(loaded.stats.adopted_columnar);
+        let IndexSection::Present(prebuilt) = loaded.index else {
+            panic!("expected a present index section, got {:?}", loaded.index);
+        };
+        // The section binds against the *adopted* directory — fingerprint
+        // identity with the rebuild path is what makes this possible.
+        assert!(prebuilt.into_index(&loaded.directory).is_ok());
+        // decode_venue_file can locate the index behind the columnar section.
+        let (_, section) = decode_venue_file(&payload).unwrap();
+        assert!(matches!(section, IndexSection::Present(_)));
+    }
+
+    #[test]
+    fn any_columnar_defect_degrades_to_a_rebuild() {
+        let doc = tiny_document();
+        let (space, directory) = doc.build().unwrap();
+        let payload = encode_venue_columnar(&doc, &space, &directory, None).unwrap();
+        let record_len =
+            u32::from_le_bytes([payload[10], payload[11], payload[12], payload[13]]) as usize;
+        let section_start = 14 + record_len;
+
+        // Flip every byte of the columnar section in turn: the model must
+        // always load, fall back to the rebuild, and record a reason.
+        for i in section_start..payload.len() {
+            let mut corrupt = payload.to_vec();
+            corrupt[i] ^= 0xff;
+            let loaded = load_venue_model(&corrupt)
+                .unwrap_or_else(|e| panic!("flip at {i} failed the load: {e}"));
+            assert!(!loaded.stats.adopted_columnar, "flip at {i} still adopted");
+            assert!(
+                loaded.stats.degraded.is_some(),
+                "flip at {i} lost the reason"
+            );
+            assert_eq!(loaded.directory.fingerprint(), directory.fingerprint());
+        }
+
+        // A lying advisory record-body length also degrades, because the
+        // skip no longer lands on the columnar magic.
+        let mut lying = payload.to_vec();
+        lying[10] ^= 0x01;
+        let loaded = load_venue_model(&lying).unwrap();
+        assert!(!loaded.stats.adopted_columnar);
+
+        // Checksum-valid framing around a garbage body degrades too (the
+        // column decoder, not the checksum, rejects it).
+        let mut reframed = BytesMut::new();
+        reframed.put_slice(&payload[..section_start]);
+        crate::columnar::frame_columnar_section(&mut reframed, &[0xff; 32]);
+        let loaded = load_venue_model(reframed.as_ref()).unwrap();
+        assert!(!loaded.stats.adopted_columnar);
+        assert!(loaded.stats.degraded.is_some());
+    }
+
+    /// Builds a raw v1 payload record by record, bypassing the encoder's
+    /// validation, so decode-side handling of dangling references is
+    /// testable.
+    fn raw_payload(connection_partition: u32, override_from_door: u32) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(FORMAT_VERSION);
+        buf.put_u8(0); // no name
+        buf.put_f64_le(10.0); // grid cell
+        buf.put_u32_le(0); // floors
+        buf.put_u32_le(1); // partitions
+        buf.put_u32_le(0);
+        buf.put_i32_le(0);
+        buf.put_u8(0); // room
+        for v in [0.0, 0.0, 10.0, 10.0] {
+            buf.put_f64_le(v);
+        }
+        buf.put_u8(0); // unnamed
+        buf.put_u32_le(1); // doors
+        buf.put_u32_le(0);
+        buf.put_f64_le(5.0);
+        buf.put_f64_le(10.0);
+        buf.put_i32_le(0);
+        buf.put_u8(0); // normal
+        buf.put_u32_le(1); // connections
+        buf.put_u32_le(0);
+        buf.put_u32_le(connection_partition);
+        buf.put_u8(0b11);
+        buf.put_u32_le(1); // intra overrides
+        buf.put_u32_le(0);
+        buf.put_u32_le(override_from_door);
+        buf.put_u32_le(0);
+        buf.put_f64_le(4.0);
+        buf.put_u32_le(0); // loop overrides
+        buf.put_u32_le(0); // keywords
+        buf.as_ref().to_vec()
+    }
+
+    #[test]
+    fn dangling_references_decode_to_invalid_document_errors() {
+        // Sanity: the same payload with in-range references decodes.
+        assert!(decode_venue(&raw_payload(0, 0)).is_ok());
+        // A connection to a partition that does not exist.
+        assert!(matches!(
+            decode_venue(&raw_payload(9, 0)),
+            Err(PersistError::InvalidDocument(_))
+        ));
+        // An override through a door that does not exist, through the model
+        // loader as well as the document decoder.
+        assert!(matches!(
+            decode_venue(&raw_payload(0, 7)),
+            Err(PersistError::InvalidDocument(_))
+        ));
+        assert!(matches!(
+            load_venue_model(&raw_payload(0, 7)),
+            Err(PersistError::InvalidDocument(_))
         ));
     }
 

@@ -93,11 +93,12 @@ impl PrebuiltIndex {
     }
 }
 
-/// Fast non-cryptographic checksum over the section body: four independent
+/// Fast non-cryptographic checksum over a section body: four independent
 /// lanes of 8-byte chunks folded with a wrapping multiply, then combined.
 /// A single lane's multiply chain is serial and costs a visible slice of
-/// section decode at mega-venue sizes; four lanes pipeline it away.
-fn section_checksum(bytes: &[u8]) -> u64 {
+/// section decode at mega-venue sizes; four lanes pipeline it away. Shared
+/// with the columnar document section, which frames its body the same way.
+pub(crate) fn section_checksum(bytes: &[u8]) -> u64 {
     const M: u64 = 0x2545_f491_4f6c_dd1d;
     let mut lanes = [
         0x9e37_79b9_7f4a_7c15u64,

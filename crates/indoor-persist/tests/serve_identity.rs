@@ -132,6 +132,148 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// A v2 columnar file adopted wholesale serves byte-for-byte like the
+    /// v1-loaded rebuild path and the in-memory scan engine under every
+    /// Table III variant.
+    #[test]
+    fn columnar_saved_venues_serve_byte_identically(
+        seed in 0u64..1 << 16,
+        size in 60usize..160,
+    ) {
+        let venue = mega_venue(&MegaVenueConfig::sized(size, seed)).expect("mega venues build");
+        let doc = VenueDocument::from_venue(
+            &venue.space,
+            &venue.directory,
+            16.0,
+            Some("prop".into()),
+        );
+        let (_, v1_service, scan_service) = save_load_services(&doc);
+
+        let (space, directory) = doc.build().expect("generated documents round-trip");
+        let fresh = IkrqEngine::new(space, directory);
+        let index = fresh.index().expect("default engines are accelerated");
+        let payload =
+            binary::encode_venue_columnar(&doc, fresh.space(), fresh.directory(), Some(index))
+                .expect("generated documents encode as columnar");
+        let loaded = binary::load_venue_model(payload.as_ref()).expect("columnar venues load");
+        prop_assert!(loaded.stats.adopted_columnar, "intact v2 files adopt their columns");
+        prop_assert!(loaded.stats.degraded.is_none());
+        prop_assert_eq!(loaded.stats.format_version, 2);
+        let IndexSection::Present(prebuilt) = loaded.index else {
+            panic!("columnar venue carries a usable index section");
+        };
+        let v2_index = prebuilt
+            .into_index(&loaded.directory)
+            .expect("persisted index binds to the adopted directory");
+        let v2_service = single_venue_service(IkrqEngine::with_prebuilt_index(
+            loaded.space,
+            loaded.directory,
+            v2_index,
+        ));
+
+        let generator = QueryGenerator::new(&venue);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc01a);
+        let instances = generator.generate_batch(&workload(), 2, &mut rng);
+        if instances.is_empty() {
+            return Ok(());
+        }
+
+        for variant in VariantConfig::all_variants() {
+            for instance in &instances {
+                let request = SearchRequest {
+                    venue: "prop".to_string(),
+                    query: to_query(instance),
+                    options: ExecOptions::with_variant(variant),
+                };
+                let v2 = v2_service.search(&request).expect("columnar query succeeds");
+                let v1 = v1_service.search(&request).expect("v1-loaded query succeeds");
+                let scan = scan_service.search(&request).expect("scan query succeeds");
+                prop_assert_eq!(
+                    v2.deterministic_json(),
+                    scan.deterministic_json(),
+                    "variant {} diverged between columnar and scan",
+                    variant.label()
+                );
+                prop_assert_eq!(
+                    v2.deterministic_json(),
+                    v1.deterministic_json(),
+                    "variant {} diverged between columnar and v1-loaded",
+                    variant.label()
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any single-byte corruption of a v2 file's columnar section degrades
+    /// the load to a v1-style record rebuild — never a failure — and the
+    /// rebuilt model is indistinguishable from the uncorrupted one.
+    #[test]
+    fn corrupted_columnar_sections_degrade_to_rebuild(
+        seed in 0u64..1 << 16,
+        offset_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let venue = mega_venue(&MegaVenueConfig::sized(80, seed)).expect("mega venues build");
+        let doc = VenueDocument::from_venue(
+            &venue.space,
+            &venue.directory,
+            16.0,
+            Some("prop".into()),
+        );
+        let (space, directory) = doc.build().expect("generated documents round-trip");
+        let fresh = IkrqEngine::new(space, directory);
+        let index = fresh.index().expect("default engines are accelerated");
+        let payload =
+            binary::encode_venue_columnar(&doc, fresh.space(), fresh.directory(), Some(index))
+                .expect("generated documents encode as columnar")
+                .to_vec();
+
+        // v2 layout: 14-byte file header, the advisory record body (length
+        // at bytes 10..14), then the framed columnar section (its body
+        // length at bytes 10..14 of the section, between an own 14-byte
+        // header and an 8-byte checksum trailer).
+        let record_len = u32::from_le_bytes(payload[10..14].try_into().unwrap()) as usize;
+        let section_start = 14 + record_len;
+        let body_len = u32::from_le_bytes(
+            payload[section_start + 10..section_start + 14].try_into().unwrap(),
+        ) as usize;
+        let section_len = 14 + body_len + 8;
+        prop_assert!(section_start + section_len <= payload.len());
+
+        let offset = section_start + ((section_len as f64 * offset_frac) as usize).min(section_len - 1);
+        let mut corrupt = payload.clone();
+        corrupt[offset] ^= flip;
+
+        let loaded = binary::load_venue_model(&corrupt)
+            .expect("a corrupted columnar section never fails the load");
+        prop_assert_eq!(loaded.stats.format_version, 2);
+        if !loaded.stats.adopted_columnar {
+            let reason = loaded.stats.degraded.expect("degraded loads record why");
+            prop_assert!(!reason.is_empty());
+        }
+        // Adopted or rebuilt, the served model is the same venue: the
+        // record body is the source of truth and the flip never touched it.
+        prop_assert_eq!(
+            loaded.directory.fingerprint(),
+            fresh.directory().fingerprint(),
+            "keyword directory survives columnar corruption"
+        );
+        prop_assert_eq!(loaded.space.num_partitions(), fresh.space().num_partitions());
+        prop_assert_eq!(loaded.space.num_doors(), fresh.space().num_doors());
+        prop_assert_eq!(
+            loaded.space.door_graph().num_edges(),
+            fresh.space().door_graph().num_edges()
+        );
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Any single-byte corruption of the index section leaves the document

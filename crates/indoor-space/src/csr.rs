@@ -51,6 +51,51 @@ impl<T> Csr<T> {
         Csr { offsets, data }
     }
 
+    /// Adopts an already-flat CSR map (e.g. decoded from a columnar venue
+    /// file) after validating its shape: `n + 1` offsets, starting at zero,
+    /// monotone, and ending exactly at `data.len()`. Value ranges are the
+    /// caller's responsibility — `T` is opaque here. Returns a human-readable
+    /// reason when the shape is inconsistent so persistence layers can degrade
+    /// gracefully instead of panicking.
+    pub fn from_flat(
+        n: usize,
+        offsets: Vec<u32>,
+        data: Vec<T>,
+    ) -> std::result::Result<Self, String> {
+        if offsets.len() != n + 1 {
+            return Err(format!(
+                "csr offset table has {} entries for {} nodes",
+                offsets.len(),
+                n
+            ));
+        }
+        if offsets[0] != 0 {
+            return Err(format!("csr offsets start at {} instead of 0", offsets[0]));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("csr offsets are not monotone".to_string());
+        }
+        if offsets[n] as usize != data.len() {
+            return Err(format!(
+                "csr offsets end at {} but {} values are stored",
+                offsets[n],
+                data.len()
+            ));
+        }
+        Ok(Csr { offsets, data })
+    }
+
+    /// The `n + 1` offset table, exposed so persistence layers can write the
+    /// map as two flat columns.
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// All stored values in node order (the concatenation of every list).
+    pub fn values(&self) -> &[T] {
+        &self.data
+    }
+
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
         self.offsets.len().saturating_sub(1)
@@ -108,5 +153,18 @@ mod tests {
         let csr: Csr<u32> = Csr::from_pairs(0, Vec::new());
         assert_eq!(csr.num_nodes(), 0);
         assert_eq!(csr.row(0), &[] as &[u32]);
+    }
+
+    #[test]
+    fn from_flat_round_trips_and_validates() {
+        let csr = Csr::from_pairs(3, vec![(0, 5u32), (2, 1), (2, 9)]);
+        let back = Csr::from_flat(3, csr.offsets().to_vec(), csr.values().to_vec()).unwrap();
+        assert_eq!(back.row(0), csr.row(0));
+        assert_eq!(back.row(2), csr.row(2));
+
+        assert!(Csr::from_flat(3, vec![0, 1, 3], vec![5u32, 1, 9]).is_err());
+        assert!(Csr::from_flat(3, vec![1, 1, 3, 3], vec![5u32, 1, 9]).is_err());
+        assert!(Csr::from_flat(3, vec![0, 2, 1, 3], vec![5u32, 1, 9]).is_err());
+        assert!(Csr::from_flat(3, vec![0, 1, 3, 4], vec![5u32, 1, 9]).is_err());
     }
 }

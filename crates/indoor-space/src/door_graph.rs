@@ -82,6 +82,61 @@ impl DoorGraph {
         DoorGraph { offsets, edges }
     }
 
+    /// Adopts an already-flat graph (e.g. decoded from a columnar venue file)
+    /// after validating its shape and value ranges, so venue loaders can skip
+    /// the `O(P · d²)` rebuild entirely. Returns a human-readable reason on
+    /// any inconsistency so callers can degrade to a rebuild.
+    pub fn from_flat(
+        num_doors: usize,
+        num_partitions: usize,
+        offsets: Vec<u32>,
+        edges: Vec<DoorGraphEdge>,
+    ) -> std::result::Result<Self, String> {
+        if offsets.len() != num_doors + 1 {
+            return Err(format!(
+                "door graph offset table has {} entries for {} doors",
+                offsets.len(),
+                num_doors
+            ));
+        }
+        if offsets[0] != 0 || offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("door graph offsets are not monotone from 0".to_string());
+        }
+        if offsets[num_doors] as usize != edges.len() {
+            return Err(format!(
+                "door graph offsets end at {} but {} edges are stored",
+                offsets[num_doors],
+                edges.len()
+            ));
+        }
+        for e in &edges {
+            if e.to.index() >= num_doors {
+                return Err(format!("door graph edge targets unknown door {}", e.to));
+            }
+            if e.via.index() >= num_partitions {
+                return Err(format!(
+                    "door graph edge crosses unknown partition {}",
+                    e.via
+                ));
+            }
+            if !e.weight.is_finite() {
+                return Err("door graph edge has a non-finite weight".to_string());
+            }
+        }
+        Ok(DoorGraph { offsets, edges })
+    }
+
+    /// The `n + 1` offset table, exposed so persistence layers can write the
+    /// graph as flat columns.
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// All edges, grouped by source door.
+    pub fn edges(&self) -> &[DoorGraphEdge] {
+        &self.edges
+    }
+
     /// Number of door nodes.
     pub fn num_nodes(&self) -> usize {
         self.offsets.len().saturating_sub(1)
@@ -192,5 +247,56 @@ mod tests {
         let g = DoorGraph::empty();
         assert_eq!(g.num_nodes(), 0);
         assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn from_flat_round_trips_and_rejects_bad_shapes() {
+        let s = corridor();
+        let g = s.door_graph();
+        let back = DoorGraph::from_flat(
+            s.num_doors(),
+            s.num_partitions(),
+            g.offsets().to_vec(),
+            g.edges().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(back.num_edges(), g.num_edges());
+        assert_eq!(back.edges_from(DoorId(0)), g.edges_from(DoorId(0)));
+
+        // Wrong offset length, dangling door, dangling partition, bad weight.
+        assert!(DoorGraph::from_flat(
+            1,
+            s.num_partitions(),
+            g.offsets().to_vec(),
+            g.edges().to_vec()
+        )
+        .is_err());
+        let mut edges = g.edges().to_vec();
+        edges[0].to = DoorId(99);
+        assert!(DoorGraph::from_flat(
+            s.num_doors(),
+            s.num_partitions(),
+            g.offsets().to_vec(),
+            edges
+        )
+        .is_err());
+        let mut edges = g.edges().to_vec();
+        edges[0].via = PartitionId(99);
+        assert!(DoorGraph::from_flat(
+            s.num_doors(),
+            s.num_partitions(),
+            g.offsets().to_vec(),
+            edges
+        )
+        .is_err());
+        let mut edges = g.edges().to_vec();
+        edges[0].weight = f64::INFINITY;
+        assert!(DoorGraph::from_flat(
+            s.num_doors(),
+            s.num_partitions(),
+            g.offsets().to_vec(),
+            edges
+        )
+        .is_err());
     }
 }

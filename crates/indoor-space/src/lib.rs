@@ -54,7 +54,7 @@ pub use point::IndoorPoint;
 pub use route::{Route, RouteEnd, RouteItem};
 pub use shortest_path::{DijkstraResult, ShortestPaths};
 pub use skeleton::SkeletonIndex;
-pub use space::{IndoorSpace, IndoorSpaceBuilder};
+pub use space::{IndoorSpace, IndoorSpaceBuilder, SpaceColumns};
 pub use stats::SpaceStats;
 
 /// Result alias for fallible indoor-space operations.

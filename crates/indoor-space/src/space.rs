@@ -192,6 +192,29 @@ impl IndoorSpaceBuilder {
             }
         }
 
+        // Distance overrides must reference declared partitions and doors:
+        // a dangling override would otherwise survive into the sorted tables
+        // and silently never match a binary search.
+        for &(v, a, b) in self.intra_overrides.keys() {
+            if self.partitions.get(v.index()).is_none() {
+                return Err(SpaceError::UnknownPartition(v));
+            }
+            if self.doors.get(a.index()).is_none() {
+                return Err(SpaceError::UnknownDoor(a));
+            }
+            if self.doors.get(b.index()).is_none() {
+                return Err(SpaceError::UnknownDoor(b));
+            }
+        }
+        for &(v, d) in self.loop_overrides.keys() {
+            if self.partitions.get(v.index()).is_none() {
+                return Err(SpaceError::UnknownPartition(v));
+            }
+            if self.doors.get(d.index()).is_none() {
+                return Err(SpaceError::UnknownDoor(d));
+            }
+        }
+
         // Assemble the four topology mappings as CSR arrays: flat pair lists,
         // one sort + dedup each — sorted, deduplicated and deterministic like
         // the previous per-node BTreeSet assembly, without the per-node heap
@@ -286,6 +309,62 @@ impl IndoorSpaceBuilder {
     }
 }
 
+/// Flat, pre-validated columns describing an [`IndoorSpace`], in exactly the
+/// shape the model stores them. Columnar venue files (`IKRQVEN` v2) decode
+/// into this struct and [`IndoorSpace::adopt_columns`] turns it into a model
+/// without replaying the builder: no connection re-sorting, no door-graph
+/// rebuild, no per-record allocation beyond the column vectors themselves.
+#[derive(Debug, Clone)]
+pub struct SpaceColumns {
+    /// Cell size (metres) for the per-floor point-location grids.
+    pub grid_cell: f64,
+    /// Final floor bounding rectangles (declared bounds unioned with every
+    /// footprint), ascending by floor.
+    pub floor_bounds: Vec<(FloorId, Rect)>,
+    /// All partitions, dense by `PartitionId::index()`.
+    pub partitions: Vec<Partition>,
+    /// All doors, dense by `DoorId::index()`.
+    pub doors: Vec<Door>,
+    /// `D2PA`: door → enterable partitions.
+    pub d2p_enter: Csr<PartitionId>,
+    /// `D2P@`: door → leavable partitions.
+    pub d2p_leave: Csr<PartitionId>,
+    /// `P2DA`: partition → doors it can be entered through.
+    pub p2d_enter: Csr<DoorId>,
+    /// `P2D@`: partition → doors it can be left through.
+    pub p2d_leave: Csr<DoorId>,
+    /// Intra-partition distance overrides, sorted by `(partition, from, to)`.
+    pub intra_overrides: Vec<(PartitionId, DoorId, DoorId, f64)>,
+    /// Same-door loop-cost overrides, sorted by `(partition, door)`.
+    pub loop_overrides: Vec<(PartitionId, DoorId, f64)>,
+    /// The derived door connectivity graph, persisted so adoption skips the
+    /// most expensive rebuild step.
+    pub door_graph: DoorGraph,
+}
+
+impl SpaceColumns {
+    /// Captures the columns of a built space, in exactly the shape
+    /// [`IndoorSpace::adopt_columns`] adopts. `grid_cell` is the cell size the
+    /// space was built with (the model does not retain it; venue documents
+    /// do).
+    pub fn capture(space: &IndoorSpace, grid_cell: f64) -> SpaceColumns {
+        let (d2p_enter, d2p_leave, p2d_enter, p2d_leave) = space.topology_csrs();
+        SpaceColumns {
+            grid_cell,
+            floor_bounds: space.floor_bounds_table().collect(),
+            partitions: space.partitions().to_vec(),
+            doors: space.doors().to_vec(),
+            d2p_enter: d2p_enter.clone(),
+            d2p_leave: d2p_leave.clone(),
+            p2d_enter: p2d_enter.clone(),
+            p2d_leave: p2d_leave.clone(),
+            intra_overrides: space.intra_distance_overrides().collect(),
+            loop_overrides: space.loop_distance_overrides().collect(),
+            door_graph: space.door_graph().clone(),
+        }
+    }
+}
+
 /// The immutable indoor space model. See the crate documentation for the
 /// concepts; all accessors are cheap.
 #[derive(Debug, Clone)]
@@ -307,6 +386,169 @@ pub struct IndoorSpace {
 }
 
 impl IndoorSpace {
+    /// Builds a space directly from flat columns, skipping the builder replay.
+    ///
+    /// This is the columnar cold-start path: the topology CSRs, override
+    /// tables and door graph are adopted wholesale after `O(n)` validation
+    /// scans; only the per-floor grids and the (small) skeleton index are
+    /// recomputed. The columns must describe a model the builder could have
+    /// produced — dense identifiers, sorted override tables, connected doors
+    /// and partitions — and any violation is reported as a structured error,
+    /// never a panic, so loaders can degrade to a record-by-record rebuild.
+    pub fn adopt_columns(cols: SpaceColumns) -> Result<IndoorSpace> {
+        let SpaceColumns {
+            grid_cell,
+            floor_bounds,
+            partitions,
+            doors,
+            d2p_enter,
+            d2p_leave,
+            p2d_enter,
+            p2d_leave,
+            intra_overrides,
+            loop_overrides,
+            door_graph,
+        } = cols;
+        if partitions.is_empty() {
+            return Err(SpaceError::EmptySpace);
+        }
+        let np = partitions.len();
+        let nd = doors.len();
+        for (i, p) in partitions.iter().enumerate() {
+            if p.id.index() != i {
+                return Err(SpaceError::InvalidConfig(format!(
+                    "partition column {i} carries id {}",
+                    p.id
+                )));
+            }
+        }
+        for (i, d) in doors.iter().enumerate() {
+            if d.id.index() != i {
+                return Err(SpaceError::InvalidConfig(format!(
+                    "door column {i} carries id {}",
+                    d.id
+                )));
+            }
+        }
+
+        // Topology CSR shape and value ranges.
+        for (name, csr) in [("d2p_enter", &d2p_enter), ("d2p_leave", &d2p_leave)] {
+            if csr.num_nodes() != nd {
+                return Err(SpaceError::InvalidConfig(format!(
+                    "{name} maps {} doors, venue has {nd}",
+                    csr.num_nodes()
+                )));
+            }
+            if let Some(&v) = csr.values().iter().find(|v| v.index() >= np) {
+                return Err(SpaceError::UnknownPartition(v));
+            }
+        }
+        for (name, csr) in [("p2d_enter", &p2d_enter), ("p2d_leave", &p2d_leave)] {
+            if csr.num_nodes() != np {
+                return Err(SpaceError::InvalidConfig(format!(
+                    "{name} maps {} partitions, venue has {np}",
+                    csr.num_nodes()
+                )));
+            }
+            if let Some(&d) = csr.values().iter().find(|d| d.index() >= nd) {
+                return Err(SpaceError::UnknownDoor(d));
+            }
+        }
+        for i in 0..nd {
+            if d2p_enter.row(i).is_empty() && d2p_leave.row(i).is_empty() {
+                return Err(SpaceError::DisconnectedDoor(DoorId(i as u32)));
+            }
+        }
+        for i in 0..np {
+            if p2d_enter.row(i).is_empty() && p2d_leave.row(i).is_empty() {
+                return Err(SpaceError::DisconnectedPartition(PartitionId(i as u32)));
+            }
+        }
+
+        // Override tables: sorted (they are binary-searched) and in range.
+        if intra_overrides
+            .windows(2)
+            .any(|w| (w[0].0, w[0].1, w[0].2) >= (w[1].0, w[1].1, w[1].2))
+        {
+            return Err(SpaceError::InvalidConfig(
+                "intra-distance override table is not strictly sorted".to_string(),
+            ));
+        }
+        for &(v, a, b, _) in &intra_overrides {
+            if v.index() >= np {
+                return Err(SpaceError::UnknownPartition(v));
+            }
+            if a.index() >= nd {
+                return Err(SpaceError::UnknownDoor(a));
+            }
+            if b.index() >= nd {
+                return Err(SpaceError::UnknownDoor(b));
+            }
+        }
+        if loop_overrides
+            .windows(2)
+            .any(|w| (w[0].0, w[0].1) >= (w[1].0, w[1].1))
+        {
+            return Err(SpaceError::InvalidConfig(
+                "loop-distance override table is not strictly sorted".to_string(),
+            ));
+        }
+        for &(v, d, _) in &loop_overrides {
+            if v.index() >= np {
+                return Err(SpaceError::UnknownPartition(v));
+            }
+            if d.index() >= nd {
+                return Err(SpaceError::UnknownDoor(d));
+            }
+        }
+
+        if door_graph.num_nodes() != nd {
+            return Err(SpaceError::InvalidConfig(format!(
+                "door graph covers {} doors, venue has {nd}",
+                door_graph.num_nodes()
+            )));
+        }
+
+        // Floor bounds and grids are recomputed exactly as the builder does;
+        // unioning footprints into the persisted (already-final) bounds is
+        // idempotent, and covers columns that only carry declared bounds.
+        let mut floor_bounds: BTreeMap<FloorId, Rect> = floor_bounds.into_iter().collect();
+        for p in &partitions {
+            floor_bounds
+                .entry(p.floor)
+                .and_modify(|b| *b = b.union(&p.footprint))
+                .or_insert(p.footprint);
+        }
+        let mut grids: BTreeMap<FloorId, (UniformGrid, Vec<PartitionId>)> = BTreeMap::new();
+        for (floor, bounds) in &floor_bounds {
+            let grid = UniformGrid::new(*bounds, grid_cell)?;
+            grids.insert(*floor, (grid, Vec::new()));
+        }
+        for p in &partitions {
+            if let Some((grid, ids)) = grids.get_mut(&p.floor) {
+                grid.insert(p.footprint);
+                ids.push(p.id);
+            }
+        }
+
+        let mut space = IndoorSpace {
+            partitions,
+            doors,
+            d2p_enter,
+            d2p_leave,
+            p2d_enter,
+            p2d_leave,
+            intra_overrides,
+            loop_overrides,
+            floor_bounds,
+            grids,
+            door_graph,
+            skeleton: SkeletonIndex::empty(),
+        };
+        space.skeleton = SkeletonIndex::build(&space);
+        Ok(space)
+    }
+
     // ------------------------------------------------------------------
     // Basic accessors
     // ------------------------------------------------------------------
@@ -341,6 +583,12 @@ impl IndoorSpace {
         self.floor_bounds
             .get(&floor)
             .ok_or(SpaceError::UnknownFloor(floor))
+    }
+
+    /// All floors with their final bounding rectangles, ascending by floor.
+    /// Exposed so persistence layers can write the table as flat columns.
+    pub fn floor_bounds_table(&self) -> impl Iterator<Item = (FloorId, Rect)> + '_ {
+        self.floor_bounds.iter().map(|(f, r)| (*f, *r))
     }
 
     /// Looks up a partition.
@@ -418,6 +666,26 @@ impl IndoorSpace {
     #[inline]
     pub fn p2d_leave(&self, v: PartitionId) -> &[DoorId] {
         self.p2d_leave.row(v.index())
+    }
+
+    /// The four topology mappings as whole CSR maps, in `(D2PA, D2P@, P2DA,
+    /// P2D@)` order. Exposed so persistence layers can capture them as flat
+    /// columns without walking every node.
+    #[allow(clippy::type_complexity)]
+    pub fn topology_csrs(
+        &self,
+    ) -> (
+        &Csr<PartitionId>,
+        &Csr<PartitionId>,
+        &Csr<DoorId>,
+        &Csr<DoorId>,
+    ) {
+        (
+            &self.d2p_enter,
+            &self.d2p_leave,
+            &self.p2d_enter,
+            &self.p2d_leave,
+        )
     }
 
     /// Partitions through which one can move from door `di` (entering) to door
@@ -907,6 +1175,134 @@ mod tests {
         assert!(matches!(
             IndoorSpaceBuilder::new().build(),
             Err(SpaceError::EmptySpace)
+        ));
+    }
+
+    #[test]
+    fn build_rejects_dangling_override_endpoints() {
+        let f = FloorId(0);
+        let with_rooms = || {
+            let mut b = IndoorSpaceBuilder::new();
+            let v0 = b.add_partition(
+                f,
+                PartitionKind::Room,
+                Rect::from_origin_size(Point::ORIGIN, 10.0, 10.0).unwrap(),
+                None,
+            );
+            let v1 = b.add_partition(
+                f,
+                PartitionKind::Room,
+                Rect::from_origin_size(Point::new(10.0, 0.0), 10.0, 10.0).unwrap(),
+                None,
+            );
+            let d = b.add_door(Point::new(10.0, 5.0), f, DoorKind::Normal);
+            b.connect_bidirectional(d, v0, v1);
+            (b, v0, d)
+        };
+
+        let (mut b, _, d) = with_rooms();
+        b.set_intra_distance(PartitionId(42), d, d, 3.0);
+        assert!(matches!(b.build(), Err(SpaceError::UnknownPartition(_))));
+
+        let (mut b, v0, d) = with_rooms();
+        b.set_intra_distance(v0, d, DoorId(42), 3.0);
+        assert!(matches!(b.build(), Err(SpaceError::UnknownDoor(_))));
+
+        let (mut b, _, d) = with_rooms();
+        b.set_loop_distance(PartitionId(42), d, 3.0);
+        assert!(matches!(b.build(), Err(SpaceError::UnknownPartition(_))));
+
+        let (mut b, v0, _) = with_rooms();
+        b.set_loop_distance(v0, DoorId(42), 3.0);
+        assert!(matches!(b.build(), Err(SpaceError::UnknownDoor(_))));
+    }
+
+    #[test]
+    fn adopted_columns_reproduce_the_built_space() {
+        let s = two_rooms();
+        let adopted = IndoorSpace::adopt_columns(SpaceColumns::capture(&s, 25.0)).unwrap();
+        assert_eq!(adopted.num_partitions(), s.num_partitions());
+        assert_eq!(adopted.num_doors(), s.num_doors());
+        assert_eq!(adopted.floors(), s.floors());
+        assert_eq!(adopted.d2p_enter(DoorId(0)), s.d2p_enter(DoorId(0)));
+        assert_eq!(
+            adopted.p2d_leave(PartitionId(1)),
+            s.p2d_leave(PartitionId(1))
+        );
+        assert_eq!(adopted.door_graph().num_edges(), s.door_graph().num_edges());
+        let v1 = PartitionId(1);
+        assert!(approx_eq(
+            adopted.intra_door_distance(v1, DoorId(0), DoorId(1)),
+            s.intra_door_distance(v1, DoorId(0), DoorId(1))
+        ));
+        let p = IndoorPoint::from_xy(15.0, 2.0, FloorId(0));
+        assert_eq!(
+            adopted.host_partition(&p).unwrap(),
+            s.host_partition(&p).unwrap()
+        );
+        let a = IndoorPoint::from_xy(2.0, 5.0, FloorId(0));
+        let c = IndoorPoint::from_xy(14.0, 5.0, FloorId(0));
+        assert!(approx_eq(
+            adopted.point_to_point_distance(&a, &c),
+            s.point_to_point_distance(&a, &c)
+        ));
+    }
+
+    #[test]
+    fn adopt_columns_rejects_structural_defects() {
+        let s = two_rooms();
+        let capture = || SpaceColumns::capture(&s, 25.0);
+
+        let mut cols = capture();
+        cols.partitions.clear();
+        assert!(matches!(
+            IndoorSpace::adopt_columns(cols),
+            Err(SpaceError::EmptySpace)
+        ));
+
+        let mut cols = capture();
+        cols.partitions[1].id = PartitionId(7);
+        assert!(matches!(
+            IndoorSpace::adopt_columns(cols),
+            Err(SpaceError::InvalidConfig(_))
+        ));
+
+        let mut cols = capture();
+        cols.d2p_enter = Csr::from_pairs(s.num_doors(), vec![(0, PartitionId(99))]);
+        assert!(matches!(
+            IndoorSpace::adopt_columns(cols),
+            Err(SpaceError::UnknownPartition(PartitionId(99)))
+        ));
+
+        let mut cols = capture();
+        cols.p2d_enter = Csr::from_pairs(1, vec![(0, DoorId(0))]);
+        assert!(matches!(
+            IndoorSpace::adopt_columns(cols),
+            Err(SpaceError::InvalidConfig(_))
+        ));
+
+        let mut cols = capture();
+        cols.intra_overrides = vec![(PartitionId(0), DoorId(0), DoorId(42), 1.0)];
+        assert!(matches!(
+            IndoorSpace::adopt_columns(cols),
+            Err(SpaceError::UnknownDoor(DoorId(42)))
+        ));
+
+        let mut cols = capture();
+        cols.loop_overrides = vec![
+            (PartitionId(1), DoorId(0), 1.0),
+            (PartitionId(0), DoorId(0), 1.0),
+        ];
+        assert!(matches!(
+            IndoorSpace::adopt_columns(cols),
+            Err(SpaceError::InvalidConfig(_))
+        ));
+
+        let mut cols = capture();
+        cols.door_graph = DoorGraph::empty();
+        assert!(matches!(
+            IndoorSpace::adopt_columns(cols),
+            Err(SpaceError::InvalidConfig(_))
         ));
     }
 

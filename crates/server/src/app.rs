@@ -186,6 +186,26 @@ struct VenueIndexBody {
     rows_misses: u64,
     /// Rows dropped to stay within capacity.
     rows_evictions: u64,
+    /// How the venue document behind this engine was loaded; `null` for
+    /// engines built directly from in-memory models.
+    document: Option<VenueDocumentBody>,
+}
+
+/// Per-venue document-load observability inside [`VenueIndexBody`].
+#[derive(Serialize)]
+struct VenueDocumentBody {
+    /// File format version the venue was loaded from (`2` columnar binary,
+    /// `1` record binary, `0` JSON).
+    format_version: u16,
+    /// Whether the model was adopted from a persisted columnar section
+    /// rather than rebuilt from document records.
+    adopted_columnar: bool,
+    /// Milliseconds spent decoding bytes into records or columns.
+    decode_ms: f64,
+    /// Milliseconds spent turning the decoded form into the model.
+    adopt_ms: f64,
+    /// Why a columnar file fell back to the record rebuild, when it did.
+    degraded: Option<String>,
 }
 
 #[derive(Deserialize)]
@@ -296,6 +316,13 @@ impl IkrqApp {
                 rows_hits: rows.hits,
                 rows_misses: rows.misses,
                 rows_evictions: rows.evictions,
+                document: engine.document_stats().map(|d| VenueDocumentBody {
+                    format_version: d.format_version,
+                    adopted_columnar: d.adopted_columnar,
+                    decode_ms: d.decode_micros as f64 / 1e3,
+                    adopt_ms: d.adopt_micros as f64 / 1e3,
+                    degraded: d.degraded.clone(),
+                }),
             });
         }
         body.mode = if body.venues_indexed == 0 {

@@ -620,3 +620,53 @@ fn stats_expose_index_observability() {
     assert_eq!(index.get("venues_indexed").unwrap().as_u64(), Some(0));
     assert_eq!(index.get("estimated_bytes").unwrap().as_u64(), Some(0));
 }
+
+#[test]
+fn stats_expose_document_load_observability() {
+    // An engine registered straight from an in-memory model has no document
+    // provenance: its per-venue `document` is null.
+    let handle = start(fig1_service(), ServerConfig::default());
+    let stats = request(handle.local_addr(), "GET", "/v1/stats", None).json();
+    let venues = stats
+        .get("index")
+        .unwrap()
+        .get("venues")
+        .unwrap()
+        .as_array()
+        .unwrap();
+    assert_eq!(venues.len(), 1);
+    assert!(venues[0].get("document").unwrap().is_null());
+
+    // An engine whose loader recorded document stats (the CLI seam for
+    // binary/JSON venue files) surfaces them per venue.
+    let example = indoor_data::paper_example_venue();
+    let mut engine =
+        ikrq_core::IkrqEngine::new(example.venue.space.clone(), example.venue.directory.clone());
+    engine.set_document_stats(ikrq_core::DocumentStats {
+        format_version: 2,
+        adopted_columnar: true,
+        decode_micros: 1500,
+        adopt_micros: 250,
+        degraded: None,
+    });
+    let service = Arc::new(IkrqService::new());
+    service.register_engine("fig1", Arc::new(engine)).unwrap();
+    let handle = start(Arc::clone(&service), ServerConfig::default());
+    let stats = request(handle.local_addr(), "GET", "/v1/stats", None).json();
+    let venues = stats
+        .get("index")
+        .unwrap()
+        .get("venues")
+        .unwrap()
+        .as_array()
+        .unwrap();
+    let document = venues[0].get("document").unwrap();
+    assert_eq!(document.get("format_version").unwrap().as_u64(), Some(2));
+    assert_eq!(
+        document.get("adopted_columnar").unwrap().as_bool(),
+        Some(true)
+    );
+    assert_eq!(document.get("decode_ms").unwrap().as_f64(), Some(1.5));
+    assert_eq!(document.get("adopt_ms").unwrap().as_f64(), Some(0.25));
+    assert!(document.get("degraded").unwrap().is_null());
+}
